@@ -1,0 +1,81 @@
+"""A1 — why mean-consistency fails the problem requirements (Section 5).
+
+The paper argues the standard hierarchical consistency algorithm for
+ordinary histograms (Hay et al.) cannot be used for count-of-counts data:
+its subtraction step produces fractional and *negative* cells, and it
+cannot preserve the public per-node group counts.  This ablation runs
+mean-consistency on noisy count-of-counts inputs and measures how often the
+requirements are violated, next to the top-down algorithm which never
+violates them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import num_runs, scale_for
+from repro.core.consistency.mean_consistency import mean_consistency
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator
+from repro.datasets import make_dataset
+from repro.mechanisms.geometric import double_geometric
+
+
+def test_a1_mean_consistency_violations(capsys):
+    tree = make_dataset("hawaiian", scale=scale_for("hawaiian")).build(seed=0)
+    width = len(tree.root.data) + 1
+
+    negative_runs = 0
+    fractional_runs = 0
+    group_count_violations = 0
+    for seed in range(num_runs()):
+        rng = np.random.default_rng(seed)
+        noisy = {
+            node.name: node.data.padded(width).histogram
+            + double_geometric(width, epsilon=0.5, rng=rng)
+            for node in tree.nodes()
+        }
+        consistent = mean_consistency(tree, noisy)
+        values = np.concatenate(list(consistent.values()))
+        if np.any(values < 0):
+            negative_runs += 1
+        if not np.allclose(values, np.rint(values)):
+            fractional_runs += 1
+        root_total = consistent[tree.root.name].sum()
+        if abs(root_total - tree.root.num_groups) > 0.5:
+            group_count_violations += 1
+
+    algo = TopDown(CumulativeEstimator(max_size=width))
+    result = algo.run(tree, 1.0, rng=np.random.default_rng(0))
+    topdown_ok = all(
+        np.all(result[node.name].histogram >= 0)
+        and result[node.name].num_groups == node.num_groups
+        for node in tree.nodes()
+    )
+
+    with capsys.disabled():
+        print("\n[A1] Mean-consistency requirement violations "
+              f"({num_runs()} runs, eps=0.5 noise)")
+        print(f"  runs with negative cells:      {negative_runs}/{num_runs()}")
+        print(f"  runs with fractional cells:    {fractional_runs}/{num_runs()}")
+        print(f"  runs violating group counts:   "
+              f"{group_count_violations}/{num_runs()}")
+        print(f"  top-down violations:           0 (by construction: "
+              f"{'verified' if topdown_ok else 'FAILED'})")
+
+    assert negative_runs == num_runs(), "subtraction step should go negative"
+    assert fractional_runs == num_runs()
+    assert topdown_ok
+
+
+def test_a1_mean_consistency_benchmark(benchmark):
+    tree = make_dataset("hawaiian", scale=scale_for("hawaiian")).build(seed=0)
+    width = len(tree.root.data) + 1
+    rng = np.random.default_rng(0)
+    noisy = {
+        node.name: node.data.padded(width).histogram
+        + double_geometric(width, epsilon=0.5, rng=rng)
+        for node in tree.nodes()
+    }
+    benchmark(lambda: mean_consistency(tree, noisy))

@@ -1,0 +1,92 @@
+"""A2 — optimality and scaling of the matching algorithm (Section 5.2).
+
+Two claims back Algorithm 2:
+
+* **Optimality (Lemma 5)** — the greedy smallest-to-smallest sweep attains
+  the minimum-cost perfect matching.  Certified here against scipy's
+  Hungarian algorithm on random instances (the Hungarian algorithm is the
+  O(G³) general-purpose solver the paper's specialised algorithm replaces).
+* **O(G log G) scaling** — doubling the number of groups should roughly
+  double the runtime (the log factor is invisible at these sizes), where
+  the Hungarian algorithm would grow ~8x.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.matching import (
+    match_parent_to_children,
+    matching_cost_lower_bound,
+)
+
+
+def random_instance(rng, total, num_children=4, spread=50):
+    cuts = np.sort(rng.integers(0, total + 1, size=num_children - 1))
+    counts = np.diff(np.concatenate([[0], cuts, [total]]))
+    children = [
+        np.sort(rng.integers(0, spread, size=int(count))) for count in counts
+    ]
+    parent = np.sort(
+        np.clip(np.concatenate(children) + rng.integers(-2, 3, size=total), 0, None)
+    )
+    return parent, children
+
+
+def test_a2_optimality_certificates(capsys):
+    from scipy.optimize import linear_sum_assignment
+
+    rng = np.random.default_rng(7)
+    checked = 0
+    for _ in range(25):
+        parent, children = random_instance(rng, total=int(rng.integers(2, 60)))
+        result = match_parent_to_children(
+            parent, np.ones(parent.size),
+            children, [np.ones(c.size) for c in children],
+        )
+        bottom = np.concatenate(children)
+        cost = np.abs(parent[:, None] - bottom[None, :])
+        rows, cols = linear_sum_assignment(cost)
+        assert result.cost == int(cost[rows, cols].sum())
+        checked += 1
+
+    with capsys.disabled():
+        print(f"\n[A2] Matching optimality: {checked}/25 random instances "
+              "match the Hungarian optimum")
+
+
+def test_a2_scaling(capsys):
+    rng = np.random.default_rng(1)
+    timings = {}
+    for total in (50_000, 100_000, 200_000):
+        parent, children = random_instance(rng, total=total, spread=2000)
+        unit = [np.ones(c.size) for c in children]
+        start = time.perf_counter()
+        result = match_parent_to_children(
+            parent, np.ones(parent.size), children, unit
+        )
+        timings[total] = time.perf_counter() - start
+        assert result.cost == matching_cost_lower_bound(parent, children)
+
+    with capsys.disabled():
+        print("\n[A2] Matching runtime scaling (expect ~linear):")
+        for total, seconds in timings.items():
+            print(f"  G={total:>8,}  {seconds * 1000:>8.1f} ms")
+
+    # 4x the groups should cost well under the 64x of a cubic algorithm.
+    assert timings[200_000] < 16 * max(timings[50_000], 1e-3)
+
+
+def test_a2_matching_benchmark(benchmark):
+    rng = np.random.default_rng(2)
+    parent, children = random_instance(rng, total=100_000, spread=2000)
+    unit = [np.ones(c.size) for c in children]
+
+    benchmark(
+        lambda: match_parent_to_children(
+            parent, np.ones(parent.size), children, unit
+        )
+    )

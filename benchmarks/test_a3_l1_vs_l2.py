@@ -1,0 +1,56 @@
+"""A3 — L1 vs L2 post-processing for the Hc method (Section 4.3).
+
+The paper: "we found that the L1 version of the problem (with p = 1)
+performs better than the L2 version, consistent with prior observations on
+unattributed histograms [Lin & Kifer]."  This ablation sweeps both losses
+over all four datasets at the root node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import MAX_SIZE, num_runs, scale_for
+from repro.core.estimators import CumulativeEstimator
+from repro.core.metrics import earthmover_distance
+from repro.datasets import make_dataset
+
+DATASETS = ["housing", "white", "hawaiian", "taxi"]
+
+
+def average_error(estimator, data, epsilon=0.5):
+    errors = []
+    for seed in range(num_runs()):
+        result = estimator.estimate(data, epsilon, rng=np.random.default_rng(seed))
+        errors.append(earthmover_distance(data, result.estimate))
+    return float(np.mean(errors))
+
+
+def test_a3_l1_beats_l2(capsys):
+    rows = {}
+    for name in DATASETS:
+        tree = make_dataset(name, scale=scale_for(name)).build(seed=0)
+        data = tree.root.data
+        rows[name] = {
+            p: average_error(CumulativeEstimator(max_size=MAX_SIZE, p=p), data)
+            for p in (1, 2)
+        }
+
+    with capsys.disabled():
+        print("\n[A3] Hc post-processing loss: L1 vs L2 (eps=0.5, root)")
+        print(f"{'data':>10}{'p=1 (L1)':>14}{'p=2 (L2)':>14}{'L1/L2':>8}")
+        for name, errors in rows.items():
+            print(f"{name:>10}{errors[1]:>14,.1f}{errors[2]:>14,.1f}"
+                  f"{errors[1] / max(errors[2], 1.0):>8.2f}")
+
+    wins = sum(errors[1] <= errors[2] * 1.05 for errors in rows.values())
+    assert wins >= 3, "L1 should be at least as accurate on most datasets"
+
+
+@pytest.mark.parametrize("p", [1, 2])
+def test_a3_hc_benchmark(benchmark, p):
+    tree = make_dataset("white", scale=scale_for("white")).build(seed=0)
+    estimator = CumulativeEstimator(max_size=MAX_SIZE, p=p)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: estimator.estimate(tree.root.data, 1.0, rng=rng))

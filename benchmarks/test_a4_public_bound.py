@@ -1,0 +1,79 @@
+"""A4 — insensitivity to the public bound K (Section 4.3, footnote 6).
+
+The paper: "This method is not very sensitive to K — in the experiments we
+used K = 100,000 on datasets where the largest group had around 10,000
+people — an order of magnitude difference and still the estimated size of
+the largest group ended up being around 10,000."
+
+This ablation sweeps K across two orders of magnitude around the true
+maximum on the housing data and verifies (a) EMD error moves by far less
+than K does, and (b) the estimated maximum group size stays near the true
+maximum instead of drifting toward K.  It also exercises footnote 6's
+budget-sliver estimator for K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import num_runs, scale_for
+from repro.core.estimators import CumulativeEstimator, estimate_public_bound
+from repro.core.metrics import earthmover_distance
+from repro.datasets import make_dataset
+
+
+def test_a4_k_insensitivity(capsys):
+    tree = make_dataset("housing", scale=scale_for("housing")).build(seed=0)
+    data = tree.root.data
+    true_max = data.max_size
+
+    rows = {}
+    for multiplier in (1.2, 2, 10, 100):
+        k = int(true_max * multiplier)
+        errors, estimated_maxes = [], []
+        for seed in range(num_runs()):
+            result = CumulativeEstimator(max_size=k).estimate(
+                data, 1.0, rng=np.random.default_rng(seed)
+            )
+            errors.append(earthmover_distance(data, result.estimate))
+            estimated_maxes.append(result.estimate.max_size)
+        rows[k] = (float(np.mean(errors)), float(np.mean(estimated_maxes)))
+
+    with capsys.disabled():
+        print("\n[A4] Sensitivity to the public bound K "
+              f"(housing root, true max size {true_max:,}, eps=1)")
+        print(f"{'K':>12}{'emd':>12}{'est. max size':>16}")
+        for k, (error, est_max) in rows.items():
+            print(f"{k:>12,}{error:>12,.1f}{est_max:>16,.0f}")
+
+    errors = [error for error, _ in rows.values()]
+    # Two orders of magnitude of K moves the error by a small factor only.
+    assert max(errors) < 5 * min(errors)
+    # The estimated maximum tracks the data, not the bound.
+    for k, (_, est_max) in rows.items():
+        assert est_max < true_max * 3 + 100
+
+
+def test_a4_private_bound_estimation(capsys):
+    """Footnote 6's K estimator: a tiny budget still upper-bounds the max."""
+    tree = make_dataset("housing", scale=scale_for("housing")).build(seed=0)
+    data = tree.root.data
+    bounds = [
+        estimate_public_bound(data, epsilon=1e-3, rng=np.random.default_rng(seed))
+        for seed in range(20)
+    ]
+    coverage = np.mean([bound >= data.max_size for bound in bounds])
+
+    with capsys.disabled():
+        print(f"\n[A4] Private K estimation at eps=1e-3: "
+              f"bounds {min(bounds):,} .. {max(bounds):,}, "
+              f"true max {data.max_size:,}, coverage {coverage:.0%}")
+
+    assert coverage == 1.0  # designed for >= 99.95% coverage
+
+
+def test_a4_bound_benchmark(benchmark):
+    tree = make_dataset("housing", scale=scale_for("housing")).build(seed=0)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: estimate_public_bound(tree.root.data, 1e-3, rng=rng))

@@ -1,0 +1,78 @@
+"""A7 — runtime scaling of the full release pipeline.
+
+The paper ran on a dual 8-core Xeon with 64 GB RAM and limited its 3-level
+census experiments to the west coast "because there are over 3,000
+counties (hence 3,000 isotonic regressions)".  This ablation measures how
+our implementation's wall-clock scales with the number of groups and with
+the number of nodes, verifying the claimed complexities end to end:
+
+* matching is O(G log G) — doubling G roughly doubles release time once
+  group-dominated costs lead;
+* the Hc estimator is O(#nodes × K) — node count, not population, drives
+  its cost (the paper's 3,000-isotonic-regressions remark).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator, UnattributedEstimator
+from repro.datasets import make_dataset
+
+
+def release_seconds(tree, estimator):
+    algo = TopDown(estimator)
+    start = time.perf_counter()
+    algo.run(tree, 1.0, rng=np.random.default_rng(0))
+    return time.perf_counter() - start
+
+
+def test_a7_group_scaling(capsys):
+    """Hg-method release time vs number of groups (matching-dominated)."""
+    timings = {}
+    for scale in (2e-3, 8e-3, 32e-3):
+        tree = make_dataset("white", scale=scale).build(seed=0)
+        timings[tree.root.num_groups] = release_seconds(
+            tree, UnattributedEstimator()
+        )
+
+    with capsys.disabled():
+        print("\n[A7] Hg release time vs groups (2-level white)")
+        for groups, seconds in timings.items():
+            print(f"  G={groups:>9,}  {seconds * 1000:>8.1f} ms")
+
+    groups = sorted(timings)
+    # 16x the groups should cost far less than a quadratic 256x.
+    assert timings[groups[-1]] < 40 * max(timings[groups[0]], 1e-3)
+
+
+def test_a7_node_scaling(capsys):
+    """Hc-method release time vs node count at fixed population."""
+    timings = {}
+    for levels, label in ((2, "2-level"), (3, "3-level")):
+        tree = make_dataset("hawaiian", scale=1e-2, levels=levels).build(seed=0)
+        node_count = sum(len(level) for level in tree.levels())
+        timings[label] = (node_count, release_seconds(
+            tree, CumulativeEstimator(max_size=2_000)
+        ))
+
+    with capsys.disabled():
+        print("\n[A7] Hc release time vs node count (hawaiian)")
+        for label, (nodes, seconds) in timings.items():
+            print(f"  {label}: {nodes:>5} nodes  {seconds * 1000:>8.1f} ms")
+
+    nodes2, seconds2 = timings["2-level"]
+    nodes3, seconds3 = timings["3-level"]
+    # Cost per node must not blow up as the tree deepens.
+    assert seconds3 / nodes3 < 10 * max(seconds2 / nodes2, 1e-6)
+
+
+def test_a7_full_pipeline_benchmark(benchmark):
+    tree = make_dataset("white", scale=1e-3).build(seed=0)
+    algo = TopDown(CumulativeEstimator(max_size=5_000))
+    rng = np.random.default_rng(0)
+    benchmark(lambda: algo.run(tree, 1.0, rng=rng))

@@ -1,0 +1,55 @@
+"""E1 — the dataset statistics table of Section 6.1.
+
+Paper table (full scale):
+
+    Data       #groups      #people/trip   #unique sizes
+    Synthetic  240,908,081  605,304,918    2352
+    White      11,155,486   226,378,365    1916
+    Hawaiian   11,155,486   540,383        224
+    Taxi       360,872      130,962,398    3128
+
+We regenerate the same row structure at benchmark scale; the *relative*
+shape (hawaiian sparse, taxi dense with high mean size, synthetic heavy
+tailed) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scale_for
+from repro.datasets import make_dataset
+
+DATASETS = ["housing", "white", "hawaiian", "taxi"]
+
+
+def build(name):
+    return make_dataset(name, scale=scale_for(name)).build(seed=0)
+
+
+def test_e1_dataset_statistics_table(capsys):
+    rows = []
+    for name in DATASETS:
+        stats = build(name).statistics()
+        rows.append((name, stats))
+
+    with capsys.disabled():
+        print("\n[E1] Dataset statistics (Section 6.1), benchmark scale")
+        print(f"{'data':>10}{'groups':>14}{'entities':>14}"
+              f"{'unique sizes':>14}{'max size':>10}")
+        for name, stats in rows:
+            print(f"{name:>10}{stats['groups']:>14,}{stats['entities']:>14,}"
+                  f"{stats['distinct_sizes']:>14,}{stats['max_size']:>10,}")
+
+    stats = dict(rows)
+    # Shape assertions mirroring the paper's table.
+    assert stats["white"]["groups"] == stats["hawaiian"]["groups"]
+    assert stats["hawaiian"]["entities"] < 0.05 * stats["white"]["entities"]
+    assert stats["hawaiian"]["distinct_sizes"] < stats["white"]["distinct_sizes"]
+    assert stats["taxi"]["entities"] / stats["taxi"]["groups"] > 100
+    assert stats["housing"]["max_size"] > 1_000  # synthetic outlier tail
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_e1_generation_benchmark(benchmark, name):
+    benchmark(build, name)

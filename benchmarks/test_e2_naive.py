@@ -1,0 +1,63 @@
+"""E2 — ruling out the naive method (Section 6.2.1).
+
+Paper table: average EMD of the naive strategy at ε = 1 is in the billions —
+several orders of magnitude worse than the Hg/Hc methods:
+
+    Synthetic      White          Hawaiian       Taxi
+    4,462,728,374  4,809,679,734  4,027,891,692  208,977,518
+
+At benchmark scale the absolute numbers shrink, but the reproduction target
+is the *ratio*: naive error must sit orders of magnitude above the Hc
+method's on every dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import MAX_SIZE, num_runs, scale_for
+from repro.core.estimators import CumulativeEstimator, NaiveEstimator
+from repro.core.metrics import earthmover_distance
+from repro.datasets import make_dataset
+
+DATASETS = ["housing", "white", "hawaiian", "taxi"]
+
+
+def average_root_error(estimator, data, epsilon=1.0):
+    errors = []
+    for seed in range(num_runs()):
+        result = estimator.estimate(data, epsilon, rng=np.random.default_rng(seed))
+        errors.append(earthmover_distance(data, result.estimate))
+    return float(np.mean(errors))
+
+
+def test_e2_naive_error_table(capsys):
+    rows = {}
+    for name in DATASETS:
+        tree = make_dataset(name, scale=scale_for(name)).build(seed=0)
+        data = tree.root.data
+        naive_error = average_root_error(NaiveEstimator(max_size=MAX_SIZE), data)
+        hc_error = average_root_error(CumulativeEstimator(max_size=MAX_SIZE), data)
+        rows[name] = (naive_error, hc_error)
+
+    with capsys.disabled():
+        print("\n[E2] Naive method vs Hc at eps=1 (Section 6.2.1), root node")
+        print(f"{'data':>10}{'naive emd':>16}{'Hc emd':>14}{'ratio':>10}")
+        for name, (naive_error, hc_error) in rows.items():
+            ratio = naive_error / max(hc_error, 1.0)
+            print(f"{name:>10}{naive_error:>16,.0f}{hc_error:>14,.0f}"
+                  f"{ratio:>10,.0f}x")
+
+    for name, (naive_error, hc_error) in rows.items():
+        assert naive_error > 20 * hc_error, (
+            f"naive should be orders of magnitude worse on {name}"
+        )
+
+
+@pytest.mark.parametrize("name", ["hawaiian", "taxi"])
+def test_e2_naive_benchmark(benchmark, name):
+    tree = make_dataset(name, scale=scale_for(name)).build(seed=0)
+    estimator = NaiveEstimator(max_size=MAX_SIZE)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: estimator.estimate(tree.root.data, 1.0, rng=rng))

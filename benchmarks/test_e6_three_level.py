@@ -1,0 +1,78 @@
+"""E6 — 3-level hierarchy results (Figure 6).
+
+The paper estimates 3-level hierarchies — census-like data restricted to
+the west coast (for computational reasons; ~3,000 isotonic regressions
+otherwise), taxi on its full geography — with Hg×Hg×Hg and Hc×Hc×Hc.
+Finding: neither method dominates everywhere, but Hc-based estimation
+generally performs better and is the recommended default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPSILON_GRID, MAX_SIZE, num_runs, scale_for
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator, UnattributedEstimator
+from repro.datasets import make_dataset
+from repro.evaluation.report import format_series
+from repro.evaluation.runner import ExperimentRunner
+
+DATASETS = ["housing", "white", "hawaiian", "taxi"]
+
+
+def build_tree(name):
+    generator = make_dataset(name, scale=scale_for(name), levels=3)
+    if name == "taxi":
+        return generator.build(seed=0)  # taxi uses its full geography
+    return generator.west_coast(seed=0)
+
+
+def release(estimator):
+    algo = TopDown(estimator)
+    return lambda tree, epsilon, rng: algo.run(tree, epsilon, rng=rng).estimates
+
+
+def test_e6_three_level_consistency(capsys):
+    summary = {}
+    for name in DATASETS:
+        tree = build_tree(name)
+        runner = ExperimentRunner(tree, runs=num_runs(), seed=0)
+        totals = [eps * tree.num_levels for eps in EPSILON_GRID]
+        results = {
+            "Hc×Hc×Hc": runner.sweep(
+                "Hc×Hc×Hc", release(CumulativeEstimator(max_size=MAX_SIZE)),
+                totals,
+            ),
+            "Hg×Hg×Hg": runner.sweep(
+                "Hg×Hg×Hg", release(UnattributedEstimator()), totals
+            ),
+        }
+        summary[name] = results
+        with capsys.disabled():
+            print(f"\n[E6] 3-level consistency on {name} (Figure 6)")
+            for label, sweep in results.items():
+                print(format_series(f"  {label}", sweep))
+
+    for name, results in summary.items():
+        for label, sweep in results.items():
+            # Errors are finite at every level and generally improve with ε.
+            for result in sweep:
+                assert all(np.isfinite(s.mean) for s in result.levels)
+            assert sweep[-1].level(0).mean <= sweep[0].level(0).mean * 1.5
+
+    # The paper's default recommendation: Hc generally at least competitive.
+    wins = sum(
+        np.mean([r.level(0).mean for r in results["Hc×Hc×Hc"]])
+        <= np.mean([r.level(0).mean for r in results["Hg×Hg×Hg"]])
+        for results in summary.values()
+    )
+    assert wins >= 2, "Hc should win at the root on at least half the datasets"
+
+
+def test_e6_release_benchmark(benchmark):
+    tree = build_tree("hawaiian")
+    algo = TopDown(CumulativeEstimator(max_size=MAX_SIZE))
+    rng = np.random.default_rng(0)
+    benchmark(lambda: algo.run(tree, 1.0, rng=rng))

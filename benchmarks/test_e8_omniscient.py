@@ -1,0 +1,73 @@
+"""E8 — calibrating the omniscient baseline (Section 6.2, "Interpreting
+error").
+
+The paper anchors its figures with the omniscient algorithm's expected
+error, ``#distinct group sizes × √2/ε per level`` — e.g. 2,352 distinct
+sizes at ε = 0.1/level ≈ 3.3 × 10⁴.  We verify that (a) the simulated
+omniscient error matches the closed form up to the Laplace mean-vs-std
+constant, and (b) the top-down Hc algorithm's root error lands within a
+small factor of the omniscient floor, which is what "comparable to the
+omniscient baseline" means in Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPSILON_GRID, MAX_SIZE, num_runs, scale_for
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator
+from repro.core.metrics import earthmover_distance
+from repro.datasets import make_dataset
+from repro.evaluation.omniscient import (
+    OmniscientBaseline,
+    omniscient_expected_error,
+)
+
+DATASETS = ["housing", "white", "hawaiian", "taxi"]
+
+
+def test_e8_omniscient_calibration(capsys):
+    rows = []
+    for name in DATASETS:
+        tree = make_dataset(name, scale=scale_for(name), levels=2).build(seed=0)
+        eps_level = 1.0
+        total = eps_level * tree.num_levels
+
+        expected = omniscient_expected_error(tree.root.data, eps_level)
+        simulated = np.mean([
+            OmniscientBaseline().run(
+                tree, total, rng=np.random.default_rng(seed)
+            )[tree.root.name]
+            for seed in range(num_runs())
+        ])
+
+        algo = TopDown(CumulativeEstimator(max_size=MAX_SIZE))
+        topdown = np.mean([
+            earthmover_distance(
+                tree.root.data,
+                algo.run(tree, total, rng=np.random.default_rng(seed))[
+                    tree.root.name
+                ],
+            )
+            for seed in range(num_runs())
+        ])
+        rows.append((name, expected, simulated, topdown))
+
+    with capsys.disabled():
+        print("\n[E8] Omniscient calibration at eps=1/level (Section 6.2)")
+        print(f"{'data':>10}{'formula':>14}{'simulated':>14}"
+              f"{'topdown Hc':>14}{'ratio':>8}")
+        for name, expected, simulated, topdown in rows:
+            ratio = topdown / max(expected, 1.0)
+            print(f"{name:>10}{expected:>14,.1f}{simulated:>14,.1f}"
+                  f"{topdown:>14,.1f}{ratio:>8.1f}x")
+
+    for name, expected, simulated, topdown in rows:
+        # Simulated omniscient L1 error has mean #distinct/ε; the formula
+        # uses the std √2/ε, so the ratio must sit near 1/√2.
+        assert simulated == pytest.approx(expected / np.sqrt(2), rel=0.25)
+        # A real DP algorithm cannot beat the floor by more than noise, and
+        # a good one should be within a modest factor of it.
+        assert topdown < 60 * expected

@@ -1,0 +1,70 @@
+"""Census-scale scenario: the partially synthetic housing workload.
+
+Reproduces the paper's motivating use case — the 2010 Decennial Census
+published 33 truncated count-of-counts tables because no formal privacy
+method existed for the full distributions.  This example builds the
+paper's partially-synthetic housing dataset (household-size histograms per
+state with a group-quarters heavy tail), releases a consistent 2-level
+hierarchy under several privacy budgets, and compares the recommended
+Hc method with the Hg alternative and the omniscient floor.
+
+Run:  python examples/census_households.py [--scale 1e-4] [--runs 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import CumulativeEstimator, TopDown, UnattributedEstimator
+from repro.datasets import SyntheticHousingDataset
+from repro.evaluation import ExperimentRunner, OmniscientBaseline, format_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1e-4,
+                        help="fraction of the paper's 240.9M households")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="repetitions per configuration (paper: 10)")
+    args = parser.parse_args()
+
+    # -- Build the dataset (national/state, 52 states, heavy tail).
+    tree = SyntheticHousingDataset(scale=args.scale).build(seed=0)
+    stats = tree.statistics()
+    print("partially synthetic housing data "
+          f"(scale={args.scale:g} of paper magnitude):")
+    for key, value in stats.items():
+        print(f"  {key:>15}: {value:,}")
+
+    # -- Sweep both estimation methods over a budget grid.
+    runner = ExperimentRunner(tree, runs=args.runs, seed=0)
+    epsilons = [0.2, 1.0, 2.0]
+    sweeps = {}
+    for label, estimator in (
+        ("Hc×Hc", CumulativeEstimator(max_size=20_000)),
+        ("Hg×Hg", UnattributedEstimator()),
+    ):
+        algo = TopDown(estimator)
+        sweeps[label] = runner.sweep(
+            label,
+            lambda tree_, eps, rng, algo=algo: algo.run(tree_, eps, rng=rng).estimates,
+            epsilons,
+        )
+
+    print()
+    for label, sweep in sweeps.items():
+        print(format_series(f"{label} (total eps on x-axis)", sweep))
+
+    # -- Anchor against the omniscient floor at the national level.
+    print("\nomniscient expected error at the national level:")
+    for eps in epsilons:
+        floor = OmniscientBaseline().expected_level_error(tree, eps, level=0)
+        print(f"  total eps={eps:<4g} -> {floor:>12,.1f}")
+
+    print("\nReading the results: the Hc method should track the omniscient "
+          "floor within a small factor at the root, and per-state errors "
+          "should be an order of magnitude below the national one.")
+
+
+if __name__ == "__main__":
+    main()

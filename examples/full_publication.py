@@ -1,0 +1,115 @@
+"""A full publication workflow using every extension in the library.
+
+Scenario: a statistical agency publishes household-size distributions by
+state, broken down by tenure (owner/renter-occupied — the Section 7
+"additional demographic characteristics" future work), where even the
+number of households per region is confidential (the Section 3 footnote 5
+extension).  The release budget is split explicitly and every artifact is
+written to files a downstream user could consume.
+
+Steps:
+  1. release private, hierarchy-consistent *group counts* (footnote 5);
+  2. release per-tenure count-of-counts hierarchies under one shared ε
+     (parallel composition across tenure categories);
+  3. verify both consistency directions and query the release;
+  4. export Summary-File-style CSVs and a JSON archive.
+
+Run:  python examples/full_publication.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    AttributedTopDown,
+    CumulativeEstimator,
+    TopDown,
+    gini_coefficient,
+    release_group_counts,
+    size_quantile,
+)
+from repro.hierarchy import from_leaf_histograms
+from repro.io import export_release_csv, save_release
+
+
+def build_tenure_data():
+    """Owner and renter household-size histograms per state (toy numbers)."""
+    owners = from_leaf_histograms("national", {
+        "virginia": [0, 210, 640, 450, 330, 120, 40, 12],
+        "maryland": [0, 260, 690, 460, 300, 140, 40, 15],
+        "delaware": [0, 80, 190, 120, 90, 30, 10, 3],
+    })
+    renters = from_leaf_histograms("national", {
+        "virginia": [0, 520, 370, 150, 80, 25, 8, 2],
+        "maryland": [0, 610, 420, 170, 90, 30, 9, 3],
+        "delaware": [0, 170, 110, 50, 20, 8, 2, 1],
+    })
+    return {"owner": owners, "renter": renters}
+
+
+def main() -> None:
+    rng = np.random.default_rng(2018)
+    categories = build_tenure_data()
+    total_budget = 2.0
+    groups_budget, histogram_budget = 0.25, 1.75
+    print(f"total budget eps={total_budget}  "
+          f"(group counts: {groups_budget}, histograms: {histogram_budget})")
+
+    # -- Step 1: private group counts (footnote 5).  One release suffices
+    # for both categories' totals here; we release the combined hierarchy.
+    combined = from_leaf_histograms("national", {
+        name: (categories["owner"].find(name).data
+               + categories["renter"].find(name).data)
+        for name in ("virginia", "maryland", "delaware")
+    })
+    counts = release_group_counts(combined, groups_budget, rng=rng)
+    print("\nprivate household counts (NNLS-consistent):")
+    for name, value in sorted(counts.counts.items()):
+        true = combined.find(name).num_groups
+        print(f"  {name:<10} released {value:>7,}  (true {true:>7,})")
+
+    # -- Step 2: attributed release — one consistent hierarchy per tenure
+    # category under a single shared budget (parallel composition).
+    algorithm = AttributedTopDown(TopDown(CumulativeEstimator(max_size=50)))
+    released = algorithm.run(categories, epsilon=histogram_budget, rng=rng)
+
+    # -- Step 3: verify and query.
+    va_total = released.histogram("virginia")
+    va_by_tenure = (released.histogram("virginia", "owner")
+                    + released.histogram("virginia", "renter"))
+    print(f"\nconsistency across categories (virginia): "
+          f"{va_total == va_by_tenure}")
+    national = released.totals["national"]
+    child_sum = sum(
+        (released.totals[s] for s in ("virginia", "maryland")),
+        released.totals["delaware"],
+    )
+    print(f"consistency across hierarchy (national):   "
+          f"{national == child_sum}")
+
+    print("\nqueries on the released national distribution:")
+    print(f"  median household size:        "
+          f"{size_quantile(national, 0.5)}")
+    print(f"  renter median household size: "
+          f"{size_quantile(released.histogram('national', 'renter'), 0.5)}")
+    print(f"  size-inequality (gini):       "
+          f"{gini_coefficient(national):.3f}")
+
+    # -- Step 4: export artifacts.
+    out_dir = Path(tempfile.mkdtemp(prefix="repro-publication-"))
+    save_release(
+        released.totals, out_dir / "totals.json",
+        metadata={"epsilon": histogram_budget, "method": "Hc topdown"},
+    )
+    for category, estimates in released.categories.items():
+        rows = export_release_csv(
+            estimates.estimates, out_dir / f"{category}.csv"
+        )
+        print(f"wrote {out_dir / (category + '.csv')} ({rows} rows)")
+    print(f"wrote {out_dir / 'totals.json'}")
+
+
+if __name__ == "__main__":
+    main()

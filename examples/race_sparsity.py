@@ -1,0 +1,70 @@
+"""Dense vs sparse data: choosing between the Hc and Hg methods.
+
+The paper's race-distribution workloads bracket the difficulty spectrum:
+White block counts densely populate sizes 0..~3000 where the Hc method
+shines; Hawaiian counts are extremely sparse (most blocks have zero) where
+the gap narrows.  This example measures both single-node methods on both
+datasets, visualises *where* their errors live (the paper's Figure 1), and
+prints the error-anatomy rationale for the paper's recommendation.
+
+Run:  python examples/race_sparsity.py
+"""
+
+import numpy as np
+
+from repro import CumulativeEstimator, UnattributedEstimator, earthmover_distance
+from repro.core.metrics import emd_profile
+from repro.datasets import RaceDataset
+
+
+def sketch(profile, bins=30):
+    """A one-line ASCII sketch of an error profile."""
+    chunks = np.array_split(profile, bins)
+    total = max(profile.sum(), 1)
+    glyphs = " .:*#"
+    line = ""
+    for chunk in chunks:
+        weight = chunk.sum() / total * bins
+        line += glyphs[min(int(weight * 2), len(glyphs) - 1)]
+    return line
+
+
+def main() -> None:
+    estimators = {
+        "Hc": CumulativeEstimator(max_size=5_000),
+        "Hg": UnattributedEstimator(),
+    }
+
+    for race in ("white", "hawaiian"):
+        tree = RaceDataset(race, scale=1e-3).build(seed=3)
+        data = tree.root.data
+        print(f"\n{race}: {data.num_groups:,} blocks, "
+              f"{data.num_entities:,} people, "
+              f"{data.num_distinct_sizes:,} distinct sizes "
+              f"(max {data.max_size:,})")
+
+        for label, estimator in estimators.items():
+            errors, profiles = [], []
+            for seed in range(3):
+                result = estimator.estimate(
+                    data, epsilon=0.5, rng=np.random.default_rng(seed)
+                )
+                errors.append(earthmover_distance(data, result.estimate))
+                profiles.append(emd_profile(data, result.estimate))
+            width = max(p.size for p in profiles)
+            mean_profile = np.zeros(width)
+            for profile in profiles:
+                mean_profile[: profile.size] += profile / len(profiles)
+            print(f"  {label}: mean emd {np.mean(errors):>10,.1f}   "
+                  f"error along size axis [{sketch(mean_profile)}]")
+
+    print(
+        "\nReading the sketches: the Hg method's error clusters at the left\n"
+        "(small sizes), the Hc method's spreads further right — Figure 1 of\n"
+        "the paper.  On dense data the Hc method wins overall, which is why\n"
+        "the paper recommends it as the default at every hierarchy level."
+    )
+
+
+if __name__ == "__main__":
+    main()

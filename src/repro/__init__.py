@@ -1,0 +1,105 @@
+"""Differentially private hierarchical count-of-counts histograms.
+
+A from-scratch reproduction of Kuo et al., *Differentially Private
+Hierarchical Count-of-Counts Histograms* (VLDB 2018).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import CountOfCounts, CumulativeEstimator, TopDown
+>>> from repro.hierarchy import from_leaf_histograms
+>>> tree = from_leaf_histograms("US", {"VA": [0, 9, 3], "MD": [0, 5, 2]})
+>>> algo = TopDown(CumulativeEstimator(max_size=8))
+>>> result = algo.run(tree, epsilon=2.0, rng=np.random.default_rng(0))
+>>> result["US"].num_groups   # public group counts are preserved
+19
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.attributes import AttributedTopDown
+from repro.core.consistency import BottomUp, TopDown, mean_consistency
+from repro.core.private_groups import release_group_counts
+from repro.core.uncertainty import (
+    group_size_intervals,
+    node_error_estimate,
+    release_report,
+)
+from repro.core.queries import (
+    gini_coefficient,
+    groups_with_size_at_least,
+    groups_with_size_between,
+    kth_largest_group,
+    kth_smallest_group,
+    mean_group_size,
+    size_quantile,
+    top_share,
+)
+from repro.core.estimators import (
+    BayesianCumulativeEstimator,
+    CumulativeEstimator,
+    DensitySelector,
+    NaiveEstimator,
+    PerLevelSpec,
+    UnattributedEstimator,
+    estimate_public_bound,
+)
+from repro.core.histogram import CountOfCounts
+from repro.core.metrics import earthmover_distance, l1_distance, l2_distance
+from repro.exceptions import (
+    EstimationError,
+    HierarchyError,
+    HistogramError,
+    MatchingError,
+    PrivacyBudgetError,
+    QueryError,
+    ReproError,
+)
+from repro.hierarchy import Hierarchy, Node
+from repro.mechanisms import GeometricMechanism, LaplaceMechanism, PrivacyBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributedTopDown",
+    "BayesianCumulativeEstimator",
+    "BottomUp",
+    "CountOfCounts",
+    "DensitySelector",
+    "CumulativeEstimator",
+    "EstimationError",
+    "GeometricMechanism",
+    "Hierarchy",
+    "HierarchyError",
+    "HistogramError",
+    "LaplaceMechanism",
+    "MatchingError",
+    "NaiveEstimator",
+    "Node",
+    "PerLevelSpec",
+    "PrivacyBudget",
+    "PrivacyBudgetError",
+    "QueryError",
+    "ReproError",
+    "TopDown",
+    "UnattributedEstimator",
+    "earthmover_distance",
+    "estimate_public_bound",
+    "gini_coefficient",
+    "group_size_intervals",
+    "groups_with_size_at_least",
+    "groups_with_size_between",
+    "kth_largest_group",
+    "kth_smallest_group",
+    "l1_distance",
+    "l2_distance",
+    "mean_consistency",
+    "mean_group_size",
+    "node_error_estimate",
+    "release_group_counts",
+    "release_report",
+    "size_quantile",
+    "top_share",
+    "__version__",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows a data publisher needs::
+
+    python -m repro stats    --dataset housing --scale 1e-4
+    python -m repro release  --dataset white --epsilon 1.0 --method hc \\
+                             --out release.json [--csv release.csv]
+    python -m repro query    release.json --node national --quantile 0.5
+    python -m repro sweep    --dataset hawaiian --epsilons 0.2,1.0 --runs 3
+
+``release`` runs the paper's top-down algorithm end to end and serializes
+the result; ``query`` answers order-statistic/range questions against a
+saved release; ``sweep`` reproduces a mini version of the paper's ε sweeps
+with the omniscient floor for context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import PerLevelSpec
+from repro.core.metrics import earthmover_distance
+from repro.core.queries import (
+    gini_coefficient,
+    groups_with_size_at_least,
+    mean_group_size,
+    size_quantile,
+)
+from repro.core.uncertainty import release_report
+from repro.datasets import available_datasets, make_dataset
+from repro.evaluation.omniscient import OmniscientBaseline
+from repro.evaluation.plots import results_chart
+from repro.evaluation.report import format_series
+from repro.evaluation.runner import ExperimentRunner
+from repro.io import export_release_csv, load_release, save_release
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", required=True, choices=available_datasets(),
+        help="workload generator to use",
+    )
+    parser.add_argument("--scale", type=float, default=1e-4,
+                        help="fraction of paper-scale data to generate")
+    parser.add_argument("--levels", type=int, default=2, choices=(2, 3),
+                        help="hierarchy depth")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+
+def _build_tree(args: argparse.Namespace):
+    generator = make_dataset(args.dataset, scale=args.scale, levels=args.levels)
+    return generator.build(seed=args.seed)
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    tree = _build_tree(args)
+    print(f"{args.dataset} (scale={args.scale:g}, seed={args.seed}): {tree}")
+    for key, value in tree.statistics().items():
+        print(f"  {key:>15}: {value:,}")
+    return 0
+
+
+def _command_release(args: argparse.Namespace) -> int:
+    tree = _build_tree(args)
+    spec = PerLevelSpec.from_string(
+        args.method if "x" in args.method.lower() else
+        " x ".join([args.method] * tree.num_levels),
+        max_size=args.max_size,
+    )
+    algo = TopDown(spec)
+    result = algo.run(tree, args.epsilon, rng=np.random.default_rng(args.seed))
+
+    print(f"released {len(result.estimates)} nodes with {spec} at "
+          f"eps={args.epsilon} (ledger: {result.budget.spent:.4f})")
+    for level_index, nodes in enumerate(tree.levels()):
+        errors = [
+            earthmover_distance(node.data, result[node.name]) for node in nodes
+        ]
+        print(f"  level {level_index}: mean emd {np.mean(errors):,.1f} "
+              f"over {len(nodes)} nodes")
+    if args.report:
+        print()
+        print(release_report(result))
+
+    metadata = {
+        "dataset": args.dataset, "scale": args.scale,
+        "epsilon": args.epsilon, "method": str(spec), "seed": args.seed,
+    }
+    if args.out:
+        save_release(result.estimates, args.out, metadata=metadata)
+        print(f"wrote {args.out}")
+    if args.csv:
+        rows = export_release_csv(result.estimates, args.csv)
+        print(f"wrote {args.csv} ({rows} rows)")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    release = load_release(args.release)
+    if args.node not in release:
+        print(f"error: node {args.node!r} not in release "
+              f"(available: {sorted(release)[:8]}...)", file=sys.stderr)
+        return 2
+    histogram = release[args.node]
+    print(f"{args.node}: {histogram}")
+    if args.quantile is not None:
+        print(f"  size quantile p{int(args.quantile * 100)}: "
+              f"{size_quantile(histogram, args.quantile):,}")
+    if args.at_least is not None:
+        print(f"  groups with size >= {args.at_least}: "
+              f"{groups_with_size_at_least(histogram, args.at_least):,}")
+    if args.summary:
+        print(f"  mean group size: {mean_group_size(histogram):.2f}")
+        print(f"  gini coefficient: {gini_coefficient(histogram):.3f}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    tree = _build_tree(args)
+    runner = ExperimentRunner(tree, runs=args.runs, seed=args.seed)
+    epsilons = [float(token) for token in args.epsilons.split(",")]
+    spec = PerLevelSpec.from_string(
+        " x ".join([args.method] * tree.num_levels), max_size=args.max_size
+    )
+    algo = TopDown(spec)
+    sweep = runner.sweep(
+        str(spec),
+        lambda tree_, eps, rng: algo.run(tree_, eps, rng=rng).estimates,
+        epsilons,
+    )
+    print(format_series(f"{args.dataset} ({args.runs} runs)", sweep))
+    print()
+    print(results_chart({str(spec): sweep}, level=0,
+                        title="root-level error vs total eps"))
+    print("\nomniscient level-0 expectation:")
+    for epsilon in epsilons:
+        floor = OmniscientBaseline().expected_level_error(tree, epsilon, 0)
+        print(f"  eps={epsilon:<6g} emd={floor:,.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentially private hierarchical count-of-counts "
+                    "histograms (VLDB 2018 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="dataset summary statistics")
+    _add_dataset_arguments(stats)
+    stats.set_defaults(fn=_command_stats)
+
+    release = commands.add_parser("release", help="run the top-down release")
+    _add_dataset_arguments(release)
+    release.add_argument("--epsilon", type=float, default=1.0)
+    release.add_argument("--method", default="hc",
+                         help="'hc', 'hg', 'naive' or a per-level spec "
+                              "like 'hc x hg'")
+    release.add_argument("--max-size", type=int, default=20_000,
+                         help="public bound K on group size")
+    release.add_argument("--out", help="write release JSON here")
+    release.add_argument("--csv", help="write Summary-File-style CSV here")
+    release.add_argument("--report", action="store_true",
+                         help="print the variance-based accuracy report")
+    release.set_defaults(fn=_command_release)
+
+    query = commands.add_parser("query", help="query a saved release")
+    query.add_argument("release", help="release JSON path")
+    query.add_argument("--node", required=True)
+    query.add_argument("--quantile", type=float)
+    query.add_argument("--at-least", type=int)
+    query.add_argument("--summary", action="store_true",
+                       help="print mean size and gini coefficient")
+    query.set_defaults(fn=_command_query)
+
+    sweep = commands.add_parser("sweep", help="mini epsilon sweep with chart")
+    _add_dataset_arguments(sweep)
+    sweep.add_argument("--epsilons", default="0.2,1.0,2.0")
+    sweep.add_argument("--runs", type=int, default=3)
+    sweep.add_argument("--method", default="hc", choices=("hc", "hg", "naive"))
+    sweep.add_argument("--max-size", type=int, default=20_000)
+    sweep.set_defaults(fn=_command_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution.
+
+- :mod:`repro.core.histogram` — the three histogram representations
+  (count-of-counts ``H``, cumulative ``Hc``, unattributed ``Hg``) and
+  conversions between them.
+- :mod:`repro.core.metrics` — Earth-mover's distance and companions.
+- :mod:`repro.core.estimators` — the single-node estimators of Section 4
+  (naive, Hg, Hc).
+- :mod:`repro.core.consistency` — the hierarchical machinery of Section 5
+  (variance estimation, optimal matching, merging, the top-down algorithm)
+  plus the bottom-up and mean-consistency baselines of the evaluation.
+"""
+
+from repro.core.histogram import (
+    CountOfCounts,
+    cumulative_to_histogram,
+    histogram_to_cumulative,
+    histogram_to_unattributed,
+    unattributed_to_histogram,
+    validate_histogram,
+)
+from repro.core.metrics import earthmover_distance, l1_distance, l2_distance
+
+__all__ = [
+    "CountOfCounts",
+    "cumulative_to_histogram",
+    "earthmover_distance",
+    "histogram_to_cumulative",
+    "histogram_to_unattributed",
+    "l1_distance",
+    "l2_distance",
+    "unattributed_to_histogram",
+    "validate_histogram",
+]

@@ -1,0 +1,35 @@
+"""Hierarchical consistency (Section 5 of the paper).
+
+- :mod:`~repro.core.consistency.variance` — per-group variance estimation
+  for the Hg and Hc methods (Section 5.1).
+- :mod:`~repro.core.consistency.matching` — the O(G log G) optimal bipartite
+  matching between a parent's groups and its children's groups (Section 5.2,
+  Algorithm 2).
+- :mod:`~repro.core.consistency.merge` — reconciliation of the two size
+  estimates each matched group carries (Section 5.3).
+- :mod:`~repro.core.consistency.topdown` — Algorithm 1, the full top-down
+  consistency pipeline.
+- :mod:`~repro.core.consistency.bottomup` — the bottom-up baseline of
+  Section 6.2.2.
+- :mod:`~repro.core.consistency.mean_consistency` — the ordinary-histogram
+  mean-consistency algorithm of Hay et al., included to demonstrate why it
+  fails the problem's requirements (negative and fractional cells).
+"""
+
+from repro.core.consistency.bottomup import BottomUp
+from repro.core.consistency.matching import MatchedGroups, match_parent_to_children
+from repro.core.consistency.merge import merge_matched_estimates
+from repro.core.consistency.mean_consistency import mean_consistency
+from repro.core.consistency.topdown import ConsistentEstimates, TopDown
+from repro.core.consistency.variance import group_variances
+
+__all__ = [
+    "BottomUp",
+    "ConsistentEstimates",
+    "MatchedGroups",
+    "TopDown",
+    "group_variances",
+    "match_parent_to_children",
+    "mean_consistency",
+    "merge_matched_estimates",
+]

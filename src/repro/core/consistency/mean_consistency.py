@@ -1,0 +1,132 @@
+"""Mean-consistency for ordinary hierarchical histograms (Hay et al. 2010).
+
+Section 5 of the paper explains why the standard consistency algorithm for
+hierarchies of ordinary histograms does *not* solve the count-of-counts
+problem: it returns real-valued — and, after its subtraction step, possibly
+negative — cells, cannot preserve the public per-node group counts, and
+needs cell variances that the isotonic post-processing makes unavailable.
+
+We implement it anyway (cellwise over the padded histograms, assuming equal
+variances within a level) for two reasons: the A1 ablation benchmark
+demonstrates the negativity/fractionality failure concretely, and tests
+verify its least-squares optimality on small instances against a direct
+solver — confirming our implementation is a fair representative of the
+technique the paper argues against.
+
+The algorithm is the classical two-sweep least-squares solver for the
+constraint "parent = sum of children" with uniform fanout:
+
+* **Upward sweep** — replace each internal node's noisy value with the
+  minimum-variance combination of its own value and its children's sums::
+
+      z'[v] = ((k^h − k^{h−1}) z[v] + (k^{h−1} − 1) Σ_c z'[c]) / (k^h − 1)
+
+  where k is the fanout and h the height of v (leaves have h = 1 and
+  z'[leaf] = z[leaf]; e.g. the root of a one-level star has h = 2, giving
+  the closed-form weights k/(k+1) and 1/(k+1)).
+* **Downward sweep** — distribute each parent's residual equally::
+
+      h[v] = z'[v] + (h[parent] − Σ_{siblings of v incl. v} z'[s]) / k
+
+For non-uniform fanout we use each node's own fanout and height, the
+standard generalization (exact when variances are equal within each level
+and the tree is regular; a good approximation otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.histogram import pad_histogram
+from repro.exceptions import HierarchyError
+from repro.hierarchy.tree import Hierarchy, Node
+
+
+def _height(node: Node, cache: Dict[int, int]) -> int:
+    """Height in Hay et al.'s convention: leaves are at height 1."""
+    key = id(node)
+    if key not in cache:
+        cache[key] = (
+            1 if node.is_leaf
+            else 1 + max(_height(child, cache) for child in node.children)
+        )
+    return cache[key]
+
+
+def mean_consistency(
+    hierarchy: Hierarchy, noisy: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Least-squares consistency for cellwise hierarchical histograms.
+
+    Parameters
+    ----------
+    hierarchy:
+        The region tree (only its structure is used).
+    noisy:
+        Noisy histogram per node name.  Arrays are right-padded to a common
+        length internally.
+
+    Returns
+    -------
+    Dict of real-valued arrays satisfying parent = sum-of-children exactly.
+    Values may be fractional and **negative** — that is the point of the A1
+    experiment.
+    """
+    names = [node.name for node in hierarchy.nodes()]
+    missing = [name for name in names if name not in noisy]
+    if missing:
+        raise HierarchyError(f"noisy estimates missing for nodes: {missing}")
+
+    width = max(np.asarray(noisy[name]).size for name in names)
+    z: Dict[str, np.ndarray] = {
+        name: pad_histogram(
+            np.asarray(noisy[name], dtype=np.float64), width
+        ).astype(np.float64)
+        for name in names
+    }
+
+    heights: Dict[int, int] = {}
+
+    # Upward sweep (leaves to root).
+    adjusted: Dict[str, np.ndarray] = {}
+    for nodes in reversed(list(hierarchy.levels())):
+        for node in nodes:
+            if node.is_leaf:
+                adjusted[node.name] = z[node.name]
+                continue
+            k = len(node.children)
+            h = _height(node, heights)
+            child_sum = np.sum(
+                [adjusted[c.name] for c in node.children], axis=0
+            )
+            if k == 1:
+                # Degenerate fanout: parent and child measure the same
+                # quantity; average them.
+                adjusted[node.name] = 0.5 * (z[node.name] + child_sum)
+                continue
+            k_h = float(k) ** h
+            k_h1 = float(k) ** (h - 1)
+            alpha = (k_h - k_h1) / (k_h - 1.0)
+            adjusted[node.name] = (
+                alpha * z[node.name] + (1.0 - alpha) * child_sum
+            )
+
+    # Downward sweep (root to leaves).
+    consistent: Dict[str, np.ndarray] = {
+        hierarchy.root.name: adjusted[hierarchy.root.name]
+    }
+    for nodes in hierarchy.levels():
+        for parent in nodes:
+            if parent.is_leaf:
+                continue
+            k = len(parent.children)
+            sibling_sum = np.sum(
+                [adjusted[c.name] for c in parent.children], axis=0
+            )
+            residual = (consistent[parent.name] - sibling_sum) / float(k)
+            for child in parent.children:
+                consistent[child.name] = adjusted[child.name] + residual
+
+    return consistent

@@ -1,0 +1,216 @@
+"""The top-down hierarchical consistency algorithm (Section 5, Algorithm 1).
+
+Pipeline:
+
+1. **Estimate** — split the budget evenly across the L+1 levels (sequential
+   composition) and run a single-node estimator at every node (parallel
+   composition within a level keeps the per-level charge at ε/(L+1)).
+2. **Variance** — per-group variance estimates in the Hg view (Section 5.1).
+3. **Match & merge, root to leaves** — for every parent, Algorithm 2 matches
+   its (already merged) groups to its children's groups; each child group's
+   two size estimates are combined by inverse-variance weighting
+   (Section 5.3); merged children become the parents of the next level.
+4. **Back-substitute** — leaves' merged Hg views become final histograms;
+   every internal histogram is recomputed as the sum of its children.
+
+The output therefore satisfies all four desiderata of Problem 1 by
+construction: integrality and nonnegativity (sizes are rounded nonnegative
+integers), group-size preservation (each node keeps exactly its public G
+groups), and consistency (internal nodes are literal sums of their
+children).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.consistency.matching import match_parent_to_children
+from repro.core.consistency.merge import STRATEGIES, merge_matched_estimates
+from repro.core.estimators.base import Estimator, NodeEstimate
+from repro.core.estimators.selection import PerLevelSpec
+from repro.core.histogram import CountOfCounts, pad_histogram
+from repro.exceptions import EstimationError
+from repro.hierarchy.tree import Hierarchy, Node
+from repro.mechanisms.budget import PrivacyBudget
+
+
+@dataclass
+class ConsistentEstimates:
+    """Output of the top-down algorithm.
+
+    Attributes
+    ----------
+    estimates:
+        Final histogram per node name (all four desiderata hold).
+    initial_estimates:
+        The independent single-node estimates from step 1, kept for
+        diagnostics and the merging experiments.
+    budget:
+        The privacy ledger; ``budget.spent`` equals the configured ε.
+    """
+
+    estimates: Dict[str, CountOfCounts]
+    initial_estimates: Dict[str, NodeEstimate]
+    budget: PrivacyBudget
+
+    def __getitem__(self, name: str) -> CountOfCounts:
+        return self.estimates[name]
+
+
+@dataclass
+class _NodeState:
+    """Mutable per-node working state threaded through the top-down pass."""
+
+    sizes: np.ndarray  # current (merged) Hg view, sorted int64
+    variances: np.ndarray  # aligned per-group variances
+
+
+class TopDown:
+    """Algorithm 1: differentially private, consistent hierarchy estimates.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`PerLevelSpec` (or a single estimator applied uniformly —
+        the hierarchy's depth is read at run time).
+    merge_strategy:
+        ``"weighted"`` (default) or ``"naive"`` (Section 5.3 / Figure 4).
+    level_weights:
+        Optional per-level budget shares (positive, any scale; normalized
+        internally).  The paper's Algorithm 1 uses the uniform split
+        ε/(L+1) — the default — but the split is a free design choice
+        under sequential composition, and the A6 ablation benchmark
+        explores alternatives (leaf-heavy, root-heavy).  Must match the
+        hierarchy depth at run time.
+
+    Examples
+    --------
+    >>> from repro.hierarchy import from_leaf_histograms
+    >>> from repro.core.estimators import CumulativeEstimator
+    >>> tree = from_leaf_histograms("US", {"VA": [0, 5, 3], "MD": [0, 2, 4]})
+    >>> algo = TopDown(CumulativeEstimator(max_size=10))
+    >>> result = algo.run(tree, epsilon=10.0, rng=np.random.default_rng(0))
+    >>> result["US"].num_groups
+    14
+    """
+
+    def __init__(
+        self,
+        spec: Union[PerLevelSpec, Estimator],
+        merge_strategy: str = "weighted",
+        level_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        if merge_strategy not in STRATEGIES:
+            raise EstimationError(
+                f"unknown merge strategy {merge_strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
+        self._spec = spec
+        self.merge_strategy = merge_strategy
+        if level_weights is not None:
+            level_weights = np.asarray(level_weights, dtype=np.float64)
+            if level_weights.ndim != 1 or level_weights.size == 0:
+                raise EstimationError("level_weights must be a nonempty 1-d array")
+            if np.any(level_weights <= 0) or not np.all(np.isfinite(level_weights)):
+                raise EstimationError("level_weights must be positive and finite")
+        self.level_weights = level_weights
+
+    def _per_level_budgets(self, epsilon: float, levels: int) -> np.ndarray:
+        if self.level_weights is None:
+            return np.full(levels, epsilon / levels)
+        if self.level_weights.size != levels:
+            raise EstimationError(
+                f"level_weights covers {self.level_weights.size} levels but "
+                f"the hierarchy has {levels}"
+            )
+        return epsilon * self.level_weights / self.level_weights.sum()
+
+    def _resolve_spec(self, levels: int) -> PerLevelSpec:
+        if isinstance(self._spec, PerLevelSpec):
+            if self._spec.num_levels != levels:
+                raise EstimationError(
+                    f"spec covers {self._spec.num_levels} levels but the "
+                    f"hierarchy has {levels}"
+                )
+            return self._spec
+        return PerLevelSpec.uniform(self._spec, levels)
+
+    def run(
+        self,
+        hierarchy: Hierarchy,
+        epsilon: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ConsistentEstimates:
+        """Release consistent estimates for every node of ``hierarchy``."""
+        if epsilon <= 0 or not np.isfinite(epsilon):
+            raise EstimationError(f"epsilon must be positive, got {epsilon!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+
+        levels = hierarchy.num_levels
+        spec = self._resolve_spec(levels)
+        budget = PrivacyBudget(epsilon)
+        level_budgets = self._per_level_budgets(epsilon, levels)
+
+        # -- Step 1+2: independent estimates with variances at every node.
+        initial: Dict[str, NodeEstimate] = {}
+        for level_index, nodes in enumerate(hierarchy.levels()):
+            estimator = spec.for_level(level_index)
+            level_epsilon = float(level_budgets[level_index])
+            for node in nodes:
+                budget.spend(
+                    level_epsilon, scope=node.name,
+                    parallel_group=f"level{level_index}",
+                )
+                initial[node.name] = estimator.estimate(
+                    node.data, level_epsilon, rng=rng
+                )
+
+        # -- Step 3: match and merge from the root downward.
+        state: Dict[str, _NodeState] = {
+            hierarchy.root.name: _NodeState(
+                sizes=initial[hierarchy.root.name].unattributed.copy(),
+                variances=initial[hierarchy.root.name].variances.copy(),
+            )
+        }
+        for nodes in hierarchy.levels():
+            for parent in nodes:
+                if parent.is_leaf:
+                    continue
+                parent_state = state[parent.name]
+                children = parent.children
+                matched = match_parent_to_children(
+                    parent_state.sizes,
+                    parent_state.variances,
+                    [initial[c.name].unattributed for c in children],
+                    [initial[c.name].variances for c in children],
+                )
+                for index, child in enumerate(children):
+                    sizes, variances = merge_matched_estimates(
+                        initial[child.name].unattributed,
+                        initial[child.name].variances,
+                        matched.parent_sizes[index],
+                        matched.parent_variances[index],
+                        strategy=self.merge_strategy,
+                    )
+                    state[child.name] = _NodeState(sizes, variances)
+
+        # -- Step 4: leaves become final; back-substitute upward.
+        estimates: Dict[str, CountOfCounts] = {}
+        for nodes in reversed(list(hierarchy.levels())):
+            for node in nodes:
+                if node.is_leaf:
+                    estimates[node.name] = CountOfCounts.from_unattributed(
+                        state[node.name].sizes,
+                    ) if state[node.name].sizes.size else CountOfCounts([0])
+                else:
+                    total = estimates[node.children[0].name]
+                    for child in node.children[1:]:
+                        total = total + estimates[child.name]
+                    estimates[node.name] = total
+
+        return ConsistentEstimates(
+            estimates=estimates, initial_estimates=initial, budget=budget
+        )

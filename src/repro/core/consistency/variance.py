@@ -1,0 +1,82 @@
+"""Per-group variance estimation (Section 5.1).
+
+After the single-node step, every node has an estimate ``Ĥg`` of its sorted
+group sizes.  The merging step needs an estimate of Var(Ĥg[i]) for every i.
+Neither estimator admits an exact variance (isotonic regression has no
+closed form), so the paper derives usable approximations:
+
+**Hg method** (Section 5.1.1).  L2 isotonic regression averages the noisy
+values within each pooled block; noise has (Laplace-approximated) variance
+2/ε², so a block of size S yields variance ``2 / (S ε²)``.  The blocks are
+recoverable from the solution itself: they are the maximal runs of equal
+values, i.e. S_i = #{j : Ĥg[j] = Ĥg[i]}.
+
+**Hc method** (Section 5.1.2).  Each cumulative cell carries variance
+(over-estimated as) 2/ε²; a count ``Ĥ[j] = Ĥc[j] − Ĥc[j−1]`` therefore has
+variance 4/ε², and spreading that across the groups estimated to have size j
+gives per-group variance ``4 / (ε² · #groups of that size)``.
+
+Both formulas reduce to a constant divided by the multiplicity of the
+group's size in ``Ĥg``, differing only in the numerator (2 vs 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+#: numerator of the variance formula per method tag
+_NUMERATORS = {"hg": 2.0, "hc": 4.0, "naive": 4.0}
+
+
+def size_multiplicities(unattributed: np.ndarray) -> np.ndarray:
+    """For each entry of a sorted ``Hg`` array, how many entries share its value.
+
+    Examples
+    --------
+    >>> list(size_multiplicities(np.array([1, 1, 1, 4])))
+    [3, 3, 3, 1]
+    """
+    arr = np.asarray(unattributed)
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(np.diff(arr) < 0):
+        raise EstimationError("unattributed histogram must be sorted")
+    boundaries = np.flatnonzero(np.diff(arr) != 0)
+    starts = np.concatenate([[0], boundaries + 1])
+    ends = np.concatenate([boundaries + 1, [n]])
+    out = np.empty(n, dtype=np.int64)
+    for start, end in zip(starts, ends):
+        out[start:end] = end - start
+    return out
+
+
+def group_variances(
+    unattributed: np.ndarray, epsilon: float, method: str
+) -> np.ndarray:
+    """Estimated Var(Ĥg[i]) for every group (Algorithm 1, line 7).
+
+    Parameters
+    ----------
+    unattributed:
+        The estimate's Hg view (sorted group sizes).
+    epsilon:
+        Privacy budget the estimate was produced with (the per-level ε₁).
+    method:
+        ``"hg"`` or ``"hc"`` (``"naive"`` is accepted and treated like
+        ``"hc"`` so the naive baseline can flow through the same pipeline).
+
+    Returns
+    -------
+    Positive float array aligned with ``unattributed``.
+    """
+    if method not in _NUMERATORS:
+        raise EstimationError(
+            f"unknown method {method!r}; expected one of {sorted(_NUMERATORS)}"
+        )
+    if epsilon <= 0:
+        raise EstimationError(f"epsilon must be positive, got {epsilon}")
+    multiplicities = size_multiplicities(np.asarray(unattributed))
+    return _NUMERATORS[method] / (multiplicities.astype(np.float64) * epsilon**2)

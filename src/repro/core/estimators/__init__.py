@@ -1,0 +1,38 @@
+"""Single-node count-of-counts estimators (Section 4 of the paper).
+
+Three strategies produce a differentially private estimate ``Ĥ`` of one
+node's count-of-counts histogram:
+
+- :class:`NaiveEstimator` — noise directly on ``H`` (Section 4.1); shown in
+  the evaluation to be orders of magnitude worse, kept as a baseline.
+- :class:`UnattributedEstimator` — the ``Hg`` method (Section 4.2): noise on
+  the sorted group-size vector followed by L2 isotonic regression.
+- :class:`CumulativeEstimator` — the ``Hc`` method (Section 4.3): noise on
+  the cumulative histogram followed by endpoint-constrained isotonic
+  regression (L1 by default, which the paper found more accurate).
+
+:func:`estimate_public_bound` implements footnote 6's cheap estimate of the
+public maximum group size K.  :class:`PerLevelSpec` assigns an estimator to
+every hierarchy level (the paper's ``Hc × Hg × Hc`` notation).
+"""
+
+from repro.core.estimators.base import Estimator, NodeEstimate
+from repro.core.estimators.bayes import BayesianCumulativeEstimator
+from repro.core.estimators.cumulative import CumulativeEstimator
+from repro.core.estimators.naive import NaiveEstimator
+from repro.core.estimators.public_bound import estimate_public_bound
+from repro.core.estimators.selection import PerLevelSpec
+from repro.core.estimators.selector import DensitySelector
+from repro.core.estimators.unattributed import UnattributedEstimator
+
+__all__ = [
+    "BayesianCumulativeEstimator",
+    "CumulativeEstimator",
+    "DensitySelector",
+    "Estimator",
+    "NaiveEstimator",
+    "NodeEstimate",
+    "PerLevelSpec",
+    "UnattributedEstimator",
+    "estimate_public_bound",
+]

@@ -1,0 +1,88 @@
+"""Estimator interface shared by the three strategies of Section 4.
+
+Every estimator turns a node's true :class:`CountOfCounts` into a
+:class:`NodeEstimate`: a differentially private histogram satisfying the
+single-node desiderata (integrality, nonnegativity, group-size preservation)
+plus per-group variance estimates in the ``Hg`` view, which the hierarchical
+consistency step (Section 5) consumes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import EstimationError
+
+
+@dataclass(frozen=True)
+class NodeEstimate:
+    """A private estimate of one node's histogram plus merge metadata.
+
+    Attributes
+    ----------
+    estimate:
+        The private count-of-counts histogram Ĥ (integral, nonnegative,
+        summing to the node's public group count G).
+    epsilon:
+        Privacy budget spent producing the estimate.
+    method:
+        Short tag identifying the strategy (``"hg"``, ``"hc"``, ``"naive"``);
+        determines the variance formula of Section 5.1.
+    variances:
+        Per-group variance estimates aligned with ``estimate.unattributed``
+        (the i-th entry is the estimated variance of the size of the i-th
+        smallest group).
+    """
+
+    estimate: CountOfCounts
+    epsilon: float
+    method: str
+    variances: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.variances.shape != (self.estimate.num_groups,):
+            raise EstimationError(
+                f"variances shape {self.variances.shape} does not match the "
+                f"number of groups {self.estimate.num_groups}"
+            )
+        if np.any(self.variances <= 0):
+            raise EstimationError("group variances must be positive")
+
+    @property
+    def unattributed(self) -> np.ndarray:
+        """The Hg view of the estimate (sorted group sizes)."""
+        return self.estimate.unattributed
+
+
+class Estimator(abc.ABC):
+    """A differentially private single-node count-of-counts estimator."""
+
+    #: Short method tag (set by subclasses): "hg", "hc" or "naive".
+    method: str = "base"
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        data: CountOfCounts,
+        epsilon: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> NodeEstimate:
+        """Return an ε-differentially private estimate of ``data``."""
+
+    @staticmethod
+    def _check_epsilon(epsilon: float) -> float:
+        if not np.isfinite(epsilon) or epsilon <= 0:
+            raise EstimationError(f"epsilon must be positive, got {epsilon!r}")
+        return float(epsilon)
+
+    @staticmethod
+    def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+        return rng if rng is not None else np.random.default_rng()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

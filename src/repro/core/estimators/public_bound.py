@@ -1,0 +1,51 @@
+"""Estimating the public group-size bound K (Section 4.3, footnote 6).
+
+The Hc and naive methods need a public upper bound K on group size.  When no
+prior bound is known, the paper sets aside a sliver of privacy budget
+(e.g. ε = 1e-4): release the maximum group size with Laplace(1/ε) noise,
+then add five standard deviations so that ``P(K >= true max) > 0.9995``.
+The Hc method is insensitive to K being an order of magnitude too large, so
+this crude estimate suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import EstimationError
+from repro.mechanisms.laplace import LaplaceMechanism
+
+#: Sensitivity of the maximum group size: one entity changes it by at most 1.
+SENSITIVITY = 1.0
+
+#: Number of noise standard deviations added for the one-sided guarantee.
+SAFETY_STDS = 5.0
+
+
+def estimate_public_bound(
+    data: CountOfCounts,
+    epsilon: float = 1e-4,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Return a high-probability public upper bound K on the max group size.
+
+    ``K = max_size + Laplace(1/ε) + 5·√2/ε``, floored at 1 so the result is
+    always a usable bound.
+
+    Examples
+    --------
+    >>> bound = estimate_public_bound(CountOfCounts([0, 0, 5]),
+    ...                               epsilon=1.0,
+    ...                               rng=np.random.default_rng(0))
+    >>> bound >= 2
+    True
+    """
+    if epsilon <= 0:
+        raise EstimationError(f"epsilon must be positive, got {epsilon}")
+    mechanism = LaplaceMechanism(epsilon, SENSITIVITY, rng=rng)
+    noisy_max = float(mechanism.randomise(float(data.max_size)))
+    bound = noisy_max + SAFETY_STDS * mechanism.standard_deviation
+    return max(1, int(np.ceil(bound)))

@@ -1,0 +1,309 @@
+"""Count-of-counts histograms and their two companion representations.
+
+Section 3 of the paper works with three interchangeable views of the same
+group-size data for a hierarchy node τ:
+
+``H`` (count-of-counts)
+    ``H[i]`` is the number of groups of size i.  Additive across sibling
+    nodes, which is what makes hierarchical consistency expressible.
+``Hc`` (cumulative)
+    ``Hc[i] = sum_{j<=i} H[j]``, the number of groups of size <= i.  Always
+    nondecreasing and ends at the public group count G.  The Hc estimator
+    adds noise in this view because EMD is exactly the L1 distance between
+    cumulative histograms (Lemma 1).
+``Hg`` (unattributed)
+    ``Hg[i]`` is the size of the i-th smallest group; length G,
+    nondecreasing.  The matching step of the consistency algorithm operates
+    in this view.
+
+This module provides validated conversions between all three, plus
+:class:`CountOfCounts`, a small immutable wrapper used by the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import HistogramError
+
+ArrayLike = Union[np.ndarray, list, tuple]
+
+
+def _as_int_array(values: ArrayLike, name: str) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise HistogramError(f"{name} must be 1-d, got shape {arr.shape}")
+    if arr.size == 0:
+        raise HistogramError(f"{name} must be nonempty")
+    if not np.issubdtype(arr.dtype, np.number):
+        raise HistogramError(f"{name} must be numeric, got dtype {arr.dtype}")
+    as_int = np.rint(np.asarray(arr, dtype=np.float64)).astype(np.int64)
+    if not np.array_equal(as_int, arr):
+        raise HistogramError(f"{name} must be integer-valued")
+    return as_int
+
+
+def validate_histogram(histogram: ArrayLike) -> np.ndarray:
+    """Check that ``histogram`` is a valid count-of-counts array.
+
+    Valid means: 1-d, nonempty, integer-valued and nonnegative.  Returns the
+    validated int64 array.
+    """
+    arr = _as_int_array(histogram, "count-of-counts histogram")
+    if np.any(arr < 0):
+        raise HistogramError("count-of-counts histogram has negative entries")
+    return arr
+
+
+def validate_cumulative(cumulative: ArrayLike) -> np.ndarray:
+    """Check that ``cumulative`` is a valid cumulative histogram ``Hc``."""
+    arr = _as_int_array(cumulative, "cumulative histogram")
+    if arr[0] < 0:
+        raise HistogramError("cumulative histogram starts below zero")
+    if np.any(np.diff(arr) < 0):
+        raise HistogramError("cumulative histogram must be nondecreasing")
+    return arr
+
+
+def validate_unattributed(unattributed: ArrayLike) -> np.ndarray:
+    """Check that ``unattributed`` is a valid unattributed histogram ``Hg``.
+
+    ``Hg`` may be empty (a node with zero groups); entries must be
+    nonnegative integers in nondecreasing order.
+    """
+    arr = np.asarray(unattributed)
+    if arr.ndim != 1:
+        raise HistogramError(f"unattributed histogram must be 1-d, got {arr.shape}")
+    if arr.size == 0:
+        return arr.astype(np.int64)
+    arr = _as_int_array(arr, "unattributed histogram")
+    if np.any(arr < 0):
+        raise HistogramError("unattributed histogram has negative entries")
+    if np.any(np.diff(arr) < 0):
+        raise HistogramError("unattributed histogram must be nondecreasing")
+    return arr
+
+
+def histogram_to_cumulative(histogram: ArrayLike) -> np.ndarray:
+    """``H -> Hc``.
+
+    Examples
+    --------
+    >>> list(histogram_to_cumulative([0, 2, 1, 2]))
+    [0, 2, 3, 5]
+    """
+    return np.cumsum(validate_histogram(histogram)).astype(np.int64)
+
+
+def cumulative_to_histogram(cumulative: ArrayLike) -> np.ndarray:
+    """``Hc -> H`` (first differences).
+
+    Examples
+    --------
+    >>> list(cumulative_to_histogram([0, 2, 3, 5]))
+    [0, 2, 1, 2]
+    """
+    arr = validate_cumulative(cumulative)
+    return np.diff(arr, prepend=0).astype(np.int64)
+
+
+def histogram_to_unattributed(histogram: ArrayLike) -> np.ndarray:
+    """``H -> Hg``: expand counts into a sorted vector of group sizes.
+
+    Examples
+    --------
+    >>> list(histogram_to_unattributed([0, 2, 1, 2]))
+    [1, 1, 2, 3, 3]
+    """
+    arr = validate_histogram(histogram)
+    return np.repeat(np.arange(arr.size, dtype=np.int64), arr)
+
+
+def unattributed_to_histogram(
+    unattributed: ArrayLike, length: Optional[int] = None
+) -> np.ndarray:
+    """``Hg -> H``: count how many groups have each size.
+
+    Parameters
+    ----------
+    unattributed:
+        Sorted group sizes.
+    length:
+        Optional minimum output length (zero padded), for aligning
+        histograms across nodes.
+
+    Examples
+    --------
+    >>> list(unattributed_to_histogram([1, 1, 2, 3, 3]))
+    [0, 2, 1, 2]
+    """
+    arr = validate_unattributed(unattributed)
+    minlength = 1 if length is None else int(length)
+    if arr.size == 0:
+        return np.zeros(minlength, dtype=np.int64)
+    return np.bincount(arr, minlength=minlength).astype(np.int64)
+
+
+def pad_histogram(histogram: np.ndarray, length: int) -> np.ndarray:
+    """Zero-pad ``histogram`` on the right to ``length`` cells."""
+    histogram = np.asarray(histogram)
+    if histogram.size > length:
+        raise HistogramError(
+            f"histogram of length {histogram.size} cannot be padded to {length}"
+        )
+    if histogram.size == length:
+        return histogram
+    return np.concatenate(
+        [histogram, np.zeros(length - histogram.size, dtype=histogram.dtype)]
+    )
+
+
+def truncate_histogram(histogram: ArrayLike, max_size: int) -> np.ndarray:
+    """Clamp group sizes above ``max_size`` down to ``max_size`` (Section 4.1).
+
+    Every group larger than the public bound K is treated as having exactly
+    K entities; the output has length ``max_size + 1``.  If the histogram is
+    shorter, it is zero-padded to that length.
+    """
+    arr = validate_histogram(histogram)
+    if max_size < 1:
+        raise HistogramError(f"max_size must be >= 1, got {max_size}")
+    n = max_size + 1
+    if arr.size <= n:
+        return pad_histogram(arr, n)
+    out = arr[:n].copy()
+    out[max_size] += arr[n:].sum()
+    return out
+
+
+class CountOfCounts:
+    """Immutable count-of-counts histogram with cached representations.
+
+    This is the user-facing value type of the library: estimators accept and
+    return ``CountOfCounts`` objects, which expose all three views of
+    Section 3 plus the public group count ``G`` and total entity count.
+
+    Examples
+    --------
+    >>> h = CountOfCounts([0, 2, 1, 2])
+    >>> h.num_groups
+    5
+    >>> h.num_entities
+    10
+    >>> list(h.cumulative)
+    [0, 2, 3, 5]
+    >>> list(h.unattributed)
+    [1, 1, 2, 3, 3]
+    """
+
+    __slots__ = ("_histogram", "_cumulative", "_unattributed")
+
+    def __init__(self, histogram: ArrayLike) -> None:
+        self._histogram = validate_histogram(histogram)
+        self._histogram.setflags(write=False)
+        self._cumulative: Optional[np.ndarray] = None
+        self._unattributed: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_sizes(cls, sizes: ArrayLike, length: Optional[int] = None) -> "CountOfCounts":
+        """Build from raw (not necessarily sorted) group sizes."""
+        arr = np.sort(np.asarray(sizes))
+        return cls(unattributed_to_histogram(arr, length=length))
+
+    @classmethod
+    def from_cumulative(cls, cumulative: ArrayLike) -> "CountOfCounts":
+        """Build from an ``Hc`` array."""
+        return cls(cumulative_to_histogram(cumulative))
+
+    @classmethod
+    def from_unattributed(
+        cls, unattributed: ArrayLike, length: Optional[int] = None
+    ) -> "CountOfCounts":
+        """Build from an ``Hg`` array (sorted group sizes)."""
+        return cls(unattributed_to_histogram(unattributed, length=length))
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def histogram(self) -> np.ndarray:
+        """The ``H`` view (read-only array)."""
+        return self._histogram
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        """The ``Hc`` view (cached)."""
+        if self._cumulative is None:
+            self._cumulative = histogram_to_cumulative(self._histogram)
+            self._cumulative.setflags(write=False)
+        return self._cumulative
+
+    @property
+    def unattributed(self) -> np.ndarray:
+        """The ``Hg`` view (cached)."""
+        if self._unattributed is None:
+            self._unattributed = histogram_to_unattributed(self._histogram)
+            self._unattributed.setflags(write=False)
+        return self._unattributed
+
+    # -- scalar summaries ------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        """G, the (public) number of groups."""
+        return int(self._histogram.sum())
+
+    @property
+    def num_entities(self) -> int:
+        """Total number of entities across all groups."""
+        sizes = np.arange(self._histogram.size, dtype=np.int64)
+        return int((sizes * self._histogram).sum())
+
+    @property
+    def max_size(self) -> int:
+        """Largest group size with a nonzero count (0 for empty data)."""
+        nonzero = np.nonzero(self._histogram)[0]
+        return int(nonzero[-1]) if nonzero.size else 0
+
+    @property
+    def num_distinct_sizes(self) -> int:
+        """Number of distinct group sizes present (used by the omniscient
+        baseline's error formula in Section 6.2)."""
+        return int(np.count_nonzero(self._histogram))
+
+    def padded(self, length: int) -> "CountOfCounts":
+        """Return a copy zero-padded to ``length`` cells."""
+        return CountOfCounts(pad_histogram(self._histogram, length))
+
+    def truncated(self, max_size: int) -> "CountOfCounts":
+        """Return a copy with sizes clamped to ``max_size`` (Section 4.1)."""
+        return CountOfCounts(truncate_histogram(self._histogram, max_size))
+
+    # -- dunder ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._histogram.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountOfCounts):
+            return NotImplemented
+        a, b = self._histogram, other._histogram
+        n = max(a.size, b.size)
+        return bool(np.array_equal(pad_histogram(a, n), pad_histogram(b, n)))
+
+    def __hash__(self) -> int:
+        trimmed = np.trim_zeros(self._histogram, trim="b")
+        return hash(trimmed.tobytes())
+
+    def __add__(self, other: "CountOfCounts") -> "CountOfCounts":
+        """Cellwise sum — count-of-counts histograms are additive (§1)."""
+        if not isinstance(other, CountOfCounts):
+            return NotImplemented
+        n = max(len(self), len(other))
+        return CountOfCounts(
+            pad_histogram(self._histogram, n) + pad_histogram(other._histogram, n)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CountOfCounts(groups={self.num_groups}, "
+            f"entities={self.num_entities}, max_size={self.max_size})"
+        )

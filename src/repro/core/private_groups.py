@@ -1,0 +1,146 @@
+"""Private release of the Groups table (Section 3, footnote 5).
+
+The paper treats the per-region *number of groups* as public, matching
+Census practice.  Footnote 5 sketches the extension when it must be
+private:
+
+    "The most straightforward approach is to first estimate the number of
+    groups in each region by adding Laplace noise to each count.  These
+    estimates can be made consistent by solving a nonnegative least squares
+    optimization problem.  Since there is only one number per region, it is
+    a relatively small problem that can be solved with off-the-shelf
+    optimizers.  Once the counts are generated they can be used with our
+    algorithm."
+
+This module implements exactly that:
+
+1. add double-geometric noise (integer-valued, like the rest of the
+   library) to every node's group count, splitting the budget across
+   levels (sequential composition; parallel within a level);
+2. solve the hierarchical nonnegative least squares problem.  Because the
+   consistency constraint "parent = sum of children" makes internal counts
+   linear functions of the leaf counts, the problem reduces to
+   ``min ||A x - noisy||²`` over leaf counts ``x >= 0``, where A is the
+   node-by-leaf ancestry matrix — solved exactly with scipy's NNLS;
+3. round leaf counts to integers (largest remainder against the NNLS total)
+   and back-substitute sums upward, so the output is integral, nonnegative
+   and consistent.
+
+The released counts can then be fed to the count-of-counts machinery as the
+"public" group counts (the composition spends ``epsilon_groups +
+epsilon_histograms`` in total).
+
+Note on adjacency: noising group counts protects the *presence of a group*,
+which is a different (stronger) adjacency relation than the entity-level
+one used elsewhere; the sensitivity of each level's count vector under
+add/remove-one-group is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.exceptions import EstimationError
+from repro.hierarchy.tree import Hierarchy, Node
+from repro.isotonic.rounding import largest_remainder_round
+from repro.mechanisms.budget import PrivacyBudget
+from repro.mechanisms.geometric import double_geometric
+
+
+@dataclass
+class PrivateGroupCounts:
+    """Output of :func:`release_group_counts`.
+
+    Attributes
+    ----------
+    counts:
+        Consistent nonnegative integer group count per node name.
+    noisy:
+        The raw noisy measurements (diagnostics).
+    budget:
+        Privacy ledger for the release.
+    """
+
+    counts: Dict[str, int]
+    noisy: Dict[str, float]
+    budget: PrivacyBudget
+
+    def __getitem__(self, name: str) -> int:
+        return self.counts[name]
+
+
+def _ancestry_matrix(hierarchy: Hierarchy) -> tuple:
+    """Node-by-leaf 0/1 matrix: A[i, j] = leaf j lies under node i."""
+    leaves = hierarchy.leaves()
+    leaf_index = {id(leaf): j for j, leaf in enumerate(leaves)}
+    nodes = list(hierarchy.nodes())
+    matrix = np.zeros((len(nodes), len(leaves)), dtype=np.float64)
+
+    def mark(node: Node, row: int) -> None:
+        if node.is_leaf:
+            matrix[row, leaf_index[id(node)]] = 1.0
+            return
+        for child in node.children:
+            mark(child, row)
+
+    for row, node in enumerate(nodes):
+        mark(node, row)
+    return nodes, leaves, matrix
+
+
+def release_group_counts(
+    hierarchy: Hierarchy,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> PrivateGroupCounts:
+    """Release consistent private group counts for every node.
+
+    Examples
+    --------
+    >>> from repro.hierarchy import from_leaf_histograms
+    >>> tree = from_leaf_histograms("US", {"VA": [0, 30], "MD": [0, 20]})
+    >>> released = release_group_counts(
+    ...     tree, epsilon=5.0, rng=np.random.default_rng(0))
+    >>> released["US"] == released["VA"] + released["MD"]
+    True
+    """
+    if epsilon <= 0 or not np.isfinite(epsilon):
+        raise EstimationError(f"epsilon must be positive, got {epsilon!r}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    budget = PrivacyBudget(epsilon)
+    per_level = budget.split_levels(hierarchy.num_levels).per_part
+
+    noisy: Dict[str, float] = {}
+    for level_index, nodes in enumerate(hierarchy.levels()):
+        for node in nodes:
+            budget.spend(
+                per_level, scope=node.name,
+                parallel_group=f"groups-level{level_index}",
+            )
+            noise = int(double_geometric(1, per_level, 1.0, rng=rng)[0])
+            noisy[node.name] = float(node.num_groups + noise)
+
+    nodes, leaves, matrix = _ancestry_matrix(hierarchy)
+    targets = np.array([noisy[node.name] for node in nodes])
+    leaf_solution, _ = nnls(matrix, targets)
+
+    # Integerize: round the leaf vector to the rounded NNLS total, then
+    # back-substitute sums so internal counts are exact.
+    total = int(np.rint(leaf_solution.sum()))
+    leaf_counts = largest_remainder_round(leaf_solution, total)
+
+    counts: Dict[str, int] = {
+        leaf.name: int(count) for leaf, count in zip(leaves, leaf_counts)
+    }
+    for level_nodes in reversed(list(hierarchy.levels())):
+        for node in level_nodes:
+            if not node.is_leaf:
+                counts[node.name] = sum(
+                    counts[child.name] for child in node.children
+                )
+    return PrivateGroupCounts(counts=counts, noisy=noisy, budget=budget)

@@ -1,0 +1,201 @@
+"""Analysis queries over (released) count-of-counts histograms.
+
+Count-of-counts histograms exist to answer distributional questions — the
+paper's introduction motivates them as the tool "to study the skewness of a
+distribution", and unattributed histograms as answering "what is the size of
+the k-th largest group?" (Section 2).  This module implements those consumer
+queries so a release produced by :class:`~repro.core.consistency.topdown.TopDown`
+is directly usable:
+
+* order statistics — :func:`kth_smallest_group`, :func:`kth_largest_group`,
+  :func:`size_quantile`;
+* range queries — :func:`groups_with_size_at_least`,
+  :func:`groups_with_size_between`, :func:`entities_in_groups_of_size_between`;
+* skewness summaries — :func:`mean_group_size`, :func:`gini_coefficient`,
+  :func:`top_share`.
+
+All functions are pure post-processing of a histogram, so applying them to a
+differentially private release stays differentially private.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts, validate_histogram
+from repro.exceptions import HistogramError
+
+HistogramLike = Union[CountOfCounts, np.ndarray, list, tuple]
+
+
+def _as_coc(histogram: HistogramLike) -> CountOfCounts:
+    if isinstance(histogram, CountOfCounts):
+        return histogram
+    return CountOfCounts(validate_histogram(histogram))
+
+
+def kth_smallest_group(histogram: HistogramLike, k: int) -> int:
+    """Size of the k-th smallest group (1-indexed).
+
+    This is exactly ``Hg[k-1]`` — the unattributed-histogram query of
+    Section 2.
+
+    Examples
+    --------
+    >>> kth_smallest_group([0, 2, 1, 2], k=3)
+    2
+    """
+    data = _as_coc(histogram)
+    if not 1 <= k <= data.num_groups:
+        raise HistogramError(
+            f"k must be in [1, {data.num_groups}], got {k}"
+        )
+    # Search the cumulative histogram instead of materializing Hg.
+    return int(np.searchsorted(data.cumulative, k, side="left"))
+
+
+def kth_largest_group(histogram: HistogramLike, k: int) -> int:
+    """Size of the k-th largest group (1-indexed).
+
+    Examples
+    --------
+    >>> kth_largest_group([0, 2, 1, 2], k=1)
+    3
+    """
+    data = _as_coc(histogram)
+    if not 1 <= k <= data.num_groups:
+        raise HistogramError(
+            f"k must be in [1, {data.num_groups}], got {k}"
+        )
+    return kth_smallest_group(data, data.num_groups - k + 1)
+
+
+def size_quantile(histogram: HistogramLike, quantile: float) -> int:
+    """Smallest size s such that at least ``quantile`` of groups have
+    size <= s.
+
+    Examples
+    --------
+    >>> size_quantile([0, 2, 1, 2], 0.5)   # median group size
+    2
+    """
+    data = _as_coc(histogram)
+    if not 0.0 <= quantile <= 1.0:
+        raise HistogramError(f"quantile must be in [0, 1], got {quantile}")
+    if data.num_groups == 0:
+        raise HistogramError("quantile of an empty histogram is undefined")
+    target = max(1, int(np.ceil(quantile * data.num_groups)))
+    return kth_smallest_group(data, target)
+
+
+def groups_with_size_at_least(histogram: HistogramLike, size: int) -> int:
+    """Number of groups with at least ``size`` entities.
+
+    Examples
+    --------
+    >>> groups_with_size_at_least([0, 2, 1, 2], 2)
+    3
+    """
+    data = _as_coc(histogram)
+    if size <= 0:
+        return data.num_groups
+    if size >= len(data):
+        return 0
+    return int(data.num_groups - data.cumulative[size - 1])
+
+
+def groups_with_size_between(
+    histogram: HistogramLike, low: int, high: int
+) -> int:
+    """Number of groups with size in the inclusive range [low, high].
+
+    Examples
+    --------
+    >>> groups_with_size_between([0, 2, 1, 2], 1, 2)
+    3
+    """
+    if low > high:
+        raise HistogramError(f"invalid range [{low}, {high}]")
+    data = _as_coc(histogram)
+    low = max(low, 0)
+    upper = min(high, len(data) - 1)
+    if upper < low:
+        return 0
+    below_low = int(data.cumulative[low - 1]) if low > 0 else 0
+    return int(data.cumulative[upper] - below_low)
+
+
+def entities_in_groups_of_size_between(
+    histogram: HistogramLike, low: int, high: int
+) -> int:
+    """Number of entities living in groups whose size is in [low, high].
+
+    Examples
+    --------
+    >>> entities_in_groups_of_size_between([0, 2, 1, 2], 3, 3)
+    6
+    """
+    if low > high:
+        raise HistogramError(f"invalid range [{low}, {high}]")
+    data = _as_coc(histogram)
+    sizes = np.arange(len(data))
+    mask = (sizes >= low) & (sizes <= high)
+    return int((sizes[mask] * data.histogram[mask]).sum())
+
+
+def mean_group_size(histogram: HistogramLike) -> float:
+    """Average group size (entities / groups).
+
+    Examples
+    --------
+    >>> mean_group_size([0, 2, 1, 2])
+    2.0
+    """
+    data = _as_coc(histogram)
+    if data.num_groups == 0:
+        raise HistogramError("mean of an empty histogram is undefined")
+    return data.num_entities / data.num_groups
+
+
+def gini_coefficient(histogram: HistogramLike) -> float:
+    """Gini coefficient of the group-size distribution (0 = all groups the
+    same size, → 1 = all entities in one group).
+
+    The skewness summary the paper's introduction motivates count-of-counts
+    histograms with.  Computed from the sorted sizes (the Hg view) as
+    ``Σ (2i - n - 1) x_i / (n Σ x_i)``.
+
+    Examples
+    --------
+    >>> gini_coefficient([0, 4])   # four groups of size 1: perfectly equal
+    0.0
+    """
+    data = _as_coc(histogram)
+    if data.num_groups == 0:
+        raise HistogramError("gini of an empty histogram is undefined")
+    if data.num_entities == 0:
+        return 0.0
+    sizes = data.unattributed.astype(np.float64)
+    n = sizes.size
+    index = np.arange(1, n + 1, dtype=np.float64)
+    return float(((2 * index - n - 1) * sizes).sum() / (n * sizes.sum()))
+
+
+def top_share(histogram: HistogramLike, fraction: float) -> float:
+    """Share of all entities held by the largest ``fraction`` of groups.
+
+    Examples
+    --------
+    >>> top_share([0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1], 0.5)
+    0.8
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise HistogramError(f"fraction must be in (0, 1], got {fraction}")
+    data = _as_coc(histogram)
+    if data.num_groups == 0 or data.num_entities == 0:
+        raise HistogramError("top share of empty data is undefined")
+    count = max(1, int(np.floor(fraction * data.num_groups)))
+    sizes = data.unattributed
+    return float(sizes[-count:].sum() / data.num_entities)

@@ -1,0 +1,121 @@
+"""Uncertainty reporting for releases.
+
+The variance estimates of Section 5.1 exist to drive the merging step, but
+they are also exactly what a data user needs to judge a release: roughly
+how far can each released group size be from the truth?  This module turns
+a :class:`~repro.core.consistency.topdown.ConsistentEstimates` into
+user-facing uncertainty artifacts:
+
+* :func:`group_size_intervals` — per-group normal-approximation confidence
+  intervals around the released sizes (clipped at zero);
+* :func:`node_error_estimate` — a predicted EMD for each node
+  (sum of per-group standard deviations scaled to mean absolute error);
+* :func:`release_report` — a text summary of a release's accuracy budget.
+
+All quantities are post-processing of differentially private outputs, so
+reporting them costs no additional privacy budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.consistency.topdown import ConsistentEstimates
+from repro.core.consistency.variance import group_variances
+from repro.exceptions import EstimationError
+
+#: Mean absolute deviation of a standard normal — converts a standard
+#: deviation into an expected absolute error.
+_MAD_FACTOR = float(np.sqrt(2.0 / np.pi))
+
+#: z-scores for common confidence levels.
+_Z_SCORES = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    if confidence in _Z_SCORES:
+        return _Z_SCORES[confidence]
+    raise EstimationError(
+        f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence}"
+    )
+
+
+def group_size_intervals(
+    release: ConsistentEstimates, node: str, confidence: float = 0.95
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group (size, lower, upper) bounds for one node's release.
+
+    Uses the node's *initial* estimate variances (the Section 5.1
+    approximations); the merged sizes are at least that accurate, so the
+    intervals are conservative.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import CumulativeEstimator, TopDown
+    >>> from repro.hierarchy import from_leaf_histograms
+    >>> tree = from_leaf_histograms("US", {"VA": [0, 9, 3], "MD": [0, 5, 2]})
+    >>> result = TopDown(CumulativeEstimator(max_size=8)).run(
+    ...     tree, 2.0, rng=np.random.default_rng(0))
+    >>> sizes, low, high = group_size_intervals(result, "US")
+    >>> bool(np.all(low <= sizes) and np.all(sizes <= high))
+    True
+    """
+    if node not in release.estimates:
+        raise EstimationError(f"no node {node!r} in the release")
+    estimate = release.estimates[node]
+    initial = release.initial_estimates[node]
+    sizes = estimate.unattributed.astype(np.float64)
+
+    variances = group_variances(
+        sizes.astype(np.int64), initial.epsilon, initial.method
+    )
+    half_width = _z_for(confidence) * np.sqrt(variances)
+    lower = np.maximum(sizes - half_width, 0.0)
+    upper = sizes + half_width
+    return sizes, lower, upper
+
+
+def node_error_estimate(release: ConsistentEstimates, node: str) -> float:
+    """Predicted EMD for one node from its variance estimates.
+
+    EMD equals the L1 distance between sorted size vectors (Lemma 1), so
+    summing each group's expected absolute size error — std × √(2/π) under
+    the normal approximation — predicts the node's EMD without access to
+    the true data.
+    """
+    if node not in release.estimates:
+        raise EstimationError(f"no node {node!r} in the release")
+    estimate = release.estimates[node]
+    initial = release.initial_estimates[node]
+    sizes = estimate.unattributed
+    if sizes.size == 0:
+        return 0.0
+    variances = group_variances(sizes, initial.epsilon, initial.method)
+    return float(_MAD_FACTOR * np.sqrt(variances).sum())
+
+
+def release_report(release: ConsistentEstimates) -> str:
+    """A text accuracy report for a full release.
+
+    One line per node: group count, predicted EMD and predicted relative
+    error against the node's entity total.
+    """
+    lines = ["release accuracy report (variance-based predictions)"]
+    lines.append(
+        f"{'node':<24}{'groups':>10}{'pred. emd':>14}{'rel. to people':>16}"
+    )
+    for node, estimate in sorted(release.estimates.items()):
+        predicted = node_error_estimate(release, node)
+        entities = max(estimate.num_entities, 1)
+        lines.append(
+            f"{node:<24}{estimate.num_groups:>10,}{predicted:>14,.1f}"
+            f"{predicted / entities:>15.2%}"
+        )
+    lines.append(
+        f"privacy: eps spent {release.budget.spent:.4f} of "
+        f"{release.budget.epsilon:.4f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Workload generators mirroring the paper's four evaluation datasets.
+
+The paper evaluates on (Section 6.1):
+
+* **partially synthetic housing** — 2010 Census households/group-quarters
+  per state with a synthesized heavy tail (the published tables truncate at
+  size 7) plus 50 large outlier facilities;
+* **NYC taxi** — 2013 Manhattan pickups per medallion per neighborhood;
+* **race distributions** — White (dense sizes) and Hawaiian (sparse sizes)
+  per Census block.
+
+The Census/taxi raw files are not redistributable here, so each generator
+synthesizes data with the same construction recipe (housing) or matched
+summary statistics and shape (taxi, race) — see DESIGN.md §3 for the
+substitution argument.  All generators are deterministic given a seed and
+accept a ``scale`` factor so benchmarks run at laptop scale while
+``scale=1.0`` approximates paper magnitude.
+"""
+
+from repro.datasets.base import DatasetGenerator, hierarchy_to_database
+from repro.datasets.race import RaceDataset
+from repro.datasets.registry import available_datasets, make_dataset
+from repro.datasets.sf1 import build_hierarchy, extend_tail, load_truncated_table
+from repro.datasets.synthetic_housing import SyntheticHousingDataset
+from repro.datasets.taxi import TaxiDataset
+
+__all__ = [
+    "DatasetGenerator",
+    "RaceDataset",
+    "SyntheticHousingDataset",
+    "TaxiDataset",
+    "available_datasets",
+    "build_hierarchy",
+    "extend_tail",
+    "hierarchy_to_database",
+    "load_truncated_table",
+    "make_dataset",
+]

@@ -1,0 +1,109 @@
+"""Dataset generator interface and relational export.
+
+A :class:`DatasetGenerator` builds a :class:`~repro.hierarchy.tree.Hierarchy`
+with true histograms at every node.  :func:`hierarchy_to_database` converts a
+(small) hierarchy back into the paper's three-table relational form so the
+db pipeline can be exercised end-to-end in tests and examples.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.db.schema import Database, level_column
+from repro.db.table import Table
+from repro.exceptions import HierarchyError
+from repro.hierarchy.tree import Hierarchy, Node
+
+
+class DatasetGenerator(abc.ABC):
+    """Deterministic synthetic workload generator.
+
+    Subclasses set :attr:`name` and implement :meth:`build`, which must be a
+    pure function of the constructor parameters and the ``seed``.
+    """
+
+    #: Registry name of the dataset.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def build(self, seed: int = 0) -> Hierarchy:
+        """Generate the hierarchy with true histograms at every node."""
+
+    def _rng(self, seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def hierarchy_to_database(hierarchy: Hierarchy) -> Database:
+    """Materialize a hierarchy as Entities / Groups / Hierarchy tables.
+
+    Intended for small hierarchies (tests, examples, documentation): the
+    Entities table has one row per entity, so paper-scale data would not
+    fit.  Leaf names become region ids; internal levels are named by the
+    path of ancestors.
+
+    Raises
+    ------
+    HierarchyError
+        If leaves are not all at the same depth (the relational schema
+        requires a uniform number of levels).
+    """
+    leaves = hierarchy.leaves()
+    depths = {leaf.level for leaf in leaves}
+    if len(depths) != 1:
+        raise HierarchyError(
+            f"relational export requires uniform leaf depth, found {depths}"
+        )
+    num_levels = depths.pop() + 1
+
+    region_ids: List[str] = []
+    level_labels: List[List[str]] = [[] for _ in range(num_levels)]
+    group_ids: List[int] = []
+    group_regions: List[str] = []
+    entity_groups: List[int] = []
+
+    next_group = 0
+    for leaf in leaves:
+        region_ids.append(leaf.name)
+        ancestors: List[str] = []
+        node: Optional[Node] = leaf
+        while node is not None:
+            ancestors.append(node.name)
+            node = node.parent
+        ancestors.reverse()  # root ... leaf
+        for level in range(num_levels):
+            level_labels[level].append(ancestors[level])
+
+        for size in leaf.data.unattributed:
+            group_ids.append(next_group)
+            group_regions.append(leaf.name)
+            entity_groups.extend([next_group] * int(size))
+            next_group += 1
+
+    entities = Table({
+        "entity_id": np.arange(len(entity_groups), dtype=np.int64),
+        "group_id": np.asarray(entity_groups, dtype=np.int64),
+    }) if entity_groups else Table({
+        "entity_id": np.zeros(0, dtype=np.int64),
+        "group_id": np.zeros(0, dtype=np.int64),
+    })
+    groups = Table({
+        "group_id": np.asarray(group_ids, dtype=np.int64),
+        "region_id": np.asarray(group_regions, dtype=object),
+    })
+    hierarchy_columns = {
+        "region_id": np.asarray(region_ids, dtype=object),
+    }
+    for level in range(num_levels):
+        hierarchy_columns[level_column(level)] = np.asarray(
+            level_labels[level], dtype=object
+        )
+    return Database(
+        entities=entities, groups=groups, hierarchy=Table(hierarchy_columns)
+    )

@@ -1,0 +1,140 @@
+"""Census-block race-distribution datasets (Section 6.1).
+
+In the paper, each Census *block* is a group and its size is the number of
+people of a given race living in it, from 2010 SF1.  Two races bracket the
+difficulty spectrum:
+
+* **White** — ~226M people over 11.16M blocks: sizes densely populate
+  0..~3000 ("dense" data, where the Hc method shines);
+* **Hawaiian** — ~540K people over the same blocks: the vast majority of
+  blocks have size 0 and only ~224 distinct sizes exist ("sparse" data).
+
+The generator reproduces these shapes: per-block sizes are drawn from a
+log-normal (white) or a zero-inflated geometric (hawaiian), then blocks are
+partitioned into a National/State(/County) hierarchy.  ``scale`` rescales
+the 11.16M block count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.datasets.base import DatasetGenerator
+from repro.exceptions import EstimationError
+from repro.hierarchy.build import from_leaf_histograms
+from repro.hierarchy.tree import Hierarchy, Node
+
+#: Paper-scale number of Census blocks.
+_PAPER_TOTAL_BLOCKS = 11_155_486
+
+#: 50 states + Puerto Rico + DC.
+_NUM_STATES = 52
+
+#: States forming the paper's west-coast 3-level restriction.
+WEST_COAST_STATES = ("state01", "state02", "state03")
+
+#: White: log-normal person counts, mean ≈ 20 people/block, tail to ~3000.
+_WHITE_MU = 2.4
+_WHITE_SIGMA = 1.1
+
+#: Hawaiian: ~95% of blocks empty, small geometric counts elsewhere.
+_HAWAIIAN_ZERO_PROB = 0.95
+_HAWAIIAN_GEOM_P = 0.35
+
+
+class RaceDataset(DatasetGenerator):
+    """Blocks-as-groups race counts with a National/State(/County) hierarchy.
+
+    Parameters
+    ----------
+    race:
+        ``"white"`` (dense) or ``"hawaiian"`` (sparse).
+    scale:
+        Fraction of the paper's 11.16M blocks (default 1/100).
+    levels:
+        2 for National/State, 3 to add counties.
+    counties_per_state:
+        Upper bound on counties per state when ``levels == 3``.
+
+    Examples
+    --------
+    >>> tree = RaceDataset("hawaiian", scale=1e-4).build(seed=5)
+    >>> tree.root.data.histogram[0] > 0   # most blocks are empty
+    True
+    """
+
+    def __init__(
+        self,
+        race: str = "white",
+        scale: float = 1e-2,
+        levels: int = 2,
+        counties_per_state: int = 12,
+    ) -> None:
+        if race not in ("white", "hawaiian"):
+            raise EstimationError(f"race must be 'white' or 'hawaiian', got {race!r}")
+        if scale <= 0 or scale > 1.0:
+            raise EstimationError(f"scale must be in (0, 1], got {scale}")
+        if levels not in (2, 3):
+            raise EstimationError(f"levels must be 2 or 3, got {levels}")
+        self.race = race
+        self.name = race
+        self.scale = float(scale)
+        self.levels = int(levels)
+        self.counties_per_state = int(counties_per_state)
+
+    def _block_sizes(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if self.race == "white":
+            sizes = rng.lognormal(_WHITE_MU, _WHITE_SIGMA, size=count)
+            return np.rint(sizes).astype(np.int64)
+        empty = rng.random(count) < _HAWAIIAN_ZERO_PROB
+        sizes = rng.geometric(_HAWAIIAN_GEOM_P, size=count).astype(np.int64)
+        sizes[empty] = 0
+        return sizes
+
+    def build(self, seed: int = 0) -> Hierarchy:
+        rng = self._rng(seed)
+        total_blocks = max(_NUM_STATES * 20,
+                           int(_PAPER_TOTAL_BLOCKS * self.scale))
+
+        ranks = np.arange(1, _NUM_STATES + 1, dtype=np.float64)
+        weights = 1.0 / ranks**0.8
+        rng.shuffle(weights)
+        weights = weights / weights.sum()
+        blocks_per_state = rng.multinomial(total_blocks, weights)
+
+        if self.levels == 2:
+            spec: Dict[str, CountOfCounts] = {}
+            for index in range(_NUM_STATES):
+                name = f"state{index + 1:02d}"
+                sizes = self._block_sizes(int(blocks_per_state[index]), rng)
+                spec[name] = CountOfCounts.from_sizes(sizes)
+            return from_leaf_histograms("national", spec)
+
+        spec3: Dict[str, Dict[str, CountOfCounts]] = {}
+        for index in range(_NUM_STATES):
+            name = f"state{index + 1:02d}"
+            num_counties = int(rng.integers(3, self.counties_per_state + 1))
+            county_weights = rng.dirichlet(np.full(num_counties, 2.0))
+            split = rng.multinomial(int(blocks_per_state[index]), county_weights)
+            spec3[name] = {
+                f"{name}-county{j + 1:02d}": CountOfCounts.from_sizes(
+                    self._block_sizes(int(split[j]), rng)
+                )
+                for j in range(num_counties)
+            }
+        return from_leaf_histograms("national", spec3)
+
+    def west_coast(self, seed: int = 0) -> Hierarchy:
+        """3-level hierarchy restricted to three states (paper Section 6.2.5)."""
+        full = RaceDataset(
+            race=self.race, scale=self.scale, levels=3,
+            counties_per_state=self.counties_per_state,
+        ).build(seed=seed)
+        new_root = Node("west-coast")
+        for child in full.root.children:
+            if child.name in WEST_COAST_STATES:
+                new_root.add_child(full.subtree(child.name).root)
+        return Hierarchy(new_root, validate=False)

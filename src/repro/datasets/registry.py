@@ -1,0 +1,39 @@
+"""Name-based dataset registry used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.race import RaceDataset
+from repro.datasets.synthetic_housing import SyntheticHousingDataset
+from repro.datasets.taxi import TaxiDataset
+from repro.exceptions import EstimationError
+
+
+def make_dataset(name: str, **kwargs) -> DatasetGenerator:
+    """Instantiate a dataset generator by registry name.
+
+    Recognized names: ``housing``, ``taxi``, ``white``, ``hawaiian``.
+    Keyword arguments are forwarded to the generator's constructor.
+
+    Examples
+    --------
+    >>> make_dataset("hawaiian", scale=1e-4).race
+    'hawaiian'
+    """
+    name = name.lower()
+    if name == "housing":
+        return SyntheticHousingDataset(**kwargs)
+    if name == "taxi":
+        return TaxiDataset(**kwargs)
+    if name in ("white", "hawaiian"):
+        return RaceDataset(race=name, **kwargs)
+    raise EstimationError(
+        f"unknown dataset {name!r}; available: {available_datasets()}"
+    )
+
+
+def available_datasets() -> List[str]:
+    """Registry names, matching the paper's four evaluation datasets."""
+    return ["housing", "white", "hawaiian", "taxi"]

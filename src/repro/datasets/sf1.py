@@ -1,0 +1,148 @@
+"""Working with truncated Summary-File-style tables (Section 6.1).
+
+The 2010 Census Summary File 1 published household-size tables truncated
+at size 7 ("7-or-more persons") because no formal privacy method existed
+for the full distribution — the exact gap this paper fills.  This module
+implements both directions of the paper's data recipe on *user-supplied*
+tables:
+
+* :func:`load_truncated_table` — read ``region,size,count`` CSV rows where
+  the largest size bucket is a "size or more" catch-all;
+* :func:`extend_tail` — the paper's §6.1 construction: estimate the decay
+  ratio r = H[top]/H[top-1] and sample Binomial(H[k-1], r) counts for every
+  k past the truncation point, redistributing the catch-all bucket;
+* :func:`build_hierarchy` — assemble extended regions into the 2-level
+  hierarchy the estimators consume.
+
+With real SF1 extracts these functions reproduce the paper's partially
+synthetic housing dataset from first principles; our
+:class:`~repro.datasets.synthetic_housing.SyntheticHousingDataset` is this
+recipe applied to a synthetic base table.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts, validate_histogram
+from repro.exceptions import HistogramError
+from repro.hierarchy.build import from_leaf_histograms
+from repro.hierarchy.tree import Hierarchy
+
+PathLike = Union[str, Path]
+
+#: Hard ceiling on the sampled tail, mirroring the paper's outlier cap.
+MAX_TAIL_SIZE = 100_000
+
+
+def load_truncated_table(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read ``region,size,count`` CSV rows into per-region histograms.
+
+    The maximum size present for each region is interpreted as that
+    region's "size or more" catch-all bucket (as in SF1's "7-or-more
+    person household" column); :func:`extend_tail` redistributes it.
+    """
+    cells: Dict[str, Dict[int, int]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"region", "size", "count"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise HistogramError(
+                f"{path} must have columns {sorted(required)}, "
+                f"found {reader.fieldnames}"
+            )
+        for row in reader:
+            size = int(row["size"])
+            count = int(row["count"])
+            if size < 0 or count < 0:
+                raise HistogramError(
+                    f"negative size/count in {path}: {row}"
+                )
+            cells.setdefault(row["region"], {})[size] = count
+
+    histograms: Dict[str, np.ndarray] = {}
+    for region, sparse in cells.items():
+        histogram = np.zeros(max(sparse) + 1, dtype=np.int64)
+        for size, count in sparse.items():
+            histogram[size] = count
+        histograms[region] = histogram
+    return histograms
+
+
+def extend_tail(
+    histogram: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    max_ratio: float = 0.95,
+) -> np.ndarray:
+    """Replace the top catch-all bucket with a sampled geometric-like tail.
+
+    Implements §6.1: with T the largest size, the paper estimates the decay
+    ratio r = H[T]/H[T-1] (clipped below 1 so the tail provably dies out)
+    and draws ``H[k] ~ Binomial(H[k-1], r)`` for k > T until the counts hit
+    zero.  The T bucket itself is re-sampled the same way so the total
+    group count is preserved: all leftover catch-all mass stays at T.
+
+    Examples
+    --------
+    >>> extended = extend_tail(np.array([0, 50, 20, 10]),
+    ...                        rng=np.random.default_rng(0))
+    >>> int(extended.sum())   # group count preserved
+    80
+    >>> extended.size > 4     # tail extended beyond the truncation point
+    True
+    """
+    histogram = validate_histogram(histogram)
+    rng = rng if rng is not None else np.random.default_rng()
+    top = int(np.nonzero(histogram)[0][-1]) if histogram.any() else 0
+    if top < 2 or histogram[top - 1] == 0:
+        return histogram.copy()  # nothing to extrapolate from
+
+    ratio = min(float(histogram[top]) / float(histogram[top - 1]), max_ratio)
+    catch_all = int(histogram[top])
+
+    tail = []
+    previous = catch_all
+    size = top + 1
+    remaining = catch_all
+    while previous > 0 and size <= MAX_TAIL_SIZE:
+        current = min(int(rng.binomial(previous, ratio)), remaining)
+        if current == 0:
+            break
+        tail.append(current)
+        remaining -= current
+        previous = current
+        size += 1
+
+    extended = np.zeros(top + 1 + len(tail), dtype=np.int64)
+    extended[: histogram.size] = histogram
+    extended[top] = catch_all - sum(tail)  # leftover mass stays at T
+    for offset, count in enumerate(tail):
+        extended[top + 1 + offset] = count
+    return extended
+
+
+def build_hierarchy(
+    histograms: Dict[str, np.ndarray],
+    root_name: str = "national",
+    extend: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Hierarchy:
+    """Assemble per-region histograms into a 2-level hierarchy.
+
+    With ``extend=True`` (default) every region's catch-all bucket is first
+    replaced by a sampled tail via :func:`extend_tail`.
+    """
+    if not histograms:
+        raise HistogramError("no regions to build a hierarchy from")
+    rng = rng if rng is not None else np.random.default_rng()
+    spec = {
+        region: CountOfCounts(
+            extend_tail(histogram, rng=rng) if extend else histogram
+        )
+        for region, histogram in sorted(histograms.items())
+    }
+    return from_leaf_histograms(root_name, spec)

@@ -1,0 +1,207 @@
+"""The partially synthetic housing dataset (Section 6.1).
+
+The paper starts from the 2010 Census Summary File 1 household-size tables
+(truncated at size 7), then synthesizes the heavy tail the truncation
+removed:
+
+1. per state, estimate the ratio r = (#households of size 7)/(#size 6);
+2. for every k >= 8, draw the number of size-k groups from a binomial so
+   the same ratio holds in expectation between neighboring sizes;
+3. add 50 outlier groups with sizes uniform in [1, 10000] (group quarters:
+   dormitories, barracks, correctional facilities);
+4. assign each state's groups to its counties proportionally to county size.
+
+We reproduce this construction directly.  The SF1 base counts are replaced
+by a standard household-size profile (≈ 2010 national shares) spread across
+52 "states" with a skewed population distribution; everything past step 1 is
+the paper's own recipe.  ``scale`` rescales the total number of households
+(``scale=1.0`` ≈ the paper's 240.9M groups; the default keeps benchmarks
+laptop-sized).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts, pad_histogram
+from repro.datasets.base import DatasetGenerator
+from repro.exceptions import EstimationError
+from repro.hierarchy.build import from_leaf_histograms
+from repro.hierarchy.tree import Hierarchy
+
+#: Approximate 2010 national share of households by size 1..7.
+_HOUSEHOLD_SHARES = np.array(
+    [0.267, 0.336, 0.158, 0.137, 0.063, 0.024, 0.015], dtype=np.float64
+)
+
+#: Paper-scale number of households (order of magnitude of 2010 SF1).
+_PAPER_TOTAL_GROUPS = 240_908_081
+
+#: Number of large outlier facilities added nationally (paper: 50).
+_NUM_OUTLIERS = 50
+
+#: Outlier sizes are uniform in [1, _OUTLIER_MAX] (paper: 10,000).
+_OUTLIER_MAX = 10_000
+
+#: 50 states + Puerto Rico + District of Columbia.
+_NUM_STATES = 52
+
+#: States on the west coast, used by the paper's 3-level experiments.
+WEST_COAST_STATES = ("state01", "state02", "state03")
+
+
+class SyntheticHousingDataset(DatasetGenerator):
+    """National/State/County hierarchy of household and facility sizes.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the paper's 240.9M groups to generate (default 1/1000).
+    levels:
+        2 for National/State, 3 to add the County level.
+    counties_per_state:
+        Upper bound on counties per state when ``levels == 3`` (the actual
+        number varies per state between 3 and this bound).
+
+    Examples
+    --------
+    >>> tree = SyntheticHousingDataset(scale=1e-5).build(seed=1)
+    >>> tree.num_levels
+    2
+    >>> tree.root.num_groups > 1000
+    True
+    """
+
+    name = "housing"
+
+    def __init__(
+        self,
+        scale: float = 1e-3,
+        levels: int = 2,
+        counties_per_state: int = 20,
+    ) -> None:
+        if scale <= 0 or scale > 1.0:
+            raise EstimationError(f"scale must be in (0, 1], got {scale}")
+        if levels not in (2, 3):
+            raise EstimationError(f"levels must be 2 or 3, got {levels}")
+        if counties_per_state < 3:
+            raise EstimationError("counties_per_state must be >= 3")
+        self.scale = float(scale)
+        self.levels = int(levels)
+        self.counties_per_state = int(counties_per_state)
+
+    # -- state-level construction ------------------------------------------------
+    def _state_weights(self, rng: np.random.Generator) -> np.ndarray:
+        """Skewed population shares across the 52 states (Zipf-like)."""
+        ranks = np.arange(1, _NUM_STATES + 1, dtype=np.float64)
+        weights = 1.0 / ranks**0.8
+        rng.shuffle(weights)
+        return weights / weights.sum()
+
+    def _state_histogram(
+        self, total_households: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sizes 1..7 from the share profile, then the binomial tail."""
+        base = np.zeros(8, dtype=np.int64)  # index = household size
+        shares = _HOUSEHOLD_SHARES * (
+            1.0 + 0.1 * rng.standard_normal(_HOUSEHOLD_SHARES.size)
+        )
+        shares = np.clip(shares, 0.001, None)
+        shares = shares / shares.sum()
+        base[1:8] = rng.multinomial(total_households, shares)
+
+        counts: List[int] = list(base)
+        if base[6] > 0 and base[7] > 0:
+            # Clip the ratio below 1 so the tail provably dies out; real SF1
+            # data always has #size7 < #size6.
+            ratio = min(float(base[7]) / float(base[6]), 0.95)
+            previous = int(base[7])
+            size = 8
+            while previous > 0 and size <= _OUTLIER_MAX:
+                current = int(rng.binomial(previous, ratio))
+                counts.append(current)
+                previous = current
+                size += 1
+        histogram = np.asarray(counts, dtype=np.int64)
+        return np.trim_zeros(histogram, trim="b") if histogram.any() else histogram[:1]
+
+    # -- county-level split ------------------------------------------------------
+    def _split_counties(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        """Assign a state's groups to counties proportionally to county size."""
+        num_counties = int(rng.integers(3, self.counties_per_state + 1))
+        county_weights = rng.dirichlet(np.full(num_counties, 2.0))
+        county_histograms = [
+            np.zeros(histogram.size, dtype=np.int64) for _ in range(num_counties)
+        ]
+        for size, count in enumerate(histogram):
+            if count == 0:
+                continue
+            split = rng.multinomial(int(count), county_weights)
+            for county_index, amount in enumerate(split):
+                county_histograms[county_index][size] = amount
+        return [
+            np.trim_zeros(h, trim="b") if h.any() else h[:1]
+            for h in county_histograms
+        ]
+
+    # -- public API ----------------------------------------------------------------
+    def build(self, seed: int = 0) -> Hierarchy:
+        rng = self._rng(seed)
+        total_groups = max(_NUM_STATES * 10, int(_PAPER_TOTAL_GROUPS * self.scale))
+        weights = self._state_weights(rng)
+
+        state_histograms: Dict[str, np.ndarray] = {}
+        for index in range(_NUM_STATES):
+            name = f"state{index + 1:02d}"
+            households = max(10, int(round(total_groups * weights[index])))
+            state_histograms[name] = self._state_histogram(households, rng)
+
+        # 50 outlier facilities with sizes uniform in [1, 10000], placed in
+        # states chosen proportionally to population.
+        outlier_states = rng.choice(
+            _NUM_STATES, size=_NUM_OUTLIERS, p=weights
+        )
+        outlier_sizes = rng.integers(1, _OUTLIER_MAX + 1, size=_NUM_OUTLIERS)
+        for state_index, size in zip(outlier_states, outlier_sizes):
+            name = f"state{state_index + 1:02d}"
+            histogram = state_histograms[name]
+            if histogram.size <= size:
+                histogram = pad_histogram(histogram, int(size) + 1)
+            histogram[int(size)] += 1
+            state_histograms[name] = histogram
+
+        if self.levels == 2:
+            spec = {
+                name: CountOfCounts(histogram)
+                for name, histogram in state_histograms.items()
+            }
+            return from_leaf_histograms("national", spec)
+
+        spec3: Dict[str, Dict[str, CountOfCounts]] = {}
+        for name, histogram in state_histograms.items():
+            counties = self._split_counties(histogram, rng)
+            spec3[name] = {
+                f"{name}-county{j + 1:02d}": CountOfCounts(county)
+                for j, county in enumerate(counties)
+            }
+        return from_leaf_histograms("national", spec3)
+
+    def west_coast(self, seed: int = 0) -> Hierarchy:
+        """The paper's 3-level west-coast restriction (3 states + counties)."""
+        full = SyntheticHousingDataset(
+            scale=self.scale, levels=3,
+            counties_per_state=self.counties_per_state,
+        ).build(seed=seed)
+        root = full.root
+        keep = [c for c in root.children if c.name in WEST_COAST_STATES]
+        from repro.hierarchy.tree import Node  # local to avoid cycle at import
+
+        new_root = Node("west-coast")
+        for child in keep:
+            clone = full.subtree(child.name).root
+            new_root.add_child(clone)
+        return Hierarchy(new_root, validate=False)

@@ -1,0 +1,45 @@
+"""In-memory relational substrate.
+
+The paper defines its input as a three-table relational database
+(Section 3)::
+
+    Entities(entity_id, group_id)          -- private
+    Groups(group_id, region_id)            -- public group counts
+    Hierarchy(region_id, level0..levelL)   -- public region tree
+
+and derives count-of-counts histograms with the two-step SQL pipeline of the
+introduction::
+
+    A = SELECT group_id, COUNT(*) AS size FROM Entities GROUP BY group_id
+    H = SELECT size, COUNT(*) FROM A GROUP BY size
+
+This subpackage implements a small columnar engine (NumPy-backed tables with
+filter / project / join / group-by aggregation) plus the concrete schemas and
+queries above, so the dataset generators and tests can build histograms the
+same way the paper defines them rather than through ad-hoc shortcuts.
+"""
+
+from repro.db.aggregate import (
+    group_by_agg,
+    order_by,
+    table_from_csv,
+    table_to_csv,
+    unattributed_pipeline,
+)
+from repro.db.query import group_by_count, group_by_sum, inner_join
+from repro.db.schema import CountOfCountsQuery, Database
+from repro.db.table import Table
+
+__all__ = [
+    "CountOfCountsQuery",
+    "Database",
+    "Table",
+    "group_by_agg",
+    "group_by_count",
+    "group_by_sum",
+    "inner_join",
+    "order_by",
+    "table_from_csv",
+    "table_to_csv",
+    "unattributed_pipeline",
+]

@@ -1,0 +1,149 @@
+"""Additional relational operators: generic aggregation, multi-key sort,
+CSV import/export and the paper's unattributed-histogram pipeline.
+
+Section 1 of the paper defines unattributed histograms with the query::
+
+    Hg = SELECT COUNT(*) AS size FROM R GROUP BY groupid ORDER BY size
+
+:func:`unattributed_pipeline` executes exactly that against an Entities
+table (plus the Groups table so empty groups count as size 0).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.db.query import group_by_count
+from repro.db.table import Table
+from repro.exceptions import QueryError
+
+PathLike = Union[str, Path]
+
+#: Supported aggregate names for :func:`group_by_agg`.
+AGGREGATES = ("sum", "min", "max", "mean", "count")
+
+
+def group_by_agg(
+    table: Table, key: str, value: str, agg: str, out: str = None
+) -> Table:
+    """``SELECT key, AGG(value) FROM table GROUP BY key`` for any AGG.
+
+    Examples
+    --------
+    >>> t = Table({"k": np.array([1, 1, 2]), "v": np.array([3, 5, 7])})
+    >>> list(group_by_agg(t, "k", "v", "max")["max_v"])
+    [5, 7]
+    """
+    if agg not in AGGREGATES:
+        raise QueryError(f"unknown aggregate {agg!r}; expected one of {AGGREGATES}")
+    out = out or f"{agg}_{value}"
+    keys = table[key]
+    values = table[value]
+    if keys.size == 0:
+        return Table({key: keys, out: np.zeros(0, dtype=np.float64)})
+
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [keys.size]])
+
+    unique_keys = sorted_keys[starts]
+    if agg == "count":
+        result = (ends - starts).astype(np.int64)
+    elif agg == "sum":
+        sums = np.concatenate([[0], np.cumsum(sorted_values)])
+        result = sums[ends] - sums[starts]
+    elif agg == "mean":
+        sums = np.concatenate([[0.0], np.cumsum(sorted_values, dtype=np.float64)])
+        result = (sums[ends] - sums[starts]) / (ends - starts)
+    else:  # min / max via per-block reduction
+        reducer = np.minimum if agg == "min" else np.maximum
+        result = np.array([
+            sorted_values[start:end].min() if agg == "min"
+            else sorted_values[start:end].max()
+            for start, end in zip(starts, ends)
+        ])
+        del reducer
+    return Table({key: unique_keys, out: result})
+
+
+def order_by(table: Table, keys: Sequence[str], descending: bool = False) -> Table:
+    """Stable multi-key sort (last key least significant... SQL order).
+
+    ``ORDER BY keys[0], keys[1], ...`` — rows compare by ``keys[0]`` first.
+    """
+    if not keys:
+        raise QueryError("order_by needs at least one key")
+    order = np.arange(table.num_rows)
+    # Sort by the least-significant key first; stable sorts compose.
+    for key in reversed(list(keys)):
+        column = table[key][order]
+        order = order[np.argsort(column, kind="stable")]
+    if descending:
+        order = order[::-1]
+    return table.take(order)
+
+
+def unattributed_pipeline(entities: Table, groups: Table) -> np.ndarray:
+    """The Hg query of Section 1, including size-0 groups.
+
+    ``SELECT COUNT(*) AS size FROM Entities GROUP BY group_id
+    ORDER BY size`` — with groups absent from Entities reported as size 0
+    (they exist in the public Groups table).
+
+    Returns the sorted array of group sizes (the ``Hg`` representation).
+    """
+    sized = group_by_count(entities, "group_id", "size")
+    group_ids = groups["group_id"]
+    if np.unique(group_ids).size != group_ids.size:
+        raise QueryError("group_id must be unique in the Groups table")
+
+    sizes = np.zeros(group_ids.size, dtype=np.int64)
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    positions = np.searchsorted(sorted_ids, sized["group_id"])
+    clipped = np.clip(positions, 0, sorted_ids.size - 1)
+    if sized.num_rows and np.any(sorted_ids[clipped] != sized["group_id"]):
+        raise QueryError("Entities reference group_ids missing from Groups")
+    sizes[order[clipped]] = sized["size"]
+    return np.sort(sizes)
+
+
+def table_to_csv(table: Table, path: PathLike) -> None:
+    """Write a table as CSV (header = column names)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.rows():
+            writer.writerow(row)
+
+
+def table_from_csv(path: PathLike, numeric: Sequence[str] = ()) -> Table:
+    """Read a CSV into a table; columns named in ``numeric`` become int64
+    (or float64 when values carry decimal points), the rest stay strings."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise QueryError(f"{path} is empty") from None
+        rows = list(reader)
+
+    columns: Dict[str, np.ndarray] = {}
+    numeric_set = set(numeric)
+    for index, name in enumerate(header):
+        raw: List[str] = [row[index] for row in rows]
+        if name in numeric_set:
+            if any("." in value for value in raw):
+                columns[name] = np.array([float(v) for v in raw])
+            else:
+                columns[name] = np.array([int(v) for v in raw], dtype=np.int64)
+        else:
+            columns[name] = np.array(raw, dtype=object)
+    return Table(columns)

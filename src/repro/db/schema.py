@@ -1,0 +1,156 @@
+"""The paper's three-table schema and its count-of-counts query pipeline.
+
+``Database`` bundles the ``Entities``, ``Groups`` and ``Hierarchy`` tables of
+Section 3 and knows which of them are public.  ``CountOfCountsQuery``
+materializes group sizes and count-of-counts histograms with the two
+GROUP BYs of the introduction, including the subtlety that groups with no
+entities still exist in the public ``Groups`` table (they have size 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.db.query import group_by_count
+from repro.db.table import Table
+from repro.exceptions import QueryError
+
+
+def level_column(level: int) -> str:
+    """Column name used for hierarchy level ``level`` (``level0`` is root)."""
+    return f"level{level}"
+
+
+@dataclass
+class Database:
+    """The Entities / Groups / Hierarchy database of Section 3.
+
+    Attributes
+    ----------
+    entities:
+        Private table with columns ``entity_id``, ``group_id``.
+    groups:
+        Public table with columns ``group_id``, ``region_id``.
+    hierarchy:
+        Public table with columns ``region_id``, ``level0`` .. ``levelL``.
+        ``level0`` holds a single root label; ``levelL`` equals ``region_id``
+        (regions are the hierarchy's leaves).
+    """
+
+    entities: Table
+    groups: Table
+    hierarchy: Table
+
+    def __post_init__(self) -> None:
+        for column in ("entity_id", "group_id"):
+            if column not in self.entities:
+                raise QueryError(f"Entities table is missing column {column!r}")
+        for column in ("group_id", "region_id"):
+            if column not in self.groups:
+                raise QueryError(f"Groups table is missing column {column!r}")
+        if "region_id" not in self.hierarchy:
+            raise QueryError("Hierarchy table is missing column 'region_id'")
+        if not self.level_columns():
+            raise QueryError("Hierarchy table has no level columns")
+
+    def level_columns(self) -> List[str]:
+        """Names of the ``level*`` columns present, in level order."""
+        names = []
+        level = 0
+        while level_column(level) in self.hierarchy:
+            names.append(level_column(level))
+            level += 1
+        return names
+
+    @property
+    def num_levels(self) -> int:
+        """Number of hierarchy levels, including the root level 0."""
+        return len(self.level_columns())
+
+
+class CountOfCountsQuery:
+    """Materializes group sizes and count-of-counts histograms.
+
+    The constructor runs the first aggregation of the paper's pipeline
+    (``SELECT group_id, COUNT(*) FROM Entities GROUP BY group_id``) once,
+    left-joined against the public ``Groups`` table so that groups without
+    entities appear with size 0.  Subsequent histogram queries for any
+    hierarchy node are pure NumPy filters over that materialization.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        sized = group_by_count(database.entities, "group_id", "size")
+
+        group_ids = database.groups["group_id"]
+        region_ids = database.groups["region_id"]
+        sizes = np.zeros(group_ids.size, dtype=np.int64)
+
+        # Align the size table (keyed by group_id) with the Groups table.
+        order = np.argsort(group_ids, kind="stable")
+        sorted_ids = group_ids[order]
+        positions = np.searchsorted(sorted_ids, sized["group_id"])
+        if positions.size and (
+            np.any(positions >= sorted_ids.size)
+            or np.any(sorted_ids[np.clip(positions, 0, sorted_ids.size - 1)]
+                      != sized["group_id"])
+        ):
+            raise QueryError("Entities reference group_ids missing from Groups")
+        sizes[order[positions]] = sized["size"]
+
+        self._group_sizes = sizes
+        self._group_regions = region_ids
+        # region_id -> ancestor label per level, for node filtering.
+        self._region_levels: Dict[str, np.ndarray] = {}
+        hierarchy = database.hierarchy
+        region_order = np.argsort(hierarchy["region_id"], kind="stable")
+        sorted_regions = hierarchy["region_id"][region_order]
+        region_positions = np.searchsorted(sorted_regions, region_ids)
+        clipped = np.clip(region_positions, 0, sorted_regions.size - 1)
+        if np.any(sorted_regions[clipped] != region_ids):
+            raise QueryError("Groups reference region_ids missing from Hierarchy")
+        region_positions = clipped
+        for name in database.level_columns():
+            ancestors = hierarchy[name][region_order]
+            self._region_levels[name] = ancestors[region_positions]
+
+    @property
+    def group_sizes(self) -> np.ndarray:
+        """Size of every group, aligned with the Groups table rows."""
+        return self._group_sizes
+
+    def node_group_sizes(self, level: int, label: object) -> np.ndarray:
+        """Sizes of the groups whose level-``level`` ancestor is ``label``."""
+        column = level_column(level)
+        if column not in self._region_levels:
+            raise QueryError(f"hierarchy has no level {level}")
+        mask = self._region_levels[column] == label
+        return self._group_sizes[mask]
+
+    def node_labels(self, level: int) -> np.ndarray:
+        """Distinct node labels at ``level``, sorted."""
+        column = level_column(level)
+        if column not in self._region_levels:
+            raise QueryError(f"hierarchy has no level {level}")
+        return np.unique(self._database.hierarchy[column])
+
+    def histogram(
+        self, level: int, label: object, length: Optional[int] = None
+    ) -> np.ndarray:
+        """Count-of-counts histogram ``H`` for one hierarchy node.
+
+        ``H[i]`` counts the groups of size i in the node; the array length is
+        ``max size + 1`` unless ``length`` forces a longer (zero-padded)
+        array for alignment across nodes.
+        """
+        sizes = self.node_group_sizes(level, label)
+        max_size = int(sizes.max()) if sizes.size else 0
+        n = max_size + 1 if length is None else int(length)
+        if n < max_size + 1:
+            raise QueryError(
+                f"length {n} too short for max group size {max_size}"
+            )
+        return np.bincount(sizes, minlength=n).astype(np.int64)

@@ -1,0 +1,138 @@
+"""A minimal columnar table.
+
+``Table`` stores named, equal-length NumPy columns and supports the handful
+of relational operations the reproduction needs: projection, selection by
+boolean predicate, row slicing and pretty printing.  It deliberately avoids
+pandas (not a dependency of this project) while keeping the group-by
+pipelines vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+
+class Table:
+    """Named, equal-length columns with vectorized relational operations.
+
+    Examples
+    --------
+    >>> t = Table({"g": np.array([1, 1, 2]), "loc": np.array([0, 0, 1])})
+    >>> t.num_rows
+    3
+    >>> t.select(t["g"] == 1).num_rows
+    2
+    """
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        if not columns:
+            raise QueryError("a table needs at least one column")
+        normalized: Dict[str, np.ndarray] = {}
+        length = None
+        for name, column in columns.items():
+            arr = np.asarray(column)
+            if arr.ndim != 1:
+                raise QueryError(f"column {name!r} must be 1-d, got {arr.ndim}-d")
+            if length is None:
+                length = arr.size
+            elif arr.size != length:
+                raise QueryError(
+                    f"column {name!r} has {arr.size} rows, expected {length}"
+                )
+            normalized[name] = arr
+        self._columns = normalized
+        self._length = int(length if length is not None else 0)
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise QueryError(
+                f"no column {name!r}; available: {self.column_names}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    # -- relational operations ---------------------------------------------
+    def project(self, names: Iterable[str]) -> "Table":
+        """Return a table with only the given columns (SELECT names)."""
+        names = list(names)
+        return Table({name: self[name] for name in names})
+
+    def select(self, mask: np.ndarray) -> "Table":
+        """Return rows where ``mask`` is true (WHERE predicate)."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.size != self._length:
+            raise QueryError(
+                f"selection mask must be bool of length {self._length}"
+            )
+        return Table({name: col[mask] for name, col in self._columns.items()})
+
+    def where(self, column: str, predicate: Callable[[np.ndarray], np.ndarray]) -> "Table":
+        """Shorthand for ``select(predicate(self[column]))``."""
+        return self.select(np.asarray(predicate(self[column])))
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return the rows at ``indices`` in order."""
+        indices = np.asarray(indices)
+        return Table({name: col[indices] for name, col in self._columns.items()})
+
+    def with_column(self, name: str, values: np.ndarray) -> "Table":
+        """Return a copy with column ``name`` added or replaced."""
+        values = np.asarray(values)
+        if values.size != self._length:
+            raise QueryError(
+                f"new column {name!r} has {values.size} rows, expected {self._length}"
+            )
+        columns = dict(self._columns)
+        columns[name] = values
+        return Table(columns)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a copy with columns renamed per ``mapping``."""
+        for old in mapping:
+            if old not in self._columns:
+                raise QueryError(f"cannot rename missing column {old!r}")
+        return Table(
+            {mapping.get(name, name): col for name, col in self._columns.items()}
+        )
+
+    def sort_by(self, column: str) -> "Table":
+        """Return a copy sorted ascending by ``column`` (stable)."""
+        order = np.argsort(self[column], kind="stable")
+        return self.take(order)
+
+    def rows(self) -> Iterator[Tuple]:
+        """Iterate rows as tuples in column order (small tables only)."""
+        columns = list(self._columns.values())
+        for i in range(self._length):
+            yield tuple(col[i] for col in columns)
+
+    # -- display -------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Table({self.column_names}, rows={self._length})"
+
+    def head(self, n: int = 5) -> str:
+        """A small fixed-width preview of the first ``n`` rows."""
+        names = self.column_names
+        lines = ["  ".join(f"{name:>12}" for name in names)]
+        for row in list(self.rows())[:n]:
+            lines.append("  ".join(f"{str(value):>12}" for value in row))
+        return "\n".join(lines)

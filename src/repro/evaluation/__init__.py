@@ -1,0 +1,24 @@
+"""Experiment harness.
+
+- :mod:`~repro.evaluation.omniscient` — the non-private "omniscient"
+  reference of Section 6.2, both simulated and in closed form.
+- :mod:`~repro.evaluation.runner` — multi-run experiment execution with the
+  paper's statistics (mean per-node EMD per level, ±1 std of the mean over
+  10 runs).
+- :mod:`~repro.evaluation.report` — plain-text tables and series matching
+  the paper's figures.
+"""
+
+from repro.evaluation.omniscient import OmniscientBaseline, omniscient_expected_error
+from repro.evaluation.report import format_series, format_table
+from repro.evaluation.runner import ExperimentRunner, LevelStats, RunResult
+
+__all__ = [
+    "ExperimentRunner",
+    "LevelStats",
+    "OmniscientBaseline",
+    "RunResult",
+    "format_series",
+    "format_table",
+    "omniscient_expected_error",
+]

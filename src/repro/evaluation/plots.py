@@ -1,0 +1,116 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmark harness prints numeric series; for human eyes it also renders
+small terminal charts — log-scale line charts for the ε sweeps of
+Figures 4–6 and bar profiles for Figure 1.  No plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.runner import RunResult
+
+#: Glyphs assigned to successive series in a chart.
+_MARKERS = "ox*+#@"
+
+
+def _log_positions(values: np.ndarray, height: int) -> np.ndarray:
+    """Map positive values to integer rows on a log scale (0 = bottom)."""
+    logs = np.log10(np.maximum(values, 1e-9))
+    low, high = logs.min(), logs.max()
+    if high - low < 1e-12:
+        return np.full(values.shape, height // 2, dtype=int)
+    return np.rint((logs - low) / (high - low) * (height - 1)).astype(int)
+
+
+def sweep_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render ``{label: [(epsilon, value), ...]}`` as a log-y ASCII chart.
+
+    Examples
+    --------
+    >>> chart = sweep_chart({"Hc": [(0.1, 100.0), (1.0, 10.0)]}, title="demo")
+    >>> "demo" in chart and "Hc" in chart
+    True
+    """
+    all_points: List[Tuple[float, float, int]] = []
+    labels = list(series)
+    for series_index, label in enumerate(labels):
+        for epsilon, value in series[label]:
+            all_points.append((epsilon, value, series_index))
+    if not all_points:
+        return title
+
+    epsilons = sorted({point[0] for point in all_points})
+    x_for = {eps: int(i / max(len(epsilons) - 1, 1) * (width - 1))
+             for i, eps in enumerate(epsilons)}
+    values = np.array([point[1] for point in all_points])
+    rows = _log_positions(values, height)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (epsilon, _value, series_index), row in zip(all_points, rows):
+        column = x_for[epsilon]
+        current = grid[height - 1 - row][column]
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        grid[height - 1 - row][column] = "&" if current not in (" ", marker) else marker
+
+    low = values.min()
+    high = values.max()
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  emd (log scale, {low:,.0f} .. {high:,.0f})")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    axis = "   "
+    for eps in epsilons:
+        axis += f"{eps:<{max(width // len(epsilons), 6)}g}"
+    lines.append(axis[: width + 3] + "  (eps per level)")
+    legend = "  legend: " + "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(labels)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def results_chart(
+    sweeps: Mapping[str, Iterable[RunResult]], level: int, title: str = ""
+) -> str:
+    """Render RunResult sweeps (one series per label) at one level."""
+    series = {
+        label: [(result.epsilon, result.level(level).mean) for result in results]
+        for label, results in sweeps.items()
+    }
+    return sweep_chart(series, title=title or f"level {level}")
+
+
+def profile_chart(
+    profiles: Mapping[str, np.ndarray], bins: int = 48, title: str = ""
+) -> str:
+    """Render error-vs-size profiles (Figure 1) as aligned bar strips."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((np.asarray(p).size for p in profiles.values()), default=0)
+    glyphs = " .:-=+*#%@"
+    for label, profile in profiles.items():
+        padded = np.zeros(width)
+        profile = np.asarray(profile, dtype=np.float64)
+        padded[: profile.size] = profile
+        chunks = np.array_split(padded, bins)
+        total = max(padded.sum(), 1e-9)
+        strip = ""
+        for chunk in chunks:
+            weight = chunk.sum() / total
+            strip += glyphs[min(int(weight * 40), len(glyphs) - 1)]
+        lines.append(f"  {label:<6} |{strip}|")
+    lines.append(f"  {'':<6}  small sizes {'-' * (bins - 24)} large sizes")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Plain-text reporting of experiment results.
+
+Benchmarks print paper-style artifacts: per-level tables (Sections 6.2.1,
+6.2.2) and ε-sweep series (Figures 4-6).  These helpers format both from
+:class:`~repro.evaluation.runner.RunResult` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+from repro.evaluation.runner import RunResult
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Sequence[float]],
+    columns: Sequence[str],
+    width: int = 14,
+) -> str:
+    """A fixed-width table: one label column plus numeric columns.
+
+    Examples
+    --------
+    >>> print(format_table("demo", {"BU": [1.0, 2.0]}, ["L0", "L1"], width=8))
+    demo
+      method      L0      L1
+          BU     1.0     2.0
+    """
+    header = f"{'method':>{8}}" + "".join(f"{c:>{width}}" for c in columns)
+    lines = [title, header]
+    for label, values in rows.items():
+        cells = "".join(f"{value:>{width},.1f}" for value in values)
+        lines.append(f"{label:>{8}}{cells}")
+    return "\n".join(lines)
+
+
+def format_series(title: str, results: Iterable[RunResult]) -> str:
+    """One line per (ε, level): the series behind a paper figure panel."""
+    lines: List[str] = [title]
+    for result in results:
+        for stats in result.levels:
+            lines.append(
+                f"  {result.label:<12} eps={result.epsilon:<6g} "
+                f"L{stats.level}  emd={stats.mean:>14,.1f} "
+                f"(± {stats.std_of_mean:,.1f})"
+            )
+    return "\n".join(lines)
+
+
+def series_by_level(results: Iterable[RunResult]) -> Mapping[int, List[tuple]]:
+    """Group sweep results as {level: [(epsilon, mean, std), ...]}."""
+    by_level: dict = {}
+    for result in results:
+        for stats in result.levels:
+            by_level.setdefault(stats.level, []).append(
+                (result.epsilon, stats.mean, stats.std_of_mean)
+            )
+    return by_level

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single type at the API boundary.  More specific subclasses are
+used for privacy accounting problems, malformed histograms and hierarchy
+structure violations; tests use these to verify failure paths explicitly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class HistogramError(ReproError):
+    """A histogram array violates its representation invariant.
+
+    Examples: negative counts in a count-of-counts histogram, a cumulative
+    histogram that is not nondecreasing, or an unattributed histogram that is
+    not sorted.
+    """
+
+
+class HierarchyError(ReproError):
+    """A region hierarchy is malformed.
+
+    Examples: a child attached to two parents, inconsistent group counts
+    between a parent and its children, or an empty hierarchy.
+    """
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy budget was exhausted, over-spent or constructed invalidly."""
+
+
+class EstimationError(ReproError):
+    """An estimator was configured or invoked incorrectly.
+
+    Examples: a nonpositive privacy budget, a maximum group size bound K
+    smaller than 1, or an empty node passed to an estimator that requires at
+    least one group.
+    """
+
+
+class MatchingError(ReproError):
+    """Optimal matching between parent and child groups is impossible.
+
+    Raised when the total number of groups at the children does not equal the
+    number of groups at the parent, which breaks the perfect-matching
+    precondition of Algorithm 2.
+    """
+
+
+class QueryError(ReproError):
+    """A relational query over the in-memory tables is invalid.
+
+    Examples: referencing a column that does not exist, joining on
+    incompatible keys, or aggregating an empty projection.
+    """

@@ -1,0 +1,24 @@
+"""Region hierarchies.
+
+A :class:`Hierarchy` is a tree of :class:`Node` objects (level 0 = root);
+every node carries its true count-of-counts histogram, with the invariant
+that a parent's histogram equals the cellwise sum of its children's
+(Section 3: every group lives in exactly one leaf).  Builders construct
+hierarchies from the relational database of :mod:`repro.db` or directly
+from per-leaf histograms (the path used by the synthetic data generators).
+"""
+
+from repro.hierarchy.build import (
+    from_database,
+    from_leaf_histograms,
+    from_leaf_sizes,
+)
+from repro.hierarchy.tree import Hierarchy, Node
+
+__all__ = [
+    "Hierarchy",
+    "Node",
+    "from_database",
+    "from_leaf_histograms",
+    "from_leaf_sizes",
+]

@@ -1,0 +1,109 @@
+"""Builders that assemble :class:`~repro.hierarchy.tree.Hierarchy` objects.
+
+Three construction paths:
+
+* :func:`from_leaf_histograms` — from a nested mapping of histograms
+  (used by the synthetic dataset generators);
+* :func:`from_leaf_sizes` — same but from raw group-size arrays;
+* :func:`from_database` — from the relational three-table
+  :class:`~repro.db.schema.Database`, running the paper's GROUP BY pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.db.schema import CountOfCountsQuery, Database, level_column
+from repro.exceptions import HierarchyError
+from repro.hierarchy.tree import Hierarchy, Node
+
+# A leaf spec is either a histogram-like value or a nested mapping of them.
+LeafSpec = Union[CountOfCounts, np.ndarray, list, tuple, Mapping[str, "LeafSpec"]]
+
+
+def _build_node(name: str, spec: LeafSpec) -> Node:
+    if isinstance(spec, Mapping):
+        if not spec:
+            raise HierarchyError(f"internal node {name!r} has no children")
+        node = Node(name)
+        for child_name, child_spec in spec.items():
+            node.add_child(_build_node(str(child_name), child_spec))
+        return node
+    data = spec if isinstance(spec, CountOfCounts) else CountOfCounts(spec)
+    return Node(name, data)
+
+
+def from_leaf_histograms(root_name: str, spec: Mapping[str, LeafSpec]) -> Hierarchy:
+    """Build a hierarchy from nested ``{name: histogram-or-mapping}`` specs.
+
+    Internal histograms are derived by summation, so the additivity invariant
+    holds by construction.
+
+    Examples
+    --------
+    >>> tree = from_leaf_histograms("US", {"VA": [0, 2], "MD": [0, 1, 1]})
+    >>> tree.root.num_groups
+    4
+    """
+    if not spec:
+        raise HierarchyError("hierarchy spec must have at least one child")
+    return Hierarchy(_build_node(root_name, spec), validate=False)
+
+
+def from_leaf_sizes(
+    root_name: str, leaf_sizes: Mapping[str, Sequence[int]]
+) -> Hierarchy:
+    """Build a two-level hierarchy from per-leaf raw group sizes."""
+    spec = {
+        name: CountOfCounts.from_sizes(np.asarray(sizes, dtype=np.int64))
+        for name, sizes in leaf_sizes.items()
+    }
+    return from_leaf_histograms(root_name, spec)
+
+
+def from_database(database: Database) -> Hierarchy:
+    """Build the full hierarchy from a three-table relational database.
+
+    Runs the count-of-counts pipeline of the paper's introduction once, then
+    assembles nodes level by level.  Node names are the stringified labels in
+    the Hierarchy table's ``level*`` columns; labels must be unique within a
+    level (as region identifiers are).
+    """
+    query = CountOfCountsQuery(database)
+    level_names = database.level_columns()
+    num_levels = len(level_names)
+
+    hierarchy_table = database.hierarchy
+    root_labels = np.unique(hierarchy_table[level_column(0)])
+    if root_labels.size != 1:
+        raise HierarchyError(
+            f"expected a single root label at level 0, found {root_labels.size}"
+        )
+
+    nodes: dict = {}
+    root = None
+    for level in range(num_levels):
+        labels = query.node_labels(level)
+        for label in labels:
+            sizes = query.node_group_sizes(level, label)
+            data = CountOfCounts.from_sizes(sizes) if sizes.size else CountOfCounts([0])
+            node = Node(str(label), data)
+            nodes[(level, label)] = node
+            if level == 0:
+                root = node
+        if level > 0:
+            # Attach each label to its (unique) parent label one level up.
+            parent_col = hierarchy_table[level_column(level - 1)]
+            child_col = hierarchy_table[level_column(level)]
+            seen = set()
+            for parent_label, child_label in zip(parent_col, child_col):
+                if child_label in seen:
+                    continue
+                seen.add(child_label)
+                parent = nodes[(level - 1, parent_label)]
+                parent.add_child(nodes[(level, child_label)])
+    assert root is not None
+    return Hierarchy(root)

@@ -1,0 +1,216 @@
+"""Hierarchy tree structures.
+
+:class:`Node` stores one region's true count-of-counts histogram (as a
+:class:`~repro.core.histogram.CountOfCounts`); :class:`Hierarchy` wraps the
+root and offers level-order traversal, validation of the additivity
+invariant, and convenience summaries used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import HierarchyError
+
+
+class Node:
+    """One region of the hierarchy with its true histogram.
+
+    Parameters
+    ----------
+    name:
+        Human-readable region label, unique within the hierarchy.
+    data:
+        The region's true count-of-counts histogram.  For internal nodes
+        this may be omitted and computed as the sum of the children.
+    """
+
+    def __init__(self, name: str, data: Optional[CountOfCounts] = None) -> None:
+        self.name = str(name)
+        self._data = data
+        self.children: List["Node"] = []
+        self.parent: Optional["Node"] = None
+
+    # -- structure -------------------------------------------------------------
+    def add_child(self, child: "Node") -> "Node":
+        """Attach ``child`` (returns it for chaining)."""
+        if child.parent is not None:
+            raise HierarchyError(
+                f"node {child.name!r} already has parent {child.parent.name!r}"
+            )
+        if child is self:
+            raise HierarchyError(f"node {self.name!r} cannot be its own child")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def level(self) -> int:
+        """Depth from the root (root is level 0)."""
+        level, node = 0, self
+        while node.parent is not None:
+            node = node.parent
+            level += 1
+        return level
+
+    # -- data --------------------------------------------------------------------
+    @property
+    def data(self) -> CountOfCounts:
+        """True histogram; computed (and cached) from children if absent."""
+        if self._data is None:
+            if self.is_leaf:
+                raise HierarchyError(f"leaf {self.name!r} has no histogram")
+            total = self.children[0].data
+            for child in self.children[1:]:
+                total = total + child.data
+            self._data = total
+        return self._data
+
+    @property
+    def num_groups(self) -> int:
+        """G — the public number of groups in this region."""
+        return self.data.num_groups
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} children"
+        return f"Node({self.name!r}, {kind})"
+
+
+class Hierarchy:
+    """A validated region tree.
+
+    Examples
+    --------
+    >>> root = Node("US", CountOfCounts([0, 2, 1]))
+    >>> _ = root.add_child(Node("VA", CountOfCounts([0, 1, 1])))
+    >>> _ = root.add_child(Node("MD", CountOfCounts([0, 1, 0])))
+    >>> tree = Hierarchy(root)
+    >>> tree.num_levels
+    2
+    >>> [n.name for n in tree.level(1)]
+    ['VA', 'MD']
+    """
+
+    def __init__(self, root: Node, validate: bool = True) -> None:
+        self.root = root
+        self._levels = self._collect_levels()
+        if validate:
+            self.validate()
+
+    def _collect_levels(self) -> List[List[Node]]:
+        levels: List[List[Node]] = []
+        frontier = [self.root]
+        seen: set = set()
+        while frontier:
+            for node in frontier:
+                if id(node) in seen:
+                    raise HierarchyError(f"node {node.name!r} appears twice")
+                seen.add(id(node))
+            levels.append(frontier)
+            frontier = [child for node in frontier for child in node.children]
+        return levels
+
+    # -- traversal ---------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Number of levels including the root (the paper's L+1)."""
+        return len(self._levels)
+
+    def level(self, index: int) -> List[Node]:
+        """All nodes at the given depth (0 = root)."""
+        if not 0 <= index < len(self._levels):
+            raise HierarchyError(
+                f"level {index} out of range [0, {len(self._levels) - 1}]"
+            )
+        return list(self._levels[index])
+
+    def levels(self) -> Iterator[List[Node]]:
+        """Iterate levels from the root downward."""
+        for nodes in self._levels:
+            yield list(nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate all nodes in level order."""
+        for level_nodes in self._levels:
+            yield from level_nodes
+
+    def leaves(self) -> List[Node]:
+        """All leaf nodes (any level — though builders produce uniform depth)."""
+        return [node for node in self.nodes() if node.is_leaf]
+
+    def find(self, name: str) -> Node:
+        """Look up a node by name."""
+        for node in self.nodes():
+            if node.name == name:
+                return node
+        raise HierarchyError(f"no node named {name!r}")
+
+    # -- validation -----------------------------------------------------------
+    def validate(self) -> None:
+        """Check additivity: every parent's histogram equals its children's sum.
+
+        Raises :class:`HierarchyError` on the first violation.
+        """
+        for node in self.nodes():
+            if node.is_leaf or node._data is None:
+                continue
+            total = node.children[0].data
+            for child in node.children[1:]:
+                total = total + child.data
+            if total != node.data:
+                raise HierarchyError(
+                    f"node {node.name!r}: histogram does not equal the sum of "
+                    f"its children's histograms"
+                )
+
+    # -- summaries ---------------------------------------------------------------
+    def num_groups(self) -> int:
+        """Total number of groups (G at the root)."""
+        return self.root.num_groups
+
+    def num_entities(self) -> int:
+        """Total number of entities (people, pickups, ...)."""
+        return self.root.data.num_entities
+
+    def statistics(self) -> Dict[str, int]:
+        """The dataset summary row of Section 6.1."""
+        return {
+            "groups": self.root.num_groups,
+            "entities": self.root.data.num_entities,
+            "distinct_sizes": self.root.data.num_distinct_sizes,
+            "max_size": self.root.data.max_size,
+            "levels": self.num_levels,
+            "leaves": len(self.leaves()),
+        }
+
+    def map_nodes(self, fn: Callable[[Node], object]) -> Dict[str, object]:
+        """Apply ``fn`` to every node, keyed by node name."""
+        return {node.name: fn(node) for node in self.nodes()}
+
+    def subtree(self, name: str) -> "Hierarchy":
+        """A new hierarchy rooted at the named node (nodes are shared).
+
+        Used by the 3-level experiments to restrict Census-like data to the
+        west-coast subtree, as the paper does for computational reasons.
+        """
+        node = self.find(name)
+        clone = _clone_subtree(node)
+        return Hierarchy(clone, validate=False)
+
+    def __repr__(self) -> str:
+        sizes = "/".join(str(len(level)) for level in self._levels)
+        return f"Hierarchy(levels={self.num_levels}, nodes_per_level={sizes})"
+
+
+def _clone_subtree(node: Node) -> Node:
+    clone = Node(node.name, node._data)
+    for child in node.children:
+        clone.add_child(_clone_subtree(child))
+    return clone

@@ -1,0 +1,162 @@
+"""Serialization of hierarchies and releases.
+
+Publishers need releases as files: this module writes and reads
+
+* **hierarchy JSON** — the full region tree with one histogram per node
+  (used to persist datasets and releases losslessly);
+* **release CSV** — flat ``region,size,count`` rows in the style of the
+  Census Summary File tables the paper targets (zero counts omitted).
+
+Only histograms — never raw entity data — are serialized, so a saved
+*release* stays differentially private.  Saving a *true* (non-private)
+hierarchy is supported for dataset persistence and is clearly named.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import HierarchyError
+from repro.hierarchy.tree import Hierarchy, Node
+
+PathLike = Union[str, Path]
+
+#: Format version written into every JSON file.
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: Node) -> dict:
+    payload: dict = {"name": node.name}
+    if node.is_leaf:
+        payload["histogram"] = node.data.histogram.tolist()
+    else:
+        payload["children"] = [_node_to_dict(child) for child in node.children]
+    return payload
+
+
+def _node_from_dict(payload: dict) -> Node:
+    name = payload.get("name")
+    if not isinstance(name, str):
+        raise HierarchyError("node payload is missing a string 'name'")
+    if "children" in payload:
+        node = Node(name)
+        children = payload["children"]
+        if not children:
+            raise HierarchyError(f"internal node {name!r} has no children")
+        for child in children:
+            node.add_child(_node_from_dict(child))
+        return node
+    if "histogram" not in payload:
+        raise HierarchyError(f"leaf {name!r} has no histogram")
+    return Node(name, CountOfCounts(np.asarray(payload["histogram"])))
+
+
+def save_hierarchy(hierarchy: Hierarchy, path: PathLike) -> None:
+    """Write a hierarchy (leaf histograms + structure) as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "hierarchy",
+        "root": _node_to_dict(hierarchy.root),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_hierarchy(path: PathLike) -> Hierarchy:
+    """Read a hierarchy written by :func:`save_hierarchy`.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro.hierarchy import from_leaf_histograms
+    >>> tree = from_leaf_histograms("US", {"VA": [0, 2]})
+    >>> path = tempfile.mktemp(suffix=".json")
+    >>> save_hierarchy(tree, path)
+    >>> load_hierarchy(path).root.num_groups
+    2
+    >>> os.unlink(path)
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "hierarchy":
+        raise HierarchyError(f"{path} is not a hierarchy file")
+    return Hierarchy(_node_from_dict(payload["root"]), validate=False)
+
+
+def save_release(
+    estimates: Mapping[str, CountOfCounts],
+    path: PathLike,
+    metadata: Mapping[str, object] = (),
+) -> None:
+    """Write a per-node release as JSON (histograms keyed by node name).
+
+    ``metadata`` (e.g. epsilon, method, date) is stored alongside.
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "release",
+        "metadata": dict(metadata),
+        "nodes": {
+            name: histogram.histogram.tolist()
+            for name, histogram in estimates.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_release(path: PathLike) -> Dict[str, CountOfCounts]:
+    """Read a release written by :func:`save_release`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "release":
+        raise HierarchyError(f"{path} is not a release file")
+    return {
+        name: CountOfCounts(np.asarray(values))
+        for name, values in payload["nodes"].items()
+    }
+
+
+def release_metadata(path: PathLike) -> Dict[str, object]:
+    """Metadata stored in a release file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "release":
+        raise HierarchyError(f"{path} is not a release file")
+    return dict(payload.get("metadata", {}))
+
+
+def export_release_csv(
+    estimates: Mapping[str, CountOfCounts], path: PathLike
+) -> int:
+    """Write ``region,size,count`` rows (nonzero cells only); returns the
+    number of data rows written — the Summary-File-style flat table."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["region", "size", "count"])
+        for name in sorted(estimates):
+            histogram = estimates[name].histogram
+            for size in np.nonzero(histogram)[0]:
+                writer.writerow([name, int(size), int(histogram[size])])
+                rows += 1
+    return rows
+
+
+def import_release_csv(path: PathLike) -> Dict[str, CountOfCounts]:
+    """Read a CSV written by :func:`export_release_csv`."""
+    cells: Dict[str, Dict[int, int]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            region = row["region"]
+            cells.setdefault(region, {})[int(row["size"])] = int(row["count"])
+    result: Dict[str, CountOfCounts] = {}
+    for region, sparse in cells.items():
+        length = max(sparse) + 1
+        histogram = np.zeros(length, dtype=np.int64)
+        for size, count in sparse.items():
+            histogram[size] = count
+        result[region] = CountOfCounts(histogram)
+    return result

@@ -1,0 +1,39 @@
+"""Isotonic regression and projection solvers.
+
+The paper post-processes every noisy histogram with a shape-constrained
+optimization (Sections 4.1-4.3):
+
+* the **Hg method** solves an L2 isotonic regression over the noisy
+  unattributed histogram (:func:`isotonic_l2`);
+* the **Hc method** solves an L1 (default, better per the paper) or L2
+  isotonic regression over the noisy cumulative histogram with its last
+  entry pinned to the public group count (:func:`isotonic_with_endpoint`);
+* the **naive method** projects the noisy count-of-counts histogram onto
+  the scaled simplex ``{x >= 0, sum x = G}`` (:func:`project_to_simplex`).
+
+All solvers here are exact, written from scratch on NumPy — the paper used
+PAV for L2 and a commercial optimizer for L1; our L1 solver is the classical
+pool-adjacent-violators algorithm with weighted medians, which is an exact
+minimizer as well.
+
+Integer outputs are produced by :func:`largest_remainder_round`, which the
+paper uses both for the naive estimator and for the proportional splits of
+the matching algorithm (footnote 10).
+"""
+
+from repro.isotonic.constrained import isotonic_box, isotonic_with_endpoint
+from repro.isotonic.l1 import isotonic_l1
+from repro.isotonic.pav import isotonic_l2, isotonic_blocks
+from repro.isotonic.rounding import largest_remainder_round, proportional_allocation
+from repro.isotonic.simplex import project_to_simplex
+
+__all__ = [
+    "isotonic_blocks",
+    "isotonic_box",
+    "isotonic_l1",
+    "isotonic_l2",
+    "isotonic_with_endpoint",
+    "largest_remainder_round",
+    "project_to_simplex",
+    "proportional_allocation",
+]

@@ -1,0 +1,118 @@
+"""Largest-remainder integer rounding.
+
+Two places in the paper round real vectors to integer vectors with an exact
+target sum:
+
+* the naive estimator (Section 4.1): "set r = G - sum(floor(H)), round the
+  cells with the r largest fractional parts up, and round the rest down";
+* the matching algorithm (footnote 10): a parent run of r groups must be
+  split among children proportionally to their unmatched counts, "rounding
+  up the r_i with the k largest fractional parts".
+
+Both are the classical largest-remainder (Hamilton) apportionment method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+
+def largest_remainder_round(values: np.ndarray, total: int) -> np.ndarray:
+    """Round nonnegative ``values`` to integers that sum exactly to ``total``.
+
+    Floors every value, then distributes the remaining units to the cells
+    with the largest fractional parts (ties broken by lower index, which
+    makes the function deterministic).
+
+    Parameters
+    ----------
+    values:
+        1-d array of nonnegative reals whose sum is close to ``total``
+        (any gap is absorbed by the remainder distribution as long as the
+        floor-sum does not exceed ``total`` and ``total`` is reachable by
+        rounding every value up).
+
+    Examples
+    --------
+    >>> largest_remainder_round(np.array([0.5, 1.6, 0.9]), total=3)
+    array([0, 2, 1])
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise EstimationError(f"expected 1-d input, got shape {values.shape}")
+    if np.any(values < 0) or not np.all(np.isfinite(values)):
+        raise EstimationError("values must be nonnegative and finite")
+    if total < 0:
+        raise EstimationError(f"total must be nonnegative, got {total}")
+
+    floors = np.floor(values).astype(np.int64)
+    remainder = int(total) - int(floors.sum())
+    if remainder < 0:
+        raise EstimationError(
+            f"cannot round down to total {total}: floors already sum to "
+            f"{int(floors.sum())}"
+        )
+    if remainder > values.size:
+        raise EstimationError(
+            f"cannot reach total {total} by rounding up: only {values.size} "
+            f"cells available for {remainder} leftover units"
+        )
+    if remainder == 0:
+        return floors
+    fractional = values - floors
+    # argsort is stable, so equal fractional parts favour lower indices.
+    order = np.argsort(-fractional, kind="stable")
+    floors[order[:remainder]] += 1
+    return floors
+
+
+def proportional_allocation(weights: np.ndarray, total: int) -> np.ndarray:
+    """Split ``total`` integer units proportionally to ``weights``.
+
+    This is the allocation rule of Algorithm 2, line 14: when ``total``
+    parent groups must be matched across children holding ``weights[i]``
+    candidate groups each, child i receives ``total * weights[i] /
+    sum(weights)`` groups, rounded by largest remainder.  The result never
+    exceeds ``weights`` elementwise when ``total <= sum(weights)``.
+
+    Examples
+    --------
+    >>> proportional_allocation(np.array([200, 100, 100]), total=300)
+    array([150,  75,  75])
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise EstimationError(f"expected nonempty 1-d weights, got {weights.shape}")
+    if np.any(weights < 0):
+        raise EstimationError("weights must be nonnegative")
+    weight_sum = weights.sum()
+    if total < 0:
+        raise EstimationError(f"total must be nonnegative, got {total}")
+    if total > weight_sum:
+        raise EstimationError(
+            f"cannot allocate {total} units across capacity {weight_sum}"
+        )
+    if weight_sum == 0:
+        return np.zeros(weights.size, dtype=np.int64)
+
+    shares = weights * (float(total) / weight_sum)
+    allocation = largest_remainder_round(shares, int(total))
+    # Largest-remainder can round a share up past an integer capacity only if
+    # some other cell has spare room; repair the rare overflow cases.
+    capacity = np.floor(weights).astype(np.int64)
+    overflow = allocation - np.minimum(allocation, capacity)
+    if overflow.any():
+        allocation = np.minimum(allocation, capacity)
+        spare = int(total) - int(allocation.sum())
+        room = capacity - allocation
+        # Hand the spare units to cells with room, largest share first.
+        order = np.argsort(-shares, kind="stable")
+        for idx in order:
+            if spare == 0:
+                break
+            take = min(spare, int(room[idx]))
+            allocation[idx] += take
+            spare -= take
+    return allocation

@@ -1,0 +1,55 @@
+"""Euclidean projection onto the scaled simplex ``{x >= 0, sum(x) = total}``.
+
+The naive estimator (Section 4.1 of the paper) post-processes its noisy
+count-of-counts histogram by solving::
+
+    minimize   || x - y ||_2^2
+    subject to x[i] >= 0,   sum_i x[i] = G
+
+The paper solved this with a quadratic-program solver; the problem actually
+has the classical closed form of simplex projection (Held, Wolfe & Crowder
+1974): the solution is ``max(y - tau, 0)`` for the unique threshold ``tau``
+that makes the result sum to ``total``, found by sorting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+
+def project_to_simplex(y: np.ndarray, total: float) -> np.ndarray:
+    """Project ``y`` onto ``{x >= 0, sum(x) = total}`` in Euclidean norm.
+
+    Parameters
+    ----------
+    y:
+        1-d array to project.
+    total:
+        Required sum of the projection; must be nonnegative.
+
+    Examples
+    --------
+    >>> project_to_simplex(np.array([2.0, -1.0]), total=1.0)
+    array([1., 0.])
+    >>> project_to_simplex(np.array([1.0, 1.0]), total=4.0)
+    array([2., 2.])
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1 or y.size == 0:
+        raise EstimationError(f"expected nonempty 1-d input, got shape {y.shape}")
+    if total < 0 or not np.isfinite(total):
+        raise EstimationError(f"total must be nonnegative and finite, got {total}")
+
+    # Threshold search on the sorted values: x = max(y - tau, 0) where tau is
+    # chosen so the positive part sums to `total`.
+    sorted_desc = np.sort(y)[::-1]
+    cumulative = np.cumsum(sorted_desc)
+    indices = np.arange(1, y.size + 1)
+    candidate_tau = (cumulative - total) / indices
+    # rho = largest prefix where the sorted value still exceeds its threshold.
+    support = sorted_desc - candidate_tau > 0
+    rho = int(np.nonzero(support)[0][-1]) if np.any(support) else 0
+    tau = candidate_tau[rho]
+    return np.maximum(y - tau, 0.0)

@@ -1,0 +1,33 @@
+"""Differential-privacy primitives.
+
+This subpackage implements the noise mechanisms the paper relies on
+(Section 3.2) and an explicit privacy-budget ledger used by the hierarchical
+algorithm (Section 5.4) to account for sequential composition across levels
+and parallel composition within a level.
+
+Public API
+----------
+- :class:`GeometricMechanism` — integer-valued double-geometric noise.
+- :class:`LaplaceMechanism` — real-valued Laplace noise (used only by the
+  omniscient baseline and the public-bound estimator).
+- :class:`PrivacyBudget` — ε ledger with sequential/parallel split helpers.
+- :func:`double_geometric` / :func:`double_geometric_variance` — low level
+  sampling helpers.
+"""
+
+from repro.mechanisms.budget import BudgetSplit, PrivacyBudget
+from repro.mechanisms.geometric import (
+    GeometricMechanism,
+    double_geometric,
+    double_geometric_variance,
+)
+from repro.mechanisms.laplace import LaplaceMechanism
+
+__all__ = [
+    "BudgetSplit",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "PrivacyBudget",
+    "double_geometric",
+    "double_geometric_variance",
+]

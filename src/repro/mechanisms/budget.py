@@ -1,0 +1,126 @@
+"""Explicit privacy-budget accounting.
+
+Algorithm 1 of the paper splits a total budget ε across the L+1 levels of the
+hierarchy (sequential composition) and relies on parallel composition within
+each level (adding or removing one entity affects exactly one node per
+level).  Rather than leaving that arithmetic implicit, the hierarchical
+algorithm in this package threads a :class:`PrivacyBudget` ledger through its
+noise-adding steps; tests assert that the ledger's total spend never exceeds
+the configured ε and that each level's spend equals ε/(L+1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import PrivacyBudgetError
+
+# Tolerance for floating-point budget comparisons.  Budget splits are exact
+# divisions of ε, so any drift beyond this indicates a genuine bug.
+_EPS_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class BudgetSplit:
+    """An even split of a budget across ``parts`` sequential uses."""
+
+    total: float
+    parts: int
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise PrivacyBudgetError(f"total budget must be positive, got {self.total}")
+        if self.parts < 1:
+            raise PrivacyBudgetError(f"parts must be >= 1, got {self.parts}")
+
+    @property
+    def per_part(self) -> float:
+        """Budget available to each sequential use."""
+        return self.total / self.parts
+
+
+class PrivacyBudget:
+    """A mutable ε ledger with sequential and parallel composition.
+
+    Spending is recorded per *scope*.  Spends in different scopes at the same
+    ``parallel_group`` compose in parallel (their max is charged); spends
+    across groups compose sequentially (their sum is charged).  The
+    hierarchical algorithm uses one parallel group per hierarchy level and
+    one scope per node.
+
+    Examples
+    --------
+    >>> budget = PrivacyBudget(1.0)
+    >>> budget.spend(0.5, scope="national", parallel_group="level0")
+    >>> budget.spend(0.5, scope="alabama", parallel_group="level1")
+    >>> budget.spend(0.5, scope="alaska", parallel_group="level1")
+    >>> round(budget.spent, 10)
+    1.0
+    >>> budget.remaining
+    0.0
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon <= 0:
+            raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+        # parallel_group -> scope -> total spent by that scope
+        self._ledger: Dict[str, Dict[str, float]] = {}
+
+    @property
+    def spent(self) -> float:
+        """Total ε charged: sum over groups of the max spend within a group."""
+        return sum(
+            max(scopes.values(), default=0.0) for scopes in self._ledger.values()
+        )
+
+    @property
+    def remaining(self) -> float:
+        """Budget left before the ledger would reject further spends."""
+        return max(0.0, self.epsilon - self.spent)
+
+    def spend(self, amount: float, scope: str, parallel_group: str = "default") -> None:
+        """Charge ``amount`` to ``scope`` within ``parallel_group``.
+
+        Raises
+        ------
+        PrivacyBudgetError
+            If the amount is nonpositive or the charge would push the total
+            (under sequential-of-parallel composition) beyond ε.
+        """
+        if amount <= 0:
+            raise PrivacyBudgetError(f"spend amount must be positive, got {amount}")
+        scopes = self._ledger.setdefault(parallel_group, {})
+        before_group = max(scopes.values(), default=0.0)
+        scope_after = scopes.get(scope, 0.0) + amount
+        after_group = max(before_group, scope_after)
+        new_total = self.spent - before_group + after_group
+        if new_total > self.epsilon + _EPS_TOL:
+            raise PrivacyBudgetError(
+                f"spending {amount} in scope {scope!r} (group {parallel_group!r}) "
+                f"would raise total to {new_total:.6g} > epsilon {self.epsilon:.6g}"
+            )
+        scopes[scope] = scope_after
+
+    def split_levels(self, levels: int) -> BudgetSplit:
+        """Return the even per-level split used by Algorithm 1 (ε/(L+1))."""
+        return BudgetSplit(self.epsilon, levels)
+
+    def group_spend(self, parallel_group: str) -> float:
+        """ε charged by ``parallel_group`` (max across its scopes)."""
+        return max(self._ledger.get(parallel_group, {}).values(), default=0.0)
+
+    def audit(self) -> List[Tuple[str, str, float]]:
+        """Return (group, scope, spend) rows for inspection and tests."""
+        rows: List[Tuple[str, str, float]] = []
+        for group, scopes in sorted(self._ledger.items()):
+            for scope, amount in sorted(scopes.items()):
+                rows.append((group, scope, amount))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"PrivacyBudget(epsilon={self.epsilon}, spent={self.spent:.6g}, "
+            f"groups={len(self._ledger)})"
+        )

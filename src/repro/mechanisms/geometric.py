@@ -1,0 +1,159 @@
+"""The geometric mechanism of Ghosh, Roughgarden and Sundararajan.
+
+The paper (Definition 3) adds *double-geometric* noise with scale
+``sensitivity / epsilon`` to every component of an integer query answer:
+
+    P(X = k)  =  (1 - a) / (1 + a) * a^|k|,      a = exp(-epsilon / sensitivity)
+
+for every integer k.  This is the discrete analogue of the Laplace
+distribution.  The paper prefers it to Laplace noise because
+
+* query answers stay integers, which the count-of-counts problem requires;
+* it has slightly lower variance at the same privacy level; and
+* it avoids the floating-point side channel of naive Laplace samplers
+  (Mironov, CCS 2012) since sampling is purely discrete.
+
+Sampling uses the classic decomposition of a double-geometric variate as the
+difference of two i.i.d. geometric variates, which is exact (no continuous
+intermediate values).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+def _validate_scale(epsilon: float, sensitivity: float) -> float:
+    """Return the noise parameter ``a = exp(-epsilon/sensitivity)``.
+
+    Raises :class:`EstimationError` on nonpositive epsilon or sensitivity so
+    misconfigured privacy parameters fail loudly instead of silently
+    producing non-private output.
+    """
+    if not np.isfinite(epsilon) or epsilon <= 0:
+        raise EstimationError(f"epsilon must be positive and finite, got {epsilon!r}")
+    if not np.isfinite(sensitivity) or sensitivity <= 0:
+        raise EstimationError(
+            f"sensitivity must be positive and finite, got {sensitivity!r}"
+        )
+    return float(np.exp(-epsilon / sensitivity))
+
+
+def double_geometric(
+    size: Union[int, tuple],
+    epsilon: float,
+    sensitivity: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Draw double-geometric noise with scale ``sensitivity / epsilon``.
+
+    Parameters
+    ----------
+    size:
+        Output shape (as accepted by numpy).
+    epsilon:
+        Privacy loss budget allocated to this query.
+    sensitivity:
+        L1 global sensitivity of the query being protected.
+    rng:
+        Source of randomness; a fresh default generator is used when omitted.
+
+    Returns
+    -------
+    numpy.ndarray of int64 noise values.
+
+    Notes
+    -----
+    If G1, G2 are i.i.d. geometric with success probability ``1 - a`` and
+    support {0, 1, 2, ...}, then G1 - G2 is double-geometric with parameter
+    ``a``.  numpy's ``Generator.geometric`` uses support {1, 2, ...}, so we
+    subtract 1 from each draw.
+    """
+    a = _validate_scale(epsilon, sensitivity)
+    if rng is None:
+        rng = np.random.default_rng()
+    p = 1.0 - a
+    g1 = rng.geometric(p, size=size).astype(np.int64) - 1
+    g2 = rng.geometric(p, size=size).astype(np.int64) - 1
+    return g1 - g2
+
+
+def double_geometric_variance(epsilon: float, sensitivity: float = 1.0) -> float:
+    """Exact variance of the double-geometric distribution.
+
+    Var = 2a / (1 - a)^2 with a = exp(-epsilon/sensitivity).  The paper
+    approximates this with the Laplace variance 2 * (sensitivity/epsilon)^2;
+    both are exposed so the variance-estimation module can follow the paper
+    exactly while tests can check the approximation quality.
+    """
+    a = _validate_scale(epsilon, sensitivity)
+    return 2.0 * a / (1.0 - a) ** 2
+
+
+class GeometricMechanism:
+    """ε-differentially private integer noise for vector-valued queries.
+
+    Instances are bound to an ``epsilon`` and a query ``sensitivity``; calling
+    :meth:`randomise` adds i.i.d. double-geometric noise to the query answer.
+
+    Examples
+    --------
+    >>> mech = GeometricMechanism(epsilon=1.0, sensitivity=2.0,
+    ...                           rng=np.random.default_rng(0))
+    >>> noisy = mech.randomise(np.array([10, 0, 3]))
+    >>> noisy.dtype
+    dtype('int64')
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        sensitivity: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        _validate_scale(epsilon, sensitivity)  # fail fast on bad parameters
+        self.epsilon = float(epsilon)
+        self.sensitivity = float(sensitivity)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def scale(self) -> float:
+        """Noise scale ``sensitivity / epsilon`` (as in Definition 3)."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def variance(self) -> float:
+        """Exact per-coordinate noise variance."""
+        return double_geometric_variance(self.epsilon, self.sensitivity)
+
+    @property
+    def laplace_variance_approximation(self) -> float:
+        """The 2·(sensitivity/ε)² approximation used by the paper (§5.1)."""
+        return 2.0 * self.scale**2
+
+    def randomise(self, values: ArrayLike) -> np.ndarray:
+        """Return ``values`` plus i.i.d. double-geometric noise.
+
+        ``values`` must be integer-valued (the mechanism is defined on
+        integer queries); floats with integral values are accepted.
+        """
+        arr = np.asarray(values)
+        as_int = np.rint(arr).astype(np.int64)
+        if not np.array_equal(as_int, arr):
+            raise EstimationError(
+                "GeometricMechanism requires integer-valued query answers"
+            )
+        noise = double_geometric(
+            as_int.shape if as_int.shape else 1,
+            self.epsilon,
+            self.sensitivity,
+            rng=self._rng,
+        )
+        result = as_int + noise.reshape(as_int.shape if as_int.shape else (1,))
+        return result if as_int.shape else result[0]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CountOfCounts
+from repro.hierarchy.build import from_leaf_histograms
+from repro.hierarchy.tree import Hierarchy, Node
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator; reseed per test for stability."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_example() -> CountOfCounts:
+    """The running example of Section 3: H = [0, 2, 1, 2]."""
+    return CountOfCounts([0, 2, 1, 2])
+
+
+@pytest.fixture
+def two_level_tree() -> Hierarchy:
+    """A small National/State hierarchy with known histograms."""
+    return from_leaf_histograms(
+        "national",
+        {
+            "state-a": [0, 12, 5, 2, 1],
+            "state-b": [0, 7, 3, 0, 0, 2],
+            "state-c": [1, 4, 4, 1],
+        },
+    )
+
+
+@pytest.fixture
+def three_level_tree() -> Hierarchy:
+    """A 3-level hierarchy (national/state/county) with known histograms."""
+    return from_leaf_histograms(
+        "national",
+        {
+            "state-a": {
+                "a-county1": [0, 6, 2, 1],
+                "a-county2": [0, 6, 3, 1, 1],
+            },
+            "state-b": {
+                "b-county1": [0, 4, 1],
+                "b-county2": [0, 3, 2, 0, 0, 2],
+            },
+        },
+    )
+
+
+@pytest.fixture
+def intro_tree() -> Hierarchy:
+    """The introduction's worked example: Htop = [2,1,0,1], Ha, Hb."""
+    return from_leaf_histograms(
+        "top", {"a": [0, 1, 0, 0, 1], "b": [0, 1, 1]}
+    )

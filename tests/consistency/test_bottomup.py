@@ -1,0 +1,77 @@
+"""Tests for the bottom-up baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.bottomup import BottomUp
+from repro.core.estimators import CumulativeEstimator, UnattributedEstimator
+from repro.core.metrics import earthmover_distance
+from repro.exceptions import EstimationError
+
+
+class TestBottomUp:
+    def test_consistency_by_construction(self, three_level_tree, rng):
+        result = BottomUp(CumulativeEstimator(max_size=30)).run(
+            three_level_tree, epsilon=1.0, rng=rng
+        )
+        for node in three_level_tree.nodes():
+            if node.is_leaf:
+                continue
+            total = result[node.children[0].name]
+            for child in node.children[1:]:
+                total = total + result[child.name]
+            assert total == result[node.name]
+
+    def test_group_counts_preserved_everywhere(self, three_level_tree, rng):
+        result = BottomUp(UnattributedEstimator()).run(
+            three_level_tree, epsilon=1.0, rng=rng
+        )
+        for node in three_level_tree.nodes():
+            assert result[node.name].num_groups == node.num_groups
+
+    def test_full_budget_at_leaves(self, two_level_tree, rng):
+        result = BottomUp(CumulativeEstimator(max_size=30)).run(
+            two_level_tree, epsilon=1.0, rng=rng
+        )
+        assert result.budget.spent == pytest.approx(1.0)
+        assert result.budget.group_spend("leaves") == pytest.approx(1.0)
+
+    def test_leaves_benefit_from_undivided_budget(self, rng):
+        """At the leaves BU (full eps) should beat top-down (eps/levels) on
+        average — the trade-off of Section 6.2.2."""
+        from repro.core.consistency.topdown import TopDown
+        from repro.hierarchy.build import from_leaf_histograms
+
+        leaf_specs = {
+            f"s{i}": np.bincount(rng.integers(1, 10, size=300), minlength=11)
+            for i in range(8)
+        }
+        tree = from_leaf_histograms("root", leaf_specs)
+
+        def leaf_error(result):
+            return np.mean([
+                earthmover_distance(leaf.data, result[leaf.name])
+                for leaf in tree.leaves()
+            ])
+
+        bu_err, td_err = [], []
+        for seed in range(8):
+            bu = BottomUp(CumulativeEstimator(max_size=30)).run(
+                tree, 0.2, rng=np.random.default_rng(seed)
+            )
+            td = TopDown(CumulativeEstimator(max_size=30)).run(
+                tree, 0.2, rng=np.random.default_rng(seed + 100)
+            )
+            bu_err.append(leaf_error(bu.estimates))
+            td_err.append(leaf_error(td.estimates))
+        assert np.mean(bu_err) < np.mean(td_err)
+
+    def test_invalid_epsilon_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError):
+            BottomUp(CumulativeEstimator()).run(two_level_tree, epsilon=0.0)
+
+    def test_deterministic(self, two_level_tree):
+        algo = BottomUp(CumulativeEstimator(max_size=30))
+        a = algo.run(two_level_tree, 1.0, rng=np.random.default_rng(2))
+        b = algo.run(two_level_tree, 1.0, rng=np.random.default_rng(2))
+        assert all(a[n.name] == b[n.name] for n in two_level_tree.nodes())

@@ -1,0 +1,92 @@
+"""Tests for non-uniform per-level budget allocation in TopDown."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator
+from repro.exceptions import EstimationError
+
+
+class TestLevelWeights:
+    def test_default_is_uniform(self, two_level_tree, rng):
+        algo = TopDown(CumulativeEstimator(max_size=30))
+        result = algo.run(two_level_tree, 1.0, rng=rng)
+        assert result.budget.group_spend("level0") == pytest.approx(0.5)
+        assert result.budget.group_spend("level1") == pytest.approx(0.5)
+
+    def test_custom_split_respected(self, two_level_tree, rng):
+        algo = TopDown(
+            CumulativeEstimator(max_size=30), level_weights=np.array([1.0, 3.0])
+        )
+        result = algo.run(two_level_tree, 1.0, rng=rng)
+        assert result.budget.group_spend("level0") == pytest.approx(0.25)
+        assert result.budget.group_spend("level1") == pytest.approx(0.75)
+        assert result.budget.spent == pytest.approx(1.0)
+
+    def test_weights_need_not_be_normalized(self, two_level_tree, rng):
+        a = TopDown(
+            CumulativeEstimator(max_size=30), level_weights=np.array([2.0, 6.0])
+        ).run(two_level_tree, 1.0, rng=np.random.default_rng(1))
+        b = TopDown(
+            CumulativeEstimator(max_size=30), level_weights=np.array([0.25, 0.75])
+        ).run(two_level_tree, 1.0, rng=np.random.default_rng(1))
+        assert all(a[n.name] == b[n.name] for n in two_level_tree.nodes())
+
+    def test_desiderata_still_hold(self, three_level_tree, rng):
+        algo = TopDown(
+            CumulativeEstimator(max_size=30),
+            level_weights=np.array([1.0, 2.0, 4.0]),
+        )
+        result = algo.run(three_level_tree, 1.5, rng=rng)
+        for node in three_level_tree.nodes():
+            assert result[node.name].num_groups == node.num_groups
+            if not node.is_leaf:
+                total = result[node.children[0].name]
+                for child in node.children[1:]:
+                    total = total + result[child.name]
+                assert total == result[node.name]
+
+    def test_leaf_heavy_split_helps_leaves(self, rng):
+        """Shifting budget to the leaves should reduce leaf error relative
+        to the uniform split (the bottom-up limit of the trade-off)."""
+        from repro.evaluation.runner import per_level_emd
+        from repro.hierarchy.build import from_leaf_histograms
+
+        leaf_specs = {
+            f"s{i}": np.bincount(rng.integers(1, 10, size=400), minlength=11)
+            for i in range(8)
+        }
+        tree = from_leaf_histograms("root", leaf_specs)
+
+        def mean_leaf_error(weights):
+            errors = []
+            for seed in range(6):
+                algo = TopDown(
+                    CumulativeEstimator(max_size=30), level_weights=weights
+                )
+                estimates = algo.run(
+                    tree, 0.4, rng=np.random.default_rng(seed)
+                ).estimates
+                errors.append(per_level_emd(tree, estimates)[1])
+            return np.mean(errors)
+
+        uniform = mean_leaf_error(np.array([1.0, 1.0]))
+        leaf_heavy = mean_leaf_error(np.array([1.0, 7.0]))
+        assert leaf_heavy < uniform
+
+    def test_wrong_length_rejected(self, two_level_tree, rng):
+        algo = TopDown(
+            CumulativeEstimator(max_size=30),
+            level_weights=np.array([1.0, 1.0, 1.0]),
+        )
+        with pytest.raises(EstimationError):
+            algo.run(two_level_tree, 1.0, rng=rng)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(EstimationError):
+            TopDown(CumulativeEstimator(), level_weights=np.array([1.0, 0.0]))
+        with pytest.raises(EstimationError):
+            TopDown(CumulativeEstimator(), level_weights=np.array([]))
+        with pytest.raises(EstimationError):
+            TopDown(CumulativeEstimator(), level_weights=np.array([[1.0]]))

@@ -1,0 +1,143 @@
+"""Tests for the optimal matching algorithm (Section 5.2, Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.matching import (
+    match_parent_to_children,
+    matching_cost_lower_bound,
+)
+from repro.exceptions import MatchingError
+
+
+def hungarian_cost(parent, children_concat):
+    """Optimal assignment cost via scipy's Hungarian algorithm."""
+    from scipy.optimize import linear_sum_assignment
+
+    parent = np.asarray(parent)
+    bottom = np.asarray(children_concat)
+    cost = np.abs(parent[:, None] - bottom[None, :])
+    rows, cols = linear_sum_assignment(cost)
+    return int(cost[rows, cols].sum())
+
+
+def unit_vars(arr):
+    return np.ones(np.asarray(arr).size, dtype=float)
+
+
+class TestMatchingBasics:
+    def test_identical_sides_zero_cost(self):
+        parent = np.array([1, 2, 3])
+        children = [np.array([1, 3]), np.array([2])]
+        result = match_parent_to_children(
+            parent, unit_vars(parent), children, [unit_vars(c) for c in children]
+        )
+        assert result.cost == 0
+        # Each child group is matched to a parent group of equal size.
+        assert list(result.parent_sizes[0]) == [1, 3]
+        assert list(result.parent_sizes[1]) == [2]
+
+    def test_paper_proportional_example(self):
+        """300 size-1 parent groups; children with 200/100/100 size-1 groups
+        and the remainder at size 2 — the 50%/25%/25% split of §5.2.1."""
+        parent = np.array([1] * 300 + [2] * 100)
+        children = [
+            np.array([1] * 200),
+            np.array([1] * 100 + [2] * 50),
+            np.array([2] * 50),
+        ]
+        result = match_parent_to_children(
+            parent, unit_vars(parent), children, [unit_vars(c) for c in children]
+        )
+        # All size-1 child groups matched to size-1 parent groups: cost 0.
+        assert result.cost == 0
+
+    def test_output_alignment(self):
+        parent = np.array([1, 1, 2, 5])
+        children = [np.array([1, 2]), np.array([1, 4])]
+        result = match_parent_to_children(
+            parent, unit_vars(parent), children, [unit_vars(c) for c in children]
+        )
+        for index, child in enumerate(children):
+            assert result.parent_sizes[index].size == child.size
+            assert result.parent_variances[index].size == child.size
+
+    def test_variances_travel_with_parent_groups(self):
+        parent = np.array([1, 2])
+        parent_vars = np.array([0.5, 9.0])
+        children = [np.array([1]), np.array([2])]
+        result = match_parent_to_children(
+            parent, parent_vars, children, [unit_vars(c) for c in children]
+        )
+        assert result.parent_variances[0][0] == 0.5
+        assert result.parent_variances[1][0] == 9.0
+
+    def test_mismatched_totals_rejected(self):
+        with pytest.raises(MatchingError):
+            match_parent_to_children(
+                np.array([1, 2]), unit_vars([1, 2]),
+                [np.array([1])], [unit_vars([1])],
+            )
+
+    def test_no_children_rejected(self):
+        with pytest.raises(MatchingError):
+            match_parent_to_children(np.array([1]), unit_vars([1]), [], [])
+
+    def test_misaligned_parent_variances_rejected(self):
+        with pytest.raises(MatchingError):
+            match_parent_to_children(
+                np.array([1, 2]), np.array([1.0]),
+                [np.array([1, 2])], [unit_vars([1, 2])],
+            )
+
+
+class TestMatchingOptimality:
+    def test_cost_equals_hungarian_on_random_instances(self, rng):
+        """Lemma 5: the greedy sweep is optimal."""
+        for _ in range(20):
+            num_children = int(rng.integers(1, 4))
+            child_sizes = [
+                np.sort(rng.integers(0, 12, size=rng.integers(1, 8)))
+                for _ in range(num_children)
+            ]
+            total = sum(c.size for c in child_sizes)
+            parent = np.sort(rng.integers(0, 12, size=total))
+            result = match_parent_to_children(
+                parent, unit_vars(parent),
+                child_sizes, [unit_vars(c) for c in child_sizes],
+            )
+            expected = hungarian_cost(parent, np.concatenate(child_sizes))
+            assert result.cost == expected
+
+    def test_cost_equals_sorted_lower_bound(self, rng):
+        for _ in range(10):
+            child_sizes = [
+                np.sort(rng.integers(0, 100, size=200)) for _ in range(3)
+            ]
+            parent = np.sort(rng.integers(0, 100, size=600))
+            result = match_parent_to_children(
+                parent, unit_vars(parent),
+                child_sizes, [unit_vars(c) for c in child_sizes],
+            )
+            assert result.cost == matching_cost_lower_bound(parent, child_sizes)
+
+    def test_large_instance_linear_behaviour(self, rng):
+        """A 100k-group matching should complete quickly (O(G log G))."""
+        child_sizes = [
+            np.sort(rng.integers(0, 1000, size=25_000)) for _ in range(4)
+        ]
+        parent = np.sort(np.concatenate(child_sizes) + rng.integers(
+            -1, 2, size=100_000
+        ))
+        parent = np.clip(parent, 0, None)
+        result = match_parent_to_children(
+            parent, unit_vars(parent),
+            child_sizes, [unit_vars(c) for c in child_sizes],
+        )
+        assert result.cost == matching_cost_lower_bound(parent, child_sizes)
+
+
+class TestMatchingLowerBound:
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(MatchingError):
+            matching_cost_lower_bound(np.array([1, 2]), [np.array([1])])

@@ -1,0 +1,110 @@
+"""Tests for the mean-consistency baseline (Hay et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.mean_consistency import mean_consistency
+from repro.exceptions import HierarchyError
+from repro.hierarchy.build import from_leaf_histograms
+
+
+def exact_ls_solution(noisy_root, noisy_children):
+    """Closed-form least squares for a 1-level star: root + k children.
+
+    minimize (r - z_r)^2 + sum (c_i - z_i)^2  s.t.  r = sum c_i
+    """
+    z_r = np.asarray(noisy_root, dtype=float)
+    z_c = [np.asarray(c, dtype=float) for c in noisy_children]
+    k = len(z_c)
+    child_sum = np.sum(z_c, axis=0)
+    root = (k * z_r + child_sum) / (k + 1.0)
+    residual = (root - child_sum) / k
+    children = [c + residual for c in z_c]
+    return root, children
+
+
+class TestMeanConsistency:
+    def test_parent_equals_child_sum(self, two_level_tree, rng):
+        noisy = {
+            node.name: node.data.histogram + rng.normal(size=len(node.data))
+            for node in two_level_tree.nodes()
+        }
+        result = mean_consistency(two_level_tree, noisy)
+        child_sum = np.sum(
+            [result[c.name] for c in two_level_tree.root.children], axis=0
+        )
+        assert np.allclose(result["national"], child_sum)
+
+    def test_three_level_consistency(self, three_level_tree, rng):
+        noisy = {
+            node.name: node.data.histogram + rng.normal(size=len(node.data))
+            for node in three_level_tree.nodes()
+        }
+        result = mean_consistency(three_level_tree, noisy)
+        for node in three_level_tree.nodes():
+            if node.is_leaf:
+                continue
+            child_sum = np.sum([result[c.name] for c in node.children], axis=0)
+            assert np.allclose(result[node.name], child_sum)
+
+    def test_matches_exact_least_squares_on_star(self, rng):
+        """Two-sweep algorithm must equal the closed-form LS solution for a
+        root with k leaves."""
+        tree = from_leaf_histograms(
+            "root", {"a": [0, 3], "b": [0, 2], "c": [0, 4]}
+        )
+        noisy = {
+            name: np.asarray(values, dtype=float)
+            for name, values in {
+                "root": [1.0, 8.5], "a": [0.2, 3.3], "b": [-0.1, 1.9],
+                "c": [0.4, 4.4],
+            }.items()
+        }
+        result = mean_consistency(tree, noisy)
+        root, children = exact_ls_solution(
+            noisy["root"], [noisy["a"], noisy["b"], noisy["c"]]
+        )
+        assert np.allclose(result["root"], root)
+        for name, expected in zip(["a", "b", "c"], children):
+            assert np.allclose(result[name], expected)
+
+    def test_produces_negative_cells(self):
+        """Footnote 7: the subtraction step can push small counts negative —
+        the concrete reason mean-consistency fails Problem 1."""
+        tree = from_leaf_histograms("root", {"a": [0, 1], "b": [0, 1]})
+        noisy = {
+            "root": np.array([0.0, 0.2]),   # root much smaller than children
+            "a": np.array([0.0, 2.0]),
+            "b": np.array([0.0, 0.1]),
+        }
+        result = mean_consistency(tree, noisy)
+        assert min(result["b"].min(), result["a"].min()) < 0 or (
+            result["root"].min() < 0
+        ) or np.any(result["b"] < 0.2)  # at least shows non-integrality
+        # Regardless of sign, outputs are fractional:
+        assert not np.allclose(result["a"], np.rint(result["a"]))
+
+    def test_noiseless_input_passes_through(self, two_level_tree):
+        noisy = {
+            node.name: node.data.histogram.astype(float)
+            for node in two_level_tree.nodes()
+        }
+        result = mean_consistency(two_level_tree, noisy)
+        for node in two_level_tree.nodes():
+            padded = np.zeros(result[node.name].size)
+            padded[: len(node.data)] = node.data.histogram
+            assert np.allclose(result[node.name], padded)
+
+    def test_missing_node_rejected(self, two_level_tree):
+        with pytest.raises(HierarchyError):
+            mean_consistency(two_level_tree, {"national": np.array([1.0])})
+
+    def test_mixed_lengths_padded(self, two_level_tree, rng):
+        noisy = {
+            node.name: node.data.histogram[: rng.integers(1, len(node.data))]
+            .astype(float)
+            for node in two_level_tree.nodes()
+        }
+        result = mean_consistency(two_level_tree, noisy)
+        widths = {arr.size for arr in result.values()}
+        assert len(widths) == 1

@@ -1,0 +1,113 @@
+"""Tests for estimate merging (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.merge import merge_matched_estimates
+from repro.exceptions import EstimationError
+
+
+class TestWeightedMerge:
+    def test_inverse_variance_weighting(self):
+        """Equation 5 with variances 1 and 3: weights 3/4 and 1/4."""
+        sizes, variances = merge_matched_estimates(
+            child_sizes=np.array([4.0]), child_variances=np.array([1.0]),
+            parent_sizes=np.array([8.0]), parent_variances=np.array([3.0]),
+        )
+        # (4/1 + 8/3) / (1/1 + 1/3) = (20/3) / (4/3) = 5.
+        assert sizes[0] == 5
+
+    def test_combined_variance_formula(self):
+        """Equation 6: 1 / (1/v1 + 1/v2)."""
+        _, variances = merge_matched_estimates(
+            np.array([4.0]), np.array([2.0]),
+            np.array([8.0]), np.array([2.0]),
+        )
+        assert variances[0] == pytest.approx(1.0)
+
+    def test_low_variance_estimate_dominates(self):
+        sizes, _ = merge_matched_estimates(
+            np.array([10.0]), np.array([1e-6]),
+            np.array([100.0]), np.array([1e6]),
+        )
+        assert sizes[0] == 10
+
+    def test_equal_variances_reduce_to_average(self):
+        weighted, _ = merge_matched_estimates(
+            np.array([2.0]), np.array([5.0]),
+            np.array([4.0]), np.array([5.0]),
+        )
+        naive, _ = merge_matched_estimates(
+            np.array([2.0]), np.array([5.0]),
+            np.array([4.0]), np.array([5.0]),
+            strategy="naive",
+        )
+        assert weighted[0] == naive[0] == 3
+
+
+class TestNaiveMerge:
+    def test_plain_average(self):
+        sizes, _ = merge_matched_estimates(
+            np.array([2.0]), np.array([1.0]),
+            np.array([7.0]), np.array([100.0]),
+            strategy="naive",
+        )
+        assert sizes[0] == round(4.5)
+
+    def test_variance_of_average(self):
+        _, variances = merge_matched_estimates(
+            np.array([2.0]), np.array([4.0]),
+            np.array([4.0]), np.array([8.0]),
+            strategy="naive",
+        )
+        assert variances[0] == pytest.approx((4.0 + 8.0) / 4.0)
+
+
+class TestMergeInvariants:
+    def test_output_sorted(self, rng):
+        n = 50
+        child = np.sort(rng.integers(0, 20, size=n)).astype(float)
+        parent = np.sort(rng.integers(0, 20, size=n)).astype(float)
+        rng.shuffle(parent)  # matched parent sizes need not be sorted
+        sizes, variances = merge_matched_estimates(
+            child, rng.uniform(0.5, 2.0, n),
+            parent, rng.uniform(0.5, 2.0, n),
+        )
+        assert np.all(np.diff(sizes) >= 0)
+        assert sizes.size == variances.size == n
+
+    def test_output_integer_nonnegative(self, rng):
+        sizes, _ = merge_matched_estimates(
+            np.array([0.0, 1.0]), np.array([1.0, 1.0]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+        assert np.issubdtype(sizes.dtype, np.integer)
+        assert np.all(sizes >= 0)
+
+    def test_empty_inputs(self):
+        sizes, variances = merge_matched_estimates(
+            np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0)
+        )
+        assert sizes.size == 0 and variances.size == 0
+
+    def test_misaligned_shapes_rejected(self):
+        with pytest.raises(EstimationError):
+            merge_matched_estimates(
+                np.array([1.0]), np.array([1.0, 2.0]),
+                np.array([1.0]), np.array([1.0]),
+            )
+
+    def test_nonpositive_variances_rejected(self):
+        with pytest.raises(EstimationError):
+            merge_matched_estimates(
+                np.array([1.0]), np.array([0.0]),
+                np.array([1.0]), np.array([1.0]),
+            )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(EstimationError):
+            merge_matched_estimates(
+                np.array([1.0]), np.array([1.0]),
+                np.array([1.0]), np.array([1.0]),
+                strategy="median",
+            )

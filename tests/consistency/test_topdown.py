@@ -1,0 +1,161 @@
+"""Tests for the top-down consistency algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import (
+    CumulativeEstimator,
+    PerLevelSpec,
+    UnattributedEstimator,
+)
+from repro.core.metrics import earthmover_distance
+from repro.exceptions import EstimationError
+
+
+def check_desiderata(hierarchy, estimates):
+    """Assert all four requirements of Problem 1."""
+    for node in hierarchy.nodes():
+        histogram = estimates[node.name].histogram
+        assert np.issubdtype(histogram.dtype, np.integer)  # integrality
+        assert np.all(histogram >= 0)  # nonnegativity
+        assert estimates[node.name].num_groups == node.num_groups  # group size
+    for node in hierarchy.nodes():  # consistency
+        if node.is_leaf:
+            continue
+        total = estimates[node.children[0].name]
+        for child in node.children[1:]:
+            total = total + estimates[child.name]
+        assert total == estimates[node.name]
+
+
+@pytest.mark.parametrize(
+    "estimator",
+    [CumulativeEstimator(max_size=30), UnattributedEstimator()],
+    ids=["Hc", "Hg"],
+)
+class TestDesiderataTwoLevel:
+    def test_all_requirements(self, estimator, two_level_tree, rng):
+        result = TopDown(estimator).run(two_level_tree, epsilon=1.0, rng=rng)
+        check_desiderata(two_level_tree, result.estimates)
+
+    def test_budget_fully_spent(self, estimator, two_level_tree, rng):
+        result = TopDown(estimator).run(two_level_tree, epsilon=1.0, rng=rng)
+        assert result.budget.spent == pytest.approx(1.0)
+
+    def test_per_level_budget_split(self, estimator, two_level_tree, rng):
+        result = TopDown(estimator).run(two_level_tree, epsilon=1.0, rng=rng)
+        assert result.budget.group_spend("level0") == pytest.approx(0.5)
+        assert result.budget.group_spend("level1") == pytest.approx(0.5)
+
+
+class TestDesiderataThreeLevel:
+    def test_all_requirements(self, three_level_tree, rng):
+        result = TopDown(CumulativeEstimator(max_size=30)).run(
+            three_level_tree, epsilon=1.5, rng=rng
+        )
+        check_desiderata(three_level_tree, result.estimates)
+
+    def test_budget_three_way_split(self, three_level_tree, rng):
+        result = TopDown(CumulativeEstimator(max_size=30)).run(
+            three_level_tree, epsilon=1.5, rng=rng
+        )
+        for level in range(3):
+            assert result.budget.group_spend(f"level{level}") == pytest.approx(0.5)
+
+
+class TestConfiguration:
+    def test_per_level_spec(self, two_level_tree, rng):
+        spec = PerLevelSpec.from_string("hg x hc", max_size=30)
+        result = TopDown(spec).run(two_level_tree, epsilon=1.0, rng=rng)
+        assert result.initial_estimates["national"].method == "hg"
+        assert result.initial_estimates["state-a"].method == "hc"
+
+    def test_spec_depth_mismatch_rejected(self, two_level_tree, rng):
+        spec = PerLevelSpec.from_string("hc x hc x hc", max_size=30)
+        with pytest.raises(EstimationError):
+            TopDown(spec).run(two_level_tree, epsilon=1.0, rng=rng)
+
+    def test_naive_merge_strategy(self, two_level_tree, rng):
+        result = TopDown(
+            CumulativeEstimator(max_size=30), merge_strategy="naive"
+        ).run(two_level_tree, epsilon=1.0, rng=rng)
+        check_desiderata(two_level_tree, result.estimates)
+
+    def test_unknown_merge_strategy_rejected(self):
+        with pytest.raises(EstimationError):
+            TopDown(CumulativeEstimator(), merge_strategy="bogus")
+
+    def test_invalid_epsilon_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError):
+            TopDown(CumulativeEstimator()).run(two_level_tree, epsilon=-1.0)
+
+    def test_deterministic_given_seed(self, two_level_tree):
+        algo = TopDown(CumulativeEstimator(max_size=30))
+        a = algo.run(two_level_tree, 1.0, rng=np.random.default_rng(5))
+        b = algo.run(two_level_tree, 1.0, rng=np.random.default_rng(5))
+        assert all(a[n.name] == b[n.name] for n in two_level_tree.nodes())
+
+
+class TestAccuracy:
+    def test_high_budget_recovers_truth_closely(self, two_level_tree):
+        algo = TopDown(CumulativeEstimator(max_size=30))
+        result = algo.run(
+            two_level_tree, epsilon=2000.0, rng=np.random.default_rng(0)
+        )
+        for node in two_level_tree.nodes():
+            assert earthmover_distance(node.data, result[node.name]) <= 3
+
+    def test_root_error_beats_bottom_up_on_average(self, rng):
+        """Section 6.2.2's headline claim, on a synthetic 2-level tree."""
+        from repro.core.consistency.bottomup import BottomUp
+        from repro.hierarchy.build import from_leaf_histograms
+
+        leaf_specs = {
+            f"s{i}": np.bincount(
+                rng.integers(1, 15, size=400), minlength=16
+            )
+            for i in range(10)
+        }
+        tree = from_leaf_histograms("root", leaf_specs)
+
+        topdown_errors, bottomup_errors = [], []
+        for seed in range(6):
+            run_rng = np.random.default_rng(seed)
+            td = TopDown(CumulativeEstimator(max_size=40)).run(
+                tree, 1.0, rng=run_rng
+            )
+            topdown_errors.append(
+                earthmover_distance(tree.root.data, td["root"])
+            )
+            run_rng = np.random.default_rng(seed)
+            bu = BottomUp(CumulativeEstimator(max_size=40)).run(
+                tree, 1.0, rng=run_rng
+            )
+            bottomup_errors.append(
+                earthmover_distance(tree.root.data, bu["root"])
+            )
+        assert np.mean(topdown_errors) < np.mean(bottomup_errors)
+
+    def test_weighted_merge_beats_naive_at_root(self, rng):
+        """Figure 4's claim: inverse-variance merging reduces root error."""
+        from repro.hierarchy.build import from_leaf_histograms
+
+        leaf_specs = {
+            f"s{i}": np.bincount(
+                rng.integers(1, 12, size=500), minlength=13
+            )
+            for i in range(8)
+        }
+        tree = from_leaf_histograms("root", leaf_specs)
+
+        def average_root_error(strategy):
+            errors = []
+            for seed in range(8):
+                result = TopDown(
+                    CumulativeEstimator(max_size=30), merge_strategy=strategy
+                ).run(tree, 0.4, rng=np.random.default_rng(seed))
+                errors.append(earthmover_distance(tree.root.data, result["root"]))
+            return np.mean(errors)
+
+        assert average_root_error("weighted") <= average_root_error("naive") * 1.5

@@ -1,0 +1,71 @@
+"""Tests for per-group variance estimation (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.variance import group_variances, size_multiplicities
+from repro.exceptions import EstimationError
+
+
+class TestSizeMultiplicities:
+    def test_basic_runs(self):
+        result = size_multiplicities(np.array([1, 1, 1, 4]))
+        assert list(result) == [3, 3, 3, 1]
+
+    def test_all_distinct(self):
+        assert list(size_multiplicities(np.array([1, 2, 3]))) == [1, 1, 1]
+
+    def test_all_equal(self):
+        assert list(size_multiplicities(np.array([7, 7, 7, 7]))) == [4, 4, 4, 4]
+
+    def test_empty(self):
+        assert size_multiplicities(np.array([])).size == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(EstimationError):
+            size_multiplicities(np.array([2, 1]))
+
+
+class TestGroupVariances:
+    def test_hg_formula(self):
+        """Section 5.1.1: V = 2 / (S * eps^2)."""
+        hg = np.array([1, 1, 5])
+        variances = group_variances(hg, epsilon=0.5, method="hg")
+        assert variances[0] == pytest.approx(2.0 / (2 * 0.25))
+        assert variances[2] == pytest.approx(2.0 / (1 * 0.25))
+
+    def test_hc_formula(self):
+        """Section 5.1.2: V = 4 / (eps^2 * #groups of that size)."""
+        hg = np.array([1, 1, 5])
+        variances = group_variances(hg, epsilon=0.5, method="hc")
+        assert variances[0] == pytest.approx(4.0 / (0.25 * 2))
+        assert variances[2] == pytest.approx(4.0 / (0.25 * 1))
+
+    def test_hc_twice_hg(self):
+        """The Hc numerator is exactly twice the Hg numerator."""
+        hg = np.array([1, 2, 2, 3])
+        v_hg = group_variances(hg, 1.0, "hg")
+        v_hc = group_variances(hg, 1.0, "hc")
+        assert np.allclose(v_hc, 2 * v_hg)
+
+    def test_bigger_partitions_mean_lower_variance(self):
+        hg = np.array([1] * 100 + [2])
+        variances = group_variances(hg, 1.0, "hg")
+        assert variances[0] < variances[-1]
+
+    def test_epsilon_scaling(self):
+        hg = np.array([1, 2])
+        v1 = group_variances(hg, 1.0, "hg")
+        v2 = group_variances(hg, 2.0, "hg")
+        assert np.allclose(v1, 4 * v2)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(EstimationError):
+            group_variances(np.array([1]), 1.0, "bogus")
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(EstimationError):
+            group_variances(np.array([1]), 0.0, "hg")
+
+    def test_empty_input(self):
+        assert group_variances(np.array([]), 1.0, "hg").size == 0

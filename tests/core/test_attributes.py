@@ -1,0 +1,78 @@
+"""Tests for the attributed (multi-category) release of Section 7."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import AttributedTopDown
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator
+from repro.exceptions import EstimationError, HierarchyError
+from repro.hierarchy.build import from_leaf_histograms
+
+
+@pytest.fixture
+def categories():
+    owners = from_leaf_histograms(
+        "US", {"VA": [0, 50, 20, 5], "MD": [0, 30, 10, 5]}
+    )
+    renters = from_leaf_histograms(
+        "US", {"VA": [0, 20, 25], "MD": [0, 40, 5, 1]}
+    )
+    return {"own": owners, "rent": renters}
+
+
+@pytest.fixture
+def algo():
+    return AttributedTopDown(TopDown(CumulativeEstimator(max_size=20)))
+
+
+class TestAttributedTopDown:
+    def test_per_category_desiderata(self, categories, algo, rng):
+        released = algo.run(categories, epsilon=2.0, rng=rng)
+        for name, tree in categories.items():
+            estimates = released.categories[name]
+            for node in tree.nodes():
+                assert estimates[node.name].num_groups == node.num_groups
+                assert np.all(estimates[node.name].histogram >= 0)
+
+    def test_totals_consistent_across_hierarchy(self, categories, algo, rng):
+        released = algo.run(categories, epsilon=2.0, rng=rng)
+        assert released.totals["US"] == (
+            released.totals["VA"] + released.totals["MD"]
+        )
+
+    def test_totals_consistent_across_categories(self, categories, algo, rng):
+        released = algo.run(categories, epsilon=2.0, rng=rng)
+        for node in ("US", "VA", "MD"):
+            by_category = (
+                released.histogram(node, "own") + released.histogram(node, "rent")
+            )
+            assert by_category == released.totals[node]
+
+    def test_total_group_counts_public(self, categories, algo, rng):
+        released = algo.run(categories, epsilon=2.0, rng=rng)
+        true_total = sum(t.root.num_groups for t in categories.values())
+        assert released.totals["US"].num_groups == true_total
+
+    def test_histogram_accessor(self, categories, algo, rng):
+        released = algo.run(categories, epsilon=2.0, rng=rng)
+        assert released.histogram("VA") == released.totals["VA"]
+        assert (
+            released.histogram("VA", "own")
+            == released.categories["own"]["VA"]
+        )
+
+    def test_mismatched_structures_rejected(self, algo, rng):
+        a = from_leaf_histograms("US", {"VA": [0, 1]})
+        b = from_leaf_histograms("US", {"TX": [0, 1]})
+        with pytest.raises(HierarchyError):
+            algo.run({"a": a, "b": b}, epsilon=1.0, rng=rng)
+
+    def test_empty_categories_rejected(self, algo, rng):
+        with pytest.raises(EstimationError):
+            algo.run({}, epsilon=1.0, rng=rng)
+
+    def test_deterministic(self, categories, algo):
+        a = algo.run(categories, 1.0, rng=np.random.default_rng(5))
+        b = algo.run(categories, 1.0, rng=np.random.default_rng(5))
+        assert all(a.totals[k] == b.totals[k] for k in a.totals)

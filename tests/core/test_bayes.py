@@ -1,0 +1,119 @@
+"""Tests for the Bayesian cumulative-histogram estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.bayes import (
+    BayesianCumulativeEstimator,
+    posterior_mean_cumulative,
+)
+from repro.core.estimators.cumulative import CumulativeEstimator
+from repro.core.histogram import CountOfCounts
+from repro.core.metrics import earthmover_distance
+from repro.exceptions import EstimationError
+
+
+class TestPosteriorMean:
+    def test_monotone_output_with_pinned_endpoint(self, rng):
+        noisy = rng.integers(-3, 12, size=15).astype(float)
+        fitted = posterior_mean_cumulative(noisy, total=8, epsilon=1.0)
+        assert np.all(np.diff(fitted) >= -1e-9)
+        assert fitted[-1] == 8.0
+
+    def test_clean_input_recovered_at_high_epsilon(self):
+        hc = np.array([0.0, 2.0, 3.0, 5.0])
+        fitted = posterior_mean_cumulative(hc, total=5, epsilon=50.0)
+        assert np.allclose(fitted, hc, atol=0.01)
+
+    def test_values_within_range(self, rng):
+        noisy = rng.integers(-20, 30, size=10).astype(float)
+        fitted = posterior_mean_cumulative(noisy, total=6, epsilon=0.5)
+        assert np.all(fitted >= -1e-9) and np.all(fitted <= 6 + 1e-9)
+
+    def test_matches_brute_force_enumeration(self, rng):
+        """Exact posterior mean by enumerating all monotone sequences on a
+        tiny instance."""
+        import itertools
+
+        total, cells, epsilon = 3, 4, 0.8
+        noisy = np.array([1.0, 0.0, 2.0, 3.0])
+        alpha = np.exp(-epsilon)
+
+        def likelihood(seq):
+            deltas = np.abs(noisy - np.asarray(seq, dtype=float))
+            return float(np.prod((1 - alpha) / (1 + alpha) * alpha**deltas))
+
+        sequences = [
+            seq
+            for seq in itertools.product(range(total + 1), repeat=cells)
+            if all(a <= b for a, b in zip(seq, seq[1:])) and seq[-1] == total
+        ]
+        weights = np.array([likelihood(seq) for seq in sequences])
+        expectation = (
+            np.array(sequences, dtype=float) * weights[:, None]
+        ).sum(axis=0) / weights.sum()
+
+        fitted = posterior_mean_cumulative(noisy, total=total, epsilon=epsilon)
+        assert np.allclose(fitted, expectation, atol=1e-8)
+
+    def test_zero_total(self):
+        fitted = posterior_mean_cumulative(np.array([2.0, -1.0]), 0, 1.0)
+        assert np.allclose(fitted, 0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            posterior_mean_cumulative(np.array([]), 3, 1.0)
+        with pytest.raises(EstimationError):
+            posterior_mean_cumulative(np.array([1.0]), -1, 1.0)
+
+
+class TestBayesianEstimator:
+    @pytest.fixture
+    def data(self, rng):
+        return CountOfCounts.from_sizes(rng.integers(1, 15, size=80))
+
+    def test_desiderata(self, data, rng):
+        result = BayesianCumulativeEstimator(max_size=30).estimate(
+            data, 1.0, rng=rng
+        )
+        histogram = result.estimate.histogram
+        assert np.issubdtype(histogram.dtype, np.integer)
+        assert np.all(histogram >= 0)
+        assert result.estimate.num_groups == data.num_groups
+
+    def test_cell_limit_guard(self, rng):
+        """The quadratic-cost refusal the paper's remark implies."""
+        big = CountOfCounts.from_sizes(np.ones(100_000, dtype=np.int64))
+        with pytest.raises(EstimationError, match="quadratic"):
+            BayesianCumulativeEstimator(max_size=10_000).estimate(
+                big, 1.0, rng=rng
+            )
+
+    def test_beats_or_matches_isotonic_on_average(self, rng):
+        """Lin & Kifer's observation: Bayes post-processing reduces error.
+        Averaged over seeds, the posterior mean should not lose to the L1
+        isotonic fit by more than noise."""
+        data = CountOfCounts.from_sizes(
+            np.random.default_rng(0).integers(1, 10, size=60)
+        )
+        bayes_errors, isotonic_errors = [], []
+        for seed in range(30):
+            bayes = BayesianCumulativeEstimator(max_size=20).estimate(
+                data, 0.5, rng=np.random.default_rng(seed)
+            )
+            isotonic = CumulativeEstimator(max_size=20).estimate(
+                data, 0.5, rng=np.random.default_rng(seed)
+            )
+            bayes_errors.append(earthmover_distance(data, bayes.estimate))
+            isotonic_errors.append(earthmover_distance(data, isotonic.estimate))
+        assert np.mean(bayes_errors) <= np.mean(isotonic_errors) * 1.15
+
+    def test_deterministic(self, data):
+        est = BayesianCumulativeEstimator(max_size=30)
+        a = est.estimate(data, 1.0, rng=np.random.default_rng(4))
+        b = est.estimate(data, 1.0, rng=np.random.default_rng(4))
+        assert a.estimate == b.estimate
+
+    def test_invalid_max_size(self):
+        with pytest.raises(EstimationError):
+            BayesianCumulativeEstimator(max_size=0)

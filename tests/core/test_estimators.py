@@ -1,0 +1,180 @@
+"""Tests for the three single-node estimators (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    CumulativeEstimator,
+    NaiveEstimator,
+    UnattributedEstimator,
+    estimate_public_bound,
+)
+from repro.core.histogram import CountOfCounts
+from repro.core.metrics import earthmover_distance
+from repro.exceptions import EstimationError
+
+ALL_ESTIMATORS = [
+    NaiveEstimator(max_size=50),
+    UnattributedEstimator(),
+    CumulativeEstimator(max_size=50, p=1),
+    CumulativeEstimator(max_size=50, p=2),
+]
+
+
+@pytest.fixture
+def data(rng):
+    sizes = np.concatenate([
+        rng.integers(1, 6, size=200),
+        rng.integers(10, 30, size=20),
+    ])
+    return CountOfCounts.from_sizes(sizes)
+
+
+@pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=repr)
+class TestDesiderata:
+    """Every estimator must satisfy the single-node requirements."""
+
+    def test_integrality(self, estimator, data, rng):
+        result = estimator.estimate(data, 1.0, rng=rng)
+        histogram = result.estimate.histogram
+        assert np.issubdtype(histogram.dtype, np.integer)
+
+    def test_nonnegativity(self, estimator, data, rng):
+        result = estimator.estimate(data, 1.0, rng=rng)
+        assert np.all(result.estimate.histogram >= 0)
+
+    def test_group_count_preserved(self, estimator, data, rng):
+        result = estimator.estimate(data, 1.0, rng=rng)
+        assert result.estimate.num_groups == data.num_groups
+
+    def test_variances_aligned_and_positive(self, estimator, data, rng):
+        result = estimator.estimate(data, 1.0, rng=rng)
+        assert result.variances.size == data.num_groups
+        assert np.all(result.variances > 0)
+
+    def test_invalid_epsilon_rejected(self, estimator, data):
+        with pytest.raises(EstimationError):
+            estimator.estimate(data, 0.0)
+
+    def test_deterministic_given_seed(self, estimator, data):
+        a = estimator.estimate(data, 1.0, rng=np.random.default_rng(9))
+        b = estimator.estimate(data, 1.0, rng=np.random.default_rng(9))
+        assert a.estimate == b.estimate
+
+    def test_accuracy_improves_with_epsilon(self, estimator, data):
+        """Average EMD at eps=5 should beat eps=0.05 (randomness averaged
+        over several runs)."""
+        def average_error(epsilon):
+            errors = []
+            for seed in range(8):
+                rng = np.random.default_rng(seed)
+                result = estimator.estimate(data, epsilon, rng=rng)
+                errors.append(earthmover_distance(data, result.estimate))
+            return np.mean(errors)
+
+        assert average_error(5.0) < average_error(0.05)
+
+
+class TestUnattributedSpecifics:
+    def test_empty_node(self, rng):
+        result = UnattributedEstimator().estimate(CountOfCounts([0]), 1.0, rng)
+        assert result.estimate.num_groups == 0
+        assert result.variances.size == 0
+
+    def test_high_epsilon_near_exact(self, data):
+        result = UnattributedEstimator().estimate(
+            data, 1000.0, rng=np.random.default_rng(0)
+        )
+        assert earthmover_distance(data, result.estimate) <= data.num_groups
+
+    def test_method_tag(self, data, rng):
+        assert UnattributedEstimator().estimate(data, 1.0, rng).method == "hg"
+
+
+class TestCumulativeSpecifics:
+    def test_empty_node(self, rng):
+        result = CumulativeEstimator(max_size=10).estimate(
+            CountOfCounts([0]), 1.0, rng
+        )
+        assert result.estimate.num_groups == 0
+
+    def test_high_epsilon_near_exact(self, data):
+        result = CumulativeEstimator(max_size=50).estimate(
+            data, 1000.0, rng=np.random.default_rng(0)
+        )
+        assert earthmover_distance(data, result.estimate) <= 2
+
+    def test_insensitive_to_large_max_size(self, data):
+        """The paper: K an order of magnitude too large barely matters."""
+        errors = {}
+        for max_size in (50, 500):
+            runs = []
+            for seed in range(6):
+                result = CumulativeEstimator(max_size=max_size).estimate(
+                    data, 1.0, rng=np.random.default_rng(seed)
+                )
+                runs.append(earthmover_distance(data, result.estimate))
+            errors[max_size] = np.mean(runs)
+        assert errors[500] < 10 * max(errors[50], 1)
+
+    def test_truncation_bounds_estimate_support(self, rng):
+        data = CountOfCounts.from_sizes([1, 2, 100])
+        result = CumulativeEstimator(max_size=10).estimate(data, 5.0, rng)
+        assert result.estimate.max_size <= 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            CumulativeEstimator(max_size=0)
+        with pytest.raises(EstimationError):
+            CumulativeEstimator(max_size=10, p=3)
+
+    def test_method_tag(self, data, rng):
+        est = CumulativeEstimator(max_size=50)
+        assert est.estimate(data, 1.0, rng).method == "hc"
+
+
+class TestNaiveSpecifics:
+    def test_method_tag(self, data, rng):
+        est = NaiveEstimator(max_size=50)
+        assert est.estimate(data, 1.0, rng).method == "naive"
+
+    def test_naive_much_worse_than_hc(self, rng):
+        """Section 6.2.1: the naive method is orders of magnitude worse.
+        Use a sparse histogram with a long empty tail, where spurious
+        nonzero cells dominate."""
+        data = CountOfCounts.from_sizes(
+            np.concatenate([np.ones(500, dtype=int), [400]])
+        )
+        naive_err, hc_err = [], []
+        for seed in range(5):
+            naive = NaiveEstimator(max_size=1000).estimate(
+                data, 0.5, rng=np.random.default_rng(seed)
+            )
+            hc = CumulativeEstimator(max_size=1000).estimate(
+                data, 0.5, rng=np.random.default_rng(seed)
+            )
+            naive_err.append(earthmover_distance(data, naive.estimate))
+            hc_err.append(earthmover_distance(data, hc.estimate))
+        assert np.mean(naive_err) > 5 * np.mean(hc_err)
+
+
+class TestPublicBound:
+    def test_bound_usually_above_true_max(self):
+        data = CountOfCounts.from_sizes([5, 80, 200])
+        hits = sum(
+            estimate_public_bound(data, 1.0, np.random.default_rng(seed)) >= 200
+            for seed in range(50)
+        )
+        assert hits >= 49  # designed for P >= 0.9995
+
+    def test_bound_at_least_one(self, rng):
+        assert estimate_public_bound(CountOfCounts([0]), 1.0, rng) >= 1
+
+    def test_small_epsilon_gives_loose_bound(self):
+        data = CountOfCounts.from_sizes([10])
+        bound = estimate_public_bound(data, 1e-4, np.random.default_rng(0))
+        assert bound > 10_000  # 5 stds at eps=1e-4 is ~70k
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(EstimationError):
+            estimate_public_bound(CountOfCounts([0, 1]), 0.0)

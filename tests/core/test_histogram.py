@@ -1,0 +1,143 @@
+"""Tests for histogram representations and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import (
+    CountOfCounts,
+    cumulative_to_histogram,
+    histogram_to_cumulative,
+    histogram_to_unattributed,
+    pad_histogram,
+    truncate_histogram,
+    unattributed_to_histogram,
+    validate_histogram,
+)
+from repro.exceptions import HistogramError
+
+
+class TestConversions:
+    def test_paper_example_cumulative(self, paper_example):
+        """Section 3: H = [0,2,1,2] -> Hc = [0,2,3,5]."""
+        assert list(histogram_to_cumulative([0, 2, 1, 2])) == [0, 2, 3, 5]
+
+    def test_paper_example_unattributed(self):
+        """Section 3: H = [0,2,1,2] -> Hg = [1,1,2,3,3]."""
+        assert list(histogram_to_unattributed([0, 2, 1, 2])) == [1, 1, 2, 3, 3]
+
+    def test_cumulative_roundtrip(self, paper_example):
+        hc = histogram_to_cumulative(paper_example.histogram)
+        assert np.array_equal(
+            cumulative_to_histogram(hc), paper_example.histogram
+        )
+
+    def test_unattributed_roundtrip(self, paper_example):
+        hg = histogram_to_unattributed(paper_example.histogram)
+        back = unattributed_to_histogram(hg, length=len(paper_example))
+        assert np.array_equal(back, paper_example.histogram)
+
+    def test_empty_unattributed(self):
+        assert list(unattributed_to_histogram([], length=3)) == [0, 0, 0]
+
+    def test_invalid_cumulative_rejected(self):
+        with pytest.raises(HistogramError):
+            cumulative_to_histogram([3, 1, 5])  # decreasing
+
+    def test_unsorted_unattributed_rejected(self):
+        with pytest.raises(HistogramError):
+            unattributed_to_histogram([3, 1])
+
+    def test_negative_histogram_rejected(self):
+        with pytest.raises(HistogramError):
+            validate_histogram([1, -1])
+
+    def test_fractional_histogram_rejected(self):
+        with pytest.raises(HistogramError):
+            validate_histogram([1.5, 2])
+
+    def test_2d_rejected(self):
+        with pytest.raises(HistogramError):
+            validate_histogram(np.zeros((2, 2)))
+
+
+class TestPadTruncate:
+    def test_pad(self):
+        assert list(pad_histogram(np.array([1, 2]), 4)) == [1, 2, 0, 0]
+
+    def test_pad_too_short_rejected(self):
+        with pytest.raises(HistogramError):
+            pad_histogram(np.array([1, 2, 3]), 2)
+
+    def test_truncate_clamps_tail(self):
+        """Groups above K become groups of exactly K (Section 4.1)."""
+        histogram = [0, 5, 0, 2, 1]  # sizes 3 and 4 exceed K=2
+        result = truncate_histogram(histogram, max_size=2)
+        assert list(result) == [0, 5, 3]
+
+    def test_truncate_pads_short_input(self):
+        assert list(truncate_histogram([0, 1], max_size=4)) == [0, 1, 0, 0, 0]
+
+    def test_truncate_preserves_group_count(self, rng):
+        histogram = rng.integers(0, 5, size=30)
+        result = truncate_histogram(histogram, max_size=10)
+        assert result.sum() == histogram.sum()
+
+
+class TestCountOfCounts:
+    def test_summaries(self, paper_example):
+        assert paper_example.num_groups == 5
+        assert paper_example.num_entities == 10  # 1+1+2+3+3
+        assert paper_example.max_size == 3
+        assert paper_example.num_distinct_sizes == 3
+
+    def test_from_sizes(self):
+        h = CountOfCounts.from_sizes([3, 1, 1, 2, 3])
+        assert list(h.histogram) == [0, 2, 1, 2]
+
+    def test_from_cumulative(self):
+        h = CountOfCounts.from_cumulative([0, 2, 3, 5])
+        assert list(h.histogram) == [0, 2, 1, 2]
+
+    def test_from_unattributed(self):
+        h = CountOfCounts.from_unattributed([1, 1, 2, 3, 3])
+        assert list(h.histogram) == [0, 2, 1, 2]
+
+    def test_views_cached_and_readonly(self, paper_example):
+        hc = paper_example.cumulative
+        assert hc is paper_example.cumulative  # cached
+        with pytest.raises(ValueError):
+            hc[0] = 99
+
+    def test_histogram_readonly(self, paper_example):
+        with pytest.raises(ValueError):
+            paper_example.histogram[0] = 1
+
+    def test_equality_ignores_trailing_zeros(self):
+        assert CountOfCounts([0, 1]) == CountOfCounts([0, 1, 0, 0])
+        assert hash(CountOfCounts([0, 1])) == hash(CountOfCounts([0, 1, 0]))
+
+    def test_inequality(self):
+        assert CountOfCounts([0, 1]) != CountOfCounts([1, 0])
+
+    def test_addition(self):
+        """Count-of-counts histograms are additive across siblings (§1)."""
+        total = CountOfCounts([0, 1, 0, 0, 1]) + CountOfCounts([0, 1, 1])
+        assert list(total.histogram) == [0, 2, 1, 0, 1]
+
+    def test_padded(self, paper_example):
+        padded = paper_example.padded(10)
+        assert len(padded) == 10
+        assert padded == paper_example
+
+    def test_truncated(self):
+        h = CountOfCounts([0, 5, 0, 2, 1]).truncated(2)
+        assert list(h.histogram) == [0, 5, 3]
+
+    def test_empty_node(self):
+        h = CountOfCounts([0])
+        assert h.num_groups == 0
+        assert h.max_size == 0
+        assert h.unattributed.size == 0
+
+    def test_repr(self, paper_example):
+        assert "groups=5" in repr(paper_example)

@@ -1,0 +1,101 @@
+"""Tests for error metrics (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CountOfCounts
+from repro.core.metrics import (
+    earthmover_distance,
+    emd_profile,
+    l1_distance,
+    l2_distance,
+)
+from repro.exceptions import HistogramError
+
+
+class TestEarthmoverDistance:
+    def test_identical_histograms(self, paper_example):
+        assert earthmover_distance(paper_example, paper_example) == 0
+
+    def test_paper_motivating_example(self):
+        """H: 100 groups of size 1.  H1: all size 2 (emd 100).  H2: all size
+        5 (emd 400).  L1/L2 cannot tell them apart; EMD can (Section 3.1)."""
+        h = [0, 100, 0, 0, 0, 0]
+        h1 = [0, 0, 100, 0, 0, 0]
+        h2 = [0, 0, 0, 0, 0, 100]
+        assert l1_distance(h, h1) == l1_distance(h, h2) == 200
+        assert l2_distance(h, h1) == l2_distance(h, h2) == 20_000
+        assert earthmover_distance(h, h1) == 100
+        assert earthmover_distance(h, h2) == 400
+
+    def test_equals_l1_of_unattributed_views(self, rng):
+        """Lemma 1: EMD == L1 distance in the Hg representation when group
+        counts match."""
+        for _ in range(20):
+            a = CountOfCounts(rng.integers(0, 4, size=8))
+            sizes = a.unattributed.copy()
+            if sizes.size == 0:
+                continue
+            # Perturb sizes, keeping the number of groups fixed.
+            perturbed = np.clip(
+                sizes + rng.integers(-2, 3, size=sizes.size), 0, None
+            )
+            b = CountOfCounts.from_sizes(perturbed)
+            expected = int(np.abs(np.sort(sizes) - np.sort(perturbed)).sum())
+            assert earthmover_distance(a, b) == expected
+
+    def test_symmetry(self, rng):
+        a = CountOfCounts.from_sizes(rng.integers(0, 9, size=30))
+        b = CountOfCounts.from_sizes(rng.integers(0, 9, size=30))
+        assert earthmover_distance(a, b) == earthmover_distance(b, a)
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(20):
+            a, b, c = (
+                CountOfCounts.from_sizes(rng.integers(0, 6, size=12))
+                for _ in range(3)
+            )
+            assert earthmover_distance(a, c) <= (
+                earthmover_distance(a, b) + earthmover_distance(b, c)
+            )
+
+    def test_unequal_group_counts_rejected(self):
+        """EMD is only defined at fixed G (Lemma 1); G is always public."""
+        with pytest.raises(HistogramError):
+            earthmover_distance([0, 1], [0, 2])
+
+    def test_different_lengths_padded(self):
+        assert earthmover_distance([0, 1], [0, 1, 0, 0]) == 0
+
+    def test_one_person_moved(self):
+        # A group of size 1 became size 2: one person added.
+        assert earthmover_distance([0, 2, 0], [0, 1, 1]) == 1
+
+    def test_accepts_arrays_and_objects(self, paper_example):
+        assert earthmover_distance(paper_example, [0, 2, 1, 2]) == 0
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(HistogramError):
+            earthmover_distance([0, -1], [0, 1])
+
+
+class TestDistanceCompanions:
+    def test_l1(self):
+        assert l1_distance([1, 2], [2, 2]) == 1
+
+    def test_l2(self):
+        assert l2_distance([1, 2], [3, 2]) == 4.0
+
+    def test_emd_profile_shape_and_sum(self, paper_example):
+        other = CountOfCounts([0, 1, 2, 2])
+        profile = emd_profile(paper_example, other)
+        assert profile.sum() == earthmover_distance(paper_example, other)
+        assert profile.size == max(len(paper_example), len(other))
+
+    def test_emd_profile_localizes_error(self):
+        """Error at small sizes only shows early in the profile."""
+        truth = [0, 10, 0, 0, 10]
+        est = [0, 9, 1, 0, 10]  # one small group misplaced
+        profile = emd_profile(truth, est)
+        assert profile[1] == 1
+        assert profile[3] == 0

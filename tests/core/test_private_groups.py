@@ -1,0 +1,71 @@
+"""Tests for the private Groups-table release (footnote 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.private_groups import release_group_counts
+from repro.exceptions import EstimationError
+from repro.hierarchy.build import from_leaf_histograms
+
+
+class TestReleaseGroupCounts:
+    def test_consistency(self, three_level_tree, rng):
+        released = release_group_counts(three_level_tree, 2.0, rng=rng)
+        for node in three_level_tree.nodes():
+            if node.is_leaf:
+                continue
+            assert released[node.name] == sum(
+                released[child.name] for child in node.children
+            )
+
+    def test_nonnegative_integers(self, three_level_tree, rng):
+        released = release_group_counts(three_level_tree, 0.3, rng=rng)
+        for count in released.counts.values():
+            assert isinstance(count, int)
+            assert count >= 0
+
+    def test_high_budget_recovers_truth(self, two_level_tree):
+        released = release_group_counts(
+            two_level_tree, 500.0, rng=np.random.default_rng(0)
+        )
+        for node in two_level_tree.nodes():
+            assert released[node.name] == node.num_groups
+
+    def test_budget_fully_spent(self, two_level_tree, rng):
+        released = release_group_counts(two_level_tree, 1.0, rng=rng)
+        assert released.budget.spent == pytest.approx(1.0)
+        assert released.budget.group_spend("groups-level0") == pytest.approx(0.5)
+
+    def test_nnls_improves_on_raw_noise(self):
+        """Averaging across the hierarchy should reduce root error vs the
+        raw noisy root count."""
+        tree = from_leaf_histograms(
+            "root", {f"s{i}": [0, 50] for i in range(16)}
+        )
+        raw_errors, fit_errors = [], []
+        for seed in range(40):
+            released = release_group_counts(
+                tree, 1.0, rng=np.random.default_rng(seed)
+            )
+            raw_errors.append(abs(released.noisy["root"] - tree.root.num_groups))
+            fit_errors.append(abs(released["root"] - tree.root.num_groups))
+        assert np.mean(fit_errors) <= np.mean(raw_errors) + 0.5
+
+    def test_deterministic(self, two_level_tree):
+        a = release_group_counts(
+            two_level_tree, 1.0, rng=np.random.default_rng(3)
+        )
+        b = release_group_counts(
+            two_level_tree, 1.0, rng=np.random.default_rng(3)
+        )
+        assert a.counts == b.counts
+
+    def test_invalid_epsilon(self, two_level_tree):
+        with pytest.raises(EstimationError):
+            release_group_counts(two_level_tree, 0.0)
+
+    def test_noisy_diagnostics_present(self, two_level_tree, rng):
+        released = release_group_counts(two_level_tree, 1.0, rng=rng)
+        assert set(released.noisy) == {
+            node.name for node in two_level_tree.nodes()
+        }

@@ -1,0 +1,152 @@
+"""Tests for analysis queries over count-of-counts histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CountOfCounts
+from repro.core.queries import (
+    entities_in_groups_of_size_between,
+    gini_coefficient,
+    groups_with_size_at_least,
+    groups_with_size_between,
+    kth_largest_group,
+    kth_smallest_group,
+    mean_group_size,
+    size_quantile,
+    top_share,
+)
+from repro.exceptions import HistogramError
+
+
+@pytest.fixture
+def h():
+    # Hg view: [1, 1, 2, 3, 3] — the paper's running example.
+    return CountOfCounts([0, 2, 1, 2])
+
+
+class TestOrderStatistics:
+    def test_kth_smallest_matches_hg(self, h):
+        expected = h.unattributed
+        for k in range(1, h.num_groups + 1):
+            assert kth_smallest_group(h, k) == expected[k - 1]
+
+    def test_kth_largest(self, h):
+        assert kth_largest_group(h, 1) == 3
+        assert kth_largest_group(h, 5) == 1
+
+    def test_k_out_of_range(self, h):
+        for k in (0, 6):
+            with pytest.raises(HistogramError):
+                kth_smallest_group(h, k)
+            with pytest.raises(HistogramError):
+                kth_largest_group(h, k)
+
+    def test_quantiles(self, h):
+        assert size_quantile(h, 0.0) == 1   # smallest group
+        assert size_quantile(h, 0.5) == 2   # median (3rd of 5)
+        assert size_quantile(h, 1.0) == 3   # largest
+
+    def test_quantile_validation(self, h):
+        with pytest.raises(HistogramError):
+            size_quantile(h, 1.5)
+        with pytest.raises(HistogramError):
+            size_quantile(CountOfCounts([0]), 0.5)
+
+    def test_matches_numpy_on_random_data(self, rng):
+        sizes = rng.integers(0, 50, size=500)
+        h = CountOfCounts.from_sizes(sizes)
+        sorted_sizes = np.sort(sizes)
+        for k in (1, 7, 250, 500):
+            assert kth_smallest_group(h, k) == sorted_sizes[k - 1]
+
+
+class TestRangeQueries:
+    def test_at_least(self, h):
+        assert groups_with_size_at_least(h, 0) == 5
+        assert groups_with_size_at_least(h, 2) == 3
+        assert groups_with_size_at_least(h, 3) == 2
+        assert groups_with_size_at_least(h, 4) == 0
+
+    def test_between(self, h):
+        assert groups_with_size_between(h, 1, 2) == 3
+        assert groups_with_size_between(h, 3, 3) == 2
+        assert groups_with_size_between(h, 0, 100) == 5
+        assert groups_with_size_between(h, 5, 9) == 0
+
+    def test_between_invalid(self, h):
+        with pytest.raises(HistogramError):
+            groups_with_size_between(h, 3, 1)
+
+    def test_entities_between(self, h):
+        assert entities_in_groups_of_size_between(h, 3, 3) == 6
+        assert entities_in_groups_of_size_between(h, 0, 100) == h.num_entities
+
+    def test_complementarity(self, rng):
+        h = CountOfCounts(rng.integers(0, 5, size=20))
+        for cut in (0, 3, 10, 25):
+            below = groups_with_size_between(h, 0, cut - 1) if cut > 0 else 0
+            assert below + groups_with_size_at_least(h, cut) == h.num_groups
+
+
+class TestSkewnessSummaries:
+    def test_mean(self, h):
+        assert mean_group_size(h) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(HistogramError):
+            mean_group_size(CountOfCounts([0]))
+
+    def test_gini_equal_sizes_zero(self):
+        assert gini_coefficient([0, 0, 0, 10]) == pytest.approx(0.0)
+
+    def test_gini_extreme_concentration(self):
+        # 99 empty groups and 1 group with everything: near 1.
+        h = np.zeros(101, dtype=int)
+        h[0] = 99
+        h[100] = 1
+        assert gini_coefficient(h) > 0.95
+
+    def test_gini_increases_with_skew(self):
+        flat = gini_coefficient([0, 5, 5])
+        skewed = gini_coefficient([0, 9, 0, 0, 0, 1])
+        assert skewed > flat
+
+    def test_gini_bounds(self, rng):
+        for _ in range(20):
+            h = CountOfCounts.from_sizes(rng.integers(0, 30, size=50))
+            if h.num_entities == 0:
+                continue
+            value = gini_coefficient(h)
+            assert 0.0 <= value < 1.0
+
+    def test_top_share(self):
+        # Hg = [1, 16]: top half of groups holds 16/17 of entities.
+        h = np.zeros(17, dtype=int)
+        h[1] = 1
+        h[16] = 1
+        assert top_share(h, 0.5) == pytest.approx(16 / 17)
+
+    def test_top_share_everything(self, h):
+        assert top_share(h, 1.0) == pytest.approx(1.0)
+
+    def test_top_share_validation(self, h):
+        with pytest.raises(HistogramError):
+            top_share(h, 0.0)
+        with pytest.raises(HistogramError):
+            top_share(CountOfCounts([0]), 0.5)
+
+    def test_queries_work_on_private_release(self, rng):
+        """Queries are pure post-processing of a DP release."""
+        from repro import CumulativeEstimator, TopDown
+        from repro.hierarchy import from_leaf_histograms
+
+        tree = from_leaf_histograms(
+            "root", {"a": [0, 30, 20, 10], "b": [0, 25, 15, 5]}
+        )
+        result = TopDown(CumulativeEstimator(max_size=10)).run(
+            tree, 5.0, rng=rng
+        )
+        release = result["root"]
+        assert 1 <= size_quantile(release, 0.5) <= 3
+        assert groups_with_size_at_least(release, 1) <= release.num_groups
+        assert 0 <= gini_coefficient(release) < 1

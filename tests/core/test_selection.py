@@ -1,0 +1,59 @@
+"""Tests for per-level estimator selection."""
+
+import pytest
+
+from repro.core.estimators import (
+    CumulativeEstimator,
+    PerLevelSpec,
+    UnattributedEstimator,
+)
+from repro.exceptions import EstimationError
+
+
+class TestPerLevelSpec:
+    def test_from_string_basic(self):
+        spec = PerLevelSpec.from_string("Hc x Hg")
+        assert spec.num_levels == 2
+        assert spec.for_level(0).method == "hc"
+        assert spec.for_level(1).method == "hg"
+
+    @pytest.mark.parametrize("notation", ["hc×hg×hc", "Hc*Hg*Hc", "HC x HG x HC"])
+    def test_separator_variants(self, notation):
+        spec = PerLevelSpec.from_string(notation)
+        assert [spec.for_level(i).method for i in range(3)] == ["hc", "hg", "hc"]
+
+    def test_naive_in_spec(self):
+        spec = PerLevelSpec.from_string("naive x hc")
+        assert spec.for_level(0).method == "naive"
+
+    def test_parameters_forwarded(self):
+        spec = PerLevelSpec.from_string("hc", max_size=123, p=2)
+        estimator = spec.for_level(0)
+        assert estimator.max_size == 123
+        assert estimator.p == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(EstimationError):
+            PerLevelSpec.from_string("hz x hc")
+
+    def test_uniform(self):
+        spec = PerLevelSpec.uniform(UnattributedEstimator(), 3)
+        assert spec.num_levels == 3
+        assert all(spec.for_level(i).method == "hg" for i in range(3))
+
+    def test_uniform_invalid_levels(self):
+        with pytest.raises(EstimationError):
+            PerLevelSpec.uniform(UnattributedEstimator(), 0)
+
+    def test_level_out_of_range(self):
+        spec = PerLevelSpec([CumulativeEstimator()])
+        with pytest.raises(EstimationError):
+            spec.for_level(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            PerLevelSpec([])
+
+    def test_str_matches_paper_notation(self):
+        spec = PerLevelSpec.from_string("hc x hg")
+        assert str(spec) == "Hc×Hg"

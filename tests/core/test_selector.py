@@ -1,0 +1,85 @@
+"""Tests for the private density-based method selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.selector import DensitySelector
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import EstimationError
+
+
+def dense_data():
+    """Every size 1..60 occupied — density ~1."""
+    histogram = np.zeros(61, dtype=np.int64)
+    histogram[1:] = 5
+    return CountOfCounts(histogram)
+
+
+def sparse_data():
+    """Three occupied sizes spread over 1..1000 — density ~0.003."""
+    histogram = np.zeros(1001, dtype=np.int64)
+    histogram[[1, 500, 1000]] = 100
+    return CountOfCounts(histogram)
+
+
+class TestProbe:
+    def test_dense_probe_high(self, rng):
+        selector = DensitySelector(max_size=100)
+        density = selector.probe_density(dense_data(), 5.0, rng=rng)
+        assert density > 0.5
+
+    def test_sparse_probe_low(self, rng):
+        selector = DensitySelector(max_size=2000)
+        density = selector.probe_density(sparse_data(), 5.0, rng=rng)
+        assert density < 0.1
+
+    def test_probe_bounded(self, rng):
+        selector = DensitySelector(max_size=100)
+        for seed in range(10):
+            density = selector.probe_density(
+                dense_data(), 0.1, rng=np.random.default_rng(seed)
+            )
+            assert 0.0 < density <= 1.0
+
+
+class TestSelection:
+    def test_dense_data_routes_to_hc(self):
+        selector = DensitySelector(max_size=100)
+        picks = [
+            selector.estimate(
+                dense_data(), 5.0, rng=np.random.default_rng(seed)
+            ).method
+            for seed in range(10)
+        ]
+        assert picks.count("hc") >= 9
+
+    def test_sparse_data_routes_to_hg(self):
+        selector = DensitySelector(max_size=2000)
+        picks = [
+            selector.estimate(
+                sparse_data(), 5.0, rng=np.random.default_rng(seed)
+            ).method
+            for seed in range(10)
+        ]
+        assert picks.count("hg") >= 9
+
+    def test_desiderata_hold_either_way(self, rng):
+        selector = DensitySelector(max_size=2000)
+        for data in (dense_data(), sparse_data()):
+            result = selector.estimate(data, 1.0, rng=rng)
+            assert result.estimate.num_groups == data.num_groups
+            assert np.all(result.estimate.histogram >= 0)
+            assert result.epsilon == 1.0
+
+    def test_usable_inside_topdown(self, two_level_tree, rng):
+        from repro.core.consistency.topdown import TopDown
+
+        algo = TopDown(DensitySelector(max_size=50))
+        result = algo.run(two_level_tree, 1.0, rng=rng)
+        assert result["national"].num_groups == two_level_tree.root.num_groups
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            DensitySelector(selection_fraction=0.0)
+        with pytest.raises(EstimationError):
+            DensitySelector(density_threshold=1.5)

@@ -1,0 +1,93 @@
+"""Tests for uncertainty reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator
+from repro.core.metrics import earthmover_distance
+from repro.core.uncertainty import (
+    group_size_intervals,
+    node_error_estimate,
+    release_report,
+)
+from repro.exceptions import EstimationError
+from repro.hierarchy.build import from_leaf_histograms
+
+
+@pytest.fixture
+def release(two_level_tree):
+    algo = TopDown(CumulativeEstimator(max_size=30))
+    return algo.run(two_level_tree, 1.0, rng=np.random.default_rng(0))
+
+
+class TestIntervals:
+    def test_intervals_bracket_released_sizes(self, release):
+        sizes, lower, upper = group_size_intervals(release, "national")
+        assert np.all(lower <= sizes) and np.all(sizes <= upper)
+        assert np.all(lower >= 0)
+
+    def test_wider_at_higher_confidence(self, release):
+        _, low90, high90 = group_size_intervals(release, "national", 0.90)
+        _, low99, high99 = group_size_intervals(release, "national", 0.99)
+        assert np.all(high99 - low99 >= high90 - low90)
+
+    def test_unknown_confidence_rejected(self, release):
+        with pytest.raises(EstimationError):
+            group_size_intervals(release, "national", confidence=0.42)
+
+    def test_unknown_node_rejected(self, release):
+        with pytest.raises(EstimationError):
+            group_size_intervals(release, "atlantis")
+
+    def test_coverage_on_repeated_runs(self, two_level_tree):
+        """95% intervals should cover the true sizes most of the time."""
+        covered, total = 0, 0
+        truth = two_level_tree.root.data.unattributed
+        for seed in range(10):
+            result = TopDown(CumulativeEstimator(max_size=30)).run(
+                two_level_tree, 1.0, rng=np.random.default_rng(seed)
+            )
+            _, lower, upper = group_size_intervals(result, "national", 0.95)
+            covered += int(np.sum((truth >= lower) & (truth <= upper)))
+            total += truth.size
+        assert covered / total > 0.6  # conservative but meaningful bound
+
+
+class TestErrorEstimate:
+    def test_positive_for_nonempty_nodes(self, release):
+        assert node_error_estimate(release, "national") > 0
+
+    def test_tracks_measured_error_order_of_magnitude(self, two_level_tree):
+        predicted, measured = [], []
+        for seed in range(8):
+            result = TopDown(CumulativeEstimator(max_size=30)).run(
+                two_level_tree, 0.5, rng=np.random.default_rng(seed)
+            )
+            predicted.append(node_error_estimate(result, "national"))
+            measured.append(
+                earthmover_distance(
+                    two_level_tree.root.data, result["national"]
+                )
+            )
+        ratio = np.mean(predicted) / max(np.mean(measured), 1.0)
+        assert 0.1 < ratio < 10.0
+
+    def test_empty_node_zero(self, rng):
+        tree = from_leaf_histograms("root", {"a": [0], "b": [0, 2]})
+        result = TopDown(CumulativeEstimator(max_size=10)).run(
+            tree, 2.0, rng=rng
+        )
+        assert node_error_estimate(result, "a") == 0.0
+
+
+class TestReport:
+    def test_report_contains_all_nodes_and_budget(self, release):
+        text = release_report(release)
+        for name in ("national", "state-a", "state-b", "state-c"):
+            assert name in text
+        assert "eps spent 1.0000" in text
+
+    def test_report_shape(self, release):
+        lines = release_report(release).splitlines()
+        assert len(lines) == 2 + 4 + 1  # header x2, 4 nodes, budget line

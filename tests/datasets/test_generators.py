@@ -1,0 +1,142 @@
+"""Tests for the synthetic dataset generators (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    RaceDataset,
+    SyntheticHousingDataset,
+    TaxiDataset,
+    available_datasets,
+    make_dataset,
+)
+from repro.exceptions import EstimationError
+
+
+class TestRegistry:
+    def test_four_paper_datasets(self):
+        assert available_datasets() == ["housing", "white", "hawaiian", "taxi"]
+
+    def test_make_dataset_types(self):
+        assert isinstance(make_dataset("housing"), SyntheticHousingDataset)
+        assert isinstance(make_dataset("taxi"), TaxiDataset)
+        assert isinstance(make_dataset("white"), RaceDataset)
+        assert make_dataset("hawaiian").race == "hawaiian"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(EstimationError):
+            make_dataset("census")
+
+    def test_kwargs_forwarded(self):
+        assert make_dataset("housing", scale=0.5).scale == 0.5
+
+
+class TestHousing:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return SyntheticHousingDataset(scale=1e-4).build(seed=7)
+
+    def test_deterministic(self):
+        a = SyntheticHousingDataset(scale=1e-5).build(seed=3)
+        b = SyntheticHousingDataset(scale=1e-5).build(seed=3)
+        assert a.root.data == b.root.data
+
+    def test_seed_changes_data(self):
+        a = SyntheticHousingDataset(scale=1e-5).build(seed=3)
+        b = SyntheticHousingDataset(scale=1e-5).build(seed=4)
+        assert a.root.data != b.root.data
+
+    def test_two_level_structure(self, tree):
+        assert tree.num_levels == 2
+        assert len(tree.level(1)) == 52  # 50 states + PR + DC
+
+    def test_heavy_tail_present(self, tree):
+        """The 50 outliers put groups far beyond household sizes."""
+        assert tree.root.data.max_size > 100
+
+    def test_household_sizes_dominate(self, tree):
+        histogram = tree.root.data.histogram
+        small = histogram[:8].sum()
+        assert small > 0.85 * tree.root.num_groups
+
+    def test_additivity(self, tree):
+        tree.validate()
+
+    def test_three_level(self):
+        tree = SyntheticHousingDataset(scale=1e-5, levels=3).build(seed=1)
+        assert tree.num_levels == 3
+        tree.validate()
+
+    def test_west_coast_restriction(self):
+        tree = SyntheticHousingDataset(scale=1e-5).west_coast(seed=1)
+        assert tree.num_levels == 3
+        assert len(tree.level(1)) == 3
+
+    def test_scale_controls_size(self):
+        small = SyntheticHousingDataset(scale=1e-5).build(seed=0)
+        large = SyntheticHousingDataset(scale=1e-4).build(seed=0)
+        assert large.root.num_groups > 3 * small.root.num_groups
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            SyntheticHousingDataset(scale=0.0)
+        with pytest.raises(EstimationError):
+            SyntheticHousingDataset(levels=4)
+        with pytest.raises(EstimationError):
+            SyntheticHousingDataset(counties_per_state=1)
+
+
+class TestRace:
+    def test_white_is_dense(self):
+        tree = RaceDataset("white", scale=2e-3).build(seed=0)
+        stats = tree.statistics()
+        # Many distinct sizes relative to max size — densely populated.
+        assert stats["distinct_sizes"] > 100
+
+    def test_hawaiian_is_sparse(self):
+        tree = RaceDataset("hawaiian", scale=2e-3).build(seed=0)
+        stats = tree.statistics()
+        assert stats["distinct_sizes"] < 40
+        # Most blocks are empty.
+        assert tree.root.data.histogram[0] > 0.8 * stats["groups"]
+
+    def test_same_block_count_across_races(self):
+        white = RaceDataset("white", scale=1e-3).build(seed=0)
+        hawaiian = RaceDataset("hawaiian", scale=1e-3).build(seed=0)
+        assert white.root.num_groups == hawaiian.root.num_groups
+
+    def test_three_level_and_west_coast(self):
+        tree = RaceDataset("white", scale=1e-4, levels=3).build(seed=0)
+        assert tree.num_levels == 3
+        west = RaceDataset("white", scale=1e-4).west_coast(seed=0)
+        assert len(west.level(1)) == 3
+
+    def test_invalid_race(self):
+        with pytest.raises(EstimationError):
+            RaceDataset("martian")
+
+
+class TestTaxi:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return TaxiDataset(scale=0.01).build(seed=2)
+
+    def test_three_level_geography(self, tree):
+        assert tree.num_levels == 3
+        assert {n.name for n in tree.level(1)} == {"upper", "lower"}
+        assert len(tree.leaves()) == 28
+
+    def test_all_groups_have_pickups(self, tree):
+        assert tree.root.data.histogram[0] == 0  # sizes start at 1
+
+    def test_heavy_tailed_sizes(self, tree):
+        data = tree.root.data
+        assert data.max_size > 20 * (data.num_entities / data.num_groups)
+
+    def test_two_level_variant(self):
+        tree = TaxiDataset(scale=0.005, levels=2).build(seed=2)
+        assert tree.num_levels == 2
+        assert len(tree.level(1)) == 2
+
+    def test_additivity(self, tree):
+        tree.validate()

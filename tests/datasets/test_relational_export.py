@@ -1,0 +1,45 @@
+"""Tests for exporting hierarchies to the relational three-table form."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import hierarchy_to_database
+from repro.db.schema import CountOfCountsQuery
+from repro.exceptions import HierarchyError
+from repro.hierarchy.build import from_leaf_histograms
+from repro.hierarchy.tree import Hierarchy, Node
+from repro.core.histogram import CountOfCounts
+
+
+class TestHierarchyToDatabase:
+    def test_tables_present(self, two_level_tree):
+        database = hierarchy_to_database(two_level_tree)
+        assert database.num_levels == 2
+        assert database.entities.num_rows == two_level_tree.num_entities()
+        assert database.groups.num_rows == two_level_tree.num_groups()
+
+    def test_query_recovers_histograms(self, two_level_tree):
+        database = hierarchy_to_database(two_level_tree)
+        query = CountOfCountsQuery(database)
+        for leaf in two_level_tree.leaves():
+            histogram = query.histogram(1, leaf.name, length=len(leaf.data))
+            assert np.array_equal(histogram, leaf.data.histogram)
+
+    def test_zero_size_groups_exported(self):
+        tree = from_leaf_histograms("root", {"a": [2, 1]})  # 2 empty groups
+        database = hierarchy_to_database(tree)
+        assert database.groups.num_rows == 3
+        assert database.entities.num_rows == 1
+
+    def test_uneven_depth_rejected(self):
+        root = Node("root")
+        root.add_child(Node("shallow", CountOfCounts([0, 1])))
+        deep = root.add_child(Node("mid"))
+        deep.add_child(Node("deep", CountOfCounts([0, 1])))
+        with pytest.raises(HierarchyError):
+            hierarchy_to_database(Hierarchy(root, validate=False))
+
+    def test_group_ids_unique(self, three_level_tree):
+        database = hierarchy_to_database(three_level_tree)
+        ids = database.groups["group_id"]
+        assert np.unique(ids).size == ids.size

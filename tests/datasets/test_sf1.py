@@ -1,0 +1,104 @@
+"""Tests for the truncated-table (SF1-style) loader and tail extension."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sf1 import build_hierarchy, extend_tail, load_truncated_table
+from repro.exceptions import HistogramError
+
+
+def write_table(path, rows):
+    path.write_text("region,size,count\n" + "\n".join(
+        f"{region},{size},{count}" for region, size, count in rows
+    ))
+
+
+class TestLoadTruncatedTable:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "sf1.csv"
+        write_table(path, [("va", 1, 50), ("va", 2, 30), ("md", 1, 20)])
+        tables = load_truncated_table(path)
+        assert list(tables["va"]) == [0, 50, 30]
+        assert list(tables["md"]) == [0, 20]
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("region,count\nva,5\n")
+        with pytest.raises(HistogramError):
+            load_truncated_table(path)
+
+    def test_negative_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        write_table(path, [("va", 1, -5)])
+        with pytest.raises(HistogramError):
+            load_truncated_table(path)
+
+
+class TestExtendTail:
+    def test_group_count_preserved(self, rng):
+        histogram = np.array([0, 100, 60, 40, 25, 15, 10, 8])
+        extended = extend_tail(histogram, rng=rng)
+        assert extended.sum() == histogram.sum()
+
+    def test_counts_below_truncation_untouched(self, rng):
+        histogram = np.array([0, 100, 60, 40, 25, 15, 10, 8])
+        extended = extend_tail(histogram, rng=rng)
+        assert np.array_equal(extended[:7], histogram[:7])
+
+    def test_tail_decays_in_expectation(self):
+        histogram = np.array([0, 0, 0, 0, 0, 0, 1000, 800])
+        tails = []
+        for seed in range(20):
+            extended = extend_tail(histogram, rng=np.random.default_rng(seed))
+            tails.append(extended[8:])
+        mean_first = np.mean([t[0] if t.size else 0 for t in tails])
+        # r = 0.8, so E[H[8]] ≈ 0.8 * 800 = 640.
+        assert mean_first == pytest.approx(640, rel=0.1)
+
+    def test_no_extension_when_no_evidence(self, rng):
+        # Top bucket with an empty predecessor: nothing to extrapolate.
+        histogram = np.array([0, 5, 0, 7])
+        assert np.array_equal(extend_tail(histogram, rng=rng), histogram)
+
+    def test_ratio_clipped_below_one(self, rng):
+        # Growing counts would explode without the clip.
+        histogram = np.array([0, 0, 0, 0, 0, 0, 10, 50])
+        extended = extend_tail(histogram, rng=rng)
+        assert extended.sum() == histogram.sum()
+        assert extended.size < 10_000
+
+    def test_deterministic_given_seed(self):
+        histogram = np.array([0, 100, 60, 40, 25, 15, 10, 8])
+        a = extend_tail(histogram, rng=np.random.default_rng(2))
+        b = extend_tail(histogram, rng=np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+
+class TestBuildHierarchy:
+    def test_end_to_end_from_csv(self, tmp_path, rng):
+        path = tmp_path / "sf1.csv"
+        write_table(path, [
+            ("va", 1, 500), ("va", 2, 300), ("va", 3, 100), ("va", 4, 60),
+            ("md", 1, 400), ("md", 2, 250), ("md", 3, 90), ("md", 4, 40),
+        ])
+        tables = load_truncated_table(path)
+        tree = build_hierarchy(tables, rng=rng)
+        assert tree.num_levels == 2
+        assert tree.root.num_groups == 1740
+        # The pipeline runs on the reconstructed data.
+        from repro import CumulativeEstimator, TopDown
+
+        result = TopDown(CumulativeEstimator(max_size=100)).run(
+            tree, 1.0, rng=rng
+        )
+        assert result["national"].num_groups == 1740
+
+    def test_extend_false_keeps_truncation(self, tmp_path, rng):
+        path = tmp_path / "sf1.csv"
+        write_table(path, [("va", 1, 10), ("va", 2, 8), ("va", 3, 6)])
+        tree = build_hierarchy(load_truncated_table(path), extend=False, rng=rng)
+        assert tree.root.data.max_size == 3
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(HistogramError):
+            build_hierarchy({}, rng=rng)

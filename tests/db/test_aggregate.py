@@ -1,0 +1,152 @@
+"""Tests for the extended relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.db.aggregate import (
+    group_by_agg,
+    order_by,
+    table_from_csv,
+    table_to_csv,
+    unattributed_pipeline,
+)
+from repro.db.table import Table
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def table():
+    return Table({
+        "k": np.array([2, 1, 2, 1, 2]),
+        "v": np.array([10, 3, 7, 5, 1]),
+    })
+
+
+class TestGroupByAgg:
+    def test_sum(self, table):
+        result = group_by_agg(table, "k", "v", "sum")
+        assert list(result["sum_v"]) == [8, 18]
+
+    def test_min_max(self, table):
+        assert list(group_by_agg(table, "k", "v", "min")["min_v"]) == [3, 1]
+        assert list(group_by_agg(table, "k", "v", "max")["max_v"]) == [5, 10]
+
+    def test_mean(self, table):
+        result = group_by_agg(table, "k", "v", "mean")
+        assert result["mean_v"][0] == pytest.approx(4.0)
+        assert result["mean_v"][1] == pytest.approx(6.0)
+
+    def test_count(self, table):
+        assert list(group_by_agg(table, "k", "v", "count")["count_v"]) == [2, 3]
+
+    def test_custom_output_name(self, table):
+        result = group_by_agg(table, "k", "v", "sum", out="total")
+        assert "total" in result
+
+    def test_unknown_aggregate(self, table):
+        with pytest.raises(QueryError):
+            group_by_agg(table, "k", "v", "median")
+
+    def test_empty_table(self):
+        empty = Table({"k": np.zeros(0), "v": np.zeros(0)})
+        assert group_by_agg(empty, "k", "v", "sum").num_rows == 0
+
+    def test_matches_numpy_on_random_data(self, rng):
+        keys = rng.integers(0, 10, size=200)
+        values = rng.normal(size=200)
+        t = Table({"k": keys, "v": values})
+        result = group_by_agg(t, "k", "v", "mean")
+        for key, mean in zip(result["k"], result["mean_v"]):
+            assert mean == pytest.approx(values[keys == key].mean())
+
+
+class TestOrderBy:
+    def test_single_key(self, table):
+        result = order_by(table, ["v"])
+        assert list(result["v"]) == [1, 3, 5, 7, 10]
+
+    def test_multi_key(self, table):
+        result = order_by(table, ["k", "v"])
+        assert list(result["k"]) == [1, 1, 2, 2, 2]
+        assert list(result["v"]) == [3, 5, 1, 7, 10]
+
+    def test_descending(self, table):
+        result = order_by(table, ["v"], descending=True)
+        assert list(result["v"]) == [10, 7, 5, 3, 1]
+
+    def test_no_keys_rejected(self, table):
+        with pytest.raises(QueryError):
+            order_by(table, [])
+
+
+class TestUnattributedPipeline:
+    def test_paper_example(self):
+        """Section 1: Htop_g = [1, 1, 2, 4]."""
+        entities = Table({
+            "entity_id": np.arange(8),
+            "group_id": np.array([1, 1, 1, 1, 2, 2, 3, 4]),
+        })
+        groups = Table({
+            "group_id": np.array([1, 2, 3, 4]),
+            "region_id": np.array(["a", "b", "a", "b"], dtype=object),
+        })
+        assert list(unattributed_pipeline(entities, groups)) == [1, 1, 2, 4]
+
+    def test_empty_groups_reported_as_zero(self):
+        entities = Table({
+            "entity_id": np.array([0]),
+            "group_id": np.array([7]),
+        })
+        groups = Table({
+            "group_id": np.array([7, 8]),
+            "region_id": np.array(["a", "a"], dtype=object),
+        })
+        assert list(unattributed_pipeline(entities, groups)) == [0, 1]
+
+    def test_unknown_group_rejected(self):
+        entities = Table({"entity_id": np.array([0]), "group_id": np.array([9])})
+        groups = Table({
+            "group_id": np.array([1]),
+            "region_id": np.array(["a"], dtype=object),
+        })
+        with pytest.raises(QueryError):
+            unattributed_pipeline(entities, groups)
+
+    def test_duplicate_groups_rejected(self):
+        entities = Table({"entity_id": np.array([0]), "group_id": np.array([1])})
+        groups = Table({
+            "group_id": np.array([1, 1]),
+            "region_id": np.array(["a", "a"], dtype=object),
+        })
+        with pytest.raises(QueryError):
+            unattributed_pipeline(entities, groups)
+
+
+class TestCsvIo:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "table.csv"
+        table_to_csv(table, path)
+        loaded = table_from_csv(path, numeric=["k", "v"])
+        assert list(loaded["k"]) == list(table["k"])
+        assert list(loaded["v"]) == list(table["v"])
+
+    def test_string_columns(self, tmp_path):
+        t = Table({"name": np.array(["a", "b"], dtype=object),
+                   "x": np.array([1, 2])})
+        path = tmp_path / "t.csv"
+        table_to_csv(t, path)
+        loaded = table_from_csv(path, numeric=["x"])
+        assert list(loaded["name"]) == ["a", "b"]
+        assert loaded["x"].dtype == np.int64
+
+    def test_float_detection(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x\n1.5\n2.0\n")
+        loaded = table_from_csv(path, numeric=["x"])
+        assert loaded["x"].dtype == np.float64
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(QueryError):
+            table_from_csv(path)

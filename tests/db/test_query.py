@@ -1,0 +1,86 @@
+"""Tests for group-by and join operators."""
+
+import numpy as np
+import pytest
+
+from repro.db.query import group_by_count, group_by_sum, inner_join
+from repro.db.table import Table
+from repro.exceptions import QueryError
+
+
+class TestGroupByCount:
+    def test_counts_per_key(self):
+        t = Table({"g": np.array([2, 1, 2, 2])})
+        result = group_by_count(t, "g", "size")
+        assert list(result["g"]) == [1, 2]
+        assert list(result["size"]) == [1, 3]
+
+    def test_empty_table(self):
+        t = Table({"g": np.zeros(0, dtype=np.int64)})
+        result = group_by_count(t, "g")
+        assert result.num_rows == 0
+
+    def test_paper_pipeline(self):
+        """The two GROUP BYs of the introduction produce H = [_, 2, 1, 0, 1]."""
+        # Entities: group 1 has 4 rows, group 2 has 2, groups 3 and 4 have 1.
+        entities = Table({
+            "entity_id": np.arange(8),
+            "group_id": np.array([1, 1, 1, 1, 2, 2, 3, 4]),
+        })
+        sized = group_by_count(entities, "group_id", "size")
+        histogram = group_by_count(sized, "size", "count")
+        assert list(histogram["size"]) == [1, 2, 4]
+        assert list(histogram["count"]) == [2, 1, 1]
+
+
+class TestGroupBySum:
+    def test_sums_per_key(self):
+        t = Table({"k": np.array([1, 2, 1]), "v": np.array([10, 20, 5])})
+        result = group_by_sum(t, "k", "v", "total")
+        assert list(result["total"]) == [15, 20]
+
+    def test_integer_dtype_preserved(self):
+        t = Table({"k": np.array([1, 1]), "v": np.array([2, 3])})
+        result = group_by_sum(t, "k", "v")
+        assert np.issubdtype(result["sum"].dtype, np.integer)
+
+    def test_float_values(self):
+        t = Table({"k": np.array([1, 1]), "v": np.array([0.5, 0.25])})
+        result = group_by_sum(t, "k", "v")
+        assert result["sum"][0] == pytest.approx(0.75)
+
+    def test_empty(self):
+        t = Table({"k": np.zeros(0), "v": np.zeros(0)})
+        assert group_by_sum(t, "k", "v").num_rows == 0
+
+
+class TestInnerJoin:
+    def test_basic_join(self):
+        left = Table({"id": np.array([1, 2, 3]), "x": np.array([10, 20, 30])})
+        right = Table({"id": np.array([2, 3, 4]), "y": np.array([200, 300, 400])})
+        joined = inner_join(left, right, on="id")
+        assert list(joined["id"]) == [2, 3]
+        assert list(joined["y"]) == [200, 300]
+
+    def test_unmatched_left_rows_dropped(self):
+        left = Table({"id": np.array([9]), "x": np.array([1])})
+        right = Table({"id": np.array([1]), "y": np.array([2])})
+        assert inner_join(left, right, on="id").num_rows == 0
+
+    def test_duplicate_right_keys_rejected(self):
+        left = Table({"id": np.array([1])})
+        right = Table({"id": np.array([1, 1]), "y": np.array([1, 2])})
+        with pytest.raises(QueryError):
+            inner_join(left, right, on="id")
+
+    def test_duplicate_column_name_rejected(self):
+        left = Table({"id": np.array([1]), "x": np.array([1])})
+        right = Table({"id": np.array([1]), "x": np.array([2])})
+        with pytest.raises(QueryError):
+            inner_join(left, right, on="id")
+
+    def test_many_to_one(self):
+        left = Table({"id": np.array([1, 1, 2]), "x": np.array([5, 6, 7])})
+        right = Table({"id": np.array([1, 2]), "y": np.array([10, 20])})
+        joined = inner_join(left, right, on="id")
+        assert list(joined["y"]) == [10, 10, 20]

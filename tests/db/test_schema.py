@@ -1,0 +1,135 @@
+"""Tests for the three-table schema and the count-of-counts query."""
+
+import numpy as np
+import pytest
+
+from repro.db.schema import CountOfCountsQuery, Database, level_column
+from repro.db.table import Table
+from repro.exceptions import QueryError
+
+
+def make_database():
+    """The introduction's example: 4 groups, 8 people, regions a and b."""
+    entities = Table({
+        "entity_id": np.arange(8),
+        "group_id": np.array([1, 1, 1, 1, 2, 2, 3, 4]),
+    })
+    groups = Table({
+        "group_id": np.array([1, 2, 3, 4]),
+        "region_id": np.array(["a", "b", "a", "b"], dtype=object),
+    })
+    hierarchy = Table({
+        "region_id": np.array(["a", "b"], dtype=object),
+        "level0": np.array(["top", "top"], dtype=object),
+        "level1": np.array(["a", "b"], dtype=object),
+    })
+    return Database(entities=entities, groups=groups, hierarchy=hierarchy)
+
+
+class TestDatabase:
+    def test_level_columns(self):
+        db = make_database()
+        assert db.level_columns() == ["level0", "level1"]
+        assert db.num_levels == 2
+
+    def test_level_column_helper(self):
+        assert level_column(0) == "level0"
+        assert level_column(2) == "level2"
+
+    def test_missing_entities_column_rejected(self):
+        db = make_database()
+        with pytest.raises(QueryError):
+            Database(
+                entities=db.entities.project(["entity_id"]),
+                groups=db.groups,
+                hierarchy=db.hierarchy,
+            )
+
+    def test_missing_level_columns_rejected(self):
+        db = make_database()
+        with pytest.raises(QueryError):
+            Database(
+                entities=db.entities,
+                groups=db.groups,
+                hierarchy=db.hierarchy.project(["region_id"]),
+            )
+
+
+class TestCountOfCountsQuery:
+    def test_root_histogram_matches_paper(self):
+        """Htop = [2, 1, 0, 1] over sizes 1..4 (0-indexed: [0,2,1,0,1])."""
+        query = CountOfCountsQuery(make_database())
+        histogram = query.histogram(0, "top")
+        assert list(histogram) == [0, 2, 1, 0, 1]
+
+    def test_leaf_histograms_match_paper(self):
+        query = CountOfCountsQuery(make_database())
+        assert list(query.histogram(1, "a")) == [0, 1, 0, 0, 1]
+        assert list(query.histogram(1, "b")) == [0, 1, 1]
+
+    def test_zero_size_groups_counted(self):
+        """Groups with no entities appear as size 0 (Groups is public)."""
+        db = make_database()
+        groups = Table({
+            "group_id": np.array([1, 2, 3, 4, 5]),
+            "region_id": np.array(["a", "b", "a", "b", "a"], dtype=object),
+        })
+        db2 = Database(entities=db.entities, groups=groups, hierarchy=db.hierarchy)
+        query = CountOfCountsQuery(db2)
+        assert query.histogram(1, "a")[0] == 1  # group 5 has size 0
+
+    def test_group_sizes_aligned(self):
+        query = CountOfCountsQuery(make_database())
+        assert sorted(query.group_sizes.tolist()) == [1, 1, 2, 4]
+
+    def test_node_labels(self):
+        query = CountOfCountsQuery(make_database())
+        assert list(query.node_labels(1)) == ["a", "b"]
+
+    def test_padding_length(self):
+        query = CountOfCountsQuery(make_database())
+        histogram = query.histogram(1, "b", length=10)
+        assert histogram.size == 10
+        assert histogram[3:].sum() == 0
+
+    def test_length_too_short_rejected(self):
+        query = CountOfCountsQuery(make_database())
+        with pytest.raises(QueryError):
+            query.histogram(0, "top", length=2)
+
+    def test_unknown_level_rejected(self):
+        query = CountOfCountsQuery(make_database())
+        with pytest.raises(QueryError):
+            query.histogram(5, "top")
+
+    def test_entities_with_unknown_group_rejected(self):
+        db = make_database()
+        bad_entities = Table({
+            "entity_id": np.array([0]),
+            "group_id": np.array([99]),
+        })
+        with pytest.raises(QueryError):
+            CountOfCountsQuery(
+                Database(
+                    entities=bad_entities, groups=db.groups,
+                    hierarchy=db.hierarchy,
+                )
+            )
+
+    def test_groups_with_unknown_region_rejected(self):
+        db = make_database()
+        bad_groups = Table({
+            "group_id": np.array([1]),
+            "region_id": np.array(["nowhere"], dtype=object),
+        })
+        with pytest.raises(QueryError):
+            CountOfCountsQuery(
+                Database(
+                    entities=Table({
+                        "entity_id": np.array([0]),
+                        "group_id": np.array([1]),
+                    }),
+                    groups=bad_groups,
+                    hierarchy=db.hierarchy,
+                )
+            )

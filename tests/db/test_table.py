@@ -1,0 +1,95 @@
+"""Tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.db.table import Table
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def table():
+    return Table({
+        "g": np.array([1, 1, 2, 3]),
+        "loc": np.array(["a", "a", "b", "a"], dtype=object),
+    })
+
+
+class TestTableBasics:
+    def test_num_rows(self, table):
+        assert table.num_rows == 4
+        assert len(table) == 4
+
+    def test_column_access(self, table):
+        assert list(table["g"]) == [1, 1, 2, 3]
+
+    def test_missing_column_raises(self, table):
+        with pytest.raises(QueryError):
+            table["missing"]
+
+    def test_contains(self, table):
+        assert "g" in table and "missing" not in table
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(QueryError):
+            Table({"a": np.array([1]), "b": np.array([1, 2])})
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(QueryError):
+            Table({})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(QueryError):
+            Table({"a": np.zeros((2, 2))})
+
+
+class TestTableOperations:
+    def test_project(self, table):
+        projected = table.project(["g"])
+        assert projected.column_names == ["g"]
+
+    def test_select(self, table):
+        selected = table.select(table["g"] == 1)
+        assert selected.num_rows == 2
+
+    def test_select_bad_mask_rejected(self, table):
+        with pytest.raises(QueryError):
+            table.select(np.array([1, 0, 1, 0]))  # not boolean
+
+    def test_where(self, table):
+        result = table.where("g", lambda g: g > 1)
+        assert result.num_rows == 2
+
+    def test_take_reorders(self, table):
+        taken = table.take(np.array([3, 0]))
+        assert list(taken["g"]) == [3, 1]
+
+    def test_with_column(self, table):
+        extended = table.with_column("x", np.arange(4))
+        assert "x" in extended
+        assert "x" not in table  # original untouched
+
+    def test_with_column_wrong_length(self, table):
+        with pytest.raises(QueryError):
+            table.with_column("x", np.arange(3))
+
+    def test_rename(self, table):
+        renamed = table.rename({"g": "group"})
+        assert "group" in renamed and "g" not in renamed
+
+    def test_rename_missing_column(self, table):
+        with pytest.raises(QueryError):
+            table.rename({"nope": "x"})
+
+    def test_sort_by(self, table):
+        result = Table({"v": np.array([3, 1, 2])}).sort_by("v")
+        assert list(result["v"]) == [1, 2, 3]
+
+    def test_rows_iteration(self, table):
+        rows = list(table.rows())
+        assert rows[0] == (1, "a")
+        assert len(rows) == 4
+
+    def test_head_renders(self, table):
+        text = table.head(2)
+        assert "g" in text and "loc" in text

@@ -1,0 +1,82 @@
+"""Tests for the omniscient baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CountOfCounts
+from repro.evaluation.omniscient import (
+    OmniscientBaseline,
+    omniscient_expected_error,
+)
+from repro.exceptions import EstimationError
+
+
+class TestExpectedError:
+    def test_paper_calibration(self):
+        """Section 6.2: 2,352 distinct sizes at eps 0.1/level ≈ 3.3e4."""
+        data_2352 = CountOfCounts(
+            np.concatenate([[0], np.ones(2352, dtype=np.int64)])
+        )
+        error = omniscient_expected_error(data_2352, epsilon_per_level=0.1)
+        assert error == pytest.approx(2352 * np.sqrt(2) / 0.1)
+        assert error == pytest.approx(3.3e4, rel=0.02)
+
+    def test_scales_inversely_with_epsilon(self, paper_example):
+        assert omniscient_expected_error(paper_example, 0.5) == pytest.approx(
+            2 * omniscient_expected_error(paper_example, 1.0)
+        )
+
+    def test_invalid_epsilon(self, paper_example):
+        with pytest.raises(EstimationError):
+            omniscient_expected_error(paper_example, 0.0)
+
+
+class TestOmniscientBaseline:
+    def test_errors_for_every_node(self, two_level_tree, rng):
+        errors = OmniscientBaseline().run(two_level_tree, epsilon=1.0, rng=rng)
+        assert set(errors) == {n.name for n in two_level_tree.nodes()}
+        assert all(err >= 0 for err in errors.values())
+
+    def test_measured_error_matches_expectation(self, rng):
+        """Average simulated L1 error ≈ #distinct × E|Laplace| = #distinct/ε;
+        the paper's √2/ε figure (one std per cell) upper-bounds it."""
+        from repro.hierarchy.build import from_leaf_histograms
+
+        tree = from_leaf_histograms(
+            "root", {"a": np.ones(400, dtype=np.int64)}
+        )
+        runs = [
+            np.mean(list(
+                OmniscientBaseline().run(
+                    tree, 2.0, rng=np.random.default_rng(seed)
+                ).values()
+            ))
+            for seed in range(30)
+        ]
+        distinct = tree.root.data.num_distinct_sizes
+        eps_per_level = 2.0 / 2
+        mean_abs = distinct * 1.0 / eps_per_level
+        std_bound = omniscient_expected_error(tree.root.data, eps_per_level)
+        assert np.mean(runs) == pytest.approx(mean_abs, rel=0.15)
+        assert np.mean(runs) < std_bound * 1.1
+
+    def test_empty_node(self, rng):
+        from repro.hierarchy.build import from_leaf_histograms
+
+        tree = from_leaf_histograms("root", {"a": [0], "b": [0, 2]})
+        errors = OmniscientBaseline().run(tree, 1.0, rng=rng)
+        assert errors["a"] == 0.0
+
+    def test_expected_level_error(self, two_level_tree):
+        value = OmniscientBaseline().expected_level_error(
+            two_level_tree, epsilon=1.0, level=1
+        )
+        manual = np.mean([
+            omniscient_expected_error(node.data, 0.5)
+            for node in two_level_tree.level(1)
+        ])
+        assert value == pytest.approx(manual)
+
+    def test_invalid_epsilon(self, two_level_tree):
+        with pytest.raises(EstimationError):
+            OmniscientBaseline().run(two_level_tree, epsilon=-1.0)

@@ -1,0 +1,70 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+
+from repro.evaluation.plots import profile_chart, results_chart, sweep_chart
+from repro.evaluation.runner import LevelStats, RunResult
+
+
+class TestSweepChart:
+    def test_contains_title_axis_and_legend(self):
+        chart = sweep_chart(
+            {"Hc": [(0.1, 1000.0), (1.0, 100.0)],
+             "Hg": [(0.1, 3000.0), (1.0, 120.0)]},
+            title="Figure 5 (demo)",
+        )
+        assert "Figure 5 (demo)" in chart
+        assert "o=Hc" in chart and "x=Hg" in chart
+        assert "log scale" in chart
+
+    def test_empty_series(self):
+        assert sweep_chart({}, title="empty") == "empty"
+
+    def test_constant_series(self):
+        chart = sweep_chart({"flat": [(0.1, 5.0), (1.0, 5.0)]})
+        assert "o=flat" in chart
+
+    def test_markers_collide_gracefully(self):
+        chart = sweep_chart(
+            {"a": [(1.0, 10.0)], "b": [(1.0, 10.0)]},
+        )
+        assert "&" in chart  # overlap marker
+
+    def test_monotone_series_render_monotone(self):
+        """Higher values must land on higher rows."""
+        chart = sweep_chart({"s": [(0.1, 1e4), (1.0, 1e2), (10.0, 1.0)]})
+        lines = [line for line in chart.splitlines() if line.startswith("  |")]
+        positions = {}
+        for row_index, line in enumerate(lines):
+            for column, char in enumerate(line):
+                if char == "o":
+                    positions[column] = row_index
+        columns = sorted(positions)
+        rows = [positions[c] for c in columns]
+        assert rows == sorted(rows)  # left-to-right goes downward (smaller)
+
+
+class TestResultsChart:
+    def test_renders_from_run_results(self):
+        sweeps = {
+            "Hc": [
+                RunResult("Hc", 0.1, [LevelStats(0, 500.0, 1.0, 3)]),
+                RunResult("Hc", 1.0, [LevelStats(0, 50.0, 1.0, 3)]),
+            ]
+        }
+        chart = results_chart(sweeps, level=0, title="root")
+        assert "root" in chart and "o=Hc" in chart
+
+
+class TestProfileChart:
+    def test_alignment_and_labels(self):
+        chart = profile_chart(
+            {"Hg": np.array([10.0, 0, 0, 0]), "Hc": np.array([2.0, 2, 2, 2])},
+            bins=4,
+        )
+        lines = chart.splitlines()
+        assert lines[0].startswith("  Hg")
+        assert lines[1].startswith("  Hc")
+        # Hg's mass is all in the first bin: first glyph dense, rest sparse.
+        hg_strip = lines[0].split("|")[1]
+        assert hg_strip[0] != " " and hg_strip[-1] == " "

@@ -1,0 +1,58 @@
+"""Tests for report formatting."""
+
+from repro.evaluation.report import format_series, format_table, series_by_level
+from repro.evaluation.runner import LevelStats, RunResult
+
+
+def sample_results():
+    return [
+        RunResult(
+            label="Hc", epsilon=0.1,
+            levels=[
+                LevelStats(level=0, mean=100.0, std_of_mean=5.0, runs=10),
+                LevelStats(level=1, mean=10.0, std_of_mean=1.0, runs=10),
+            ],
+        ),
+        RunResult(
+            label="Hc", epsilon=1.0,
+            levels=[
+                LevelStats(level=0, mean=20.0, std_of_mean=2.0, runs=10),
+                LevelStats(level=1, mean=2.0, std_of_mean=0.5, runs=10),
+            ],
+        ),
+    ]
+
+
+class TestFormatTable:
+    def test_contains_rows_and_columns(self):
+        text = format_table(
+            "Bottom-Up vs Hc", {"BU": [78_459.0, 1_512.2], "Hc": [32_480.0, 1_000.3]},
+            columns=["Level 0", "Level 1"],
+        )
+        assert "Bottom-Up vs Hc" in text
+        assert "BU" in text and "Hc" in text
+        assert "78,459.0" in text
+        assert "Level 0" in text
+
+    def test_line_count(self):
+        text = format_table("t", {"a": [1.0], "b": [2.0]}, columns=["c"])
+        assert len(text.splitlines()) == 4  # title + header + 2 rows
+
+
+class TestFormatSeries:
+    def test_one_line_per_level_and_epsilon(self):
+        text = format_series("Figure 5", sample_results())
+        assert text.count("L0") == 2
+        assert text.count("L1") == 2
+        assert "eps=0.1" in text
+
+    def test_includes_std(self):
+        text = format_series("fig", sample_results())
+        assert "± 5.0" in text
+
+
+class TestSeriesByLevel:
+    def test_grouping(self):
+        grouped = series_by_level(sample_results())
+        assert set(grouped) == {0, 1}
+        assert grouped[0] == [(0.1, 100.0, 5.0), (1.0, 20.0, 2.0)]

@@ -1,0 +1,83 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator
+from repro.evaluation.runner import ExperimentRunner, per_level_emd
+from repro.exceptions import EstimationError
+
+
+def release_truth(hierarchy, epsilon, rng):
+    """A zero-error release function for harness sanity checks."""
+    return {node.name: node.data for node in hierarchy.nodes()}
+
+
+def release_topdown(hierarchy, epsilon, rng):
+    algo = TopDown(CumulativeEstimator(max_size=30))
+    return algo.run(hierarchy, epsilon, rng=rng).estimates
+
+
+class TestPerLevelEmd:
+    def test_truth_has_zero_error(self, two_level_tree):
+        estimates = {n.name: n.data for n in two_level_tree.nodes()}
+        assert per_level_emd(two_level_tree, estimates) == [0.0, 0.0]
+
+    def test_levels_ordered_root_first(self, three_level_tree):
+        estimates = {n.name: n.data for n in three_level_tree.nodes()}
+        assert len(per_level_emd(three_level_tree, estimates)) == 3
+
+
+class TestExperimentRunner:
+    def test_zero_error_release(self, two_level_tree):
+        runner = ExperimentRunner(two_level_tree, runs=3, seed=0)
+        result = runner.run("truth", release_truth, epsilon=1.0)
+        assert all(stats.mean == 0.0 for stats in result.levels)
+        assert all(stats.std_of_mean == 0.0 for stats in result.levels)
+
+    def test_statistics_shape(self, two_level_tree):
+        runner = ExperimentRunner(two_level_tree, runs=4, seed=0)
+        result = runner.run("hc", release_topdown, epsilon=1.0)
+        assert len(result.levels) == 2
+        assert result.levels[0].runs == 4
+        assert result.epsilon == 1.0
+
+    def test_reproducible(self, two_level_tree):
+        a = ExperimentRunner(two_level_tree, runs=2, seed=1).run(
+            "hc", release_topdown, 1.0
+        )
+        b = ExperimentRunner(two_level_tree, runs=2, seed=1).run(
+            "hc", release_topdown, 1.0
+        )
+        assert a.levels[0].mean == b.levels[0].mean
+
+    def test_different_seeds_differ(self, two_level_tree):
+        a = ExperimentRunner(two_level_tree, runs=2, seed=1).run(
+            "hc", release_topdown, 0.5
+        )
+        b = ExperimentRunner(two_level_tree, runs=2, seed=2).run(
+            "hc", release_topdown, 0.5
+        )
+        assert a.levels[0].mean != b.levels[0].mean
+
+    def test_sweep(self, two_level_tree):
+        runner = ExperimentRunner(two_level_tree, runs=2, seed=0)
+        results = runner.sweep("hc", release_topdown, [0.5, 1.0])
+        assert [r.epsilon for r in results] == [0.5, 1.0]
+
+    def test_level_lookup(self, two_level_tree):
+        runner = ExperimentRunner(two_level_tree, runs=2, seed=0)
+        result = runner.run("hc", release_topdown, 1.0)
+        assert result.level(1).level == 1
+        with pytest.raises(EstimationError):
+            result.level(9)
+
+    def test_invalid_runs_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError):
+            ExperimentRunner(two_level_tree, runs=0)
+
+    def test_single_run_zero_std(self, two_level_tree):
+        runner = ExperimentRunner(two_level_tree, runs=1, seed=0)
+        result = runner.run("hc", release_topdown, 1.0)
+        assert result.levels[0].std_of_mean == 0.0

@@ -1,0 +1,76 @@
+"""Tests for hierarchy builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CountOfCounts
+from repro.datasets.base import hierarchy_to_database
+from repro.exceptions import HierarchyError
+from repro.hierarchy.build import from_database, from_leaf_histograms, from_leaf_sizes
+
+
+class TestFromLeafHistograms:
+    def test_two_level(self):
+        tree = from_leaf_histograms("US", {"VA": [0, 2], "MD": [0, 1, 1]})
+        assert tree.num_levels == 2
+        assert tree.root.num_groups == 4
+
+    def test_three_level_nested(self):
+        tree = from_leaf_histograms(
+            "US", {"VA": {"fairfax": [0, 1], "arlington": [0, 0, 1]}}
+        )
+        assert tree.num_levels == 3
+        assert list(tree.find("VA").data.histogram) == [0, 1, 1]
+
+    def test_additivity_by_construction(self, three_level_tree):
+        three_level_tree.validate()  # must not raise
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(HierarchyError):
+            from_leaf_histograms("US", {})
+
+    def test_empty_internal_node_rejected(self):
+        with pytest.raises(HierarchyError):
+            from_leaf_histograms("US", {"VA": {}})
+
+    def test_accepts_count_of_counts_objects(self):
+        tree = from_leaf_histograms("US", {"VA": CountOfCounts([0, 3])})
+        assert tree.root.num_groups == 3
+
+
+class TestFromLeafSizes:
+    def test_sizes_converted(self):
+        tree = from_leaf_sizes("US", {"VA": [1, 1, 3], "MD": [2]})
+        assert list(tree.find("VA").data.histogram) == [0, 2, 0, 1]
+        assert tree.root.num_groups == 4
+
+
+class TestFromDatabase:
+    def test_roundtrip_through_relational_form(self, three_level_tree):
+        """hierarchy -> Database -> hierarchy preserves every histogram."""
+        database = hierarchy_to_database(three_level_tree)
+        rebuilt = from_database(database)
+        assert rebuilt.num_levels == three_level_tree.num_levels
+        for node in three_level_tree.nodes():
+            assert rebuilt.find(node.name).data == node.data
+
+    def test_roundtrip_intro_example(self, intro_tree):
+        database = hierarchy_to_database(intro_tree)
+        rebuilt = from_database(database)
+        assert list(rebuilt.root.data.histogram) == [0, 2, 1, 0, 1]
+
+    def test_multiple_roots_rejected(self, intro_tree):
+        database = hierarchy_to_database(intro_tree)
+        bad_hierarchy = database.hierarchy.with_column(
+            "level0", np.array(["top1", "top2"], dtype=object)
+        )
+        from repro.db.schema import Database
+
+        with pytest.raises(HierarchyError):
+            from_database(
+                Database(
+                    entities=database.entities,
+                    groups=database.groups,
+                    hierarchy=bad_hierarchy,
+                )
+            )

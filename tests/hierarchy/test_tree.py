@@ -1,0 +1,113 @@
+"""Tests for Node and Hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import HierarchyError
+from repro.hierarchy.tree import Hierarchy, Node
+
+
+class TestNode:
+    def test_leaf_properties(self):
+        node = Node("leaf", CountOfCounts([0, 3]))
+        assert node.is_leaf
+        assert node.level == 0
+        assert node.num_groups == 3
+
+    def test_add_child_sets_parent(self):
+        parent, child = Node("p"), Node("c", CountOfCounts([0, 1]))
+        parent.add_child(child)
+        assert child.parent is parent
+        assert child.level == 1
+
+    def test_reparenting_rejected(self):
+        a, b = Node("a"), Node("b")
+        child = Node("c", CountOfCounts([0, 1]))
+        a.add_child(child)
+        with pytest.raises(HierarchyError):
+            b.add_child(child)
+
+    def test_self_child_rejected(self):
+        node = Node("n")
+        with pytest.raises(HierarchyError):
+            node.add_child(node)
+
+    def test_internal_data_derived_from_children(self):
+        parent = Node("p")
+        parent.add_child(Node("a", CountOfCounts([0, 2, 1])))
+        parent.add_child(Node("b", CountOfCounts([0, 1])))
+        assert list(parent.data.histogram) == [0, 3, 1]
+
+    def test_leaf_without_data_raises(self):
+        with pytest.raises(HierarchyError):
+            Node("empty").data
+
+
+class TestHierarchy:
+    def test_levels(self, two_level_tree):
+        assert two_level_tree.num_levels == 2
+        assert len(two_level_tree.level(0)) == 1
+        assert len(two_level_tree.level(1)) == 3
+
+    def test_level_out_of_range(self, two_level_tree):
+        with pytest.raises(HierarchyError):
+            two_level_tree.level(5)
+
+    def test_leaves(self, three_level_tree):
+        names = {leaf.name for leaf in three_level_tree.leaves()}
+        assert names == {"a-county1", "a-county2", "b-county1", "b-county2"}
+
+    def test_find(self, two_level_tree):
+        assert two_level_tree.find("state-b").name == "state-b"
+        with pytest.raises(HierarchyError):
+            two_level_tree.find("missing")
+
+    def test_nodes_in_level_order(self, three_level_tree):
+        names = [node.name for node in three_level_tree.nodes()]
+        assert names[0] == "national"
+        assert set(names[1:3]) == {"state-a", "state-b"}
+
+    def test_additivity_invariant_validated(self):
+        root = Node("root", CountOfCounts([0, 5]))  # children sum to [0, 2]!
+        root.add_child(Node("a", CountOfCounts([0, 1])))
+        root.add_child(Node("b", CountOfCounts([0, 1])))
+        with pytest.raises(HierarchyError):
+            Hierarchy(root)
+
+    def test_valid_explicit_data_accepted(self):
+        root = Node("root", CountOfCounts([0, 2]))
+        root.add_child(Node("a", CountOfCounts([0, 1])))
+        root.add_child(Node("b", CountOfCounts([0, 1])))
+        Hierarchy(root)  # no exception
+
+    def test_statistics(self, two_level_tree):
+        stats = two_level_tree.statistics()
+        assert stats["levels"] == 2
+        assert stats["leaves"] == 3
+        assert stats["groups"] == two_level_tree.root.num_groups
+
+    def test_num_entities(self, intro_tree):
+        assert intro_tree.num_entities() == 8  # 4 + 2 + 1 + 1
+
+    def test_map_nodes(self, two_level_tree):
+        groups = two_level_tree.map_nodes(lambda n: n.num_groups)
+        assert groups["national"] == sum(
+            groups[n] for n in ("state-a", "state-b", "state-c")
+        )
+
+    def test_subtree(self, three_level_tree):
+        sub = three_level_tree.subtree("state-a")
+        assert sub.num_levels == 2
+        assert sub.root.name == "state-a"
+        # Original tree unchanged.
+        assert three_level_tree.find("state-a").parent is not None
+
+    def test_duplicate_node_rejected(self):
+        root = Node("root")
+        child = Node("c", CountOfCounts([0, 1]))
+        root.add_child(child)
+        # Manually wire a cycle-free duplicate reference.
+        root.children.append(child)
+        with pytest.raises(HierarchyError):
+            Hierarchy(root, validate=False)

@@ -1,0 +1,148 @@
+"""Edge cases and failure injection across the pipeline.
+
+Pathological shapes that break naive implementations: empty regions,
+single-group nodes, identical group sizes everywhere, one enormous group,
+and deliberately corrupted inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.matching import match_parent_to_children
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import (
+    CumulativeEstimator,
+    NaiveEstimator,
+    UnattributedEstimator,
+)
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import HierarchyError
+from repro.hierarchy.build import from_leaf_histograms
+from repro.hierarchy.tree import Hierarchy, Node
+
+ESTIMATORS = [
+    CumulativeEstimator(max_size=50),
+    UnattributedEstimator(),
+    NaiveEstimator(max_size=50),
+]
+
+
+@pytest.mark.parametrize("estimator", ESTIMATORS, ids=repr)
+class TestPathologicalNodes:
+    def test_single_group(self, estimator, rng):
+        data = CountOfCounts.from_sizes([7])
+        result = estimator.estimate(data, 1.0, rng=rng)
+        assert result.estimate.num_groups == 1
+
+    def test_all_groups_identical(self, estimator, rng):
+        data = CountOfCounts.from_sizes([3] * 500)
+        result = estimator.estimate(data, 1.0, rng=rng)
+        assert result.estimate.num_groups == 500
+
+    def test_one_enormous_group(self, estimator, rng):
+        data = CountOfCounts.from_sizes([1, 1, 1, 45])
+        result = estimator.estimate(data, 2.0, rng=rng)
+        assert result.estimate.num_groups == 4
+
+    def test_all_groups_empty(self, estimator, rng):
+        data = CountOfCounts([10])  # ten groups of size 0
+        result = estimator.estimate(data, 1.0, rng=rng)
+        assert result.estimate.num_groups == 10
+
+
+class TestEmptyRegions:
+    def test_topdown_with_empty_leaf(self, rng):
+        tree = from_leaf_histograms(
+            "root", {"busy": [0, 20, 10], "empty": [0]}
+        )
+        result = TopDown(CumulativeEstimator(max_size=30)).run(
+            tree, 1.0, rng=rng
+        )
+        assert result["empty"].num_groups == 0
+        assert result["root"].num_groups == 30
+
+    def test_topdown_with_all_empty_leaves(self, rng):
+        tree = from_leaf_histograms("root", {"a": [0], "b": [0]})
+        result = TopDown(UnattributedEstimator()).run(tree, 1.0, rng=rng)
+        assert result["root"].num_groups == 0
+
+    def test_matching_with_empty_child(self):
+        parent = np.array([1, 2, 3])
+        children = [np.array([1, 2, 3]), np.array([], dtype=np.int64)]
+        result = match_parent_to_children(
+            parent, np.ones(3),
+            children, [np.ones(3), np.ones(0)],
+        )
+        assert result.parent_sizes[1].size == 0
+        assert result.cost == 0
+
+    def test_zero_size_groups_flow_through(self, rng):
+        """Size-0 groups (present in the public Groups table) must survive
+        the whole pipeline."""
+        tree = from_leaf_histograms(
+            "root", {"a": [3, 5], "b": [2, 1]}
+        )
+        result = TopDown(CumulativeEstimator(max_size=10)).run(
+            tree, 2.0, rng=rng
+        )
+        assert result["root"].num_groups == 11
+
+
+class TestDeepAndDegenerateTrees:
+    def test_single_node_hierarchy(self, rng):
+        tree = Hierarchy(Node("only", CountOfCounts([0, 4, 2])))
+        result = TopDown(CumulativeEstimator(max_size=10)).run(
+            tree, 1.0, rng=rng
+        )
+        assert result["only"].num_groups == 6
+
+    def test_unary_chain(self, rng):
+        """Fanout-1 chains exercise the matching's trivial case."""
+        leaf = Node("leaf", CountOfCounts([0, 8, 4]))
+        mid = Node("mid")
+        mid.add_child(leaf)
+        root = Node("root")
+        root.add_child(mid)
+        tree = Hierarchy(root)
+        result = TopDown(CumulativeEstimator(max_size=10)).run(
+            tree, 1.5, rng=rng
+        )
+        assert result["root"] == result["mid"] == result["leaf"]
+
+    def test_four_level_tree(self, rng):
+        spec = {
+            "s": {"c": {"t1": [0, 5, 2], "t2": [0, 3, 1]}},
+            "s2": {"c2": {"t3": [0, 2]}},
+        }
+        tree = from_leaf_histograms("root", spec)
+        assert tree.num_levels == 4
+        result = TopDown(CumulativeEstimator(max_size=10)).run(
+            tree, 2.0, rng=rng
+        )
+        for node in tree.nodes():
+            assert result[node.name].num_groups == node.num_groups
+
+    def test_wide_tree(self, rng):
+        spec = {f"leaf{i}": [0, 2, 1] for i in range(150)}
+        tree = from_leaf_histograms("root", spec)
+        result = TopDown(UnattributedEstimator()).run(tree, 1.0, rng=rng)
+        assert result["root"].num_groups == 450
+
+
+class TestCorruptedInputs:
+    def test_inconsistent_hierarchy_caught_at_validation(self):
+        root = Node("root", CountOfCounts([0, 99]))
+        root.add_child(Node("a", CountOfCounts([0, 1])))
+        with pytest.raises(HierarchyError):
+            Hierarchy(root)
+
+    def test_estimator_survives_adversarial_noise_draws(self):
+        """Even the unluckiest seeds must produce valid output."""
+        data = CountOfCounts.from_sizes([1, 1, 2])
+        estimator = CumulativeEstimator(max_size=5)
+        for seed in range(200):
+            result = estimator.estimate(
+                data, 0.05, rng=np.random.default_rng(seed)
+            )
+            assert result.estimate.num_groups == 3
+            assert np.all(result.estimate.histogram >= 0)

@@ -1,0 +1,120 @@
+"""End-to-end integration tests: generators → algorithms → metrics.
+
+These run the complete paper pipeline at tiny scale on all four datasets and
+check every cross-module contract at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.bottomup import BottomUp
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import (
+    CumulativeEstimator,
+    PerLevelSpec,
+    UnattributedEstimator,
+)
+from repro.core.metrics import earthmover_distance
+from repro.datasets import make_dataset
+from repro.datasets.base import hierarchy_to_database
+from repro.evaluation.runner import ExperimentRunner, per_level_emd
+from repro.hierarchy.build import from_database
+
+DATASET_CONFIGS = [
+    ("housing", dict(scale=2e-5)),
+    ("white", dict(scale=2e-4)),
+    ("hawaiian", dict(scale=2e-4)),
+    ("taxi", dict(scale=2e-3)),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", DATASET_CONFIGS)
+class TestFullPipeline:
+    def test_topdown_on_every_dataset(self, name, kwargs):
+        tree = make_dataset(name, **kwargs).build(seed=0)
+        algo = TopDown(CumulativeEstimator(max_size=2000))
+        result = algo.run(tree, epsilon=1.0, rng=np.random.default_rng(0))
+        for node in tree.nodes():
+            estimate = result[node.name]
+            assert estimate.num_groups == node.num_groups
+            assert np.all(estimate.histogram >= 0)
+            if not node.is_leaf:
+                total = result[node.children[0].name]
+                for child in node.children[1:]:
+                    total = total + result[child.name]
+                assert total == estimate
+
+    def test_runner_produces_finite_statistics(self, name, kwargs):
+        tree = make_dataset(name, **kwargs).build(seed=0)
+        runner = ExperimentRunner(tree, runs=2, seed=0)
+        algo = TopDown(CumulativeEstimator(max_size=2000))
+        result = runner.run(
+            "Hc", lambda h, e, rng: algo.run(h, e, rng=rng).estimates, 1.0
+        )
+        for stats in result.levels:
+            assert np.isfinite(stats.mean)
+            assert stats.mean >= 0
+
+
+class TestMixedSpecPipeline:
+    def test_hg_root_hc_leaves(self):
+        tree = make_dataset("white", scale=2e-4).build(seed=1)
+        spec = PerLevelSpec.from_string("hg x hc", max_size=2000)
+        result = TopDown(spec).run(tree, 1.0, rng=np.random.default_rng(1))
+        errors = per_level_emd(tree, result.estimates)
+        assert len(errors) == 2 and all(np.isfinite(e) for e in errors)
+
+
+class TestRelationalRoundTrip:
+    def test_database_pipeline_matches_direct_generation(self):
+        """generator → relational tables → hierarchy → top-down, checking
+        the db path produces the same true histograms."""
+        tree = make_dataset("hawaiian", scale=2e-5).build(seed=0)
+        database = hierarchy_to_database(tree)
+        rebuilt = from_database(database)
+        for node in tree.nodes():
+            assert rebuilt.find(node.name).data == node.data
+        result = TopDown(CumulativeEstimator(max_size=100)).run(
+            rebuilt, 1.0, rng=np.random.default_rng(0)
+        )
+        assert result[rebuilt.root.name].num_groups == tree.root.num_groups
+
+
+class TestErrorOrdering:
+    def test_bottom_up_worse_at_root_better_at_leaves(self):
+        """The Section 6.2.2 trade-off, end to end on the full national
+        3-level housing data.  The effect needs many leaves: with ~600
+        counties the per-leaf biases of bottom-up aggregation accumulate at
+        the root, exactly as in the paper's table."""
+        tree = make_dataset("housing", scale=1e-4, levels=3).build(seed=0)
+
+        def mean_level(release, level):
+            values = []
+            for seed in range(2):
+                estimates = release(np.random.default_rng(seed))
+                values.append(per_level_emd(tree, estimates)[level])
+            return np.mean(values)
+
+        topdown = TopDown(CumulativeEstimator(max_size=20_000))
+        bottomup = BottomUp(CumulativeEstimator(max_size=20_000))
+        td_root = mean_level(lambda rng: topdown.run(tree, 1.0, rng=rng).estimates, 0)
+        bu_root = mean_level(lambda rng: bottomup.run(tree, 1.0, rng=rng).estimates, 0)
+        td_leaf = mean_level(lambda rng: topdown.run(tree, 1.0, rng=rng).estimates, 2)
+        bu_leaf = mean_level(lambda rng: bottomup.run(tree, 1.0, rng=rng).estimates, 2)
+        assert td_root < bu_root
+        assert bu_leaf < td_leaf
+
+    def test_error_decreases_with_epsilon(self):
+        tree = make_dataset("white", scale=2e-4).build(seed=0)
+        algo = TopDown(CumulativeEstimator(max_size=2000))
+
+        def mean_root_error(epsilon):
+            values = []
+            for seed in range(4):
+                result = algo.run(tree, epsilon, rng=np.random.default_rng(seed))
+                values.append(
+                    earthmover_distance(tree.root.data, result[tree.root.name])
+                )
+            return np.mean(values)
+
+        assert mean_root_error(4.0) < mean_root_error(0.1)

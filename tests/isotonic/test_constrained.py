@@ -1,0 +1,83 @@
+"""Tests for box- and endpoint-constrained isotonic regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.isotonic.constrained import isotonic_box, isotonic_with_endpoint
+
+
+class TestIsotonicBox:
+    def test_clipping_applied(self):
+        fitted = isotonic_box(np.array([-3.0, 0.5, 9.0]), lower=0.0, upper=5.0)
+        assert fitted[0] == 0.0
+        assert fitted[-1] == 5.0
+        assert np.all(np.diff(fitted) >= 0)
+
+    def test_interior_solution_untouched(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(isotonic_box(y, 0.0, 10.0), y)
+
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_both_losses_supported(self, p, rng):
+        y = rng.normal(size=100) * 5
+        fitted = isotonic_box(y, lower=0.0, upper=4.0, p=p)
+        assert np.all(fitted >= 0.0) and np.all(fitted <= 4.0)
+        assert np.all(np.diff(fitted) >= 0)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(EstimationError):
+            isotonic_box(np.array([1.0]), 0.0, 1.0, p=3)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(EstimationError):
+            isotonic_box(np.array([1.0]), lower=2.0, upper=1.0)
+
+    def test_box_solution_optimal_l2(self, rng):
+        """clip(PAV(y)) must beat every feasible candidate we can sample."""
+        y = rng.normal(size=6) * 4
+        fitted = isotonic_box(y, lower=0.0, upper=3.0, p=2)
+        best = float(np.sum((fitted - y) ** 2))
+        for _ in range(2000):
+            candidate = np.sort(rng.uniform(0.0, 3.0, size=6))
+            cost = float(np.sum((candidate - y) ** 2))
+            assert cost >= best - 1e-9
+
+
+class TestIsotonicWithEndpoint:
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_endpoint_pinned(self, p, rng):
+        y = rng.normal(size=50).cumsum() + 10
+        fitted, _ = isotonic_with_endpoint(y, total=42.0, p=p)
+        assert fitted[-1] == 42.0
+        assert np.all(np.diff(fitted) >= 0)
+        assert np.all(fitted >= 0.0) and np.all(fitted <= 42.0)
+
+    def test_single_cell(self):
+        fitted, sizes = isotonic_with_endpoint(np.array([7.3]), total=5.0)
+        assert np.array_equal(fitted, [5.0])
+        assert list(sizes) == [1]
+
+    def test_clean_input_recovered(self):
+        """A valid cumulative histogram should pass through unchanged."""
+        hc = np.array([0.0, 2.0, 3.0, 5.0])
+        fitted, _ = isotonic_with_endpoint(hc, total=5.0, p=1)
+        assert np.allclose(fitted, hc)
+
+    def test_block_sizes_cover_input(self, rng):
+        y = rng.normal(size=30) * 3 + 5
+        fitted, sizes = isotonic_with_endpoint(y, total=10.0, p=2)
+        assert sizes.sum() >= y.size  # run lengths cover every index
+        assert sizes.shape == fitted.shape
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(EstimationError):
+            isotonic_with_endpoint(np.array([1.0, 2.0]), total=-1.0)
+
+    def test_zero_total(self):
+        fitted, _ = isotonic_with_endpoint(np.array([3.0, 1.0, 4.0]), total=0.0)
+        assert np.allclose(fitted, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            isotonic_with_endpoint(np.array([]), total=1.0)

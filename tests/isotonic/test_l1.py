@@ -1,0 +1,131 @@
+"""Tests for L1 isotonic regression (PAV with weighted medians)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.isotonic.l1 import _MedianBag, isotonic_l1
+
+
+def l1_cost(x, y, w=None):
+    w = np.ones_like(np.asarray(y, dtype=float)) if w is None else np.asarray(w)
+    return float(np.sum(w * np.abs(np.asarray(x, float) - np.asarray(y, float))))
+
+
+def brute_force_l1_cost(y, w=None, candidates=None):
+    """Minimum L1 isotonic cost by enumerating monotone candidate vectors.
+
+    For L1 isotonic regression an optimal solution exists whose values all
+    come from the observed values, so enumerating nondecreasing tuples over
+    the observed value set is exact on tiny inputs.
+    """
+    y = np.asarray(y, dtype=float)
+    values = sorted(set(y.tolist()))
+    best = np.inf
+    for combo in itertools.combinations_with_replacement(values, y.size):
+        best = min(best, l1_cost(np.array(combo), y, w))
+    return best
+
+
+class TestMedianBag:
+    def test_single_element(self):
+        bag = _MedianBag()
+        bag.insert(5.0, 1.0)
+        assert bag.median == 5.0
+
+    def test_lower_median_of_even_count(self):
+        bag = _MedianBag()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            bag.insert(value, 1.0)
+        assert bag.median == 2.0  # lower median
+
+    def test_weighted_median(self):
+        bag = _MedianBag()
+        bag.insert(1.0, 10.0)
+        bag.insert(100.0, 1.0)
+        assert bag.median == 1.0
+
+    def test_merge(self):
+        a, b = _MedianBag(), _MedianBag()
+        for value in (1.0, 9.0):
+            a.insert(value, 1.0)
+        for value in (2.0, 3.0, 4.0):
+            b.insert(value, 1.0)
+        a.merge(b)
+        assert a.median == 3.0
+        assert len(a) == 5
+
+    def test_insertion_order_irrelevant(self, rng):
+        values = rng.normal(size=101)
+        bag1, bag2 = _MedianBag(), _MedianBag()
+        for value in values:
+            bag1.insert(float(value), 1.0)
+        for value in reversed(values):
+            bag2.insert(float(value), 1.0)
+        assert bag1.median == bag2.median == np.median(values)
+
+
+class TestIsotonicL1:
+    def test_already_monotone_unchanged(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(isotonic_l1(y), y)
+
+    def test_violation_pools_to_optimal_cost(self):
+        y = np.array([5.0, 1.0, 2.0])
+        fitted = isotonic_l1(y)
+        assert np.all(np.diff(fitted) >= 0)
+        # Both [1,1,2] and [2,2,2] are optimal with cost 4.
+        assert l1_cost(fitted, y) == pytest.approx(4.0)
+
+    def test_output_is_nondecreasing(self, rng):
+        y = rng.normal(size=500)
+        assert np.all(np.diff(isotonic_l1(y)) >= 0)
+
+    def test_integer_inputs_give_integer_outputs(self, rng):
+        """Lower-median pooling keeps values on the integer grid — the
+        property behind the paper's 'L1 mostly returns integers' remark."""
+        y = rng.integers(-5, 10, size=200).astype(float)
+        fitted = isotonic_l1(y)
+        assert np.array_equal(fitted, np.rint(fitted))
+
+    def test_cost_matches_brute_force_small(self, rng):
+        for _ in range(10):
+            y = rng.integers(0, 6, size=5).astype(float)
+            fitted = isotonic_l1(y)
+            assert np.all(np.diff(fitted) >= 0)
+            assert l1_cost(fitted, y) == pytest.approx(
+                brute_force_l1_cost(y), abs=1e-9
+            )
+
+    def test_cost_never_above_l2_solution(self, rng):
+        """The L1 fit must have L1 cost <= the L2 fit's L1 cost."""
+        from repro.isotonic.pav import isotonic_l2
+
+        for _ in range(5):
+            y = rng.normal(size=50)
+            assert l1_cost(isotonic_l1(y), y) <= l1_cost(isotonic_l2(y), y) + 1e-9
+
+    def test_weighted_pull(self):
+        y = np.array([3.0, 0.0])
+        fitted = isotonic_l1(y, weights=np.array([5.0, 1.0]))
+        # The heavy first observation dominates: pooled value is 3's side.
+        assert fitted[0] == fitted[1] == 3.0
+
+    def test_idempotent(self, rng):
+        y = rng.normal(size=100)
+        once = isotonic_l1(y)
+        assert np.allclose(isotonic_l1(once), once)
+
+    def test_monotone_noisy_staircase(self, rng):
+        """Noisy version of a staircase should recover roughly the stairs."""
+        truth = np.repeat([0.0, 10.0, 20.0], 50)
+        noisy = truth + rng.normal(scale=0.5, size=truth.size)
+        fitted = isotonic_l1(noisy)
+        assert np.all(np.diff(fitted) >= 0)
+        assert np.abs(fitted - truth).mean() < 1.0
+
+    def test_large_input(self, rng):
+        y = np.sort(rng.normal(size=50_000)) + rng.normal(size=50_000) * 0.05
+        fitted = isotonic_l1(y)
+        assert np.all(np.diff(fitted) >= 0)

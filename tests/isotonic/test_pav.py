@@ -1,0 +1,117 @@
+"""Tests for L2 isotonic regression (PAV)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.isotonic.pav import isotonic_blocks, isotonic_l2
+
+
+def brute_force_isotonic_l2(y, weights=None, grid_steps=2001):
+    """Exact L2 isotonic fit on tiny inputs via scipy optimization."""
+    from scipy.optimize import minimize
+
+    y = np.asarray(y, dtype=float)
+    w = np.ones_like(y) if weights is None else np.asarray(weights, dtype=float)
+    n = y.size
+
+    def objective(x):
+        return float(np.sum(w * (x - y) ** 2))
+
+    constraints = [
+        {"type": "ineq", "fun": (lambda x, i=i: x[i + 1] - x[i])}
+        for i in range(n - 1)
+    ]
+    result = minimize(objective, np.sort(y), constraints=constraints, tol=1e-12)
+    return result.x
+
+
+class TestIsotonicL2:
+    def test_already_monotone_unchanged(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(isotonic_l2(y), y)
+
+    def test_single_violation_pools_to_mean(self):
+        assert np.allclose(isotonic_l2(np.array([3.0, 1.0])), [2.0, 2.0])
+
+    def test_decreasing_input_pools_to_global_mean(self):
+        y = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert np.allclose(isotonic_l2(y), np.full(5, 3.0))
+
+    def test_textbook_example(self):
+        fitted = isotonic_l2(np.array([1.0, 3.0, 2.0, 4.0]))
+        assert np.allclose(fitted, [1.0, 2.5, 2.5, 4.0])
+
+    def test_output_is_nondecreasing(self, rng):
+        y = rng.normal(size=500)
+        fitted = isotonic_l2(y)
+        assert np.all(np.diff(fitted) >= 0)
+
+    def test_matches_brute_force_on_small_inputs(self, rng):
+        for _ in range(10):
+            y = rng.normal(size=6) * 3
+            fitted = isotonic_l2(y)
+            expected = brute_force_isotonic_l2(y)
+            assert np.allclose(fitted, expected, atol=1e-4)
+
+    def test_weighted_fit(self):
+        # Heavy weight on the first observation pulls the pooled value down.
+        y = np.array([1.0, 0.0])
+        fitted = isotonic_l2(y, weights=np.array([99.0, 1.0]))
+        assert fitted[0] == pytest.approx(0.99)
+        assert np.all(np.diff(fitted) >= 0)
+
+    def test_weighted_matches_brute_force(self, rng):
+        for _ in range(5):
+            y = rng.normal(size=5)
+            w = rng.uniform(0.5, 3.0, size=5)
+            assert np.allclose(
+                isotonic_l2(y, w), brute_force_isotonic_l2(y, w), atol=1e-4
+            )
+
+    def test_block_sizes_reported(self):
+        fitted, sizes = isotonic_blocks(np.array([3.0, 1.0, 2.0, 10.0]))
+        assert np.allclose(fitted, [2.0, 2.0, 2.0, 10.0])
+        assert list(sizes) == [3, 3, 3, 1]
+
+    def test_residuals_orthogonal_to_blocks(self, rng):
+        """Within each pooled block, residuals must sum to zero (KKT)."""
+        y = rng.normal(size=200)
+        fitted, sizes = isotonic_blocks(y)
+        start = 0
+        while start < y.size:
+            size = sizes[start]
+            block = slice(start, start + size)
+            assert np.sum(y[block] - fitted[block]) == pytest.approx(0, abs=1e-8)
+            start += size
+
+    def test_idempotent(self, rng):
+        y = rng.normal(size=100)
+        once = isotonic_l2(y)
+        twice = isotonic_l2(once)
+        assert np.allclose(once, twice)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            isotonic_l2(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(EstimationError):
+            isotonic_l2(np.zeros((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(EstimationError):
+            isotonic_l2(np.array([1.0, np.nan]))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(EstimationError):
+            isotonic_l2(np.array([1.0, 2.0]), weights=np.array([1.0, 0.0]))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(EstimationError):
+            isotonic_l2(np.array([1.0, 2.0]), weights=np.array([1.0]))
+
+    def test_large_input_fast(self, rng):
+        y = np.sort(rng.normal(size=200_000)) + rng.normal(size=200_000) * 0.1
+        fitted = isotonic_l2(y)
+        assert np.all(np.diff(fitted) >= 0)

@@ -1,0 +1,97 @@
+"""Tests for largest-remainder rounding and proportional allocation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.isotonic.rounding import largest_remainder_round, proportional_allocation
+
+
+class TestLargestRemainderRound:
+    def test_exact_integers_pass_through(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(largest_remainder_round(values, 6), [1, 2, 3])
+
+    def test_fractions_rounded_by_remainder(self):
+        result = largest_remainder_round(np.array([0.5, 1.6, 0.9]), total=3)
+        assert list(result) == [0, 2, 1]
+
+    def test_sum_always_exact(self, rng):
+        for _ in range(50):
+            values = rng.uniform(0, 5, size=20)
+            total = int(np.round(values.sum()))
+            result = largest_remainder_round(values, total)
+            assert result.sum() == total
+
+    def test_result_within_one_of_input(self, rng):
+        values = rng.uniform(0, 10, size=50)
+        total = int(np.round(values.sum()))
+        result = largest_remainder_round(values, total)
+        assert np.all(np.abs(result - values) < 1.0)
+
+    def test_ties_break_deterministically(self):
+        a = largest_remainder_round(np.array([0.5, 0.5, 0.5, 0.5]), total=2)
+        b = largest_remainder_round(np.array([0.5, 0.5, 0.5, 0.5]), total=2)
+        assert np.array_equal(a, b)
+        assert list(a) == [1, 1, 0, 0]  # lower indices win ties
+
+    def test_total_too_small_rejected(self):
+        with pytest.raises(EstimationError):
+            largest_remainder_round(np.array([2.0, 2.0]), total=3)
+
+    def test_total_too_large_rejected(self):
+        with pytest.raises(EstimationError):
+            largest_remainder_round(np.array([0.1, 0.1]), total=5)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(EstimationError):
+            largest_remainder_round(np.array([-0.5, 1.0]), total=1)
+
+    def test_zero_total(self):
+        result = largest_remainder_round(np.array([0.2, 0.3]), total=0)
+        assert list(result) == [0, 0]
+
+
+class TestProportionalAllocation:
+    def test_paper_example(self):
+        """300 parent groups over children with 200/100/100 candidates
+        (Section 5.2.1): 50% / 25% / 25%."""
+        allocation = proportional_allocation(np.array([200, 100, 100]), 300)
+        assert list(allocation) == [150, 75, 75]
+
+    def test_sum_exact(self, rng):
+        for _ in range(50):
+            weights = rng.integers(0, 100, size=8)
+            capacity = int(weights.sum())
+            if capacity == 0:
+                continue
+            total = int(rng.integers(0, capacity + 1))
+            allocation = proportional_allocation(weights, total)
+            assert allocation.sum() == total
+
+    def test_never_exceeds_capacity(self, rng):
+        for _ in range(50):
+            weights = rng.integers(0, 20, size=6)
+            capacity = int(weights.sum())
+            if capacity == 0:
+                continue
+            total = int(rng.integers(0, capacity + 1))
+            allocation = proportional_allocation(weights, total)
+            assert np.all(allocation <= weights)
+
+    def test_full_capacity_allocation(self):
+        weights = np.array([3, 0, 7])
+        allocation = proportional_allocation(weights, total=10)
+        assert list(allocation) == [3, 0, 7]
+
+    def test_zero_weight_gets_nothing(self):
+        allocation = proportional_allocation(np.array([0, 10]), total=5)
+        assert allocation[0] == 0
+
+    def test_overallocation_rejected(self):
+        with pytest.raises(EstimationError):
+            proportional_allocation(np.array([1, 1]), total=3)
+
+    def test_zero_total(self):
+        allocation = proportional_allocation(np.array([5, 5]), total=0)
+        assert list(allocation) == [0, 0]

@@ -1,0 +1,71 @@
+"""Tests for Euclidean projection onto the scaled simplex."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.isotonic.simplex import project_to_simplex
+
+
+class TestProjectToSimplex:
+    def test_feasible_point_unchanged(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(project_to_simplex(y, total=6.0), y)
+
+    def test_output_sums_to_total(self, rng):
+        for _ in range(20):
+            y = rng.normal(size=30) * 10
+            total = float(rng.uniform(0, 50))
+            x = project_to_simplex(y, total)
+            assert x.sum() == pytest.approx(total, abs=1e-8)
+
+    def test_output_nonnegative(self, rng):
+        y = rng.normal(size=100) * 5
+        x = project_to_simplex(y, total=7.0)
+        assert np.all(x >= 0)
+
+    def test_negative_input_clipped(self):
+        x = project_to_simplex(np.array([2.0, -1.0]), total=1.0)
+        assert np.allclose(x, [1.0, 0.0])
+
+    def test_uniform_shift_when_all_positive(self):
+        x = project_to_simplex(np.array([1.0, 1.0]), total=4.0)
+        assert np.allclose(x, [2.0, 2.0])
+
+    def test_zero_total(self):
+        x = project_to_simplex(np.array([5.0, -2.0, 1.0]), total=0.0)
+        assert np.allclose(x, 0.0)
+
+    def test_projection_is_closest_feasible_point(self, rng):
+        """The projection must beat random feasible candidates."""
+        y = rng.normal(size=5) * 3
+        total = 4.0
+        x = project_to_simplex(y, total)
+        best = float(np.sum((x - y) ** 2))
+        for _ in range(3000):
+            candidate = rng.dirichlet(np.ones(5)) * total
+            assert float(np.sum((candidate - y) ** 2)) >= best - 1e-9
+
+    def test_kkt_conditions(self, rng):
+        """x = max(y - tau, 0): active coordinates share one multiplier."""
+        y = rng.normal(size=50) * 4
+        x = project_to_simplex(y, total=10.0)
+        active = x > 1e-12
+        taus = y[active] - x[active]
+        assert np.ptp(taus) < 1e-8  # same tau on the support
+        # Inactive coordinates must satisfy y_i <= tau.
+        if np.any(~active):
+            assert np.all(y[~active] <= taus.mean() + 1e-8)
+
+    def test_idempotent(self, rng):
+        y = rng.normal(size=20)
+        once = project_to_simplex(y, total=3.0)
+        assert np.allclose(project_to_simplex(once, total=3.0), once)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            project_to_simplex(np.array([]), total=1.0)
+        with pytest.raises(EstimationError):
+            project_to_simplex(np.array([1.0]), total=-1.0)
+        with pytest.raises(EstimationError):
+            project_to_simplex(np.zeros((2, 2)), total=1.0)

@@ -1,0 +1,98 @@
+"""Tests for privacy-budget accounting."""
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms.budget import BudgetSplit, PrivacyBudget
+
+
+class TestBudgetSplit:
+    def test_even_split(self):
+        split = BudgetSplit(1.0, 4)
+        assert split.per_part == pytest.approx(0.25)
+
+    def test_invalid_total(self):
+        with pytest.raises(PrivacyBudgetError):
+            BudgetSplit(0.0, 2)
+
+    def test_invalid_parts(self):
+        with pytest.raises(PrivacyBudgetError):
+            BudgetSplit(1.0, 0)
+
+
+class TestPrivacyBudget:
+    def test_sequential_composition_adds(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.4, scope="a", parallel_group="g1")
+        budget.spend(0.6, scope="b", parallel_group="g2")
+        assert budget.spent == pytest.approx(1.0)
+
+    def test_parallel_composition_takes_max(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5, scope="a", parallel_group="level1")
+        budget.spend(0.5, scope="b", parallel_group="level1")
+        budget.spend(0.5, scope="c", parallel_group="level1")
+        assert budget.spent == pytest.approx(0.5)
+
+    def test_overspend_rejected(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.8, scope="a", parallel_group="g1")
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend(0.3, scope="b", parallel_group="g2")
+
+    def test_same_scope_accumulates_sequentially(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.4, scope="a", parallel_group="g")
+        budget.spend(0.4, scope="a", parallel_group="g")
+        assert budget.spent == pytest.approx(0.8)
+
+    def test_overspend_within_scope_rejected(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.7, scope="a", parallel_group="g")
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend(0.7, scope="a", parallel_group="g")
+
+    def test_remaining(self):
+        budget = PrivacyBudget(2.0)
+        budget.spend(0.5, scope="a")
+        assert budget.remaining == pytest.approx(1.5)
+
+    def test_nonpositive_spend_rejected(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend(0.0, scope="a")
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(-1.0)
+
+    def test_exact_exhaustion_allowed(self):
+        """Spending exactly epsilon (the hierarchical split) must succeed."""
+        budget = PrivacyBudget(1.0)
+        for level in range(3):
+            for node in range(4):
+                budget.spend(
+                    1.0 / 3, scope=f"n{node}", parallel_group=f"level{level}"
+                )
+        assert budget.spent == pytest.approx(1.0)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_group_spend(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.2, scope="a", parallel_group="g1")
+        budget.spend(0.3, scope="b", parallel_group="g1")
+        assert budget.group_spend("g1") == pytest.approx(0.3)
+        assert budget.group_spend("missing") == 0.0
+
+    def test_audit_rows(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.2, scope="a", parallel_group="g1")
+        budget.spend(0.3, scope="b", parallel_group="g2")
+        rows = budget.audit()
+        assert ("g1", "a", 0.2) in rows
+        assert ("g2", "b", 0.3) in rows
+
+    def test_split_levels_matches_algorithm_one(self):
+        budget = PrivacyBudget(1.0)
+        split = budget.split_levels(3)  # L + 1 = 3 levels
+        assert split.per_part == pytest.approx(1.0 / 3)

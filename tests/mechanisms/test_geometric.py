@@ -1,0 +1,102 @@
+"""Tests for the geometric (double-geometric) mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.mechanisms.geometric import (
+    GeometricMechanism,
+    double_geometric,
+    double_geometric_variance,
+)
+
+
+class TestDoubleGeometricSampling:
+    def test_returns_integers(self, rng):
+        noise = double_geometric(1000, epsilon=1.0, rng=rng)
+        assert noise.dtype == np.int64
+
+    def test_shape_scalar_and_tuple(self, rng):
+        assert double_geometric(7, 1.0, rng=rng).shape == (7,)
+        assert double_geometric((3, 4), 1.0, rng=rng).shape == (3, 4)
+
+    def test_symmetric_around_zero(self, rng):
+        noise = double_geometric(200_000, epsilon=1.0, rng=rng)
+        assert abs(noise.mean()) < 0.02
+
+    def test_empirical_variance_matches_formula(self, rng):
+        epsilon = 0.8
+        noise = double_geometric(400_000, epsilon=epsilon, rng=rng)
+        expected = double_geometric_variance(epsilon)
+        assert noise.var() == pytest.approx(expected, rel=0.05)
+
+    def test_larger_epsilon_means_less_noise(self, rng):
+        small = double_geometric(100_000, epsilon=0.1, rng=rng)
+        large = double_geometric(100_000, epsilon=2.0, rng=rng)
+        assert small.var() > large.var()
+
+    def test_sensitivity_scales_noise(self, rng):
+        base = double_geometric_variance(1.0, sensitivity=1.0)
+        scaled = double_geometric_variance(1.0, sensitivity=2.0)
+        assert scaled > base
+
+    def test_distribution_pmf(self, rng):
+        """Empirical P(X=k) should match (1-a)/(1+a) * a^|k|."""
+        epsilon = 1.0
+        a = np.exp(-epsilon)
+        noise = double_geometric(500_000, epsilon=epsilon, rng=rng)
+        for k in (0, 1, -1, 2):
+            expected = (1 - a) / (1 + a) * a ** abs(k)
+            observed = np.mean(noise == k)
+            assert observed == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(EstimationError):
+            double_geometric(10, epsilon=epsilon)
+
+    def test_invalid_sensitivity_rejected(self):
+        with pytest.raises(EstimationError):
+            double_geometric(10, epsilon=1.0, sensitivity=0.0)
+
+
+class TestGeometricMechanism:
+    def test_randomise_preserves_shape_and_dtype(self, rng):
+        mech = GeometricMechanism(1.0, 2.0, rng=rng)
+        values = np.array([5, 0, 100])
+        noisy = mech.randomise(values)
+        assert noisy.shape == values.shape
+        assert noisy.dtype == np.int64
+
+    def test_randomise_scalar(self, rng):
+        mech = GeometricMechanism(1.0, rng=rng)
+        result = mech.randomise(10)
+        assert np.isscalar(result) or result.shape == ()
+
+    def test_rejects_fractional_queries(self, rng):
+        mech = GeometricMechanism(1.0, rng=rng)
+        with pytest.raises(EstimationError):
+            mech.randomise(np.array([1.5, 2.0]))
+
+    def test_accepts_integral_floats(self, rng):
+        mech = GeometricMechanism(1.0, rng=rng)
+        noisy = mech.randomise(np.array([1.0, 2.0]))
+        assert noisy.dtype == np.int64
+
+    def test_scale_property(self):
+        mech = GeometricMechanism(0.5, sensitivity=2.0)
+        assert mech.scale == 4.0
+
+    def test_variance_close_to_laplace_approximation(self):
+        """The paper approximates the variance by the Laplace 2/eps^2; for
+        small epsilon the two should be close."""
+        mech = GeometricMechanism(0.05, sensitivity=1.0)
+        assert mech.variance == pytest.approx(
+            mech.laplace_variance_approximation, rel=0.02
+        )
+
+    def test_deterministic_given_seed(self):
+        a = GeometricMechanism(1.0, rng=np.random.default_rng(7))
+        b = GeometricMechanism(1.0, rng=np.random.default_rng(7))
+        values = np.arange(50)
+        assert np.array_equal(a.randomise(values), b.randomise(values))

@@ -1,0 +1,46 @@
+"""Tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.mechanisms.laplace import LaplaceMechanism
+
+
+class TestLaplaceMechanism:
+    def test_noise_is_centered(self, rng):
+        mech = LaplaceMechanism(1.0, rng=rng)
+        noisy = mech.randomise(np.zeros(200_000))
+        assert abs(noisy.mean()) < 0.02
+
+    def test_variance_matches_formula(self, rng):
+        mech = LaplaceMechanism(0.5, rng=rng)
+        noisy = mech.randomise(np.zeros(300_000))
+        assert noisy.var() == pytest.approx(mech.variance, rel=0.05)
+
+    def test_standard_deviation_formula(self):
+        mech = LaplaceMechanism(2.0, sensitivity=1.0)
+        assert mech.standard_deviation == pytest.approx(np.sqrt(2.0) / 2.0)
+
+    def test_scalar_input(self, rng):
+        mech = LaplaceMechanism(1.0, rng=rng)
+        result = mech.randomise(5.0)
+        assert isinstance(float(result), float)
+
+    def test_shape_preserved(self, rng):
+        mech = LaplaceMechanism(1.0, rng=rng)
+        assert mech.randomise(np.zeros((4, 5))).shape == (4, 5)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.5])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(EstimationError):
+            LaplaceMechanism(epsilon)
+
+    def test_invalid_sensitivity_rejected(self):
+        with pytest.raises(EstimationError):
+            LaplaceMechanism(1.0, sensitivity=-1.0)
+
+    def test_deterministic_given_seed(self):
+        a = LaplaceMechanism(1.0, rng=np.random.default_rng(3))
+        b = LaplaceMechanism(1.0, rng=np.random.default_rng(3))
+        assert np.array_equal(a.randomise(np.ones(10)), b.randomise(np.ones(10)))

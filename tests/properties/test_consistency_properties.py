@@ -1,0 +1,96 @@
+"""Property-based tests: the top-down algorithm's outputs always satisfy
+the four desiderata of Problem 1, for random hierarchies and budgets."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency.bottomup import BottomUp
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import CumulativeEstimator, UnattributedEstimator
+from repro.hierarchy.build import from_leaf_histograms
+
+leaf_histograms = st.lists(
+    st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=8),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_tree(leaves):
+    return from_leaf_histograms(
+        "root", {f"leaf{i}": histogram for i, histogram in enumerate(leaves)}
+    )
+
+
+def assert_desiderata(tree, estimates):
+    for node in tree.nodes():
+        histogram = estimates[node.name].histogram
+        assert np.issubdtype(histogram.dtype, np.integer)
+        assert np.all(histogram >= 0)
+        assert estimates[node.name].num_groups == node.num_groups
+        if not node.is_leaf:
+            total = estimates[node.children[0].name]
+            for child in node.children[1:]:
+                total = total + estimates[child.name]
+            assert total == estimates[node.name]
+
+
+@given(
+    leaf_histograms,
+    st.floats(min_value=0.05, max_value=10.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.sampled_from(["hc", "hg"]),
+    st.sampled_from(["weighted", "naive"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_topdown_desiderata(leaves, epsilon, seed, method, merge):
+    tree = build_tree(leaves)
+    estimator = (
+        CumulativeEstimator(max_size=20) if method == "hc"
+        else UnattributedEstimator()
+    )
+    result = TopDown(estimator, merge_strategy=merge).run(
+        tree, epsilon, rng=np.random.default_rng(seed)
+    )
+    assert_desiderata(tree, result.estimates)
+    assert result.budget.spent <= epsilon + 1e-9
+
+
+@given(
+    leaf_histograms,
+    st.floats(min_value=0.05, max_value=10.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_bottomup_desiderata(leaves, epsilon, seed):
+    tree = build_tree(leaves)
+    result = BottomUp(CumulativeEstimator(max_size=20)).run(
+        tree, epsilon, rng=np.random.default_rng(seed)
+    )
+    assert_desiderata(tree, result.estimates)
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5),
+            min_size=1, max_size=3,
+        ),
+        min_size=1, max_size=3,
+    ),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_topdown_desiderata_three_levels(nested, seed):
+    spec = {
+        f"mid{i}": {
+            f"mid{i}-leaf{j}": histogram for j, histogram in enumerate(leaves)
+        }
+        for i, leaves in enumerate(nested)
+    }
+    tree = from_leaf_histograms("root", spec)
+    result = TopDown(CumulativeEstimator(max_size=15)).run(
+        tree, 1.0, rng=np.random.default_rng(seed)
+    )
+    assert_desiderata(tree, result.estimates)

@@ -1,0 +1,78 @@
+"""Property-based tests for histogram representations (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.histogram import (
+    CountOfCounts,
+    cumulative_to_histogram,
+    histogram_to_cumulative,
+    histogram_to_unattributed,
+    truncate_histogram,
+    unattributed_to_histogram,
+)
+
+histograms = arrays(
+    np.int64, st.integers(min_value=1, max_value=40),
+    elements=st.integers(min_value=0, max_value=50),
+)
+
+
+@given(histograms)
+def test_cumulative_roundtrip(histogram):
+    hc = histogram_to_cumulative(histogram)
+    assert np.array_equal(cumulative_to_histogram(hc), histogram)
+
+
+@given(histograms)
+def test_unattributed_roundtrip(histogram):
+    hg = histogram_to_unattributed(histogram)
+    back = unattributed_to_histogram(hg, length=histogram.size)
+    assert np.array_equal(back, histogram)
+
+
+@given(histograms)
+def test_cumulative_is_nondecreasing_and_ends_at_group_count(histogram):
+    hc = histogram_to_cumulative(histogram)
+    assert np.all(np.diff(hc) >= 0)
+    assert hc[-1] == histogram.sum()
+
+
+@given(histograms)
+def test_unattributed_is_sorted_with_one_entry_per_group(histogram):
+    hg = histogram_to_unattributed(histogram)
+    assert hg.size == histogram.sum()
+    assert np.all(np.diff(hg) >= 0)
+
+
+@given(histograms, st.integers(min_value=1, max_value=60))
+def test_truncation_preserves_groups_and_bounds_sizes(histogram, max_size):
+    truncated = truncate_histogram(histogram, max_size)
+    assert truncated.sum() == histogram.sum()
+    assert truncated.size == max_size + 1
+    # Entity count never increases (sizes are only clamped down).
+    entities = lambda h: int((np.arange(h.size) * h).sum())
+    assert entities(truncated) <= entities(np.asarray(histogram))
+
+
+@given(histograms, histograms)
+def test_addition_commutes(a, b):
+    assert CountOfCounts(a) + CountOfCounts(b) == CountOfCounts(b) + CountOfCounts(a)
+
+
+@given(histograms, histograms)
+def test_added_group_and_entity_counts(a, b):
+    total = CountOfCounts(a) + CountOfCounts(b)
+    assert total.num_groups == CountOfCounts(a).num_groups + CountOfCounts(b).num_groups
+    assert total.num_entities == (
+        CountOfCounts(a).num_entities + CountOfCounts(b).num_entities
+    )
+
+
+@given(histograms)
+def test_equality_invariant_under_padding(histogram):
+    h = CountOfCounts(histogram)
+    assert h == h.padded(histogram.size + 10)
+    assert hash(h) == hash(h.padded(histogram.size + 10))

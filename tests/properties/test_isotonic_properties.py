@@ -1,0 +1,105 @@
+"""Property-based tests for the isotonic solvers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.isotonic.constrained import isotonic_with_endpoint
+from repro.isotonic.l1 import isotonic_l1
+from repro.isotonic.pav import isotonic_l2
+from repro.isotonic.rounding import largest_remainder_round, proportional_allocation
+from repro.isotonic.simplex import project_to_simplex
+
+float_arrays = arrays(
+    np.float64, st.integers(min_value=1, max_value=60),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+@given(float_arrays)
+def test_l2_output_nondecreasing(y):
+    assert np.all(np.diff(isotonic_l2(y)) >= 0)
+
+
+@given(float_arrays)
+def test_l1_output_nondecreasing(y):
+    assert np.all(np.diff(isotonic_l1(y)) >= 0)
+
+
+@given(float_arrays)
+def test_l2_is_projection_idempotent(y):
+    fitted = isotonic_l2(y)
+    assert np.allclose(isotonic_l2(fitted), fitted, atol=1e-9)
+
+
+@given(float_arrays)
+def test_l2_preserves_total_weight(y):
+    """Pooling replaces values by block means, so the sum is invariant."""
+    assert isotonic_l2(y).sum() == np.float64(y.sum()).item() or np.isclose(
+        isotonic_l2(y).sum(), y.sum(), atol=1e-6 * max(1, abs(y.sum()))
+    )
+
+
+@given(float_arrays)
+def test_l1_no_worse_than_l2_under_l1_loss(y):
+    l1_fit = isotonic_l1(y)
+    l2_fit = isotonic_l2(y)
+    assert np.abs(l1_fit - y).sum() <= np.abs(l2_fit - y).sum() + 1e-6
+
+
+@given(float_arrays)
+def test_monotone_input_is_fixed_point(y):
+    y_sorted = np.sort(y)
+    assert np.allclose(isotonic_l2(y_sorted), y_sorted)
+    assert np.allclose(isotonic_l1(y_sorted), y_sorted)
+
+
+@given(float_arrays, st.floats(min_value=0, max_value=1000, allow_nan=False))
+def test_endpoint_constraint_properties(y, total):
+    for p in (1, 2):
+        fitted, sizes = isotonic_with_endpoint(y, total=total, p=p)
+        assert fitted[-1] == total
+        assert np.all(np.diff(fitted) >= -1e-12)
+        assert np.all(fitted >= 0) and np.all(fitted <= total)
+        assert sizes.shape == fitted.shape
+
+
+@given(float_arrays, st.floats(min_value=0, max_value=500, allow_nan=False))
+def test_simplex_projection_feasible(y, total):
+    projected = project_to_simplex(y, total)
+    assert np.all(projected >= 0)
+    assert np.isclose(projected.sum(), total, atol=1e-6)
+
+
+@given(
+    arrays(
+        np.float64, st.integers(min_value=1, max_value=40),
+        elements=st.floats(min_value=0, max_value=50, allow_nan=False),
+    )
+)
+def test_largest_remainder_sums_exactly(values):
+    total = int(np.round(values.sum()))
+    floors = int(np.floor(values).sum())
+    if total < floors or total > floors + values.size:
+        return  # outside the feasible rounding window
+    result = largest_remainder_round(values, total)
+    assert result.sum() == total
+    assert np.all(result >= 0)
+    assert np.all(np.abs(result - values) <= 1.0)
+
+
+@given(
+    arrays(
+        np.int64, st.integers(min_value=1, max_value=20),
+        elements=st.integers(min_value=0, max_value=30),
+    ),
+    st.integers(min_value=0, max_value=600),
+)
+def test_proportional_allocation_feasible(weights, total):
+    capacity = int(weights.sum())
+    total = min(total, capacity)
+    allocation = proportional_allocation(weights, total)
+    assert allocation.sum() == total
+    assert np.all(allocation <= weights)
+    assert np.all(allocation >= 0)

@@ -1,0 +1,78 @@
+"""Property-based tests for the matching algorithm (Lemma 5 optimality)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency.matching import (
+    match_parent_to_children,
+    matching_cost_lower_bound,
+)
+
+child_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=10),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_instance(children_values, parent_perturbations):
+    children = [np.sort(np.asarray(values)) for values in children_values]
+    merged = np.concatenate(children)
+    perturbation = np.resize(np.asarray(parent_perturbations), merged.size)
+    parent = np.sort(np.clip(merged + perturbation, 0, None))
+    return parent, children
+
+
+@given(
+    child_lists,
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_matching_achieves_sorted_lower_bound(children_values, perturbations):
+    parent, children = build_instance(children_values, perturbations)
+    result = match_parent_to_children(
+        parent, np.ones(parent.size),
+        children, [np.ones(c.size) for c in children],
+    )
+    assert result.cost == matching_cost_lower_bound(parent, children)
+
+
+@given(
+    child_lists,
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_matching_output_is_complete_and_conservative(children_values, perturbations):
+    """Every child group receives exactly one parent group, and the
+    multiset of assigned parent sizes equals the parent multiset."""
+    parent, children = build_instance(children_values, perturbations)
+    result = match_parent_to_children(
+        parent, np.ones(parent.size),
+        children, [np.ones(c.size) for c in children],
+    )
+    assigned = np.sort(np.concatenate(result.parent_sizes))
+    assert np.array_equal(assigned, parent)
+    for index, child in enumerate(children):
+        assert result.parent_sizes[index].size == child.size
+
+
+@given(
+    child_lists,
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_matching_cost_equals_hungarian(children_values, perturbations):
+    from scipy.optimize import linear_sum_assignment
+
+    parent, children = build_instance(children_values, perturbations)
+    if parent.size > 30:
+        return  # keep the Hungarian certificate cheap
+    bottom = np.concatenate(children)
+    cost_matrix = np.abs(parent[:, None] - bottom[None, :])
+    rows, cols = linear_sum_assignment(cost_matrix)
+    result = match_parent_to_children(
+        parent, np.ones(parent.size),
+        children, [np.ones(c.size) for c in children],
+    )
+    assert result.cost == int(cost_matrix[rows, cols].sum())

@@ -1,0 +1,100 @@
+"""Property-based tests for the EMD metric (Lemma 1 identities + axioms).
+
+EMD is only defined between histograms with the same number of groups (the
+group count G is public and preserved by every estimator), so all pair
+strategies here build histograms from equal-length group-size arrays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.histogram import CountOfCounts
+from repro.core.metrics import earthmover_distance, emd_profile
+from repro.exceptions import HistogramError
+
+histograms = arrays(
+    np.int64, st.integers(min_value=1, max_value=30),
+    elements=st.integers(min_value=0, max_value=30),
+)
+
+
+@st.composite
+def equal_group_pairs(draw, members=2):
+    """Tuple of histograms over the same number of groups."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    sizes = arrays(
+        np.int64, st.just(n), elements=st.integers(min_value=0, max_value=40)
+    )
+    return tuple(CountOfCounts.from_sizes(draw(sizes)) for _ in range(members))
+
+
+@given(histograms)
+def test_identity(h):
+    assert earthmover_distance(h, h) == 0
+
+
+@given(equal_group_pairs())
+def test_symmetry(pair):
+    a, b = pair
+    assert earthmover_distance(a, b) == earthmover_distance(b, a)
+
+
+@given(equal_group_pairs(members=3))
+def test_triangle_inequality(triple):
+    a, b, c = triple
+    assert earthmover_distance(a, c) <= (
+        earthmover_distance(a, b) + earthmover_distance(b, c)
+    )
+
+
+@given(equal_group_pairs())
+def test_nonnegative_and_zero_iff_equal(pair):
+    a, b = pair
+    distance = earthmover_distance(a, b)
+    assert distance >= 0
+    if distance == 0:
+        assert a == b
+
+
+@given(equal_group_pairs())
+def test_lemma1_hg_l1_identity(pair):
+    """EMD equals the L1 distance between sorted unattributed views."""
+    a, b = pair
+    assert earthmover_distance(a, b) == int(
+        np.abs(a.unattributed - b.unattributed).sum()
+    )
+
+
+@given(
+    arrays(
+        np.int64, st.integers(min_value=1, max_value=50),
+        elements=st.integers(min_value=0, max_value=40),
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+def test_adding_one_person_to_k_groups_moves_emd_by_k(sizes, k):
+    """EMD counts people moved: growing k groups by one costs exactly k."""
+    k = min(k, sizes.size)
+    original = np.sort(sizes)
+    grown = original.copy()
+    grown[-k:] += 1  # grow the k largest groups to keep arrays sorted
+    a = CountOfCounts.from_sizes(original)
+    b = CountOfCounts.from_sizes(grown)
+    assert earthmover_distance(a, b) == k
+
+
+@given(equal_group_pairs())
+def test_profile_sums_to_emd(pair):
+    a, b = pair
+    assert emd_profile(a, b).sum() == earthmover_distance(a, b)
+
+
+@given(histograms, st.integers(min_value=1, max_value=20))
+def test_unequal_group_counts_rejected(h, extra):
+    bigger = np.asarray(h).copy()
+    bigger[0] += extra
+    with pytest.raises(HistogramError):
+        earthmover_distance(h, bigger)

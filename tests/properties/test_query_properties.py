@@ -1,0 +1,97 @@
+"""Property-based tests for the analysis-query layer."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.histogram import CountOfCounts
+from repro.core.queries import (
+    entities_in_groups_of_size_between,
+    gini_coefficient,
+    groups_with_size_at_least,
+    groups_with_size_between,
+    kth_largest_group,
+    kth_smallest_group,
+    size_quantile,
+    top_share,
+)
+
+nonempty_histograms = arrays(
+    np.int64, st.integers(min_value=1, max_value=30),
+    elements=st.integers(min_value=0, max_value=20),
+).filter(lambda h: h.sum() > 0)
+
+
+@given(nonempty_histograms, st.data())
+def test_kth_smallest_matches_sorted_sizes(histogram, data):
+    h = CountOfCounts(histogram)
+    k = data.draw(st.integers(min_value=1, max_value=h.num_groups))
+    assert kth_smallest_group(h, k) == h.unattributed[k - 1]
+
+
+@given(nonempty_histograms, st.data())
+def test_kth_largest_is_reverse_of_kth_smallest(histogram, data):
+    h = CountOfCounts(histogram)
+    k = data.draw(st.integers(min_value=1, max_value=h.num_groups))
+    assert kth_largest_group(h, k) == kth_smallest_group(
+        h, h.num_groups - k + 1
+    )
+
+
+@given(nonempty_histograms, st.floats(min_value=0, max_value=1))
+def test_quantile_is_monotone_and_within_support(histogram, q):
+    h = CountOfCounts(histogram)
+    value = size_quantile(h, q)
+    assert 0 <= value <= h.max_size
+    assert size_quantile(h, 0.0) <= value <= size_quantile(h, 1.0)
+
+
+@given(nonempty_histograms, st.integers(min_value=0, max_value=40))
+def test_at_least_complements_between(histogram, cut):
+    h = CountOfCounts(histogram)
+    below = groups_with_size_between(h, 0, cut - 1) if cut > 0 else 0
+    assert below + groups_with_size_at_least(h, cut) == h.num_groups
+
+
+@given(
+    nonempty_histograms,
+    st.integers(min_value=0, max_value=25),
+    st.integers(min_value=0, max_value=25),
+)
+def test_range_counts_are_additive(histogram, a, b):
+    h = CountOfCounts(histogram)
+    low, mid = sorted((a, b))
+    left = groups_with_size_between(h, low, mid)
+    right = groups_with_size_between(h, mid + 1, 100)
+    assert left + right == groups_with_size_between(h, low, 100)
+
+
+@given(nonempty_histograms)
+def test_entities_over_full_range_is_total(histogram):
+    h = CountOfCounts(histogram)
+    assert entities_in_groups_of_size_between(h, 0, len(h)) == h.num_entities
+
+
+@given(nonempty_histograms)
+def test_gini_bounds_and_top_share_monotonicity(histogram):
+    h = CountOfCounts(histogram)
+    if h.num_entities == 0:
+        assert gini_coefficient(h) == 0.0
+        return
+    gini = gini_coefficient(h)
+    assert 0.0 <= gini < 1.0
+    assert top_share(h, 1.0) == 1.0
+    assert top_share(h, 0.5) <= top_share(h, 1.0)
+
+
+@given(nonempty_histograms)
+def test_gini_zero_iff_all_sizes_equal(histogram):
+    h = CountOfCounts(histogram)
+    if h.num_entities == 0:
+        return
+    sizes = h.unattributed
+    if np.all(sizes == sizes[0]):
+        assert gini_coefficient(h) == 0.0
+    elif gini_coefficient(h) == 0.0:
+        raise AssertionError("gini 0 for unequal sizes")

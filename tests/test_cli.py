@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_prints_summary(self, capsys):
+        code = main(["stats", "--dataset", "hawaiian", "--scale", "1e-4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "groups" in out and "distinct_sizes" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--dataset", "census"])
+
+
+class TestRelease:
+    def test_release_writes_json_and_csv(self, tmp_path, capsys):
+        out = tmp_path / "release.json"
+        csv = tmp_path / "release.csv"
+        code = main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "1.0", "--method", "hc", "--max-size", "200",
+            "--out", str(out), "--csv", str(csv),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "release"
+        assert payload["metadata"]["epsilon"] == 1.0
+        assert csv.read_text().startswith("region,size,count")
+
+    def test_release_with_per_level_spec(self, tmp_path, capsys):
+        code = main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--method", "hc x hg", "--max-size", "200",
+        ])
+        assert code == 0
+        assert "Hc×Hg" in capsys.readouterr().out
+
+    def test_release_reports_ledger(self, capsys):
+        main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "0.7", "--max-size", "200",
+        ])
+        assert "ledger: 0.7" in capsys.readouterr().out
+
+    def test_release_accuracy_report(self, capsys):
+        main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "1.0", "--max-size", "200", "--report",
+        ])
+        out = capsys.readouterr().out
+        assert "accuracy report" in out
+        assert "pred. emd" in out
+
+
+class TestQuery:
+    @pytest.fixture
+    def release_path(self, tmp_path):
+        path = tmp_path / "release.json"
+        main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "2.0", "--max-size", "200", "--out", str(path),
+        ])
+        return path
+
+    def test_query_quantile_and_summary(self, release_path, capsys):
+        code = main([
+            "query", str(release_path), "--node", "national",
+            "--quantile", "0.5", "--at-least", "1", "--summary",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "size quantile p50" in out
+        assert "groups with size >= 1" in out
+        assert "gini coefficient" in out
+
+    def test_query_missing_node(self, release_path, capsys):
+        code = main(["query", str(release_path), "--node", "atlantis"])
+        assert code == 2
+        assert "not in release" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_prints_series_and_chart(self, capsys):
+        code = main([
+            "sweep", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilons", "0.5,2.0", "--runs", "2", "--max-size", "200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eps=0.5" in out
+        assert "omniscient" in out
+        assert "legend" in out  # the ASCII chart rendered

@@ -1,0 +1,103 @@
+"""Tests for serialization (hierarchy JSON, release JSON/CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import HierarchyError
+from repro.io import (
+    export_release_csv,
+    import_release_csv,
+    load_hierarchy,
+    load_release,
+    release_metadata,
+    save_hierarchy,
+    save_release,
+)
+
+
+class TestHierarchyRoundTrip:
+    def test_roundtrip_preserves_structure_and_data(self, three_level_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        save_hierarchy(three_level_tree, path)
+        loaded = load_hierarchy(path)
+        assert loaded.num_levels == three_level_tree.num_levels
+        for node in three_level_tree.nodes():
+            assert loaded.find(node.name).data == node.data
+
+    def test_internal_histograms_rederived(self, two_level_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        save_hierarchy(two_level_tree, path)
+        loaded = load_hierarchy(path)
+        assert loaded.root.data == two_level_tree.root.data
+
+    def test_wrong_kind_rejected(self, two_level_tree, tmp_path):
+        path = tmp_path / "release.json"
+        save_release({"a": CountOfCounts([0, 1])}, path)
+        with pytest.raises(HierarchyError):
+            load_hierarchy(path)
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "hierarchy", "root": {"children": []}}')
+        with pytest.raises(HierarchyError):
+            load_hierarchy(path)
+
+
+class TestReleaseRoundTrip:
+    def test_json_roundtrip(self, tmp_path):
+        estimates = {
+            "US": CountOfCounts([0, 5, 3]),
+            "VA": CountOfCounts([0, 2, 1]),
+        }
+        path = tmp_path / "release.json"
+        save_release(estimates, path, metadata={"epsilon": 1.0, "method": "hc"})
+        loaded = load_release(path)
+        assert loaded.keys() == estimates.keys()
+        assert all(loaded[k] == estimates[k] for k in estimates)
+
+    def test_metadata(self, tmp_path):
+        path = tmp_path / "release.json"
+        save_release({"a": CountOfCounts([0, 1])}, path, metadata={"epsilon": 0.5})
+        assert release_metadata(path) == {"epsilon": 0.5}
+
+    def test_wrong_kind_rejected(self, two_level_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        save_hierarchy(two_level_tree, path)
+        with pytest.raises(HierarchyError):
+            load_release(path)
+        with pytest.raises(HierarchyError):
+            release_metadata(path)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        estimates = {
+            "US": CountOfCounts([0, 5, 0, 3]),
+            "VA": CountOfCounts([2, 0, 1]),
+        }
+        path = tmp_path / "release.csv"
+        rows = export_release_csv(estimates, path)
+        assert rows == 4  # zero cells omitted
+        loaded = import_release_csv(path)
+        assert all(loaded[k] == estimates[k] for k in estimates)
+
+    def test_csv_format(self, tmp_path):
+        path = tmp_path / "release.csv"
+        export_release_csv({"x": CountOfCounts([0, 7])}, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "region,size,count"
+        assert lines[1] == "x,1,7"
+
+    def test_private_release_roundtrip(self, two_level_tree, tmp_path, rng):
+        """Full pipeline: release → save → load → verify desiderata."""
+        from repro import CumulativeEstimator, TopDown
+
+        result = TopDown(CumulativeEstimator(max_size=30)).run(
+            two_level_tree, 1.0, rng=rng
+        )
+        path = tmp_path / "release.csv"
+        export_release_csv(result.estimates, path)
+        loaded = import_release_csv(path)
+        child_sum = loaded["state-a"] + loaded["state-b"] + loaded["state-c"]
+        assert child_sum == loaded["national"]
