@@ -1,13 +1,21 @@
 """Shared configuration for the benchmark suite.
 
 Every benchmark regenerates one table or figure of the paper (see the
-experiment index in DESIGN.md §6) and prints paper-style rows.  Two
+method index in README.md) and prints paper-style rows.  Four
 environment variables trade fidelity for speed:
 
 * ``REPRO_SCALE`` — multiplies each dataset's default scale factor
   (default 1.0; raise toward paper magnitude on a big machine).
 * ``REPRO_RUNS`` — repetitions per configuration (default 3; the paper
   used 10).
+* ``REPRO_ENGINE`` — execution mode for the experiment engine
+  (:mod:`repro.engine`): ``serial`` (default), ``process`` or ``auto``.
+* ``REPRO_WORKERS`` — worker processes for the parallel modes
+  (default: all visible cores).
+
+All multi-run benchmarks route through the engine via
+:func:`make_runner`, so setting ``REPRO_ENGINE=process`` fans every
+experiment grid out across cores with bit-identical results.
 
 Benchmarks are pytest-benchmark targets: the *timed* body is one full
 release (estimate + consistency) at a representative ε, while the printed
@@ -21,9 +29,11 @@ import os
 import numpy as np
 import pytest
 
+from repro.evaluation.runner import ExperimentRunner
+
 #: Dataset scale factors sized so the full benchmark suite runs in minutes
 #: while keeping per-node group counts large enough that the paper's method
-#: ordering is not swamped by small-sample effects (see EXPERIMENTS.md).
+#: ordering is not swamped by small-sample effects (tuned empirically).
 BASE_SCALES = {
     "housing": 1e-3,
     "white": 1e-2,
@@ -46,6 +56,26 @@ def scale_for(name: str) -> float:
 
 def num_runs() -> int:
     return int(os.environ.get("REPRO_RUNS", "3"))
+
+
+def engine_mode() -> str:
+    return os.environ.get("REPRO_ENGINE", "serial")
+
+
+def engine_workers():
+    value = os.environ.get("REPRO_WORKERS")
+    return int(value) if value else None
+
+
+def make_runner(tree, runs=None, seed=0) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` wired to the engine's configured mode."""
+    return ExperimentRunner(
+        tree,
+        runs=runs if runs is not None else num_runs(),
+        seed=seed,
+        mode=engine_mode(),
+        workers=engine_workers(),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,125 @@
+"""A8 — parallel experiment engine vs the serial shim.
+
+The paper's evaluation grid (Section 6.2) repeats every (method, ε)
+configuration 10 times; the seed implementation walked that grid serially.
+This benchmark pits the engine (:mod:`repro.engine`) against the legacy
+serial path on a 4-method × 3-ε × 10-trial grid and checks, in order of
+importance:
+
+1. **Bit-identical results** — the engine's serial and process modes
+   produce exactly equal per-cell EMDs (stable SHA-256 per-cell seeding
+   makes cells independent of execution order and process placement).
+2. **Wall-clock win on multi-core machines** — with ≥ 4 visible cores the
+   process mode must finish the grid at least 2× faster than the serial
+   shim (a softer 1.2× bar applies on 2-3 cores where pool overhead eats
+   more of the gain; single-core runners skip the timing assertion).
+3. **Incremental reruns** — a second run against the on-disk cache
+   recomputes nothing and is far faster than computing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import scale_for
+from repro.core.consistency.bottomup import BottomUp
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators import (
+    CumulativeEstimator,
+    NaiveEstimator,
+    UnattributedEstimator,
+)
+from repro.datasets import make_dataset
+from repro.engine import ExperimentGrid, MethodSpec, ResultCache, run_grid
+from repro.evaluation.runner import ExperimentRunner
+
+#: The grid the acceptance criterion calls for: >= 4 methods, >= 3 epsilons,
+#: 10 trials.
+MAX_SIZE = 2_000
+EPSILONS = (0.1, 0.5, 1.0)
+TRIALS = 10
+
+METHODS = [
+    MethodSpec.topdown("hc", max_size=MAX_SIZE, label="Hc×Hc"),
+    MethodSpec.topdown("hg", max_size=MAX_SIZE, label="Hg×Hg"),
+    MethodSpec.topdown("naive", max_size=MAX_SIZE, label="Naive"),
+    MethodSpec.bottomup("hg", max_size=MAX_SIZE, label="BU-Hg"),
+]
+
+
+def build_tree():
+    return make_dataset("housing", scale=scale_for("housing") / 8).build(seed=0)
+
+
+def serial_estimators():
+    return {
+        "Hc×Hc": lambda t, e, r: TopDown(
+            CumulativeEstimator(max_size=MAX_SIZE)).run(t, e, rng=r).estimates,
+        "Hg×Hg": lambda t, e, r: TopDown(
+            UnattributedEstimator()).run(t, e, rng=r).estimates,
+        "Naive": lambda t, e, r: TopDown(
+            NaiveEstimator(max_size=MAX_SIZE)).run(t, e, rng=r).estimates,
+        "BU-Hg": lambda t, e, r: BottomUp(
+            UnattributedEstimator()).run(t, e, rng=r).estimates,
+    }
+
+
+def test_a8_engine_bit_identical_and_faster(capsys, tmp_path):
+    tree = build_tree()
+    grid = ExperimentGrid(tree, METHODS, epsilons=EPSILONS,
+                          trials=TRIALS, seed=0)
+    cores = os.cpu_count() or 1
+
+    # -- the legacy serial path: one ExperimentRunner sweep per method.
+    runner = ExperimentRunner(tree, runs=TRIALS, seed=0, mode="serial")
+    start = time.perf_counter()
+    for label, release in serial_estimators().items():
+        runner.sweep(label, release, list(EPSILONS))
+    serial_seconds = time.perf_counter() - start
+
+    # -- the engine, serial then parallel: results must match exactly.
+    engine_serial = run_grid(grid, mode="serial")
+    start = time.perf_counter()
+    engine_parallel = run_grid(grid, mode="process", workers=cores)
+    parallel_seconds = time.perf_counter() - start
+    assert engine_parallel == engine_serial  # bit-identical, any cell order
+
+    # -- incremental rerun: everything comes from the cache.
+    cache = ResultCache(tmp_path / "cells")
+    run_grid(grid, mode="serial", cache=cache)
+    start = time.perf_counter()
+    cached = run_grid(grid, mode="serial", cache=cache)
+    cached_seconds = time.perf_counter() - start
+    assert all(cell.cached for cell in cached)
+    assert [c.level_emd for c in cached] == [c.level_emd for c in engine_serial]
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    with capsys.disabled():
+        print(f"\n[A8] engine speedup on {len(METHODS)} methods x "
+              f"{len(EPSILONS)} eps x {TRIALS} trials "
+              f"({tree.root.num_groups:,} groups, {cores} core(s))")
+        print(f"  serial shim     {serial_seconds:8.2f} s")
+        print(f"  engine process  {parallel_seconds:8.2f} s  "
+              f"({speedup:.2f}x)")
+        print(f"  cached rerun    {cached_seconds:8.2f} s  "
+              f"({len(cached)} cells, all hits)")
+
+    # Wall-clock assertions only hold on quiet machines; shared CI runners
+    # (noisy neighbours) still exercise correctness but skip the timing bars.
+    if os.environ.get("CI"):
+        pytest.skip("shared CI runner: timing assertions not meaningful")
+
+    # Cached reruns must crush recomputation regardless of core count.
+    assert cached_seconds < serial_seconds / 5
+
+    # The 2x acceptance bar applies on multi-core runners; pool overhead
+    # makes it unreachable (and meaningless) on a single visible core.
+    if cores >= 4:
+        assert speedup >= 2.0, f"expected >= 2x, measured {speedup:.2f}x"
+    elif cores >= 2:
+        assert speedup >= 1.2, f"expected >= 1.2x, measured {speedup:.2f}x"
+    else:
+        pytest.xfail("single-core runner: timing assertion not applicable")

@@ -73,7 +73,7 @@ def test_e3_bottom_up_vs_topdown_table(capsys):
             assert hc[0] < bu[0], f"top-down must win at the root on {name}"
     # Taxi has only 28 leaves: at benchmark scale the leaf biases that
     # dominate the paper's BU level-0 error partially cancel, so the root
-    # ordering is not asserted for it (recorded in EXPERIMENTS.md).  The
+    # ordering is not asserted for it (a known reproduction deviation).  The
     # census datasets, with hundreds of counties, reproduce it robustly.
 
 

@@ -14,12 +14,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks.conftest import EPSILON_GRID, MAX_SIZE, num_runs, scale_for
+from benchmarks.conftest import EPSILON_GRID, MAX_SIZE, make_runner, scale_for
 from repro.core.consistency.topdown import TopDown
 from repro.core.estimators import PerLevelSpec
 from repro.datasets import make_dataset
 from repro.evaluation.report import format_series
-from repro.evaluation.runner import ExperimentRunner
 
 DATASETS = ["housing", "white", "hawaiian"]
 COMBOS = ["hc x hc", "hc x hg", "hg x hc"]
@@ -32,7 +31,7 @@ def release(spec, merge):
 
 def run_dataset(name):
     tree = make_dataset(name, scale=scale_for(name)).build(seed=0)
-    runner = ExperimentRunner(tree, runs=num_runs(), seed=0)
+    runner = make_runner(tree, seed=0)
     results = {}
     for combo in COMBOS:
         spec = PerLevelSpec.from_string(combo, max_size=MAX_SIZE)
@@ -60,7 +59,7 @@ def test_e4_weighted_vs_naive_merging(capsys):
     # (including the recommended default Hc×Hc) and on average across all
     # combos.  The one exception at benchmark scale is Hg×Hc on dense data
     # at the smallest budget, where the Hg root's pooled-block variances
-    # are overconfident (recorded in EXPERIMENTS.md).
+    # are overconfident (a known reproduction deviation).
     for name, results in all_results.items():
         ratios = []
         for combo in COMBOS:

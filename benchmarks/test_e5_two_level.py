@@ -16,13 +16,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks.conftest import EPSILON_GRID, MAX_SIZE, num_runs, scale_for
+from benchmarks.conftest import EPSILON_GRID, MAX_SIZE, make_runner, scale_for
 from repro.core.consistency.topdown import TopDown
 from repro.core.estimators import CumulativeEstimator, UnattributedEstimator
 from repro.datasets import make_dataset
 from repro.evaluation.omniscient import OmniscientBaseline
 from repro.evaluation.report import format_series
-from repro.evaluation.runner import ExperimentRunner
 
 DATASETS = ["housing", "white", "hawaiian", "taxi"]
 
@@ -40,7 +39,7 @@ def test_e5_two_level_consistency(capsys):
     summary = {}
     for name in DATASETS:
         tree = build_tree(name)
-        runner = ExperimentRunner(tree, runs=num_runs(), seed=0)
+        runner = make_runner(tree, seed=0)
         totals = [eps * tree.num_levels for eps in EPSILON_GRID]
         results = {
             "Hc×Hc": runner.sweep(

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Build the HTML API reference for :mod:`repro` with pdoc.
+
+Usage::
+
+    python docs/build_api_docs.py [--out docs/api] [--strict]
+
+The script adds ``src/`` to ``sys.path`` itself, so no environment setup
+is needed.  ``pdoc`` is an optional, docs-only dependency: without
+``--strict`` a missing pdoc is reported and the script exits 0 (so the
+tier-1 test environment, which has no pdoc, is unaffected); CI installs
+pdoc and passes ``--strict``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "docs" / "api"),
+        help="output directory for the HTML tree (default: docs/api)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) when pdoc is not installed",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    try:
+        import pdoc  # noqa: F401
+    except ImportError:
+        message = "pdoc is not installed; skipping the API-reference build"
+        if args.strict:
+            print(f"error: {message} (--strict)", file=sys.stderr)
+            return 1
+        print(message)
+        return 0
+
+    import pdoc.doc
+    import pdoc.render
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    pdoc.pdoc("repro", output_directory=out)
+    pages = sum(1 for _ in out.rglob("*.html"))
+    print(f"wrote {pages} HTML page(s) to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Verify that every relative link in the Markdown docs resolves.
+
+Usage::
+
+    python docs/check_readme_links.py [files...]
+
+Defaults to ``README.md`` and everything under ``docs/*.md``.  External
+(``http://``/``https://``) and in-page (``#...``) links are skipped; every
+other target must exist on disk relative to the linking file's directory
+(or the repo root, to be forgiving about both conventions).  Exits 1
+listing the broken links, 0 when all resolve — the docs half of CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target)
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        candidates = (path.parent / target, REPO_ROOT / target)
+        if not any(c.exists() for c in candidates):
+            broken.append((path, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(name) for name in argv]
+    else:
+        files = [REPO_ROOT / "README.md"] + sorted(
+            (REPO_ROOT / "docs").glob("*.md")
+        )
+
+    broken = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            broken.append((path, "<file itself missing>"))
+            continue
+        checked += 1
+        broken.extend(check_file(path))
+
+    if broken:
+        for path, target in broken:
+            print(f"BROKEN: {path}: {target}", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

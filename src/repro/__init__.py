@@ -14,8 +14,9 @@ Quickstart
 >>> result["US"].num_groups   # public group counts are preserved
 19
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md for the method-to-module index and docs/architecture.md for
+the module map and publication data flow; each benchmark under
+``benchmarks/`` regenerates one table or figure of the paper.
 """
 
 from repro.core.attributes import AttributedTopDown
@@ -56,13 +57,25 @@ from repro.exceptions import (
     QueryError,
     ReproError,
 )
+from repro.engine import (
+    ExperimentGrid,
+    MethodSpec,
+    ResultCache,
+    run_experiments,
+    run_grid,
+)
 from repro.hierarchy import Hierarchy, Node
 from repro.mechanisms import GeometricMechanism, LaplaceMechanism, PrivacyBudget
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttributedTopDown",
+    "ExperimentGrid",
+    "MethodSpec",
+    "ResultCache",
+    "run_experiments",
+    "run_grid",
     "BayesianCumulativeEstimator",
     "BottomUp",
     "CountOfCounts",

@@ -1,17 +1,23 @@
 """Command-line interface.
 
-Four subcommands cover the workflows a data publisher needs::
+Five subcommands cover the workflows a data publisher needs::
 
     python -m repro stats    --dataset housing --scale 1e-4
     python -m repro release  --dataset white --epsilon 1.0 --method hc \\
                              --out release.json [--csv release.csv]
     python -m repro query    release.json --node national --quantile 0.5
     python -m repro sweep    --dataset hawaiian --epsilons 0.2,1.0 --runs 3
+    python -m repro grid     --datasets housing,white --methods hc,hg,bu-hg \\
+                             --epsilons 0.2,1.0 --trials 10 \\
+                             --mode process --cache .repro-cache
 
 ``release`` runs the paper's top-down algorithm end to end and serializes
 the result; ``query`` answers order-statistic/range questions against a
 saved release; ``sweep`` reproduces a mini version of the paper's ε sweeps
-with the omniscient floor for context.
+with the omniscient floor for context; ``grid`` drives the parallel
+experiment engine (:mod:`repro.engine`) over a full datasets × methods ×
+epsilons × trials product, with an on-disk result cache so reruns only
+compute missing cells.
 """
 
 from __future__ import annotations
@@ -33,10 +39,18 @@ from repro.core.queries import (
 )
 from repro.core.uncertainty import release_report
 from repro.datasets import available_datasets, make_dataset
+from repro.engine import (
+    ExperimentGrid,
+    ResultCache,
+    default_workers,
+    parse_method,
+    run_grid,
+)
 from repro.evaluation.omniscient import OmniscientBaseline
 from repro.evaluation.plots import results_chart
-from repro.evaluation.report import format_series
+from repro.evaluation.report import format_grid, format_series
 from repro.evaluation.runner import ExperimentRunner
+from repro.exceptions import EstimationError, ReproError
 from repro.io import export_release_csv, load_release, save_release
 
 
@@ -55,6 +69,16 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
 def _build_tree(args: argparse.Namespace):
     generator = make_dataset(args.dataset, scale=args.scale, levels=args.levels)
     return generator.build(seed=args.seed)
+
+
+def _parse_epsilons(text: str) -> List[float]:
+    try:
+        return [float(token) for token in text.split(",")]
+    except ValueError:
+        raise EstimationError(
+            f"--epsilons must be a comma-separated list of numbers, "
+            f"got {text!r}"
+        ) from None
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -123,7 +147,7 @@ def _command_query(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     tree = _build_tree(args)
     runner = ExperimentRunner(tree, runs=args.runs, seed=args.seed)
-    epsilons = [float(token) for token in args.epsilons.split(",")]
+    epsilons = _parse_epsilons(args.epsilons)
     spec = PerLevelSpec.from_string(
         " x ".join([args.method] * tree.num_levels), max_size=args.max_size
     )
@@ -137,10 +161,49 @@ def _command_sweep(args: argparse.Namespace) -> int:
     print()
     print(results_chart({str(spec): sweep}, level=0,
                         title="root-level error vs total eps"))
-    print("\nomniscient level-0 expectation:")
+    print("\nomniscient level-0 floor (expected | measured over "
+          f"{args.runs} batched trials):")
+    baseline = OmniscientBaseline()
+    root = tree.root.name
     for epsilon in epsilons:
-        floor = OmniscientBaseline().expected_level_error(tree, epsilon, 0)
-        print(f"  eps={epsilon:<6g} emd={floor:,.1f}")
+        expected = baseline.expected_level_error(tree, epsilon, 0)
+        # One vectorized draw for all trials (the batched sampling path).
+        measured = baseline.run_batch(
+            tree, epsilon, trials=args.runs,
+            rng=np.random.default_rng(args.seed),
+        )[root]
+        print(f"  eps={epsilon:<6g} emd={expected:,.1f} | "
+              f"{measured.mean():,.1f} ± {measured.std(ddof=0):,.1f}")
+    return 0
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    datasets = {}
+    for name in args.datasets.split(","):
+        name = name.strip()
+        generator = make_dataset(name, scale=args.scale, levels=args.levels)
+        datasets[name] = generator.build(seed=args.seed)
+    methods = [
+        parse_method(token, max_size=args.max_size)
+        for token in args.methods.split(",")
+    ]
+    epsilons = _parse_epsilons(args.epsilons)
+    grid = ExperimentGrid(
+        datasets, methods, epsilons=epsilons,
+        trials=args.trials, seed=args.seed,
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    workers = args.workers or default_workers()
+    cells = run_grid(grid, mode=args.mode, workers=workers, cache=cache)
+
+    fresh = sum(1 for cell in cells if not cell.cached)
+    print(f"grid: {len(datasets)} dataset(s) x {len(methods)} method(s) x "
+          f"{len(epsilons)} epsilon(s) x {args.trials} trial(s) = "
+          f"{len(cells)} cells ({fresh} computed, {len(cells) - fresh} cached)")
+    if cache is not None:
+        print(f"cache: {cache.directory} now holds {len(cache)} cells")
+    print()
+    print(format_grid(grid.aggregate(cells), level=args.level))
     return 0
 
 
@@ -186,13 +249,49 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--method", default="hc", choices=("hc", "hg", "naive"))
     sweep.add_argument("--max-size", type=int, default=20_000)
     sweep.set_defaults(fn=_command_sweep)
+
+    grid = commands.add_parser(
+        "grid", help="parallel multi-config experiment grid with caching"
+    )
+    grid.add_argument("--datasets", required=True,
+                      help="comma-separated dataset names "
+                           f"(available: {','.join(available_datasets())})")
+    grid.add_argument("--scale", type=float, default=1e-4,
+                      help="fraction of paper-scale data to generate")
+    grid.add_argument("--levels", type=int, default=2, choices=(2, 3),
+                      help="hierarchy depth")
+    grid.add_argument("--seed", type=int, default=0,
+                      help="base seed (also keys the result cache)")
+    grid.add_argument("--methods", default="hc,hg,naive",
+                      help="comma-separated methods: hc, hg, naive, "
+                           "per-level specs like 'hc x hg', or bu-hc/bu-hg")
+    grid.add_argument("--epsilons", default="0.2,1.0,2.0")
+    grid.add_argument("--trials", type=int, default=10,
+                      help="repetitions per configuration (paper: 10)")
+    grid.add_argument("--max-size", type=int, default=20_000,
+                      help="public bound K on group size")
+    grid.add_argument("--mode", default="auto",
+                      choices=("auto", "serial", "process"),
+                      help="execution mode (auto = process when useful)")
+    grid.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: all cores)")
+    grid.add_argument("--cache", default=None,
+                      help="result-cache directory; reruns only compute "
+                           "missing cells")
+    grid.add_argument("--level", type=int, default=0,
+                      help="hierarchy level to tabulate")
+    grid.set_defaults(fn=_command_grid)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -11,7 +11,7 @@ The paper evaluates on (Section 6.1):
 
 The Census/taxi raw files are not redistributable here, so each generator
 synthesizes data with the same construction recipe (housing) or matched
-summary statistics and shape (taxi, race) — see DESIGN.md §3 for the
+summary statistics and shape (taxi, race) — see docs/architecture.md for the
 substitution argument.  All generators are deterministic given a seed and
 accept a ``scale`` factor so benchmarks run at laptop scale while
 ``scale=1.0`` approximates paper magnitude.

@@ -1,0 +1,65 @@
+"""Parallel experiment engine with batched noise sampling.
+
+This subpackage turns the paper's evaluation protocol (Section 6.2 —
+average per-level Earth-mover's distance over repeated trials of every
+(dataset, method, ε) configuration) from a serial loop into a declarative,
+cacheable, parallel system:
+
+- :mod:`~repro.engine.grid` — :class:`ExperimentGrid`, the explicit
+  ``datasets × methods × epsilons × trials`` product with SHA-256-stable
+  per-cell seeding (bit-identical results in any execution order).
+- :mod:`~repro.engine.methods` — :class:`MethodSpec`, picklable
+  descriptions of release methods that worker processes rebuild from a
+  registry.
+- :mod:`~repro.engine.executor` — :func:`run_grid` /
+  :func:`run_experiments`, fanning cells over a :mod:`multiprocessing`
+  pool with a serial fallback for debugging and reproducibility checks.
+- :mod:`~repro.engine.cache` — :class:`ResultCache`, one JSON file per
+  completed cell keyed by a hash of everything the result depends on, so
+  reruns only compute missing cells.
+
+The legacy :class:`~repro.evaluation.runner.ExperimentRunner` remains as a
+thin compatibility shim over this engine.  Batched noise sampling lives in
+the mechanisms themselves (``randomise_batch`` on
+:class:`~repro.mechanisms.GeometricMechanism` and
+:class:`~repro.mechanisms.LaplaceMechanism`).
+"""
+
+from repro.engine.cache import CACHE_FORMAT_VERSION, ResultCache
+from repro.engine.executor import (
+    EXECUTION_MODES,
+    default_workers,
+    evaluate_cell,
+    run_experiments,
+    run_grid,
+)
+from repro.engine.grid import (
+    CellResult,
+    ExperimentGrid,
+    GridCell,
+    stable_seed_sequence,
+)
+from repro.engine.methods import (
+    MethodSpec,
+    parse_method,
+    register_method,
+    registered_kinds,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CellResult",
+    "EXECUTION_MODES",
+    "ExperimentGrid",
+    "GridCell",
+    "MethodSpec",
+    "ResultCache",
+    "default_workers",
+    "evaluate_cell",
+    "parse_method",
+    "register_method",
+    "registered_kinds",
+    "run_experiments",
+    "run_grid",
+    "stable_seed_sequence",
+]

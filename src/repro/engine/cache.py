@@ -1,0 +1,147 @@
+"""On-disk result cache for experiment grid cells.
+
+Re-running the paper's evaluation grid (Section 6.2) after adding one
+method or one ε should not redo every other configuration.  The cache
+stores one small JSON file per completed :class:`~repro.engine.grid.GridCell`
+under a key that captures *everything* the cell's result depends on:
+
+* the engine cache-format version,
+* the grid's base seed,
+* the dataset name **and** its content fingerprint
+  (:func:`repro.io.hierarchy_fingerprint` — a SHA-256 of structure plus
+  leaf histograms, so renamed-but-identical data still hits and silently
+  changed data misses),
+* the method's kind and full parameter set (not just its label), and
+* the cell's ε and trial index.
+
+Methods wrapped from bare callables (``kind="callable"``) are *not*
+cacheable — their behaviour is not determined by their parameters — and are
+transparently recomputed.
+
+The cache is safe to share between serial and parallel runs: cell results
+are bit-identical across execution modes by construction (see
+:mod:`repro.engine.grid`), so a cache written by one mode can be read by
+the other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.engine.grid import CellResult, GridCell
+from repro.engine.methods import MethodSpec
+
+PathLike = Union[str, Path]
+
+#: Bump to invalidate every previously written cache entry.
+CACHE_FORMAT_VERSION = 1
+
+
+class ResultCache:
+    """A directory of per-cell JSON results keyed by configuration hash.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> cache = ResultCache(tempfile.mkdtemp())
+    >>> cache.hits, cache.misses
+    (0, 0)
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------------
+    @staticmethod
+    def cell_key(
+        base_seed: int,
+        dataset_fingerprint: str,
+        dataset: str,
+        method: MethodSpec,
+        cell: GridCell,
+    ) -> Optional[str]:
+        """SHA-256 cache key for one cell, or ``None`` if not cacheable."""
+        if not method.cacheable:
+            return None
+        payload = json.dumps(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "seed": int(base_seed),
+                "dataset": dataset,
+                "fingerprint": dataset_fingerprint,
+                "method_kind": method.kind,
+                "method_params": [
+                    [key, value] for key, value in method.params
+                ],
+                "epsilon": repr(float(cell.epsilon)),
+                "trial": int(cell.trial),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- access -------------------------------------------------------------
+    def get(self, key: Optional[str]) -> Optional[CellResult]:
+        """Load a cached cell result; ``None`` on miss or unreadable entry."""
+        if key is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = CellResult(
+                dataset=str(payload["dataset"]),
+                method=str(payload["method"]),
+                epsilon=float(payload["epsilon"]),
+                trial=int(payload["trial"]),
+                level_emd=tuple(float(v) for v in payload["level_emd"]),
+                cached=True,
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: Optional[str], result: CellResult) -> None:
+        """Persist one cell result (no-op for uncacheable cells)."""
+        if key is None:
+            return
+        payload = {
+            "dataset": result.dataset,
+            "method": result.method,
+            "epsilon": result.epsilon,
+            "trial": result.trial,
+            "level_emd": list(result.level_emd),
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)  # atomic on POSIX: concurrent writers both win
+
+    # -- maintenance --------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def statistics(self) -> Dict[str, int]:
+        """Hit/miss counters plus current entry count."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.directory)!r}, entries={len(self)})"

@@ -1,0 +1,238 @@
+"""Declarative, picklable method specifications for the experiment engine.
+
+The paper's evaluation (Section 6.2) compares *release methods* — the naive
+estimator (Section 4.1), the bottom-up baseline (Section 6.2.2) and the
+top-down algorithm (Section 5, Algorithm 1) instantiated with different
+per-level estimator combinations (Hg, Hc, Naive; Section 6.2's "Hc×Hg"
+notation).  The serial :class:`~repro.evaluation.runner.ExperimentRunner`
+accepted bare callables, which cannot cross a process boundary; the parallel
+engine instead describes each method as a :class:`MethodSpec` — a small
+frozen dataclass of (kind, parameters) that any worker process can rebuild
+into a release callable via the module-level registry.
+
+Built-in kinds
+--------------
+- ``"topdown"``   — Algorithm 1 with a :class:`PerLevelSpec` string such as
+  ``"hc"`` (uniform) or ``"hc x hg"`` (per level), optional merge strategy.
+- ``"bottomup"``  — the bottom-up baseline with a single estimator name.
+- ``"callable"``  — an arbitrary release function registered in-process;
+  such specs are executed in worker processes only under the ``fork`` start
+  method (the Linux default), where children inherit the registration, and
+  are excluded from the on-disk cache because their behaviour is not
+  captured by their parameters.
+
+Custom kinds can be added with :func:`register_method`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.consistency.bottomup import BottomUp
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators.selection import PerLevelSpec
+from repro.exceptions import EstimationError
+from repro.hierarchy.tree import Hierarchy
+
+#: A release callable: (hierarchy, epsilon, rng) -> {node name: estimate}.
+ReleaseFn = Callable[[Hierarchy, float, np.random.Generator], Mapping]
+
+#: A factory turning a MethodSpec's parameter dict into a release callable.
+MethodFactory = Callable[[Dict[str, object]], ReleaseFn]
+
+#: Registry of method kinds -> factories.  Module-level so that worker
+#: processes created with the ``fork`` start method inherit registrations
+#: made before the pool starts.
+_REGISTRY: Dict[str, MethodFactory] = {}
+
+#: Side table of raw callables for ``kind="callable"`` specs.  Keyed by a
+#: per-registration token (not the display label), so re-using a label never
+#: silently rebinds previously created specs to a different function.
+_CALLABLES: Dict[str, ReleaseFn] = {}
+_CALLABLE_COUNTER = 0
+
+
+def register_method(kind: str, factory: MethodFactory) -> None:
+    """Register a custom method kind for use in :class:`MethodSpec`.
+
+    ``factory(params)`` must return a release callable.  Registration must
+    happen before parallel execution starts so forked workers inherit it.
+    """
+    if not kind or not isinstance(kind, str):
+        raise EstimationError(f"method kind must be a nonempty string, got {kind!r}")
+    _REGISTRY[kind] = factory
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    """Names of all currently registered method kinds."""
+    return tuple(sorted(_REGISTRY))
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named, picklable description of one release method.
+
+    Attributes
+    ----------
+    label:
+        Display label, unique within a grid (e.g. ``"Hc×Hc"``, ``"BU-Hg"``).
+    kind:
+        Registered kind name (``"topdown"``, ``"bottomup"``, ``"callable"``
+        or a custom registration).
+    params:
+        Sorted ``(key, value)`` pairs passed to the kind's factory.  Kept as
+        a tuple so the spec is hashable and picklable.
+    """
+
+    label: str
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def topdown(
+        cls,
+        spec: str = "hc",
+        max_size: int = 10_000,
+        merge_strategy: str = "weighted",
+        label: Optional[str] = None,
+    ) -> "MethodSpec":
+        """Algorithm 1 (Section 5) with a per-level estimator spec string.
+
+        ``spec`` uses the paper's notation: ``"hc"``, ``"hg"``, ``"naive"``
+        or a per-level combination like ``"hc x hg"``; a single name is
+        expanded to the hierarchy's depth at run time.
+        """
+        return cls(
+            label=label or spec,
+            kind="topdown",
+            params=_freeze(
+                {"spec": spec, "max_size": int(max_size),
+                 "merge_strategy": merge_strategy},
+            ),
+        )
+
+    @classmethod
+    def bottomup(
+        cls,
+        estimator: str = "hc",
+        max_size: int = 10_000,
+        label: Optional[str] = None,
+    ) -> "MethodSpec":
+        """Bottom-up baseline (Section 6.2.2) with one estimator name."""
+        return cls(
+            label=label or f"bu-{estimator}",
+            kind="bottomup",
+            params=_freeze({"estimator": estimator, "max_size": int(max_size)}),
+        )
+
+    @classmethod
+    def from_callable(cls, label: str, release: ReleaseFn) -> "MethodSpec":
+        """Wrap an arbitrary release function (compatibility path).
+
+        Used by the :class:`~repro.evaluation.runner.ExperimentRunner` shim.
+        The callable is stored in an in-process side table under a unique
+        token (so re-using a label leaves earlier specs bound to their own
+        function), which means such specs are parallel-safe only under the
+        ``fork`` start method and are never cached on disk.
+        """
+        global _CALLABLE_COUNTER
+        _CALLABLE_COUNTER += 1
+        token = f"{label}#{_CALLABLE_COUNTER}"
+        _CALLABLES[token] = release
+        return cls(label=label, kind="callable", params=(("token", token),))
+
+    # -- behaviour ----------------------------------------------------------
+    @property
+    def cacheable(self) -> bool:
+        """Whether results are fully determined by the spec's parameters."""
+        return self.kind != "callable"
+
+    def param_dict(self) -> Dict[str, object]:
+        """Parameters as a plain dict (for factories and cache keys)."""
+        return dict(self.params)
+
+    def build(self) -> ReleaseFn:
+        """Instantiate the release callable described by this spec."""
+        try:
+            factory = _REGISTRY[self.kind]
+        except KeyError:
+            raise EstimationError(
+                f"unknown method kind {self.kind!r}; registered kinds: "
+                f"{registered_kinds()}"
+            ) from None
+        return factory(self.param_dict())
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def parse_method(token: str, max_size: int = 10_000) -> MethodSpec:
+    """Parse a CLI method token into a :class:`MethodSpec`.
+
+    Accepted forms: ``"hc"``, ``"hg"``, ``"naive"``, per-level strings like
+    ``"hc x hg"``, and bottom-up variants ``"bu-hc"`` / ``"bu-hg"`` /
+    ``"bu-naive"``.
+    """
+    token = token.strip()
+    lowered = token.lower()
+    if lowered.startswith("bu-"):
+        return MethodSpec.bottomup(lowered[3:], max_size=max_size, label=token)
+    return MethodSpec.topdown(lowered, max_size=max_size, label=token)
+
+
+def _freeze(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(params.items()))
+
+
+# -- built-in factories ----------------------------------------------------
+def _topdown_factory(params: Dict[str, object]) -> ReleaseFn:
+    spec_string = str(params["spec"])
+    max_size = int(params["max_size"])
+    merge_strategy = str(params.get("merge_strategy", "weighted"))
+
+    def release(
+        hierarchy: Hierarchy, epsilon: float, rng: np.random.Generator
+    ) -> Mapping:
+        text = spec_string
+        if "x" not in text.replace("×", "x").replace("*", "x"):
+            text = " x ".join([text] * hierarchy.num_levels)
+        spec = PerLevelSpec.from_string(text, max_size=max_size)
+        algo = TopDown(spec, merge_strategy=merge_strategy)
+        return algo.run(hierarchy, epsilon, rng=rng).estimates
+
+    return release
+
+
+def _bottomup_factory(params: Dict[str, object]) -> ReleaseFn:
+    estimator_name = str(params["estimator"])
+    max_size = int(params["max_size"])
+
+    def release(
+        hierarchy: Hierarchy, epsilon: float, rng: np.random.Generator
+    ) -> Mapping:
+        spec = PerLevelSpec.from_string(estimator_name, max_size=max_size)
+        algo = BottomUp(spec.for_level(0))
+        return algo.run(hierarchy, epsilon, rng=rng).estimates
+
+    return release
+
+
+def _callable_factory(params: Dict[str, object]) -> ReleaseFn:
+    token = str(params["token"])
+    try:
+        return _CALLABLES[token]
+    except KeyError:
+        raise EstimationError(
+            f"callable method {token!r} is not registered in this process; "
+            "callable specs cross process boundaries only under the 'fork' "
+            "start method"
+        ) from None
+
+
+register_method("topdown", _topdown_factory)
+register_method("bottomup", _bottomup_factory)
+register_method("callable", _callable_factory)

@@ -6,11 +6,16 @@
   paper's statistics (mean per-node EMD per level, ±1 std of the mean over
   10 runs).
 - :mod:`~repro.evaluation.report` — plain-text tables and series matching
-  the paper's figures.
+  the paper's figures, including incremental grid assembly
+  (:func:`~repro.evaluation.report.format_grid`).
+
+Heavy lifting (parallel fan-out, caching, stable seeding) lives in
+:mod:`repro.engine`; :class:`ExperimentRunner` is a compatibility shim
+over it.
 """
 
 from repro.evaluation.omniscient import OmniscientBaseline, omniscient_expected_error
-from repro.evaluation.report import format_series, format_table
+from repro.evaluation.report import format_grid, format_series, format_table
 from repro.evaluation.runner import ExperimentRunner, LevelStats, RunResult
 
 __all__ = [
@@ -18,6 +23,7 @@ __all__ = [
     "LevelStats",
     "OmniscientBaseline",
     "RunResult",
+    "format_grid",
     "format_series",
     "format_table",
     "omniscient_expected_error",

@@ -57,3 +57,46 @@ def series_by_level(results: Iterable[RunResult]) -> Mapping[int, List[tuple]]:
                 (result.epsilon, stats.mean, stats.std_of_mean)
             )
     return by_level
+
+
+def format_grid(
+    aggregated: Mapping[tuple, Sequence[RunResult]],
+    level: int = 0,
+) -> str:
+    """Render an engine grid's aggregated output as per-dataset tables.
+
+    ``aggregated`` is the ``{(dataset, method): [RunResult per ε]}`` mapping
+    produced by :meth:`repro.engine.grid.ExperimentGrid.aggregate` (or
+    :func:`repro.engine.executor.run_experiments`).  One table per dataset;
+    rows are methods, columns are ε values, cells are the level-``level``
+    mean EMD.  Because aggregation only needs the per-cell results, figures
+    can be assembled *incrementally*: rerunning a grid against the on-disk
+    cache recomputes nothing and still renders complete tables.
+    """
+    datasets: dict = {}
+    for (dataset, method), results in aggregated.items():
+        datasets.setdefault(dataset, {})[method] = results
+
+    blocks: List[str] = []
+    for dataset in sorted(datasets):
+        # Columns are the union of every method's epsilons so that partially
+        # assembled grids (methods swept over different ε sets) still line
+        # up; a method's missing cells render as nan rather than silently
+        # borrowing a neighbouring column.
+        epsilons = sorted({
+            result.epsilon
+            for results in datasets[dataset].values()
+            for result in results
+        })
+        rows = {}
+        for method in sorted(datasets[dataset]):
+            by_eps = {
+                result.epsilon: result.level(level).mean
+                for result in datasets[dataset][method]
+            }
+            rows[method] = [by_eps.get(eps, float("nan")) for eps in epsilons]
+        columns = [f"eps={eps:g}" for eps in epsilons]
+        blocks.append(
+            format_table(f"{dataset} (level {level} mean EMD)", rows, columns)
+        )
+    return "\n\n".join(blocks)

@@ -8,6 +8,11 @@ that for any *release function* — a callable mapping (hierarchy, epsilon,
 rng) to a dict of per-node histograms — so the top-down algorithm, the
 bottom-up baseline, single-node estimators and ablations all share one
 harness.
+
+Execution is delegated to the parallel experiment engine
+(:mod:`repro.engine`); this module keeps the statistics dataclasses
+(:class:`LevelStats`, :class:`RunResult`), the per-level EMD metric and the
+:class:`ExperimentRunner` compatibility shim.
 """
 
 from __future__ import annotations
@@ -73,6 +78,14 @@ def per_level_emd(
 class ExperimentRunner:
     """Runs release functions over ε grids with the paper's statistics.
 
+    Since the introduction of the parallel experiment engine
+    (:mod:`repro.engine`) this class is a thin compatibility shim: each call
+    builds a one-dataset :class:`~repro.engine.grid.ExperimentGrid` and
+    delegates to :func:`~repro.engine.executor.run_grid`, so existing
+    benchmarks and tests transparently pick up the engine's stable SHA-256
+    per-cell seeding, optional multiprocessing execution and on-disk result
+    cache.
+
     Parameters
     ----------
     hierarchy:
@@ -80,8 +93,21 @@ class ExperimentRunner:
     runs:
         Number of repetitions per configuration (paper: 10).
     seed:
-        Base seed; run r of configuration c uses a child generator derived
-        deterministically from (seed, label, epsilon, r).
+        Base seed; trial r of configuration c uses a generator derived
+        deterministically (and process-stably) from (seed, label, epsilon,
+        r) — see :func:`~repro.engine.grid.stable_seed_sequence`.
+    mode:
+        Execution mode forwarded to the engine: ``"serial"`` (default,
+        reference path), ``"process"`` or ``"auto"``.
+    workers:
+        Worker-process count for the parallel modes.
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache` or directory path.
+        Bare-callable release functions are never cached (their behaviour
+        is not captured by a config hash); to benefit from the cache, pass
+        a declarative :class:`~repro.engine.methods.MethodSpec` as the
+        ``release`` argument of :meth:`run` / :meth:`sweep` instead of a
+        callable.
 
     Examples
     --------
@@ -97,40 +123,73 @@ class ExperimentRunner:
     2
     """
 
-    def __init__(self, hierarchy: Hierarchy, runs: int = 10, seed: int = 0) -> None:
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        runs: int = 10,
+        seed: int = 0,
+        mode: str = "serial",
+        workers: Optional[int] = None,
+        cache: Optional[object] = None,
+    ) -> None:
         if runs < 1:
             raise EstimationError(f"runs must be >= 1, got {runs}")
         self.hierarchy = hierarchy
         self.runs = int(runs)
         self.seed = int(seed)
+        self.mode = mode
+        self.workers = workers
+        self.cache = cache
 
-    def _rng_for(self, label: str, epsilon: float, run: int) -> np.random.Generator:
-        key = hash((self.seed, label, float(epsilon), run)) & 0x7FFFFFFF
-        return np.random.default_rng(key)
+    def _run_specs(self, specs, epsilons: Sequence[float]) -> List[RunResult]:
+        from repro.engine.executor import run_grid
+        from repro.engine.grid import ExperimentGrid
+
+        grid = ExperimentGrid(
+            self.hierarchy, specs, epsilons=list(epsilons),
+            trials=self.runs, seed=self.seed,
+        )
+        aggregated = grid.aggregate(
+            run_grid(grid, mode=self.mode, workers=self.workers,
+                     cache=self.cache)
+        )
+        return [
+            result
+            for spec in specs
+            for result in aggregated[("default", spec.label)]
+        ]
+
+    @staticmethod
+    def _as_spec(label: str, release):
+        """Wrap a callable as a spec; pass declarative specs through.
+
+        Accepting a :class:`~repro.engine.methods.MethodSpec` (relabelled
+        to ``label``) keeps the runner's cache usable: bare callables can
+        never be cached, declarative specs can.
+        """
+        from dataclasses import replace
+
+        from repro.engine.methods import MethodSpec
+
+        if isinstance(release, MethodSpec):
+            return release if release.label == label else replace(
+                release, label=label
+            )
+        return MethodSpec.from_callable(label, release)
 
     def run(self, label: str, release: ReleaseFn, epsilon: float) -> RunResult:
-        """Execute one configuration; returns per-level statistics."""
-        per_run: List[List[float]] = []
-        for run_index in range(self.runs):
-            rng = self._rng_for(label, epsilon, run_index)
-            estimates = release(self.hierarchy, epsilon, rng)
-            per_run.append(per_level_emd(self.hierarchy, estimates))
-        matrix = np.asarray(per_run)  # runs × levels
-        means = matrix.mean(axis=0)
-        stds = matrix.std(axis=0, ddof=1) if self.runs > 1 else np.zeros_like(means)
-        stats = [
-            LevelStats(
-                level=level,
-                mean=float(means[level]),
-                std_of_mean=float(stds[level] / np.sqrt(self.runs)),
-                runs=self.runs,
-            )
-            for level in range(matrix.shape[1])
-        ]
-        return RunResult(label=label, epsilon=epsilon, levels=stats)
+        """Execute one configuration; returns per-level statistics.
+
+        ``release`` is either a release callable or a declarative
+        :class:`~repro.engine.methods.MethodSpec` (required for the on-disk
+        cache to apply).
+        """
+        return self._run_specs(
+            [self._as_spec(label, release)], [epsilon]
+        )[0]
 
     def sweep(
         self, label: str, release: ReleaseFn, epsilons: Sequence[float]
     ) -> List[RunResult]:
         """Run a configuration across an ε grid (the paper's x-axis)."""
-        return [self.run(label, release, eps) for eps in epsilons]
+        return self._run_specs([self._as_spec(label, release)], epsilons)

@@ -4,6 +4,11 @@ All errors raised by the library derive from :class:`ReproError`, so callers
 can catch a single type at the API boundary.  More specific subclasses are
 used for privacy accounting problems, malformed histograms and hierarchy
 structure violations; tests use these to verify failure paths explicitly.
+
+The categories mirror the paper's problem structure (Kuo et al., VLDB
+2018): histogram representation invariants (Section 3), hierarchy
+additivity (Section 3), estimation and matching failures (Sections 4-5),
+privacy accounting (Section 5.4) and release-time queries (Section 6).
 """
 
 from __future__ import annotations

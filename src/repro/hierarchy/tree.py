@@ -17,7 +17,7 @@ from repro.exceptions import HierarchyError
 
 
 class Node:
-    """One region of the hierarchy with its true histogram.
+    """One region of the hierarchy with its true histogram (Section 3).
 
     Parameters
     ----------
@@ -84,7 +84,7 @@ class Node:
 
 
 class Hierarchy:
-    """A validated region tree.
+    """A validated region tree (the paper's region hierarchy, Section 3).
 
     Examples
     --------

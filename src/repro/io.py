@@ -15,6 +15,7 @@ hierarchy is supported for dataset persistence and is clearly named.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, Mapping, Union
@@ -85,6 +86,28 @@ def load_hierarchy(path: PathLike) -> Hierarchy:
     if payload.get("kind") != "hierarchy":
         raise HierarchyError(f"{path} is not a hierarchy file")
     return Hierarchy(_node_from_dict(payload["root"]), validate=False)
+
+
+def hierarchy_fingerprint(hierarchy: Hierarchy) -> str:
+    """Stable content hash of a hierarchy (structure + leaf histograms).
+
+    The experiment engine's on-disk result cache (:mod:`repro.engine.cache`)
+    keys cached cells by this fingerprint so that results computed for one
+    dataset are never served for another.  The hash is a SHA-256 over the
+    canonical JSON serialization used by :func:`save_hierarchy`, so it is
+    stable across processes and Python versions (unlike the built-in
+    ``hash``, which is salted per process).
+
+    Examples
+    --------
+    >>> from repro.hierarchy import from_leaf_histograms
+    >>> a = from_leaf_histograms("US", {"VA": [0, 2]})
+    >>> b = from_leaf_histograms("US", {"VA": [0, 2]})
+    >>> hierarchy_fingerprint(a) == hierarchy_fingerprint(b)
+    True
+    """
+    payload = json.dumps(_node_to_dict(hierarchy.root), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def save_release(

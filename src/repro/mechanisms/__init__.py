@@ -10,6 +10,11 @@ Public API
 - :class:`GeometricMechanism` — integer-valued double-geometric noise.
 - :class:`LaplaceMechanism` — real-valued Laplace noise (used only by the
   omniscient baseline and the public-bound estimator).
+
+Both mechanisms additionally expose a vectorized ``randomise_batch(values,
+trials)`` method drawing all trials of a repeated release in one call; the
+experiment engine (:mod:`repro.engine`) uses it to avoid per-trial,
+per-node sampling overhead.
 - :class:`PrivacyBudget` — ε ledger with sequential/parallel split helpers.
 - :func:`double_geometric` / :func:`double_geometric_variance` — low level
   sampling helpers.

@@ -143,12 +143,7 @@ class GeometricMechanism:
         ``values`` must be integer-valued (the mechanism is defined on
         integer queries); floats with integral values are accepted.
         """
-        arr = np.asarray(values)
-        as_int = np.rint(arr).astype(np.int64)
-        if not np.array_equal(as_int, arr):
-            raise EstimationError(
-                "GeometricMechanism requires integer-valued query answers"
-            )
+        as_int = self._as_integer_array(values)
         noise = double_geometric(
             as_int.shape if as_int.shape else 1,
             self.epsilon,
@@ -157,3 +152,58 @@ class GeometricMechanism:
         )
         result = as_int + noise.reshape(as_int.shape if as_int.shape else (1,))
         return result if as_int.shape else result[0]
+
+    def randomise_batch(self, values: ArrayLike, trials: int) -> np.ndarray:
+        """Vectorized repeated releases: ``trials`` noisy copies of ``values``.
+
+        Draws all ``trials × n`` noise values in a single vectorized call —
+        the batch API introduced alongside the experiment engine
+        (:mod:`repro.engine`) so repeated trials of a node's histogram can
+        be sampled at once instead of node-by-node, trial-by-trial (see
+        :meth:`repro.mechanisms.laplace.LaplaceMechanism.randomise_batch`
+        for the Laplace analogue backing the batched omniscient baseline).
+
+        Each row is an independent ε-DP release of the same query answer
+        (distributionally identical to calling :meth:`randomise` ``trials``
+        times, though the stream of underlying draws is consumed in a
+        different order, so individual values differ for a given generator
+        state).
+
+        Parameters
+        ----------
+        values:
+            Integer-valued query answer of shape ``(n,)`` (scalars allowed).
+        trials:
+            Number of independent noisy copies to draw (>= 1).
+
+        Returns
+        -------
+        numpy.ndarray of int64, shape ``(trials, n)``.
+
+        Examples
+        --------
+        >>> mech = GeometricMechanism(epsilon=1.0,
+        ...                           rng=np.random.default_rng(0))
+        >>> mech.randomise_batch(np.array([10, 0, 3]), trials=4).shape
+        (4, 3)
+        """
+        if trials < 1:
+            raise EstimationError(f"trials must be >= 1, got {trials}")
+        as_int = np.atleast_1d(self._as_integer_array(values))
+        noise = double_geometric(
+            (int(trials), as_int.size),
+            self.epsilon,
+            self.sensitivity,
+            rng=self._rng,
+        )
+        return as_int[np.newaxis, :] + noise
+
+    @staticmethod
+    def _as_integer_array(values: ArrayLike) -> np.ndarray:
+        arr = np.asarray(values)
+        as_int = np.rint(arr).astype(np.int64)
+        if not np.array_equal(as_int, arr):
+            raise EstimationError(
+                "GeometricMechanism requires integer-valued query answers"
+            )
+        return as_int

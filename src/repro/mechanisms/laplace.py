@@ -69,3 +69,38 @@ class LaplaceMechanism:
         )
         result = arr + noise.reshape(arr.shape if arr.shape else (1,))
         return result if arr.shape else result[0]
+
+    def randomise_batch(self, values: ArrayLike, trials: int) -> np.ndarray:
+        """Vectorized repeated releases: ``trials`` noisy copies of ``values``.
+
+        All ``trials × n`` Laplace draws happen in one vectorized call; each
+        row is an independent ε-DP release of the same query answer.  This
+        backs the batched omniscient baseline
+        (:meth:`repro.evaluation.omniscient.OmniscientBaseline.run_batch`),
+        which the CLI ``sweep`` command uses for its measured error floor.
+
+        Parameters
+        ----------
+        values:
+            Query answer of shape ``(n,)`` (scalars allowed).
+        trials:
+            Number of independent noisy copies to draw (>= 1).
+
+        Returns
+        -------
+        numpy.ndarray of float64, shape ``(trials, n)``.
+
+        Examples
+        --------
+        >>> mech = LaplaceMechanism(epsilon=0.5,
+        ...                         rng=np.random.default_rng(7))
+        >>> mech.randomise_batch([10.0, 2.0], trials=3).shape
+        (3, 2)
+        """
+        if trials < 1:
+            raise EstimationError(f"trials must be >= 1, got {trials}")
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        noise = self._rng.laplace(
+            loc=0.0, scale=self.scale, size=(int(trials), arr.size)
+        )
+        return arr[np.newaxis, :] + noise

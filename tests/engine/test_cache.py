@@ -1,0 +1,122 @@
+"""On-disk result cache: keys, round-trips, invalidation, robustness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import run_grid
+from repro.engine.grid import CellResult, ExperimentGrid, GridCell
+from repro.engine.methods import MethodSpec
+from repro.io import hierarchy_fingerprint
+
+HC = MethodSpec.topdown("hc", max_size=10, label="hc")
+
+
+def make_grid(tree, seed=0, epsilons=(1.0,), trials=2):
+    return ExperimentGrid(
+        tree, [HC], epsilons=list(epsilons), trials=trials, seed=seed
+    )
+
+
+class TestKeys:
+    def test_key_depends_on_everything(self, two_level_tree):
+        fp = hierarchy_fingerprint(two_level_tree)
+        cell = GridCell("default", "hc", 1.0, 0)
+        base = ResultCache.cell_key(0, fp, "default", HC, cell)
+        assert base is not None
+        variants = [
+            ResultCache.cell_key(1, fp, "default", HC, cell),
+            ResultCache.cell_key(0, "other-fp", "default", HC, cell),
+            ResultCache.cell_key(0, fp, "other", HC, cell),
+            ResultCache.cell_key(
+                0, fp, "default", MethodSpec.topdown("hc", max_size=99,
+                                                     label="hc"), cell),
+            ResultCache.cell_key(
+                0, fp, "default", HC, GridCell("default", "hc", 2.0, 0)),
+            ResultCache.cell_key(
+                0, fp, "default", HC, GridCell("default", "hc", 1.0, 1)),
+        ]
+        assert base not in variants
+        assert len(set(variants)) == len(variants)
+
+    def test_callable_specs_not_cacheable(self, two_level_tree):
+        spec = MethodSpec.from_callable("cb", lambda t, e, r: {})
+        key = ResultCache.cell_key(
+            0, "fp", "default", spec, GridCell("default", "cb", 1.0, 0)
+        )
+        assert key is None
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = CellResult("default", "hc", 1.0, 0, (3.0, 1.5))
+        cache.put("k" * 64, result)
+        loaded = cache.get("k" * 64)
+        assert loaded.level_emd == (3.0, 1.5)
+        assert loaded.cached is True
+        assert len(cache) == 1
+
+    def test_get_none_key(self, tmp_path):
+        assert ResultCache(tmp_path).get(None) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / ("c" * 64 + ".json")
+        path.write_text("{not json")
+        assert cache.get("c" * 64) is None
+        path.write_text(json.dumps({"dataset": "d"}))  # missing fields
+        assert cache.get("c" * 64) is None
+
+
+class TestWithExecutor:
+    def test_second_run_all_cached_and_identical(self, two_level_tree, tmp_path):
+        grid = make_grid(two_level_tree)
+        cache = ResultCache(tmp_path)
+        first = run_grid(grid, mode="serial", cache=cache)
+        assert not any(r.cached for r in first)
+        second = run_grid(grid, mode="serial", cache=cache)
+        assert all(r.cached for r in second)
+        assert [r.level_emd for r in first] == [r.level_emd for r in second]
+
+    def test_cache_shared_between_modes(self, two_level_tree, tmp_path):
+        grid = make_grid(two_level_tree, trials=3)
+        cache = ResultCache(tmp_path)
+        run_grid(grid, mode="process", workers=2, cache=cache)
+        again = run_grid(grid, mode="serial", cache=cache)
+        assert all(r.cached for r in again)
+
+    def test_grid_extension_only_computes_missing(self, two_level_tree, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(make_grid(two_level_tree, epsilons=(1.0,)), cache=cache,
+                 mode="serial")
+        extended = run_grid(
+            make_grid(two_level_tree, epsilons=(1.0, 2.0)),
+            cache=cache, mode="serial",
+        )
+        cached = [r for r in extended if r.cached]
+        fresh = [r for r in extended if not r.cached]
+        assert {r.epsilon for r in cached} == {1.0}
+        assert {r.epsilon for r in fresh} == {2.0}
+
+    def test_seed_change_misses(self, two_level_tree, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(make_grid(two_level_tree, seed=0), cache=cache, mode="serial")
+        rerun = run_grid(
+            make_grid(two_level_tree, seed=9), cache=cache, mode="serial"
+        )
+        assert not any(r.cached for r in rerun)
+
+    def test_cache_accepts_path_string(self, two_level_tree, tmp_path):
+        grid = make_grid(two_level_tree)
+        run_grid(grid, mode="serial", cache=str(tmp_path / "cells"))
+        rerun = run_grid(grid, mode="serial", cache=str(tmp_path / "cells"))
+        assert all(r.cached for r in rerun)
+
+    def test_clear(self, two_level_tree, tmp_path):
+        grid = make_grid(two_level_tree)
+        cache = ResultCache(tmp_path)
+        run_grid(grid, mode="serial", cache=cache)
+        assert cache.clear() == len(grid.cells())
+        assert len(cache) == 0

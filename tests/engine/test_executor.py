@@ -1,0 +1,104 @@
+"""Executor equivalence: serial and parallel must be bit-identical."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executor import default_workers, evaluate_cell, run_grid
+from repro.engine.grid import ExperimentGrid
+from repro.engine.methods import MethodSpec
+from repro.exceptions import EstimationError
+
+METHODS = [
+    MethodSpec.topdown("hc", max_size=10, label="hc"),
+    MethodSpec.topdown("hg", label="hg"),
+    MethodSpec.bottomup("hg", label="bu-hg"),
+]
+
+
+def make_grid(tree, seed=0, trials=3):
+    return ExperimentGrid(
+        tree, METHODS, epsilons=[0.5, 2.0], trials=trials, seed=seed
+    )
+
+
+class TestSerial:
+    def test_results_in_cell_order(self, two_level_tree):
+        grid = make_grid(two_level_tree)
+        results = run_grid(grid, mode="serial")
+        assert [r.key for r in results] == [c.key for c in grid.cells()]
+
+    def test_deterministic_across_calls(self, two_level_tree):
+        grid = make_grid(two_level_tree)
+        assert run_grid(grid, mode="serial") == run_grid(grid, mode="serial")
+
+    def test_seed_changes_results(self, two_level_tree):
+        a = run_grid(make_grid(two_level_tree, seed=1), mode="serial")
+        b = run_grid(make_grid(two_level_tree, seed=2), mode="serial")
+        assert a != b
+
+    def test_unknown_mode_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError, match="mode"):
+            run_grid(make_grid(two_level_tree), mode="threads")
+
+    def test_bad_workers_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError, match="workers"):
+            run_grid(make_grid(two_level_tree), workers=0)
+
+
+class TestParallelEquivalence:
+    def test_process_bit_identical_to_serial(self, two_level_tree):
+        """The RNG-reproducibility guarantee: same grid seed, same bits."""
+        grid = make_grid(two_level_tree)
+        serial = run_grid(grid, mode="serial")
+        parallel = run_grid(grid, mode="process", workers=3)
+        assert parallel == serial
+
+    def test_process_three_level(self, three_level_tree):
+        grid = ExperimentGrid(
+            three_level_tree,
+            [MethodSpec.topdown("hc", max_size=10, label="hc")],
+            epsilons=[1.5], trials=4,
+        )
+        assert (
+            run_grid(grid, mode="process", workers=2)
+            == run_grid(grid, mode="serial")
+        )
+
+    def test_callable_methods_cross_fork_boundary(self, two_level_tree):
+        from repro.core.consistency.topdown import TopDown
+        from repro.core.estimators import UnattributedEstimator
+
+        algo = TopDown(UnattributedEstimator())
+        spec = MethodSpec.from_callable(
+            "lambda-hg", lambda t, e, rng: algo.run(t, e, rng=rng).estimates
+        )
+        grid = ExperimentGrid(
+            two_level_tree, [spec], epsilons=[1.0], trials=3
+        )
+        assert (
+            run_grid(grid, mode="process", workers=2)
+            == run_grid(grid, mode="serial")
+        )
+
+    def test_auto_mode_runs(self, two_level_tree):
+        grid = make_grid(two_level_tree)
+        assert run_grid(grid, mode="auto") == run_grid(grid, mode="serial")
+
+
+class TestEvaluateCell:
+    def test_matches_run_grid(self, two_level_tree):
+        grid = make_grid(two_level_tree)
+        cell = grid.cells()[5]
+        direct = evaluate_cell(
+            grid.datasets[cell.dataset],
+            grid.method_by_label(cell.method),
+            cell,
+            grid.seed,
+        )
+        via_grid = {r.key: r for r in run_grid(grid, mode="serial")}
+        assert direct == via_grid[cell.key]
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1

@@ -1,0 +1,142 @@
+"""ExperimentGrid enumeration, seeding stability, and aggregation."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.engine.grid import CellResult, ExperimentGrid, GridCell, stable_seed_sequence
+from repro.engine.methods import MethodSpec
+from repro.exceptions import EstimationError
+
+
+def make_grid(tree, trials=3, seed=0):
+    return ExperimentGrid(
+        tree,
+        [MethodSpec.topdown("hc", max_size=10, label="hc"),
+         MethodSpec.topdown("hg", label="hg")],
+        epsilons=[0.5, 2.0],
+        trials=trials,
+        seed=seed,
+    )
+
+
+class TestEnumeration:
+    def test_cell_count_is_full_product(self, two_level_tree):
+        grid = make_grid(two_level_tree, trials=4)
+        cells = grid.cells()
+        assert len(cells) == 1 * 2 * 2 * 4
+        assert len({c.key for c in cells}) == len(cells)
+
+    def test_single_hierarchy_named_default(self, two_level_tree):
+        grid = make_grid(two_level_tree)
+        assert set(grid.datasets) == {"default"}
+        assert all(c.dataset == "default" for c in grid.cells())
+
+    def test_duplicate_labels_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError, match="duplicate"):
+            ExperimentGrid(
+                two_level_tree,
+                [MethodSpec.topdown("hc", label="m"),
+                 MethodSpec.topdown("hg", label="m")],
+                epsilons=[1.0],
+            )
+
+    def test_bad_epsilon_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError, match="epsilon"):
+            ExperimentGrid(
+                two_level_tree, [MethodSpec.topdown("hg")], epsilons=[0.0]
+            )
+
+    def test_bad_trials_rejected(self, two_level_tree):
+        with pytest.raises(EstimationError, match="trials"):
+            ExperimentGrid(
+                two_level_tree, [MethodSpec.topdown("hg")],
+                epsilons=[1.0], trials=0,
+            )
+
+
+class TestSeeding:
+    def test_same_cell_same_stream(self, two_level_tree):
+        grid = make_grid(two_level_tree)
+        cell = grid.cells()[0]
+        a = grid.rng_for(cell).integers(0, 1 << 30, size=8)
+        b = grid.rng_for(cell).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_distinct_cells_distinct_streams(self, two_level_tree):
+        grid = make_grid(two_level_tree)
+        streams = {
+            tuple(grid.rng_for(cell).integers(0, 1 << 30, size=4))
+            for cell in grid.cells()
+        }
+        assert len(streams) == len(grid.cells())
+
+    def test_seed_changes_streams(self, two_level_tree):
+        cell = GridCell("default", "hc", 1.0, 0)
+        a = make_grid(two_level_tree, seed=1).rng_for(cell)
+        b = make_grid(two_level_tree, seed=2).rng_for(cell)
+        assert not np.array_equal(
+            a.integers(0, 1 << 30, size=8), b.integers(0, 1 << 30, size=8)
+        )
+
+    def test_epsilon_formatting_canonical(self):
+        assert (
+            stable_seed_sequence(0, "d", "m", 1.0, 0).entropy
+            == stable_seed_sequence(0, "d", "m", 1.00, 0).entropy
+        )
+        assert (
+            stable_seed_sequence(0, "d", "m", 0.1, 0).entropy
+            != stable_seed_sequence(0, "d", "m", 0.2, 0).entropy
+        )
+
+    def test_seeding_survives_hash_randomization(self):
+        """Seeds must be process-stable, unlike the salted built-in hash."""
+        script = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "from repro.engine.grid import stable_seed_sequence; "
+            "print(stable_seed_sequence(7, 'housing', 'hc', 0.5, 3).entropy)"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                cwd=__file__.rsplit("/tests/", 1)[0],
+            ).stdout.strip()
+            for hash_seed in ("1", "2")
+        }
+        assert len(outputs) == 1
+
+
+class TestAggregation:
+    def test_matches_paper_statistics(self, two_level_tree):
+        grid = make_grid(two_level_tree, trials=4)
+        results = [
+            CellResult("default", "hc", 0.5, t, (float(t), 2.0 * t))
+            for t in range(4)
+        ] + [
+            CellResult("default", "hc", 2.0, t, (1.0, 1.0)) for t in range(4)
+        ] + [
+            CellResult("default", "hg", eps, t, (0.0, 0.0))
+            for eps in (0.5, 2.0) for t in range(4)
+        ]
+        aggregated = grid.aggregate(results)
+        sweep = aggregated[("default", "hc")]
+        assert [r.epsilon for r in sweep] == [0.5, 2.0]
+        first = sweep[0]
+        values = np.array([0.0, 1.0, 2.0, 3.0])
+        assert first.level(0).mean == pytest.approx(values.mean())
+        assert first.level(0).std_of_mean == pytest.approx(
+            values.std(ddof=1) / np.sqrt(4)
+        )
+        assert sweep[1].level(1).std_of_mean == 0.0
+
+    def test_missing_trial_rejected(self, two_level_tree):
+        grid = make_grid(two_level_tree, trials=3)
+        partial = [CellResult("default", "hc", 0.5, 0, (1.0, 1.0))]
+        with pytest.raises(EstimationError, match="missing trials"):
+            grid.aggregate(partial)

@@ -1,0 +1,114 @@
+"""MethodSpec construction, registry behaviour, and pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.methods import (
+    MethodSpec,
+    parse_method,
+    register_method,
+    registered_kinds,
+)
+from repro.exceptions import EstimationError
+
+
+class TestConstruction:
+    def test_topdown_defaults(self):
+        spec = MethodSpec.topdown("hc", max_size=50)
+        assert spec.label == "hc"
+        assert spec.kind == "topdown"
+        assert spec.param_dict()["max_size"] == 50
+        assert spec.cacheable
+
+    def test_bottomup_label(self):
+        assert MethodSpec.bottomup("hg").label == "bu-hg"
+
+    def test_callable_not_cacheable(self):
+        spec = MethodSpec.from_callable("f", lambda t, e, r: {})
+        assert not spec.cacheable
+
+    def test_callable_label_reuse_keeps_binding(self, two_level_tree):
+        """Re-using a label must not rebind earlier specs (unique tokens)."""
+        first = MethodSpec.from_callable("same", lambda t, e, r: "first")
+        second = MethodSpec.from_callable("same", lambda t, e, r: "second")
+        assert first.build()(None, 1.0, None) == "first"
+        assert second.build()(None, 1.0, None) == "second"
+
+    def test_unknown_kind_fails_at_build(self):
+        spec = MethodSpec(label="x", kind="no-such-kind")
+        with pytest.raises(EstimationError, match="unknown method kind"):
+            spec.build()
+
+
+class TestBuild:
+    def test_topdown_releases_all_nodes(self, two_level_tree):
+        release = MethodSpec.topdown("hg").build()
+        estimates = release(
+            two_level_tree, 2.0, np.random.default_rng(0)
+        )
+        assert set(estimates) == {
+            node.name for node in two_level_tree.nodes()
+        }
+
+    def test_topdown_per_level_spec(self, two_level_tree):
+        release = MethodSpec.topdown("hc x hg", max_size=10).build()
+        estimates = release(two_level_tree, 2.0, np.random.default_rng(0))
+        assert len(estimates) == len(list(two_level_tree.nodes()))
+
+    def test_bottomup_consistent(self, two_level_tree):
+        release = MethodSpec.bottomup("hg").build()
+        estimates = release(two_level_tree, 2.0, np.random.default_rng(0))
+        total = estimates["state-a"] + estimates["state-b"] + estimates["state-c"]
+        assert estimates["national"] == total
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"topdown", "bottomup", "callable"} <= set(registered_kinds())
+
+    def test_custom_registration(self, two_level_tree):
+        def factory(params):
+            return lambda tree, eps, rng: {
+                node.name: node.data for node in tree.nodes()
+            }
+
+        register_method("identity-test", factory)
+        try:
+            spec = MethodSpec(label="id", kind="identity-test")
+            estimates = spec.build()(
+                two_level_tree, 1.0, np.random.default_rng(0)
+            )
+            assert estimates["national"] == two_level_tree.root.data
+        finally:
+            from repro.engine import methods as module
+            module._REGISTRY.pop("identity-test", None)
+
+    def test_invalid_kind_name(self):
+        with pytest.raises(EstimationError):
+            register_method("", lambda params: None)
+
+
+class TestPickling:
+    def test_declarative_specs_pickle(self):
+        for spec in (MethodSpec.topdown("hc x hg", max_size=7),
+                     MethodSpec.bottomup("naive")):
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+
+
+class TestParseMethod:
+    def test_topdown_tokens(self):
+        assert parse_method("hc").kind == "topdown"
+        assert parse_method("hc x hg").param_dict()["spec"] == "hc x hg"
+
+    def test_bottomup_tokens(self):
+        spec = parse_method("bu-hg")
+        assert spec.kind == "bottomup"
+        assert spec.param_dict()["estimator"] == "hg"
+
+    def test_max_size_forwarded(self):
+        assert parse_method("naive", max_size=123).param_dict()["max_size"] == 123

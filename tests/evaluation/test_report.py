@@ -1,6 +1,11 @@
 """Tests for report formatting."""
 
-from repro.evaluation.report import format_series, format_table, series_by_level
+from repro.evaluation.report import (
+    format_grid,
+    format_series,
+    format_table,
+    series_by_level,
+)
 from repro.evaluation.runner import LevelStats, RunResult
 
 
@@ -56,3 +61,45 @@ class TestSeriesByLevel:
         grouped = series_by_level(sample_results())
         assert set(grouped) == {0, 1}
         assert grouped[0] == [(0.1, 100.0, 5.0), (1.0, 20.0, 2.0)]
+
+
+class TestFormatGrid:
+    @staticmethod
+    def result(label, epsilon, mean):
+        return RunResult(
+            label=label, epsilon=epsilon,
+            levels=[LevelStats(level=0, mean=mean, std_of_mean=0.0, runs=2)],
+        )
+
+    def test_one_table_per_dataset(self):
+        aggregated = {
+            ("a", "hc"): [self.result("hc", 0.5, 1.0)],
+            ("b", "hc"): [self.result("hc", 0.5, 2.0)],
+        }
+        text = format_grid(aggregated)
+        assert "a (level 0 mean EMD)" in text
+        assert "b (level 0 mean EMD)" in text
+
+    def test_columns_sorted_by_epsilon(self):
+        aggregated = {
+            ("d", "hc"): [self.result("hc", 2.0, 9.0),
+                          self.result("hc", 0.5, 1.0)],
+        }
+        text = format_grid(aggregated)
+        assert text.index("eps=0.5") < text.index("eps=2")
+
+    def test_mixed_epsilon_sets_align_on_union(self):
+        """Methods swept over different eps sets must not misalign columns."""
+        aggregated = {
+            ("d", "a"): [self.result("a", 0.2, 7.0),
+                         self.result("a", 1.0, 5.0)],
+            ("d", "b"): [self.result("b", 1.0, 3.0),
+                         self.result("b", 2.0, 1.0)],
+        }
+        text = format_grid(aggregated)
+        header = next(l for l in text.splitlines() if "eps=" in l)
+        assert ["eps=0.2", "eps=1", "eps=2"] == header.split()[1:]
+        row_a = next(l for l in text.splitlines() if l.strip().startswith("a"))
+        row_b = next(l for l in text.splitlines() if l.strip().startswith("b"))
+        assert row_a.split()[1:] == ["7.0", "5.0", "nan"]
+        assert row_b.split()[1:] == ["nan", "3.0", "1.0"]

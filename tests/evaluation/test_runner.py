@@ -81,3 +81,48 @@ class TestExperimentRunner:
         runner = ExperimentRunner(two_level_tree, runs=1, seed=0)
         result = runner.run("hc", release_topdown, 1.0)
         assert result.levels[0].std_of_mean == 0.0
+
+
+class TestEngineShim:
+    """The runner is a shim over repro.engine; modes must agree exactly."""
+
+    def test_serial_and_process_modes_bit_identical(self, two_level_tree):
+        serial = ExperimentRunner(
+            two_level_tree, runs=3, seed=5, mode="serial"
+        ).sweep("hc", release_topdown, [0.5, 1.0])
+        parallel = ExperimentRunner(
+            two_level_tree, runs=3, seed=5, mode="process", workers=2
+        ).sweep("hc", release_topdown, [0.5, 1.0])
+        for a, b in zip(serial, parallel):
+            assert a.epsilon == b.epsilon
+            for sa, sb in zip(a.levels, b.levels):
+                assert sa.mean == sb.mean
+                assert sa.std_of_mean == sb.std_of_mean
+
+    def test_method_spec_release_uses_cache(self, two_level_tree, tmp_path):
+        """Passing a MethodSpec (not a callable) makes the cache effective."""
+        from repro.engine import MethodSpec, ResultCache
+
+        cache = ResultCache(tmp_path)
+        spec = MethodSpec.topdown("hc", max_size=30)
+        runner = ExperimentRunner(two_level_tree, runs=2, seed=0, cache=cache)
+        first = runner.sweep("hc-spec", spec, [1.0])
+        assert cache.statistics()["entries"] == 2
+        second = runner.sweep("hc-spec", spec, [1.0])
+        assert cache.hits == 2
+        assert first[0].levels[0].mean == second[0].levels[0].mean
+
+    def test_matches_direct_engine_run(self, two_level_tree):
+        from repro.engine import ExperimentGrid, MethodSpec, run_grid
+
+        runner_result = ExperimentRunner(two_level_tree, runs=3, seed=0).run(
+            "hc-direct", release_topdown, 1.0
+        )
+        grid = ExperimentGrid(
+            two_level_tree,
+            [MethodSpec.from_callable("hc-direct", release_topdown)],
+            epsilons=[1.0], trials=3,
+        )
+        direct = grid.aggregate(run_grid(grid, mode="serial"))
+        engine_result = direct[("default", "hc-direct")][0]
+        assert engine_result.levels[0].mean == runner_result.levels[0].mean

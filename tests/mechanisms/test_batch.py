@@ -1,0 +1,133 @@
+"""Batched noise sampling must match the trial-by-trial samplers.
+
+The engine draws all trials of a node's histogram in one vectorized
+``randomise_batch`` call; these tests pin down shape/dtype contracts and
+check that the batch is *distributionally* identical to looping the scalar
+sampler (same mean, variance, and independence structure — exact draws
+differ because the underlying stream is consumed in a different order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.mechanisms.geometric import GeometricMechanism, double_geometric_variance
+from repro.mechanisms.laplace import LaplaceMechanism
+
+
+class TestGeometricBatch:
+    def test_shape_and_dtype(self):
+        mech = GeometricMechanism(1.0, rng=np.random.default_rng(0))
+        batch = mech.randomise_batch(np.array([5, 0, 2]), trials=7)
+        assert batch.shape == (7, 3)
+        assert batch.dtype == np.int64
+
+    def test_scalar_values_allowed(self):
+        mech = GeometricMechanism(1.0, rng=np.random.default_rng(0))
+        assert mech.randomise_batch(4, trials=3).shape == (3, 1)
+
+    def test_rejects_fractional_values(self):
+        mech = GeometricMechanism(1.0)
+        with pytest.raises(EstimationError, match="integer-valued"):
+            mech.randomise_batch(np.array([1.5]), trials=2)
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(EstimationError, match="trials"):
+            GeometricMechanism(1.0).randomise_batch(np.array([1]), trials=0)
+
+    def test_rows_are_centred_on_values(self):
+        mech = GeometricMechanism(2.0, rng=np.random.default_rng(42))
+        values = np.array([100, 0, 50])
+        batch = mech.randomise_batch(values, trials=20_000)
+        assert np.allclose(batch.mean(axis=0), values, atol=0.5)
+
+    def test_distribution_matches_loop_sampler(self):
+        """Batch vs trial-by-trial: same first two moments of the noise."""
+        epsilon, sensitivity, trials, n = 0.8, 2.0, 4000, 25
+        values = np.zeros(n, dtype=np.int64)
+
+        batch = GeometricMechanism(
+            epsilon, sensitivity, rng=np.random.default_rng(1)
+        ).randomise_batch(values, trials)
+
+        loop_mech = GeometricMechanism(
+            epsilon, sensitivity, rng=np.random.default_rng(2)
+        )
+        loop = np.stack([loop_mech.randomise(values) for _ in range(trials)])
+
+        target_var = double_geometric_variance(epsilon, sensitivity)
+        for sample in (batch, loop):
+            assert abs(sample.mean()) < 4 * np.sqrt(target_var / sample.size)
+            assert sample.var() == pytest.approx(target_var, rel=0.1)
+        assert batch.var() == pytest.approx(loop.var(), rel=0.1)
+
+    def test_batch_stays_integral(self):
+        mech = GeometricMechanism(0.5, rng=np.random.default_rng(3))
+        batch = mech.randomise_batch(np.arange(10), trials=5)
+        assert np.array_equal(batch, np.rint(batch))
+
+
+class TestLaplaceBatch:
+    def test_shape_and_dtype(self):
+        mech = LaplaceMechanism(1.0, rng=np.random.default_rng(0))
+        batch = mech.randomise_batch([1.0, 2.0], trials=4)
+        assert batch.shape == (4, 2)
+        assert batch.dtype == np.float64
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(EstimationError, match="trials"):
+            LaplaceMechanism(1.0).randomise_batch([1.0], trials=-1)
+
+    def test_distribution_matches_loop_sampler(self):
+        epsilon, trials, n = 0.5, 4000, 25
+        values = np.zeros(n)
+
+        mech = LaplaceMechanism(epsilon, rng=np.random.default_rng(1))
+        batch = mech.randomise_batch(values, trials)
+        loop_mech = LaplaceMechanism(epsilon, rng=np.random.default_rng(2))
+        loop = np.stack([loop_mech.randomise(values) for _ in range(trials)])
+
+        target_var = mech.variance
+        for sample in (batch, loop):
+            assert abs(sample.mean()) < 4 * np.sqrt(target_var / sample.size)
+            assert sample.var() == pytest.approx(target_var, rel=0.1)
+
+    def test_rows_independent(self):
+        """Adjacent trials must be uncorrelated (independent draws)."""
+        mech = LaplaceMechanism(1.0, rng=np.random.default_rng(7))
+        batch = mech.randomise_batch(np.zeros(2000), trials=2)
+        corr = np.corrcoef(batch[0], batch[1])[0, 1]
+        assert abs(corr) < 0.1
+
+
+class TestOmniscientBatch:
+    def test_matches_loop_distributionally(self, two_level_tree):
+        from repro.evaluation.omniscient import OmniscientBaseline
+
+        baseline = OmniscientBaseline()
+        trials = 600
+        batched = baseline.run_batch(
+            two_level_tree, 2.0, trials, rng=np.random.default_rng(1)
+        )
+        rng = np.random.default_rng(2)
+        looped = {name: [] for name in batched}
+        for _ in range(trials):
+            for name, error in baseline.run(two_level_tree, 2.0, rng=rng).items():
+                looped[name].append(error)
+
+        for name in batched:
+            assert batched[name].shape == (trials,)
+            loop_values = np.asarray(looped[name])
+            assert batched[name].mean() == pytest.approx(
+                loop_values.mean(), rel=0.15
+            )
+
+    def test_rejects_bad_parameters(self, two_level_tree):
+        from repro.evaluation.omniscient import OmniscientBaseline
+
+        with pytest.raises(EstimationError):
+            OmniscientBaseline().run_batch(two_level_tree, -1.0, 3)
+        with pytest.raises(EstimationError):
+            OmniscientBaseline().run_batch(two_level_tree, 1.0, 0)

@@ -98,3 +98,47 @@ class TestSweep:
         assert "eps=0.5" in out
         assert "omniscient" in out
         assert "legend" in out  # the ASCII chart rendered
+
+
+class TestGrid:
+    def test_grid_runs_and_tabulates(self, capsys):
+        code = main([
+            "grid", "--datasets", "hawaiian", "--scale", "1e-4",
+            "--methods", "hc,bu-hg", "--epsilons", "0.5,2.0",
+            "--trials", "2", "--max-size", "200", "--mode", "serial",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 method(s) x 2 epsilon(s) x 2 trial(s) = 8 cells" in out
+        assert "hawaiian (level 0 mean EMD)" in out
+        assert "bu-hg" in out
+
+    def test_malformed_epsilons_clean_error(self, capsys):
+        code = main([
+            "grid", "--datasets", "hawaiian", "--scale", "1e-4",
+            "--methods", "hc", "--epsilons", "0.5,,1.0", "--trials", "1",
+        ])
+        assert code == 2
+        assert "comma-separated list of numbers" in capsys.readouterr().err
+
+    def test_unknown_method_clean_error(self, capsys):
+        code = main([
+            "grid", "--datasets", "hawaiian", "--scale", "1e-4",
+            "--methods", "hq", "--epsilons", "1.0", "--trials", "1",
+        ])
+        assert code == 2
+        assert "unknown estimator" in capsys.readouterr().err
+
+    def test_grid_rerun_hits_cache(self, tmp_path, capsys):
+        args = [
+            "grid", "--datasets", "hawaiian", "--scale", "1e-4",
+            "--methods", "hc", "--epsilons", "1.0", "--trials", "2",
+            "--max-size", "200", "--mode", "serial",
+            "--cache", str(tmp_path / "cells"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "(2 computed, 0 cached)" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "(0 computed, 2 cached)" in second
