@@ -1,0 +1,118 @@
+"""A9 — generated workloads at scenario scale through the engine grid.
+
+The paper's experiments stop at three levels and a handful of fixed
+datasets; the workload subsystem (:mod:`repro.workloads`) opens the
+depth/scale axis.  This benchmark drives the acceptance scenario — a
+5-level power-law hierarchy with 10⁵ leaf groups — end to end through the
+cached, parallel experiment grid and checks, in order of importance:
+
+1. **Correctness at depth** — every release method produces per-level EMD
+   rows for all 5 levels, and generation preserves the public group count
+   at every depth (the matching precondition).
+2. **Bit-identical serial/parallel execution** — the engine's guarantee
+   must survive scenario-scale inputs, not just the paper's small trees.
+3. **A scaling curve** — wall-clock per cell as the group count grows
+   2k → 20k → 100k, printed for the record; per-cell cost must grow far
+   slower than the group count (the pipeline is dominated by per-node
+   histogram work, not per-group work).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ExperimentGrid, MethodSpec, run_grid
+from repro.workloads import get_workload, materialize
+
+MAX_SIZE = 2_000
+EPSILON = 1.0
+GROUP_COUNTS = (2_000, 20_000, 100_000)
+
+METHODS = [
+    MethodSpec.topdown("hc", max_size=MAX_SIZE, label="Hc"),
+    MethodSpec.bottomup("hg", max_size=MAX_SIZE, label="BU-Hg"),
+]
+
+
+def scaled_groups(base: int) -> int:
+    """REPRO_SCALE raises fidelity; the acceptance floor of 10^5 leaf
+    groups at the top size is never scaled below."""
+    return max(base, int(base * float(os.environ.get("REPRO_SCALE", "1.0"))))
+
+
+def test_a9_deep_workload_grid_and_scaling(capsys):
+    deep = get_workload("powerlaw-deep")
+    assert deep.depth == 5
+
+    curve = []
+    for base in GROUP_COUNTS:
+        spec = deep.with_groups(scaled_groups(base))
+        start = time.perf_counter()
+        tree = materialize(spec, seed=0)
+        generate_seconds = time.perf_counter() - start
+
+        assert tree.num_levels == 5
+        # Group counts are preserved at every depth by construction.
+        assert [row["groups"] for row in tree.level_statistics()] == (
+            [spec.num_groups] * 5
+        )
+
+        grid = ExperimentGrid(
+            {"powerlaw-deep": tree}, METHODS,
+            epsilons=[EPSILON], trials=2, seed=0,
+        )
+        start = time.perf_counter()
+        serial = run_grid(grid, mode="serial")
+        serial_seconds = time.perf_counter() - start
+        per_cell = serial_seconds / len(serial)
+
+        for cell in serial:
+            assert len(cell.level_emd) == 5  # every depth scored
+            assert all(np.isfinite(v) and v >= 0 for v in cell.level_emd)
+
+        curve.append((spec.num_groups, generate_seconds, per_cell, grid,
+                      serial))
+
+    # -- acceptance scenario: serial == parallel on the 10^5-group tree.
+    _groups, _gen, _cell, grid, serial = curve[-1]
+    workers = os.cpu_count() or 1
+    start = time.perf_counter()
+    parallel = run_grid(grid, mode="process", workers=workers)
+    parallel_seconds = time.perf_counter() - start
+    assert parallel == serial  # bit-identical, scenario scale
+
+    with capsys.disabled():
+        print(f"\n[A9] 5-level power-law workload scaling "
+              f"({len(METHODS)} methods x 2 trials, eps={EPSILON})")
+        print(f"  {'groups':>10} {'generate':>10} {'per cell':>10}")
+        for groups, generate_seconds, per_cell, _, _ in curve:
+            print(f"  {groups:>10,} {generate_seconds:>9.2f}s "
+                  f"{per_cell:>9.2f}s")
+        print(f"  parallel rerun of the {curve[-1][0]:,}-group grid on "
+              f"{workers} worker(s): {parallel_seconds:.2f}s, bit-identical")
+
+    if os.environ.get("CI"):
+        pytest.skip("shared CI runner: timing assertions not meaningful")
+
+    # 50x more groups must cost far less than 50x per cell: the pipeline
+    # is per-node-histogram bound, not per-group bound.
+    small, large = curve[0][2], curve[-1][2]
+    assert large < 25 * max(small, 1e-3)
+
+
+def test_a9_cached_rerun_at_scale(tmp_path):
+    """The on-disk cache short-circuits scenario-scale reruns too."""
+    spec = get_workload("powerlaw-deep").with_groups(20_000)
+    tree = materialize(spec, seed=0)
+    grid = ExperimentGrid(
+        {"powerlaw-deep": tree}, METHODS, epsilons=[EPSILON],
+        trials=2, seed=0,
+    )
+    first = run_grid(grid, mode="serial", cache=str(tmp_path / "cells"))
+    rerun = run_grid(grid, mode="serial", cache=str(tmp_path / "cells"))
+    assert all(cell.cached for cell in rerun)
+    assert [c.level_emd for c in rerun] == [c.level_emd for c in first]

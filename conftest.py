@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Lives at the repo root (not under tests/) because ``pytest_addoption``
+hooks are only honoured in rootdir conftest files and plugins.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden-regression fixtures under "
+             "tests/golden/fixtures/ instead of comparing against them; "
+             "review and commit the resulting diff deliberately",
+    )

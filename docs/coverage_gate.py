@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Line-coverage gate for the workload subsystem (CI + local).
+
+Runs the workload-facing test suites (``tests/workloads``, ``tests/golden``)
+under a minimal :func:`sys.settrace` line collector and fails when line
+coverage of ``src/repro/workloads/`` drops below the floor.  Built on the
+stdlib on purpose: the gate runs identically on a bare container and in
+CI, with no ``coverage``/``pytest-cov`` install step to drift.  (The
+stdlib :mod:`trace` module is avoided deliberately — its ignore cache is
+keyed by bare module name, so every package ``__init__`` is ignored as
+soon as one stdlib ``__init__`` is.)  Only frames whose code lives under
+the target package receive line events, so the tracing overhead on the
+rest of the suite is one filename check per function call.
+
+Usage::
+
+    PYTHONPATH=src python docs/coverage_gate.py [--fail-under 85]
+
+Sets ``REPRO_COVERAGE_GATE=1`` so the property tests in
+``tests/workloads/`` trim their hypothesis example counts (see
+``examples()`` in ``test_workload_properties.py``) — the tracer slows
+every Python line, and the gate measures coverage, not statistical depth.
+
+Exit codes: 0 on success, 1 when the test run fails, 2 when coverage is
+below the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dis
+import os
+import sys
+import types
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+TARGET = SRC / "repro" / "workloads"
+TEST_PATHS = ("tests/workloads", "tests/golden")
+DEFAULT_FLOOR = 85.0
+
+
+def executable_lines(path: Path) -> set:
+    """Line numbers that carry bytecode, per the compiled line table.
+
+    The same definition the tracer's runtime line events use, so executed
+    lines are always a subset of executable lines.
+    """
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        lines.update(
+            line for _, line in dis.findlinestarts(current)
+            # Line 0 is the synthetic module-level RESUME on 3.11+; it
+            # never produces a runtime line event.
+            if line is not None and line > 0
+        )
+        stack.extend(
+            const for const in current.co_consts
+            if isinstance(const, types.CodeType)
+        )
+    return lines
+
+
+def run_tests_traced(argv: list) -> tuple:
+    """Run pytest under the line collector.
+
+    Returns ``(pytest exit code, {filename: executed line numbers})``.
+    """
+    os.environ.setdefault("REPRO_COVERAGE_GATE", "1")
+    sys.path.insert(0, str(SRC))
+    import pytest  # imported late so the tracer misses as little as possible
+
+    prefix = str(TARGET) + os.sep
+    executed: dict = {}
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            executed.setdefault(
+                frame.f_code.co_filename, set()
+            ).add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(prefix):
+            return local_trace
+        return None
+
+    sys.settrace(global_trace)
+    try:
+        exit_code = pytest.main(argv)
+    finally:
+        sys.settrace(None)
+    return int(exit_code), executed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fail-under", type=float, default=DEFAULT_FLOOR,
+                        help="minimum line coverage percentage "
+                             f"(default {DEFAULT_FLOOR:g})")
+    args = parser.parse_args(argv)
+
+    test_argv = [*TEST_PATHS, "-q", "-p", "no:cacheprovider"]
+    exit_code, executed_by_file = run_tests_traced(test_argv)
+    if exit_code != 0:
+        print(f"coverage gate: test run failed (pytest exit {exit_code})",
+              file=sys.stderr)
+        return 1
+
+    total_executable = total_executed = 0
+    rows = []
+    for path in sorted(TARGET.glob("*.py")):
+        executable = executable_lines(path)
+        executed = executed_by_file.get(str(path), set()) & executable
+        missed = sorted(executable - executed)
+        percent = 100.0 * len(executed) / len(executable) if executable else 100.0
+        rows.append((path, len(executed), len(executable), percent, missed))
+        total_executable += len(executable)
+        total_executed += len(executed)
+
+    if total_executable == 0:
+        print(f"coverage gate: no executable lines found under {TARGET}",
+              file=sys.stderr)
+        return 2
+
+    total_percent = 100.0 * total_executed / total_executable
+    print(f"\nline coverage of {TARGET.relative_to(REPO_ROOT)} "
+          f"(floor {args.fail_under:g}%):")
+    for path, executed, executable, percent, missed in rows:
+        note = ""
+        if missed:
+            preview = ",".join(str(line) for line in missed[:8])
+            note = f"  missing: {preview}{'…' if len(missed) > 8 else ''}"
+        print(f"  {path.name:<20} {executed:>4}/{executable:<4} "
+              f"{percent:6.1f}%{note}")
+    print(f"  {'TOTAL':<20} {total_executed:>4}/{total_executable:<4} "
+          f"{total_percent:6.1f}%")
+
+    if total_percent < args.fail_under:
+        print(f"coverage gate: {total_percent:.1f}% is below the "
+              f"{args.fail_under:g}% floor", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

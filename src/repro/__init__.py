@@ -56,6 +56,7 @@ from repro.exceptions import (
     PrivacyBudgetError,
     QueryError,
     ReproError,
+    WorkloadError,
 )
 from repro.engine import (
     ExperimentGrid,
@@ -66,8 +67,9 @@ from repro.engine import (
 )
 from repro.hierarchy import Hierarchy, Node
 from repro.mechanisms import GeometricMechanism, LaplaceMechanism, PrivacyBudget
+from repro.workloads import WorkloadDataset, WorkloadSpec, materialize
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AttributedTopDown",
@@ -97,6 +99,10 @@ __all__ = [
     "ReproError",
     "TopDown",
     "UnattributedEstimator",
+    "WorkloadDataset",
+    "WorkloadError",
+    "WorkloadSpec",
+    "materialize",
     "earthmover_distance",
     "estimate_public_bound",
     "gini_coefficient",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a data publisher needs::
+Six subcommands cover the workflows a data publisher needs::
 
     python -m repro stats    --dataset housing --scale 1e-4
     python -m repro release  --dataset white --epsilon 1.0 --method hc \\
@@ -10,6 +10,9 @@ Five subcommands cover the workflows a data publisher needs::
     python -m repro grid     --datasets housing,white --methods hc,hg,bu-hg \\
                              --epsilons 0.2,1.0 --trials 10 \\
                              --mode process --cache .repro-cache
+    python -m repro workload list
+    python -m repro workload run-grid powerlaw-deep --methods hc,bu-hg \\
+                             --epsilons 1.0 --trials 3 --mode process
 
 ``release`` runs the paper's top-down algorithm end to end and serializes
 the result; ``query`` answers order-statistic/range questions against a
@@ -17,7 +20,12 @@ saved release; ``sweep`` reproduces a mini version of the paper's ε sweeps
 with the omniscient floor for context; ``grid`` drives the parallel
 experiment engine (:mod:`repro.engine`) over a full datasets × methods ×
 epsilons × trials product, with an on-disk result cache so reruns only
-compute missing cells.
+compute missing cells.  ``workload`` manages the synthetic scenario
+registry (:mod:`repro.workloads`): ``list``/``describe`` inspect specs,
+``materialize`` writes a generated hierarchy to JSON, and ``run-grid``
+sends generated scenarios through the same cached, parallel engine.  The
+dataset-taking subcommands also accept ``workload:<name>`` wherever a
+dataset name is expected.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro.core.queries import (
 )
 from repro.core.uncertainty import release_report
 from repro.datasets import available_datasets, make_dataset
+from repro.datasets.registry import WORKLOAD_PREFIX
 from repro.engine import (
     ExperimentGrid,
     ResultCache,
@@ -51,23 +60,53 @@ from repro.evaluation.plots import results_chart
 from repro.evaluation.report import format_grid, format_series
 from repro.evaluation.runner import ExperimentRunner
 from repro.exceptions import EstimationError, ReproError
-from repro.io import export_release_csv, load_release, save_release
+from repro.io import (
+    export_release_csv,
+    load_release,
+    save_hierarchy,
+    save_release,
+)
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--dataset", required=True, choices=available_datasets(),
-        help="workload generator to use",
+        "--dataset", required=True,
+        help="dataset to generate: one of "
+             f"{','.join(available_datasets())}, or 'workload:<name>' for a "
+             "registered synthetic workload (see 'workload list')",
     )
-    parser.add_argument("--scale", type=float, default=1e-4,
-                        help="fraction of paper-scale data to generate")
-    parser.add_argument("--levels", type=int, default=2, choices=(2, 3),
-                        help="hierarchy depth")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="fraction of paper-scale data to generate "
+                             "(default 1e-4; workloads: multiplier on "
+                             "total groups, default 1)")
+    parser.add_argument("--levels", type=int, default=None, choices=(2, 3),
+                        help="hierarchy depth for the paper datasets "
+                             "(default 2; workload depth is fixed by "
+                             "its spec)")
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
 
 
+def _effective_scale(name: str, scale: Optional[float]) -> float:
+    """The scale actually used when ``--scale`` is omitted."""
+    if scale is not None:
+        return scale
+    return 1.0 if name.lower().startswith(WORKLOAD_PREFIX) else 1e-4
+
+
+def _make_cli_dataset(name: str, scale: Optional[float], levels: Optional[int]):
+    is_workload = name.lower().startswith(WORKLOAD_PREFIX)
+    kwargs = {"scale": _effective_scale(name, scale)}
+    if not is_workload:
+        # Paper datasets keep the CLI's historical default of 2 levels
+        # (TaxiDataset's own constructor default is 3).
+        kwargs["levels"] = 2 if levels is None else levels
+    elif levels is not None:
+        kwargs["levels"] = levels  # registry rejects depth conflicts
+    return make_dataset(name, **kwargs)
+
+
 def _build_tree(args: argparse.Namespace):
-    generator = make_dataset(args.dataset, scale=args.scale, levels=args.levels)
+    generator = _make_cli_dataset(args.dataset, args.scale, args.levels)
     return generator.build(seed=args.seed)
 
 
@@ -83,7 +122,8 @@ def _parse_epsilons(text: str) -> List[float]:
 
 def _command_stats(args: argparse.Namespace) -> int:
     tree = _build_tree(args)
-    print(f"{args.dataset} (scale={args.scale:g}, seed={args.seed}): {tree}")
+    scale = _effective_scale(args.dataset, args.scale)
+    print(f"{args.dataset} (scale={scale:g}, seed={args.seed}): {tree}")
     for key, value in tree.statistics().items():
         print(f"  {key:>15}: {value:,}")
     return 0
@@ -112,7 +152,8 @@ def _command_release(args: argparse.Namespace) -> int:
         print(release_report(result))
 
     metadata = {
-        "dataset": args.dataset, "scale": args.scale,
+        "dataset": args.dataset,
+        "scale": _effective_scale(args.dataset, args.scale),
         "epsilon": args.epsilon, "method": str(spec), "seed": args.seed,
     }
     if args.out:
@@ -177,12 +218,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_grid(args: argparse.Namespace) -> int:
-    datasets = {}
-    for name in args.datasets.split(","):
-        name = name.strip()
-        generator = make_dataset(name, scale=args.scale, levels=args.levels)
-        datasets[name] = generator.build(seed=args.seed)
+def _run_and_print_grid(
+    datasets: dict, args: argparse.Namespace
+) -> int:
+    """Shared tail of ``grid`` and ``workload run-grid``: execute + report."""
     methods = [
         parse_method(token, max_size=args.max_size)
         for token in args.methods.split(",")
@@ -205,6 +244,68 @@ def _command_grid(args: argparse.Namespace) -> int:
     print()
     print(format_grid(grid.aggregate(cells), level=args.level))
     return 0
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    datasets = {}
+    for name in args.datasets.split(","):
+        name = name.strip()
+        generator = _make_cli_dataset(name, args.scale, args.levels)
+        datasets[name] = generator.build(seed=args.seed)
+    return _run_and_print_grid(datasets, args)
+
+
+def _command_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        available_distributions,
+        available_workloads,
+        get_workload,
+        materialize,
+    )
+
+    if args.action == "list":
+        print("registered workloads "
+              f"(size distributions: {', '.join(available_distributions())}):")
+        for name in available_workloads():
+            spec = get_workload(name)
+            fanout = "x".join(str(f) for f in spec.fanout)
+            print(f"  {name:<18} {spec.depth} levels (fanout {fanout}), "
+                  f"{spec.num_groups:>9,} groups, {spec.distribution}"
+                  f"{' — ' + spec.description if spec.description else ''}")
+        return 0
+
+    if args.action == "describe":
+        spec = get_workload(args.name)
+        print(spec.describe())
+        if args.stats:
+            tree = materialize(spec, seed=args.seed)
+            print(f"\nmaterialized at seed {args.seed}: {tree}")
+            for row in tree.level_statistics():
+                print(f"  level {row['level']}: {row['nodes']:,} node(s), "
+                      f"{row['groups']:,} groups, {row['entities']:,} "
+                      f"entities, max size {row['max_size']:,}")
+        return 0
+
+    if args.action == "materialize":
+        spec = get_workload(args.name)
+        tree = materialize(spec, seed=args.seed)
+        save_hierarchy(tree, args.out)
+        print(f"materialized {args.name!r} at seed {args.seed}: {tree}")
+        print(f"wrote {args.out}")
+        return 0
+
+    # run-grid: materialize every named workload, then reuse the grid tail.
+    # Datasets are keyed with the registry prefix so that this entry point
+    # and `grid --datasets workload:<name>` describe identical grids —
+    # same per-cell seeds, interchangeable --cache directories.
+    datasets = {}
+    for name in args.name.split(","):
+        name = name.strip()
+        spec = get_workload(name)
+        datasets[f"{WORKLOAD_PREFIX}{name}"] = materialize(
+            spec, seed=args.seed
+        )
+    return _run_and_print_grid(datasets, args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -250,37 +351,86 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-size", type=int, default=20_000)
     sweep.set_defaults(fn=_command_sweep)
 
+    def add_grid_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--methods", default="hc,hg,naive",
+                            help="comma-separated methods: hc, hg, naive, "
+                                 "per-level specs like 'hc x hg', or "
+                                 "bu-hc/bu-hg")
+        parser.add_argument("--epsilons", default="0.2,1.0,2.0")
+        parser.add_argument("--trials", type=int, default=10,
+                            help="repetitions per configuration (paper: 10)")
+        parser.add_argument("--max-size", type=int, default=20_000,
+                            help="public bound K on group size")
+        parser.add_argument("--mode", default="auto",
+                            choices=("auto", "serial", "process"),
+                            help="execution mode (auto = process when useful)")
+        parser.add_argument("--workers", type=int, default=None,
+                            help="worker processes (default: all cores)")
+        parser.add_argument("--cache", default=None,
+                            help="result-cache directory; reruns only "
+                                 "compute missing cells")
+        parser.add_argument("--level", type=int, default=0,
+                            help="hierarchy level to tabulate")
+
     grid = commands.add_parser(
         "grid", help="parallel multi-config experiment grid with caching"
     )
     grid.add_argument("--datasets", required=True,
                       help="comma-separated dataset names "
-                           f"(available: {','.join(available_datasets())})")
-    grid.add_argument("--scale", type=float, default=1e-4,
-                      help="fraction of paper-scale data to generate")
-    grid.add_argument("--levels", type=int, default=2, choices=(2, 3),
-                      help="hierarchy depth")
+                           f"(available: {','.join(available_datasets())}, "
+                           f"plus {WORKLOAD_PREFIX}<name>)")
+    grid.add_argument("--scale", type=float, default=None,
+                      help="fraction of paper-scale data to generate "
+                           "(default 1e-4; workloads: multiplier on "
+                           "total groups, default 1)")
+    grid.add_argument("--levels", type=int, default=None, choices=(2, 3),
+                      help="hierarchy depth for the paper datasets "
+                           "(default 2; workload depth is fixed by its spec)")
     grid.add_argument("--seed", type=int, default=0,
                       help="base seed (also keys the result cache)")
-    grid.add_argument("--methods", default="hc,hg,naive",
-                      help="comma-separated methods: hc, hg, naive, "
-                           "per-level specs like 'hc x hg', or bu-hc/bu-hg")
-    grid.add_argument("--epsilons", default="0.2,1.0,2.0")
-    grid.add_argument("--trials", type=int, default=10,
-                      help="repetitions per configuration (paper: 10)")
-    grid.add_argument("--max-size", type=int, default=20_000,
-                      help="public bound K on group size")
-    grid.add_argument("--mode", default="auto",
-                      choices=("auto", "serial", "process"),
-                      help="execution mode (auto = process when useful)")
-    grid.add_argument("--workers", type=int, default=None,
-                      help="worker processes (default: all cores)")
-    grid.add_argument("--cache", default=None,
-                      help="result-cache directory; reruns only compute "
-                           "missing cells")
-    grid.add_argument("--level", type=int, default=0,
-                      help="hierarchy level to tabulate")
+    add_grid_options(grid)
     grid.set_defaults(fn=_command_grid)
+
+    workload = commands.add_parser(
+        "workload",
+        help="generated scenarios: list / describe / materialize / run-grid",
+    )
+    actions = workload.add_subparsers(dest="action", required=True)
+
+    w_list = actions.add_parser("list", help="show registered workloads")
+    w_list.set_defaults(fn=_command_workload)
+
+    w_describe = actions.add_parser(
+        "describe", help="print one workload's spec (and optional stats)"
+    )
+    w_describe.add_argument("name", help="registered workload name")
+    w_describe.add_argument("--seed", type=int, default=0,
+                            help="generation seed for --stats")
+    w_describe.add_argument("--stats", action="store_true",
+                            help="materialize and print per-level statistics")
+    w_describe.set_defaults(fn=_command_workload)
+
+    w_materialize = actions.add_parser(
+        "materialize", help="generate a workload and write hierarchy JSON"
+    )
+    w_materialize.add_argument("name", help="registered workload name")
+    w_materialize.add_argument("--out", required=True,
+                               help="output hierarchy JSON path")
+    w_materialize.add_argument("--seed", type=int, default=0,
+                               help="generation seed")
+    w_materialize.set_defaults(fn=_command_workload)
+
+    w_run = actions.add_parser(
+        "run-grid",
+        help="run generated scenarios through the experiment grid",
+    )
+    w_run.add_argument("name",
+                       help="workload name(s), comma-separated")
+    w_run.add_argument("--seed", type=int, default=0,
+                       help="generation + grid base seed")
+    add_grid_options(w_run)
+    w_run.set_defaults(fn=_command_workload)
+
     return parser
 
 

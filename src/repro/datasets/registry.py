@@ -1,4 +1,12 @@
-"""Name-based dataset registry used by benchmarks and examples."""
+"""Name-based dataset registry used by benchmarks, examples and the CLI.
+
+Two name families resolve here:
+
+* the paper's evaluation datasets (``housing``, ``taxi``, ``white``,
+  ``hawaiian`` — Section 6.1), and
+* generated scenarios, addressed as ``workload:<registered name>`` and
+  served by the synthetic workload subsystem (:mod:`repro.workloads`).
+"""
 
 from __future__ import annotations
 
@@ -10,18 +18,43 @@ from repro.datasets.synthetic_housing import SyntheticHousingDataset
 from repro.datasets.taxi import TaxiDataset
 from repro.exceptions import EstimationError
 
+#: Prefix that routes a registry name to the workload subsystem.
+WORKLOAD_PREFIX = "workload:"
+
 
 def make_dataset(name: str, **kwargs) -> DatasetGenerator:
     """Instantiate a dataset generator by registry name.
 
-    Recognized names: ``housing``, ``taxi``, ``white``, ``hawaiian``.
-    Keyword arguments are forwarded to the generator's constructor.
+    Recognized names: ``housing``, ``taxi``, ``white``, ``hawaiian``, and
+    ``workload:<name>`` for any registered synthetic workload.  Keyword
+    arguments are forwarded to the generator's constructor; for workloads
+    the hierarchy depth is fixed by the spec, so a ``levels`` argument is
+    accepted for CLI-surface compatibility but must be ``None`` or match
+    the spec's depth.
 
     Examples
     --------
     >>> make_dataset("hawaiian", scale=1e-4).race
     'hawaiian'
+    >>> make_dataset("workload:golden-small").spec.depth
+    4
     """
+    if name.lower().startswith(WORKLOAD_PREFIX):
+        # Imported lazily: repro.workloads depends on the engine layer,
+        # which this module must not pull in at import time.  Only the
+        # prefix is case-normalized — registered workload names are
+        # case-sensitive.
+        from repro.workloads.dataset import WorkloadDataset
+        from repro.workloads.spec import get_workload
+
+        spec = get_workload(name[len(WORKLOAD_PREFIX):])
+        levels = kwargs.pop("levels", None)
+        if levels is not None and int(levels) != spec.depth:
+            raise EstimationError(
+                f"workload {spec.name!r} has a fixed depth of {spec.depth} "
+                f"levels; remove the conflicting levels={levels} argument"
+            )
+        return WorkloadDataset(spec, **kwargs)
     name = name.lower()
     if name == "housing":
         return SyntheticHousingDataset(**kwargs)
@@ -30,10 +63,16 @@ def make_dataset(name: str, **kwargs) -> DatasetGenerator:
     if name in ("white", "hawaiian"):
         return RaceDataset(race=name, **kwargs)
     raise EstimationError(
-        f"unknown dataset {name!r}; available: {available_datasets()}"
+        f"unknown dataset {name!r}; available: {available_datasets()} "
+        f"plus '{WORKLOAD_PREFIX}<name>' for registered workloads"
     )
 
 
 def available_datasets() -> List[str]:
-    """Registry names, matching the paper's four evaluation datasets."""
+    """Registry names, matching the paper's four evaluation datasets.
+
+    Generated scenarios are additional to these; list them with
+    :func:`repro.workloads.available_workloads` and address them as
+    ``workload:<name>``.
+    """
     return ["housing", "white", "hawaiian", "taxi"]

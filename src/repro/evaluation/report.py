@@ -20,6 +20,10 @@ def format_table(
 ) -> str:
     """A fixed-width table: one label column plus numeric columns.
 
+    The label column grows to fit the longest method label — per-level
+    specs on deep hierarchies (``Hc×Hg×Hc×Hg×Hc``) exceed the 8 characters
+    that the paper's two- and three-level method names fit in.
+
     Examples
     --------
     >>> print(format_table("demo", {"BU": [1.0, 2.0]}, ["L0", "L1"], width=8))
@@ -27,21 +31,28 @@ def format_table(
       method      L0      L1
           BU     1.0     2.0
     """
-    header = f"{'method':>{8}}" + "".join(f"{c:>{width}}" for c in columns)
+    label_width = max(8, *(len(str(label)) for label in rows)) if rows else 8
+    header = f"{'method':>{label_width}}" + "".join(
+        f"{c:>{width}}" for c in columns
+    )
     lines = [title, header]
     for label, values in rows.items():
         cells = "".join(f"{value:>{width},.1f}" for value in values)
-        lines.append(f"{label:>{8}}{cells}")
+        lines.append(f"{label:>{label_width}}{cells}")
     return "\n".join(lines)
 
 
 def format_series(title: str, results: Iterable[RunResult]) -> str:
     """One line per (ε, level): the series behind a paper figure panel."""
+    results = list(results)
+    label_width = max(
+        [12] + [len(result.label) for result in results]
+    )
     lines: List[str] = [title]
     for result in results:
         for stats in result.levels:
             lines.append(
-                f"  {result.label:<12} eps={result.epsilon:<6g} "
+                f"  {result.label:<{label_width}} eps={result.epsilon:<6g} "
                 f"L{stats.level}  emd={stats.mean:>14,.1f} "
                 f"(± {stats.std_of_mean:,.1f})"
             )

@@ -63,3 +63,12 @@ class QueryError(ReproError):
     Examples: referencing a column that does not exist, joining on
     incompatible keys, or aggregating an empty projection.
     """
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is invalid or unknown.
+
+    Examples: a fanout list that does not match the hierarchy depth, an
+    unregistered group-size distribution, or distribution parameters that
+    the distribution does not accept.
+    """

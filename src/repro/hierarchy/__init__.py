@@ -10,6 +10,7 @@ from per-leaf histograms (the path used by the synthetic data generators).
 
 from repro.hierarchy.build import (
     from_database,
+    from_fanout,
     from_leaf_histograms,
     from_leaf_sizes,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "Hierarchy",
     "Node",
     "from_database",
+    "from_fanout",
     "from_leaf_histograms",
     "from_leaf_sizes",
 ]

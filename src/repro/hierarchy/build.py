@@ -11,7 +11,7 @@ Three construction paths:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -62,6 +62,69 @@ def from_leaf_sizes(
         for name, sizes in leaf_sizes.items()
     }
     return from_leaf_histograms(root_name, spec)
+
+
+def from_fanout(
+    root_name: str,
+    fanout: Sequence[int],
+    leaves: Sequence[CountOfCounts],
+    leaf_names: Optional[Sequence[str]] = None,
+) -> Hierarchy:
+    """Build a uniform-depth tree from per-level fanouts and leaf histograms.
+
+    The tree has ``len(fanout) + 1`` levels; level ``i`` nodes each have
+    ``fanout[i]`` children, and ``leaves`` supplies the histograms of the
+    ``prod(fanout)`` leaves in depth-first order.  Internal histograms are
+    derived by summation, so additivity holds by construction.  Node names
+    are dotted paths under ``root_name`` (``root.2.0.1``) unless explicit
+    ``leaf_names`` are given; this is the builder behind the synthetic
+    workload generator (:mod:`repro.workloads`), which needs arbitrary
+    depth — the nested-mapping form of :func:`from_leaf_histograms` is
+    awkward to assemble programmatically beyond two or three levels.
+
+    Examples
+    --------
+    >>> tree = from_fanout("r", [2, 2], [CountOfCounts([0, 1])] * 4)
+    >>> tree.num_levels
+    3
+    >>> tree.root.num_groups
+    4
+    >>> [n.name for n in tree.level(2)]
+    ['r.0.0', 'r.0.1', 'r.1.0', 'r.1.1']
+    """
+    fanout = [int(f) for f in fanout]
+    if not fanout:
+        raise HierarchyError("from_fanout needs at least one fanout entry")
+    if any(f < 1 for f in fanout):
+        raise HierarchyError(f"fanout entries must be >= 1, got {fanout}")
+    expected = 1
+    for f in fanout:
+        expected *= f
+    if len(leaves) != expected:
+        raise HierarchyError(
+            f"fanout {fanout} implies {expected} leaves, got {len(leaves)}"
+        )
+    if leaf_names is not None and len(leaf_names) != expected:
+        raise HierarchyError(
+            f"leaf_names has {len(leaf_names)} entries, expected {expected}"
+        )
+
+    cursor = iter(range(expected))
+
+    def build(name: str, level: int) -> Node:
+        if level == len(fanout):
+            index = next(cursor)
+            leaf_name = name if leaf_names is None else str(leaf_names[index])
+            data = leaves[index]
+            if not isinstance(data, CountOfCounts):
+                data = CountOfCounts(data)
+            return Node(leaf_name, data)
+        node = Node(name)
+        for child in range(fanout[level]):
+            node.add_child(build(f"{name}.{child}", level + 1))
+        return node
+
+    return Hierarchy(build(str(root_name), 0), validate=False)
 
 
 def from_database(database: Database) -> Hierarchy:

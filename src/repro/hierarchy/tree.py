@@ -190,6 +190,28 @@ class Hierarchy:
             "leaves": len(self.leaves()),
         }
 
+    def level_statistics(self) -> List[Dict[str, int]]:
+        """Per-level summary rows (nodes, groups, entities, max size).
+
+        Deep generated hierarchies (the workload subsystem) are too large
+        to eyeball node by node; this gives the one-row-per-level view the
+        ``repro workload`` CLI and the golden-regression fixtures use.
+        Group and entity totals are identical at every level when the
+        additivity invariant holds.
+        """
+        rows: List[Dict[str, int]] = []
+        for index, nodes in enumerate(self._levels):
+            rows.append({
+                "level": index,
+                "nodes": len(nodes),
+                "groups": int(sum(node.num_groups for node in nodes)),
+                "entities": int(
+                    sum(node.data.num_entities for node in nodes)
+                ),
+                "max_size": int(max(node.data.max_size for node in nodes)),
+            })
+        return rows
+
     def map_nodes(self, fn: Callable[[Node], object]) -> Dict[str, object]:
         """Apply ``fn`` to every node, keyed by node name."""
         return {node.name: fn(node) for node in self.nodes()}

@@ -1,0 +1,66 @@
+"""Synthetic workload subsystem: scenario-scale hierarchy generation.
+
+The paper's experiments (Section 6) cover four fixed datasets and two- or
+three-level hierarchies.  This package opens the scenario axis: declarative
+:class:`WorkloadSpec` objects describe deep, skewed, arbitrarily large
+hierarchies with parameterized group-size distributions, and
+:func:`materialize` turns a (spec, seed) pair into a real
+:class:`~repro.hierarchy.tree.Hierarchy` deterministically — every node's
+draws derive from a SHA-256 of the spec fingerprint, seed and node path,
+mirroring the experiment engine's per-cell seeding.
+
+Layers
+------
+- :mod:`repro.workloads.distributions` — named size distributions
+  (``uniform``, ``power_law``, ``bimodal``, ``heavy_tail``) plus a
+  registration hook for custom shapes.
+- :mod:`repro.workloads.spec` — the frozen, JSON-serializable
+  :class:`WorkloadSpec` and the name registry.
+- :mod:`repro.workloads.generator` — deterministic materialization
+  (skewed exact group allocation, per-leaf size sampling).
+- :mod:`repro.workloads.presets` — built-in scenarios, including the
+  golden-regression anchors.
+- :mod:`repro.workloads.dataset` — the ``workload:<name>`` dataset-registry
+  adapter, which is how generated scenarios flow through the cached,
+  parallel experiment grid unchanged.
+
+Quickstart
+----------
+>>> from repro.workloads import WorkloadSpec, materialize
+>>> spec = WorkloadSpec.create(
+...     "demo", "power_law", depth=5, fanout=3, num_groups=5_000,
+...     skew=1.0, alpha=1.5, max_size=300)
+>>> tree = materialize(spec, seed=0)
+>>> tree.num_levels, tree.root.num_groups
+(5, 5000)
+"""
+
+from repro.workloads.dataset import WorkloadDataset
+from repro.workloads.distributions import (
+    available_distributions,
+    register_distribution,
+    sample_sizes,
+)
+from repro.workloads.generator import materialize, node_rng
+from repro.workloads.spec import (
+    WorkloadSpec,
+    available_workloads,
+    get_workload,
+    register_workload,
+)
+
+# Built-in presets self-register on import.
+from repro.workloads import presets  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "WorkloadDataset",
+    "WorkloadSpec",
+    "available_distributions",
+    "available_workloads",
+    "get_workload",
+    "materialize",
+    "node_rng",
+    "register_distribution",
+    "register_workload",
+    "sample_sizes",
+]

@@ -1,0 +1,188 @@
+"""Group-size distributions for synthetic workloads.
+
+The paper's evaluation datasets (Section 6.1) realize three qualitative
+shapes of count-of-counts data: dense small sizes (White), sparse sizes
+(Hawaiian) and a heavy tail with large outliers (housing with group
+quarters).  The workload subsystem generalizes those shapes into named,
+parameterized *size distributions* — each a pure function mapping
+``(num_groups, rng, **params)`` to an integer array of group sizes — so
+scenario generators can sweep the shape axis instead of being limited to
+the paper's fixed datasets.
+
+Built-in distributions
+----------------------
+``uniform``
+    Sizes uniform on ``[low, high]`` — the flattest possible histogram.
+``power_law``
+    ``P(size = k) ∝ k^-alpha`` on ``[1, max_size]`` — the Zipf-like shape
+    of household and medallion data, with ``alpha`` controlling how fast
+    the tail decays.
+``bimodal``
+    A two-component mixture of rounded normals centered at ``low_mode``
+    and ``high_mode`` — models populations with two typical group scales
+    (e.g. households vs. facilities).
+``heavy_tail``
+    Rounded lognormal with the given ``median`` and ``sigma``, clipped to
+    ``max_size`` — a multiplicative-growth tail heavier than any power law
+    cutoff at the same median.
+
+Custom distributions are added with :func:`register_distribution`.  All
+distributions must be deterministic given the generator they receive; the
+workload generator derives that generator from a SHA-256 of the spec and
+node path (see :mod:`repro.workloads.generator`), which is what makes
+whole scenarios reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+#: A size sampler: (num_groups, rng, **params) -> int64 sizes, all >= 1.
+SizeSampler = Callable[..., np.ndarray]
+
+_DISTRIBUTIONS: Dict[str, SizeSampler] = {}
+
+
+def register_distribution(name: str, sampler: SizeSampler) -> None:
+    """Register a custom size distribution under ``name``.
+
+    ``sampler(num_groups, rng, **params)`` must return a 1-d integer array
+    of ``num_groups`` sizes, each at least 1, determined entirely by its
+    arguments (no global randomness).
+    """
+    if not name or not isinstance(name, str):
+        raise WorkloadError(
+            f"distribution name must be a nonempty string, got {name!r}"
+        )
+    _DISTRIBUTIONS[name] = sampler
+
+
+def available_distributions() -> Tuple[str, ...]:
+    """Names of all registered size distributions, sorted."""
+    return tuple(sorted(_DISTRIBUTIONS))
+
+
+def sample_sizes(
+    name: str, num_groups: int, rng: np.random.Generator, **params: object
+) -> np.ndarray:
+    """Draw ``num_groups`` group sizes from the named distribution.
+
+    Examples
+    --------
+    >>> rng = np.random.default_rng(0)
+    >>> sizes = sample_sizes("uniform", 5, rng, low=2, high=4)
+    >>> len(sizes), bool((sizes >= 2).all() and (sizes <= 4).all())
+    (5, True)
+    """
+    try:
+        sampler = _DISTRIBUTIONS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown size distribution {name!r}; available: "
+            f"{available_distributions()}"
+        ) from None
+    if num_groups < 0:
+        raise WorkloadError(f"num_groups must be >= 0, got {num_groups}")
+    if num_groups == 0:
+        return np.zeros(0, dtype=np.int64)
+    try:
+        sizes = sampler(int(num_groups), rng, **params)
+    except TypeError as error:
+        raise WorkloadError(
+            f"distribution {name!r} rejected parameters {params!r}: {error}"
+        ) from None
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.shape != (num_groups,):
+        raise WorkloadError(
+            f"distribution {name!r} returned shape {sizes.shape}, "
+            f"expected ({num_groups},)"
+        )
+    if np.any(sizes < 1):
+        raise WorkloadError(
+            f"distribution {name!r} produced sizes below 1"
+        )
+    return sizes
+
+
+# -- built-in samplers ------------------------------------------------------
+def _uniform(
+    num_groups: int,
+    rng: np.random.Generator,
+    low: int = 1,
+    high: int = 100,
+) -> np.ndarray:
+    low, high = int(low), int(high)
+    if low < 1 or high < low:
+        raise WorkloadError(
+            f"uniform needs 1 <= low <= high, got low={low}, high={high}"
+        )
+    return rng.integers(low, high + 1, size=num_groups, dtype=np.int64)
+
+
+def _power_law(
+    num_groups: int,
+    rng: np.random.Generator,
+    alpha: float = 1.5,
+    max_size: int = 1_000,
+) -> np.ndarray:
+    alpha, max_size = float(alpha), int(max_size)
+    if max_size < 1:
+        raise WorkloadError(f"power_law needs max_size >= 1, got {max_size}")
+    if not np.isfinite(alpha) or alpha < 0:
+        raise WorkloadError(f"power_law needs finite alpha >= 0, got {alpha}")
+    sizes = np.arange(1, max_size + 1, dtype=np.float64)
+    cdf = np.cumsum(sizes**-alpha)
+    cdf /= cdf[-1]
+    # Inverse-CDF sampling: one vectorized uniform draw per group.
+    draws = np.searchsorted(cdf, rng.random(num_groups), side="left")
+    return (draws + 1).astype(np.int64)
+
+
+def _bimodal(
+    num_groups: int,
+    rng: np.random.Generator,
+    low_mode: int = 3,
+    high_mode: int = 200,
+    spread: float = 0.25,
+    mix: float = 0.5,
+) -> np.ndarray:
+    low_mode, high_mode = int(low_mode), int(high_mode)
+    spread, mix = float(spread), float(mix)
+    if low_mode < 1 or high_mode < 1:
+        raise WorkloadError("bimodal modes must be >= 1")
+    if not 0.0 <= mix <= 1.0:
+        raise WorkloadError(f"bimodal mix must be in [0, 1], got {mix}")
+    if spread < 0:
+        raise WorkloadError(f"bimodal spread must be >= 0, got {spread}")
+    component = rng.random(num_groups) < mix
+    modes = np.where(component, low_mode, high_mode).astype(np.float64)
+    noise = rng.standard_normal(num_groups) * spread * modes
+    return np.maximum(np.rint(modes + noise), 1).astype(np.int64)
+
+
+def _heavy_tail(
+    num_groups: int,
+    rng: np.random.Generator,
+    median: float = 8.0,
+    sigma: float = 1.2,
+    max_size: int = 10_000,
+) -> np.ndarray:
+    median, sigma, max_size = float(median), float(sigma), int(max_size)
+    if median < 1:
+        raise WorkloadError(f"heavy_tail needs median >= 1, got {median}")
+    if sigma < 0:
+        raise WorkloadError(f"heavy_tail needs sigma >= 0, got {sigma}")
+    if max_size < 1:
+        raise WorkloadError(f"heavy_tail needs max_size >= 1, got {max_size}")
+    draws = rng.lognormal(mean=np.log(median), sigma=sigma, size=num_groups)
+    return np.clip(np.rint(draws), 1, max_size).astype(np.int64)
+
+
+register_distribution("uniform", _uniform)
+register_distribution("power_law", _power_law)
+register_distribution("bimodal", _bimodal)
+register_distribution("heavy_tail", _heavy_tail)

@@ -1,0 +1,154 @@
+"""Materialize :class:`~repro.workloads.spec.WorkloadSpec` into hierarchies.
+
+Generation is a two-pass, per-node-seeded process:
+
+1. **Allocate** — starting from ``spec.num_groups`` at the root, every
+   internal node splits its group count among its children with
+   largest-remainder rounding over Zipf-skewed weights (``spec.skew``),
+   shuffled by the node's own generator so the skew lands on different
+   siblings in different subtrees.  Splits are exact, so the public group
+   count is preserved at every depth by construction.
+2. **Sample** — every leaf draws its allocated number of group sizes from
+   the spec's size distribution and bins them into a
+   :class:`~repro.core.histogram.CountOfCounts`.  Internal histograms are
+   derived by summation (the additivity invariant of Section 3 holds by
+   construction).
+
+Seeding mirrors the experiment engine (:mod:`repro.engine.grid`): each
+node derives an independent :class:`numpy.random.SeedSequence` from a
+SHA-256 of ``(spec fingerprint, seed, node path)``, so generation is
+bit-identical regardless of traversal order, process placement, or which
+sibling subtrees are materialized — the property the golden-regression
+suite pins down.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.engine.grid import stable_seed_sequence
+from repro.exceptions import WorkloadError
+from repro.hierarchy.build import from_fanout
+from repro.hierarchy.tree import Hierarchy
+from repro.isotonic.rounding import largest_remainder_round
+from repro.workloads.distributions import sample_sizes
+from repro.workloads.spec import WorkloadSpec
+
+#: Cap on materialized tree size (nodes), guarding against runaway specs.
+MAX_NODES = 2_000_000
+
+
+#: Memoized spec fingerprints: materialization derives one generator per
+#: node, and re-hashing the identical (frozen, hashable) spec for every
+#: node would make fingerprinting the dominant cost at scenario scale.
+_spec_fingerprint = lru_cache(maxsize=256)(WorkloadSpec.fingerprint)
+
+
+def node_rng(
+    spec: WorkloadSpec, seed: int, path: str
+) -> np.random.Generator:
+    """The node's independent generator (SHA-256 of spec, seed and path).
+
+    Exposed so tests can reproduce any single node's draws without
+    materializing the rest of the tree.
+    """
+    return np.random.default_rng(
+        stable_seed_sequence(
+            "workload", _spec_fingerprint(spec), int(seed), path
+        )
+    )
+
+
+def _child_allocation(
+    total: int,
+    fanout: int,
+    skew: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Split ``total`` groups among ``fanout`` children, exactly.
+
+    Weights follow a Zipf profile ``rank^-skew`` shuffled per node, so
+    ``skew=0`` is an even split and large values concentrate groups in a
+    few (randomly placed) siblings.  Largest-remainder rounding keeps the
+    split exact — the matching precondition of Algorithm 2.
+    """
+    if fanout == 1:
+        return np.array([total], dtype=np.int64)
+    weights = np.arange(1, fanout + 1, dtype=np.float64) ** -float(skew)
+    rng.shuffle(weights)
+    shares = weights * (float(total) / weights.sum())
+    return largest_remainder_round(shares, int(total))
+
+
+def materialize(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    root_name: Optional[str] = None,
+) -> Hierarchy:
+    """Generate the scenario described by ``spec`` at the given ``seed``.
+
+    Returns a :class:`~repro.hierarchy.tree.Hierarchy` with true
+    histograms at every node, ready for any release method or experiment
+    grid.  Deterministic: same ``(spec generative parameters, seed)`` →
+    bit-identical tree (and therefore an identical
+    :func:`repro.io.hierarchy_fingerprint`).
+
+    Examples
+    --------
+    >>> from repro.workloads.spec import WorkloadSpec
+    >>> spec = WorkloadSpec.create(
+    ...     "demo", "uniform", depth=4, fanout=2, num_groups=40,
+    ...     low=1, high=5)
+    >>> tree = materialize(spec, seed=1)
+    >>> tree.num_levels, tree.root.num_groups
+    (4, 40)
+    >>> [row["groups"] for row in tree.level_statistics()]
+    [40, 40, 40, 40]
+    """
+    if spec.num_nodes > MAX_NODES:
+        raise WorkloadError(
+            f"workload {spec.name!r} would materialize {spec.num_nodes:,} "
+            f"nodes (cap: {MAX_NODES:,})"
+        )
+    root = str(root_name) if root_name is not None else "root"
+
+    # Pass 1: allocate group counts down the tree, depth-first.
+    leaf_counts: List[tuple] = []  # (dotted path, group count) per leaf
+
+    def allocate(path: str, level: int, total: int) -> None:
+        if level == spec.depth - 1:
+            leaf_counts.append((path, total))
+            return
+        split = _child_allocation(
+            total, spec.fanout[level], spec.skew,
+            node_rng(spec, seed, path),
+        )
+        for child, amount in enumerate(split):
+            allocate(f"{path}.{child}", level + 1, int(amount))
+
+    allocate(root, 0, spec.num_groups)
+
+    # Pass 2: sample each leaf's group sizes with its own generator.  The
+    # sampling seed is keyed by the leaf's path (suffixed so it never
+    # collides with the same node's allocation stream), keeping every
+    # node's draws independent of its siblings.
+    params = spec.param_dict()
+    leaves: List[CountOfCounts] = []
+    for path, count in leaf_counts:
+        if count == 0:
+            leaves.append(CountOfCounts([0]))
+            continue
+        sizes = sample_sizes(
+            spec.distribution, count,
+            node_rng(spec, seed, f"{path}#sizes"),
+            **params,
+        )
+        leaves.append(
+            CountOfCounts(np.bincount(sizes).astype(np.int64))
+        )
+
+    return from_fanout(root, spec.fanout, leaves)

@@ -1,0 +1,101 @@
+"""Built-in workload presets.
+
+Registered at import time (the same pattern as the built-in method kinds
+in :mod:`repro.engine.methods`), these cover the scenario axes the paper's
+fixed datasets cannot: depth beyond three levels, skewed sibling
+allocation, and all four size-distribution shapes.  The ``golden-*``
+presets are deliberately small — they anchor the golden-regression suite
+(``tests/golden/``), so changing their parameters invalidates committed
+fixtures and must be done together with ``pytest --update-golden``.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec, register_workload
+
+#: The acceptance-scale scenario: 5 levels, 256 leaves, 100k groups.
+POWERLAW_DEEP = register_workload(WorkloadSpec.create(
+    "powerlaw-deep",
+    "power_law",
+    depth=5,
+    fanout=4,
+    num_groups=100_000,
+    skew=1.0,
+    description="5-level power-law scenario at engine-grid scale",
+    alpha=1.5,
+    max_size=1_000,
+))
+
+UNIFORM_FLAT = register_workload(WorkloadSpec.create(
+    "uniform-flat",
+    "uniform",
+    depth=2,
+    fanout=12,
+    num_groups=3_000,
+    description="flat two-level baseline with uniform sizes",
+    low=1,
+    high=60,
+))
+
+POWERLAW_WIDE = register_workload(WorkloadSpec.create(
+    "powerlaw-wide",
+    "power_law",
+    depth=3,
+    fanout=(8, 6),
+    num_groups=12_000,
+    skew=0.6,
+    description="wide three-level tree with Zipf sizes and mild skew",
+    alpha=1.7,
+    max_size=500,
+))
+
+BIMODAL_MIXED = register_workload(WorkloadSpec.create(
+    "bimodal-mixed",
+    "bimodal",
+    depth=3,
+    fanout=(5, 4),
+    num_groups=6_000,
+    description="households-vs-facilities mixture at two size scales",
+    low_mode=3,
+    high_mode=150,
+    mix=0.8,
+))
+
+HEAVYTAIL_SKEWED = register_workload(WorkloadSpec.create(
+    "heavytail-skewed",
+    "heavy_tail",
+    depth=4,
+    fanout=(4, 3, 3),
+    num_groups=9_000,
+    skew=1.5,
+    description="4-level lognormal tail with strongly skewed siblings",
+    median=6.0,
+    sigma=1.4,
+    max_size=5_000,
+))
+
+#: Golden-regression anchors — small on purpose; see tests/golden/.
+GOLDEN_SMALL = register_workload(WorkloadSpec.create(
+    "golden-small",
+    "power_law",
+    depth=4,
+    fanout=(3, 2, 2),
+    num_groups=600,
+    skew=0.8,
+    description="golden-regression anchor: 4-level power law",
+    alpha=1.4,
+    max_size=200,
+))
+
+GOLDEN_BIMODAL = register_workload(WorkloadSpec.create(
+    "golden-bimodal",
+    "bimodal",
+    depth=3,
+    fanout=(3, 3),
+    num_groups=400,
+    skew=0.5,
+    description="golden-regression anchor: 3-level bimodal mixture",
+    low_mode=2,
+    high_mode=40,
+    mix=0.7,
+))

@@ -1,0 +1,273 @@
+"""Declarative workload specifications and their registry.
+
+A :class:`WorkloadSpec` describes one synthetic scenario completely: the
+hierarchy shape (depth, per-level fanout, sibling skew), the total number
+of groups, and the group-size distribution with its parameters.  Specs are
+frozen, hashable and JSON-serializable, and their :meth:`fingerprint` is a
+SHA-256 of the generative parameters only — two specs that generate the
+same data share a fingerprint even if named differently, which is what
+lets the engine's on-disk result cache recognize re-registered scenarios.
+
+The module-level registry mirrors :mod:`repro.engine.methods`: presets are
+registered at import time (:mod:`repro.workloads.presets`) and custom
+scenarios can be added with :func:`register_workload`; the dataset layer
+resolves ``workload:<name>`` registry names through :func:`get_workload`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from repro.exceptions import WorkloadError
+from repro.workloads.distributions import available_distributions
+
+#: Maximum hierarchy depth a spec may request (a sanity rail, not a design
+#: limit — the pipeline itself is depth-generic).
+MAX_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One synthetic scenario: hierarchy shape + group-size distribution.
+
+    Attributes
+    ----------
+    name:
+        Registry name (display label; not part of the fingerprint).
+    distribution:
+        Registered size-distribution name (see
+        :mod:`repro.workloads.distributions`).
+    depth:
+        Number of hierarchy levels including the root (the paper's L+1);
+        at least 2.
+    fanout:
+        Children per internal node, one entry per internal level
+        (``len(fanout) == depth - 1``).
+    num_groups:
+        Total number of groups at the root (= sum over the leaves).
+    skew:
+        Zipf exponent for allocating a node's groups among its children:
+        0 splits evenly, larger values concentrate groups in few siblings.
+    params:
+        Distribution parameters as sorted ``(key, value)`` pairs (kept as
+        a tuple so the spec stays hashable).
+    description:
+        One-line human summary for ``repro workload list``.
+
+    Examples
+    --------
+    >>> spec = WorkloadSpec.create(
+    ...     "demo", "power_law", depth=3, fanout=(3, 2), num_groups=100,
+    ...     alpha=1.4)
+    >>> spec.num_leaves
+    6
+    >>> spec.param_dict()
+    {'alpha': 1.4}
+    """
+
+    name: str
+    distribution: str
+    depth: int
+    fanout: Tuple[int, ...]
+    num_groups: int
+    skew: float = 0.0
+    params: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise WorkloadError(
+                f"workload name must be a nonempty string, got {self.name!r}"
+            )
+        if not 2 <= self.depth <= MAX_DEPTH:
+            raise WorkloadError(
+                f"depth must be in [2, {MAX_DEPTH}], got {self.depth}"
+            )
+        if len(self.fanout) != self.depth - 1:
+            raise WorkloadError(
+                f"fanout must have depth-1 = {self.depth - 1} entries, "
+                f"got {len(self.fanout)}"
+            )
+        if any(int(f) < 1 for f in self.fanout):
+            raise WorkloadError(f"fanout entries must be >= 1, got {self.fanout}")
+        if self.num_groups < 1:
+            raise WorkloadError(
+                f"num_groups must be >= 1, got {self.num_groups}"
+            )
+        if not self.skew >= 0:
+            raise WorkloadError(f"skew must be >= 0, got {self.skew}")
+        for key, value in self.params:
+            # Scalars only: params feed the SHA-256 fingerprint (via repr)
+            # and the spec's hash, both of which need stable, hashable
+            # values.
+            if not isinstance(value, (bool, int, float, str)):
+                raise WorkloadError(
+                    f"distribution parameter {key!r} must be a scalar "
+                    f"(bool/int/float/str), got {type(value).__name__}"
+                )
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        distribution: str,
+        depth: int,
+        fanout: Union[int, Sequence[int]],
+        num_groups: int,
+        skew: float = 0.0,
+        description: str = "",
+        **params: object,
+    ) -> "WorkloadSpec":
+        """Build a spec with ergonomic arguments.
+
+        ``fanout`` may be a single integer (applied at every internal
+        level) or a per-level sequence; ``params`` are forwarded to the
+        distribution at generation time.
+        """
+        if distribution not in available_distributions():
+            raise WorkloadError(
+                f"unknown size distribution {distribution!r}; available: "
+                f"{available_distributions()}"
+            )
+        if isinstance(fanout, int):
+            fanout = (fanout,) * (int(depth) - 1)
+        return cls(
+            name=name,
+            distribution=distribution,
+            depth=int(depth),
+            fanout=tuple(int(f) for f in fanout),
+            num_groups=int(num_groups),
+            skew=float(skew),
+            params=tuple(sorted(params.items())),
+            description=description,
+        )
+
+    # -- derived structure --------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        """Leaf count implied by the fanout product."""
+        leaves = 1
+        for f in self.fanout:
+            leaves *= f
+        return leaves
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count of the generated tree."""
+        nodes, width = 1, 1
+        for f in self.fanout:
+            width *= f
+            nodes += width
+        return nodes
+
+    def param_dict(self) -> Dict[str, object]:
+        """Distribution parameters as a plain dict."""
+        return dict(self.params)
+
+    def with_groups(self, num_groups: int) -> "WorkloadSpec":
+        """A copy generating ``num_groups`` total groups (scaling sweeps)."""
+        return replace(self, num_groups=int(num_groups))
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "distribution": self.distribution,
+            "depth": self.depth,
+            "fanout": list(self.fanout),
+            "num_groups": self.num_groups,
+            "skew": self.skew,
+            "params": {key: value for key, value in self.params},
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        try:
+            return cls.create(
+                name=str(payload["name"]),
+                distribution=str(payload["distribution"]),
+                depth=int(payload["depth"]),
+                fanout=[int(f) for f in payload["fanout"]],
+                num_groups=int(payload["num_groups"]),
+                skew=float(payload.get("skew", 0.0)),
+                description=str(payload.get("description", "")),
+                **dict(payload.get("params", {})),
+            )
+        except KeyError as error:
+            raise WorkloadError(
+                f"workload payload is missing field {error}"
+            ) from None
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the generative parameters (name/description excluded).
+
+        Combined with a seed this identifies the generated data exactly,
+        the same role :func:`repro.io.hierarchy_fingerprint` plays for
+        materialized hierarchies.
+        """
+        payload = json.dumps(
+            {
+                "distribution": self.distribution,
+                "depth": self.depth,
+                "fanout": list(self.fanout),
+                "num_groups": self.num_groups,
+                "skew": repr(self.skew),
+                "params": [[k, repr(v)] for k, v in self.params],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Multi-line human summary used by ``repro workload describe``."""
+        params = ", ".join(f"{k}={v}" for k, v in self.params) or "defaults"
+        lines = [
+            f"workload {self.name!r}",
+            f"  {self.description}" if self.description else None,
+            f"  distribution : {self.distribution} ({params})",
+            f"  depth        : {self.depth} levels "
+            f"(fanout {'x'.join(str(f) for f in self.fanout)})",
+            f"  structure    : {self.num_nodes} nodes, {self.num_leaves} leaves",
+            f"  groups       : {self.num_groups:,} total "
+            f"(~{self.num_groups / self.num_leaves:,.1f} per leaf)",
+            f"  sibling skew : {self.skew:g}",
+            f"  fingerprint  : {self.fingerprint()[:16]}…",
+        ]
+        return "\n".join(line for line in lines if line is not None)
+
+
+# -- registry ---------------------------------------------------------------
+_WORKLOADS: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec, overwrite: bool = False) -> WorkloadSpec:
+    """Register ``spec`` under its name; returns it for chaining."""
+    if spec.name in _WORKLOADS and not overwrite:
+        raise WorkloadError(
+            f"workload {spec.name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _WORKLOADS[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a registered workload spec by name."""
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Names of all registered workloads, sorted."""
+    return tuple(sorted(_WORKLOADS))

@@ -56,6 +56,42 @@ class TestResultsChart:
         assert "root" in chart and "o=Hc" in chart
 
 
+class TestMultiLevel:
+    """Charts over >3-level results (generated-workload shapes)."""
+
+    @staticmethod
+    def deep_sweeps(num_series=7, levels=5):
+        return {
+            f"spec{i}": [
+                RunResult(
+                    f"spec{i}", epsilon,
+                    [LevelStats(level, 100.0 * (i + 1) / epsilon, 1.0, 3)
+                     for level in range(levels)],
+                )
+                for epsilon in (0.5, 2.0)
+            ]
+            for i in range(num_series)
+        }
+
+    def test_results_chart_renders_leaf_level(self):
+        chart = results_chart(self.deep_sweeps(num_series=2), level=4)
+        assert "legend" in chart and "o=spec0" in chart
+
+    def test_results_chart_default_title_names_level(self):
+        assert "level 4" in results_chart(self.deep_sweeps(2), level=4)
+
+    def test_markers_cycle_beyond_available_glyphs(self):
+        chart = results_chart(self.deep_sweeps(num_series=7), level=0)
+        legend = next(l for l in chart.splitlines() if "legend" in l)
+        assert "o=spec0" in legend and "o=spec6" in legend  # modulo reuse
+
+    def test_every_level_of_a_deep_sweep_charts(self):
+        sweeps = self.deep_sweeps(num_series=2)
+        for level in range(5):
+            chart = results_chart(sweeps, level=level)
+            assert "legend" in chart
+
+
 class TestProfileChart:
     def test_alignment_and_labels(self):
         chart = profile_chart(
@@ -68,3 +104,8 @@ class TestProfileChart:
         # Hg's mass is all in the first bin: first glyph dense, rest sparse.
         hg_strip = lines[0].split("|")[1]
         assert hg_strip[0] != " " and hg_strip[-1] == " "
+
+    def test_more_bins_than_cells(self):
+        """Deep-workload profiles can be shorter than the bin count."""
+        chart = profile_chart({"Hc": np.array([5.0, 1.0])}, bins=48)
+        assert "Hc" in chart and "small sizes" in chart

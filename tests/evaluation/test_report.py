@@ -63,6 +63,72 @@ class TestSeriesByLevel:
         assert grouped[0] == [(0.1, 100.0, 5.0), (1.0, 20.0, 2.0)]
 
 
+def five_level_results(label="Hc×Hg×Hc×Hg×Hc"):
+    """RunResults shaped like a 5-level workload sweep (levels 0..4)."""
+    return [
+        RunResult(
+            label=label, epsilon=epsilon,
+            levels=[
+                LevelStats(level=level, mean=1000.0 / (level + 1) / epsilon,
+                           std_of_mean=1.0, runs=3)
+                for level in range(5)
+            ],
+        )
+        for epsilon in (0.5, 2.0)
+    ]
+
+
+class TestMultiLevel:
+    """The >3-level case the paper's tables never exercised."""
+
+    def test_format_series_covers_all_five_levels(self):
+        text = format_series("deep sweep", five_level_results())
+        for level in range(5):
+            assert f"L{level}" in text
+        assert text.count("eps=0.5") == 5
+
+    def test_format_series_aligns_long_labels(self):
+        rows = format_series("t", five_level_results()).splitlines()[1:]
+        positions = {line.index("eps=") for line in rows}
+        assert len(positions) == 1  # every row's eps column lines up
+
+    def test_series_by_level_groups_all_depths(self):
+        grouped = series_by_level(five_level_results())
+        assert set(grouped) == {0, 1, 2, 3, 4}
+        assert [eps for eps, _, _ in grouped[4]] == [0.5, 2.0]
+
+    def test_format_table_grows_label_column_for_deep_specs(self):
+        label = "Hc×Hg×Hc×Hg×Hc"
+        text = format_table(
+            "deep", {label: [1.0, 2.0], "BU": [3.0, 4.0]},
+            columns=["L0", "L1"], width=8,
+        )
+        header, long_row, short_row = text.splitlines()[1:]
+        # Right-aligned columns line up at their ends across all rows.
+        assert header.index("L0") + 2 == long_row.index("1.0") + 3
+        assert long_row.index("1.0") == short_row.index("3.0")
+        assert len(header) == len(long_row) == len(short_row)
+
+    def test_format_table_empty_rows(self):
+        text = format_table("empty", {}, columns=["L0"])
+        assert "method" in text
+
+    def test_format_grid_tabulates_leaf_level_of_deep_tree(self):
+        aggregated = {
+            ("deep", "Hc×Hg×Hc×Hg×Hc"): five_level_results(),
+            ("deep", "bu-hg"): five_level_results(label="bu-hg"),
+        }
+        text = format_grid(aggregated, level=4)
+        assert "deep (level 4 mean EMD)" in text
+        header = next(l for l in text.splitlines() if "eps=" in l)
+        rows = [l for l in text.splitlines()
+                if l.strip().startswith(("Hc", "bu"))]
+        columns = {header.index("eps=0.5"), header.index("eps=2")}
+        assert len(rows) == 2
+        assert len({len(header)} | {len(row) for row in rows}) == 1
+        assert columns  # both epsilon columns present
+
+
 class TestFormatGrid:
     @staticmethod
     def result(label, epsilon, mean):

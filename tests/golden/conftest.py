@@ -1,0 +1,16 @@
+"""Fixtures for the golden-regression suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite fixtures instead of comparing.
+
+    The option is registered by the repo-root ``conftest.py``; the default
+    here keeps the suite runnable when pytest's rootdir resolution skips
+    that file (e.g. ``cd tests/golden && pytest .``).
+    """
+    return bool(request.config.getoption("--update-golden", default=False))

@@ -1,0 +1,175 @@
+"""Golden-regression suite: the full pipeline pinned to committed outputs.
+
+Every fixture under ``fixtures/`` freezes one scenario's complete journey —
+workload generation → noise → hierarchical consistency → per-level EMD —
+at fixed seeds.  The tests recompute the journey and compare **exactly**
+(hierarchy fingerprints, per-level statistics, and every cell's per-level
+EMD float), so any numeric drift anywhere in the pipeline fails loudly
+with the precise paths that moved.
+
+Intentional changes are blessed with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+then reviewed and committed like any other diff.  The grid configuration
+below is part of the frozen contract: changing it invalidates fixtures
+and must be accompanied by an update run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.engine import ExperimentGrid, parse_method, run_grid
+from repro.io import hierarchy_fingerprint
+from repro.workloads import get_workload, materialize
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Scenarios anchored by fixtures (small on purpose — they run every CI).
+GOLDEN_WORKLOADS = ("golden-small", "golden-bimodal")
+
+#: Frozen pipeline configuration.
+GENERATION_SEED = 7
+GRID_SEED = 11
+METHODS = ("hc", "naive", "bu-hg")
+EPSILONS = (0.5, 2.0)
+TRIALS = 2
+MAX_SIZE = 250
+
+
+def compute_payload(name: str) -> dict:
+    """Recompute the full pinned pipeline for one golden workload."""
+    spec = get_workload(name)
+    tree = materialize(spec, seed=GENERATION_SEED)
+    grid = ExperimentGrid(
+        {name: tree},
+        [parse_method(token, max_size=MAX_SIZE) for token in METHODS],
+        epsilons=list(EPSILONS),
+        trials=TRIALS,
+        seed=GRID_SEED,
+    )
+    cells = run_grid(grid, mode="serial")
+    payload = {
+        "workload": name,
+        "spec": spec.to_dict(),
+        "generation_seed": GENERATION_SEED,
+        "hierarchy_fingerprint": hierarchy_fingerprint(tree),
+        "statistics": tree.statistics(),
+        "level_statistics": tree.level_statistics(),
+        "grid": {
+            "seed": GRID_SEED,
+            "methods": list(METHODS),
+            "epsilons": list(EPSILONS),
+            "trials": TRIALS,
+            "max_size": MAX_SIZE,
+            "cells": [
+                {
+                    "method": cell.method,
+                    "epsilon": cell.epsilon,
+                    "trial": cell.trial,
+                    "level_emd": list(cell.level_emd),
+                }
+                for cell in cells
+            ],
+        },
+    }
+    # Round-trip through JSON so computed and committed payloads share
+    # exactly one representation (tuples become lists, ints stay ints).
+    return json.loads(json.dumps(payload))
+
+
+def diff_payloads(expected, actual, path="$") -> List[str]:
+    """Exact structural diff; every mismatch reported with its JSON path."""
+    if type(expected) is not type(actual):
+        return [f"{path}: type {type(expected).__name__} != "
+                f"{type(actual).__name__}"]
+    if isinstance(expected, dict):
+        problems = []
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                problems.append(f"{path}.{key}: unexpected new key")
+            elif key not in actual:
+                problems.append(f"{path}.{key}: missing key")
+            else:
+                problems.extend(
+                    diff_payloads(expected[key], actual[key], f"{path}.{key}")
+                )
+        return problems
+    if isinstance(expected, list):
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(expected)} != {len(actual)}"]
+        problems = []
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            problems.extend(diff_payloads(e, a, f"{path}[{index}]"))
+        return problems
+    if expected != actual:  # exact — floats included; drift fails loudly
+        return [f"{path}: expected {expected!r}, got {actual!r}"]
+    return []
+
+
+@pytest.mark.parametrize("name", GOLDEN_WORKLOADS)
+def test_pipeline_matches_golden_fixture(name, update_golden):
+    fixture_path = FIXTURES / f"{name}.json"
+    actual = compute_payload(name)
+
+    if update_golden:
+        FIXTURES.mkdir(parents=True, exist_ok=True)
+        fixture_path.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        return
+
+    assert fixture_path.exists(), (
+        f"missing golden fixture {fixture_path}; generate it with "
+        "'python -m pytest tests/golden --update-golden' and commit it"
+    )
+    expected = json.loads(fixture_path.read_text())
+    problems = diff_payloads(expected, actual)
+    assert not problems, (
+        f"golden regression for {name!r}: {len(problems)} value(s) drifted "
+        "from the committed fixture (rerun with --update-golden only if "
+        "the change is intentional):\n  " + "\n  ".join(problems[:40])
+    )
+
+
+def test_fixture_files_match_golden_workloads():
+    """Every committed fixture corresponds to a pinned workload and vice
+    versa — catches stale files after a rename."""
+    committed = {path.stem for path in FIXTURES.glob("*.json")}
+    assert committed == set(GOLDEN_WORKLOADS)
+
+
+def test_golden_runs_are_order_independent():
+    """The grid path recomputed cell-by-cell in reverse order must agree
+    with the committed end-to-end run — per-cell seeding is what makes
+    golden fixtures meaningful."""
+    name = GOLDEN_WORKLOADS[0]
+    tree = materialize(get_workload(name), seed=GENERATION_SEED)
+    grid = ExperimentGrid(
+        {name: tree},
+        [parse_method(token, max_size=MAX_SIZE) for token in METHODS],
+        epsilons=list(EPSILONS),
+        trials=TRIALS,
+        seed=GRID_SEED,
+    )
+    from repro.engine.executor import evaluate_cell
+
+    by_key = {}
+    for cell in reversed(grid.cells()):
+        result = evaluate_cell(
+            tree, grid.method_by_label(cell.method), cell, GRID_SEED
+        )
+        by_key[cell.key] = list(result.level_emd)
+
+    fixture_path = FIXTURES / f"{name}.json"
+    if not fixture_path.exists():
+        pytest.skip("fixture not generated yet")
+    expected = json.loads(fixture_path.read_text())
+    for row in expected["grid"]["cells"]:
+        key = (name, row["method"], row["epsilon"], row["trial"])
+        assert by_key[key] == row["level_emd"]

@@ -6,7 +6,12 @@ import pytest
 from repro.core.histogram import CountOfCounts
 from repro.datasets.base import hierarchy_to_database
 from repro.exceptions import HierarchyError
-from repro.hierarchy.build import from_database, from_leaf_histograms, from_leaf_sizes
+from repro.hierarchy.build import (
+    from_database,
+    from_fanout,
+    from_leaf_histograms,
+    from_leaf_sizes,
+)
 
 
 class TestFromLeafHistograms:
@@ -43,6 +48,51 @@ class TestFromLeafSizes:
         tree = from_leaf_sizes("US", {"VA": [1, 1, 3], "MD": [2]})
         assert list(tree.find("VA").data.histogram) == [0, 2, 0, 1]
         assert tree.root.num_groups == 4
+
+
+class TestFromFanout:
+    def test_five_level_tree(self):
+        """The depth the paper never reaches but workloads require."""
+        leaves = [CountOfCounts([0, 1])] * 16
+        tree = from_fanout("r", [2, 2, 2, 2], leaves)
+        assert tree.num_levels == 5
+        assert [len(level) for level in tree.levels()] == [1, 2, 4, 8, 16]
+        assert tree.root.num_groups == 16
+
+    def test_internal_histograms_sum_children(self):
+        tree = from_fanout(
+            "r", [2], [CountOfCounts([0, 2, 1]), CountOfCounts([0, 1])]
+        )
+        assert list(tree.root.data.histogram) == [0, 3, 1]
+
+    def test_dotted_path_names_and_custom_leaf_names(self):
+        leaves = [CountOfCounts([0, 1])] * 4
+        tree = from_fanout("r", [2, 2], leaves)
+        assert [n.name for n in tree.level(2)] == [
+            "r.0.0", "r.0.1", "r.1.0", "r.1.1"
+        ]
+        named = from_fanout("r", [2, 2], leaves,
+                            leaf_names=["a", "b", "c", "d"])
+        assert [n.name for n in named.level(2)] == ["a", "b", "c", "d"]
+
+    def test_accepts_raw_histogram_arrays(self):
+        tree = from_fanout("r", [2], [[0, 1], [0, 0, 2]])
+        assert tree.root.num_groups == 3
+
+    def test_leaf_count_must_match_fanout_product(self):
+        with pytest.raises(HierarchyError, match="implies 4 leaves"):
+            from_fanout("r", [2, 2], [CountOfCounts([0, 1])] * 3)
+
+    def test_leaf_names_length_checked(self):
+        with pytest.raises(HierarchyError, match="leaf_names"):
+            from_fanout("r", [2], [CountOfCounts([0, 1])] * 2,
+                        leaf_names=["only-one"])
+
+    def test_invalid_fanout(self):
+        with pytest.raises(HierarchyError, match="at least one"):
+            from_fanout("r", [], [CountOfCounts([0, 1])])
+        with pytest.raises(HierarchyError, match=">= 1"):
+            from_fanout("r", [0], [])
 
 
 class TestFromDatabase:

@@ -90,6 +90,15 @@ class TestHierarchy:
     def test_num_entities(self, intro_tree):
         assert intro_tree.num_entities() == 8  # 4 + 2 + 1 + 1
 
+    def test_level_statistics(self, three_level_tree):
+        rows = three_level_tree.level_statistics()
+        assert [row["level"] for row in rows] == [0, 1, 2]
+        assert [row["nodes"] for row in rows] == [1, 2, 4]
+        # Additivity: identical group/entity totals at every level.
+        assert len({row["groups"] for row in rows}) == 1
+        assert len({row["entities"] for row in rows}) == 1
+        assert rows[0]["max_size"] >= rows[2]["max_size"]
+
     def test_map_nodes(self, two_level_tree):
         groups = two_level_tree.map_nodes(lambda n: n.num_groups)
         assert groups["national"] == sum(

@@ -15,9 +15,23 @@ class TestStats:
         out = capsys.readouterr().out
         assert "groups" in out and "distinct_sizes" in out
 
-    def test_unknown_dataset_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["stats", "--dataset", "census"])
+    def test_unknown_dataset_rejected(self, capsys):
+        code = main(["stats", "--dataset", "census"])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_stats_accepts_workload_names(self, capsys):
+        code = main(["stats", "--dataset", "workload:golden-bimodal"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "groups" in out and "400" in out
+
+    def test_workload_levels_conflict_rejected(self, capsys):
+        code = main([
+            "stats", "--dataset", "workload:golden-small", "--levels", "2",
+        ])
+        assert code == 2
+        assert "fixed depth" in capsys.readouterr().err
 
 
 class TestRelease:
@@ -142,3 +156,84 @@ class TestGrid:
         assert main(args) == 0
         second = capsys.readouterr().out
         assert "(0 computed, 2 cached)" in second
+
+    def test_grid_accepts_workload_dataset(self, capsys):
+        code = main([
+            "grid", "--datasets", "workload:golden-bimodal",
+            "--methods", "hc", "--epsilons", "1.0", "--trials", "1",
+            "--max-size", "100", "--mode", "serial",
+        ])
+        assert code == 0
+        assert "workload:golden-bimodal (level 0 mean EMD)" in (
+            capsys.readouterr().out
+        )
+
+
+class TestWorkload:
+    def test_list_shows_presets_and_distributions(self, capsys):
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "powerlaw-deep" in out
+        assert "golden-small" in out
+        assert "heavy_tail" in out
+
+    def test_describe_prints_spec(self, capsys):
+        assert main(["workload", "describe", "golden-small"]) == 0
+        out = capsys.readouterr().out
+        assert "4 levels" in out and "fingerprint" in out
+
+    def test_describe_stats_materializes(self, capsys):
+        code = main([
+            "workload", "describe", "golden-bimodal", "--stats", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "materialized at seed 5" in out
+        assert "level 2:" in out
+
+    def test_describe_unknown_workload(self, capsys):
+        assert main(["workload", "describe", "atlantis"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_materialize_writes_hierarchy_json(self, tmp_path, capsys):
+        out_path = tmp_path / "tree.json"
+        code = main([
+            "workload", "materialize", "golden-small",
+            "--out", str(out_path), "--seed", "3",
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["kind"] == "hierarchy"
+
+    def test_run_grid_end_to_end(self, capsys):
+        code = main([
+            "workload", "run-grid", "golden-bimodal",
+            "--methods", "hc,bu-hg", "--epsilons", "1.0", "--trials", "2",
+            "--max-size", "100", "--mode", "serial", "--level", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 method(s) x 1 epsilon(s) x 2 trial(s) = 4 cells" in out
+        assert "workload:golden-bimodal (level 2 mean EMD)" in out
+
+    def test_run_grid_matches_grid_subcommand_cells(self, tmp_path, capsys):
+        """Both entry points for the same scenario share grid keys — and
+        therefore per-cell seeds and cache entries."""
+        cache = str(tmp_path / "cells")
+        assert main([
+            "workload", "run-grid", "golden-bimodal",
+            "--methods", "hc", "--epsilons", "1.0", "--trials", "2",
+            "--max-size", "100", "--mode", "serial", "--cache", cache,
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "(2 computed, 0 cached)" in first
+        assert main([
+            "grid", "--datasets", "workload:golden-bimodal",
+            "--methods", "hc", "--epsilons", "1.0", "--trials", "2",
+            "--max-size", "100", "--mode", "serial", "--cache", cache,
+        ]) == 0
+        second = capsys.readouterr().out
+        assert "(0 computed, 2 cached)" in second  # full cache reuse
+        # Identical numeric tables from both entry points.
+        table = lambda text: text[text.index("workload:golden-bimodal ("):]
+        assert table(first) == table(second)

@@ -1,0 +1,130 @@
+"""Tests for the group-size distribution registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.distributions import (
+    available_distributions,
+    register_distribution,
+    sample_sizes,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_distributions()
+        assert {"uniform", "power_law", "bimodal", "heavy_tail"} <= set(names)
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(WorkloadError, match="unknown size distribution"):
+            sample_sizes("zipfian", 10, rng)
+
+    def test_bad_parameters_reported(self, rng):
+        with pytest.raises(WorkloadError, match="rejected parameters"):
+            sample_sizes("uniform", 10, rng, alpha=2.0)
+
+    def test_zero_groups(self, rng):
+        assert sample_sizes("uniform", 0, rng).size == 0
+
+    def test_negative_groups_rejected(self, rng):
+        with pytest.raises(WorkloadError, match="num_groups"):
+            sample_sizes("uniform", -1, rng)
+
+    def test_custom_registration_and_validation(self, rng):
+        register_distribution("all-sevens", lambda n, rng: np.full(n, 7))
+        assert "all-sevens" in available_distributions()
+        assert list(sample_sizes("all-sevens", 3, rng)) == [7, 7, 7]
+
+        register_distribution("broken", lambda n, rng: np.zeros(n))
+        with pytest.raises(WorkloadError, match="below 1"):
+            sample_sizes("broken", 3, rng)
+
+        register_distribution("misshapen", lambda n, rng: np.ones(n + 1))
+        with pytest.raises(WorkloadError, match="shape"):
+            sample_sizes("misshapen", 3, rng)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(WorkloadError, match="nonempty string"):
+            register_distribution("", lambda n, rng: np.ones(n))
+
+
+class TestShapes:
+    def test_uniform_bounds(self, rng):
+        sizes = sample_sizes("uniform", 2_000, rng, low=3, high=9)
+        assert sizes.min() >= 3 and sizes.max() <= 9
+
+    def test_uniform_invalid_bounds(self, rng):
+        with pytest.raises(WorkloadError, match="low <= high"):
+            sample_sizes("uniform", 10, rng, low=5, high=2)
+
+    def test_power_law_favours_small_sizes(self, rng):
+        sizes = sample_sizes("power_law", 5_000, rng, alpha=2.0, max_size=500)
+        assert sizes.min() >= 1 and sizes.max() <= 500
+        assert np.median(sizes) < np.mean(sizes)  # right-skewed
+        assert (sizes == 1).sum() > (sizes > 100).sum()
+
+    def test_power_law_alpha_zero_is_uniform_support(self, rng):
+        sizes = sample_sizes("power_law", 5_000, rng, alpha=0.0, max_size=10)
+        assert set(np.unique(sizes)) == set(range(1, 11))
+
+    def test_power_law_invalid_params(self, rng):
+        with pytest.raises(WorkloadError, match="max_size"):
+            sample_sizes("power_law", 10, rng, max_size=0)
+        with pytest.raises(WorkloadError, match="alpha"):
+            sample_sizes("power_law", 10, rng, alpha=-1.0)
+
+    def test_bimodal_has_two_clusters(self, rng):
+        sizes = sample_sizes(
+            "bimodal", 4_000, rng,
+            low_mode=3, high_mode=300, spread=0.1, mix=0.5,
+        )
+        low = (sizes < 30).sum()
+        high = (sizes > 100).sum()
+        assert low > 1_000 and high > 1_000
+        assert ((sizes >= 30) & (sizes <= 100)).sum() < 200  # empty middle
+
+    def test_bimodal_mix_extremes(self, rng):
+        all_low = sample_sizes(
+            "bimodal", 500, rng, low_mode=2, high_mode=500, mix=1.0
+        )
+        assert all_low.max() < 50
+
+    def test_bimodal_invalid_params(self, rng):
+        with pytest.raises(WorkloadError, match="mix"):
+            sample_sizes("bimodal", 10, rng, mix=1.5)
+        with pytest.raises(WorkloadError, match="modes"):
+            sample_sizes("bimodal", 10, rng, low_mode=0)
+        with pytest.raises(WorkloadError, match="spread"):
+            sample_sizes("bimodal", 10, rng, spread=-0.1)
+
+    def test_heavy_tail_clipped_and_skewed(self, rng):
+        sizes = sample_sizes(
+            "heavy_tail", 5_000, rng, median=8.0, sigma=1.5, max_size=2_000
+        )
+        assert sizes.max() <= 2_000
+        assert 4 <= np.median(sizes) <= 16  # near the configured median
+        assert sizes.max() > 100  # the tail actually reaches far out
+
+    def test_heavy_tail_invalid_params(self, rng):
+        with pytest.raises(WorkloadError, match="median"):
+            sample_sizes("heavy_tail", 10, rng, median=0.5)
+        with pytest.raises(WorkloadError, match="sigma"):
+            sample_sizes("heavy_tail", 10, rng, sigma=-1.0)
+        with pytest.raises(WorkloadError, match="max_size"):
+            sample_sizes("heavy_tail", 10, rng, max_size=0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["uniform", "power_law", "bimodal", "heavy_tail"]
+    )
+    def test_same_generator_state_same_draws(self, name):
+        a = sample_sizes(name, 200, np.random.default_rng(7))
+        b = sample_sizes(name, 200, np.random.default_rng(7))
+        assert np.array_equal(a, b)

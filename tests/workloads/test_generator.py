@@ -1,0 +1,149 @@
+"""Tests for deterministic workload materialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.io import hierarchy_fingerprint
+from repro.workloads.dataset import WorkloadDataset
+from repro.workloads.generator import MAX_NODES, materialize, node_rng
+from repro.workloads.spec import WorkloadSpec
+
+
+def spec_of(depth=4, fanout=(3, 2, 2), num_groups=600, skew=0.8, **params):
+    params = params or {"alpha": 1.4, "max_size": 150}
+    return WorkloadSpec.create(
+        "gen-test", "power_law", depth=depth, fanout=fanout,
+        num_groups=num_groups, skew=skew, **params,
+    )
+
+
+class TestStructure:
+    def test_shape_matches_spec(self):
+        tree = materialize(spec_of(), seed=0)
+        assert tree.num_levels == 4
+        assert [len(level) for level in tree.levels()] == [1, 3, 6, 12]
+
+    def test_group_count_preserved_at_every_level(self):
+        tree = materialize(spec_of(), seed=1)
+        for row in tree.level_statistics():
+            assert row["groups"] == 600
+
+    def test_additivity_by_construction(self):
+        tree = materialize(spec_of(), seed=2)
+        for node in tree.nodes():
+            _ = node.data  # force derivation of internal histograms
+        tree.validate()  # must not raise
+
+    def test_node_names_are_dotted_paths(self):
+        tree = materialize(spec_of(depth=3, fanout=(2, 2), num_groups=40),
+                           seed=0)
+        assert tree.root.name == "root"
+        assert {n.name for n in tree.level(1)} == {"root.0", "root.1"}
+
+    def test_custom_root_name(self):
+        tree = materialize(
+            spec_of(depth=2, fanout=(3,), num_groups=30), seed=0,
+            root_name="national",
+        )
+        assert tree.root.name == "national"
+
+    def test_node_cap_enforced(self):
+        runaway = WorkloadSpec.create(
+            "runaway", "uniform", depth=9, fanout=8, num_groups=10,
+        )
+        assert runaway.num_nodes > MAX_NODES
+        with pytest.raises(WorkloadError, match="cap"):
+            materialize(runaway)
+
+
+class TestSkew:
+    def test_zero_skew_splits_evenly(self):
+        spec = spec_of(depth=2, fanout=(4,), num_groups=100, skew=0.0)
+        tree = materialize(spec, seed=0)
+        assert [n.num_groups for n in tree.level(1)] == [25, 25, 25, 25]
+
+    def test_high_skew_concentrates_groups(self):
+        spec = spec_of(depth=2, fanout=(8,), num_groups=10_000, skew=2.0)
+        counts = sorted(
+            n.num_groups for n in materialize(spec, seed=0).level(1)
+        )
+        assert counts[-1] > 5 * counts[0]
+        assert sum(counts) == 10_000
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        spec = spec_of()
+        a = hierarchy_fingerprint(materialize(spec, seed=5))
+        b = hierarchy_fingerprint(materialize(spec, seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        spec = spec_of()
+        assert hierarchy_fingerprint(materialize(spec, seed=5)) != (
+            hierarchy_fingerprint(materialize(spec, seed=6))
+        )
+
+    def test_name_does_not_affect_generation(self):
+        from dataclasses import replace
+
+        spec = spec_of()
+        renamed = replace(spec, name="other", description="different")
+        assert hierarchy_fingerprint(materialize(spec, seed=3)) == (
+            hierarchy_fingerprint(materialize(renamed, seed=3))
+        )
+
+    def test_node_rng_is_path_stable(self):
+        spec = spec_of()
+        a = node_rng(spec, 0, "root.1").integers(0, 1 << 30, size=4)
+        b = node_rng(spec, 0, "root.1").integers(0, 1 << 30, size=4)
+        c = node_rng(spec, 0, "root.2").integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestDatasetAdapter:
+    def test_build_by_registered_name(self):
+        tree = WorkloadDataset("golden-small").build(seed=0)
+        assert tree.num_levels == 4
+        assert tree.root.num_groups == 600
+
+    def test_scale_multiplies_groups(self):
+        half = WorkloadDataset("golden-small", scale=0.5)
+        assert half.spec.num_groups == 300
+        assert half.build(seed=0).root.num_groups == 300
+
+    def test_scale_never_drops_below_one_group(self):
+        tiny = WorkloadDataset("golden-small", scale=1e-9)
+        assert tiny.spec.num_groups == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError, match="scale"):
+            WorkloadDataset("golden-small", scale=0.0)
+        with pytest.raises(WorkloadError, match="WorkloadSpec"):
+            WorkloadDataset(42)
+
+    def test_repr_names_spec_and_scale(self):
+        text = repr(WorkloadDataset("golden-small", scale=0.5))
+        assert "golden-small" in text and "0.5" in text and "300" in text
+
+    def test_registry_integration(self):
+        from repro.datasets import make_dataset
+
+        generator = make_dataset("workload:golden-bimodal")
+        assert generator.spec.depth == 3
+        with pytest.raises(Exception, match="fixed depth"):
+            make_dataset("workload:golden-bimodal", levels=2)
+
+    def test_registry_preserves_workload_name_case(self):
+        from repro.datasets import make_dataset
+        from repro.workloads import register_workload
+
+        register_workload(WorkloadSpec.create(
+            "MixedCase-Entry", "uniform", depth=2, fanout=(2,),
+            num_groups=10,
+        ), overwrite=True)
+        # Only the registry prefix is case-insensitive, not the name.
+        generator = make_dataset("Workload:MixedCase-Entry")
+        assert generator.spec.name == "MixedCase-Entry"

@@ -1,0 +1,121 @@
+"""Tests for WorkloadSpec and the workload registry."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.spec import (
+    WorkloadSpec,
+    available_workloads,
+    get_workload,
+    register_workload,
+)
+
+
+def demo_spec(**overrides):
+    defaults = dict(
+        name="demo", distribution="power_law", depth=3, fanout=(3, 2),
+        num_groups=120, skew=0.5, alpha=1.5,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec.create(**defaults)
+
+
+class TestConstruction:
+    def test_integer_fanout_broadcasts(self):
+        spec = demo_spec(depth=4, fanout=3)
+        assert spec.fanout == (3, 3, 3)
+        assert spec.num_leaves == 27
+        assert spec.num_nodes == 1 + 3 + 9 + 27
+
+    def test_depth_bounds(self):
+        with pytest.raises(WorkloadError, match="depth"):
+            demo_spec(depth=1, fanout=())
+        with pytest.raises(WorkloadError, match="depth"):
+            demo_spec(depth=40, fanout=2)
+
+    def test_fanout_must_match_depth(self):
+        with pytest.raises(WorkloadError, match="fanout"):
+            WorkloadSpec(
+                name="bad", distribution="uniform", depth=3,
+                fanout=(2,), num_groups=10,
+            )
+
+    def test_fanout_entries_positive(self):
+        with pytest.raises(WorkloadError, match="fanout"):
+            demo_spec(fanout=(3, 0))
+
+    def test_group_count_positive(self):
+        with pytest.raises(WorkloadError, match="num_groups"):
+            demo_spec(num_groups=0)
+
+    def test_skew_nonnegative(self):
+        with pytest.raises(WorkloadError, match="skew"):
+            demo_spec(skew=-1.0)
+
+    def test_unknown_distribution_rejected_at_create(self):
+        with pytest.raises(WorkloadError, match="unknown size distribution"):
+            demo_spec(distribution="zipfian")
+
+    def test_name_required(self):
+        with pytest.raises(WorkloadError, match="name"):
+            demo_spec(name="")
+
+    def test_non_scalar_params_rejected(self):
+        """Params feed the fingerprint and the spec's hash — scalars only."""
+        with pytest.raises(WorkloadError, match="scalar"):
+            demo_spec(weights=[1, 2, 3])
+
+    def test_with_groups_scales_only_groups(self):
+        spec = demo_spec().with_groups(999)
+        assert spec.num_groups == 999
+        assert spec.fanout == (3, 2)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        spec = demo_spec(description="hello")
+        clone = WorkloadSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(WorkloadError, match="missing field"):
+            WorkloadSpec.from_dict({"name": "x"})
+
+    def test_fingerprint_ignores_name_and_description(self):
+        a = demo_spec(name="a", description="one")
+        b = demo_spec(name="b", description="two")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_tracks_generative_parameters(self):
+        base = demo_spec()
+        assert base.fingerprint() != demo_spec(skew=0.6).fingerprint()
+        assert base.fingerprint() != demo_spec(alpha=1.6).fingerprint()
+        assert base.fingerprint() != demo_spec(num_groups=121).fingerprint()
+
+    def test_describe_mentions_structure(self):
+        text = demo_spec().describe()
+        assert "3 levels" in text and "120" in text and "power_law" in text
+
+
+class TestRegistry:
+    def test_presets_available(self):
+        assert "powerlaw-deep" in available_workloads()
+        deep = get_workload("powerlaw-deep")
+        assert deep.depth == 5 and deep.num_groups == 100_000
+
+    def test_register_and_lookup(self):
+        spec = demo_spec(name="test-registry-entry")
+        register_workload(spec)
+        assert get_workload("test-registry-entry") == spec
+
+    def test_duplicate_registration_guard(self):
+        spec = demo_spec(name="test-registry-dup")
+        register_workload(spec)
+        with pytest.raises(WorkloadError, match="already registered"):
+            register_workload(spec)
+        register_workload(spec.with_groups(7), overwrite=True)
+        assert get_workload("test-registry-dup").num_groups == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            get_workload("atlantis")

@@ -1,0 +1,144 @@
+"""Property-based tests: generated scenarios satisfy Section 3 invariants.
+
+Whatever the shape parameters, a materialized workload must be a valid
+paper hierarchy: every node's ``H`` nonnegative, ``Hc`` nondecreasing and
+ending at the node's public group count G, ``Hg`` sorted — and the public
+group count must be preserved exactly at every depth, which is the
+perfect-matching precondition of Algorithm 2.  The matching properties
+then close the loop: on generated parent/child Hg views, Algorithm 2
+always produces a complete matching that preserves per-child group counts.
+"""
+
+import os
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency.matching import (
+    match_parent_to_children,
+    matching_cost_lower_bound,
+)
+from repro.core.histogram import (
+    validate_cumulative,
+    validate_histogram,
+    validate_unattributed,
+)
+from repro.io import hierarchy_fingerprint
+from repro.workloads.distributions import available_distributions
+from repro.workloads.generator import materialize
+from repro.workloads.spec import WorkloadSpec
+
+def examples(default: int) -> int:
+    """Example count for a property test.
+
+    The coverage gate (``docs/coverage_gate.py``) re-runs this module under
+    a line tracer that slows every Python line by an order of magnitude; it
+    sets ``REPRO_COVERAGE_GATE=1`` so the same properties run with a
+    trimmed example budget — the gate measures coverage, not statistical
+    depth.  Explicit per-test counts are used instead of a hypothesis
+    profile because profiles are process-global and would change the
+    example budgets of the unrelated ``tests/properties`` suite.
+    """
+    return 8 if os.environ.get("REPRO_COVERAGE_GATE") else default
+
+
+specs = st.builds(
+    lambda distribution, depth, fanout, num_groups, skew: WorkloadSpec.create(
+        "prop", distribution, depth=depth,
+        fanout=[fanout] * (depth - 1), num_groups=num_groups, skew=skew,
+    ),
+    distribution=st.sampled_from(sorted(available_distributions())),
+    depth=st.integers(min_value=2, max_value=5),
+    fanout=st.integers(min_value=1, max_value=4),
+    num_groups=st.integers(min_value=1, max_value=500),
+    skew=st.floats(min_value=0.0, max_value=2.5,
+                   allow_nan=False, allow_infinity=False),
+)
+
+
+@given(spec=specs, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=examples(30), deadline=None)
+def test_generated_views_satisfy_section3_invariants(spec, seed):
+    tree = materialize(spec, seed=seed)
+    for node in tree.nodes():
+        histogram = node.data
+        validate_histogram(histogram.histogram)  # H nonnegative, integral
+        cumulative = validate_cumulative(histogram.cumulative)
+        assert cumulative[-1] == node.num_groups  # Hc ends at public G
+        assert np.all(np.diff(cumulative) >= 0)  # nondecreasing
+        unattributed = validate_unattributed(histogram.unattributed)
+        assert unattributed.size == node.num_groups  # one entry per group
+        assert np.all(np.diff(unattributed) >= 0)  # sorted
+
+
+@given(spec=specs, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=examples(30), deadline=None)
+def test_group_count_preserved_at_every_depth(spec, seed):
+    tree = materialize(spec, seed=seed)
+    for level in tree.levels():
+        assert sum(node.num_groups for node in level) == spec.num_groups
+    for node in tree.nodes():
+        if not node.is_leaf:
+            assert node.num_groups == sum(
+                child.num_groups for child in node.children
+            )
+
+
+@given(spec=specs, seed=st.integers(min_value=0, max_value=2**20))
+@settings(max_examples=examples(15), deadline=None)
+def test_materialization_is_deterministic(spec, seed):
+    assert hierarchy_fingerprint(materialize(spec, seed=seed)) == (
+        hierarchy_fingerprint(materialize(spec, seed=seed))
+    )
+
+
+@given(spec=specs, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=examples(25), deadline=None)
+def test_matching_preserves_group_counts_at_every_depth(spec, seed):
+    """Algorithm 2 on generated true views: complete, count-preserving,
+    and zero-cost (a parent's true Hg is exactly its children's merged)."""
+    tree = materialize(spec, seed=seed)
+    for parent in tree.nodes():
+        if parent.is_leaf:
+            continue
+        parent_sizes = parent.data.unattributed
+        child_sizes = [c.data.unattributed for c in parent.children]
+        matched = match_parent_to_children(
+            parent_sizes,
+            np.ones(parent_sizes.size),
+            child_sizes,
+            [np.ones(c.size) for c in child_sizes],
+        )
+        for child, assigned in zip(parent.children, matched.parent_sizes):
+            assert assigned.size == child.num_groups
+        total = sum(arr.size for arr in matched.parent_sizes)
+        assert total == parent.num_groups
+        assert matched.cost == 0  # true parent == merged true children
+
+
+@given(
+    spec=specs,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    noise=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=examples(15), deadline=None)
+def test_matching_on_perturbed_parent_achieves_lower_bound(spec, seed, noise):
+    """With a noisy parent view (still G groups), the greedy matching cost
+    equals the sorted lower bound — Lemma 5 on workload-scale instances."""
+    tree = materialize(spec, seed=seed)
+    parent = tree.root
+    rng = np.random.default_rng(seed)
+    perturbed = np.sort(np.clip(
+        parent.data.unattributed
+        + rng.integers(-noise, noise + 1, size=parent.num_groups),
+        0, None,
+    ))
+    child_sizes = [c.data.unattributed for c in parent.children]
+    matched = match_parent_to_children(
+        perturbed,
+        np.ones(perturbed.size),
+        child_sizes,
+        [np.ones(c.size) for c in child_sizes],
+    )
+    assert matched.cost == matching_cost_lower_bound(perturbed, child_sizes)
