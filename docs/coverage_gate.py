@@ -1,16 +1,22 @@
 #!/usr/bin/env python
-"""Line-coverage gate for the workload subsystem (CI + local).
+"""Line-coverage gate for the gated subsystems (CI + local).
 
-Runs the workload-facing test suites (``tests/workloads``, ``tests/golden``)
-under a minimal :func:`sys.settrace` line collector and fails when line
-coverage of ``src/repro/workloads/`` drops below the floor.  Built on the
-stdlib on purpose: the gate runs identically on a bare container and in
-CI, with no ``coverage``/``pytest-cov`` install step to drift.  (The
-stdlib :mod:`trace` module is avoided deliberately — its ignore cache is
-keyed by bare module name, so every package ``__init__`` is ignored as
-soon as one stdlib ``__init__`` is.)  Only frames whose code lives under
-the target package receive line events, so the tracing overhead on the
-rest of the suite is one filename check per function call.
+Runs the gated test suites under a minimal :func:`sys.settrace` line
+collector and fails when line coverage of any gated package drops below
+the floor.  Two packages are gated:
+
+* ``src/repro/workloads/`` — covered by ``tests/workloads`` +
+  ``tests/golden``;
+* ``src/repro/api/``       — covered by ``tests/api``.
+
+Built on the stdlib on purpose: the gate runs identically on a bare
+container and in CI, with no ``coverage``/``pytest-cov`` install step to
+drift.  (The stdlib :mod:`trace` module is avoided deliberately — its
+ignore cache is keyed by bare module name, so every package ``__init__``
+is ignored as soon as one stdlib ``__init__`` is.)  Only frames whose
+code lives under a gated package receive line events, so the tracing
+overhead on the rest of the suite is one filename check per function
+call.
 
 Usage::
 
@@ -21,8 +27,8 @@ Sets ``REPRO_COVERAGE_GATE=1`` so the property tests in
 ``examples()`` in ``test_workload_properties.py``) — the tracer slows
 every Python line, and the gate measures coverage, not statistical depth.
 
-Exit codes: 0 on success, 1 when the test run fails, 2 when coverage is
-below the floor.
+Exit codes: 0 on success, 1 when the test run fails, 2 when any gated
+package is below the floor.
 """
 
 from __future__ import annotations
@@ -36,8 +42,14 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
-TARGET = SRC / "repro" / "workloads"
-TEST_PATHS = ("tests/workloads", "tests/golden")
+
+#: Gated packages and the test suites that must cover them.  The gate
+#: runs all suites in one pytest invocation and scores each package
+#: against the floor independently.
+TARGETS = (
+    (SRC / "repro" / "workloads", ("tests/workloads", "tests/golden")),
+    (SRC / "repro" / "api", ("tests/api",)),
+)
 DEFAULT_FLOOR = 85.0
 
 
@@ -74,7 +86,7 @@ def run_tests_traced(argv: list) -> tuple:
     sys.path.insert(0, str(SRC))
     import pytest  # imported late so the tracer misses as little as possible
 
-    prefix = str(TARGET) + os.sep
+    prefixes = tuple(str(target) + os.sep for target, _ in TARGETS)
     executed: dict = {}
 
     def local_trace(frame, event, arg):
@@ -85,7 +97,7 @@ def run_tests_traced(argv: list) -> tuple:
         return local_trace
 
     def global_trace(frame, event, arg):
-        if event == "call" and frame.f_code.co_filename.startswith(prefix):
+        if event == "call" and frame.f_code.co_filename.startswith(prefixes):
             return local_trace
         return None
 
@@ -97,23 +109,11 @@ def run_tests_traced(argv: list) -> tuple:
     return int(exit_code), executed
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--fail-under", type=float, default=DEFAULT_FLOOR,
-                        help="minimum line coverage percentage "
-                             f"(default {DEFAULT_FLOOR:g})")
-    args = parser.parse_args(argv)
-
-    test_argv = [*TEST_PATHS, "-q", "-p", "no:cacheprovider"]
-    exit_code, executed_by_file = run_tests_traced(test_argv)
-    if exit_code != 0:
-        print(f"coverage gate: test run failed (pytest exit {exit_code})",
-              file=sys.stderr)
-        return 1
-
+def score_package(target: Path, executed_by_file: dict, floor: float) -> bool:
+    """Print the per-file table for one package; True when at/above floor."""
     total_executable = total_executed = 0
     rows = []
-    for path in sorted(TARGET.glob("*.py")):
+    for path in sorted(target.glob("*.py")):
         executable = executable_lines(path)
         executed = executed_by_file.get(str(path), set()) & executable
         missed = sorted(executable - executed)
@@ -123,13 +123,13 @@ def main(argv=None) -> int:
         total_executed += len(executed)
 
     if total_executable == 0:
-        print(f"coverage gate: no executable lines found under {TARGET}",
+        print(f"coverage gate: no executable lines found under {target}",
               file=sys.stderr)
-        return 2
+        return False
 
     total_percent = 100.0 * total_executed / total_executable
-    print(f"\nline coverage of {TARGET.relative_to(REPO_ROOT)} "
-          f"(floor {args.fail_under:g}%):")
+    print(f"\nline coverage of {target.relative_to(REPO_ROOT)} "
+          f"(floor {floor:g}%):")
     for path, executed, executable, percent, missed in rows:
         note = ""
         if missed:
@@ -140,11 +140,37 @@ def main(argv=None) -> int:
     print(f"  {'TOTAL':<20} {total_executed:>4}/{total_executable:<4} "
           f"{total_percent:6.1f}%")
 
-    if total_percent < args.fail_under:
-        print(f"coverage gate: {total_percent:.1f}% is below the "
-              f"{args.fail_under:g}% floor", file=sys.stderr)
-        return 2
-    return 0
+    if total_percent < floor:
+        print(f"coverage gate: {target.relative_to(REPO_ROOT)} is at "
+              f"{total_percent:.1f}%, below the {floor:g}% floor",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fail-under", type=float, default=DEFAULT_FLOOR,
+                        help="minimum line coverage percentage per package "
+                             f"(default {DEFAULT_FLOOR:g})")
+    args = parser.parse_args(argv)
+
+    test_paths = []
+    for _, suites in TARGETS:
+        for suite in suites:
+            if suite not in test_paths:
+                test_paths.append(suite)
+    test_argv = [*test_paths, "-q", "-p", "no:cacheprovider"]
+    exit_code, executed_by_file = run_tests_traced(test_argv)
+    if exit_code != 0:
+        print(f"coverage gate: test run failed (pytest exit {exit_code})",
+              file=sys.stderr)
+        return 1
+
+    ok = True
+    for target, _ in TARGETS:
+        ok = score_package(target, executed_by_file, args.fail_under) and ok
+    return 0 if ok else 2
 
 
 if __name__ == "__main__":

@@ -65,11 +65,12 @@ from repro.engine import (
     run_experiments,
     run_grid,
 )
+from repro.api import Release, ReleaseSpec, ReleaseStore
 from repro.hierarchy import Hierarchy, Node
 from repro.mechanisms import GeometricMechanism, LaplaceMechanism, PrivacyBudget
 from repro.workloads import WorkloadDataset, WorkloadSpec, materialize
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AttributedTopDown",
@@ -96,6 +97,9 @@ __all__ = [
     "PrivacyBudget",
     "PrivacyBudgetError",
     "QueryError",
+    "Release",
+    "ReleaseSpec",
+    "ReleaseStore",
     "ReproError",
     "TopDown",
     "UnattributedEstimator",

@@ -1,0 +1,64 @@
+"""Declarative release API: describe a release, serve it from storage.
+
+The paper's end product is a *published DP release* that downstream users
+query.  This package makes that the primary object of the codebase:
+
+- :class:`ReleaseSpec` (:mod:`repro.api.spec`) — a frozen,
+  JSON-serializable description of one release (dataset/workload ref, ε
+  and its per-level split, per-level estimator config, consistency
+  algorithm, post-processing, seeds) with a stable SHA-256 spec hash.
+- :class:`Release` (:mod:`repro.api.release`) — the versioned artifact
+  ``spec.execute()`` produces: per-node histograms, provenance (spec
+  hash, seed, budget-ledger totals), and the uncertainty report; answers
+  every :mod:`repro.core.queries` question as pure post-processing.
+- :class:`ReleaseStore` (:mod:`repro.api.store`) — ``get_or_build``
+  caching keyed by spec hash: the mechanism runs at most once per spec,
+  and all query traffic is served from the stored artifact.
+- :mod:`repro.api.grid` — adapters that re-express engine experiment
+  grids as release-spec grids.
+
+Quickstart
+----------
+>>> from repro.api import ReleaseSpec, ReleaseStore
+>>> import tempfile
+>>> spec = ReleaseSpec.create("hawaiian", epsilon=1.0, max_size=200)
+>>> store = ReleaseStore(tempfile.mkdtemp())
+>>> release = store.get_or_build(spec)         # runs the mechanism once
+>>> release.query("groups_with_size_at_least", "national", size=1) >= 0
+True
+>>> store.get_or_build(spec) is not release    # second call: from disk
+True
+>>> store.statistics()["builds"]
+1
+"""
+
+from repro.api.grid import expand_grid, to_experiment_grid
+from repro.api.release import (
+    QUERIES,
+    Provenance,
+    Release,
+    available_queries,
+)
+from repro.api.spec import (
+    CONSISTENCY_ALGORITHMS,
+    POSTPROCESS_STEPS,
+    ReleaseSpec,
+    build_hierarchy,
+    execution_count,
+)
+from repro.api.store import ReleaseStore
+
+__all__ = [
+    "CONSISTENCY_ALGORITHMS",
+    "POSTPROCESS_STEPS",
+    "QUERIES",
+    "Provenance",
+    "Release",
+    "ReleaseSpec",
+    "ReleaseStore",
+    "available_queries",
+    "build_hierarchy",
+    "execution_count",
+    "expand_grid",
+    "to_experiment_grid",
+]

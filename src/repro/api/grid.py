@@ -1,0 +1,169 @@
+"""Release-spec grids: the declarative face of the experiment engine.
+
+The engine's :class:`~repro.engine.grid.ExperimentGrid` enumerates
+``datasets × methods × epsilons × trials`` over already-built hierarchies
+and picklable :class:`~repro.engine.methods.MethodSpec` objects.  This
+module re-expresses that product in terms of :class:`ReleaseSpec`:
+
+* :func:`expand_grid` fans one base spec out over dataset / method /
+  epsilon axes, producing the full list of release specs;
+* :func:`to_experiment_grid` factors such a list back into an
+  :class:`ExperimentGrid` (validating that it really is a product), so
+  the cached, parallel engine — and its bit-identical per-cell seeding —
+  runs unchanged underneath the declarative layer.
+
+The CLI's ``grid`` and ``workload run-grid`` subcommands route through
+these functions, which is what makes "a grid" and "a set of release
+specs" the same object described two ways.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.spec import ReleaseSpec, build_hierarchy
+from repro.engine.grid import ExperimentGrid
+from repro.engine.methods import MethodSpec
+from repro.exceptions import EstimationError
+from repro.hierarchy.tree import Hierarchy
+
+
+def expand_grid(
+    base: ReleaseSpec,
+    datasets: Optional[Sequence[str]] = None,
+    methods: Optional[Sequence[str]] = None,
+    epsilons: Optional[Sequence[float]] = None,
+) -> List[ReleaseSpec]:
+    """Fan ``base`` out over dataset / method-token / epsilon axes.
+
+    Unspecified axes keep the base spec's value.  The result enumerates
+    the full Cartesian product in (dataset, method, epsilon) order — the
+    same cell order the engine uses.
+
+    Examples
+    --------
+    >>> base = ReleaseSpec.create("hawaiian", epsilon=1.0, max_size=200)
+    >>> specs = expand_grid(base, methods=["hc", "bu-hg"],
+    ...                     epsilons=[0.5, 1.0])
+    >>> len(specs)
+    4
+    >>> sorted({s.method_token for s in specs})
+    ['bu-hg', 'hc']
+    """
+    dataset_axis = list(datasets) if datasets else [base.dataset]
+    method_axis = list(methods) if methods else [base.method_token]
+    epsilon_axis = [float(e) for e in epsilons] if epsilons else [base.epsilon]
+    return [
+        base.with_dataset(dataset).with_method(token).with_epsilon(epsilon)
+        for dataset in dataset_axis
+        for token in method_axis
+        for epsilon in epsilon_axis
+    ]
+
+
+def _first_seen(values: Sequence[object]) -> List[object]:
+    seen: Dict[object, None] = {}
+    for value in values:
+        seen.setdefault(value, None)
+    return list(seen)
+
+
+def to_experiment_grid(
+    specs: Sequence[ReleaseSpec],
+    trials: int = 10,
+    labels: Optional[Mapping[str, str]] = None,
+    hierarchies: Optional[Mapping[str, Hierarchy]] = None,
+) -> ExperimentGrid:
+    """Factor a list of release specs into an :class:`ExperimentGrid`.
+
+    The specs must form an exact ``datasets × methods × epsilons``
+    product sharing one noise seed, identical per-dataset build
+    parameters and identical per-method mechanism parameters — anything
+    else is not a grid and raises :class:`EstimationError`.
+
+    Parameters
+    ----------
+    specs:
+        The release specs (e.g. from :func:`expand_grid`).
+    trials:
+        Repetitions per configuration (the paper's 10).
+    labels:
+        Optional display-label override per method token (the CLI passes
+        the user's original token spelling so cell seeds — which are
+        keyed by label — match the historical ones exactly).
+    hierarchies:
+        Optional pre-built hierarchies per dataset name.  Datasets not in
+        the mapping are built from their spec (scale / levels /
+        dataset_seed); the ``workload run-grid`` path passes its already
+        materialized scenarios here.
+
+    Examples
+    --------
+    >>> base = ReleaseSpec.create("hawaiian", epsilon=1.0, max_size=200)
+    >>> grid = to_experiment_grid(
+    ...     expand_grid(base, methods=["hc", "bu-hg"]), trials=2)
+    >>> len(grid.cells())
+    4
+    """
+    if not specs:
+        raise EstimationError("to_experiment_grid needs at least one spec")
+
+    seeds = {spec.seed for spec in specs}
+    if len(seeds) != 1:
+        raise EstimationError(
+            f"grid specs must share one noise seed, got {sorted(seeds)}"
+        )
+
+    dataset_params: Dict[str, Tuple] = {}
+    method_params: Dict[str, ReleaseSpec] = {}
+    combos: Dict[Tuple[str, str, float], int] = {}
+    for spec in specs:
+        shape = (spec.scale, spec.levels, spec.dataset_seed)
+        previous = dataset_params.setdefault(spec.dataset, shape)
+        if previous != shape:
+            raise EstimationError(
+                f"dataset {spec.dataset!r} appears with conflicting build "
+                f"parameters {previous} vs {shape}"
+            )
+        token = spec.method_token
+        anchor = method_params.setdefault(token, spec)
+        if (
+            anchor.max_size, anchor.merge_strategy, anchor.budget_split
+        ) != (spec.max_size, spec.merge_strategy, spec.budget_split):
+            raise EstimationError(
+                f"method {token!r} appears with conflicting mechanism "
+                "parameters across the grid"
+            )
+        key = (spec.dataset, token, spec.epsilon)
+        combos[key] = combos.get(key, 0) + 1
+
+    dataset_names = _first_seen([spec.dataset for spec in specs])
+    method_tokens = _first_seen([spec.method_token for spec in specs])
+    epsilons = _first_seen([spec.epsilon for spec in specs])
+    expected = len(dataset_names) * len(method_tokens) * len(epsilons)
+    if len(specs) != expected or any(count != 1 for count in combos.values()):
+        raise EstimationError(
+            f"{len(specs)} specs do not form the "
+            f"{len(dataset_names)}x{len(method_tokens)}x{len(epsilons)} "
+            "dataset x method x epsilon product (missing or duplicate cells)"
+        )
+
+    labels = dict(labels or {})
+    methods: List[MethodSpec] = [
+        method_params[token].method_spec(label=labels.get(token, token))
+        for token in method_tokens
+    ]
+    built: Dict[str, Hierarchy] = {}
+    for name in dataset_names:
+        if hierarchies is not None and name in hierarchies:
+            built[name] = hierarchies[name]
+        else:
+            scale, levels, dataset_seed = dataset_params[name]
+            built[name] = build_hierarchy(
+                name, scale=scale, levels=levels, seed=dataset_seed
+            )
+
+    return ExperimentGrid(
+        built, methods, epsilons=list(epsilons), trials=trials,
+        seed=specs[0].seed,
+    )

@@ -1,0 +1,349 @@
+"""The versioned release artifact and its query surface.
+
+A :class:`Release` is what a publisher actually ships: per-node private
+histograms plus the spec that produced them, a provenance block (spec hash,
+seed, budget-ledger totals) and the variance-based uncertainty report.  It
+serializes to the version-2 JSON of :mod:`repro.io` — a strict superset of
+the version-1 release files, so :func:`repro.io.load_release` keeps working
+on new artifacts and old files keep loading.
+
+Artifacts are **byte-stable**: serialization is canonical (sorted keys),
+and wall-clock timing — a measurement, not content — is kept in memory
+only, so the same :class:`~repro.api.spec.ReleaseSpec` always writes the
+same bytes.  That property is what makes spec-hash keyed storage
+(:class:`~repro.api.store.ReleaseStore`) sound.
+
+Every consumer query of :mod:`repro.core.queries` is served directly from
+the artifact via :meth:`Release.query` — pure post-processing, so no
+additional privacy budget is ever spent answering them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api.spec import ReleaseSpec
+from repro.core.histogram import CountOfCounts
+from repro.core.uncertainty import format_accuracy_report
+from repro.core.queries import (
+    entities_in_groups_of_size_between,
+    gini_coefficient,
+    groups_with_size_at_least,
+    groups_with_size_between,
+    kth_largest_group,
+    kth_smallest_group,
+    mean_group_size,
+    size_quantile,
+    top_share,
+)
+from repro.exceptions import HierarchyError, HistogramError, QueryError
+from repro.io import FORMAT_VERSION, check_format_version, export_release_csv
+
+PathLike = Union[str, Path]
+
+#: Every consumer query of :mod:`repro.core.queries`, by name — the full
+#: surface a stored artifact can serve without touching the mechanism.
+QUERIES = {
+    "kth_smallest_group": kth_smallest_group,
+    "kth_largest_group": kth_largest_group,
+    "size_quantile": size_quantile,
+    "groups_with_size_at_least": groups_with_size_at_least,
+    "groups_with_size_between": groups_with_size_between,
+    "entities_in_groups_of_size_between": entities_in_groups_of_size_between,
+    "mean_group_size": mean_group_size,
+    "gini_coefficient": gini_coefficient,
+    "top_share": top_share,
+}
+
+
+def available_queries() -> Tuple[str, ...]:
+    """Names of the queries a release artifact can answer, sorted."""
+    return tuple(sorted(QUERIES))
+
+
+def summary_line(
+    spec: ReleaseSpec, num_nodes: int, epsilon_spent: float,
+    library_version: str,
+) -> str:
+    """The one-line artifact description shared by ``Release.summary``
+    and the store's histogram-free listing."""
+    return (
+        f"{spec.dataset} eps={spec.epsilon:g} "
+        f"{spec.method_token} seed={spec.seed}: "
+        f"{num_nodes} nodes, eps spent {epsilon_spent:.4f}, "
+        f"built by {library_version}"
+    )
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How an artifact came to be: the audit block of a release.
+
+    ``wall_time_seconds`` is populated when the release is executed in
+    this process and ``None`` when the artifact was loaded from disk —
+    timing is a measurement of one run, not content of the release, and
+    serializing it would break the byte-identical-artifact guarantee.
+    """
+
+    spec_hash: str
+    seed: int
+    epsilon_budget: float
+    epsilon_spent: float
+    num_levels: int
+    num_nodes: int
+    library_version: str
+    wall_time_seconds: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready audit block (deterministic; timing excluded)."""
+        return {
+            "spec_hash": self.spec_hash,
+            "seed": self.seed,
+            "epsilon_budget": self.epsilon_budget,
+            "epsilon_spent": self.epsilon_spent,
+            "num_levels": self.num_levels,
+            "num_nodes": self.num_nodes,
+            "library_version": self.library_version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Provenance":
+        try:
+            return cls(
+                spec_hash=str(payload["spec_hash"]),
+                seed=int(payload["seed"]),
+                epsilon_budget=float(payload["epsilon_budget"]),
+                epsilon_spent=float(payload["epsilon_spent"]),
+                num_levels=int(payload["num_levels"]),
+                num_nodes=int(payload["num_nodes"]),
+                library_version=str(payload.get("library_version", "unknown")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise HierarchyError(
+                f"malformed release provenance block: {error!r}"
+            ) from None
+
+
+class Release:
+    """One published DP release: histograms + spec + provenance + report.
+
+    Examples
+    --------
+    >>> spec = ReleaseSpec.create(
+    ...     "hawaiian", epsilon=2.0, max_size=200, scale=1e-4)
+    >>> release = spec.execute()
+    >>> release.query("size_quantile", "national", quantile=0.5) >= 0
+    True
+    >>> release.provenance.epsilon_spent == 2.0
+    True
+    """
+
+    def __init__(
+        self,
+        spec: ReleaseSpec,
+        estimates: Mapping[str, CountOfCounts],
+        provenance: Provenance,
+        uncertainty: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.spec = spec
+        self.estimates: Dict[str, CountOfCounts] = dict(estimates)
+        self.provenance = provenance
+        self.uncertainty: Dict[str, float] = dict(uncertainty or {})
+
+    # -- mapping surface ----------------------------------------------------
+    def __getitem__(self, node: str) -> CountOfCounts:
+        return self.node(node)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.estimates
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def node(self, name: str) -> CountOfCounts:
+        """The released histogram of one hierarchy node."""
+        try:
+            return self.estimates[name]
+        except KeyError:
+            raise QueryError(
+                f"no node {name!r} in release {self.provenance.spec_hash[:12]}; "
+                f"available: {self.node_names()[:8]}"
+            ) from None
+
+    def node_names(self) -> Tuple[str, ...]:
+        """All released node names, sorted."""
+        return tuple(sorted(self.estimates))
+
+    # -- queries ------------------------------------------------------------
+    def query(self, query: str, node: str, **params: object) -> object:
+        """Answer a :mod:`repro.core.queries` question from the artifact.
+
+        ``query`` names any function in :data:`QUERIES`; ``params`` are
+        forwarded (e.g. ``quantile=0.5``, ``k=3``, ``fraction=0.1``).
+        Pure post-processing: never re-runs the mechanism, never spends
+        additional ε.
+        """
+        try:
+            fn = QUERIES[query]
+        except KeyError:
+            raise QueryError(
+                f"unknown query {query!r}; available: {available_queries()}"
+            ) from None
+        histogram = self.node(node)
+        try:
+            return fn(histogram, **params)
+        except TypeError as error:
+            raise QueryError(
+                f"bad parameters for query {query!r}: {error}"
+            ) from None
+
+    # -- reports ------------------------------------------------------------
+    def accuracy_report(self) -> str:
+        """The variance-based accuracy report, served from the artifact.
+
+        Same layout as :func:`repro.core.uncertainty.release_report`, but
+        computed from the stored per-node predicted EMDs, so a loaded
+        artifact reports identically to a freshly executed one.
+        """
+        if not self.uncertainty:
+            raise QueryError(
+                "this release was built without the 'uncertainty' "
+                "postprocess step, so no accuracy report is stored"
+            )
+        rows = [
+            (node, estimate.num_groups, self.uncertainty[node],
+             estimate.num_entities)
+            for node, estimate in sorted(self.estimates.items())
+            # Bottom-up internal nodes carry no variance model.
+            if node in self.uncertainty
+        ]
+        return format_accuracy_report(
+            rows, self.provenance.epsilon_spent,
+            self.provenance.epsilon_budget,
+        )
+
+    def summary(self) -> str:
+        """One-line description for ``repro store list/show``."""
+        return summary_line(
+            self.spec, len(self), self.provenance.epsilon_spent,
+            self.provenance.library_version,
+        )
+
+    # -- legacy metadata ----------------------------------------------------
+    def legacy_metadata(self) -> Dict[str, object]:
+        """The version-1 ``metadata`` block (kept for old consumers)."""
+        return {
+            "dataset": self.spec.dataset,
+            "scale": self.spec.scale,
+            "epsilon": self.spec.epsilon,
+            "method": self.spec.method_display(self.provenance.num_levels),
+            "seed": self.spec.seed,
+        }
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The deterministic artifact payload (inverse of :meth:`from_payload`)."""
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": "release",
+            "spec": self.spec.to_dict(),
+            "provenance": self.provenance.to_dict(),
+            "uncertainty": {
+                node: float(value) for node, value in sorted(
+                    self.uncertainty.items()
+                )
+            },
+            "metadata": self.legacy_metadata(),
+            "nodes": {
+                name: histogram.histogram.tolist()
+                for name, histogram in self.estimates.items()
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON bytes: same spec + seed → same string, always."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def save(self, path: PathLike) -> Path:
+        """Write the artifact atomically; returns the final path.
+
+        The temp file gets a unique name so concurrent writers of the
+        same artifact never race on it — both finish, last rename wins,
+        and (artifacts being byte-stable) both outcomes are identical.
+        """
+        path = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        with os.fdopen(fd, "w") as handle:
+            handle.write(self.to_json())
+        os.replace(tmp_name, path)
+        return path
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "Release":
+        """Rebuild an artifact from a parsed version-2 payload."""
+        check_format_version(payload, "release payload")
+        if payload.get("kind") != "release":
+            raise HierarchyError("payload is not a release artifact")
+        if "spec" not in payload or "provenance" not in payload:
+            raise HierarchyError(
+                "release payload has no spec/provenance blocks — this is a "
+                "version-1 file; read its histograms with repro.io.load_release"
+            )
+        spec = ReleaseSpec.from_dict(payload["spec"])
+        provenance = Provenance.from_dict(payload["provenance"])
+        nodes = payload.get("nodes")
+        if not isinstance(nodes, dict):
+            raise HierarchyError(
+                "release payload has no 'nodes' histogram block"
+            )
+        try:
+            estimates = {
+                name: CountOfCounts(np.asarray(values))
+                for name, values in nodes.items()
+            }
+            uncertainty = {
+                str(node): float(value)
+                for node, value in dict(payload.get("uncertainty", {})).items()
+            }
+        except (TypeError, ValueError, HistogramError) as error:
+            raise HierarchyError(
+                f"malformed release histogram block: {error}"
+            ) from None
+        return cls(
+            spec=spec, estimates=estimates, provenance=provenance,
+            uncertainty=uncertainty,
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Release":
+        """Read an artifact written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as error:
+            raise HierarchyError(
+                f"cannot read release artifact {path}: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise HierarchyError(f"{path} is not a release artifact")
+        return cls.from_payload(payload)
+
+    # -- exports ------------------------------------------------------------
+    def export_csv(self, path: PathLike) -> int:
+        """Write the Summary-File-style flat CSV; returns rows written."""
+        return export_release_csv(self.estimates, path)
+
+    def __repr__(self) -> str:
+        return (
+            f"Release(dataset={self.spec.dataset!r}, "
+            f"epsilon={self.spec.epsilon:g}, nodes={len(self)}, "
+            f"spec_hash={self.provenance.spec_hash[:12]!r})"
+        )

@@ -1,0 +1,611 @@
+"""The declarative release specification.
+
+A :class:`ReleaseSpec` is the single artifact boundary between *describing*
+a differentially private publication and *serving* it.  It captures
+everything the paper's release pipeline needs — the dataset (or generated
+workload) reference, the total budget ε and its per-level split, the
+per-level estimator configuration (Section 4), the consistency algorithm
+(Section 5 top-down or the Section 6.2.2 bottom-up baseline), the
+post-processing steps and the seeds — as one frozen, JSON-serializable
+value with a stable SHA-256 :meth:`~ReleaseSpec.spec_hash`.
+
+``spec.execute()`` runs the mechanism exactly once and returns a
+:class:`~repro.api.release.Release` artifact; executing the same spec twice
+produces byte-identical artifacts, which is what lets the
+:class:`~repro.api.store.ReleaseStore` cache releases by spec hash and
+answer every downstream query without re-spending privacy budget.
+
+The module keeps a global mechanism-execution counter
+(:func:`execution_count`) so tests — and operators — can assert that a
+query path served from a store really performed **zero** mechanism runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.consistency.bottomup import BottomUp
+from repro.core.consistency.merge import STRATEGIES
+from repro.core.consistency.topdown import TopDown
+from repro.core.estimators.selection import PerLevelSpec
+from repro.core.uncertainty import node_error_estimate
+from repro.datasets.registry import WORKLOAD_PREFIX, make_dataset
+from repro.engine.methods import MethodSpec
+from repro.exceptions import EstimationError
+from repro.hierarchy.tree import Hierarchy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.release import Release
+
+#: Consistency algorithms a spec may name.
+CONSISTENCY_ALGORITHMS = ("topdown", "bottomup")
+
+#: Post-processing steps a spec may request.  ``"uncertainty"`` bundles the
+#: per-node predicted EMD (Section 5.1 variances) into the artifact.
+POSTPROCESS_STEPS = ("uncertainty",)
+
+#: Default scale when a spec leaves it unset: the CLI's historical 1e-4
+#: fraction for the paper datasets, 1x for generated workloads.
+DEFAULT_PAPER_SCALE = 1e-4
+DEFAULT_WORKLOAD_SCALE = 1.0
+
+#: Default hierarchy depth for the paper datasets (workload depth is fixed
+#: by the workload spec, so their default stays ``None``).
+DEFAULT_PAPER_LEVELS = 2
+
+# Global mechanism-execution counter (see execution_count()).
+_EXECUTIONS = 0
+
+
+def execution_count() -> int:
+    """How many times any :meth:`ReleaseSpec.execute` ran a mechanism.
+
+    The counter is process-global and monotonically increasing.  Its only
+    purpose is observability: the acceptance tests snapshot it around a
+    store-served query to prove the stored artifact answered without a
+    single mechanism re-run.
+    """
+    return _EXECUTIONS
+
+
+def build_hierarchy(
+    dataset: str,
+    scale: Optional[float] = None,
+    levels: Optional[int] = None,
+    seed: int = 0,
+) -> Hierarchy:
+    """Build the true hierarchy for a dataset/workload registry reference.
+
+    One shared implementation of the reference semantics the CLI always
+    had: ``scale`` defaults to 1e-4 for paper datasets and 1.0 (a group
+    multiplier) for ``workload:<name>`` scenarios; ``levels`` defaults to
+    2 for paper datasets and is fixed by the spec for workloads.
+    """
+    is_workload = dataset.lower().startswith(WORKLOAD_PREFIX)
+    kwargs: Dict[str, object] = {
+        "scale": effective_scale(dataset, scale),
+    }
+    if not is_workload:
+        kwargs["levels"] = DEFAULT_PAPER_LEVELS if levels is None else levels
+    elif levels is not None:
+        kwargs["levels"] = levels  # the registry rejects depth conflicts
+    return make_dataset(dataset, **kwargs).build(seed=seed)
+
+
+def effective_scale(dataset: str, scale: Optional[float]) -> float:
+    """The scale actually used when it is left unset."""
+    if scale is not None:
+        return scale
+    if dataset.lower().startswith(WORKLOAD_PREFIX):
+        return DEFAULT_WORKLOAD_SCALE
+    return DEFAULT_PAPER_SCALE
+
+
+def _normalize_estimator(text: str) -> str:
+    """Canonical per-level estimator notation: lowercase, ``" x "`` joins."""
+    tokens = [
+        part.strip()
+        for part in text.lower().replace("×", "x").replace("*", "x").split("x")
+    ]
+    return " x ".join(tokens)
+
+
+@dataclass(frozen=True)
+class ReleaseSpec:
+    """A complete, declarative description of one DP release.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset-registry reference: one of the paper's datasets
+        (``housing``, ``white``, ``hawaiian``, ``taxi``) or a generated
+        scenario addressed as ``workload:<name>``.
+    epsilon:
+        Total privacy budget ε for the release.
+    estimator:
+        Per-level estimator configuration in the paper's notation:
+        ``"hc"`` (uniform) or a per-level string like ``"hc x hg"``.
+        A single name is expanded to the hierarchy's depth at run time.
+    max_size:
+        Public bound K on group size (configures Hc/naive estimators).
+    consistency:
+        ``"topdown"`` (Section 5, Algorithm 1 — the default) or
+        ``"bottomup"`` (the Section 6.2.2 baseline, single estimator).
+    merge_strategy:
+        ``"weighted"`` or ``"naive"`` merging (Section 5.3, top-down only).
+    budget_split:
+        Per-level budget weights (positive, any scale; normalized at run
+        time).  Empty means the paper's uniform ε/(L+1) split.  Top-down
+        only — the bottom-up baseline spends the full ε at the leaves.
+    postprocess:
+        Post-processing steps to bundle into the artifact; subset of
+        :data:`POSTPROCESS_STEPS`.
+    scale:
+        Dataset scale.  ``None`` resolves to 1e-4 for paper datasets and
+        1.0 for workloads at construction time, so stored specs are always
+        explicit.
+    levels:
+        Hierarchy depth for the paper datasets (``None`` resolves to 2).
+        Workloads fix their own depth, so ``None`` stays ``None``.
+    dataset_seed:
+        Seed for the deterministic dataset/workload generator.
+    seed:
+        Seed for the mechanism's noise draws.
+
+    Examples
+    --------
+    >>> spec = ReleaseSpec.create("hawaiian", epsilon=1.0, max_size=200)
+    >>> spec.scale, spec.levels
+    (0.0001, 2)
+    >>> len(spec.spec_hash())
+    64
+    >>> spec == ReleaseSpec.from_dict(spec.to_dict())
+    True
+    """
+
+    dataset: str
+    epsilon: float
+    estimator: str = "hc"
+    max_size: int = 20_000
+    consistency: str = "topdown"
+    merge_strategy: str = "weighted"
+    budget_split: Tuple[float, ...] = ()
+    postprocess: Tuple[str, ...] = ("uncertainty",)
+    scale: Optional[float] = None
+    levels: Optional[int] = None
+    dataset_seed: int = 0
+    seed: int = 0
+
+    # -- validation & normalization -----------------------------------------
+    def __post_init__(self) -> None:
+        if not self.dataset or not isinstance(self.dataset, str):
+            raise EstimationError(
+                f"dataset must be a nonempty registry name, got {self.dataset!r}"
+            )
+        # Canonicalize the reference so equal specs hash equally: paper
+        # names are case-insensitive, workload names are case-sensitive
+        # past the prefix.
+        if self.dataset.lower().startswith(WORKLOAD_PREFIX):
+            dataset = WORKLOAD_PREFIX + self.dataset[len(WORKLOAD_PREFIX):]
+        else:
+            dataset = self.dataset.lower()
+        object.__setattr__(self, "dataset", dataset)
+
+        if not np.isfinite(self.epsilon) or self.epsilon <= 0:
+            raise EstimationError(
+                f"epsilon must be positive and finite, got {self.epsilon!r}"
+            )
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+
+        estimator = _normalize_estimator(str(self.estimator))
+        # Parse once now so unknown estimator names fail at construction,
+        # not inside a worker process mid-grid.
+        PerLevelSpec.from_string(estimator, max_size=max(1, int(self.max_size)))
+        object.__setattr__(self, "estimator", estimator)
+
+        if int(self.max_size) < 1:
+            raise EstimationError(
+                f"max_size must be >= 1, got {self.max_size}"
+            )
+        object.__setattr__(self, "max_size", int(self.max_size))
+
+        if self.consistency not in CONSISTENCY_ALGORITHMS:
+            raise EstimationError(
+                f"unknown consistency algorithm {self.consistency!r}; "
+                f"expected one of {CONSISTENCY_ALGORITHMS}"
+            )
+        if self.merge_strategy not in STRATEGIES:
+            raise EstimationError(
+                f"unknown merge strategy {self.merge_strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
+        if self.consistency == "bottomup":
+            if " x " in self.estimator:
+                raise EstimationError(
+                    "the bottom-up baseline uses a single estimator; "
+                    f"got the per-level spec {self.estimator!r}"
+                )
+            # Bottom-up never merges, so merge_strategy cannot affect the
+            # release; pin it to the default so equivalent specs hash
+            # equally (the store must not build one release twice).
+            object.__setattr__(self, "merge_strategy", "weighted")
+
+        split = tuple(float(w) for w in self.budget_split)
+        for weight in split:
+            if not np.isfinite(weight) or weight <= 0:
+                raise EstimationError(
+                    f"budget_split weights must be positive and finite, "
+                    f"got {weight!r}"
+                )
+        if split and self.consistency == "bottomup":
+            raise EstimationError(
+                "budget_split applies to the top-down algorithm only; "
+                "the bottom-up baseline spends the full budget at the leaves"
+            )
+        if split and " x " in self.estimator:
+            depth = self.estimator.count(" x ") + 1
+            if len(split) != depth:
+                raise EstimationError(
+                    f"budget_split covers {len(split)} levels but the "
+                    f"estimator spec {self.estimator!r} covers {depth}"
+                )
+        object.__setattr__(self, "budget_split", split)
+
+        steps = tuple(self.postprocess)
+        for step in steps:
+            if step not in POSTPROCESS_STEPS:
+                raise EstimationError(
+                    f"unknown postprocess step {step!r}; "
+                    f"expected a subset of {POSTPROCESS_STEPS}"
+                )
+        if len(set(steps)) != len(steps):
+            raise EstimationError(
+                f"duplicate postprocess steps: {steps}"
+            )
+        object.__setattr__(self, "postprocess", steps)
+
+        if self.scale is not None:
+            if not np.isfinite(self.scale) or self.scale <= 0:
+                raise EstimationError(
+                    f"scale must be positive and finite, got {self.scale!r}"
+                )
+        # Resolve the dataset-shape defaults so the stored (and hashed)
+        # spec is fully explicit about the data it releases.
+        is_workload = dataset.startswith(WORKLOAD_PREFIX)
+        object.__setattr__(
+            self, "scale", float(effective_scale(dataset, self.scale))
+        )
+        if self.levels is None and not is_workload:
+            object.__setattr__(self, "levels", DEFAULT_PAPER_LEVELS)
+        if self.levels is not None:
+            if int(self.levels) < 2:
+                raise EstimationError(
+                    f"levels must be >= 2, got {self.levels}"
+                )
+            object.__setattr__(self, "levels", int(self.levels))
+            # The depth is known here (paper datasets resolve it at
+            # construction), so per-level configuration of the wrong
+            # length can fail now instead of mid-pipeline.
+            if " x " in self.estimator:
+                depth = self.estimator.count(" x ") + 1
+                if depth != self.levels:
+                    raise EstimationError(
+                        f"estimator spec {self.estimator!r} covers {depth} "
+                        f"levels but the hierarchy has {self.levels}"
+                    )
+            if self.budget_split and len(self.budget_split) != self.levels:
+                raise EstimationError(
+                    f"budget_split covers {len(self.budget_split)} levels "
+                    f"but the hierarchy has {self.levels}"
+                )
+        object.__setattr__(self, "dataset_seed", int(self.dataset_seed))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        dataset: str,
+        epsilon: float,
+        estimator: str = "hc",
+        max_size: int = 20_000,
+        consistency: str = "topdown",
+        merge_strategy: str = "weighted",
+        budget_split: Sequence[float] = (),
+        postprocess: Sequence[str] = ("uncertainty",),
+        scale: Optional[float] = None,
+        levels: Optional[int] = None,
+        dataset_seed: int = 0,
+        seed: int = 0,
+    ) -> "ReleaseSpec":
+        """Build a spec with ergonomic (sequence-accepting) arguments."""
+        return cls(
+            dataset=dataset,
+            epsilon=epsilon,
+            estimator=estimator,
+            max_size=max_size,
+            consistency=consistency,
+            merge_strategy=merge_strategy,
+            budget_split=tuple(budget_split),
+            postprocess=tuple(postprocess),
+            scale=scale,
+            levels=levels,
+            dataset_seed=dataset_seed,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_method_token(
+        cls, token: str, dataset: str, epsilon: float, **kwargs: object
+    ) -> "ReleaseSpec":
+        """Build a spec from a CLI method token.
+
+        Accepted forms mirror :func:`repro.engine.methods.parse_method`:
+        ``"hc"``, ``"hg"``, ``"naive"``, per-level strings like
+        ``"hc x hg"``, and bottom-up variants ``"bu-hc"`` / ``"bu-hg"``.
+        """
+        token = token.strip().lower()
+        if token.startswith("bu-"):
+            return cls.create(
+                dataset, epsilon, estimator=token[3:],
+                consistency="bottomup", **kwargs,
+            )
+        return cls.create(dataset, epsilon, estimator=token, **kwargs)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "dataset": self.dataset,
+            "epsilon": self.epsilon,
+            "estimator": self.estimator,
+            "max_size": self.max_size,
+            "consistency": self.consistency,
+            "merge_strategy": self.merge_strategy,
+            "budget_split": list(self.budget_split),
+            "postprocess": list(self.postprocess),
+            "scale": self.scale,
+            "levels": self.levels,
+            "dataset_seed": self.dataset_seed,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ReleaseSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        try:
+            return cls.create(
+                dataset=str(payload["dataset"]),
+                epsilon=float(payload["epsilon"]),
+                estimator=str(payload.get("estimator", "hc")),
+                max_size=int(payload.get("max_size", 20_000)),
+                consistency=str(payload.get("consistency", "topdown")),
+                merge_strategy=str(payload.get("merge_strategy", "weighted")),
+                budget_split=tuple(payload.get("budget_split", ())),
+                postprocess=tuple(payload.get("postprocess", ("uncertainty",))),
+                scale=payload.get("scale"),
+                levels=payload.get("levels"),
+                dataset_seed=int(payload.get("dataset_seed", 0)),
+                seed=int(payload.get("seed", 0)),
+            )
+        except KeyError as error:
+            raise EstimationError(
+                f"release spec payload is missing field {error}"
+            ) from None
+        except (TypeError, ValueError) as error:
+            raise EstimationError(
+                f"malformed release spec payload: {error}"
+            ) from None
+
+    def canonical_json(self) -> str:
+        """The canonical JSON the spec hash is computed over."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def spec_hash(self) -> str:
+        """Stable SHA-256 of the canonical spec (the store's cache key).
+
+        Specs are normalized at construction — estimator notation,
+        dataset case, resolved scale/levels defaults, inert fields pinned
+        (e.g. ``merge_strategy`` under bottom-up) — so differently
+        spelled specs that describe the same release hash identically
+        across processes and sessions.  One deliberate exception: a
+        uniform shorthand like ``"hc"`` hashes differently from its
+        written-out expansion ``"hc x hc"``, because the expansion depth
+        is a property of the dataset, not the spec.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    # -- adapters into the existing layers ----------------------------------
+    @property
+    def method_token(self) -> str:
+        """The CLI method token this spec's mechanism corresponds to."""
+        if self.consistency == "bottomup":
+            return f"bu-{self.estimator}"
+        return self.estimator
+
+    def method_spec(self, label: Optional[str] = None) -> MethodSpec:
+        """This spec's mechanism as an engine :class:`MethodSpec`.
+
+        The adapter that re-expresses engine grids over release specs:
+        the returned spec is picklable, cacheable and produces the exact
+        release callable :meth:`execute_on` runs.
+        """
+        if self.consistency == "bottomup":
+            return MethodSpec.bottomup(
+                self.estimator, max_size=self.max_size,
+                label=label or self.method_token,
+            )
+        if self.budget_split:
+            raise EstimationError(
+                "non-uniform budget_split specs cannot run through the "
+                "experiment grid yet; clear budget_split or execute the "
+                "spec directly"
+            )
+        return MethodSpec.topdown(
+            self.estimator, max_size=self.max_size,
+            merge_strategy=self.merge_strategy,
+            label=label or self.method_token,
+        )
+
+    def release_fn(self):
+        """A bare release callable ``(hierarchy, epsilon, rng) -> estimates``.
+
+        The adapter for code paths that still consume release functions
+        (e.g. custom :class:`~repro.evaluation.runner.ExperimentRunner`
+        uses); prefer :meth:`method_spec` where a declarative object is
+        accepted, so caching stays available.
+        """
+        def release(hierarchy, epsilon, rng):
+            return self._run_mechanism(hierarchy, epsilon, rng).estimates
+
+        return release
+
+    # -- execution ----------------------------------------------------------
+    def expanded_estimator(self, num_levels: int) -> str:
+        """The estimator string expanded to one entry per hierarchy level."""
+        if " x " in self.estimator:
+            return self.estimator
+        return " x ".join([self.estimator] * num_levels)
+
+    def per_level_spec(self, num_levels: int) -> PerLevelSpec:
+        """The resolved :class:`PerLevelSpec` for a hierarchy of this depth."""
+        return PerLevelSpec.from_string(
+            self.expanded_estimator(num_levels), max_size=self.max_size
+        )
+
+    def method_display(self, num_levels: int) -> str:
+        """Human-readable method label (e.g. ``"Hc×Hg"`` or ``"bu-hc"``)."""
+        if self.consistency == "bottomup":
+            return self.method_token
+        return str(self.per_level_spec(num_levels))
+
+    def build_dataset(self) -> Hierarchy:
+        """Materialize the true hierarchy this spec releases."""
+        return build_hierarchy(
+            self.dataset, scale=self.scale, levels=self.levels,
+            seed=self.dataset_seed,
+        )
+
+    def _run_mechanism(
+        self, hierarchy: Hierarchy, epsilon: float, rng: np.random.Generator
+    ):
+        """One mechanism run; returns the algorithm's result object."""
+        global _EXECUTIONS
+        _EXECUTIONS += 1
+        spec = self.per_level_spec(hierarchy.num_levels)
+        if self.consistency == "bottomup":
+            return BottomUp(spec.for_level(0)).run(hierarchy, epsilon, rng=rng)
+        weights = (
+            np.asarray(self.budget_split, dtype=np.float64)
+            if self.budget_split else None
+        )
+        algo = TopDown(
+            spec, merge_strategy=self.merge_strategy, level_weights=weights
+        )
+        return algo.run(hierarchy, epsilon, rng=rng)
+
+    def execute(self) -> "Release":
+        """Build the dataset and run the release pipeline end to end."""
+        return self.execute_on(self.build_dataset())
+
+    def execute_on(self, hierarchy: Hierarchy) -> "Release":
+        """Run the release pipeline against an already-built hierarchy.
+
+        The noise stream is seeded solely by ``self.seed``, so the same
+        spec executes to a byte-identical artifact every time.
+        """
+        from repro.api.release import Provenance, Release
+
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        result = self._run_mechanism(hierarchy, self.epsilon, rng)
+        uncertainty: Dict[str, float] = {}
+        if "uncertainty" in self.postprocess:
+            # The bottom-up baseline estimates leaves only, so internal
+            # nodes have no variance model to predict an EMD from.
+            uncertainty = {
+                name: float(node_error_estimate(result, name))
+                for name in sorted(result.estimates)
+                if name in result.initial_estimates
+            }
+        wall_time = time.perf_counter() - start
+        provenance = Provenance(
+            spec_hash=self.spec_hash(),
+            seed=self.seed,
+            epsilon_budget=float(result.budget.epsilon),
+            epsilon_spent=float(result.budget.spent),
+            num_levels=hierarchy.num_levels,
+            num_nodes=len(result.estimates),
+            library_version=_library_version(),
+            wall_time_seconds=wall_time,
+        )
+        return Release(
+            spec=self,
+            estimates=dict(result.estimates),
+            provenance=provenance,
+            uncertainty=uncertainty,
+        )
+
+    # -- convenience --------------------------------------------------------
+    def with_epsilon(self, epsilon: float) -> "ReleaseSpec":
+        """A copy at a different total budget (ε sweeps)."""
+        return replace(self, epsilon=float(epsilon))
+
+    def with_dataset(self, dataset: str) -> "ReleaseSpec":
+        """A copy releasing a different dataset reference.
+
+        Scale and levels mean different things for paper datasets
+        (fraction of paper-scale data, fixed depth choice) and workloads
+        (group-count multiplier, depth fixed by the workload spec), so
+        crossing the kind boundary re-resolves both to the new kind's
+        defaults instead of carrying the old kind's resolved values over.
+        """
+        was_workload = self.dataset.startswith(WORKLOAD_PREFIX)
+        is_workload = dataset.lower().startswith(WORKLOAD_PREFIX)
+        if was_workload != is_workload:
+            return replace(self, dataset=dataset, scale=None, levels=None)
+        return replace(self, dataset=dataset)
+
+    def with_method(self, token: str) -> "ReleaseSpec":
+        """A copy running a different CLI method token."""
+        lowered = token.strip().lower()
+        if lowered.startswith("bu-"):
+            return replace(
+                self, estimator=lowered[3:], consistency="bottomup",
+                budget_split=(),
+            )
+        return replace(self, estimator=lowered, consistency="topdown")
+
+    def describe(self) -> str:
+        """Multi-line human summary used by ``repro store show``."""
+        split = (
+            "uniform eps/(L+1)" if not self.budget_split
+            else "weights " + ":".join(f"{w:g}" for w in self.budget_split)
+        )
+        lines = [
+            f"release spec {self.spec_hash()[:16]}…",
+            f"  dataset      : {self.dataset} (scale {self.scale:g}, "
+            f"levels {self.levels if self.levels is not None else 'per spec'}, "
+            f"seed {self.dataset_seed})",
+            f"  epsilon      : {self.epsilon:g} ({split})",
+            f"  method       : {self.method_token} "
+            f"(max_size {self.max_size:,}, {self.consistency}, "
+            f"merge {self.merge_strategy})",
+            f"  postprocess  : {', '.join(self.postprocess) or 'none'}",
+            f"  noise seed   : {self.seed}",
+        ]
+        return "\n".join(lines)
+
+
+def _library_version() -> str:
+    # Imported lazily: repro/__init__ imports this module, so a top-level
+    # import would be circular.
+    import repro
+
+    return str(getattr(repro, "__version__", "unknown"))

@@ -1,0 +1,204 @@
+"""The queryable release store: build once, serve forever.
+
+A :class:`ReleaseStore` is a directory of release artifacts keyed by their
+spec hash.  ``get_or_build(spec)`` is the whole serving model of the
+paper's end product: the first request for a spec runs the mechanism once
+and persists the artifact; every later request — including every
+:mod:`repro.core.queries` question routed through :meth:`ReleaseStore.query`
+— is answered from the stored artifact with **zero** mechanism re-runs and
+zero additional privacy budget.  The tests pin that down with the global
+execution counter (:func:`repro.api.spec.execution_count`).
+
+Artifacts are byte-stable (see :mod:`repro.api.release`), so the store
+needs no invalidation protocol: a hash either exists with exactly the
+right contents or is built.  Writes are atomic (tmp + rename), making a
+store directory safe to share between concurrent publishers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.api.release import Provenance, Release, summary_line
+from repro.api.spec import ReleaseSpec
+from repro.exceptions import HierarchyError, QueryError, ReproError
+from repro.hierarchy.tree import Hierarchy
+
+PathLike = Union[str, Path]
+
+#: Filename suffix of stored artifacts (distinguishes them from engine
+#: result-cache cells, which are plain ``<hash>.json`` files).
+ARTIFACT_SUFFIX = ".release.json"
+
+
+class ReleaseStore:
+    """A directory of spec-hash-keyed release artifacts.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> store = ReleaseStore(tempfile.mkdtemp())
+    >>> spec = ReleaseSpec.create("hawaiian", epsilon=2.0, max_size=200)
+    >>> first = store.get_or_build(spec)
+    >>> second = store.get_or_build(spec)     # served from disk
+    >>> store.builds, store.hits
+    (1, 1)
+    >>> first.to_json() == second.to_json()
+    True
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Artifacts served from disk since this store object was created.
+        self.hits = 0
+        #: Mechanism executions this store object performed.
+        self.builds = 0
+
+    # -- paths & enumeration ------------------------------------------------
+    def path_for(self, spec_or_hash: Union[ReleaseSpec, str]) -> Path:
+        """Where the artifact for a spec (or raw hash) lives."""
+        return self.directory / f"{self._hash_of(spec_or_hash)}{ARTIFACT_SUFFIX}"
+
+    @staticmethod
+    def _hash_of(spec_or_hash: Union[ReleaseSpec, str]) -> str:
+        if isinstance(spec_or_hash, ReleaseSpec):
+            return spec_or_hash.spec_hash()
+        return str(spec_or_hash)
+
+    def spec_hashes(self) -> List[str]:
+        """Hashes of every stored artifact, sorted."""
+        return sorted(
+            path.name[: -len(ARTIFACT_SUFFIX)]
+            for path in self.directory.glob(f"*{ARTIFACT_SUFFIX}")
+        )
+
+    def releases(self) -> Iterator[Release]:
+        """Load every stored artifact (hash order)."""
+        for spec_hash in self.spec_hashes():
+            yield self._load(spec_hash)
+
+    def summaries(self) -> List[Tuple[str, str]]:
+        """(spec hash, one-line summary) per artifact, without building
+        releases.
+
+        Listing skips the expensive half of a full load — validating and
+        materializing every per-node histogram into ``CountOfCounts``
+        arrays — and summarizes from the ``spec`` and ``provenance``
+        blocks instead.  (The JSON text itself is still read and parsed;
+        artifacts are single documents.)
+        """
+        rows: List[Tuple[str, str]] = []
+        for spec_hash in self.spec_hashes():
+            try:
+                payload = json.loads(self.path_for(spec_hash).read_text())
+                spec = ReleaseSpec.from_dict(payload["spec"])
+                provenance = Provenance.from_dict(payload["provenance"])
+                summary = summary_line(
+                    spec, provenance.num_nodes, provenance.epsilon_spent,
+                    provenance.library_version,
+                )
+            except (OSError, ValueError, KeyError, TypeError, ReproError):
+                summary = "unreadable artifact"
+            rows.append((spec_hash, summary))
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.spec_hashes())
+
+    def __contains__(self, spec_or_hash: Union[ReleaseSpec, str]) -> bool:
+        return self.path_for(spec_or_hash).exists()
+
+    # -- access -------------------------------------------------------------
+    def _load(self, spec_hash: str) -> Release:
+        release = Release.load(self.path_for(spec_hash))
+        stored = release.provenance.spec_hash
+        if stored != spec_hash:
+            raise HierarchyError(
+                f"artifact {self.path_for(spec_hash).name} claims spec hash "
+                f"{stored[:12]}…, expected {spec_hash[:12]}… — the store "
+                "directory has been tampered with or mixed up"
+            )
+        return release
+
+    def get(
+        self, spec_or_hash: Union[ReleaseSpec, str]
+    ) -> Optional[Release]:
+        """Load a stored artifact, or ``None`` when absent."""
+        spec_hash = self._hash_of(spec_or_hash)
+        if not self.path_for(spec_hash).exists():
+            return None
+        release = self._load(spec_hash)
+        self.hits += 1
+        return release
+
+    def put(self, release: Release) -> Path:
+        """Persist an artifact under its spec hash (atomic)."""
+        return release.save(self.path_for(release.provenance.spec_hash))
+
+    def get_or_build(
+        self, spec: ReleaseSpec, hierarchy: Optional[Hierarchy] = None
+    ) -> Release:
+        """Serve the artifact for ``spec``, building it at most once.
+
+        ``hierarchy`` optionally supplies an already-built true hierarchy
+        (callers that need the true data anyway — e.g. for error
+        diagnostics — avoid generating it twice); it must be the dataset
+        the spec describes.
+        """
+        cached = self.get(spec)
+        if cached is not None:
+            return cached
+        release = (
+            spec.execute() if hierarchy is None else spec.execute_on(hierarchy)
+        )
+        self.put(release)
+        self.builds += 1
+        return release
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a unique spec-hash prefix into the full hash."""
+        if not prefix:
+            raise QueryError("empty spec-hash prefix")
+        matches = [h for h in self.spec_hashes() if h.startswith(prefix)]
+        if not matches:
+            raise QueryError(
+                f"no artifact matching {prefix!r} in {self.directory} "
+                f"({len(self)} stored)"
+            )
+        if len(matches) > 1:
+            raise QueryError(
+                f"spec-hash prefix {prefix!r} is ambiguous: "
+                f"{[h[:12] for h in matches]}"
+            )
+        return matches[0]
+
+    # -- serving queries ----------------------------------------------------
+    def query(
+        self, spec: ReleaseSpec, query: str, node: str, **params: object
+    ) -> object:
+        """Answer a :mod:`repro.core.queries` question for ``spec``.
+
+        Serves from the stored artifact when present (the normal case);
+        builds it first when not.  Never re-runs a mechanism for a spec
+        that is already stored.
+        """
+        return self.get_or_build(spec).query(query, node, **params)
+
+    # -- maintenance --------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every stored artifact; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob(f"*{ARTIFACT_SUFFIX}"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def statistics(self) -> Dict[str, int]:
+        """Hit/build counters plus the current artifact count."""
+        return {"hits": self.hits, "builds": self.builds, "entries": len(self)}
+
+    def __repr__(self) -> str:
+        return f"ReleaseStore({str(self.directory)!r}, entries={len(self)})"

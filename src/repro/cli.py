@@ -1,11 +1,15 @@
 """Command-line interface.
 
-Six subcommands cover the workflows a data publisher needs::
+Seven subcommands cover the workflows a data publisher needs::
 
     python -m repro stats    --dataset housing --scale 1e-4
     python -m repro release  --dataset white --epsilon 1.0 --method hc \\
-                             --out release.json [--csv release.csv]
+                             --out release.json [--csv release.csv] \\
+                             [--store releases/]
     python -m repro query    release.json --node national --quantile 0.5
+    python -m repro query    efff3923 --store releases/ --node national \\
+                             --summary
+    python -m repro store    list --store releases/
     python -m repro sweep    --dataset hawaiian --epsilons 0.2,1.0 --runs 3
     python -m repro grid     --datasets housing,white --methods hc,hg,bu-hg \\
                              --epsilons 0.2,1.0 --trials 10 \\
@@ -14,58 +18,53 @@ Six subcommands cover the workflows a data publisher needs::
     python -m repro workload run-grid powerlaw-deep --methods hc,bu-hg \\
                              --epsilons 1.0 --trials 3 --mode process
 
-``release`` runs the paper's top-down algorithm end to end and serializes
-the result; ``query`` answers order-statistic/range questions against a
-saved release; ``sweep`` reproduces a mini version of the paper's ε sweeps
-with the omniscient floor for context; ``grid`` drives the parallel
-experiment engine (:mod:`repro.engine`) over a full datasets × methods ×
-epsilons × trials product, with an on-disk result cache so reruns only
-compute missing cells.  ``workload`` manages the synthetic scenario
-registry (:mod:`repro.workloads`): ``list``/``describe`` inspect specs,
-``materialize`` writes a generated hierarchy to JSON, and ``run-grid``
-sends generated scenarios through the same cached, parallel engine.  The
-dataset-taking subcommands also accept ``workload:<name>`` wherever a
-dataset name is expected.
+Every release-producing path routes through the declarative release API
+(:mod:`repro.api`): ``release`` builds a :class:`~repro.api.spec.ReleaseSpec`
+from its flags and executes it into a versioned
+:class:`~repro.api.release.Release` artifact (or serves it from a
+``--store`` directory, running the mechanism at most once per spec);
+``query`` answers order-statistic/range questions against a saved artifact
+— by file path or, with ``--store``, by spec-hash prefix — without ever
+re-running a mechanism; ``store`` lists, shows and builds stored
+artifacts from spec JSON.  ``sweep`` and ``grid`` re-express their method
+configurations as release-spec grids (:mod:`repro.api.grid`) before
+handing them to the cached, parallel experiment engine
+(:mod:`repro.engine`); ``workload`` manages the synthetic scenario
+registry (:mod:`repro.workloads`).  The dataset-taking subcommands accept
+``workload:<name>`` wherever a dataset name is expected.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 from typing import List, Optional
 
 import numpy as np
 
-from repro.core.consistency.topdown import TopDown
-from repro.core.estimators import PerLevelSpec
+from repro.api.grid import expand_grid, to_experiment_grid
+from repro.api.release import Release
+from repro.api.spec import ReleaseSpec, build_hierarchy, effective_scale
+from repro.api.store import ReleaseStore
 from repro.core.metrics import earthmover_distance
 from repro.core.queries import (
     gini_coefficient,
     groups_with_size_at_least,
     mean_group_size,
     size_quantile,
+    top_share,
 )
-from repro.core.uncertainty import release_report
-from repro.datasets import available_datasets, make_dataset
+from repro.datasets import available_datasets
 from repro.datasets.registry import WORKLOAD_PREFIX
-from repro.engine import (
-    ExperimentGrid,
-    ResultCache,
-    default_workers,
-    parse_method,
-    run_grid,
-)
+from repro.engine import ResultCache, default_workers, run_grid
 from repro.evaluation.omniscient import OmniscientBaseline
 from repro.evaluation.plots import results_chart
 from repro.evaluation.report import format_grid, format_series
 from repro.evaluation.runner import ExperimentRunner
-from repro.exceptions import EstimationError, ReproError
-from repro.io import (
-    export_release_csv,
-    load_release,
-    save_hierarchy,
-    save_release,
-)
+from repro.exceptions import EstimationError, HierarchyError, ReproError
+from repro.io import export_release_csv, load_release, save_hierarchy
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -86,43 +85,39 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
 
 
-def _effective_scale(name: str, scale: Optional[float]) -> float:
-    """The scale actually used when ``--scale`` is omitted."""
-    if scale is not None:
-        return scale
-    return 1.0 if name.lower().startswith(WORKLOAD_PREFIX) else 1e-4
-
-
-def _make_cli_dataset(name: str, scale: Optional[float], levels: Optional[int]):
-    is_workload = name.lower().startswith(WORKLOAD_PREFIX)
-    kwargs = {"scale": _effective_scale(name, scale)}
-    if not is_workload:
-        # Paper datasets keep the CLI's historical default of 2 levels
-        # (TaxiDataset's own constructor default is 3).
-        kwargs["levels"] = 2 if levels is None else levels
-    elif levels is not None:
-        kwargs["levels"] = levels  # registry rejects depth conflicts
-    return make_dataset(name, **kwargs)
-
-
 def _build_tree(args: argparse.Namespace):
-    generator = _make_cli_dataset(args.dataset, args.scale, args.levels)
-    return generator.build(seed=args.seed)
+    return build_hierarchy(
+        args.dataset, scale=args.scale, levels=args.levels, seed=args.seed
+    )
 
 
 def _parse_epsilons(text: str) -> List[float]:
     try:
-        return [float(token) for token in text.split(",")]
+        values = [float(token) for token in text.split(",")]
     except ValueError:
         raise EstimationError(
             f"--epsilons must be a comma-separated list of numbers, "
             f"got {text!r}"
         ) from None
+    for value in values:
+        if not math.isfinite(value) or value <= 0:
+            raise EstimationError(
+                f"--epsilons values must be positive and finite, "
+                f"got {value!r} in {text!r}"
+            )
+    if len(set(values)) != len(values):
+        duplicates = sorted({v for v in values if values.count(v) > 1})
+        raise EstimationError(
+            f"--epsilons contains duplicate values {duplicates} in {text!r}; "
+            "each epsilon defines one grid column, so repeats are almost "
+            "certainly a typo"
+        )
+    return values
 
 
 def _command_stats(args: argparse.Namespace) -> int:
     tree = _build_tree(args)
-    scale = _effective_scale(args.dataset, args.scale)
+    scale = effective_scale(args.dataset, args.scale)
     print(f"{args.dataset} (scale={scale:g}, seed={args.seed}): {tree}")
     for key, value in tree.statistics().items():
         print(f"  {key:>15}: {value:,}")
@@ -130,48 +125,67 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 
 def _command_release(args: argparse.Namespace) -> int:
-    tree = _build_tree(args)
-    spec = PerLevelSpec.from_string(
-        args.method if "x" in args.method.lower() else
-        " x ".join([args.method] * tree.num_levels),
-        max_size=args.max_size,
+    spec = ReleaseSpec.from_method_token(
+        args.method, dataset=args.dataset, epsilon=args.epsilon,
+        max_size=args.max_size, scale=args.scale, levels=args.levels,
+        dataset_seed=args.seed, seed=args.seed,
     )
-    algo = TopDown(spec)
-    result = algo.run(tree, args.epsilon, rng=np.random.default_rng(args.seed))
+    tree = spec.build_dataset()
+    if args.store:
+        store = ReleaseStore(args.store)
+        release = store.get_or_build(spec, hierarchy=tree)
+        source = "served from store" if store.hits else "built and stored"
+        print(f"store: {store.path_for(spec)} ({source})")
+    else:
+        release = spec.execute_on(tree)
 
-    print(f"released {len(result.estimates)} nodes with {spec} at "
-          f"eps={args.epsilon} (ledger: {result.budget.spent:.4f})")
+    display = spec.method_display(tree.num_levels)
+    print(f"released {len(release.estimates)} nodes with {display} at "
+          f"eps={args.epsilon} "
+          f"(ledger: {release.provenance.epsilon_spent:.4f})")
+    print(f"spec: sha256 {release.provenance.spec_hash}")
     for level_index, nodes in enumerate(tree.levels()):
         errors = [
-            earthmover_distance(node.data, result[node.name]) for node in nodes
+            earthmover_distance(node.data, release[node.name])
+            for node in nodes
         ]
         print(f"  level {level_index}: mean emd {np.mean(errors):,.1f} "
               f"over {len(nodes)} nodes")
     if args.report:
         print()
-        print(release_report(result))
+        print(release.accuracy_report())
 
-    metadata = {
-        "dataset": args.dataset,
-        "scale": _effective_scale(args.dataset, args.scale),
-        "epsilon": args.epsilon, "method": str(spec), "seed": args.seed,
-    }
     if args.out:
-        save_release(result.estimates, args.out, metadata=metadata)
+        release.save(args.out)
         print(f"wrote {args.out}")
     if args.csv:
-        rows = export_release_csv(result.estimates, args.csv)
+        rows = release.export_csv(args.csv)
         print(f"wrote {args.csv} ({rows} rows)")
     return 0
 
 
+def _load_release_artifact(args: argparse.Namespace):
+    """Resolve the query target: (estimates mapping, Release or None)."""
+    if args.store:
+        store = ReleaseStore(args.store)
+        release = store.get(store.resolve(args.release))
+        return release.estimates, release
+    try:
+        release = Release.load(args.release)
+        return release.estimates, release
+    except HierarchyError:
+        # Version-1 files carry histograms + metadata only; serve the
+        # histogram block through the legacy loader.
+        return load_release(args.release), None
+
+
 def _command_query(args: argparse.Namespace) -> int:
-    release = load_release(args.release)
-    if args.node not in release:
+    estimates, release = _load_release_artifact(args)
+    if args.node not in estimates:
         print(f"error: node {args.node!r} not in release "
-              f"(available: {sorted(release)[:8]}...)", file=sys.stderr)
+              f"(available: {sorted(estimates)[:8]}...)", file=sys.stderr)
         return 2
-    histogram = release[args.node]
+    histogram = estimates[args.node]
     print(f"{args.node}: {histogram}")
     if args.quantile is not None:
         print(f"  size quantile p{int(args.quantile * 100)}: "
@@ -179,9 +193,48 @@ def _command_query(args: argparse.Namespace) -> int:
     if args.at_least is not None:
         print(f"  groups with size >= {args.at_least}: "
               f"{groups_with_size_at_least(histogram, args.at_least):,}")
+    if args.top_share is not None:
+        print(f"  top {args.top_share:.0%} of groups hold: "
+              f"{top_share(histogram, args.top_share):.1%} of entities")
     if args.summary:
         print(f"  mean group size: {mean_group_size(histogram):.2f}")
         print(f"  gini coefficient: {gini_coefficient(histogram):.3f}")
+        if release is not None and args.node in release.uncertainty:
+            print(f"  predicted emd: {release.uncertainty[args.node]:,.1f}")
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    store = ReleaseStore(args.store)
+    if args.action == "list":
+        # summaries() skips materializing histograms, so listing stays
+        # cheap for stores holding scenario-scale artifacts.
+        rows = store.summaries()
+        print(f"{store.directory}: {len(rows)} release artifact(s)")
+        for spec_hash, summary in rows:
+            print(f"  {spec_hash[:16]}  {summary}")
+        return 0
+    if args.action == "show":
+        release = store.get(store.resolve(args.hash))
+        print(release.spec.describe())
+        print(f"  artifact     : {store.path_for(release.spec)}")
+        print(f"  nodes        : {len(release)}")
+        print(f"  eps spent    : {release.provenance.epsilon_spent:.4f} of "
+              f"{release.provenance.epsilon_budget:.4f}")
+        print(f"  built by     : {release.provenance.library_version}")
+        if args.report:
+            print()
+            print(release.accuracy_report())
+        return 0
+    # build: execute (or serve) a spec described as JSON.
+    with open(args.spec_json) as handle:
+        payload = json.load(handle)
+    spec = ReleaseSpec.from_dict(payload)
+    before = store.builds
+    release = store.get_or_build(spec)
+    state = "built" if store.builds > before else "already stored"
+    print(f"{state}: {release.provenance.spec_hash[:16]}  {release.summary()}")
+    print(f"artifact: {store.path_for(spec)}")
     return 0
 
 
@@ -189,18 +242,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
     tree = _build_tree(args)
     runner = ExperimentRunner(tree, runs=args.runs, seed=args.seed)
     epsilons = _parse_epsilons(args.epsilons)
-    spec = PerLevelSpec.from_string(
-        " x ".join([args.method] * tree.num_levels), max_size=args.max_size
+    spec = ReleaseSpec.from_method_token(
+        args.method, dataset=args.dataset, epsilon=epsilons[0],
+        max_size=args.max_size, scale=args.scale, levels=args.levels,
+        dataset_seed=args.seed, seed=args.seed,
     )
-    algo = TopDown(spec)
-    sweep = runner.sweep(
-        str(spec),
-        lambda tree_, eps, rng: algo.run(tree_, eps, rng=rng).estimates,
-        epsilons,
-    )
+    label = spec.method_display(tree.num_levels)
+    sweep = runner.sweep(label, spec, epsilons)
     print(format_series(f"{args.dataset} ({args.runs} runs)", sweep))
     print()
-    print(results_chart({str(spec): sweep}, level=0,
+    print(results_chart({label: sweep}, level=0,
                         title="root-level error vs total eps"))
     print("\nomniscient level-0 floor (expected | measured over "
           f"{args.runs} batched trials):")
@@ -221,22 +272,37 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def _run_and_print_grid(
     datasets: dict, args: argparse.Namespace
 ) -> int:
-    """Shared tail of ``grid`` and ``workload run-grid``: execute + report."""
-    methods = [
-        parse_method(token, max_size=args.max_size)
-        for token in args.methods.split(",")
-    ]
+    """Shared tail of ``grid`` and ``workload run-grid``: expand the
+    flags into a release-spec grid, then execute + report."""
+    tokens = [token.strip() for token in args.methods.split(",")]
     epsilons = _parse_epsilons(args.epsilons)
-    grid = ExperimentGrid(
-        datasets, methods, epsilons=epsilons,
-        trials=args.trials, seed=args.seed,
+    # One base spec per dataset so each spec records the build parameters
+    # of the hierarchy it actually describes (scale/levels defaults differ
+    # between paper datasets and workloads; `workload run-grid` has no
+    # scale/levels flags at all).  Dataset-major order matches the cells.
+    specs = []
+    for name in datasets:
+        base = ReleaseSpec.from_method_token(
+            tokens[0], dataset=name, epsilon=epsilons[0],
+            max_size=args.max_size,
+            scale=getattr(args, "scale", None),
+            levels=getattr(args, "levels", None),
+            dataset_seed=args.seed, seed=args.seed,
+        )
+        specs.extend(expand_grid(
+            base, methods=[t.lower() for t in tokens], epsilons=epsilons,
+        ))
+    grid = to_experiment_grid(
+        specs, trials=args.trials,
+        labels={token.lower(): token for token in tokens},
+        hierarchies=datasets,
     )
     cache = ResultCache(args.cache) if args.cache else None
     workers = args.workers or default_workers()
     cells = run_grid(grid, mode=args.mode, workers=workers, cache=cache)
 
     fresh = sum(1 for cell in cells if not cell.cached)
-    print(f"grid: {len(datasets)} dataset(s) x {len(methods)} method(s) x "
+    print(f"grid: {len(datasets)} dataset(s) x {len(tokens)} method(s) x "
           f"{len(epsilons)} epsilon(s) x {args.trials} trial(s) = "
           f"{len(cells)} cells ({fresh} computed, {len(cells) - fresh} cached)")
     if cache is not None:
@@ -250,8 +316,9 @@ def _command_grid(args: argparse.Namespace) -> int:
     datasets = {}
     for name in args.datasets.split(","):
         name = name.strip()
-        generator = _make_cli_dataset(name, args.scale, args.levels)
-        datasets[name] = generator.build(seed=args.seed)
+        datasets[name] = build_hierarchy(
+            name, scale=args.scale, levels=args.levels, seed=args.seed
+        )
     return _run_and_print_grid(datasets, args)
 
 
@@ -324,24 +391,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(release)
     release.add_argument("--epsilon", type=float, default=1.0)
     release.add_argument("--method", default="hc",
-                         help="'hc', 'hg', 'naive' or a per-level spec "
-                              "like 'hc x hg'")
+                         help="'hc', 'hg', 'naive', a per-level spec like "
+                              "'hc x hg', or bu-hc/bu-hg")
     release.add_argument("--max-size", type=int, default=20_000,
                          help="public bound K on group size")
-    release.add_argument("--out", help="write release JSON here")
+    release.add_argument("--out", help="write the release artifact here")
     release.add_argument("--csv", help="write Summary-File-style CSV here")
+    release.add_argument("--store", default=None,
+                         help="release-store directory: serve the artifact "
+                              "from it when stored, build at most once")
     release.add_argument("--report", action="store_true",
                          help="print the variance-based accuracy report")
     release.set_defaults(fn=_command_release)
 
     query = commands.add_parser("query", help="query a saved release")
-    query.add_argument("release", help="release JSON path")
+    query.add_argument("release",
+                       help="release JSON path, or a spec-hash prefix "
+                            "when --store is given")
+    query.add_argument("--store", default=None,
+                       help="release-store directory to resolve the "
+                            "spec-hash prefix in")
     query.add_argument("--node", required=True)
     query.add_argument("--quantile", type=float)
     query.add_argument("--at-least", type=int)
+    query.add_argument("--top-share", type=float,
+                       help="share of entities held by the largest "
+                            "FRACTION of groups")
     query.add_argument("--summary", action="store_true",
                        help="print mean size and gini coefficient")
     query.set_defaults(fn=_command_query)
+
+    store = commands.add_parser(
+        "store", help="inspect and build release-store artifacts"
+    )
+    store_actions = store.add_subparsers(dest="action", required=True)
+    s_list = store_actions.add_parser("list", help="list stored artifacts")
+    s_list.add_argument("--store", required=True,
+                        help="release-store directory")
+    s_list.set_defaults(fn=_command_store)
+    s_show = store_actions.add_parser(
+        "show", help="print one artifact's spec and provenance"
+    )
+    s_show.add_argument("hash", help="spec-hash prefix")
+    s_show.add_argument("--store", required=True,
+                        help="release-store directory")
+    s_show.add_argument("--report", action="store_true",
+                        help="also print the stored accuracy report")
+    s_show.set_defaults(fn=_command_store)
+    s_build = store_actions.add_parser(
+        "build", help="build (or serve) the artifact for a spec JSON file"
+    )
+    s_build.add_argument("spec_json", help="path to a ReleaseSpec JSON file")
+    s_build.add_argument("--store", required=True,
+                         help="release-store directory")
+    s_build.set_defaults(fn=_command_store)
 
     sweep = commands.add_parser("sweep", help="mini epsilon sweep with chart")
     _add_dataset_arguments(sweep)

@@ -97,25 +97,47 @@ def node_error_estimate(release: ConsistentEstimates, node: str) -> float:
     return float(_MAD_FACTOR * np.sqrt(variances).sum())
 
 
+def format_accuracy_report(
+    rows, epsilon_spent: float, epsilon_budget: float
+) -> str:
+    """Render accuracy-report rows into the canonical text layout.
+
+    ``rows`` holds ``(node, groups, predicted_emd, entities)`` tuples.
+    Shared by :func:`release_report` (fresh in-memory results) and
+    :meth:`repro.api.release.Release.accuracy_report` (stored artifacts),
+    which must render byte-identically — one formatter, one layout.
+    """
+    lines = ["release accuracy report (variance-based predictions)"]
+    lines.append(
+        f"{'node':<24}{'groups':>10}{'pred. emd':>14}{'rel. to people':>16}"
+    )
+    for node, groups, predicted, entities in rows:
+        entities = max(entities, 1)
+        lines.append(
+            f"{node:<24}{groups:>10,}{predicted:>14,.1f}"
+            f"{predicted / entities:>15.2%}"
+        )
+    lines.append(
+        f"privacy: eps spent {epsilon_spent:.4f} of {epsilon_budget:.4f}"
+    )
+    return "\n".join(lines)
+
+
 def release_report(release: ConsistentEstimates) -> str:
     """A text accuracy report for a full release.
 
     One line per node: group count, predicted EMD and predicted relative
     error against the node's entity total.
     """
-    lines = ["release accuracy report (variance-based predictions)"]
-    lines.append(
-        f"{'node':<24}{'groups':>10}{'pred. emd':>14}{'rel. to people':>16}"
-    )
-    for node, estimate in sorted(release.estimates.items()):
-        predicted = node_error_estimate(release, node)
-        entities = max(estimate.num_entities, 1)
-        lines.append(
-            f"{node:<24}{estimate.num_groups:>10,}{predicted:>14,.1f}"
-            f"{predicted / entities:>15.2%}"
+    rows = [
+        (
+            node,
+            estimate.num_groups,
+            node_error_estimate(release, node),
+            estimate.num_entities,
         )
-    lines.append(
-        f"privacy: eps spent {release.budget.spent:.4f} of "
-        f"{release.budget.epsilon:.4f}"
+        for node, estimate in sorted(release.estimates.items())
+    ]
+    return format_accuracy_report(
+        rows, release.budget.spent, release.budget.epsilon
     )
-    return "\n".join(lines)

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -123,9 +125,15 @@ class ResultCache:
             "level_emd": list(result.level_emd),
         }
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)  # atomic on POSIX: concurrent writers both win
+        # Unique temp name: concurrent writers of the same cell must not
+        # race on one shared .tmp file (the loser's rename would fail);
+        # results are bit-identical, so last-rename-wins is correct.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=key + ".", suffix=".tmp", dir=self.directory
+        )
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload))
+        os.replace(tmp_name, path)
 
     # -- maintenance --------------------------------------------------------
     def __len__(self) -> int:

@@ -161,16 +161,21 @@ class ExperimentRunner:
 
     @staticmethod
     def _as_spec(label: str, release):
-        """Wrap a callable as a spec; pass declarative specs through.
+        """Wrap a callable as a spec; adapt declarative specs through.
 
-        Accepting a :class:`~repro.engine.methods.MethodSpec` (relabelled
-        to ``label``) keeps the runner's cache usable: bare callables can
-        never be cached, declarative specs can.
+        Accepts three shapes: a bare release callable (compatibility
+        path, never cacheable), an engine
+        :class:`~repro.engine.methods.MethodSpec`, or a declarative
+        :class:`~repro.api.spec.ReleaseSpec` — the latter two are
+        relabelled to ``label`` and stay cacheable.
         """
         from dataclasses import replace
 
+        from repro.api.spec import ReleaseSpec
         from repro.engine.methods import MethodSpec
 
+        if isinstance(release, ReleaseSpec):
+            return release.method_spec(label=label)
         if isinstance(release, MethodSpec):
             return release if release.label == label else replace(
                 release, label=label
@@ -180,9 +185,10 @@ class ExperimentRunner:
     def run(self, label: str, release: ReleaseFn, epsilon: float) -> RunResult:
         """Execute one configuration; returns per-level statistics.
 
-        ``release`` is either a release callable or a declarative
-        :class:`~repro.engine.methods.MethodSpec` (required for the on-disk
-        cache to apply).
+        ``release`` is a release callable, an engine
+        :class:`~repro.engine.methods.MethodSpec`, or a declarative
+        :class:`~repro.api.spec.ReleaseSpec` (one of the declarative
+        forms is required for the on-disk cache to apply).
         """
         return self._run_specs(
             [self._as_spec(label, release)], [epsilon]

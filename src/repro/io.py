@@ -28,8 +28,42 @@ from repro.hierarchy.tree import Hierarchy, Node
 
 PathLike = Union[str, Path]
 
-#: Format version written into every JSON file.
-FORMAT_VERSION = 1
+#: Format version written into every JSON file.  Version 2 adds the
+#: declarative-release keys (``spec``, ``provenance``, ``uncertainty``)
+#: written by :mod:`repro.api`; the reading side accepts both versions
+#: because every version-1 file is a valid version-2 file without them.
+FORMAT_VERSION = 2
+
+#: Versions this build of the library can read.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
+
+
+def check_format_version(payload: Mapping[str, object], source: object) -> int:
+    """Validate a payload's ``format_version``; returns the version.
+
+    Files written by a *newer* library than this one are rejected with a
+    clear :class:`HierarchyError` instead of being best-effort parsed —
+    a future format may change the meaning of existing keys, and a
+    silently wrong release is worse than no release.
+
+    Examples
+    --------
+    >>> check_format_version({"format_version": 1}, "x.json")
+    1
+    """
+    version = payload.get("format_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise HierarchyError(
+            f"{source} has an invalid format_version {version!r}; "
+            f"expected an integer >= 1"
+        )
+    if version > max(SUPPORTED_FORMAT_VERSIONS):
+        raise HierarchyError(
+            f"{source} has format_version {version}, newer than the "
+            f"latest supported version {max(SUPPORTED_FORMAT_VERSIONS)}; "
+            "upgrade the library to read this file"
+        )
+    return version
 
 
 def _node_to_dict(node: Node) -> dict:
@@ -83,6 +117,7 @@ def load_hierarchy(path: PathLike) -> Hierarchy:
     >>> os.unlink(path)
     """
     payload = json.loads(Path(path).read_text())
+    check_format_version(payload, path)
     if payload.get("kind") != "hierarchy":
         raise HierarchyError(f"{path} is not a hierarchy file")
     return Hierarchy(_node_from_dict(payload["root"]), validate=False)
@@ -132,8 +167,14 @@ def save_release(
 
 
 def load_release(path: PathLike) -> Dict[str, CountOfCounts]:
-    """Read a release written by :func:`save_release`."""
+    """Read a release written by :func:`save_release`.
+
+    Also reads the histogram block of the richer version-2 artifacts
+    written by :meth:`repro.api.release.Release.save` (which bundle a
+    spec and provenance on top of the same ``nodes`` mapping).
+    """
     payload = json.loads(Path(path).read_text())
+    check_format_version(payload, path)
     if payload.get("kind") != "release":
         raise HierarchyError(f"{path} is not a release file")
     return {
@@ -145,6 +186,7 @@ def load_release(path: PathLike) -> Dict[str, CountOfCounts]:
 def release_metadata(path: PathLike) -> Dict[str, object]:
     """Metadata stored in a release file."""
     payload = json.loads(Path(path).read_text())
+    check_format_version(payload, path)
     if payload.get("kind") != "release":
         raise HierarchyError(f"{path} is not a release file")
     return dict(payload.get("metadata", {}))

@@ -11,6 +11,7 @@ the configured ε and that each level's spend equals ε/(L+1).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -29,8 +30,12 @@ class BudgetSplit:
     parts: int
 
     def __post_init__(self) -> None:
-        if self.total <= 0:
-            raise PrivacyBudgetError(f"total budget must be positive, got {self.total}")
+        # NaN compares False against everything, so the sign check alone
+        # would accept it (and +inf); require finiteness explicitly.
+        if not math.isfinite(self.total) or self.total <= 0:
+            raise PrivacyBudgetError(
+                f"total budget must be positive and finite, got {self.total}"
+            )
         if self.parts < 1:
             raise PrivacyBudgetError(f"parts must be >= 1, got {self.parts}")
 
@@ -62,8 +67,10 @@ class PrivacyBudget:
     """
 
     def __init__(self, epsilon: float) -> None:
-        if epsilon <= 0:
-            raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise PrivacyBudgetError(
+                f"epsilon must be positive and finite, got {epsilon}"
+            )
         self.epsilon = float(epsilon)
         # parallel_group -> scope -> total spent by that scope
         self._ledger: Dict[str, Dict[str, float]] = {}
@@ -89,8 +96,10 @@ class PrivacyBudget:
             If the amount is nonpositive or the charge would push the total
             (under sequential-of-parallel composition) beyond ε.
         """
-        if amount <= 0:
-            raise PrivacyBudgetError(f"spend amount must be positive, got {amount}")
+        if not math.isfinite(amount) or amount <= 0:
+            raise PrivacyBudgetError(
+                f"spend amount must be positive and finite, got {amount}"
+            )
         scopes = self._ledger.setdefault(parallel_group, {})
         before_group = max(scopes.values(), default=0.0)
         scope_after = scopes.get(scope, 0.0) + amount

@@ -225,6 +225,33 @@ class WorkloadSpec:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def release_spec(self, epsilon: float, **kwargs):
+        """A :class:`~repro.api.spec.ReleaseSpec` releasing this workload.
+
+        The spec must be registered (release specs address datasets by
+        registry reference, here ``workload:<name>``); keyword arguments
+        are forwarded to :meth:`ReleaseSpec.create`.
+
+        Examples
+        --------
+        >>> get_workload("golden-small").release_spec(1.0).dataset
+        'workload:golden-small'
+        """
+        # Imported lazily — repro.api resolves workload references through
+        # the dataset registry, so a top-level import would be circular.
+        from repro.api.spec import ReleaseSpec
+
+        if _WORKLOADS.get(self.name) != self:
+            raise WorkloadError(
+                f"workload {self.name!r} is not registered (or the registry "
+                "holds a different spec under that name); release specs "
+                "reference workloads by registry name — call "
+                "register_workload(spec) first"
+            )
+        return ReleaseSpec.create(
+            f"workload:{self.name}", epsilon=epsilon, **kwargs
+        )
+
     def describe(self) -> str:
         """Multi-line human summary used by ``repro workload describe``."""
         params = ", ".join(f"{k}={v}" for k, v in self.params) or "defaults"

@@ -1,0 +1,192 @@
+"""Tests for the Release artifact: determinism, serving, serialization."""
+
+import json
+
+import pytest
+
+from repro.api.release import (
+    Provenance,
+    Release,
+    available_queries,
+)
+from repro.api.spec import ReleaseSpec
+from repro.core.queries import gini_coefficient, size_quantile
+from repro.exceptions import HierarchyError, QueryError
+from repro.io import load_release, release_metadata
+
+
+@pytest.fixture(scope="module")
+def spec() -> ReleaseSpec:
+    return ReleaseSpec.create("hawaiian", epsilon=2.0, max_size=200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def release(spec) -> Release:
+    return spec.execute()
+
+
+class TestDeterminism:
+    def test_same_spec_executes_to_byte_identical_json(self, spec, release):
+        again = spec.execute()
+        assert again.to_json() == release.to_json()
+
+    def test_save_is_byte_identical_across_runs(self, spec, release, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        release.save(first)
+        spec.execute().save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_changes_bytes(self, spec, release):
+        from dataclasses import replace
+
+        other = replace(spec, seed=spec.seed + 1).execute()
+        assert other.to_json() != release.to_json()
+
+
+class TestQueries:
+    def test_serves_every_core_query(self, release):
+        params = {
+            "kth_smallest_group": {"k": 1},
+            "kth_largest_group": {"k": 1},
+            "size_quantile": {"quantile": 0.5},
+            "groups_with_size_at_least": {"size": 1},
+            "groups_with_size_between": {"low": 1, "high": 5},
+            "entities_in_groups_of_size_between": {"low": 1, "high": 5},
+            "mean_group_size": {},
+            "gini_coefficient": {},
+            "top_share": {"fraction": 0.5},
+        }
+        assert set(params) == set(available_queries())
+        for query, kwargs in params.items():
+            value = release.query(query, "national", **kwargs)
+            assert isinstance(value, (int, float))
+
+    def test_query_matches_direct_function(self, release):
+        histogram = release["national"]
+        assert release.query(
+            "size_quantile", "national", quantile=0.5
+        ) == size_quantile(histogram, 0.5)
+        assert release.query(
+            "gini_coefficient", "national"
+        ) == gini_coefficient(histogram)
+
+    def test_unknown_query_rejected(self, release):
+        with pytest.raises(QueryError, match="unknown query"):
+            release.query("mind_reading", "national")
+
+    def test_bad_parameters_rejected(self, release):
+        with pytest.raises(QueryError, match="bad parameters"):
+            release.query("size_quantile", "national", fraction=0.5)
+
+    def test_missing_node_rejected(self, release):
+        with pytest.raises(QueryError, match="atlantis"):
+            release.query("mean_group_size", "atlantis")
+
+    def test_mapping_surface(self, release):
+        assert "national" in release
+        assert len(release) == len(release.node_names())
+        assert release["national"] is release.node("national")
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self, release, tmp_path):
+        path = tmp_path / "artifact.json"
+        release.save(path)
+        loaded = Release.load(path)
+        assert loaded.spec == release.spec
+        assert loaded.provenance.spec_hash == release.provenance.spec_hash
+        assert loaded.uncertainty == release.uncertainty
+        assert loaded.node_names() == release.node_names()
+        assert all(
+            loaded[name] == release[name] for name in release.node_names()
+        )
+        # Timing is a measurement of one run, not artifact content.
+        assert loaded.provenance.wall_time_seconds is None
+        assert loaded.to_json() == release.to_json()
+
+    def test_legacy_loader_reads_v2_artifacts(self, release, tmp_path):
+        path = tmp_path / "artifact.json"
+        release.save(path)
+        legacy = load_release(path)
+        assert all(
+            legacy[name] == release[name] for name in release.node_names()
+        )
+        metadata = release_metadata(path)
+        assert metadata["epsilon"] == release.spec.epsilon
+        assert metadata["method"] == "Hc×Hc"
+
+    def test_v1_file_rejected_with_pointer_to_legacy_loader(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({
+            "format_version": 1, "kind": "release",
+            "metadata": {}, "nodes": {"US": [0, 1]},
+        }))
+        with pytest.raises(HierarchyError, match="version-1"):
+            Release.load(path)
+        assert load_release(path)["US"].num_groups == 1
+
+    def test_non_release_payload_rejected(self, tmp_path):
+        path = tmp_path / "tree.json"
+        path.write_text(json.dumps({"format_version": 2, "kind": "hierarchy"}))
+        with pytest.raises(HierarchyError, match="not a release"):
+            Release.load(path)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(HierarchyError, match="not a release"):
+            Release.load(path)
+
+    def test_missing_nodes_block_rejected_cleanly(self, release, tmp_path):
+        path = tmp_path / "broken.json"
+        payload = json.loads(release.to_json())
+        del payload["nodes"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(HierarchyError, match="nodes"):
+            Release.load(path)
+
+    def test_malformed_histogram_block_rejected_cleanly(
+        self, release, tmp_path
+    ):
+        path = tmp_path / "broken.json"
+        payload = json.loads(release.to_json())
+        payload["nodes"] = {"national": "not-a-histogram"}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(HierarchyError, match="malformed"):
+            Release.load(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(HierarchyError, match="cannot read"):
+            Release.load(tmp_path / "missing.json")
+
+    def test_malformed_provenance_rejected(self):
+        with pytest.raises(HierarchyError, match="provenance"):
+            Provenance.from_dict({"spec_hash": "x"})
+
+    def test_csv_export(self, release, tmp_path):
+        path = tmp_path / "release.csv"
+        rows = release.export_csv(path)
+        assert rows > 0
+        assert path.read_text().startswith("region,size,count")
+
+
+class TestReports:
+    def test_accuracy_report_matches_uncertainty_block(self, release):
+        report = release.accuracy_report()
+        assert "release accuracy report" in report
+        assert "eps spent 2.0000 of 2.0000" in report
+
+    def test_loaded_artifact_reports_identically(self, release, tmp_path):
+        path = tmp_path / "artifact.json"
+        release.save(path)
+        assert Release.load(path).accuracy_report() == release.accuracy_report()
+
+    def test_report_requires_uncertainty_step(self):
+        bare = ReleaseSpec.create(
+            "hawaiian", epsilon=1.0, max_size=200, postprocess=()
+        ).execute()
+        assert bare.uncertainty == {}
+        with pytest.raises(QueryError, match="uncertainty"):
+            bare.accuracy_report()
+
+    def test_summary_and_repr(self, release):
+        assert "hawaiian" in release.summary()
+        assert "Release(" in repr(release)

@@ -1,0 +1,125 @@
+"""Tests for release-spec grids and their engine equivalence."""
+
+import pytest
+
+from repro.api.grid import expand_grid, to_experiment_grid
+from repro.api.spec import ReleaseSpec
+from repro.engine import run_grid
+from repro.engine.grid import ExperimentGrid
+from repro.engine.methods import MethodSpec
+from repro.evaluation.runner import ExperimentRunner
+from repro.exceptions import EstimationError
+from repro.hierarchy.build import from_leaf_histograms
+
+
+def base_spec(**overrides):
+    defaults = dict(dataset="hawaiian", epsilon=1.0, max_size=200)
+    defaults.update(overrides)
+    return ReleaseSpec.create(**defaults)
+
+
+class TestExpandGrid:
+    def test_full_product_in_cell_order(self):
+        specs = expand_grid(
+            base_spec(), methods=["hc", "bu-hg"], epsilons=[0.5, 1.0]
+        )
+        assert len(specs) == 4
+        assert [s.method_token for s in specs] == ["hc", "hc", "bu-hg", "bu-hg"]
+        assert [s.epsilon for s in specs] == [0.5, 1.0, 0.5, 1.0]
+
+    def test_missing_axes_keep_base_values(self):
+        specs = expand_grid(base_spec(), epsilons=[2.0])
+        assert len(specs) == 1
+        assert specs[0].method_token == "hc"
+        assert specs[0].epsilon == 2.0
+
+
+class TestToExperimentGrid:
+    def test_factors_back_into_a_grid(self):
+        grid = to_experiment_grid(
+            expand_grid(base_spec(), methods=["hc", "bu-hg"],
+                        epsilons=[0.5, 1.0]),
+            trials=2,
+        )
+        assert isinstance(grid, ExperimentGrid)
+        assert len(grid.cells()) == 8
+        assert [m.label for m in grid.methods] == ["hc", "bu-hg"]
+        assert grid.epsilons == [0.5, 1.0]
+
+    def test_labels_override_display_only(self):
+        grid = to_experiment_grid(
+            expand_grid(base_spec(), methods=["hc"]),
+            trials=1, labels={"hc": "Hc"},
+        )
+        assert grid.methods[0].label == "Hc"
+        assert grid.methods[0].kind == "topdown"
+
+    def test_prebuilt_hierarchies_are_used_verbatim(self):
+        tree = from_leaf_histograms("US", {"VA": [0, 9, 3], "MD": [0, 5, 2]})
+        spec = base_spec(dataset="hawaiian", max_size=20)
+        grid = to_experiment_grid(
+            [spec], trials=1, hierarchies={"hawaiian": tree}
+        )
+        assert grid.datasets["hawaiian"] is tree
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EstimationError, match="at least one"):
+            to_experiment_grid([])
+
+    def test_mixed_seeds_rejected(self):
+        specs = [base_spec(seed=0), base_spec(seed=1, epsilon=2.0)]
+        with pytest.raises(EstimationError, match="one noise seed"):
+            to_experiment_grid(specs)
+
+    def test_incomplete_product_rejected(self):
+        specs = expand_grid(
+            base_spec(), methods=["hc", "bu-hg"], epsilons=[0.5, 1.0]
+        )[:-1]
+        with pytest.raises(EstimationError, match="product"):
+            to_experiment_grid(specs)
+
+    def test_conflicting_dataset_parameters_rejected(self):
+        specs = [
+            base_spec(dataset_seed=0),
+            base_spec(dataset_seed=1, epsilon=2.0),
+        ]
+        with pytest.raises(EstimationError, match="conflicting build"):
+            to_experiment_grid(specs)
+
+    def test_conflicting_method_parameters_rejected(self):
+        specs = [base_spec(max_size=100), base_spec(max_size=200, epsilon=2.0)]
+        with pytest.raises(EstimationError, match="conflicting mechanism"):
+            to_experiment_grid(specs)
+
+
+class TestEngineEquivalence:
+    def test_release_spec_grid_matches_hand_built_grid(self):
+        """The declarative layer must be a pure re-expression: identical
+        cells, seeds and therefore bit-identical results."""
+        tree = from_leaf_histograms(
+            "US", {"VA": [0, 9, 3, 1], "MD": [0, 5, 2, 1]}
+        )
+        hand_built = ExperimentGrid(
+            {"hawaiian": tree},
+            [MethodSpec.topdown("hc", max_size=20, label="hc"),
+             MethodSpec.bottomup("hg", max_size=20, label="bu-hg")],
+            epsilons=[0.5, 1.0], trials=2, seed=3,
+        )
+        declarative = to_experiment_grid(
+            expand_grid(base_spec(max_size=20, seed=3),
+                        methods=["hc", "bu-hg"], epsilons=[0.5, 1.0]),
+            trials=2, hierarchies={"hawaiian": tree},
+        )
+        a = run_grid(hand_built, mode="serial")
+        b = run_grid(declarative, mode="serial")
+        assert [r.level_emd for r in a] == [r.level_emd for r in b]
+
+    def test_runner_accepts_release_specs(self):
+        tree = from_leaf_histograms("US", {"VA": [0, 9, 3], "MD": [0, 5, 2]})
+        runner = ExperimentRunner(tree, runs=2, seed=0)
+        spec = base_spec(max_size=20)
+        via_spec = runner.run("hc", spec, 1.0)
+        via_method = runner.run(
+            "hc", MethodSpec.topdown("hc", max_size=20), 1.0
+        )
+        assert via_spec.levels[0].mean == via_method.levels[0].mean

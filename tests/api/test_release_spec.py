@@ -1,0 +1,277 @@
+"""Tests for the declarative ReleaseSpec: validation, hashing, adapters."""
+
+import numpy as np
+import pytest
+
+from repro.api.spec import (
+    ReleaseSpec,
+    build_hierarchy,
+    effective_scale,
+    execution_count,
+)
+from repro.engine.methods import MethodSpec
+from repro.exceptions import EstimationError
+from repro.hierarchy.build import from_leaf_histograms
+
+
+def small_spec(**overrides):
+    defaults = dict(dataset="hawaiian", epsilon=1.0, max_size=200)
+    defaults.update(overrides)
+    return ReleaseSpec.create(**defaults)
+
+
+class TestValidation:
+    def test_defaults_resolve_explicitly(self):
+        spec = small_spec()
+        assert spec.scale == pytest.approx(1e-4)
+        assert spec.levels == 2
+        assert spec.postprocess == ("uncertainty",)
+
+    def test_workload_defaults(self):
+        spec = small_spec(dataset="workload:golden-small")
+        assert spec.scale == pytest.approx(1.0)
+        assert spec.levels is None
+
+    def test_dataset_case_normalized(self):
+        assert small_spec(dataset="HAWAIIAN").dataset == "hawaiian"
+        # Workload names keep their case past the normalized prefix.
+        spec = small_spec(dataset="WORKLOAD:golden-small")
+        assert spec.dataset == "workload:golden-small"
+
+    def test_estimator_notation_normalized(self):
+        spec = small_spec(estimator="HC × Hg")
+        assert spec.estimator == "hc x hg"
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_epsilon_rejected(self, epsilon):
+        with pytest.raises(EstimationError):
+            small_spec(epsilon=epsilon)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(EstimationError, match="unknown estimator"):
+            small_spec(estimator="hq")
+
+    def test_unknown_consistency_rejected(self):
+        with pytest.raises(EstimationError, match="consistency"):
+            small_spec(consistency="sideways")
+
+    def test_unknown_merge_strategy_rejected(self):
+        with pytest.raises(EstimationError, match="merge"):
+            small_spec(merge_strategy="psychic")
+
+    def test_bottomup_rejects_per_level_spec(self):
+        with pytest.raises(EstimationError, match="single estimator"):
+            small_spec(consistency="bottomup", estimator="hc x hg")
+
+    def test_bottomup_rejects_budget_split(self):
+        with pytest.raises(EstimationError, match="budget_split"):
+            small_spec(consistency="bottomup", budget_split=(1.0, 2.0))
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("nan"), float("inf")])
+    def test_budget_split_weights_validated(self, weight):
+        with pytest.raises(EstimationError, match="budget_split"):
+            small_spec(budget_split=(1.0, weight))
+
+    def test_budget_split_length_checked_against_estimator(self):
+        with pytest.raises(EstimationError, match="covers"):
+            small_spec(estimator="hc x hg", budget_split=(1.0, 1.0, 1.0))
+
+    def test_budget_split_length_checked_against_known_depth(self):
+        """Paper datasets resolve their depth at construction, so a
+        wrong-length split must not wait for execute() to fail."""
+        with pytest.raises(EstimationError, match="hierarchy has 2"):
+            small_spec(budget_split=(1.0, 2.0, 3.0, 4.0))
+        assert small_spec(
+            levels=3, budget_split=(1.0, 2.0, 3.0), estimator="hc"
+        ).budget_split == (1.0, 2.0, 3.0)
+
+    def test_estimator_depth_checked_against_known_depth(self):
+        with pytest.raises(EstimationError, match="hierarchy has 2"):
+            small_spec(estimator="hc x hg x hc")
+        assert small_spec(levels=3, estimator="hc x hg x hc").levels == 3
+
+    def test_unknown_postprocess_rejected(self):
+        with pytest.raises(EstimationError, match="postprocess"):
+            small_spec(postprocess=("telepathy",))
+
+    def test_duplicate_postprocess_rejected(self):
+        with pytest.raises(EstimationError, match="duplicate"):
+            small_spec(postprocess=("uncertainty", "uncertainty"))
+
+    @pytest.mark.parametrize("scale", [0.0, -0.5, float("nan")])
+    def test_bad_scale_rejected(self, scale):
+        with pytest.raises(EstimationError):
+            small_spec(scale=scale)
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(EstimationError):
+            small_spec(levels=1)
+
+    def test_bad_max_size_rejected(self):
+        with pytest.raises(EstimationError):
+            small_spec(max_size=0)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EstimationError):
+            small_spec(dataset="")
+
+
+class TestHashing:
+    def test_hash_is_stable_and_canonical(self):
+        a = small_spec(estimator="HC")
+        b = small_spec(estimator="hc")
+        assert a.spec_hash() == b.spec_hash()
+        assert len(a.spec_hash()) == 64
+
+    def test_hash_distinguishes_content(self):
+        assert small_spec().spec_hash() != small_spec(epsilon=2.0).spec_hash()
+        assert small_spec().spec_hash() != small_spec(seed=1).spec_hash()
+        assert (
+            small_spec().spec_hash()
+            != small_spec(budget_split=(2.0, 1.0), estimator="hc x hc").spec_hash()
+        )
+
+    def test_dict_roundtrip_preserves_hash(self):
+        spec = small_spec(estimator="hc x hg", budget_split=(3.0, 1.0))
+        clone = ReleaseSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(EstimationError, match="missing"):
+            ReleaseSpec.from_dict({"epsilon": 1.0})
+
+    def test_from_dict_malformed_field(self):
+        with pytest.raises(EstimationError, match="malformed"):
+            ReleaseSpec.from_dict({"dataset": "hawaiian", "epsilon": "loud"})
+
+
+class TestAdapters:
+    def test_method_token_roundtrip(self):
+        assert small_spec().method_token == "hc"
+        bu = ReleaseSpec.from_method_token(
+            "bu-hg", dataset="hawaiian", epsilon=1.0
+        )
+        assert bu.consistency == "bottomup"
+        assert bu.method_token == "bu-hg"
+
+    def test_method_spec_topdown(self):
+        method = small_spec(estimator="hc x hg").method_spec()
+        assert isinstance(method, MethodSpec)
+        assert method.kind == "topdown"
+        assert method.label == "hc x hg"
+        assert method.param_dict()["max_size"] == 200
+
+    def test_method_spec_bottomup(self):
+        method = small_spec(
+            consistency="bottomup", estimator="hg"
+        ).method_spec(label="BU")
+        assert method.kind == "bottomup"
+        assert method.label == "BU"
+
+    def test_method_spec_rejects_budget_split(self):
+        spec = small_spec(budget_split=(3.0, 1.0), estimator="hc x hc")
+        with pytest.raises(EstimationError, match="budget_split"):
+            spec.method_spec()
+
+    def test_with_dataset_reresolves_defaults_across_kinds(self):
+        """Scale/levels mean different things per dataset kind, so the
+        old kind's resolved defaults must not leak across the boundary."""
+        paper = small_spec()
+        as_workload = paper.with_dataset("workload:golden-small")
+        assert as_workload.scale == pytest.approx(1.0)
+        assert as_workload.levels is None
+        back = as_workload.with_dataset("hawaiian")
+        assert back.scale == pytest.approx(1e-4)
+        assert back.levels == 2
+
+    def test_with_dataset_keeps_parameters_within_a_kind(self):
+        spec = small_spec(scale=1e-3, levels=3, dataset="housing")
+        moved = spec.with_dataset("white")
+        assert moved.scale == pytest.approx(1e-3)
+        assert moved.levels == 3
+
+    def test_bottomup_merge_strategy_is_inert_and_pinned(self):
+        """Bottom-up never merges; differently spelled merge strategies
+        must not create two store entries for one logical release."""
+        a = small_spec(consistency="bottomup", estimator="hg",
+                       merge_strategy="naive")
+        b = small_spec(consistency="bottomup", estimator="hg",
+                       merge_strategy="weighted")
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_with_method_resets_consistency(self):
+        spec = small_spec(consistency="bottomup", estimator="hg")
+        assert spec.with_method("hc").consistency == "topdown"
+        assert spec.with_method("bu-hc").consistency == "bottomup"
+
+    def test_release_fn_matches_execute(self, rng):
+        tree = from_leaf_histograms(
+            "US", {"VA": [0, 9, 3], "MD": [0, 5, 2]}
+        )
+        spec = small_spec(max_size=20)
+        direct = spec.execute_on(tree)
+        via_fn = spec.release_fn()(tree, spec.epsilon, np.random.default_rng(0))
+        assert set(via_fn) == set(direct.estimates)
+
+    def test_describe_mentions_the_essentials(self):
+        text = small_spec(estimator="hc x hg").describe()
+        assert "hawaiian" in text and "hc x hg" in text
+        assert "uniform" in text
+
+
+class TestExecution:
+    def test_execute_counts_mechanism_runs(self):
+        tree = from_leaf_histograms("US", {"VA": [0, 9, 3], "MD": [0, 5, 2]})
+        spec = small_spec(max_size=20)
+        before = execution_count()
+        spec.execute_on(tree)
+        assert execution_count() == before + 1
+
+    def test_budget_split_changes_release(self):
+        tree = from_leaf_histograms(
+            "US", {"VA": [0, 20, 9, 3], "MD": [0, 11, 5, 2]}
+        )
+        uniform = small_spec(max_size=40).execute_on(tree)
+        leaf_heavy = small_spec(
+            max_size=40, estimator="hc x hc", budget_split=(1.0, 9.0)
+        ).execute_on(tree)
+        assert uniform.provenance.epsilon_spent == pytest.approx(1.0)
+        assert leaf_heavy.provenance.epsilon_spent == pytest.approx(1.0)
+        assert uniform.provenance.spec_hash != leaf_heavy.provenance.spec_hash
+
+    def test_bottomup_execution(self):
+        tree = from_leaf_histograms("US", {"VA": [0, 9, 3], "MD": [0, 5, 2]})
+        release = small_spec(
+            consistency="bottomup", estimator="hg", max_size=20
+        ).execute_on(tree)
+        assert release.provenance.epsilon_spent == pytest.approx(1.0)
+        assert "US" in release
+
+    def test_wall_time_populated_in_memory(self):
+        tree = from_leaf_histograms("US", {"VA": [0, 9, 3], "MD": [0, 5, 2]})
+        release = small_spec(max_size=20).execute_on(tree)
+        assert release.provenance.wall_time_seconds > 0
+
+
+class TestBuildHierarchy:
+    def test_effective_scale_defaults(self):
+        assert effective_scale("hawaiian", None) == pytest.approx(1e-4)
+        assert effective_scale("workload:x", None) == pytest.approx(1.0)
+        assert effective_scale("hawaiian", 0.5) == pytest.approx(0.5)
+
+    def test_paper_dataset_defaults_to_two_levels(self):
+        tree = build_hierarchy("hawaiian", scale=1e-4)
+        assert tree.num_levels == 2
+
+    def test_workload_reference_builds(self):
+        tree = build_hierarchy("workload:golden-small")
+        assert tree.num_levels == 4
+
+    def test_spec_build_dataset_matches_function(self):
+        spec = small_spec(dataset_seed=3)
+        a = spec.build_dataset()
+        b = build_hierarchy("hawaiian", scale=1e-4, levels=2, seed=3)
+        assert repr(a) == repr(b)
+        assert a.root.data == b.root.data

@@ -1,0 +1,166 @@
+"""Tests for the ReleaseStore: build-once semantics and zero-re-run serving."""
+
+import pytest
+
+from repro.api.spec import ReleaseSpec, execution_count
+from repro.api.store import ReleaseStore
+from repro.exceptions import HierarchyError, QueryError
+
+
+@pytest.fixture
+def spec() -> ReleaseSpec:
+    return ReleaseSpec.create("hawaiian", epsilon=1.0, max_size=200)
+
+
+@pytest.fixture
+def store(tmp_path) -> ReleaseStore:
+    return ReleaseStore(tmp_path / "releases")
+
+
+class TestGetOrBuild:
+    def test_builds_once_then_serves_from_disk(self, store, spec):
+        first = store.get_or_build(spec)
+        second = store.get_or_build(spec)
+        assert store.builds == 1
+        assert store.hits == 1
+        assert second.to_json() == first.to_json()
+        assert len(store) == 1
+
+    def test_distinct_specs_stored_separately(self, store, spec):
+        store.get_or_build(spec)
+        store.get_or_build(spec.with_epsilon(2.0))
+        assert len(store) == 2
+        assert store.builds == 2
+
+    def test_contains_and_get(self, store, spec):
+        assert spec not in store
+        assert store.get(spec) is None
+        store.get_or_build(spec)
+        assert spec in store
+        assert spec.spec_hash() in store
+        assert store.get(spec).spec == spec
+
+    def test_accepts_prebuilt_hierarchy(self, store, spec):
+        tree = spec.build_dataset()
+        release = store.get_or_build(spec, hierarchy=tree)
+        assert release.to_json() == spec.execute().to_json()
+
+
+class TestZeroReRunServing:
+    def test_query_traffic_never_reruns_the_mechanism(self, store, spec):
+        """The acceptance property: after the artifact exists, any number
+        of repro.core.queries questions run zero mechanism executions."""
+        store.get_or_build(spec)
+        before = execution_count()
+        assert store.query(spec, "size_quantile", "national", quantile=0.5) >= 0
+        assert store.query(spec, "gini_coefficient", "national") >= 0
+        assert store.query(
+            spec, "groups_with_size_at_least", "national", size=1
+        ) >= 0
+        fresh_handle = ReleaseStore(store.directory)  # a new process would
+        assert fresh_handle.query(spec, "mean_group_size", "national") > 0
+        assert execution_count() == before
+
+    def test_query_builds_when_absent(self, store, spec):
+        before = execution_count()
+        store.query(spec, "mean_group_size", "national")
+        assert execution_count() == before + 1
+
+
+class TestResolve:
+    def test_prefix_resolution(self, store, spec):
+        store.get_or_build(spec)
+        full = spec.spec_hash()
+        assert store.resolve(full[:10]) == full
+        assert store.spec_hashes() == [full]
+
+    def test_unknown_prefix(self, store):
+        with pytest.raises(QueryError, match="no artifact"):
+            store.resolve("beef")
+
+    def test_empty_prefix(self, store):
+        with pytest.raises(QueryError, match="empty"):
+            store.resolve("")
+
+    def test_ambiguous_prefix(self, store, spec):
+        a = store.get_or_build(spec)
+        b = store.get_or_build(spec.with_epsilon(2.0))
+        prefix = ""
+        hash_a, hash_b = a.provenance.spec_hash, b.provenance.spec_hash
+        for x, y in zip(hash_a, hash_b):
+            if x != y:
+                break
+            prefix += x
+        if prefix:  # distinct hashes can still share a leading run
+            with pytest.raises(QueryError, match="ambiguous"):
+                store.resolve(prefix)
+
+
+class TestIntegrity:
+    def test_tampered_artifact_detected(self, store, spec):
+        store.get_or_build(spec)
+        other_hash = spec.with_epsilon(2.0).spec_hash()
+        store.path_for(spec).rename(store.path_for(other_hash))
+        with pytest.raises(HierarchyError, match="spec hash"):
+            store.get(other_hash)
+
+    def test_summaries_match_full_loads_without_histogram_parsing(
+        self, store, spec
+    ):
+        store.get_or_build(spec)
+        store.get_or_build(spec.with_epsilon(2.0))
+        rows = store.summaries()
+        assert [h for h, _ in rows] == store.spec_hashes()
+        by_hash = dict(rows)
+        for release in store.releases():
+            assert by_hash[release.provenance.spec_hash] == release.summary()
+
+    def test_summaries_flag_unreadable_artifacts(self, store, spec):
+        store.get_or_build(spec)
+        store.path_for(spec).write_text("{not json")
+        (spec_hash, summary), = store.summaries()
+        assert spec_hash == spec.spec_hash()
+        assert summary == "unreadable artifact"
+
+    def test_releases_iterates_everything(self, store, spec):
+        store.get_or_build(spec)
+        store.get_or_build(spec.with_method("bu-hg"))
+        assert sorted(
+            r.provenance.spec_hash for r in store.releases()
+        ) == store.spec_hashes()
+
+    def test_concurrent_writers_never_collide_on_temp_files(
+        self, store, spec
+    ):
+        """Two publishers saving the same artifact must both succeed
+        (unique temp names; byte-stable artifacts make last-rename-wins
+        correct)."""
+        release = spec.execute()
+        target = store.path_for(spec)
+        import os
+        import tempfile
+
+        # Simulate a concurrent writer's in-flight temp file next to the
+        # target; the save must neither reuse nor disturb it.
+        fd, other_tmp = tempfile.mkstemp(
+            prefix=target.name + ".", suffix=".tmp", dir=store.directory
+        )
+        os.close(fd)
+        release.save(target)
+        release.save(target)  # second save over an existing artifact
+        assert os.path.exists(other_tmp)
+        assert store.get(spec).to_json() == release.to_json()
+        # No leftover temp files from the saves themselves.
+        leftovers = [
+            p for p in os.listdir(store.directory)
+            if p.endswith(".tmp") and p != os.path.basename(other_tmp)
+        ]
+        assert leftovers == []
+
+    def test_clear_and_statistics(self, store, spec):
+        store.get_or_build(spec)
+        stats = store.statistics()
+        assert stats["entries"] == 1 and stats["builds"] == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert "ReleaseStore(" in repr(store)

@@ -5,7 +5,12 @@ import pytest
 
 from repro.core.consistency.topdown import TopDown
 from repro.core.estimators import CumulativeEstimator
-from repro.evaluation.runner import ExperimentRunner, per_level_emd
+from repro.evaluation.runner import (
+    ExperimentRunner,
+    LevelStats,
+    RunResult,
+    per_level_emd,
+)
 from repro.exceptions import EstimationError
 
 
@@ -27,6 +32,26 @@ class TestPerLevelEmd:
     def test_levels_ordered_root_first(self, three_level_tree):
         estimates = {n.name: n.data for n in three_level_tree.nodes()}
         assert len(per_level_emd(three_level_tree, estimates)) == 3
+
+
+class TestRunResult:
+    def test_level_lookup_by_index_not_position(self):
+        stats = LevelStats(level=1, mean=2.0, std_of_mean=0.1, runs=3)
+        result = RunResult(label="hc", epsilon=1.0, levels=[stats])
+        assert result.level(1) is stats
+
+    def test_missing_level_raises_with_label(self):
+        result = RunResult(
+            label="hc", epsilon=1.0,
+            levels=[LevelStats(level=0, mean=1.0, std_of_mean=0.0, runs=1)],
+        )
+        with pytest.raises(EstimationError, match="no level 3.*'hc'"):
+            result.level(3)
+
+    def test_empty_result_always_raises(self):
+        result = RunResult(label="empty", epsilon=1.0, levels=[])
+        with pytest.raises(EstimationError, match="no level 0"):
+            result.level(0)
 
 
 class TestExperimentRunner:

@@ -19,8 +19,27 @@ class TestBudgetSplit:
         with pytest.raises(PrivacyBudgetError):
             BudgetSplit(1.0, 0)
 
+    @pytest.mark.parametrize("total", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_non_finite_total_rejected(self, total):
+        """Regression: NaN compares False to everything, so the old
+        sign-only check accepted NaN and +inf budgets."""
+        with pytest.raises(PrivacyBudgetError, match="finite"):
+            BudgetSplit(total, 2)
+
 
 class TestPrivacyBudget:
+    @pytest.mark.parametrize("epsilon", [float("nan"), float("inf")])
+    def test_non_finite_epsilon_rejected(self, epsilon):
+        with pytest.raises(PrivacyBudgetError, match="finite"):
+            PrivacyBudget(epsilon)
+
+    @pytest.mark.parametrize("amount", [float("nan"), float("inf")])
+    def test_non_finite_spend_rejected(self, amount):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(PrivacyBudgetError, match="finite"):
+            budget.spend(amount, scope="a")
+
     def test_sequential_composition_adds(self):
         budget = PrivacyBudget(1.0)
         budget.spend(0.4, scope="a", parallel_group="g1")

@@ -135,6 +135,23 @@ class TestGrid:
         assert code == 2
         assert "comma-separated list of numbers" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("epsilons", ["0.0,1.0", "-0.5", "nan", "inf"])
+    def test_non_positive_epsilons_clean_error(self, epsilons, capsys):
+        code = main([
+            "grid", "--datasets", "hawaiian", "--scale", "1e-4",
+            "--methods", "hc", "--epsilons", epsilons, "--trials", "1",
+        ])
+        assert code == 2
+        assert "positive and finite" in capsys.readouterr().err
+
+    def test_duplicate_epsilons_clean_error(self, capsys):
+        code = main([
+            "sweep", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilons", "1.0,2.0,1.0", "--runs", "1", "--max-size", "200",
+        ])
+        assert code == 2
+        assert "duplicate" in capsys.readouterr().err
+
     def test_unknown_method_clean_error(self, capsys):
         code = main([
             "grid", "--datasets", "hawaiian", "--scale", "1e-4",
@@ -157,6 +174,20 @@ class TestGrid:
         second = capsys.readouterr().out
         assert "(0 computed, 2 cached)" in second
 
+    def test_grid_mixed_dataset_kinds_resolve_per_kind_defaults(self, capsys):
+        """Paper datasets and workloads in one grid: each release spec
+        resolves its own kind's scale/levels defaults."""
+        code = main([
+            "grid", "--datasets", "hawaiian,workload:golden-bimodal",
+            "--methods", "hc", "--epsilons", "1.0", "--trials", "1",
+            "--max-size", "100", "--mode", "serial",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 dataset(s) x 1 method(s)" in out
+        assert "hawaiian (level 0 mean EMD)" in out
+        assert "workload:golden-bimodal (level 0 mean EMD)" in out
+
     def test_grid_accepts_workload_dataset(self, capsys):
         code = main([
             "grid", "--datasets", "workload:golden-bimodal",
@@ -167,6 +198,110 @@ class TestGrid:
         assert "workload:golden-bimodal (level 0 mean EMD)" in (
             capsys.readouterr().out
         )
+
+
+class TestReleaseStoreWorkflow:
+    """The declarative path: describe → build once → serve queries."""
+
+    def test_release_builds_then_serves_from_store(self, tmp_path, capsys):
+        from repro.api.spec import execution_count
+
+        store = str(tmp_path / "releases")
+        args = [
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "1.0", "--max-size", "200", "--store", store,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "built and stored" in first
+        before = execution_count()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "served from store" in second
+        assert execution_count() == before  # zero mechanism re-runs
+        # Identical release content either way.
+        tail = lambda text: text[text.index("released "):]
+        assert tail(first) == tail(second)
+
+    def test_query_by_hash_prefix_from_store(self, tmp_path, capsys):
+        store = str(tmp_path / "releases")
+        assert main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "2.0", "--max-size", "200", "--store", store,
+        ]) == 0
+        out = capsys.readouterr().out
+        spec_hash = next(
+            line.split()[-1] for line in out.splitlines()
+            if line.startswith("spec: sha256 ")
+        )
+        code = main([
+            "query", spec_hash[:12], "--store", store, "--node", "national",
+            "--quantile", "0.5", "--top-share", "0.1", "--summary",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "size quantile p50" in out
+        assert "top 10% of groups hold" in out
+        assert "predicted emd" in out
+
+    def test_store_list_show_and_build(self, tmp_path, capsys):
+        from repro.api.spec import ReleaseSpec
+
+        store = str(tmp_path / "releases")
+        spec = ReleaseSpec.create("hawaiian", epsilon=1.0, max_size=200)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+
+        assert main(["store", "build", str(spec_path),
+                     "--store", store]) == 0
+        assert "built:" in capsys.readouterr().out
+        assert main(["store", "build", str(spec_path),
+                     "--store", store]) == 0
+        assert "already stored" in capsys.readouterr().out
+
+        assert main(["store", "list", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "1 release artifact(s)" in listing
+        assert spec.spec_hash()[:16] in listing
+
+        assert main(["store", "show", spec.spec_hash()[:10],
+                     "--store", store, "--report"]) == 0
+        shown = capsys.readouterr().out
+        assert "release spec" in shown
+        assert "accuracy report" in shown
+
+    def test_query_unknown_hash_clean_error(self, tmp_path, capsys):
+        store = str(tmp_path / "releases")
+        code = main([
+            "query", "beef", "--store", store, "--node", "national",
+        ])
+        assert code == 2
+        assert "no artifact" in capsys.readouterr().err
+
+    def test_release_artifact_is_versioned_and_reloadable(
+        self, tmp_path, capsys
+    ):
+        from repro.api.release import Release
+
+        out = tmp_path / "release.json"
+        assert main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "1.0", "--max-size", "200", "--out", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["format_version"] == 2
+        assert payload["spec"]["dataset"] == "hawaiian"
+        assert payload["provenance"]["epsilon_spent"] == 1.0
+        release = Release.load(out)
+        assert release.query("mean_group_size", "national") > 0
+
+    def test_release_supports_bottomup_methods(self, capsys):
+        code = main([
+            "release", "--dataset", "hawaiian", "--scale", "1e-4",
+            "--epsilon", "1.0", "--method", "bu-hg", "--max-size", "200",
+        ])
+        assert code == 0
+        assert "bu-hg" in capsys.readouterr().out
 
 
 class TestWorkload:

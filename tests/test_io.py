@@ -1,11 +1,15 @@
 """Tests for serialization (hierarchy JSON, release JSON/CSV)."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.histogram import CountOfCounts
 from repro.exceptions import HierarchyError
 from repro.io import (
+    FORMAT_VERSION,
+    check_format_version,
     export_release_csv,
     import_release_csv,
     load_hierarchy,
@@ -42,6 +46,62 @@ class TestHierarchyRoundTrip:
         path.write_text('{"kind": "hierarchy", "root": {"children": []}}')
         with pytest.raises(HierarchyError):
             load_hierarchy(path)
+
+
+class TestFormatVersion:
+    """A file from a newer library must be rejected, not half-parsed."""
+
+    def _write(self, path, **overrides):
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "kind": "release",
+            "metadata": {},
+            "nodes": {"US": [0, 1]},
+        }
+        payload.update(overrides)
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_newer_release_rejected(self, tmp_path):
+        path = self._write(tmp_path / "future.json",
+                           format_version=FORMAT_VERSION + 1)
+        with pytest.raises(HierarchyError, match="newer than"):
+            load_release(path)
+        with pytest.raises(HierarchyError, match="upgrade the library"):
+            release_metadata(path)
+
+    def test_newer_hierarchy_rejected(self, two_level_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        save_hierarchy(two_level_tree, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(HierarchyError, match="newer than"):
+            load_hierarchy(path)
+
+    def test_version_one_still_loads(self, tmp_path):
+        path = self._write(tmp_path / "old.json", format_version=1)
+        assert load_release(path)["US"].num_groups == 1
+
+    def test_missing_version_treated_as_one(self, tmp_path):
+        path = self._write(tmp_path / "bare.json")
+        payload = json.loads(path.read_text())
+        del payload["format_version"]
+        path.write_text(json.dumps(payload))
+        assert load_release(path)["US"].num_groups == 1
+
+    @pytest.mark.parametrize("version", ["2", 2.0, 0, -1, True, None])
+    def test_invalid_version_values_rejected(self, tmp_path, version):
+        path = self._write(tmp_path / "bad.json", format_version=version)
+        with pytest.raises(HierarchyError, match="invalid format_version"):
+            load_release(path)
+
+    def test_check_returns_the_version(self):
+        assert check_format_version({"format_version": 1}, "x") == 1
+        assert check_format_version({}, "x") == 1
+        assert check_format_version(
+            {"format_version": FORMAT_VERSION}, "x"
+        ) == FORMAT_VERSION
 
 
 class TestReleaseRoundTrip:
@@ -88,6 +148,29 @@ class TestCsv:
         lines = path.read_text().strip().splitlines()
         assert lines[0] == "region,size,count"
         assert lines[1] == "x,1,7"
+
+    def test_zero_count_cells_omitted_but_recovered(self, tmp_path):
+        """Interior zero cells cost no rows and survive the round trip."""
+        estimates = {"US": CountOfCounts([0, 3, 0, 0, 0, 2])}
+        path = tmp_path / "release.csv"
+        rows = export_release_csv(estimates, path)
+        assert rows == 2  # only sizes 1 and 5 produce rows
+        lines = path.read_text().strip().splitlines()
+        assert lines[1:] == ["US,1,3", "US,5,2"]
+        assert import_release_csv(path)["US"] == estimates["US"]
+
+    def test_all_zero_region_is_dropped_entirely(self, tmp_path):
+        """A region with no groups writes no rows, so the import has no
+        record of it — the documented lossy edge of the flat format."""
+        estimates = {
+            "empty": CountOfCounts([0, 0, 0]),
+            "busy": CountOfCounts([0, 2]),
+        }
+        path = tmp_path / "release.csv"
+        assert export_release_csv(estimates, path) == 1
+        loaded = import_release_csv(path)
+        assert "empty" not in loaded
+        assert loaded["busy"] == estimates["busy"]
 
     def test_private_release_roundtrip(self, two_level_tree, tmp_path, rng):
         """Full pipeline: release → save → load → verify desiderata."""

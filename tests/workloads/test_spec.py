@@ -119,3 +119,23 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(WorkloadError, match="unknown workload"):
             get_workload("atlantis")
+
+
+class TestReleaseSpecAdapter:
+    def test_registered_workload_yields_release_spec(self):
+        spec = get_workload("golden-small").release_spec(1.5, seed=3)
+        assert spec.dataset == "workload:golden-small"
+        assert spec.epsilon == 1.5
+        assert spec.seed == 3
+
+    def test_unregistered_workload_rejected(self):
+        with pytest.raises(WorkloadError, match="not registered"):
+            demo_spec(name="never-registered").release_spec(1.0)
+
+    def test_registry_mismatch_rejected(self):
+        """Same name, different parameters: the registry copy would win at
+        materialization time, so the adapter refuses the stale spec."""
+        spec = demo_spec(name="test-release-spec-mismatch")
+        register_workload(spec)
+        with pytest.raises(WorkloadError, match="not registered"):
+            spec.with_groups(spec.num_groups + 1).release_spec(1.0)
