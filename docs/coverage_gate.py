@@ -3,11 +3,12 @@
 
 Runs the gated test suites under a minimal :func:`sys.settrace` line
 collector and fails when line coverage of any gated package drops below
-the floor.  Two packages are gated:
+the floor.  Three packages are gated:
 
 * ``src/repro/workloads/`` — covered by ``tests/workloads`` +
   ``tests/golden``;
-* ``src/repro/api/``       — covered by ``tests/api``.
+* ``src/repro/api/``       — covered by ``tests/api``;
+* ``src/repro/serve/``     — covered by ``tests/serve``.
 
 Built on the stdlib on purpose: the gate runs identically on a bare
 container and in CI, with no ``coverage``/``pytest-cov`` install step to
@@ -49,6 +50,7 @@ SRC = REPO_ROOT / "src"
 TARGETS = (
     (SRC / "repro" / "workloads", ("tests/workloads", "tests/golden")),
     (SRC / "repro" / "api", ("tests/api",)),
+    (SRC / "repro" / "serve", ("tests/serve",)),
 )
 DEFAULT_FLOOR = 85.0
 

@@ -68,9 +68,10 @@ from repro.engine import (
 from repro.api import Release, ReleaseSpec, ReleaseStore
 from repro.hierarchy import Hierarchy, Node
 from repro.mechanisms import GeometricMechanism, LaplaceMechanism, PrivacyBudget
+from repro.serve import QueryResult, QuerySpec, ServingEngine
 from repro.workloads import WorkloadDataset, WorkloadSpec, materialize
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AttributedTopDown",
@@ -97,9 +98,12 @@ __all__ = [
     "PrivacyBudget",
     "PrivacyBudgetError",
     "QueryError",
+    "QueryResult",
+    "QuerySpec",
     "Release",
     "ReleaseSpec",
     "ReleaseStore",
+    "ServingEngine",
     "ReproError",
     "TopDown",
     "UnattributedEstimator",

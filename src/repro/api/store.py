@@ -12,12 +12,17 @@ execution counter (:func:`repro.api.spec.execution_count`).
 Artifacts are byte-stable (see :mod:`repro.api.release`), so the store
 needs no invalidation protocol: a hash either exists with exactly the
 right contents or is built.  Writes are atomic (tmp + rename), making a
-store directory safe to share between concurrent publishers.
+store directory safe to share between concurrent publishers; within one
+process, :meth:`ReleaseStore.get_or_build` additionally serializes
+concurrent builders of the *same* spec on a per-spec-hash lock, so the
+mechanism runs exactly once per spec (the serving layer's thread pool
+relies on this).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -56,6 +61,15 @@ class ReleaseStore:
         self.hits = 0
         #: Mechanism executions this store object performed.
         self.builds = 0
+        # Per-spec-hash build locks: concurrent get_or_build callers of the
+        # same unbuilt spec run the mechanism exactly once (the other
+        # threads block, then serve the artifact the winner persisted).
+        self._build_locks: Dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+
+    def _build_lock(self, spec_hash: str) -> threading.Lock:
+        with self._locks_guard:
+            return self._build_locks.setdefault(spec_hash, threading.Lock())
 
     # -- paths & enumeration ------------------------------------------------
     def path_for(self, spec_or_hash: Union[ReleaseSpec, str]) -> Path:
@@ -147,15 +161,28 @@ class ReleaseStore:
         (callers that need the true data anyway — e.g. for error
         diagnostics — avoid generating it twice); it must be the dataset
         the spec describes.
+
+        Thread-safe: concurrent callers requesting the same unbuilt spec
+        serialize on a per-spec-hash lock, so the mechanism runs exactly
+        once (asserted via :func:`repro.api.spec.execution_count` in the
+        store tests); requests for *different* specs never block each
+        other.
         """
         cached = self.get(spec)
         if cached is not None:
             return cached
-        release = (
-            spec.execute() if hierarchy is None else spec.execute_on(hierarchy)
-        )
-        self.put(release)
-        self.builds += 1
+        with self._build_lock(spec.spec_hash()):
+            # Double-checked: a concurrent builder may have persisted the
+            # artifact while this thread waited on the lock.
+            cached = self.get(spec)
+            if cached is not None:
+                return cached
+            release = (
+                spec.execute() if hierarchy is None
+                else spec.execute_on(hierarchy)
+            )
+            self.put(release)
+            self.builds += 1
         return release
 
     def resolve(self, prefix: str) -> str:

@@ -17,6 +17,9 @@ Seven subcommands cover the workflows a data publisher needs::
     python -m repro workload list
     python -m repro workload run-grid powerlaw-deep --methods hc,bu-hg \\
                              --epsilons 1.0 --trials 3 --mode process
+    python -m repro serve exec --store releases/ --requests queries.jsonl
+    python -m repro serve bench --store bench-store/ --releases 20 \\
+                             --requests 400 --out BENCH_serving.json
 
 Every release-producing path routes through the declarative release API
 (:mod:`repro.api`): ``release`` builds a :class:`~repro.api.spec.ReleaseSpec`
@@ -32,6 +35,13 @@ handing them to the cached, parallel experiment engine
 (:mod:`repro.engine`); ``workload`` manages the synthetic scenario
 registry (:mod:`repro.workloads`).  The dataset-taking subcommands accept
 ``workload:<name>`` wherever a dataset name is expected.
+
+``serve`` is the query-traffic entry point (:mod:`repro.serve`):
+``serve exec`` answers a JSONL batch of query specs through the batched
+serving engine (one decode + shared passes per release), ``serve bench``
+populates a benchmark store, replays a zipfian request mix through both
+the naive per-query loop and the engine, prints the metrics table and
+writes the schema-stable ``BENCH_serving.json``.
 """
 
 from __future__ import annotations
@@ -322,6 +332,63 @@ def _command_grid(args: argparse.Namespace) -> int:
     return _run_and_print_grid(datasets, args)
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ServingEngine,
+        parse_requests,
+        populate_bench_store,
+        run_benchmark,
+    )
+    from repro.serve.requestlog import load_requests
+
+    store = ReleaseStore(args.store)
+
+    if args.action == "exec":
+        if args.requests == "-":
+            specs = parse_requests(sys.stdin, source="<stdin>")
+        else:
+            specs = load_requests(args.requests)
+        with ServingEngine(
+            store, cache_size=args.cache_size, max_workers=args.workers,
+        ) as engine:
+            results = engine.execute_batch(
+                specs, concurrent=args.workers > 1,
+            )
+            for result in results:
+                print(json.dumps(result.to_dict(), sort_keys=True))
+            if args.metrics:
+                print(engine.metrics.format_table(), file=sys.stderr)
+        return 0 if all(result.ok for result in results) else 3
+
+    # bench
+    releases = args.releases
+    requests = args.requests
+    if args.smoke:
+        # CI-sized run: small but schema-identical output.
+        releases = min(releases, 6)
+        requests = min(requests, 120)
+    stored = len(store)
+    populate_bench_store(store, num_releases=releases)
+    built = len(store) - stored
+    print(f"store: {store.directory} holds {len(store)} release(s) "
+          f"({built} built now)")
+    report = run_benchmark(
+        store, num_requests=requests, popularity_skew=args.skew,
+        seed=args.seed,
+        cache_size=args.cache_size,
+    )
+    print(report.summary())
+    print()
+    print(report.format_table())
+    if not report.answers_identical:
+        print("error: served answers diverged from the naive loop",
+              file=sys.stderr)
+        return 1
+    out = report.write(args.out)
+    print(f"\nwrote {out}")
+    return 0
+
+
 def _command_workload(args: argparse.Namespace) -> int:
     from repro.workloads import (
         available_distributions,
@@ -534,6 +601,54 @@ def build_parser() -> argparse.ArgumentParser:
     add_grid_options(w_run)
     w_run.set_defaults(fn=_command_workload)
 
+    serve = commands.add_parser(
+        "serve", help="serve query traffic from a release store"
+    )
+    serve_actions = serve.add_subparsers(dest="action", required=True)
+
+    sv_exec = serve_actions.add_parser(
+        "exec",
+        help="answer a JSONL batch of query specs (file or '-' for stdin)",
+    )
+    sv_exec.add_argument("--store", required=True,
+                         help="release-store directory to serve from")
+    sv_exec.add_argument("--requests", required=True,
+                         help="request-log path (JSONL of query specs), "
+                              "or '-' to read stdin")
+    sv_exec.add_argument("--workers", type=int, default=1,
+                         help="thread-pool size; >1 fans release groups "
+                              "out concurrently")
+    sv_exec.add_argument("--cache-size", type=int, default=32,
+                         help="decoded artifacts kept hot (LRU)")
+    sv_exec.add_argument("--metrics", action="store_true",
+                         help="print the serving metrics table to stderr")
+    sv_exec.set_defaults(fn=_command_serve)
+
+    sv_bench = serve_actions.add_parser(
+        "bench",
+        help="benchmark batched serving vs the naive per-query loop",
+    )
+    sv_bench.add_argument("--store", required=True,
+                          help="benchmark store directory (populated with "
+                               "the bench releases when missing)")
+    sv_bench.add_argument("--releases", type=int, default=20,
+                          help="releases the bench store must hold")
+    sv_bench.add_argument("--requests", type=int, default=400,
+                          help="requests in the zipfian mix")
+    sv_bench.add_argument("--skew", type=float, default=1.1,
+                          help="zipf exponent of release popularity "
+                               "(0 = uniform traffic)")
+    sv_bench.add_argument("--seed", type=int, default=0,
+                          help="request-mix seed")
+    sv_bench.add_argument("--cache-size", type=int, default=None,
+                          help="hot-cache size (default: all releases fit)")
+    sv_bench.add_argument("--out", default="BENCH_serving.json",
+                          help="where to write the benchmark JSON")
+    sv_bench.add_argument("--smoke", action="store_true",
+                          help="CI-sized run (<= 6 releases, <= 120 "
+                               "requests), same output schema")
+    sv_bench.set_defaults(fn=_command_serve)
+
     return parser
 
 
@@ -545,6 +660,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # A downstream consumer closed stdout early (e.g. `serve exec …
+        # | head`).  Point the fd at devnull so interpreter shutdown
+        # doesn't raise again while flushing, and exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -16,6 +16,16 @@ is directly usable:
 
 All functions are pure post-processing of a histogram, so applying them to a
 differentially private release stays differentially private.
+
+Every parameter problem — a rank outside ``[1, G]``, a non-integral rank, a
+quantile outside ``[0, 1]``, queries on an all-zero histogram — raises
+:class:`~repro.exceptions.HistogramError` (never a bare ``TypeError`` /
+``ValueError`` / ``IndexError``), so callers serving untrusted query
+traffic can catch one exception type at the boundary.  The parameter
+resolution helpers (:func:`resolve_rank`, :func:`resolve_quantile_rank`,
+:func:`resolve_top_count`) are public so batched executors — the serving
+planner in :mod:`repro.serve.planner` — validate with exactly the same
+rules and error messages as the scalar functions.
 """
 
 from __future__ import annotations
@@ -36,6 +46,72 @@ def _as_coc(histogram: HistogramLike) -> CountOfCounts:
     return CountOfCounts(validate_histogram(histogram))
 
 
+# -- parameter resolution ----------------------------------------------------
+def _as_integer(value: object, name: str) -> int:
+    """Coerce an integral parameter, raising HistogramError otherwise."""
+    if isinstance(value, bool):
+        raise HistogramError(f"{name} must be an integer, got {value!r}")
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError, OverflowError):  # inf overflows int()
+        raise HistogramError(
+            f"{name} must be an integer, got {value!r}"
+        ) from None
+    if as_int != value:
+        raise HistogramError(f"{name} must be an integer, got {value!r}")
+    return as_int
+
+
+def _as_fraction(value: object, name: str) -> float:
+    """Coerce a float parameter, raising HistogramError otherwise."""
+    if isinstance(value, bool) or not isinstance(
+        value, (int, float, np.integer, np.floating)
+    ):
+        raise HistogramError(f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+def resolve_rank(data: CountOfCounts, k: object) -> int:
+    """Validate an order-statistic rank against ``data``; returns it as int.
+
+    The single definition of what a legal ``k`` is, shared by the scalar
+    order statistics here and the batched kernels of the serving planner.
+    """
+    rank = _as_integer(k, "k")
+    if data.num_groups == 0:
+        raise HistogramError(
+            "order statistics of an empty histogram (zero groups) "
+            "are undefined"
+        )
+    if not 1 <= rank <= data.num_groups:
+        raise HistogramError(
+            f"k must be in [1, {data.num_groups}], got {rank}"
+        )
+    return rank
+
+
+def resolve_quantile_rank(data: CountOfCounts, quantile: object) -> int:
+    """Validate a quantile against ``data``; returns the 1-indexed rank."""
+    value = _as_fraction(quantile, "quantile")
+    if not 0.0 <= value <= 1.0:
+        raise HistogramError(f"quantile must be in [0, 1], got {quantile}")
+    if data.num_groups == 0:
+        raise HistogramError(
+            "quantile of an empty histogram (zero groups) is undefined"
+        )
+    return max(1, int(np.ceil(value * data.num_groups)))
+
+
+def resolve_top_count(data: CountOfCounts, fraction: object) -> int:
+    """Validate a top-share fraction; returns how many groups it covers."""
+    value = _as_fraction(fraction, "fraction")
+    if not 0.0 < value <= 1.0:
+        raise HistogramError(f"fraction must be in (0, 1], got {fraction}")
+    if data.num_groups == 0 or data.num_entities == 0:
+        raise HistogramError("top share of empty data is undefined")
+    return max(1, int(np.floor(value * data.num_groups)))
+
+
 def kth_smallest_group(histogram: HistogramLike, k: int) -> int:
     """Size of the k-th smallest group (1-indexed).
 
@@ -48,12 +124,9 @@ def kth_smallest_group(histogram: HistogramLike, k: int) -> int:
     2
     """
     data = _as_coc(histogram)
-    if not 1 <= k <= data.num_groups:
-        raise HistogramError(
-            f"k must be in [1, {data.num_groups}], got {k}"
-        )
+    rank = resolve_rank(data, k)
     # Search the cumulative histogram instead of materializing Hg.
-    return int(np.searchsorted(data.cumulative, k, side="left"))
+    return int(np.searchsorted(data.cumulative, rank, side="left"))
 
 
 def kth_largest_group(histogram: HistogramLike, k: int) -> int:
@@ -65,11 +138,8 @@ def kth_largest_group(histogram: HistogramLike, k: int) -> int:
     3
     """
     data = _as_coc(histogram)
-    if not 1 <= k <= data.num_groups:
-        raise HistogramError(
-            f"k must be in [1, {data.num_groups}], got {k}"
-        )
-    return kth_smallest_group(data, data.num_groups - k + 1)
+    rank = resolve_rank(data, k)
+    return kth_smallest_group(data, data.num_groups - rank + 1)
 
 
 def size_quantile(histogram: HistogramLike, quantile: float) -> int:
@@ -82,12 +152,7 @@ def size_quantile(histogram: HistogramLike, quantile: float) -> int:
     2
     """
     data = _as_coc(histogram)
-    if not 0.0 <= quantile <= 1.0:
-        raise HistogramError(f"quantile must be in [0, 1], got {quantile}")
-    if data.num_groups == 0:
-        raise HistogramError("quantile of an empty histogram is undefined")
-    target = max(1, int(np.ceil(quantile * data.num_groups)))
-    return kth_smallest_group(data, target)
+    return kth_smallest_group(data, resolve_quantile_rank(data, quantile))
 
 
 def groups_with_size_at_least(histogram: HistogramLike, size: int) -> int:
@@ -99,6 +164,7 @@ def groups_with_size_at_least(histogram: HistogramLike, size: int) -> int:
     3
     """
     data = _as_coc(histogram)
+    size = _as_integer(size, "size")
     if size <= 0:
         return data.num_groups
     if size >= len(data):
@@ -116,6 +182,8 @@ def groups_with_size_between(
     >>> groups_with_size_between([0, 2, 1, 2], 1, 2)
     3
     """
+    low = _as_integer(low, "low")
+    high = _as_integer(high, "high")
     if low > high:
         raise HistogramError(f"invalid range [{low}, {high}]")
     data = _as_coc(histogram)
@@ -137,6 +205,8 @@ def entities_in_groups_of_size_between(
     >>> entities_in_groups_of_size_between([0, 2, 1, 2], 3, 3)
     6
     """
+    low = _as_integer(low, "low")
+    high = _as_integer(high, "high")
     if low > high:
         raise HistogramError(f"invalid range [{low}, {high}]")
     data = _as_coc(histogram)
@@ -191,11 +261,7 @@ def top_share(histogram: HistogramLike, fraction: float) -> float:
     >>> top_share([0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1], 0.5)
     0.8
     """
-    if not 0.0 < fraction <= 1.0:
-        raise HistogramError(f"fraction must be in (0, 1], got {fraction}")
     data = _as_coc(histogram)
-    if data.num_groups == 0 or data.num_entities == 0:
-        raise HistogramError("top share of empty data is undefined")
-    count = max(1, int(np.floor(fraction * data.num_groups)))
+    count = resolve_top_count(data, fraction)
     sizes = data.unattributed
     return float(sizes[-count:].sum() / data.num_entities)

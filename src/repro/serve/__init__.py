@@ -1,0 +1,74 @@
+"""Concurrent query serving over the release store.
+
+The paper's end product is an artifact consumers *query* — "what is the
+size of the k-th largest group?", skewness, range counts.  This package
+is the serving side of that product: declarative
+:class:`~repro.serve.spec.QuerySpec` requests, compiled by the
+:class:`~repro.serve.planner.QueryPlanner` into per-release batched
+plans, executed by a thread-safe
+:class:`~repro.serve.engine.ServingEngine` with a hot cache of decoded
+artifacts, result memoization, and full metrics — plus the replayable
+request-log format, the zipfian request-mix generator and the
+naive-vs-served benchmark harness behind ``repro serve bench``.
+
+Data flow::
+
+    ReleaseStore ──► ServingEngine (LRU hot cache + memo + thread pool)
+                          ▲
+    QuerySpec batch ──► QueryPlanner (group by release, shared passes)
+                          │
+                          ▼
+    QueryResult stream + MetricsRegistry (QPS, hit ratio, p50/p95/p99)
+"""
+
+from repro.serve.bench import (
+    BenchReport,
+    answers_match,
+    bench_specs,
+    populate_bench_store,
+    run_benchmark,
+    run_naive,
+    run_served,
+)
+from repro.serve.engine import ServingEngine
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.mix import (
+    DEFAULT_QUERY_MIX,
+    catalog_store,
+    generate_requests,
+    zipfian_weights,
+)
+from repro.serve.planner import QueryPlan, QueryPlanner, QueryResult, execute_group
+from repro.serve.requestlog import (
+    dump_request,
+    load_requests,
+    parse_requests,
+    save_requests,
+)
+from repro.serve.spec import QUERY_PARAMETERS, QuerySpec
+
+__all__ = [
+    "BenchReport",
+    "DEFAULT_QUERY_MIX",
+    "MetricsRegistry",
+    "QUERY_PARAMETERS",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryResult",
+    "QuerySpec",
+    "ServingEngine",
+    "answers_match",
+    "bench_specs",
+    "catalog_store",
+    "dump_request",
+    "execute_group",
+    "generate_requests",
+    "load_requests",
+    "parse_requests",
+    "populate_bench_store",
+    "run_benchmark",
+    "run_naive",
+    "run_served",
+    "save_requests",
+    "zipfian_weights",
+]

@@ -1,0 +1,323 @@
+"""The serving benchmark: naive per-query loop vs the planned engine.
+
+The baseline this harness measures is exactly the pre-serving state of
+the codebase: every request re-resolves its selector, re-reads and
+re-decodes the release artifact from disk, then runs one scalar query —
+a cold one-shot Python call (:func:`run_naive`).  The served path
+(:func:`run_served`) answers the same requests through a
+:class:`~repro.serve.engine.ServingEngine`: one decode per distinct
+release, shared vectorized passes, memoized repeats.
+
+:func:`run_benchmark` wires a store, a zipfian request mix and both
+paths together, verifies the answers are **bit-identical**, and produces
+a :class:`BenchReport` whose :meth:`~BenchReport.to_dict` is the
+schema-stable payload written to ``BENCH_serving.json`` — QPS on both
+paths, the speedup, cache hit ratio and latency percentiles.  The CI
+smoke step and ``benchmarks/test_a10_serving.py`` both consume that
+schema, so its key set is part of the contract
+(:data:`BENCH_SCHEMA_VERSION`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.release import Release
+from repro.api.spec import ReleaseSpec
+from repro.api.store import ReleaseStore
+from repro.exceptions import ReproError
+from repro.serve.engine import ServingEngine
+from repro.serve.mix import catalog_store, generate_requests
+from repro.serve.planner import QueryResult
+from repro.serve.spec import QuerySpec
+
+PathLike = Union[str, Path]
+
+#: Bump when the BENCH_serving.json key set changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default benchmark shape (the A10 acceptance scale).
+DEFAULT_NUM_RELEASES = 20
+DEFAULT_NUM_REQUESTS = 400
+
+#: Default arrival-batch size: the request stream is served in batches,
+#: so steady-state cache behavior (hits after the first touch) is what
+#: the metrics report, not one artificial mega-batch.
+DEFAULT_BATCH_SIZE = 64
+
+#: The small-but-real workload the bench store releases: 4 levels,
+#: 600 groups — large enough that artifact decode cost is visible,
+#: small enough that populating 20 releases takes seconds.
+BENCH_DATASET = "workload:golden-small"
+BENCH_MAX_SIZE = 200
+BENCH_EPSILONS = (0.5, 1.0, 2.0)
+
+
+def bench_specs(
+    num_releases: int = DEFAULT_NUM_RELEASES,
+    dataset: str = BENCH_DATASET,
+    epsilons: Tuple[float, ...] = BENCH_EPSILONS,
+    max_size: int = BENCH_MAX_SIZE,
+) -> List[ReleaseSpec]:
+    """``num_releases`` distinct release specs over one dataset.
+
+    Specs differ in noise seed (and cycle the ε grid), so each hashes —
+    and therefore stores — separately, while the true hierarchy is
+    shared and only materialized once by :func:`populate_bench_store`.
+    """
+    if num_releases < 1:
+        raise ReproError(f"num_releases must be >= 1, got {num_releases}")
+    return [
+        ReleaseSpec.create(
+            dataset,
+            epsilon=epsilons[index % len(epsilons)],
+            max_size=max_size,
+            seed=index,
+        )
+        for index in range(num_releases)
+    ]
+
+
+def populate_bench_store(
+    store: ReleaseStore, num_releases: int = DEFAULT_NUM_RELEASES, **kwargs: object
+) -> List[str]:
+    """Ensure ``store`` holds the bench releases; returns their hashes.
+
+    Idempotent: already-stored artifacts are served, not rebuilt (the
+    store's build-once contract), so repeated bench runs against one
+    directory pay the mechanism cost once.
+    """
+    specs = bench_specs(num_releases, **kwargs)
+    hierarchy = None
+    hashes: List[str] = []
+    for spec in specs:
+        if spec not in store and hierarchy is None:
+            hierarchy = spec.build_dataset()
+        store.get_or_build(spec, hierarchy=hierarchy)
+        hashes.append(spec.spec_hash())
+    return hashes
+
+
+# -- the two execution paths -------------------------------------------------
+def run_naive(
+    store: ReleaseStore, requests: List[QuerySpec]
+) -> Tuple[List[QueryResult], float]:
+    """The baseline: resolve + full artifact decode + scalar call, per
+    request.  Returns (results, wall seconds)."""
+    results: List[QueryResult] = []
+    start = time.perf_counter()
+    for spec in requests:
+        try:
+            full = store.resolve(spec.release)
+            release = Release.load(store.path_for(full))
+            value = release.query(spec.query, spec.node, **spec.param_dict())
+            results.append(QueryResult(spec=spec, value=value, release=full))
+        except ReproError as error:
+            results.append(QueryResult(spec=spec, error=str(error)))
+    return results, time.perf_counter() - start
+
+
+def run_served(
+    engine: ServingEngine,
+    requests: List[QuerySpec],
+    batch_size: Optional[int] = None,
+    concurrent: bool = False,
+) -> Tuple[List[QueryResult], float]:
+    """The serving path: planned, batched, cached.  Returns (results,
+    wall seconds).
+
+    ``batch_size`` splits the request stream into arrival batches
+    (default: one batch); the engine re-plans each batch, so hot-cache
+    and memo behavior across batches is exercised too.
+    """
+    size = len(requests) if batch_size is None else max(1, int(batch_size))
+    results: List[QueryResult] = []
+    start = time.perf_counter()
+    for offset in range(0, len(requests), size):
+        results.extend(engine.execute_batch(
+            requests[offset: offset + size], concurrent=concurrent,
+        ))
+    return results, time.perf_counter() - start
+
+
+def answers_match(
+    naive: List[QueryResult], served: List[QueryResult]
+) -> bool:
+    """Bit-identical agreement: same values (type included), same errors."""
+    if len(naive) != len(served):
+        return False
+    for left, right in zip(naive, served):
+        if left.ok != right.ok:
+            return False
+        if left.ok:
+            if type(left.value) is not type(right.value):
+                return False
+            if left.value != right.value:
+                return False
+        elif left.error != right.error:
+            return False
+    return True
+
+
+# -- the report --------------------------------------------------------------
+@dataclass
+class BenchReport:
+    """Everything one benchmark run measured.
+
+    ``to_dict`` is the stable ``BENCH_serving.json`` schema; the raw
+    result lists ride along (excluded from serialization) so tests can
+    assert bit-identical answers without re-running the clocks.
+    """
+
+    num_releases: int
+    num_requests: int
+    popularity_skew: float
+    seed: int
+    cache_size: int
+    naive_seconds: float
+    served_seconds: float
+    answers_identical: bool
+    metrics: Dict[str, object]
+    naive_results: List[QueryResult] = field(repr=False, default_factory=list)
+    served_results: List[QueryResult] = field(repr=False, default_factory=list)
+
+    @property
+    def naive_qps(self) -> float:
+        return self.num_requests / max(self.naive_seconds, 1e-9)
+
+    @property
+    def served_qps(self) -> float:
+        return self.num_requests / max(self.served_seconds, 1e-9)
+
+    @property
+    def speedup(self) -> float:
+        return self.naive_seconds / max(self.served_seconds, 1e-9)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The schema-stable ``BENCH_serving.json`` payload."""
+        latency = dict(self.metrics.get("latency_ms", {}))
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "config": {
+                "num_releases": self.num_releases,
+                "num_requests": self.num_requests,
+                "popularity_skew": self.popularity_skew,
+                "seed": self.seed,
+                "cache_size": self.cache_size,
+            },
+            "naive": {
+                "seconds": self.naive_seconds,
+                "qps": self.naive_qps,
+            },
+            "served": {
+                "seconds": self.served_seconds,
+                "qps": self.served_qps,
+                "cache_hit_ratio": self.metrics.get("cache_hit_ratio", 0.0),
+                "artifact_loads": self.metrics.get("artifact_loads", 0),
+                "memo_hits": self.metrics.get("memo_hits", 0),
+                "latency_ms": {
+                    "p50": latency.get("p50", 0.0),
+                    "p95": latency.get("p95", 0.0),
+                    "p99": latency.get("p99", 0.0),
+                },
+            },
+            "speedup": self.speedup,
+            "answers_identical": self.answers_identical,
+        }
+
+    def write(self, path: PathLike) -> Path:
+        """Write ``BENCH_serving.json``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    def summary(self) -> str:
+        """Two human lines for the CLI."""
+        return (
+            f"naive : {self.num_requests} requests in "
+            f"{self.naive_seconds:6.3f} s  ({self.naive_qps:>10,.0f} qps)\n"
+            f"served: {self.num_requests} requests in "
+            f"{self.served_seconds:6.3f} s  ({self.served_qps:>10,.0f} qps)"
+            f"  → {self.speedup:.1f}x"
+        )
+
+    def format_table(self) -> str:
+        """The ``serve bench`` metrics table (one source for the CLI).
+
+        A view over the same numbers :meth:`to_dict` serializes —
+        benchmark-level rows (both paths' QPS, speedup, answer
+        agreement) fused with the engine's serving metrics.
+        """
+        latency = dict(self.metrics.get("latency_ms", {}))
+        rows = [
+            ("requests", f"{self.num_requests:,}"),
+            ("qps (served)", f"{self.served_qps:,.0f}"),
+            ("qps (naive)", f"{self.naive_qps:,.0f}"),
+            ("speedup", f"{self.speedup:.1f}x"),
+            ("cache hit ratio",
+             f"{self.metrics.get('cache_hit_ratio', 0.0):.3f}"),
+            ("artifact loads", f"{self.metrics.get('artifact_loads', 0):,}"),
+            ("memo hits", f"{self.metrics.get('memo_hits', 0):,}"),
+            ("latency p50", f"{latency.get('p50', 0.0):.3f} ms"),
+            ("latency p95", f"{latency.get('p95', 0.0):.3f} ms"),
+            ("latency p99", f"{latency.get('p99', 0.0):.3f} ms"),
+            ("answers identical", str(self.answers_identical).lower()),
+        ]
+        width = max(len(label) for label, _ in rows)
+        lines = ["serving metrics"]
+        lines += [f"  {label:<{width}}  {value}" for label, value in rows]
+        return "\n".join(lines)
+
+
+def run_benchmark(
+    store: ReleaseStore,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    popularity_skew: float = 1.1,
+    seed: int = 0,
+    cache_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    requests: Optional[List[QuerySpec]] = None,
+) -> BenchReport:
+    """Run both paths over one request mix and report.
+
+    ``cache_size`` defaults to the store's artifact count (every release
+    fits hot — the serving-layer steady state); shrink it to measure
+    eviction behavior.  ``batch_size`` defaults to
+    :data:`DEFAULT_BATCH_SIZE`-request arrival batches.  Pass
+    ``requests`` to replay a recorded log instead of generating a mix.
+    """
+    if requests is None:
+        requests = generate_requests(
+            store, num_requests, seed=seed, popularity_skew=popularity_skew,
+            catalog=catalog_store(store),
+        )
+    num_requests = len(requests)
+    size = cache_size if cache_size is not None else max(len(store), 1)
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+
+    naive_results, naive_seconds = run_naive(store, requests)
+    engine = ServingEngine(store, cache_size=size)
+    with engine:
+        served_results, served_seconds = run_served(
+            engine, requests, batch_size=batch_size,
+        )
+        metrics = engine.metrics.snapshot()
+
+    return BenchReport(
+        num_releases=len(store),
+        num_requests=num_requests,
+        popularity_skew=float(popularity_skew),
+        seed=int(seed),
+        cache_size=int(size),
+        naive_seconds=naive_seconds,
+        served_seconds=served_seconds,
+        answers_identical=answers_match(naive_results, served_results),
+        metrics=metrics,
+        naive_results=naive_results,
+        served_results=served_results,
+    )

@@ -1,0 +1,312 @@
+"""The thread-safe serving engine: hot cache + memo + thread pool + metrics.
+
+A :class:`ServingEngine` fronts a :class:`~repro.api.store.ReleaseStore`
+for query traffic.  The store's own contract is *build once, serve
+forever*; the engine adds the serving-side performance layers the paper's
+consumers need:
+
+* a **bounded LRU hot cache** of decoded :class:`~repro.api.release.Release`
+  artifacts, so popular releases are JSON-decoded once and then answer
+  from memory (per-hash load locks keep concurrent misses from decoding
+  the same artifact twice);
+* a **result memo** keyed by ``(release hash, QuerySpec.result_key())``,
+  so repeated identical requests — the common case under zipfian traffic
+  — skip execution entirely (errors memoize too: a request that is
+  deterministically invalid stays invalid);
+* **batched execution** through :class:`~repro.serve.planner.QueryPlanner`,
+  one decode + shared vectorized passes per release group;
+* a **ThreadPoolExecutor request path** (:meth:`submit` for single
+  requests, ``concurrent=True`` batches fan release groups out across
+  threads) — releases are immutable once decoded, so readers never need
+  a lock on the artifact itself;
+* a :class:`~repro.serve.metrics.MetricsRegistry` recording request
+  counts, cache hit ratio, latency percentiles and QPS.
+
+Stores are append-only (artifacts are byte-stable and spec-hash keyed),
+so the engine never needs invalidation; prefix resolutions are cached on
+the snapshot of hashes first observed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.release import Release
+from repro.api.store import ReleaseStore
+from repro.exceptions import ReproError
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.planner import QueryPlanner, QueryResult, execute_group
+from repro.serve.spec import QuerySpec
+
+#: Default number of decoded artifacts kept hot.
+DEFAULT_CACHE_SIZE = 32
+
+#: Default bound on memoized results.
+DEFAULT_MEMO_SIZE = 65_536
+
+#: Default worker threads for the concurrent request path.
+DEFAULT_WORKERS = 4
+
+
+class ServingEngine:
+    """Concurrent query serving over a release store.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.api.spec import ReleaseSpec
+    >>> store = ReleaseStore(tempfile.mkdtemp())
+    >>> release = store.get_or_build(
+    ...     ReleaseSpec.create("hawaiian", epsilon=2.0, max_size=200))
+    >>> engine = ServingEngine(store)
+    >>> spec = QuerySpec.create(
+    ...     release.provenance.spec_hash[:12], "size_quantile", "national",
+    ...     quantile=0.5)
+    >>> result = engine.execute(spec)
+    >>> result.ok and result.value >= 0
+    True
+    >>> engine.metrics.snapshot()["artifact_loads"]
+    1
+    """
+
+    def __init__(
+        self,
+        store: ReleaseStore,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        memo_size: int = DEFAULT_MEMO_SIZE,
+        max_workers: int = DEFAULT_WORKERS,
+        memoize: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if cache_size < 1:
+            raise ReproError(f"cache_size must be >= 1, got {cache_size}")
+        if max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        self.store = store
+        self.cache_size = int(cache_size)
+        self.memo_size = int(memo_size)
+        self.max_workers = int(max_workers)
+        self.memoize = bool(memoize)
+        self.metrics = metrics or MetricsRegistry()
+        self.planner = QueryPlanner()
+        self._lock = threading.RLock()
+        self._cache: "OrderedDict[str, Release]" = OrderedDict()
+        self._memo: "OrderedDict[Tuple[str, str], QueryResult]" = OrderedDict()
+        self._resolved: Dict[str, str] = {}
+        self._load_locks: Dict[str, threading.Lock] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- artifact access -----------------------------------------------------
+    def resolve(self, prefix: str) -> str:
+        """Expand a spec-hash prefix to a full hash (cached).
+
+        Resolutions are remembered, so steady-state traffic never
+        re-globs the store directory; unknown or ambiguous prefixes
+        raise :class:`~repro.exceptions.QueryError` (from the store).
+        """
+        with self._lock:
+            cached = self._resolved.get(prefix)
+        if cached is not None:
+            return cached
+        full = self.store.resolve(prefix)
+        with self._lock:
+            self._resolved[prefix] = full
+        return full
+
+    def _load_lock(self, spec_hash: str) -> threading.Lock:
+        with self._lock:
+            return self._load_locks.setdefault(spec_hash, threading.Lock())
+
+    def release(self, spec_hash: str) -> Release:
+        """The decoded artifact for a full spec hash, via the hot cache.
+
+        Cache misses decode under a per-hash lock, so concurrent
+        requests for one cold release perform exactly one decode.
+        """
+        with self._lock:
+            cached = self._cache.get(spec_hash)
+            if cached is not None:
+                self._cache.move_to_end(spec_hash)
+                self.metrics.record_cache_hit()
+                return cached
+        self.metrics.record_cache_miss()
+        with self._load_lock(spec_hash):
+            with self._lock:
+                cached = self._cache.get(spec_hash)
+                if cached is not None:
+                    self._cache.move_to_end(spec_hash)
+                    return cached
+            release = self.store.get(spec_hash)
+            if release is None:
+                raise ReproError(
+                    f"release {spec_hash[:16]}… vanished from "
+                    f"{self.store.directory}"
+                )
+            self.metrics.record_artifact_load()
+            with self._lock:
+                self._cache[spec_hash] = release
+                self._cache.move_to_end(spec_hash)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            return release
+
+    def cached_releases(self) -> List[str]:
+        """Hashes currently hot, least- to most-recently used."""
+        with self._lock:
+            return list(self._cache)
+
+    # -- request execution ---------------------------------------------------
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Answer one request (counted and timed like a 1-element batch)."""
+        return self.execute_batch([spec])[0]
+
+    def execute_batch(
+        self, specs: Sequence[QuerySpec], concurrent: bool = False
+    ) -> List[QueryResult]:
+        """Answer a batch, one shared pass per distinct target release.
+
+        With ``concurrent=True``, release groups fan out across the
+        engine's thread pool (useful when several cold releases must be
+        decoded); results always come back in request order.
+        """
+        plan = self.planner.plan(specs, self.resolve)
+        results: Dict[int, QueryResult] = dict(plan.failures)
+        for _ in plan.failures:
+            self.metrics.record_request(0.0, error=True)
+
+        groups = list(plan.groups.items())
+        if concurrent and len(groups) > 1:
+            futures = [
+                self.pool.submit(self._execute_release_group, spec_hash, items)
+                for spec_hash, items in groups
+            ]
+            for future in futures:
+                results.update(future.result())
+        else:
+            for spec_hash, items in groups:
+                results.update(self._execute_release_group(spec_hash, items))
+        self.metrics.record_batch()
+        return [results[position] for position in range(len(specs))]
+
+    def _execute_release_group(
+        self, spec_hash: str, items: Sequence[Tuple[int, QuerySpec]]
+    ) -> Dict[int, QueryResult]:
+        """One release's share of a batch: memo partition, then kernels."""
+        start = time.perf_counter()
+        results: Dict[int, QueryResult] = {}
+        try:
+            release = self.release(spec_hash)
+        except ReproError as error:
+            for position, spec in items:
+                results[position] = QueryResult(
+                    spec=spec, error=str(error), release=spec_hash,
+                )
+            self._record_group(results, start)
+            return results
+
+        fresh: List[Tuple[int, QuerySpec]] = []
+        for position, spec in items:
+            memoized = self._memo_get(spec_hash, spec)
+            if memoized is not None:
+                results[position] = memoized
+                self.metrics.record_memo_hit()
+            else:
+                fresh.append((position, spec))
+        if fresh:
+            computed = execute_group(release, fresh, release_hash=spec_hash)
+            for position, spec in fresh:
+                self._memo_put(spec_hash, spec, computed[position])
+            results.update(computed)
+        self._record_group(results, start)
+        return results
+
+    def _record_group(
+        self, results: Dict[int, QueryResult], start: float
+    ) -> None:
+        # Shared passes answer the whole group at once, so each request
+        # is charged its amortized share of the group's wall time; the
+        # full group duration is passed along so the QPS window spans
+        # the pass itself, not the amortized slivers.
+        if not results:
+            return
+        elapsed = time.perf_counter() - start
+        amortized = elapsed / len(results)
+        for result in results.values():
+            self.metrics.record_request(
+                amortized, error=not result.ok, span_seconds=elapsed,
+            )
+
+    # -- memoization ---------------------------------------------------------
+    def _memo_get(
+        self, spec_hash: str, spec: QuerySpec
+    ) -> Optional[QueryResult]:
+        if not self.memoize:
+            return None
+        key = (spec_hash, spec.result_key())
+        with self._lock:
+            hit = self._memo.get(key)
+            if hit is None:
+                return None
+            self._memo.move_to_end(key)
+        # Results are frozen; re-wrap so the answer reports *this*
+        # request's spec (prefixes may differ between callers).
+        return QueryResult(
+            spec=spec, value=hit.value, error=hit.error, release=spec_hash,
+        )
+
+    def _memo_put(
+        self, spec_hash: str, spec: QuerySpec, result: QueryResult
+    ) -> None:
+        if not self.memoize:
+            return
+        key = (spec_hash, spec.result_key())
+        with self._lock:
+            self._memo[key] = result
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+
+    # -- thread-pool path ----------------------------------------------------
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The lazily created request thread pool."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-serve",
+                )
+            return self._pool
+
+    def submit(self, spec: QuerySpec) -> "Future[QueryResult]":
+        """Queue one request on the thread pool; returns its future."""
+        return self.pool.submit(self.execute, spec)
+
+    def submit_batch(
+        self, specs: Sequence[QuerySpec]
+    ) -> "Future[List[QueryResult]]":
+        """Queue a whole batch on the thread pool."""
+        return self.pool.submit(self.execute_batch, specs)
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingEngine({self.store!r}, cache={len(self.cached_releases())}"
+            f"/{self.cache_size}, workers={self.max_workers})"
+        )

@@ -1,0 +1,212 @@
+"""Serving metrics: counters, latency percentiles, QPS.
+
+A :class:`MetricsRegistry` is the observability surface of the serving
+engine — the numbers the ``serve bench`` table and ``BENCH_serving.json``
+are built from.  Everything is guarded by one lock, so recording from
+the engine's thread pool is safe; reads (:meth:`MetricsRegistry.snapshot`)
+take a consistent view.
+
+Latencies are kept as raw samples up to a bounded reservoir size (new
+samples beyond the bound are dropped, never silently subsampled — the
+bound is far above any realistic bench run and the snapshot reports how
+many samples were kept).  Percentiles are computed on demand with
+``numpy.percentile`` over the reservoir.
+
+The QPS window runs from the *start* of the earliest recorded work
+(batched requests carry their shared pass's full wall time as the span)
+to the *end* of the latest, so a single large batch reports its true
+sustained rate rather than the near-zero span between completions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Reported latency percentiles (milliseconds in snapshots and tables).
+PERCENTILES = (50, 95, 99)
+
+#: Default cap on retained latency samples.
+DEFAULT_MAX_SAMPLES = 200_000
+
+
+class MetricsRegistry:
+    """Thread-safe request/cache/latency counters for a serving engine.
+
+    Examples
+    --------
+    >>> metrics = MetricsRegistry()
+    >>> metrics.record_request(0.002)
+    >>> metrics.record_request(0.004, error=True)
+    >>> snapshot = metrics.snapshot()
+    >>> snapshot["requests"], snapshot["errors"]
+    (2, 1)
+    >>> snapshot["latency_ms"]["p50"] > 0
+    True
+    """
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        self.max_samples = int(max_samples)
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter and drop all latency samples."""
+        with self._lock:
+            self._requests = 0
+            self._errors = 0
+            self._batches = 0
+            self._artifact_loads = 0
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._memo_hits = 0
+            self._latencies: List[float] = []
+            self._window_start: Optional[float] = None
+            self._window_end: Optional[float] = None
+
+    # -- recording ----------------------------------------------------------
+    def record_request(
+        self,
+        seconds: float,
+        error: bool = False,
+        span_seconds: Optional[float] = None,
+    ) -> None:
+        """One answered request that took ``seconds``.
+
+        For requests answered inside a shared batch pass, ``seconds`` is
+        the amortized share of the pass and ``span_seconds`` must carry
+        the full wall time of the pass: the QPS window then extends back
+        to when the *pass* started, not the amortized sliver, so a
+        single large batch reports its true sustained rate.
+        """
+        now = time.perf_counter()
+        seconds = max(float(seconds), 0.0)
+        span = seconds if span_seconds is None else max(float(span_seconds), 0.0)
+        with self._lock:
+            self._requests += 1
+            if error:
+                self._errors += 1
+            if len(self._latencies) < self.max_samples:
+                self._latencies.append(seconds)
+            started = now - span
+            if self._window_start is None or started < self._window_start:
+                self._window_start = started
+            if self._window_end is None or now > self._window_end:
+                self._window_end = now
+
+    def record_batch(self) -> None:
+        with self._lock:
+            self._batches += 1
+
+    def record_artifact_load(self) -> None:
+        """One artifact decoded from the store (the expensive event the
+        hot cache exists to eliminate)."""
+        with self._lock:
+            self._artifact_loads += 1
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self._cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        with self._lock:
+            self._cache_misses += 1
+
+    def record_memo_hit(self) -> None:
+        with self._lock:
+            self._memo_hits += 1
+
+    # -- derived views -------------------------------------------------------
+    def cache_hit_ratio(self) -> float:
+        """Hot-cache hits / lookups (0.0 before any lookup)."""
+        with self._lock:
+            lookups = self._cache_hits + self._cache_misses
+            return self._cache_hits / lookups if lookups else 0.0
+
+    def qps(self) -> float:
+        """Requests per second over the observed window (0.0 when empty)."""
+        with self._lock:
+            return self._qps_locked()
+
+    def _qps_locked(self) -> float:
+        if not self._requests or self._window_start is None:
+            return 0.0
+        span = max(self._window_end - self._window_start, 1e-9)
+        return self._requests / span
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 plus mean/max, in milliseconds (zeros when empty)."""
+        with self._lock:
+            samples = np.asarray(self._latencies, dtype=np.float64)
+        if samples.size == 0:
+            return {
+                **{f"p{p}": 0.0 for p in PERCENTILES},
+                "mean": 0.0, "max": 0.0,
+            }
+        points = np.percentile(samples, PERCENTILES)
+        report = {
+            f"p{p}": float(value) * 1e3
+            for p, value in zip(PERCENTILES, points)
+        }
+        report["mean"] = float(samples.mean()) * 1e3
+        report["max"] = float(samples.max()) * 1e3
+        return report
+
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent, JSON-ready view with a stable key set."""
+        latency = self.latency_percentiles()
+        with self._lock:
+            lookups = self._cache_hits + self._cache_misses
+            window = (
+                self._window_end - self._window_start
+                if self._window_start is not None else 0.0
+            )
+            return {
+                "requests": self._requests,
+                "errors": self._errors,
+                "batches": self._batches,
+                "artifact_loads": self._artifact_loads,
+                "cache_hits": self._cache_hits,
+                "cache_misses": self._cache_misses,
+                "cache_hit_ratio": (
+                    self._cache_hits / lookups if lookups else 0.0
+                ),
+                "memo_hits": self._memo_hits,
+                "qps": self._qps_locked(),
+                "window_seconds": float(window),
+                "latency_samples": len(self._latencies),
+                "latency_ms": latency,
+            }
+
+    def format_table(self) -> str:
+        """The aligned text table ``serve bench`` / ``serve exec`` print."""
+        snapshot = self.snapshot()
+        latency = snapshot["latency_ms"]
+        rows = [
+            ("requests", f"{snapshot['requests']:,}"),
+            ("errors", f"{snapshot['errors']:,}"),
+            ("batches", f"{snapshot['batches']:,}"),
+            ("qps", f"{snapshot['qps']:,.0f}"),
+            ("artifact loads", f"{snapshot['artifact_loads']:,}"),
+            ("cache hit ratio", f"{snapshot['cache_hit_ratio']:.3f}"),
+            ("memo hits", f"{snapshot['memo_hits']:,}"),
+            ("latency p50", f"{latency['p50']:.3f} ms"),
+            ("latency p95", f"{latency['p95']:.3f} ms"),
+            ("latency p99", f"{latency['p99']:.3f} ms"),
+            ("latency mean", f"{latency['mean']:.3f} ms"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        lines = ["serving metrics"]
+        lines += [f"  {label:<{width}}  {value}" for label, value in rows]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        snapshot = self.snapshot()
+        return (
+            f"MetricsRegistry(requests={snapshot['requests']}, "
+            f"errors={snapshot['errors']}, "
+            f"loads={snapshot['artifact_loads']})"
+        )

@@ -1,0 +1,184 @@
+"""Synthetic request mixes: zipfian release popularity, configurable queries.
+
+Serving benchmarks need traffic that looks like traffic: a few releases
+take most of the requests (the hot cache's reason to exist), the rest
+form a long tail, and the queries themselves mix cheap scalars with
+order statistics and range scans.  This module generates such a mix
+deterministically:
+
+* **Release popularity** follows the same Zipf profile
+  (``rank^-skew``) the workload generator uses to skew sibling group
+  allocations (:func:`repro.workloads.generator._child_allocation`);
+  ``popularity_skew=0`` is uniform traffic, ``1.1`` a realistic heavy
+  head.
+* **Query mix** is a ``{query name: weight}`` mapping over the release
+  query surface (:data:`DEFAULT_QUERY_MIX` covers all of it).
+* **Parameters** are drawn valid against a catalog of the store's
+  actual releases (ranks within ``[1, G]``, bounds within the histogram
+  support), so a generated mix exercises the serving path, not the
+  error path.
+
+Seeding mirrors the rest of the codebase: one
+:func:`repro.engine.grid.stable_seed_sequence` over ``(tag, seed)``, so
+the same store contents + seed reproduce the same request log
+bit-for-bit (see :mod:`repro.serve.requestlog`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.api.store import ReleaseStore
+from repro.engine.grid import stable_seed_sequence
+from repro.exceptions import QueryError
+from repro.serve.spec import QuerySpec
+
+#: Default query mix: order statistics dominate (the paper's headline
+#: consumer questions), with a tail of range scans and skew summaries.
+DEFAULT_QUERY_MIX: Dict[str, float] = {
+    "kth_smallest_group": 2.0,
+    "kth_largest_group": 2.0,
+    "size_quantile": 2.0,
+    "groups_with_size_at_least": 1.0,
+    "groups_with_size_between": 1.0,
+    "entities_in_groups_of_size_between": 0.5,
+    "mean_group_size": 0.5,
+    "gini_coefficient": 0.5,
+    "top_share": 1.0,
+}
+
+#: Spec-hash prefix length generated requests address releases with
+#: (exercises the store's prefix resolution; 12 hex chars ≈ collision-free
+#: for any realistic store).
+PREFIX_LENGTH = 12
+
+#: Per-node facts the parameter draws need: (num_groups, num_entities,
+#: histogram length).
+NodeFacts = Tuple[int, int, int]
+
+
+def zipfian_weights(count: int, skew: float) -> np.ndarray:
+    """Normalized ``rank^-skew`` popularity weights (rank 1 first).
+
+    The same profile the workload generator skews sibling allocations
+    with; ``skew=0`` is uniform.
+
+    Examples
+    --------
+    >>> weights = zipfian_weights(4, 1.0)
+    >>> bool(weights[0] > weights[-1]), bool(abs(weights.sum() - 1) < 1e-12)
+    (True, True)
+    """
+    if count < 1:
+        raise QueryError(f"need at least one release, got {count}")
+    if not skew >= 0:
+        raise QueryError(f"popularity skew must be >= 0, got {skew}")
+    weights = np.arange(1, count + 1, dtype=np.float64) ** -float(skew)
+    return weights / weights.sum()
+
+
+def catalog_store(store: ReleaseStore) -> Dict[str, Dict[str, NodeFacts]]:
+    """Per-release, per-node facts for parameter drawing.
+
+    Decodes each artifact once (generation-time work, outside any timed
+    serving path) and keeps only nodes with at least one entity — the
+    support every query in the mix is well-defined on.
+    """
+    catalog: Dict[str, Dict[str, NodeFacts]] = {}
+    for release in store.releases():
+        nodes: Dict[str, NodeFacts] = {}
+        for name in release.node_names():
+            histogram = release.node(name)
+            if histogram.num_entities > 0:
+                nodes[name] = (
+                    histogram.num_groups,
+                    histogram.num_entities,
+                    len(histogram),
+                )
+        if nodes:
+            catalog[release.provenance.spec_hash] = nodes
+    if not catalog:
+        raise QueryError(
+            f"store {store.directory} holds no queryable releases "
+            "(every node is empty)"
+        )
+    return catalog
+
+
+def _draw_params(
+    query: str, facts: NodeFacts, rng: np.random.Generator
+) -> Dict[str, object]:
+    """Valid parameters for one request against a node's facts."""
+    num_groups, _, length = facts
+    if query in ("kth_smallest_group", "kth_largest_group"):
+        return {"k": int(rng.integers(1, num_groups + 1))}
+    if query == "size_quantile":
+        return {"quantile": round(float(rng.random()), 4)}
+    if query == "groups_with_size_at_least":
+        return {"size": int(rng.integers(0, length + 1))}
+    if query in (
+        "groups_with_size_between", "entities_in_groups_of_size_between"
+    ):
+        bounds = np.sort(rng.integers(0, length + 1, size=2))
+        return {"low": int(bounds[0]), "high": int(bounds[1])}
+    if query == "top_share":
+        # floor to 4 decimals, then clamp into (0, 1].
+        return {"fraction": min(max(round(float(rng.random()), 4), 1e-4), 1.0)}
+    return {}  # mean_group_size / gini_coefficient take no parameters
+
+
+def generate_requests(
+    store: ReleaseStore,
+    num_requests: int,
+    seed: int = 0,
+    popularity_skew: float = 1.1,
+    query_mix: Optional[Mapping[str, float]] = None,
+    catalog: Optional[Dict[str, Dict[str, NodeFacts]]] = None,
+    prefix_length: int = PREFIX_LENGTH,
+) -> List[QuerySpec]:
+    """A deterministic, replayable request mix against ``store``.
+
+    Popularity rank follows sorted spec-hash order (deterministic for a
+    given store); pass ``catalog`` to skip re-decoding when generating
+    several mixes against one store.
+
+    Examples
+    --------
+    Determinism: same store + seed → identical requests.
+    """
+    if num_requests < 1:
+        raise QueryError(f"num_requests must be >= 1, got {num_requests}")
+    mix = dict(query_mix) if query_mix is not None else dict(DEFAULT_QUERY_MIX)
+    if not mix:
+        raise QueryError("query mix must name at least one query")
+    queries = sorted(mix)
+    query_weights = np.asarray([float(mix[q]) for q in queries])
+    if np.any(query_weights < 0) or query_weights.sum() <= 0:
+        raise QueryError(f"query mix weights must be >= 0 and not all zero, "
+                         f"got {mix}")
+    query_weights = query_weights / query_weights.sum()
+
+    if catalog is None:
+        catalog = catalog_store(store)
+    hashes = sorted(catalog)
+    weights = zipfian_weights(len(hashes), popularity_skew)
+    rng = np.random.default_rng(
+        stable_seed_sequence("serve-mix", int(seed), len(hashes))
+    )
+
+    release_draws = rng.choice(len(hashes), size=num_requests, p=weights)
+    query_draws = rng.choice(len(queries), size=num_requests, p=query_weights)
+    requests: List[QuerySpec] = []
+    for release_index, query_index in zip(release_draws, query_draws):
+        spec_hash = hashes[release_index]
+        nodes = catalog[spec_hash]
+        names = sorted(nodes)
+        node = names[int(rng.integers(len(names)))]
+        query = queries[query_index]
+        requests.append(QuerySpec.create(
+            spec_hash[:prefix_length], query, node,
+            **_draw_params(query, nodes[node], rng),
+        ))
+    return requests

@@ -1,0 +1,312 @@
+"""Batched query plans: group requests by release, execute in shared passes.
+
+The naive way to answer a batch of :class:`~repro.serve.spec.QuerySpec`
+requests is one release decode plus one scalar query call per request —
+which is exactly what the pre-serving code path did, and what the A10
+benchmark measures as the baseline.  The planner restructures the batch:
+
+1. **Group by release** (:meth:`QueryPlanner.plan`) — every request
+   targeting the same artifact lands in one group, so the artifact is
+   decoded (or fetched from the engine's hot cache) once per *group*,
+   not once per *request*.
+2. **Execute each group in shared passes** (:func:`execute_group`) —
+   within a group, requests are subgrouped by node, and each node's
+   histogram representations are computed once and shared:
+
+   * all order-statistic requests (``kth_smallest_group``,
+     ``kth_largest_group``, ``size_quantile``) resolve their ranks and
+     answer with **one** vectorized ``searchsorted`` over the node's
+     cumulative histogram;
+   * all ``top_share`` requests share **one** suffix-cumulative-sum pass
+     over the sorted group sizes, then answer in O(1) each;
+   * ``mean_group_size`` / ``gini_coefficient`` are computed **once**
+     per node no matter how many requests ask;
+   * range queries answer in O(1) each off the node's (cached)
+     cumulative histogram.
+
+Answers are **bit-identical** to the scalar functions: the kernels reuse
+the exact parameter-resolution helpers of :mod:`repro.core.queries`
+(:func:`~repro.core.queries.resolve_rank` and friends) and perform the
+same arithmetic on the same integer arrays, so a planned batch and a
+naive loop agree to the last bit — the property
+``benchmarks/test_a10_serving.py`` pins down.  Per-request failures
+(rank out of range, unknown node, unresolvable selector) become
+per-request error results with the same messages the scalar path raises;
+they never poison the rest of the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.release import QUERIES, Release
+from repro.core.histogram import CountOfCounts
+from repro.core.queries import (
+    resolve_quantile_rank,
+    resolve_rank,
+    resolve_top_count,
+)
+from repro.exceptions import ReproError
+from repro.serve.spec import QuerySpec
+
+#: Queries answered by one shared searchsorted over the cumulative histogram.
+ORDER_STATISTIC_QUERIES = (
+    "kth_smallest_group", "kth_largest_group", "size_quantile",
+)
+
+#: Parameter-free per-node scalars, computed once per node per batch.
+SCALAR_QUERIES = ("mean_group_size", "gini_coefficient")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of one request: a value or an error, never both.
+
+    ``release`` carries the resolved full spec hash when resolution
+    succeeded (so callers can tell which artifact answered), and the
+    original selector when it did not.
+    """
+
+    spec: QuerySpec
+    value: Optional[object] = None
+    error: Optional[str] = None
+    release: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready row (the ``serve exec`` output format)."""
+        payload: Dict[str, object] = dict(self.spec.to_dict())
+        payload["release"] = self.release or self.spec.release
+        if self.ok:
+            payload["value"] = self.value
+        else:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class QueryPlan:
+    """A batch compiled into per-release groups.
+
+    ``groups`` maps each resolved release hash to the ``(position,
+    spec)`` pairs it must answer (positions index the original batch);
+    ``failures`` holds requests whose selector did not resolve.
+    """
+
+    groups: Dict[str, List[Tuple[int, QuerySpec]]] = field(default_factory=dict)
+    failures: Dict[int, QueryResult] = field(default_factory=dict)
+
+    @property
+    def num_requests(self) -> int:
+        return sum(len(items) for items in self.groups.values()) + len(
+            self.failures
+        )
+
+    @property
+    def num_releases(self) -> int:
+        return len(self.groups)
+
+
+class QueryPlanner:
+    """Compile request batches into :class:`QueryPlan` objects.
+
+    Stateless and therefore trivially thread-safe; the engine owns the
+    caches, the planner only decides the execution shape.
+    """
+
+    def plan(
+        self,
+        specs: Sequence[QuerySpec],
+        resolve: Callable[[str], str],
+    ) -> QueryPlan:
+        """Group ``specs`` by resolved release hash.
+
+        ``resolve`` expands a spec-hash prefix into a full hash (the
+        store's or engine's resolver); a :class:`ReproError` from it
+        turns into a per-request failure, not a batch abort.
+        """
+        plan = QueryPlan()
+        resolved: Dict[str, str] = {}
+        for position, spec in enumerate(specs):
+            try:
+                full = resolved.get(spec.release)
+                if full is None:
+                    full = resolve(spec.release)
+                    resolved[spec.release] = full
+            except ReproError as error:
+                plan.failures[position] = QueryResult(
+                    spec=spec, error=str(error), release=spec.release,
+                )
+                continue
+            plan.groups.setdefault(full, []).append((position, spec))
+        return plan
+
+
+# -- group execution ---------------------------------------------------------
+def execute_group(
+    release: Release,
+    items: Sequence[Tuple[int, QuerySpec]],
+    release_hash: Optional[str] = None,
+) -> Dict[int, QueryResult]:
+    """Answer every request in one release's group via shared passes.
+
+    Returns ``{position: QueryResult}``.  Pure: no caches, no metrics —
+    the engine layers those on top.
+    """
+    release_hash = release_hash or release.provenance.spec_hash
+    results: Dict[int, QueryResult] = {}
+
+    by_node: Dict[str, List[Tuple[int, QuerySpec]]] = {}
+    for position, spec in items:
+        by_node.setdefault(spec.node, []).append((position, spec))
+
+    for node, node_items in by_node.items():
+        try:
+            histogram = release.node(node)
+        except ReproError as error:
+            for position, spec in node_items:
+                results[position] = QueryResult(
+                    spec=spec, error=str(error), release=release_hash,
+                )
+            continue
+        _execute_node(histogram, node_items, release_hash, results)
+    return results
+
+
+def _execute_node(
+    histogram: CountOfCounts,
+    items: Sequence[Tuple[int, QuerySpec]],
+    release_hash: str,
+    results: Dict[int, QueryResult],
+) -> None:
+    """Answer one node's requests, sharing representation passes."""
+    order_stats: List[Tuple[int, QuerySpec]] = []
+    top_shares: List[Tuple[int, QuerySpec]] = []
+    scalars: Dict[str, List[Tuple[int, QuerySpec]]] = {}
+    direct: List[Tuple[int, QuerySpec]] = []
+    for position, spec in items:
+        if spec.query in ORDER_STATISTIC_QUERIES:
+            order_stats.append((position, spec))
+        elif spec.query == "top_share":
+            top_shares.append((position, spec))
+        elif spec.query in SCALAR_QUERIES:
+            scalars.setdefault(spec.query, []).append((position, spec))
+        else:
+            direct.append((position, spec))
+
+    if order_stats:
+        _order_statistics_kernel(histogram, order_stats, release_hash, results)
+    if top_shares:
+        _top_share_kernel(histogram, top_shares, release_hash, results)
+    for query, entries in scalars.items():
+        # One computation per node serves every duplicate request.
+        try:
+            value: object = QUERIES[query](histogram)
+            error = None
+        except ReproError as exc:
+            value, error = None, str(exc)
+        for position, spec in entries:
+            results[position] = QueryResult(
+                spec=spec, value=value, error=error, release=release_hash,
+            )
+    for position, spec in direct:
+        # Range queries are O(1) given the node's cached cumulative view,
+        # so the scalar functions *are* the shared-pass execution here.
+        try:
+            results[position] = QueryResult(
+                spec=spec,
+                value=QUERIES[spec.query](histogram, **spec.param_dict()),
+                release=release_hash,
+            )
+        except ReproError as exc:
+            results[position] = QueryResult(
+                spec=spec, error=str(exc), release=release_hash,
+            )
+
+
+def _order_statistics_kernel(
+    histogram: CountOfCounts,
+    entries: Sequence[Tuple[int, QuerySpec]],
+    release_hash: str,
+    results: Dict[int, QueryResult],
+) -> None:
+    """All order statistics of one node in a single searchsorted call.
+
+    Rank resolution goes through the exact helpers the scalar functions
+    use, so invalid parameters produce identical errors and valid ones
+    produce identical ranks; ``searchsorted`` over the shared cumulative
+    histogram then matches the scalar answers bit for bit.
+    """
+    valid: List[Tuple[int, QuerySpec]] = []
+    ranks: List[int] = []
+    for position, spec in entries:
+        params = spec.param_dict()
+        try:
+            if spec.query == "kth_smallest_group":
+                rank = resolve_rank(histogram, params["k"])
+            elif spec.query == "kth_largest_group":
+                rank = (
+                    histogram.num_groups
+                    - resolve_rank(histogram, params["k"]) + 1
+                )
+            else:  # size_quantile
+                rank = resolve_quantile_rank(histogram, params["quantile"])
+        except ReproError as exc:
+            results[position] = QueryResult(
+                spec=spec, error=str(exc), release=release_hash,
+            )
+            continue
+        valid.append((position, spec))
+        ranks.append(rank)
+    if not valid:
+        return
+    answers = np.searchsorted(
+        histogram.cumulative, np.asarray(ranks, dtype=np.int64), side="left",
+    )
+    for (position, spec), answer in zip(valid, answers):
+        results[position] = QueryResult(
+            spec=spec, value=int(answer), release=release_hash,
+        )
+
+
+def _top_share_kernel(
+    histogram: CountOfCounts,
+    entries: Sequence[Tuple[int, QuerySpec]],
+    release_hash: str,
+    results: Dict[int, QueryResult],
+) -> None:
+    """All top-share requests of one node off one suffix-sum pass.
+
+    ``tail[c-1]`` is the exact integer sum of the ``c`` largest group
+    sizes, so ``tail[count-1] / num_entities`` reproduces the scalar
+    ``sizes[-count:].sum() / num_entities`` bit for bit.
+    """
+    valid: List[Tuple[int, QuerySpec]] = []
+    counts: List[int] = []
+    for position, spec in entries:
+        try:
+            counts.append(
+                resolve_top_count(histogram, spec.param_dict()["fraction"])
+            )
+        except ReproError as exc:
+            results[position] = QueryResult(
+                spec=spec, error=str(exc), release=release_hash,
+            )
+            continue
+        valid.append((position, spec))
+    if not valid:
+        return
+    tail = np.cumsum(histogram.unattributed[::-1])
+    entities = histogram.num_entities
+    for (position, spec), count in zip(valid, counts):
+        results[position] = QueryResult(
+            spec=spec,
+            value=float(tail[count - 1] / entities),
+            release=release_hash,
+        )

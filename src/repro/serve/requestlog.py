@@ -1,0 +1,80 @@
+"""Replayable JSONL request logs.
+
+One :class:`~repro.serve.spec.QuerySpec` per line, as the canonical JSON
+of :meth:`QuerySpec.to_dict`.  The format is deliberately boring — plain
+JSON Lines — so logs can be produced by anything (the CLI, the synthetic
+mix generator, a production frontend tailing real traffic) and replayed
+byte-for-byte through ``repro serve exec`` or the benchmark harness.
+
+Blank lines are ignored; anything else that fails to parse or validate
+raises :class:`~repro.exceptions.QueryError` naming the offending line
+number, so a corrupted log fails loudly instead of silently dropping
+traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.exceptions import QueryError
+from repro.serve.spec import QuerySpec
+
+PathLike = Union[str, Path]
+
+
+def dump_request(spec: QuerySpec) -> str:
+    """One log line (no trailing newline) for a request."""
+    return spec.canonical_json()
+
+
+def save_requests(specs: Iterable[QuerySpec], path: PathLike) -> Path:
+    """Write a request log; returns the path.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "requests.jsonl")
+    >>> spec = QuerySpec.create("deadbeef", "gini_coefficient", "root")
+    >>> load_requests(save_requests([spec], path)) == [spec]
+    True
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for spec in specs:
+            handle.write(dump_request(spec))
+            handle.write("\n")
+    return path
+
+
+def parse_requests(
+    lines: Iterable[str], source: str = "<stream>"
+) -> List[QuerySpec]:
+    """Parse request-log lines (an open file, stdin, a list of strings)."""
+    specs: List[QuerySpec] = []
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise QueryError(
+                f"{source}:{number}: not valid JSON: {error}"
+            ) from None
+        try:
+            specs.append(QuerySpec.from_dict(payload))
+        except QueryError as error:
+            raise QueryError(f"{source}:{number}: {error}") from None
+    return specs
+
+
+def load_requests(path: PathLike) -> List[QuerySpec]:
+    """Read a request log written by :func:`save_requests`."""
+    path = Path(path)
+    try:
+        with path.open() as handle:
+            return parse_requests(handle, source=str(path))
+    except OSError as error:
+        raise QueryError(f"cannot read request log {path}: {error}") from None

@@ -1,0 +1,253 @@
+"""Frozen, JSON-serializable query specifications for the serving layer.
+
+A :class:`QuerySpec` is to query traffic what
+:class:`~repro.api.spec.ReleaseSpec` is to publication: one immutable,
+validated, canonically hashable value describing a single request —
+*which* release (addressed by a spec-hash prefix, exactly like the CLI's
+``query`` command), *which* node, *which* consumer query from
+:mod:`repro.core.queries`, and with what parameters.
+
+Validation happens at construction, before any artifact is touched: the
+query name must exist in the release query surface
+(:data:`repro.api.release.QUERIES`), the parameter names must match the
+query function's signature (required parameters present, no unknown
+names) and the values must be finite scalars.  A malformed request
+therefore fails while it is still a value, not halfway through a batch.
+
+Two hashes matter:
+
+* :meth:`QuerySpec.query_hash` — SHA-256 of the full canonical JSON
+  (including the release selector); identifies the request itself, e.g.
+  for request-log dedup.
+* :meth:`QuerySpec.result_key` — SHA-256 of ``(query, node, params)``
+  only.  Combined with the *resolved* release hash it identifies the
+  answer, which is what the serving engine's memo table keys on: two
+  requests spelling the same release with different prefixes share one
+  memoized result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Tuple
+
+from repro.api.release import QUERIES, available_queries
+from repro.exceptions import QueryError
+
+#: Longest legal release selector: a full SHA-256 spec hash.
+FULL_HASH_LENGTH = 64
+
+#: Shortest selector accepted — single-character prefixes are almost
+#: always typos and collide as soon as a store holds a few artifacts.
+MIN_PREFIX_LENGTH = 4
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _parameter_names(query: str) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(all, required) parameter names of a query, histogram excluded."""
+    parameters = list(inspect.signature(QUERIES[query]).parameters.values())
+    tail = parameters[1:]  # parameters[0] is the histogram itself
+    return (
+        tuple(p.name for p in tail),
+        tuple(p.name for p in tail if p.default is inspect.Parameter.empty),
+    )
+
+
+#: query name -> (accepted parameter names, required parameter names),
+#: derived from the query functions' signatures so the two can't drift.
+QUERY_PARAMETERS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    name: _parameter_names(name) for name in QUERIES
+}
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One serving request: release selector + node + query + parameters.
+
+    Attributes
+    ----------
+    release:
+        Spec-hash prefix (lowercase hex, 4..64 chars) selecting the
+        target release in a :class:`~repro.api.store.ReleaseStore`.
+    query:
+        A query name from :func:`repro.api.release.available_queries`.
+    node:
+        Hierarchy node whose released histogram answers the query.
+    params:
+        Query parameters as sorted ``(name, value)`` pairs (kept as a
+        tuple so specs stay hashable); values are finite ints/floats.
+
+    Examples
+    --------
+    >>> spec = QuerySpec.create("deadbeef", "kth_largest_group", "root", k=3)
+    >>> spec.param_dict()
+    {'k': 3}
+    >>> spec == QuerySpec.from_dict(spec.to_dict())
+    True
+    >>> len(spec.query_hash())
+    64
+    """
+
+    release: str
+    query: str
+    node: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.release, str) or not self.release:
+            raise QueryError(
+                f"release must be a spec-hash prefix string, "
+                f"got {self.release!r}"
+            )
+        release = self.release.lower()
+        if not MIN_PREFIX_LENGTH <= len(release) <= FULL_HASH_LENGTH:
+            raise QueryError(
+                f"release selector must be {MIN_PREFIX_LENGTH}-"
+                f"{FULL_HASH_LENGTH} hex characters, got {self.release!r}"
+            )
+        if not set(release) <= _HEX_DIGITS:
+            raise QueryError(
+                f"release selector must be lowercase hex, got {self.release!r}"
+            )
+        object.__setattr__(self, "release", release)
+
+        if self.query not in QUERIES:
+            raise QueryError(
+                f"unknown query {self.query!r}; available: "
+                f"{available_queries()}"
+            )
+        if not isinstance(self.node, str) or not self.node:
+            raise QueryError(
+                f"node must be a nonempty node name, got {self.node!r}"
+            )
+
+        accepted, required = QUERY_PARAMETERS[self.query]
+        pairs: List[Tuple[str, object]] = []
+        seen = set()
+        for key, value in self.params:
+            if key not in accepted:
+                raise QueryError(
+                    f"query {self.query!r} takes no parameter {key!r}; "
+                    f"accepted: {accepted or '(none)'}"
+                )
+            if key in seen:
+                raise QueryError(
+                    f"duplicate parameter {key!r} for query {self.query!r}"
+                )
+            seen.add(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise QueryError(
+                    f"parameter {key!r} must be an int or float, "
+                    f"got {value!r}"
+                )
+            if not math.isfinite(value):
+                raise QueryError(
+                    f"parameter {key!r} must be finite, got {value!r}"
+                )
+            pairs.append((key, value))
+        missing = [name for name in required if name not in seen]
+        if missing:
+            raise QueryError(
+                f"query {self.query!r} requires parameter(s) {missing}"
+            )
+        object.__setattr__(self, "params", tuple(sorted(pairs)))
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def create(
+        cls, release: str, query: str, node: str, **params: object
+    ) -> "QuerySpec":
+        """Build a spec with keyword parameters.
+
+        Examples
+        --------
+        >>> QuerySpec.create("0a1b2c3d", "size_quantile", "root",
+        ...                  quantile=0.5).query
+        'size_quantile'
+        """
+        return cls(
+            release=release, query=query, node=node,
+            params=tuple(sorted(params.items())),
+        )
+
+    # -- serialization ------------------------------------------------------
+    def param_dict(self) -> Dict[str, object]:
+        """Query parameters as a plain dict (what the query function gets)."""
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "release": self.release,
+            "query": self.query,
+            "node": self.node,
+            "params": self.param_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "QuerySpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        if not isinstance(payload, Mapping):
+            raise QueryError(
+                f"query spec payload must be an object, got {payload!r}"
+            )
+        try:
+            params = payload.get("params", {})
+            if not isinstance(params, Mapping):
+                raise QueryError(
+                    f"query spec 'params' must be an object, got {params!r}"
+                )
+            return cls.create(
+                release=str(payload["release"]),
+                query=str(payload["query"]),
+                node=str(payload["node"]),
+                **dict(params),
+            )
+        except KeyError as error:
+            raise QueryError(
+                f"query spec payload is missing field {error}"
+            ) from None
+
+    def canonical_json(self) -> str:
+        """The canonical JSON both hashes are computed over."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def query_hash(self) -> str:
+        """Stable SHA-256 of the full canonical spec (request identity)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def result_key(self) -> str:
+        """SHA-256 of ``(query, node, params)`` — the release-independent
+        half of a memo key.
+
+        Paired with the resolved release hash this identifies the answer,
+        so two specs that spell the same release with different prefixes
+        memoize to one entry.
+        """
+        payload = json.dumps(
+            {
+                "query": self.query,
+                "node": self.node,
+                "params": self.param_dict(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- convenience --------------------------------------------------------
+    def with_release(self, release: str) -> "QuerySpec":
+        """A copy targeting a different release selector."""
+        return replace(self, release=release)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI and logs)."""
+        params = ", ".join(f"{k}={v}" for k, v in self.params)
+        return (
+            f"{self.query}({params}) on {self.node!r} "
+            f"of release {self.release[:12]}"
+        )

@@ -164,3 +164,55 @@ class TestIntegrity:
         assert store.clear() == 1
         assert len(store) == 0
         assert "ReleaseStore(" in repr(store)
+
+
+class TestConcurrentGetOrBuild:
+    def test_concurrent_callers_run_the_mechanism_once(self, store, spec):
+        """Eight threads race get_or_build on one unbuilt spec: the
+        per-spec-hash lock must serialize them into exactly one
+        mechanism execution (pinned via the global counter)."""
+        import threading
+
+        tree = spec.build_dataset()  # share the true data across threads
+        before = execution_count()
+        barrier = threading.Barrier(8)
+        served, failures = [], []
+
+        def request():
+            try:
+                barrier.wait()
+                served.append(store.get_or_build(spec, hierarchy=tree))
+            except Exception as error:  # pragma: no cover - diagnostic aid
+                failures.append(error)
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert failures == []
+        assert execution_count() - before == 1
+        assert store.builds == 1
+        payloads = {release.to_json() for release in served}
+        assert len(served) == 8 and len(payloads) == 1
+
+    def test_distinct_specs_do_not_serialize(self, store, spec):
+        """Different specs take different locks — both build."""
+        import threading
+
+        other = spec.with_epsilon(3.0)
+        tree = spec.build_dataset()
+        threads = [
+            threading.Thread(
+                target=store.get_or_build, args=(s,),
+                kwargs={"hierarchy": tree},
+            )
+            for s in (spec, other)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.builds == 2
+        assert len(store) == 2

@@ -150,3 +150,83 @@ class TestSkewnessSummaries:
         assert 1 <= size_quantile(release, 0.5) <= 3
         assert groups_with_size_at_least(release, 1) <= release.num_groups
         assert 0 <= gini_coefficient(release) < 1
+
+
+class TestParameterHardening:
+    """Every parameter problem raises HistogramError, never a bare
+    TypeError/ValueError/IndexError — the contract the serving layer's
+    batched kernels rely on."""
+
+    ALL_ZERO = [0, 0, 0]
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 6, 1.5, "2", None, True, 10**9,
+                                       float("inf"), float("nan")])
+    def test_rank_problems(self, h, bad_k):
+        with pytest.raises(HistogramError):
+            kth_smallest_group(h, bad_k)
+        with pytest.raises(HistogramError):
+            kth_largest_group(h, bad_k)
+
+    def test_integral_float_ranks_accepted(self, h):
+        assert kth_smallest_group(h, 2.0) == kth_smallest_group(h, 2)
+        assert kth_largest_group(h, np.int64(2)) == kth_largest_group(h, 2)
+
+    def test_order_statistics_on_all_zero_histogram(self):
+        for k in (1, 0):
+            with pytest.raises(HistogramError, match="zero groups"):
+                kth_smallest_group(self.ALL_ZERO, k)
+            with pytest.raises(HistogramError, match="zero groups"):
+                kth_largest_group(self.ALL_ZERO, k)
+
+    @pytest.mark.parametrize("bad_q", [-0.1, 1.5, float("nan"),
+                                       float("inf"), "0.5", None, True])
+    def test_quantile_problems(self, h, bad_q):
+        with pytest.raises(HistogramError):
+            size_quantile(h, bad_q)
+
+    def test_quantile_on_all_zero_histogram(self):
+        with pytest.raises(HistogramError, match="zero groups"):
+            size_quantile(self.ALL_ZERO, 0.5)
+
+    @pytest.mark.parametrize("bad_bound", [1.5, "3", None, True,
+                                           float("inf"), float("nan")])
+    def test_range_bound_problems(self, h, bad_bound):
+        with pytest.raises(HistogramError):
+            groups_with_size_at_least(h, bad_bound)
+        with pytest.raises(HistogramError):
+            groups_with_size_between(h, bad_bound, 10)
+        with pytest.raises(HistogramError):
+            entities_in_groups_of_size_between(h, 0, bad_bound)
+
+    def test_integral_float_bounds_accepted(self, h):
+        assert groups_with_size_at_least(h, 2.0) == \
+            groups_with_size_at_least(h, 2)
+        assert groups_with_size_between(h, 1.0, 2.0) == \
+            groups_with_size_between(h, 1, 2)
+
+    @pytest.mark.parametrize("bad_f", [0.0, -0.5, 1.5, float("nan"),
+                                       "0.5", None, True])
+    def test_top_share_fraction_problems(self, h, bad_f):
+        with pytest.raises(HistogramError):
+            top_share(h, bad_f)
+
+    def test_summaries_on_all_zero_histogram(self):
+        for query in (mean_group_size, gini_coefficient):
+            with pytest.raises(HistogramError):
+                query(self.ALL_ZERO)
+        with pytest.raises(HistogramError):
+            top_share(self.ALL_ZERO, 0.5)
+
+    def test_resolution_helpers_are_shared_with_scalars(self, h):
+        """The helpers the serving planner imports resolve exactly the
+        parameters the scalar functions answer with."""
+        from repro.core.queries import (
+            resolve_quantile_rank,
+            resolve_rank,
+            resolve_top_count,
+        )
+
+        assert kth_smallest_group(h, resolve_quantile_rank(h, 0.5)) == \
+            size_quantile(h, 0.5)
+        assert resolve_rank(h, 3) == 3
+        assert resolve_top_count(h, 1.0) == h.num_groups

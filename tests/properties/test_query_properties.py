@@ -95,3 +95,46 @@ def test_gini_zero_iff_all_sizes_equal(histogram):
         assert gini_coefficient(h) == 0.0
     elif gini_coefficient(h) == 0.0:
         raise AssertionError("gini 0 for unequal sizes")
+
+
+# -- serving-era invariants (random histograms, hypothesis-driven) ----------
+histograms_with_entities = nonempty_histograms.filter(
+    lambda h: (np.arange(h.size) * h).sum() > 0
+)
+
+
+@given(
+    histograms_with_entities,
+    st.floats(min_value=0.001, max_value=1.0),
+    st.floats(min_value=0.001, max_value=1.0),
+)
+def test_top_share_is_monotone_in_its_share_parameter(histogram, f1, f2):
+    h = CountOfCounts(histogram)
+    low, high = sorted((f1, f2))
+    assert top_share(h, low) <= top_share(h, high)
+    assert 0.0 < top_share(h, low) <= 1.0
+
+
+@given(nonempty_histograms)
+def test_gini_coefficient_is_in_unit_interval(histogram):
+    h = CountOfCounts(histogram)
+    assert 0.0 <= gini_coefficient(h) <= 1.0
+
+
+@given(nonempty_histograms, st.data())
+def test_kth_smallest_below_kth_largest_on_the_lower_half(histogram, data):
+    """For ranks in the lower half (2k <= G+1), the k-th smallest group
+    cannot exceed the k-th largest — they look at the same sorted sizes
+    from opposite ends."""
+    h = CountOfCounts(histogram)
+    k = data.draw(st.integers(min_value=1, max_value=(h.num_groups + 1) // 2))
+    assert kth_smallest_group(h, k) <= kth_largest_group(h, k)
+
+
+@given(nonempty_histograms, st.data())
+def test_order_statistics_are_monotone_in_rank(histogram, data):
+    h = CountOfCounts(histogram)
+    k1 = data.draw(st.integers(min_value=1, max_value=h.num_groups))
+    k2 = data.draw(st.integers(min_value=k1, max_value=h.num_groups))
+    assert kth_smallest_group(h, k1) <= kth_smallest_group(h, k2)
+    assert kth_largest_group(h, k1) >= kth_largest_group(h, k2)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the serving-subsystem suite.
+
+The bench store is session-scoped: populating releases runs the actual
+mechanism, so the suite builds its artifacts once and every test serves
+from them (the store itself is read-only under serving traffic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.release import Provenance, Release
+from repro.api.spec import ReleaseSpec
+from repro.api.store import ReleaseStore
+from repro.core.histogram import CountOfCounts
+from repro.serve import populate_bench_store
+
+#: Number of releases the shared store holds (small: suite speed).
+NUM_RELEASES = 4
+
+
+@pytest.fixture(scope="session")
+def bench_store(tmp_path_factory) -> ReleaseStore:
+    store = ReleaseStore(tmp_path_factory.mktemp("serve-store"))
+    populate_bench_store(store, num_releases=NUM_RELEASES)
+    return store
+
+
+@pytest.fixture(scope="session")
+def release_hashes(bench_store) -> list:
+    return bench_store.spec_hashes()
+
+
+def make_release(histograms: dict) -> Release:
+    """A synthetic in-memory Release around given histograms.
+
+    Bypasses the mechanism entirely — planner tests need arbitrary
+    histograms under the real artifact query surface, not DP noise.
+    """
+    spec = ReleaseSpec.create("hawaiian", epsilon=1.0, max_size=200)
+    estimates = {
+        name: value if isinstance(value, CountOfCounts) else CountOfCounts(value)
+        for name, value in histograms.items()
+    }
+    provenance = Provenance(
+        spec_hash=spec.spec_hash(),
+        seed=0,
+        epsilon_budget=1.0,
+        epsilon_spent=1.0,
+        num_levels=2,
+        num_nodes=len(estimates),
+        library_version="test",
+    )
+    return Release(spec=spec, estimates=estimates, provenance=provenance)

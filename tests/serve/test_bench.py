@@ -1,0 +1,132 @@
+"""Tests for the serving benchmark harness and its JSON schema."""
+
+import json
+
+import pytest
+
+from repro.api.store import ReleaseStore
+from repro.exceptions import ReproError
+from repro.serve import (
+    QuerySpec,
+    ServingEngine,
+    answers_match,
+    bench_specs,
+    generate_requests,
+    populate_bench_store,
+    run_benchmark,
+    run_naive,
+    run_served,
+)
+from repro.serve.bench import BENCH_SCHEMA_VERSION
+
+
+class TestPopulate:
+    def test_specs_are_distinct(self):
+        specs = bench_specs(6)
+        assert len({spec.spec_hash() for spec in specs}) == 6
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bench_specs(0)
+
+    def test_idempotent(self, bench_store, release_hashes):
+        builds = bench_store.builds
+        hashes = populate_bench_store(bench_store, len(release_hashes))
+        assert bench_store.builds == builds  # nothing rebuilt
+        assert sorted(hashes) == release_hashes
+
+
+class TestPaths:
+    def test_naive_and_served_agree_including_errors(self, bench_store,
+                                                     release_hashes):
+        requests = generate_requests(bench_store, 60, seed=5)
+        # Inject deterministic failures: an unresolvable selector and an
+        # out-of-range rank.
+        requests.append(
+            QuerySpec.create("deadbeef", "mean_group_size", "root"))
+        requests.append(
+            QuerySpec.create(release_hashes[0][:12], "kth_largest_group",
+                             "root", k=10**9))
+        naive, _ = run_naive(bench_store, requests)
+        with ServingEngine(bench_store) as engine:
+            served, _ = run_served(engine, requests, batch_size=16)
+        assert answers_match(naive, served)
+        assert not naive[-1].ok and not naive[-2].ok
+
+    def test_answers_match_detects_divergence(self, bench_store):
+        from dataclasses import replace
+
+        requests = generate_requests(bench_store, 5, seed=6)
+        naive, _ = run_naive(bench_store, requests)
+        assert answers_match(naive, naive)
+        assert not answers_match(naive, naive[:-1])  # length mismatch
+        value = replace(naive[0], value=-1)
+        assert not answers_match(naive, [value] + naive[1:])
+        flipped = replace(naive[0], value=None, error="boom")
+        assert not answers_match(naive, [flipped] + naive[1:])
+        # int vs float of the same magnitude is NOT bit-identical.
+        if isinstance(naive[0].value, int):
+            retyped = replace(naive[0], value=float(naive[0].value))
+            assert not answers_match(naive, [retyped] + naive[1:])
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self, bench_store):
+        return run_benchmark(bench_store, num_requests=80, seed=1)
+
+    def test_answers_identical(self, report):
+        assert report.answers_identical
+        assert answers_match(report.naive_results, report.served_results)
+
+    def test_schema(self, report):
+        payload = report.to_dict()
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert set(payload) == {
+            "schema_version", "config", "naive", "served", "speedup",
+            "answers_identical",
+        }
+        assert set(payload["config"]) == {
+            "num_releases", "num_requests", "popularity_skew", "seed",
+            "cache_size",
+        }
+        assert set(payload["naive"]) == {"seconds", "qps"}
+        assert set(payload["served"]) == {
+            "seconds", "qps", "cache_hit_ratio", "artifact_loads",
+            "memo_hits", "latency_ms",
+        }
+        assert set(payload["served"]["latency_ms"]) == {"p50", "p95", "p99"}
+        assert payload["naive"]["qps"] > 0
+        assert payload["served"]["qps"] > 0
+        assert payload["speedup"] > 0
+
+    def test_write_roundtrip(self, report, tmp_path):
+        path = report.write(tmp_path / "BENCH_serving.json")
+        payload = json.loads(path.read_text())
+        assert payload == json.loads(json.dumps(report.to_dict()))
+
+    def test_summary_lines(self, report):
+        summary = report.summary()
+        assert "naive" in summary and "served" in summary and "x" in summary
+
+    def test_format_table_mirrors_the_schema(self, report):
+        table = report.format_table()
+        assert "serving metrics" in table
+        for label in ("qps (served)", "qps (naive)", "speedup",
+                      "cache hit ratio", "latency p99", "answers identical"):
+            assert label in table
+        assert "answers identical  true" in table
+
+    def test_replayed_requests(self, bench_store):
+        requests = generate_requests(bench_store, 30, seed=8)
+        report = run_benchmark(bench_store, requests=requests)
+        assert report.num_requests == 30
+        assert report.answers_identical
+
+    def test_cache_pressure_still_correct(self, bench_store):
+        report = run_benchmark(
+            bench_store, num_requests=60, seed=2, cache_size=1, batch_size=10,
+        )
+        assert report.answers_identical
+        # With a single hot slot, evictions force extra decodes.
+        assert report.metrics["artifact_loads"] >= len(bench_store)

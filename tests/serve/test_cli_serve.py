@@ -1,0 +1,98 @@
+"""End-to-end tests for the ``repro serve`` CLI subcommands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import QuerySpec, generate_requests, save_requests
+
+
+@pytest.fixture
+def store_dir(bench_store):
+    return str(bench_store.directory)
+
+
+@pytest.fixture
+def request_log(bench_store, tmp_path):
+    path = tmp_path / "requests.jsonl"
+    save_requests(generate_requests(bench_store, 12, seed=3), path)
+    return path
+
+
+class TestServeExec:
+    def test_exec_from_file(self, store_dir, request_log, capsys):
+        code = main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(request_log)])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 12
+        for line in lines:
+            row = json.loads(line)
+            assert "value" in row and "error" not in row
+            assert len(row["release"]) == 64  # resolved full hash
+
+    def test_exec_metrics_table_on_stderr(self, store_dir, request_log,
+                                          capsys):
+        code = main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(request_log), "--metrics",
+                     "--workers", "2"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "serving metrics" in err
+        assert "cache hit ratio" in err
+
+    def test_exec_from_stdin(self, store_dir, request_log, capsys,
+                             monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(request_log.read_text()))
+        assert main(["serve", "exec", "--store", store_dir,
+                     "--requests", "-"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 12
+
+    def test_exec_reports_request_errors(self, store_dir, tmp_path, capsys):
+        log = tmp_path / "bad.jsonl"
+        save_requests(
+            [QuerySpec.create("deadbeef", "mean_group_size", "root")], log,
+        )
+        code = main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(log)])
+        assert code == 3
+        row = json.loads(capsys.readouterr().out.strip())
+        assert "error" in row and "no artifact" in row["error"]
+
+    def test_exec_malformed_log_exits_2(self, store_dir, tmp_path, capsys):
+        log = tmp_path / "broken.jsonl"
+        log.write_text("{not json\n")
+        code = main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(log)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_smoke_bench_writes_schema_stable_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serving.json"
+        code = main(["serve", "bench",
+                     "--store", str(tmp_path / "bench-store"),
+                     "--releases", "3", "--requests", "40",
+                     "--smoke", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "serving metrics" in printed
+        assert "speedup" in printed
+        assert "answers identical  true" in printed
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["answers_identical"] is True
+        assert payload["served"]["qps"] > 0
+        assert set(payload["served"]["latency_ms"]) == {"p50", "p95", "p99"}
+
+    def test_bench_reuses_existing_store(self, store_dir, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(["serve", "bench", "--store", store_dir,
+                     "--releases", "4", "--requests", "30",
+                     "--seed", "2", "--out", str(out)])
+        assert code == 0
+        assert "(0 built now)" in capsys.readouterr().out
+        assert json.loads(out.read_text())["config"]["num_requests"] == 30

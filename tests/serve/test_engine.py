@@ -1,0 +1,251 @@
+"""Tests for the ServingEngine: hot cache, memo, thread pool, metrics."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import QueryError, ReproError
+from repro.serve import MetricsRegistry, QuerySpec, ServingEngine
+
+
+@pytest.fixture
+def engine(bench_store):
+    with ServingEngine(bench_store, cache_size=8) as engine:
+        yield engine
+
+
+def mean_spec(spec_hash, prefix=12):
+    return QuerySpec.create(spec_hash[:prefix], "mean_group_size", "root")
+
+
+class TestConstruction:
+    def test_bad_cache_size(self, bench_store):
+        with pytest.raises(ReproError):
+            ServingEngine(bench_store, cache_size=0)
+
+    def test_bad_workers(self, bench_store):
+        with pytest.raises(ReproError):
+            ServingEngine(bench_store, max_workers=0)
+
+    def test_repr(self, engine):
+        assert "ServingEngine" in repr(engine)
+
+
+class TestHotCache:
+    def test_one_decode_per_release(self, engine, release_hashes):
+        spec = mean_spec(release_hashes[0])
+        first = engine.execute(spec)
+        second = engine.execute(spec)
+        assert first.ok and second.ok and first.value == second.value
+        assert first.release == release_hashes[0]
+        assert engine.metrics.snapshot()["artifact_loads"] == 1
+
+    def test_lru_eviction(self, bench_store, release_hashes):
+        with ServingEngine(bench_store, cache_size=2, memoize=False) as engine:
+            for spec_hash in release_hashes[:3]:
+                engine.execute(mean_spec(spec_hash))
+            cached = engine.cached_releases()
+            assert len(cached) == 2
+            assert release_hashes[0] not in cached  # the oldest fell out
+            # Touching the evicted release decodes again...
+            engine.execute(mean_spec(release_hashes[0]))
+            assert engine.metrics.snapshot()["artifact_loads"] == 4
+            # ...while a hot one does not.
+            engine.execute(mean_spec(release_hashes[0]))
+            assert engine.metrics.snapshot()["artifact_loads"] == 4
+
+    def test_concurrent_cold_requests_decode_once(
+        self, bench_store, release_hashes
+    ):
+        engine = ServingEngine(bench_store, cache_size=4, max_workers=8)
+        spec = mean_spec(release_hashes[0])
+        barrier = threading.Barrier(8)
+        values = []
+
+        def hammer():
+            barrier.wait()
+            values.append(engine.execute(spec))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({result.value for result in values}) == 1
+        assert engine.metrics.snapshot()["artifact_loads"] == 1
+        engine.close()
+
+    def test_vanished_artifact_is_a_request_error(self, tmp_path, bench_store,
+                                                  release_hashes):
+        engine = ServingEngine(bench_store)
+        # Resolution is pre-seeded, then the file disappears underneath.
+        full = release_hashes[0]
+        engine._resolved[full[:12]] = "ff" * 32
+        result = engine.execute(mean_spec(full))
+        assert not result.ok
+        assert "vanished" in result.error
+
+
+class TestMemoization:
+    def test_repeat_requests_hit_the_memo(self, bench_store, release_hashes):
+        with ServingEngine(bench_store) as engine:
+            spec = mean_spec(release_hashes[0])
+            first = engine.execute(spec)
+            second = engine.execute(spec)
+            assert engine.metrics.snapshot()["memo_hits"] == 1
+            assert second.value == first.value
+
+    def test_memo_shared_across_prefix_spellings(
+        self, bench_store, release_hashes
+    ):
+        with ServingEngine(bench_store) as engine:
+            full = release_hashes[0]
+            engine.execute(mean_spec(full, prefix=12))
+            result = engine.execute(mean_spec(full, prefix=64))
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["memo_hits"] == 1
+            assert result.release == full
+
+    def test_errors_memoize_too(self, bench_store, release_hashes):
+        with ServingEngine(bench_store) as engine:
+            spec = QuerySpec.create(
+                release_hashes[0][:12], "kth_smallest_group", "root", k=10**9,
+            )
+            first = engine.execute(spec)
+            second = engine.execute(spec)
+            assert not first.ok and second.error == first.error
+            assert engine.metrics.snapshot()["memo_hits"] == 1
+
+    def test_memoize_off(self, bench_store, release_hashes):
+        with ServingEngine(bench_store, memoize=False) as engine:
+            spec = mean_spec(release_hashes[0])
+            engine.execute(spec)
+            engine.execute(spec)
+            assert engine.metrics.snapshot()["memo_hits"] == 0
+
+    def test_memo_bound_evicts_oldest(self, bench_store, release_hashes):
+        with ServingEngine(bench_store, memo_size=2) as engine:
+            specs = [
+                QuerySpec.create(release_hashes[0][:12], "kth_smallest_group",
+                                 "root", k=k)
+                for k in (1, 2, 3)
+            ]
+            for spec in specs:
+                engine.execute(spec)
+            engine.execute(specs[0])  # evicted → recomputed, no memo hit
+            assert engine.metrics.snapshot()["memo_hits"] == 0
+            engine.execute(specs[2])  # still memoized
+            assert engine.metrics.snapshot()["memo_hits"] == 1
+
+
+class TestBatches:
+    def test_batch_answers_in_request_order(self, engine, release_hashes):
+        specs = [
+            QuerySpec.create(spec_hash[:12], "kth_smallest_group", "root", k=k)
+            for k in (3, 1, 2)
+            for spec_hash in release_hashes
+        ]
+        results = engine.execute_batch(specs)
+        assert [result.spec for result in results] == specs
+        assert all(result.ok for result in results)
+
+    def test_concurrent_batch_matches_serial(self, bench_store,
+                                             release_hashes):
+        specs = [
+            QuerySpec.create(spec_hash[:12], "size_quantile", "root",
+                             quantile=q)
+            for q in (0.1, 0.5, 0.9)
+            for spec_hash in release_hashes
+        ]
+        with ServingEngine(bench_store, max_workers=4) as engine:
+            concurrent = engine.execute_batch(specs, concurrent=True)
+        with ServingEngine(bench_store) as engine:
+            serial = engine.execute_batch(specs)
+        assert [r.value for r in concurrent] == [r.value for r in serial]
+
+    def test_unresolvable_prefix_is_per_request(self, engine, release_hashes):
+        specs = [
+            QuerySpec.create("deadbeef", "mean_group_size", "root"),
+            mean_spec(release_hashes[0]),
+        ]
+        results = engine.execute_batch(specs)
+        assert not results[0].ok and "no artifact" in results[0].error
+        assert results[1].ok
+        assert engine.metrics.snapshot()["errors"] >= 1
+
+    def test_ambiguous_prefix_is_an_error(self, bench_store):
+        # All bench hashes differ in their first chars, so force ambiguity
+        # through the store's own resolver contract instead.
+        with pytest.raises(QueryError):
+            bench_store.resolve("")
+
+    def test_submit_and_submit_batch(self, engine, release_hashes):
+        future = engine.submit(mean_spec(release_hashes[0]))
+        assert future.result().ok
+        batch = engine.submit_batch(
+            [mean_spec(spec_hash) for spec_hash in release_hashes]
+        )
+        assert all(result.ok for result in batch.result())
+
+    def test_close_is_idempotent(self, bench_store):
+        engine = ServingEngine(bench_store)
+        engine.pool  # force creation
+        engine.close()
+        engine.close()
+
+
+class TestMetricsSurface:
+    def test_snapshot_schema(self, engine, release_hashes):
+        engine.execute(mean_spec(release_hashes[0]))
+        snapshot = engine.metrics.snapshot()
+        assert set(snapshot) == {
+            "requests", "errors", "batches", "artifact_loads", "cache_hits",
+            "cache_misses", "cache_hit_ratio", "memo_hits", "qps",
+            "window_seconds", "latency_samples", "latency_ms",
+        }
+        assert set(snapshot["latency_ms"]) == {
+            "p50", "p95", "p99", "mean", "max",
+        }
+        assert snapshot["requests"] == 1
+        assert snapshot["qps"] > 0
+
+    def test_format_table(self, engine, release_hashes):
+        engine.execute(mean_spec(release_hashes[0]))
+        table = engine.metrics.format_table()
+        assert "serving metrics" in table
+        assert "cache hit ratio" in table
+        assert "latency p99" in table
+
+    def test_empty_registry(self):
+        metrics = MetricsRegistry()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["qps"] == 0.0
+        assert snapshot["latency_ms"]["p50"] == 0.0
+        assert metrics.cache_hit_ratio() == 0.0
+        assert metrics.qps() == 0.0
+
+    def test_reset(self, bench_store, release_hashes):
+        with ServingEngine(bench_store) as engine:
+            engine.execute(mean_spec(release_hashes[0]))
+            engine.metrics.reset()
+            assert engine.metrics.snapshot()["requests"] == 0
+
+    def test_reservoir_bound(self):
+        metrics = MetricsRegistry(max_samples=3)
+        for _ in range(5):
+            metrics.record_request(0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 5
+        assert snapshot["latency_samples"] == 3
+
+    def test_batch_span_keeps_qps_honest(self):
+        """Amortized batch records must widen the QPS window to the full
+        pass, not the per-request sliver — otherwise a single batch
+        reports absurdly inflated throughput."""
+        metrics = MetricsRegistry()
+        # 10 requests answered by one 0.1 s shared pass (0.01 s each).
+        for _ in range(10):
+            metrics.record_request(0.01, span_seconds=0.1)
+        assert metrics.snapshot()["window_seconds"] >= 0.1
+        assert metrics.qps() <= 10 / 0.1 * 1.01  # ~100 qps, not ~1000

@@ -1,0 +1,105 @@
+"""Tests for the synthetic request-mix generator."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.serve import (
+    DEFAULT_QUERY_MIX,
+    ServingEngine,
+    catalog_store,
+    generate_requests,
+    zipfian_weights,
+)
+
+
+class TestZipfianWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipfian_weights(10, 1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_zero_skew_is_uniform(self):
+        assert np.allclose(zipfian_weights(5, 0.0), 0.2)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            zipfian_weights(0, 1.0)
+        with pytest.raises(QueryError):
+            zipfian_weights(3, -1.0)
+
+
+class TestCatalog:
+    def test_catalog_covers_all_releases(self, bench_store, release_hashes):
+        catalog = catalog_store(bench_store)
+        assert sorted(catalog) == release_hashes
+        for nodes in catalog.values():
+            assert nodes  # every release has queryable nodes
+            for num_groups, num_entities, length in nodes.values():
+                assert num_groups > 0 and num_entities > 0 and length > 0
+
+    def test_empty_store_rejected(self, tmp_path):
+        from repro.api.store import ReleaseStore
+
+        with pytest.raises(QueryError, match="no queryable releases"):
+            catalog_store(ReleaseStore(tmp_path / "empty"))
+
+
+class TestGenerate:
+    def test_deterministic(self, bench_store):
+        first = generate_requests(bench_store, 50, seed=9)
+        second = generate_requests(bench_store, 50, seed=9)
+        assert first == second
+        assert first != generate_requests(bench_store, 50, seed=10)
+
+    def test_zipfian_popularity(self, bench_store, release_hashes):
+        requests = generate_requests(
+            bench_store, 400, seed=0, popularity_skew=2.0,
+        )
+        counts = collections.Counter(spec.release for spec in requests)
+        ranked = [counts.get(h[:12], 0) for h in sorted(release_hashes)]
+        # Rank 1 must dominate the tail under a steep zipf.
+        assert ranked[0] > 2 * ranked[-1]
+
+    def test_uniform_popularity_touches_everything(self, bench_store,
+                                                   release_hashes):
+        requests = generate_requests(
+            bench_store, 300, seed=0, popularity_skew=0.0,
+        )
+        assert {spec.release for spec in requests} == {
+            h[:12] for h in release_hashes
+        }
+
+    def test_query_mix_respected(self, bench_store):
+        requests = generate_requests(
+            bench_store, 40, seed=0, query_mix={"gini_coefficient": 1.0},
+        )
+        assert {spec.query for spec in requests} == {"gini_coefficient"}
+
+    def test_default_mix_spans_the_query_surface(self, bench_store):
+        requests = generate_requests(bench_store, 500, seed=1)
+        assert {spec.query for spec in requests} == set(DEFAULT_QUERY_MIX)
+
+    def test_generated_requests_all_answer_cleanly(self, bench_store):
+        requests = generate_requests(bench_store, 200, seed=4)
+        with ServingEngine(bench_store) as engine:
+            results = engine.execute_batch(requests)
+        assert all(result.ok for result in results)
+
+    def test_catalog_reuse_matches_fresh(self, bench_store):
+        catalog = catalog_store(bench_store)
+        assert generate_requests(
+            bench_store, 30, seed=2, catalog=catalog,
+        ) == generate_requests(bench_store, 30, seed=2)
+
+    def test_validation(self, bench_store):
+        with pytest.raises(QueryError):
+            generate_requests(bench_store, 0)
+        with pytest.raises(QueryError):
+            generate_requests(bench_store, 10, query_mix={})
+        with pytest.raises(QueryError):
+            generate_requests(bench_store, 10, query_mix={"gini_coefficient": -1})
+        with pytest.raises(QueryError):
+            generate_requests(bench_store, 10, popularity_skew=-0.5)

@@ -1,0 +1,208 @@
+"""Tests for the query planner: grouping, shared-pass kernels, exactness.
+
+The load-bearing property is **bit-identical agreement with the scalar
+path**: every kernel answer (and every kernel error message) must match
+what ``Release.query`` produces for the same request.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.release import available_queries
+from repro.exceptions import QueryError, ReproError
+from repro.serve import QueryPlanner, QuerySpec, execute_group
+from repro.serve.planner import ORDER_STATISTIC_QUERIES, SCALAR_QUERIES
+
+from tests.serve.conftest import make_release
+
+HASH_A = "aa" * 32
+HASH_B = "bb" * 32
+
+
+def scalar_reference(release, spec):
+    """(value, error) the naive scalar path produces for one request."""
+    try:
+        return release.query(spec.query, spec.node, **spec.param_dict()), None
+    except ReproError as error:
+        return None, str(error)
+
+
+def assert_matches_scalar(release, specs):
+    results = execute_group(release, list(enumerate(specs)))
+    assert sorted(results) == list(range(len(specs)))
+    for position, spec in enumerate(specs):
+        value, error = scalar_reference(release, spec)
+        result = results[position]
+        assert result.error == error, spec
+        if error is None:
+            assert type(result.value) is type(value), spec
+            assert result.value == value, spec
+
+
+class TestPlanning:
+    def test_groups_by_resolved_release(self):
+        resolve = {"aaaa": HASH_A, "bbbb": HASH_B}.__getitem__
+        specs = [
+            QuerySpec.create("aaaa", "mean_group_size", "root"),
+            QuerySpec.create("bbbb", "gini_coefficient", "root"),
+            QuerySpec.create(HASH_A, "mean_group_size", "root"),
+        ]
+        resolve_full = lambda p: HASH_A if p.startswith("aa") else resolve(p)
+        plan = QueryPlanner().plan(specs, resolve_full)
+        assert plan.num_releases == 2
+        assert [pos for pos, _ in plan.groups[HASH_A]] == [0, 2]
+        assert [pos for pos, _ in plan.groups[HASH_B]] == [1]
+        assert plan.num_requests == 3
+
+    def test_unresolvable_selector_fails_that_request_only(self):
+        def resolve(prefix):
+            if prefix == "dead":
+                raise QueryError("no artifact matching 'dead'")
+            return HASH_A
+
+        specs = [
+            QuerySpec.create("dead", "mean_group_size", "root"),
+            QuerySpec.create("aaaa", "mean_group_size", "root"),
+        ]
+        plan = QueryPlanner().plan(specs, resolve)
+        assert set(plan.failures) == {0}
+        assert not plan.failures[0].ok
+        assert "no artifact" in plan.failures[0].error
+        assert [pos for pos, _ in plan.groups[HASH_A]] == [1]
+
+    def test_resolver_called_once_per_distinct_prefix(self):
+        calls = []
+
+        def resolve(prefix):
+            calls.append(prefix)
+            return HASH_A
+
+        specs = [
+            QuerySpec.create("aaaa", "mean_group_size", "root")
+            for _ in range(5)
+        ]
+        QueryPlanner().plan(specs, resolve)
+        assert calls == ["aaaa"]
+
+
+class TestExecuteGroup:
+    def test_every_query_matches_the_scalar_path(self):
+        release = make_release({"root": [0, 2, 1, 2], "leaf": [1, 4, 0, 3]})
+        specs = []
+        for node in ("root", "leaf"):
+            specs += [
+                QuerySpec.create(HASH_A, "kth_smallest_group", node, k=1),
+                QuerySpec.create(HASH_A, "kth_smallest_group", node, k=5),
+                QuerySpec.create(HASH_A, "kth_largest_group", node, k=2),
+                QuerySpec.create(HASH_A, "size_quantile", node, quantile=0.5),
+                QuerySpec.create(HASH_A, "size_quantile", node, quantile=0.0),
+                QuerySpec.create(HASH_A, "groups_with_size_at_least", node,
+                                 size=2),
+                QuerySpec.create(HASH_A, "groups_with_size_between", node,
+                                 low=1, high=2),
+                QuerySpec.create(HASH_A, "entities_in_groups_of_size_between",
+                                 node, low=0, high=3),
+                QuerySpec.create(HASH_A, "mean_group_size", node),
+                QuerySpec.create(HASH_A, "gini_coefficient", node),
+                QuerySpec.create(HASH_A, "top_share", node, fraction=0.4),
+            ]
+        assert_matches_scalar(release, specs)
+
+    def test_invalid_parameters_match_scalar_errors(self):
+        release = make_release({"root": [0, 2, 1, 2]})
+        specs = [
+            QuerySpec.create(HASH_A, "kth_smallest_group", "root", k=0),
+            QuerySpec.create(HASH_A, "kth_largest_group", "root", k=99),
+            QuerySpec.create(HASH_A, "kth_smallest_group", "root", k=1.5),
+            QuerySpec.create(HASH_A, "size_quantile", "root", quantile=1.5),
+            QuerySpec.create(HASH_A, "groups_with_size_between", "root",
+                             low=3, high=1),
+            QuerySpec.create(HASH_A, "top_share", "root", fraction=1e-9),
+            # A valid request rides along: errors never poison the batch.
+            QuerySpec.create(HASH_A, "kth_smallest_group", "root", k=2),
+        ]
+        assert_matches_scalar(release, specs)
+
+    def test_all_zero_histogram_matches_scalar_errors(self):
+        release = make_release({"empty": [0, 0, 0]})
+        specs = [
+            QuerySpec.create(HASH_A, query, "empty",
+                             **{"kth_smallest_group": {"k": 1},
+                                "kth_largest_group": {"k": 1},
+                                "size_quantile": {"quantile": 0.5},
+                                "top_share": {"fraction": 0.5},
+                                "groups_with_size_at_least": {"size": 1},
+                                "groups_with_size_between":
+                                    {"low": 0, "high": 2},
+                                "entities_in_groups_of_size_between":
+                                    {"low": 0, "high": 2},
+                                }.get(query, {}))
+            for query in available_queries()
+        ]
+        assert_matches_scalar(release, specs)
+
+    def test_unknown_node_matches_scalar_error(self):
+        release = make_release({"root": [0, 2]})
+        specs = [
+            QuerySpec.create(HASH_A, "mean_group_size", "ghost"),
+            QuerySpec.create(HASH_A, "mean_group_size", "root"),
+        ]
+        assert_matches_scalar(release, specs)
+
+    def test_randomized_equivalence(self, rng):
+        """Batched kernels == scalar loop on random histograms/requests."""
+        queries = available_queries()
+        for trial in range(25):
+            length = int(rng.integers(1, 40))
+            histogram = rng.integers(0, 6, size=length)
+            if trial % 5 == 0:
+                histogram[:] = 0  # force the degenerate all-zero shape
+            release = make_release({"n": histogram})
+            specs = []
+            for _ in range(30):
+                query = str(rng.choice(queries))
+                params = {}
+                if query in ("kth_smallest_group", "kth_largest_group"):
+                    params = {"k": int(rng.integers(-2, histogram.sum() + 3))}
+                elif query == "size_quantile":
+                    params = {"quantile": float(rng.uniform(-0.2, 1.2))}
+                elif query == "top_share":
+                    params = {"fraction": float(rng.uniform(-0.2, 1.2))}
+                elif query == "groups_with_size_at_least":
+                    params = {"size": int(rng.integers(-1, length + 2))}
+                elif query.endswith("size_between"):
+                    params = {"low": int(rng.integers(-2, length + 2)),
+                              "high": int(rng.integers(-2, length + 2))}
+                try:
+                    specs.append(QuerySpec.create(HASH_A, query, "n", **params))
+                except QueryError:
+                    pytest.fail(f"mix drew an unconstructable spec: "
+                                f"{query} {params}")
+            assert_matches_scalar(release, specs)
+
+    def test_kernel_partition_covers_the_query_surface(self):
+        covered = set(ORDER_STATISTIC_QUERIES) | set(SCALAR_QUERIES) | {
+            "top_share", "groups_with_size_at_least",
+            "groups_with_size_between", "entities_in_groups_of_size_between",
+        }
+        assert covered == set(available_queries())
+
+    def test_order_statistics_share_one_searchsorted(self, monkeypatch):
+        release = make_release({"root": [0, 3, 2, 1]})
+        calls = []
+        original = np.searchsorted
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr("repro.serve.planner.np.searchsorted", counting)
+        specs = [
+            QuerySpec.create(HASH_A, "kth_smallest_group", "root", k=k)
+            for k in range(1, 6)
+        ] + [
+            QuerySpec.create(HASH_A, "size_quantile", "root", quantile=0.5),
+        ]
+        results = execute_group(release, list(enumerate(specs)))
+        assert all(result.ok for result in results.values())
+        assert len(calls) == 1  # one vectorized pass for all six requests

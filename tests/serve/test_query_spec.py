@@ -1,0 +1,149 @@
+"""Tests for QuerySpec validation, hashing and the JSONL request log."""
+
+import math
+
+import pytest
+
+from repro.api.release import available_queries
+from repro.exceptions import QueryError
+from repro.serve import (
+    QUERY_PARAMETERS,
+    QuerySpec,
+    dump_request,
+    load_requests,
+    parse_requests,
+    save_requests,
+)
+
+HASH = "0f" * 32  # a syntactically valid full spec hash
+
+
+class TestValidation:
+    def test_create_normalizes_release_case(self):
+        spec = QuerySpec.create("DEADBEEF", "gini_coefficient", "root")
+        assert spec.release == "deadbeef"
+
+    def test_full_hash_accepted(self):
+        assert QuerySpec.create(HASH, "mean_group_size", "root").release == HASH
+
+    @pytest.mark.parametrize("release", ["", "abc", "g" * 8, "0f" * 40, None, 7])
+    def test_bad_release_selector(self, release):
+        with pytest.raises(QueryError):
+            QuerySpec.create(release, "mean_group_size", "root")
+
+    def test_unknown_query(self):
+        with pytest.raises(QueryError, match="unknown query"):
+            QuerySpec.create(HASH, "median_group", "root")
+
+    @pytest.mark.parametrize("node", ["", None, 3])
+    def test_bad_node(self, node):
+        with pytest.raises(QueryError):
+            QuerySpec.create(HASH, "mean_group_size", node)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(QueryError, match="takes no parameter"):
+            QuerySpec.create(HASH, "mean_group_size", "root", k=3)
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(QueryError, match="requires parameter"):
+            QuerySpec.create(HASH, "kth_largest_group", "root")
+
+    def test_bool_parameter_rejected(self):
+        with pytest.raises(QueryError, match="int or float"):
+            QuerySpec.create(HASH, "kth_largest_group", "root", k=True)
+
+    def test_non_scalar_parameter_rejected(self):
+        with pytest.raises(QueryError, match="int or float"):
+            QuerySpec.create(HASH, "kth_largest_group", "root", k="3")
+
+    def test_non_finite_parameter_rejected(self):
+        with pytest.raises(QueryError, match="finite"):
+            QuerySpec.create(HASH, "size_quantile", "root",
+                             quantile=math.nan)
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            QuerySpec(release=HASH, query="kth_largest_group", node="root",
+                      params=(("k", 1), ("k", 2)))
+
+    def test_parameter_names_derived_from_signatures(self):
+        assert QUERY_PARAMETERS["kth_largest_group"] == (("k",), ("k",))
+        assert QUERY_PARAMETERS["mean_group_size"] == ((), ())
+        accepted, required = QUERY_PARAMETERS["groups_with_size_between"]
+        assert accepted == ("low", "high") and required == ("low", "high")
+        assert set(QUERY_PARAMETERS) == set(available_queries())
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        spec = QuerySpec.create(HASH, "groups_with_size_between", "root",
+                                low=1, high=9)
+        assert QuerySpec.from_dict(spec.to_dict()) == spec
+
+    def test_params_sorted_canonically(self):
+        a = QuerySpec(release=HASH, query="groups_with_size_between",
+                      node="root", params=(("low", 1), ("high", 9)))
+        b = QuerySpec(release=HASH, query="groups_with_size_between",
+                      node="root", params=(("high", 9), ("low", 1)))
+        assert a == b
+        assert a.query_hash() == b.query_hash()
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(QueryError, match="missing field"):
+            QuerySpec.from_dict({"release": HASH, "query": "mean_group_size"})
+
+    def test_from_dict_non_mapping(self):
+        with pytest.raises(QueryError):
+            QuerySpec.from_dict([1, 2, 3])
+
+    def test_from_dict_bad_params_block(self):
+        with pytest.raises(QueryError, match="params"):
+            QuerySpec.from_dict({
+                "release": HASH, "query": "mean_group_size",
+                "node": "root", "params": [1],
+            })
+
+    def test_query_hash_is_stable_and_full_length(self):
+        spec = QuerySpec.create(HASH, "top_share", "root", fraction=0.25)
+        assert len(spec.query_hash()) == 64
+        assert spec.query_hash() == QuerySpec.from_dict(
+            spec.to_dict()).query_hash()
+
+    def test_result_key_ignores_release_selector(self):
+        a = QuerySpec.create(HASH, "kth_largest_group", "root", k=2)
+        b = a.with_release(HASH[:12])
+        assert a.result_key() == b.result_key()
+        assert a.query_hash() != b.query_hash()
+
+    def test_describe_mentions_query_and_node(self):
+        spec = QuerySpec.create(HASH, "size_quantile", "root", quantile=0.5)
+        assert "size_quantile" in spec.describe()
+        assert "root" in spec.describe()
+
+
+class TestRequestLog:
+    def test_roundtrip(self, tmp_path):
+        specs = [
+            QuerySpec.create(HASH, "mean_group_size", "root"),
+            QuerySpec.create(HASH[:12], "kth_smallest_group", "a", k=3),
+        ]
+        path = save_requests(specs, tmp_path / "log.jsonl")
+        assert load_requests(path) == specs
+
+    def test_blank_lines_skipped(self):
+        spec = QuerySpec.create(HASH, "gini_coefficient", "root")
+        lines = ["", dump_request(spec), "   ", dump_request(spec)]
+        assert parse_requests(lines) == [spec, spec]
+
+    def test_bad_json_names_the_line(self):
+        good = dump_request(QuerySpec.create(HASH, "mean_group_size", "root"))
+        with pytest.raises(QueryError, match="log:2"):
+            parse_requests([good, "{nope"], source="log")
+
+    def test_invalid_spec_names_the_line(self):
+        with pytest.raises(QueryError, match="<stream>:1"):
+            parse_requests(['{"release": "zz", "query": "x", "node": "n"}'])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(QueryError, match="cannot read"):
+            load_requests(tmp_path / "absent.jsonl")
