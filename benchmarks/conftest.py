@@ -30,6 +30,7 @@ import numpy as np
 import pytest
 
 from repro.evaluation.runner import ExperimentRunner
+from repro.perf import timed
 
 #: Dataset scale factors sized so the full benchmark suite runs in minutes
 #: while keeping per-node group counts large enough that the paper's method
@@ -76,6 +77,19 @@ def make_runner(tree, runs=None, seed=0) -> ExperimentRunner:
         mode=engine_mode(),
         workers=engine_workers(),
     )
+
+
+def release_seconds(tree, algorithm, epsilon=1.0, seed=0) -> float:
+    """Wall-clock of one full release on the shared perf clock.
+
+    The single timing idiom for all benchmarks (``repro.perf.timed``,
+    the same monotonic clock the profiling harness uses), replacing the
+    per-file ``perf_counter`` arithmetic that used to be duplicated.
+    """
+    _, seconds = timed(
+        algorithm.run, tree, epsilon, rng=np.random.default_rng(seed)
+    )
+    return seconds
 
 
 @pytest.fixture(scope="session")

@@ -14,21 +14,13 @@ the number of nodes, verifying the claimed complexities end to end:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
 
+from benchmarks.conftest import release_seconds
 from repro.core.consistency.topdown import TopDown
 from repro.core.estimators import CumulativeEstimator, UnattributedEstimator
 from repro.datasets import make_dataset
-
-
-def release_seconds(tree, estimator):
-    algo = TopDown(estimator)
-    start = time.perf_counter()
-    algo.run(tree, 1.0, rng=np.random.default_rng(0))
-    return time.perf_counter() - start
 
 
 def test_a7_group_scaling(capsys):
@@ -37,7 +29,7 @@ def test_a7_group_scaling(capsys):
     for scale in (2e-3, 8e-3, 32e-3):
         tree = make_dataset("white", scale=scale).build(seed=0)
         timings[tree.root.num_groups] = release_seconds(
-            tree, UnattributedEstimator()
+            tree, TopDown(UnattributedEstimator())
         )
 
     with capsys.disabled():
@@ -57,7 +49,7 @@ def test_a7_node_scaling(capsys):
         tree = make_dataset("hawaiian", scale=1e-2, levels=levels).build(seed=0)
         node_count = sum(len(level) for level in tree.levels())
         timings[label] = (node_count, release_seconds(
-            tree, CumulativeEstimator(max_size=2_000)
+            tree, TopDown(CumulativeEstimator(max_size=2_000))
         ))
 
     with capsys.disabled():

@@ -20,7 +20,6 @@ importance:
 from __future__ import annotations
 
 import os
-import time
 
 import pytest
 
@@ -35,6 +34,7 @@ from repro.core.estimators import (
 from repro.datasets import make_dataset
 from repro.engine import ExperimentGrid, MethodSpec, ResultCache, run_grid
 from repro.evaluation.runner import ExperimentRunner
+from repro.perf import StageTimer
 
 #: The grid the acceptance criterion calls for: >= 4 methods, >= 3 epsilons,
 #: 10 trials.
@@ -73,26 +73,28 @@ def test_a8_engine_bit_identical_and_faster(capsys, tmp_path):
                           trials=TRIALS, seed=0)
     cores = os.cpu_count() or 1
 
+    timer = StageTimer()
+
     # -- the legacy serial path: one ExperimentRunner sweep per method.
     runner = ExperimentRunner(tree, runs=TRIALS, seed=0, mode="serial")
-    start = time.perf_counter()
-    for label, release in serial_estimators().items():
-        runner.sweep(label, release, list(EPSILONS))
-    serial_seconds = time.perf_counter() - start
+    with timer.stage("serial"):
+        for label, release in serial_estimators().items():
+            runner.sweep(label, release, list(EPSILONS))
+    serial_seconds = timer.seconds("serial")
 
     # -- the engine, serial then parallel: results must match exactly.
     engine_serial = run_grid(grid, mode="serial")
-    start = time.perf_counter()
-    engine_parallel = run_grid(grid, mode="process", workers=cores)
-    parallel_seconds = time.perf_counter() - start
+    with timer.stage("parallel"):
+        engine_parallel = run_grid(grid, mode="process", workers=cores)
+    parallel_seconds = timer.seconds("parallel")
     assert engine_parallel == engine_serial  # bit-identical, any cell order
 
     # -- incremental rerun: everything comes from the cache.
     cache = ResultCache(tmp_path / "cells")
     run_grid(grid, mode="serial", cache=cache)
-    start = time.perf_counter()
-    cached = run_grid(grid, mode="serial", cache=cache)
-    cached_seconds = time.perf_counter() - start
+    with timer.stage("cached"):
+        cached = run_grid(grid, mode="serial", cache=cache)
+    cached_seconds = timer.seconds("cached")
     assert all(cell.cached for cell in cached)
     assert [c.level_emd for c in cached] == [c.level_emd for c in engine_serial]
 

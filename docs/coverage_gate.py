@@ -3,12 +3,13 @@
 
 Runs the gated test suites under a minimal :func:`sys.settrace` line
 collector and fails when line coverage of any gated package drops below
-the floor.  Three packages are gated:
+the floor.  Four packages are gated:
 
 * ``src/repro/workloads/`` — covered by ``tests/workloads`` +
   ``tests/golden``;
 * ``src/repro/api/``       — covered by ``tests/api``;
-* ``src/repro/serve/``     — covered by ``tests/serve``.
+* ``src/repro/serve/``     — covered by ``tests/serve``;
+* ``src/repro/perf/``      — covered by ``tests/perf``.
 
 Built on the stdlib on purpose: the gate runs identically on a bare
 container and in CI, with no ``coverage``/``pytest-cov`` install step to
@@ -51,6 +52,7 @@ TARGETS = (
     (SRC / "repro" / "workloads", ("tests/workloads", "tests/golden")),
     (SRC / "repro" / "api", ("tests/api",)),
     (SRC / "repro" / "serve", ("tests/serve",)),
+    (SRC / "repro" / "perf", ("tests/perf",)),
 )
 DEFAULT_FLOOR = 85.0
 

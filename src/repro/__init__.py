@@ -53,6 +53,7 @@ from repro.exceptions import (
     HierarchyError,
     HistogramError,
     MatchingError,
+    PerfError,
     PrivacyBudgetError,
     QueryError,
     ReproError,
@@ -68,10 +69,11 @@ from repro.engine import (
 from repro.api import Release, ReleaseSpec, ReleaseStore
 from repro.hierarchy import Hierarchy, Node
 from repro.mechanisms import GeometricMechanism, LaplaceMechanism, PrivacyBudget
+from repro.perf import PeakMemory, PerfReport, StageTimer, timed
 from repro.serve import QueryResult, QuerySpec, ServingEngine
 from repro.workloads import WorkloadDataset, WorkloadSpec, materialize
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AttributedTopDown",
@@ -94,7 +96,10 @@ __all__ = [
     "MatchingError",
     "NaiveEstimator",
     "Node",
+    "PeakMemory",
     "PerLevelSpec",
+    "PerfError",
+    "PerfReport",
     "PrivacyBudget",
     "PrivacyBudgetError",
     "QueryError",
@@ -105,6 +110,7 @@ __all__ = [
     "ReleaseStore",
     "ServingEngine",
     "ReproError",
+    "StageTimer",
     "TopDown",
     "UnattributedEstimator",
     "WorkloadDataset",
@@ -127,6 +133,7 @@ __all__ = [
     "release_group_counts",
     "release_report",
     "size_quantile",
+    "timed",
     "top_share",
     "__version__",
 ]

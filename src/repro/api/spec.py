@@ -39,6 +39,7 @@ from repro.datasets.registry import WORKLOAD_PREFIX, make_dataset
 from repro.engine.methods import MethodSpec
 from repro.exceptions import EstimationError
 from repro.hierarchy.tree import Hierarchy
+from repro.perf.timer import stage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.release import Release
@@ -512,7 +513,9 @@ class ReleaseSpec:
 
     def execute(self) -> "Release":
         """Build the dataset and run the release pipeline end to end."""
-        return self.execute_on(self.build_dataset())
+        with stage("materialize"):
+            hierarchy = self.build_dataset()
+        return self.execute_on(hierarchy)
 
     def execute_on(self, hierarchy: Hierarchy) -> "Release":
         """Run the release pipeline against an already-built hierarchy.
@@ -529,11 +532,12 @@ class ReleaseSpec:
         if "uncertainty" in self.postprocess:
             # The bottom-up baseline estimates leaves only, so internal
             # nodes have no variance model to predict an EMD from.
-            uncertainty = {
-                name: float(node_error_estimate(result, name))
-                for name in sorted(result.estimates)
-                if name in result.initial_estimates
-            }
+            with stage("postprocess"):
+                uncertainty = {
+                    name: float(node_error_estimate(result, name))
+                    for name in sorted(result.estimates)
+                    if name in result.initial_estimates
+                }
         wall_time = time.perf_counter() - start
         provenance = Provenance(
             spec_hash=self.spec_hash(),

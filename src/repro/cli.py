@@ -20,6 +20,9 @@ Seven subcommands cover the workflows a data publisher needs::
     python -m repro serve exec --store releases/ --requests queries.jsonl
     python -m repro serve bench --store bench-store/ --releases 20 \\
                              --requests 400 --out BENCH_serving.json
+    python -m repro perf run --workloads powerlaw-deep,census-households \\
+                             --out BENCH_pipeline.json
+    python -m repro perf compare BENCH_pipeline.json candidate.json
 
 Every release-producing path routes through the declarative release API
 (:mod:`repro.api`): ``release`` builds a :class:`~repro.api.spec.ReleaseSpec`
@@ -42,6 +45,12 @@ serving engine (one decode + shared passes per release), ``serve bench``
 populates a benchmark store, replays a zipfian request mix through both
 the naive per-query loop and the engine, prints the metrics table and
 writes the schema-stable ``BENCH_serving.json``.
+
+``perf`` is the profiling entry point (:mod:`repro.perf`): ``perf run``
+profiles workloads through every pipeline stage and writes the
+schema-stable ``BENCH_pipeline.json``; ``perf compare`` diffs two BENCH
+files (either schema), exiting 1 past the regression threshold and 2 on
+schema drift.
 """
 
 from __future__ import annotations
@@ -73,6 +82,7 @@ from repro.evaluation.omniscient import OmniscientBaseline
 from repro.evaluation.plots import results_chart
 from repro.evaluation.report import format_grid, format_series
 from repro.evaluation.runner import ExperimentRunner
+from repro.perf.harness import DEFAULT_WORKLOADS as PERF_DEFAULT_WORKLOADS
 from repro.exceptions import EstimationError, HierarchyError, ReproError
 from repro.io import export_release_csv, load_release, save_hierarchy
 
@@ -389,6 +399,54 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Smoke-mode caps for `perf run`: scale multiplier and query count that
+#: keep the CI run in seconds while exercising every stage and the full
+#: output schema.
+PERF_SMOKE_SCALE = 0.02
+PERF_SMOKE_QUERIES = 32
+
+
+def _command_perf(args: argparse.Namespace) -> int:
+    from repro.perf import compare_files, run_pipeline_bench
+
+    if args.action == "run":
+        scale = args.scale
+        queries = args.queries
+        if args.smoke:
+            # CI-sized run: small but schema-identical output.
+            scale = min(scale, PERF_SMOKE_SCALE)
+            queries = min(queries, PERF_SMOKE_QUERIES)
+        workloads = [
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        ]
+        report = run_pipeline_bench(
+            workloads,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            scale=scale,
+            queries=queries,
+            chunk_groups=args.chunk_groups,
+            track_memory=not args.no_memory,
+            smoke=args.smoke,
+        )
+        print(report.format_table())
+        out = report.write(args.out)
+        print(f"\nwrote {out}")
+        return 0
+
+    # compare: schema failures raise PerfError inside compare_files and
+    # exit 2 through main()'s ReproError handler — --warn-only softens
+    # timing regressions only, never schema drift.
+    result = compare_files(
+        args.baseline, args.candidate,
+        threshold=args.threshold, min_seconds=args.min_seconds,
+    )
+    print(result.format_table())
+    if result.regressions and not args.warn_only:
+        return 1
+    return 0
+
+
 def _command_workload(args: argparse.Namespace) -> int:
     from repro.workloads import (
         available_distributions,
@@ -648,6 +706,61 @@ def build_parser() -> argparse.ArgumentParser:
                           help="CI-sized run (<= 6 releases, <= 120 "
                                "requests), same output schema")
     sv_bench.set_defaults(fn=_command_serve)
+
+    perf = commands.add_parser(
+        "perf", help="pipeline profiling and benchmark regression checks"
+    )
+    perf_actions = perf.add_subparsers(dest="action", required=True)
+
+    p_run = perf_actions.add_parser(
+        "run",
+        help="profile workloads through the full pipeline "
+             "(materialize/noise/consistency/postprocess/serve)",
+    )
+    p_run.add_argument("--workloads",
+                       default=",".join(PERF_DEFAULT_WORKLOADS),
+                       help="comma-separated registered workload names")
+    p_run.add_argument("--epsilon", type=float, default=1.0,
+                       help="release budget for each profiled scenario")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="generation + noise + request-mix seed")
+    p_run.add_argument("--scale", type=float, default=1.0,
+                       help="group-count multiplier on each workload")
+    p_run.add_argument("--queries", type=int, default=64,
+                       help="serve-stage requests per scenario")
+    p_run.add_argument("--chunk-groups", type=int, default=None,
+                       dest="chunk_groups",
+                       help="bound on group sizes materialized per batch "
+                            "(bit-identical to the unchunked default)")
+    p_run.add_argument("--no-memory", action="store_true",
+                       help="skip tracemalloc peak tracking (faster; "
+                            "peak_traced_bytes reports 0)")
+    p_run.add_argument("--smoke", action="store_true",
+                       help=f"CI-sized run (scale <= {PERF_SMOKE_SCALE:g}, "
+                            f"<= {PERF_SMOKE_QUERIES} queries), same "
+                            "output schema")
+    p_run.add_argument("--out", default="BENCH_pipeline.json",
+                       help="where to write the profiling JSON")
+    p_run.set_defaults(fn=_command_perf)
+
+    p_compare = perf_actions.add_parser(
+        "compare",
+        help="diff two BENCH files (pipeline or serving); exits 1 on a "
+             "timing regression, 2 on schema drift",
+    )
+    p_compare.add_argument("baseline", help="committed baseline BENCH file")
+    p_compare.add_argument("candidate", help="freshly generated BENCH file")
+    p_compare.add_argument("--threshold", type=float, default=0.15,
+                           help="relative slowdown that counts as a "
+                                "regression (0.15 = 15%%)")
+    p_compare.add_argument("--min-seconds", type=float, default=0.005,
+                           dest="min_seconds",
+                           help="noise floor: rows faster than this on "
+                                "both sides never regress")
+    p_compare.add_argument("--warn-only", action="store_true",
+                           help="report timing regressions but exit 0 "
+                                "(schema drift still exits 2)")
+    p_compare.set_defaults(fn=_command_perf)
 
     return parser
 

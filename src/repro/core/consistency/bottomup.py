@@ -20,6 +20,7 @@ from repro.core.histogram import CountOfCounts
 from repro.exceptions import EstimationError
 from repro.hierarchy.tree import Hierarchy
 from repro.mechanisms.budget import PrivacyBudget
+from repro.perf.timer import stage
 
 
 @dataclass
@@ -64,20 +65,22 @@ class BottomUp:
 
         initial: Dict[str, NodeEstimate] = {}
         estimates: Dict[str, CountOfCounts] = {}
-        for leaf in hierarchy.leaves():
-            budget.spend(epsilon, scope=leaf.name, parallel_group="leaves")
-            estimate = self.estimator.estimate(leaf.data, epsilon, rng=rng)
-            initial[leaf.name] = estimate
-            estimates[leaf.name] = estimate.estimate
+        with stage("noise"):
+            for leaf in hierarchy.leaves():
+                budget.spend(epsilon, scope=leaf.name, parallel_group="leaves")
+                estimate = self.estimator.estimate(leaf.data, epsilon, rng=rng)
+                initial[leaf.name] = estimate
+                estimates[leaf.name] = estimate.estimate
 
-        for nodes in reversed(list(hierarchy.levels())):
-            for node in nodes:
-                if node.is_leaf:
-                    continue
-                total = estimates[node.children[0].name]
-                for child in node.children[1:]:
-                    total = total + estimates[child.name]
-                estimates[node.name] = total
+        with stage("consistency"):
+            for nodes in reversed(list(hierarchy.levels())):
+                for node in nodes:
+                    if node.is_leaf:
+                        continue
+                    total = estimates[node.children[0].name]
+                    for child in node.children[1:]:
+                        total = total + estimates[child.name]
+                    estimates[node.name] = total
 
         return BottomUpEstimates(
             estimates=estimates, initial_estimates=initial, budget=budget

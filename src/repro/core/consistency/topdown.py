@@ -35,6 +35,7 @@ from repro.core.histogram import CountOfCounts, pad_histogram
 from repro.exceptions import EstimationError
 from repro.hierarchy.tree import Hierarchy, Node
 from repro.mechanisms.budget import PrivacyBudget
+from repro.perf.timer import stage
 
 
 @dataclass
@@ -156,60 +157,62 @@ class TopDown:
 
         # -- Step 1+2: independent estimates with variances at every node.
         initial: Dict[str, NodeEstimate] = {}
-        for level_index, nodes in enumerate(hierarchy.levels()):
-            estimator = spec.for_level(level_index)
-            level_epsilon = float(level_budgets[level_index])
-            for node in nodes:
-                budget.spend(
-                    level_epsilon, scope=node.name,
-                    parallel_group=f"level{level_index}",
-                )
-                initial[node.name] = estimator.estimate(
-                    node.data, level_epsilon, rng=rng
-                )
-
-        # -- Step 3: match and merge from the root downward.
-        state: Dict[str, _NodeState] = {
-            hierarchy.root.name: _NodeState(
-                sizes=initial[hierarchy.root.name].unattributed.copy(),
-                variances=initial[hierarchy.root.name].variances.copy(),
-            )
-        }
-        for nodes in hierarchy.levels():
-            for parent in nodes:
-                if parent.is_leaf:
-                    continue
-                parent_state = state[parent.name]
-                children = parent.children
-                matched = match_parent_to_children(
-                    parent_state.sizes,
-                    parent_state.variances,
-                    [initial[c.name].unattributed for c in children],
-                    [initial[c.name].variances for c in children],
-                )
-                for index, child in enumerate(children):
-                    sizes, variances = merge_matched_estimates(
-                        initial[child.name].unattributed,
-                        initial[child.name].variances,
-                        matched.parent_sizes[index],
-                        matched.parent_variances[index],
-                        strategy=self.merge_strategy,
+        with stage("noise"):
+            for level_index, nodes in enumerate(hierarchy.levels()):
+                estimator = spec.for_level(level_index)
+                level_epsilon = float(level_budgets[level_index])
+                for node in nodes:
+                    budget.spend(
+                        level_epsilon, scope=node.name,
+                        parallel_group=f"level{level_index}",
                     )
-                    state[child.name] = _NodeState(sizes, variances)
+                    initial[node.name] = estimator.estimate(
+                        node.data, level_epsilon, rng=rng
+                    )
 
-        # -- Step 4: leaves become final; back-substitute upward.
-        estimates: Dict[str, CountOfCounts] = {}
-        for nodes in reversed(list(hierarchy.levels())):
-            for node in nodes:
-                if node.is_leaf:
-                    estimates[node.name] = CountOfCounts.from_unattributed(
-                        state[node.name].sizes,
-                    ) if state[node.name].sizes.size else CountOfCounts([0])
-                else:
-                    total = estimates[node.children[0].name]
-                    for child in node.children[1:]:
-                        total = total + estimates[child.name]
-                    estimates[node.name] = total
+        with stage("consistency"):
+            # -- Step 3: match and merge from the root downward.
+            state: Dict[str, _NodeState] = {
+                hierarchy.root.name: _NodeState(
+                    sizes=initial[hierarchy.root.name].unattributed.copy(),
+                    variances=initial[hierarchy.root.name].variances.copy(),
+                )
+            }
+            for nodes in hierarchy.levels():
+                for parent in nodes:
+                    if parent.is_leaf:
+                        continue
+                    parent_state = state[parent.name]
+                    children = parent.children
+                    matched = match_parent_to_children(
+                        parent_state.sizes,
+                        parent_state.variances,
+                        [initial[c.name].unattributed for c in children],
+                        [initial[c.name].variances for c in children],
+                    )
+                    for index, child in enumerate(children):
+                        sizes, variances = merge_matched_estimates(
+                            initial[child.name].unattributed,
+                            initial[child.name].variances,
+                            matched.parent_sizes[index],
+                            matched.parent_variances[index],
+                            strategy=self.merge_strategy,
+                        )
+                        state[child.name] = _NodeState(sizes, variances)
+
+            # -- Step 4: leaves become final; back-substitute upward.
+            estimates: Dict[str, CountOfCounts] = {}
+            for nodes in reversed(list(hierarchy.levels())):
+                for node in nodes:
+                    if node.is_leaf:
+                        estimates[node.name] = CountOfCounts.from_unattributed(
+                            state[node.name].sizes,
+                        ) if state[node.name].sizes.size else CountOfCounts([0])
+                    else:
+                        total = estimates[node.children[0].name]
+                        for child in node.children[1:]:
+                            total = total + estimates[child.name]
+                        estimates[node.name] = total
 
         return ConsistentEstimates(
             estimates=estimates, initial_estimates=initial, budget=budget

@@ -72,3 +72,12 @@ class WorkloadError(ReproError):
     unregistered group-size distribution, or distribution parameters that
     the distribution does not accept.
     """
+
+
+class PerfError(ReproError):
+    """A profiling or benchmark-comparison input is invalid.
+
+    Examples: a ``BENCH_*.json`` file that fails its frozen schema, a
+    comparison between files of different bench kinds, or a malformed
+    regression threshold.
+    """

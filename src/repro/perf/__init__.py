@@ -1,0 +1,79 @@
+"""Per-stage profiling, benchmark reports and regression comparison.
+
+The measurement layer behind the repository's committed performance
+trajectory:
+
+* :mod:`repro.perf.timer` — :class:`StageTimer`, the one monotonic
+  clock every benchmark number comes from, plus the ambient
+  :func:`stage` hook the pipeline stages are instrumented with.
+* :mod:`repro.perf.memory` — tracemalloc / ``ru_maxrss`` peaks.
+* :mod:`repro.perf.harness` — ``repro perf run``: profile workloads end
+  to end into a :class:`PerfReport`.
+* :mod:`repro.perf.report` / :mod:`repro.perf.schema` — the frozen
+  ``BENCH_pipeline.json`` format v1 and the ``BENCH_serving.json``
+  validator.
+* :mod:`repro.perf.compare` — ``repro perf compare``: schema-gate and
+  regression-diff two bench files.
+"""
+
+from repro.perf.compare import (
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD,
+    CompareResult,
+    TimingDelta,
+    compare_files,
+    compare_payloads,
+    load_bench,
+)
+from repro.perf.harness import (
+    DEFAULT_WORKLOADS,
+    run_pipeline_bench,
+    run_scenario,
+)
+from repro.perf.memory import PeakMemory, peak_rss_bytes, traced_peak
+from repro.perf.report import PerfReport, ScenarioResult, host_fingerprint
+from repro.perf.schema import (
+    PIPELINE_SCHEMA_VERSION,
+    PIPELINE_STAGES,
+    STAGE_SUM_TOLERANCE,
+    config_fingerprint,
+    detect_kind,
+    timing_rows,
+    validate_payload,
+    validate_pipeline_payload,
+    validate_serving_payload,
+)
+from repro.perf.timer import Span, StageTimer, current_timer, stage, timed
+
+__all__ = [
+    "CompareResult",
+    "DEFAULT_MIN_SECONDS",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WORKLOADS",
+    "PIPELINE_SCHEMA_VERSION",
+    "PIPELINE_STAGES",
+    "STAGE_SUM_TOLERANCE",
+    "PeakMemory",
+    "PerfReport",
+    "ScenarioResult",
+    "Span",
+    "StageTimer",
+    "TimingDelta",
+    "compare_files",
+    "compare_payloads",
+    "config_fingerprint",
+    "current_timer",
+    "detect_kind",
+    "host_fingerprint",
+    "load_bench",
+    "peak_rss_bytes",
+    "run_pipeline_bench",
+    "run_scenario",
+    "stage",
+    "timed",
+    "timing_rows",
+    "traced_peak",
+    "validate_payload",
+    "validate_pipeline_payload",
+    "validate_serving_payload",
+]

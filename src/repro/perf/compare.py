@@ -1,0 +1,209 @@
+"""Diff two committed bench files: ``repro perf compare``.
+
+The comparison contract the CI step and ``tests/perf/test_compare.py``
+pin down:
+
+* Both files must pass their frozen schema (:mod:`repro.perf.schema`) —
+  a malformed file is always a hard failure (exit 2 via
+  :exc:`~repro.exceptions.PerfError`), CI warn-only mode included.
+  Schema stability is the part of the perf trajectory that must never
+  drift silently.
+* Timings compare row by row (per-scenario stage times for pipeline
+  files, path seconds and latency percentiles for serving files) over
+  the labels both files share.  A row regresses when the candidate is
+  more than ``threshold`` slower than the baseline *and* the absolute
+  times are above the noise floor ``min_seconds``.
+* When the two configs differ (e.g. a ``--smoke`` candidate against the
+  committed full-scale baseline, or different hosts), ratios are still
+  reported but regressions do not fail the comparison — cross-config
+  wall times are apples to oranges.  The CI smoke step therefore gets a
+  hard schema gate and an informational timing table from one command.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+from repro.exceptions import PerfError
+from repro.perf.schema import (
+    config_fingerprint,
+    timing_rows,
+    validate_payload,
+)
+
+PathLike = Union[str, Path]
+
+#: Default regression threshold: a stage slower by more than 15% fails
+#: (the acceptance bar injects 20% regressions, which must trip it).
+DEFAULT_THRESHOLD = 0.15
+
+#: Rows where both sides are below this many seconds are clock noise,
+#: not signal, and never count as regressions.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def load_bench(path: PathLike) -> Tuple[str, Dict[str, object]]:
+    """Load and schema-validate one bench file; returns (kind, payload).
+
+    Raises :exc:`PerfError` on unreadable, unparseable or
+    schema-violating files — the exit-2 path of ``perf compare``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise PerfError(f"cannot read bench file {path}: {error}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PerfError(f"bench file {path} is not valid JSON: {error}") from None
+    kind, problems = validate_payload(payload)
+    if problems:
+        raise PerfError(
+            f"bench file {path} fails the frozen {kind} schema:\n  "
+            + "\n  ".join(problems[:20])
+        )
+    return kind, payload
+
+
+@dataclass(frozen=True)
+class TimingDelta:
+    """One compared row: baseline vs candidate seconds."""
+
+    label: str
+    baseline_seconds: float
+    candidate_seconds: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (∞-safe: tiny baselines clamp to 1e-9)."""
+        return self.candidate_seconds / max(self.baseline_seconds, 1e-9)
+
+
+@dataclass
+class CompareResult:
+    """The full outcome of one baseline/candidate comparison."""
+
+    kind: str
+    comparable: bool
+    deltas: List[TimingDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[TimingDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no comparable row regressed."""
+        return not self.regressions
+
+    def format_table(self) -> str:
+        lines = [f"perf compare ({self.kind} bench)"]
+        lines += [f"  note: {note}" for note in self.notes]
+        if not self.deltas:
+            lines.append("  no shared timing rows")
+            return "\n".join(lines)
+        width = max(len(delta.label) for delta in self.deltas)
+        for delta in self.deltas:
+            marker = "REGRESSED" if delta.regressed else ""
+            lines.append(
+                f"  {delta.label:<{width}}  "
+                f"{delta.baseline_seconds:>9.4f} s → "
+                f"{delta.candidate_seconds:>9.4f} s  "
+                f"({delta.ratio:6.2f}x) {marker}".rstrip()
+            )
+        verdict = (
+            f"{len(self.regressions)} regression(s) past threshold"
+            if self.regressions else "within threshold"
+        )
+        if not self.comparable:
+            verdict += " (informational: configs differ)"
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def compare_payloads(
+    baseline: Mapping[str, object],
+    candidate: Mapping[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> CompareResult:
+    """Compare two *schema-valid* bench payloads of the same kind."""
+    if not 0.0 <= float(threshold) < 100.0:
+        raise PerfError(f"threshold must be in [0, 100), got {threshold!r}")
+    base_kind, base_problems = validate_payload(baseline)
+    cand_kind, cand_problems = validate_payload(candidate)
+    if base_problems or cand_problems:
+        raise PerfError(
+            "compare_payloads requires schema-valid payloads; validate "
+            "with repro.perf.schema first"
+        )
+    if base_kind != cand_kind:
+        raise PerfError(
+            f"cannot compare a {base_kind} bench against a {cand_kind} bench"
+        )
+
+    notes: List[str] = []
+    comparable = True
+    if config_fingerprint(baseline) != config_fingerprint(candidate):
+        comparable = False
+        notes.append(
+            "configs differ — timings reported for information only, "
+            "regressions not enforced"
+        )
+    base_host = baseline.get("host")
+    cand_host = candidate.get("host")
+    if base_host is not None and base_host != cand_host:
+        notes.append("hosts differ — cross-machine timings are indicative")
+
+    base_rows = timing_rows(baseline)
+    cand_rows = timing_rows(candidate)
+    shared = [label for label in base_rows if label in cand_rows]
+    missing = sorted(set(base_rows) ^ set(cand_rows))
+    if missing:
+        notes.append(
+            "rows present on one side only (skipped): " + ", ".join(missing)
+        )
+
+    deltas: List[TimingDelta] = []
+    for label in shared:
+        base_value, cand_value = base_rows[label], cand_rows[label]
+        above_floor = max(base_value, cand_value) >= float(min_seconds)
+        regressed = (
+            comparable
+            and above_floor
+            and cand_value > base_value * (1.0 + float(threshold))
+        )
+        deltas.append(TimingDelta(
+            label=label,
+            baseline_seconds=base_value,
+            candidate_seconds=cand_value,
+            regressed=regressed,
+        ))
+    return CompareResult(
+        kind=base_kind, comparable=comparable, deltas=deltas, notes=notes
+    )
+
+
+def compare_files(
+    baseline_path: PathLike,
+    candidate_path: PathLike,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> CompareResult:
+    """:func:`load_bench` both files, then :func:`compare_payloads`."""
+    base_kind, baseline = load_bench(baseline_path)
+    cand_kind, candidate = load_bench(candidate_path)
+    if base_kind != cand_kind:
+        raise PerfError(
+            f"cannot compare {baseline_path} ({base_kind} bench) against "
+            f"{candidate_path} ({cand_kind} bench)"
+        )
+    return compare_payloads(
+        baseline, candidate, threshold=threshold, min_seconds=min_seconds
+    )

@@ -1,0 +1,173 @@
+"""End-to-end pipeline profiling: ``repro perf run``.
+
+One :func:`run_scenario` call profiles one workload through the whole
+release pipeline — materialize → noise → consistency → postprocess →
+serve — on a single :class:`~repro.perf.timer.StageTimer`:
+
+* ``materialize`` and ``serve`` are wrapped explicitly here (the harness
+  owns those boundaries: the generator call, and a throwaway
+  :class:`~repro.api.store.ReleaseStore` + :class:`~repro.serve.engine.
+  ServingEngine` answering a deterministic request mix);
+* ``noise``, ``consistency`` and ``postprocess`` are recorded by the
+  ambient :func:`~repro.perf.timer.stage` hooks inside
+  :meth:`ReleaseSpec.execute_on <repro.api.spec.ReleaseSpec.execute_on>`
+  and the consistency algorithms — the same spans any instrumented run
+  records, activated by this harness's timer.
+
+Because every stage lands on one timer, the per-stage seconds in the
+resulting :class:`~repro.perf.report.ScenarioResult` are guaranteed to
+sum to no more than the scenario's total wall time, and in practice the
+stages cover ~all of it (only generator-RNG setup and artifact assembly
+fall outside) — the coverage property ``BENCH_pipeline.json`` commits
+to.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Optional, Sequence
+
+from repro.perf.memory import PeakMemory
+from repro.perf.report import PerfReport, ScenarioResult
+from repro.perf.timer import StageTimer
+
+#: The workloads ``repro perf run`` profiles by default — the historical
+#: scaling scenario plus the census-shaped population-scale pack.  (The
+#: ``tax-establishments`` pack is available via ``--workloads``; its
+#: 500-bin histograms make the serve stage artifact-heavy, so it stays
+#: out of the committed baseline.)
+DEFAULT_WORKLOADS = ("powerlaw-deep", "census-households")
+
+#: Request-mix shape for the serve stage (matches the serving bench's
+#: default head-heavy profile).
+SERVE_POPULARITY_SKEW = 1.1
+
+
+def _release_max_size(workload_spec, tree) -> int:
+    """The public group-size bound K for a workload's release spec.
+
+    Prefer the distribution's own cap (``max_size`` for the power-law /
+    heavy-tail / household families, ``high`` for uniform); fall back to
+    the materialized maximum for distributions without a declared bound.
+    """
+    params = workload_spec.param_dict()
+    for key in ("max_size", "high"):
+        if key in params:
+            return int(params[key])
+    return int(tree.statistics()["max_size"])
+
+
+def run_scenario(
+    workload: str,
+    epsilon: float = 1.0,
+    seed: int = 0,
+    scale: float = 1.0,
+    queries: int = 64,
+    chunk_groups: Optional[int] = None,
+    track_memory: bool = True,
+) -> ScenarioResult:
+    """Profile one workload end to end; returns its :class:`ScenarioResult`.
+
+    ``scale`` multiplies the registered workload's group count (the same
+    knob ``workload:<name>`` datasets expose); ``chunk_groups`` bounds
+    the materialization batch size (output is bit-identical to the
+    unchunked path); ``seed`` feeds both the generator and the noise
+    stream.
+    """
+    # Imported lazily: repro.perf.timer must stay importable from the
+    # pipeline modules this harness drives (no import cycle).
+    from repro.api.spec import ReleaseSpec
+    from repro.api.store import ReleaseStore
+    from repro.serve.engine import ServingEngine
+    from repro.serve.mix import generate_requests
+    from repro.workloads.dataset import WorkloadDataset
+    from repro.workloads.generator import materialize
+
+    dataset = WorkloadDataset(workload, scale=scale)
+    spec = dataset.spec
+
+    with PeakMemory(track=track_memory) as memory:
+        timer = StageTimer()
+        with timer.activate():
+            with timer.stage("materialize"):
+                tree = materialize(
+                    spec, seed=seed, chunk_groups=chunk_groups
+                )
+
+            release_spec = ReleaseSpec.create(
+                f"workload:{workload}",
+                epsilon=epsilon,
+                max_size=_release_max_size(spec, tree),
+                scale=scale,
+                dataset_seed=seed,
+                seed=seed,
+            )
+            # noise / consistency / postprocess record ambiently inside.
+            release = release_spec.execute_on(tree)
+
+            with timer.stage("serve"):
+                with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+                    store = ReleaseStore(tmp)
+                    store.put(release)
+                    requests = generate_requests(
+                        store, int(queries), seed=seed,
+                        popularity_skew=SERVE_POPULARITY_SKEW,
+                    )
+                    with ServingEngine(store) as engine:
+                        engine.execute_batch(requests)
+        total = timer.stop()
+
+    statistics = tree.statistics()
+    return ScenarioResult(
+        workload=workload,
+        workload_fingerprint=spec.fingerprint(),
+        spec_hash=release_spec.spec_hash(),
+        num_groups=int(statistics["groups"]),
+        num_nodes=int(spec.num_nodes),
+        num_levels=int(statistics["levels"]),
+        num_entities=int(statistics["entities"]),
+        total_seconds=total,
+        stages=timer.stage_totals(),
+        peak_rss_bytes=memory.rss_bytes,
+        peak_traced_bytes=memory.traced_bytes,
+    )
+
+
+def run_pipeline_bench(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    epsilon: float = 1.0,
+    seed: int = 0,
+    scale: float = 1.0,
+    queries: int = 64,
+    chunk_groups: Optional[int] = None,
+    track_memory: bool = True,
+    smoke: bool = False,
+) -> PerfReport:
+    """Profile every workload in ``workloads``; returns the full report.
+
+    The ``smoke`` flag is recorded in the report's config (it makes a
+    smoke candidate and a full-scale baseline explicitly non-comparable
+    on timings); the CLI applies the actual scale/query reductions.
+    """
+    config = {
+        "epsilon": float(epsilon),
+        "seed": int(seed),
+        "scale": float(scale),
+        "smoke": bool(smoke),
+        "queries": int(queries),
+        "chunk_groups": None if chunk_groups is None else int(chunk_groups),
+        "track_memory": bool(track_memory),
+    }
+    scenarios = [
+        run_scenario(
+            name,
+            epsilon=epsilon,
+            seed=seed,
+            scale=scale,
+            queries=queries,
+            chunk_groups=chunk_groups,
+            track_memory=track_memory,
+        )
+        for name in workloads
+    ]
+    return PerfReport(config=config, scenarios=scenarios)

@@ -1,0 +1,98 @@
+"""Peak-memory observation for profiling runs.
+
+Two complementary measurements, both stdlib:
+
+* ``tracemalloc`` — peak bytes of *Python-tracked* allocations inside a
+  :class:`PeakMemory` block.  NumPy registers its array allocations with
+  tracemalloc, so this captures the transient arrays the pipeline
+  actually creates, and it resets per block — the right tool for
+  "chunked materialization stays bounded" assertions.
+* ``resource.getrusage(...).ru_maxrss`` — the process's lifetime peak
+  resident set, as the kernel saw it.  Monotonic for the process (it
+  never decreases between blocks), so it contextualizes a run rather
+  than isolating one; reported in bytes (Linux's KiB units normalized).
+
+Tracing slows allocation-heavy code, so the harness exposes a switch
+(``track=False`` keeps only the RSS reading) and the schema records
+which mode produced a file.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Optional
+
+try:  # pragma: no cover - resource is stdlib on every POSIX platform
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """The process's lifetime peak resident set size, in bytes.
+
+    Returns 0 where the platform offers no ``getrusage`` (the schema
+    treats 0 as "unavailable", never as a measured peak).
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes already.
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
+
+class PeakMemory:
+    """Context manager capturing the traced-allocation peak of a block.
+
+    Attributes
+    ----------
+    traced_bytes:
+        Peak tracemalloc bytes observed inside the block (0 when
+        ``track=False`` or when another tracer already owned
+        tracemalloc).
+    rss_bytes:
+        :func:`peak_rss_bytes` sampled at block exit.
+
+    Examples
+    --------
+    >>> with PeakMemory() as memory:
+    ...     buffer = bytearray(256 * 1024)
+    >>> memory.traced_bytes >= 256 * 1024
+    True
+    """
+
+    def __init__(self, track: bool = True) -> None:
+        self.track = bool(track)
+        self.traced_bytes = 0
+        self.rss_bytes = 0
+        self._owns_tracer = False
+
+    def __enter__(self) -> "PeakMemory":
+        if self.track and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracer = True
+            tracemalloc.reset_peak()
+        elif self.track:
+            # A surrounding tracer is active: reset its peak so this
+            # block still reads its own high-water mark.
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.track and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            self.traced_bytes = int(peak)
+            if self._owns_tracer:
+                tracemalloc.stop()
+        self.rss_bytes = peak_rss_bytes()
+
+
+def traced_peak(fn, *args: object, **kwargs: object):
+    """Run ``fn`` under :class:`PeakMemory`; return (result, peak bytes).
+
+    Convenience for tests asserting memory bounds on one call.
+    """
+    with PeakMemory() as memory:
+        result = fn(*args, **kwargs)
+    return result, memory.traced_bytes

@@ -1,0 +1,159 @@
+"""The pipeline profiling report: ``BENCH_pipeline.json`` format v1.
+
+One :class:`ScenarioResult` per profiled workload (stage wall times from
+a :class:`~repro.perf.timer.StageTimer`, peak memory, spec/workload
+hashes and tree shape), assembled into a :class:`PerfReport` whose
+:meth:`~PerfReport.to_dict` is the schema-stable payload committed to
+the repo root.  The key set is frozen in :mod:`repro.perf.schema` and
+pinned by ``tests/perf``; ``repro perf compare`` diffs two such files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import PerfError
+from repro.perf.schema import (
+    PIPELINE_SCHEMA_VERSION,
+    PIPELINE_STAGES,
+    validate_pipeline_payload,
+)
+
+PathLike = Union[str, Path]
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """The machine description stamped into every pipeline report.
+
+    Timings only compare meaningfully within one host; the fingerprint
+    lets ``perf compare`` (and a human reading a diff) see when a
+    baseline and a candidate came from different hardware.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "machine": platform.machine() or "unknown",
+        "cpu_count": int(os.cpu_count() or 1),
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one profiled scenario measured.
+
+    ``stages`` must cover exactly :data:`~repro.perf.schema.PIPELINE_STAGES`
+    (missing stages are recorded as 0.0 — a stage that never ran, e.g.
+    ``postprocess`` on a spec without postprocess steps, is a legal
+    zero); their sum never exceeds ``total_seconds`` because both come
+    from the same timer.
+    """
+
+    workload: str
+    workload_fingerprint: str
+    spec_hash: str
+    num_groups: int
+    num_nodes: int
+    num_levels: int
+    num_entities: int
+    total_seconds: float
+    stages: Dict[str, float]
+    peak_rss_bytes: int
+    peak_traced_bytes: int
+
+    def __post_init__(self) -> None:
+        unknown = set(self.stages) - set(PIPELINE_STAGES)
+        if unknown:
+            raise PerfError(
+                f"unknown pipeline stages {sorted(unknown)}; the format v1 "
+                f"stage set is {PIPELINE_STAGES}"
+            )
+        normalized = {
+            name: float(self.stages.get(name, 0.0)) for name in PIPELINE_STAGES
+        }
+        object.__setattr__(self, "stages", normalized)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "workload_fingerprint": self.workload_fingerprint,
+            "spec_hash": self.spec_hash,
+            "num_groups": int(self.num_groups),
+            "num_nodes": int(self.num_nodes),
+            "num_levels": int(self.num_levels),
+            "num_entities": int(self.num_entities),
+            "total_seconds": float(self.total_seconds),
+            "stages": {name: float(self.stages[name])
+                       for name in PIPELINE_STAGES},
+            "peak_rss_bytes": int(self.peak_rss_bytes),
+            "peak_traced_bytes": int(self.peak_traced_bytes),
+        }
+
+    def format_rows(self) -> List[str]:
+        """Human-readable per-stage rows for the CLI table."""
+        rows = [
+            f"{self.workload}: {self.num_groups:,} groups / "
+            f"{self.num_entities:,} entities / {self.num_nodes:,} nodes "
+            f"({self.num_levels} levels) — {self.total_seconds:.3f} s total"
+        ]
+        for name in PIPELINE_STAGES:
+            seconds = self.stages[name]
+            share = seconds / self.total_seconds if self.total_seconds else 0.0
+            rows.append(f"  {name:<12} {seconds:>9.3f} s  ({share:5.1%})")
+        covered = sum(self.stages.values())
+        share = covered / self.total_seconds if self.total_seconds else 0.0
+        rows.append(f"  {'(covered)':<12} {covered:>9.3f} s  ({share:5.1%})")
+        if self.peak_traced_bytes:
+            rows.append(
+                f"  peak memory  {self.peak_traced_bytes / 2**20:,.1f} MiB "
+                f"traced / {self.peak_rss_bytes / 2**20:,.1f} MiB rss"
+            )
+        return rows
+
+
+@dataclass
+class PerfReport:
+    """A full ``repro perf run``: config + host + per-scenario results."""
+
+    config: Dict[str, object]
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+    host: Dict[str, object] = field(default_factory=host_fingerprint)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The schema-stable ``BENCH_pipeline.json`` payload (validated)."""
+        payload = {
+            "schema_version": PIPELINE_SCHEMA_VERSION,
+            "kind": "pipeline",
+            "config": dict(self.config),
+            "host": dict(self.host),
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+        }
+        problems = validate_pipeline_payload(payload)
+        if problems:
+            # A report that cannot pass its own schema must never be
+            # written — fail at the source with the exact paths.
+            raise PerfError(
+                "refusing to serialize a non-conforming pipeline report:\n  "
+                + "\n  ".join(problems[:20])
+            )
+        return payload
+
+    def write(self, path: PathLike) -> Path:
+        """Write ``BENCH_pipeline.json``; returns the path."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    def format_table(self) -> str:
+        """The ``perf run`` console table."""
+        lines = ["pipeline profile"]
+        for scenario in self.scenarios:
+            lines.extend("  " + row for row in scenario.format_rows())
+        return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""Frozen schemas for the committed ``BENCH_*.json`` files.
+
+The repository commits two benchmark baselines at its root —
+``BENCH_pipeline.json`` (written by ``repro perf run``, format v1) and
+``BENCH_serving.json`` (written by ``repro serve bench``, schema v1) —
+so the performance trajectory is diffable across PRs.  Diffable requires
+*stable*: this module is the single definition of both key sets, and
+``tests/perf/test_bench_schema.py`` pins the committed files and freshly
+generated reports against it.  Changing either schema means bumping the
+version constant here and regenerating the committed baselines in the
+same PR.
+
+Validators are hand-rolled over the stdlib (no ``jsonschema`` install):
+each returns a list of human-readable problems, empty when the payload
+conforms.  Problems carry JSON-ish paths so a CI schema failure names
+the exact key that drifted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: Bump when the BENCH_pipeline.json key set changes.
+PIPELINE_SCHEMA_VERSION = 1
+
+#: The fixed per-scenario stage set, in pipeline order.  Stage wall
+#: times are non-negative and their sum never exceeds the scenario's
+#: total (up to float rounding, see :data:`STAGE_SUM_TOLERANCE`).
+PIPELINE_STAGES = (
+    "materialize", "noise", "consistency", "postprocess", "serve",
+)
+
+#: Relative slack when checking ``sum(stages) <= total_seconds`` — the
+#: stages are measured inside the total on the same clock, so anything
+#: beyond float rounding is a real accounting bug.
+STAGE_SUM_TOLERANCE = 1e-6
+
+_PIPELINE_TOP_KEYS = ("schema_version", "kind", "config", "host", "scenarios")
+_PIPELINE_CONFIG_KEYS = (
+    "epsilon", "seed", "scale", "smoke", "queries", "chunk_groups",
+    "track_memory",
+)
+_PIPELINE_HOST_KEYS = ("platform", "python", "machine", "cpu_count")
+_PIPELINE_SCENARIO_KEYS = (
+    "workload", "workload_fingerprint", "spec_hash", "num_groups",
+    "num_nodes", "num_levels", "num_entities", "total_seconds", "stages",
+    "peak_rss_bytes", "peak_traced_bytes",
+)
+
+_SERVING_TOP_KEYS = (
+    "schema_version", "config", "naive", "served", "speedup",
+    "answers_identical",
+)
+_SERVING_CONFIG_KEYS = (
+    "num_releases", "num_requests", "popularity_skew", "seed", "cache_size",
+)
+_SERVING_NAIVE_KEYS = ("seconds", "qps")
+_SERVING_SERVED_KEYS = (
+    "seconds", "qps", "cache_hit_ratio", "artifact_loads", "memo_hits",
+    "latency_ms",
+)
+_SERVING_LATENCY_KEYS = ("p50", "p95", "p99")
+
+
+def _check_keys(
+    payload: object, keys: Sequence[str], path: str, problems: List[str]
+) -> bool:
+    """Exact key-set check; False (with problems appended) on mismatch."""
+    if not isinstance(payload, Mapping):
+        problems.append(f"{path}: expected an object, got "
+                        f"{type(payload).__name__}")
+        return False
+    expected, actual = set(keys), set(payload)
+    for missing in sorted(expected - actual):
+        problems.append(f"{path}.{missing}: missing key")
+    for extra in sorted(actual - expected):
+        problems.append(f"{path}.{extra}: unexpected key")
+    return expected == actual
+
+
+def _check_number(
+    value: object, path: str, problems: List[str], minimum: float = 0.0
+) -> bool:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        problems.append(f"{path}: expected a number, got "
+                        f"{type(value).__name__}")
+        return False
+    if value != value or value in (float("inf"), float("-inf")):
+        problems.append(f"{path}: must be finite, got {value!r}")
+        return False
+    if value < minimum:
+        problems.append(f"{path}: must be >= {minimum:g}, got {value!r}")
+        return False
+    return True
+
+
+def _check_string(value: object, path: str, problems: List[str]) -> bool:
+    if not isinstance(value, str) or not value:
+        problems.append(f"{path}: expected a nonempty string")
+        return False
+    return True
+
+
+def validate_pipeline_payload(payload: object) -> List[str]:
+    """Problems in a ``BENCH_pipeline.json`` payload; empty when valid."""
+    problems: List[str] = []
+    if not _check_keys(payload, _PIPELINE_TOP_KEYS, "$", problems):
+        return problems
+    assert isinstance(payload, Mapping)
+    if payload.get("schema_version") != PIPELINE_SCHEMA_VERSION:
+        problems.append(
+            f"$.schema_version: expected {PIPELINE_SCHEMA_VERSION}, "
+            f"got {payload.get('schema_version')!r}"
+        )
+    if payload.get("kind") != "pipeline":
+        problems.append(f"$.kind: expected 'pipeline', got "
+                        f"{payload.get('kind')!r}")
+
+    config = payload.get("config")
+    if _check_keys(config, _PIPELINE_CONFIG_KEYS, "$.config", problems):
+        _check_number(config["epsilon"], "$.config.epsilon", problems, 1e-12)
+        _check_number(config["seed"], "$.config.seed",
+                      problems, minimum=float("-1e18"))
+        _check_number(config["scale"], "$.config.scale", problems, 1e-12)
+        _check_number(config["queries"], "$.config.queries", problems, 1.0)
+        if not isinstance(config["smoke"], bool):
+            problems.append("$.config.smoke: expected a boolean")
+        if not isinstance(config["track_memory"], bool):
+            problems.append("$.config.track_memory: expected a boolean")
+        if config["chunk_groups"] is not None:
+            _check_number(config["chunk_groups"], "$.config.chunk_groups",
+                          problems, 1.0)
+
+    host = payload.get("host")
+    if _check_keys(host, _PIPELINE_HOST_KEYS, "$.host", problems):
+        for key in ("platform", "python", "machine"):
+            _check_string(host[key], f"$.host.{key}", problems)
+        _check_number(host["cpu_count"], "$.host.cpu_count", problems, 1.0)
+
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        problems.append("$.scenarios: expected a nonempty array")
+        return problems
+    for index, scenario in enumerate(scenarios):
+        problems.extend(_validate_scenario(scenario, f"$.scenarios[{index}]"))
+    return problems
+
+
+def _validate_scenario(scenario: object, path: str) -> List[str]:
+    problems: List[str] = []
+    if not _check_keys(scenario, _PIPELINE_SCENARIO_KEYS, path, problems):
+        return problems
+    assert isinstance(scenario, Mapping)
+    _check_string(scenario["workload"], f"{path}.workload", problems)
+    for key in ("workload_fingerprint", "spec_hash"):
+        if _check_string(scenario[key], f"{path}.{key}", problems):
+            if len(scenario[key]) != 64:
+                problems.append(f"{path}.{key}: expected a 64-hex SHA-256")
+    for key in ("num_groups", "num_nodes"):
+        _check_number(scenario[key], f"{path}.{key}", problems, 1.0)
+    _check_number(scenario["num_levels"], f"{path}.num_levels", problems, 2.0)
+    _check_number(scenario["num_entities"], f"{path}.num_entities", problems)
+    for key in ("peak_rss_bytes", "peak_traced_bytes"):
+        _check_number(scenario[key], f"{path}.{key}", problems)
+
+    total_ok = _check_number(
+        scenario["total_seconds"], f"{path}.total_seconds", problems
+    )
+    stages = scenario["stages"]
+    if _check_keys(stages, PIPELINE_STAGES, f"{path}.stages", problems):
+        stage_sum = 0.0
+        stages_ok = True
+        for name in PIPELINE_STAGES:
+            if _check_number(stages[name], f"{path}.stages.{name}", problems):
+                stage_sum += float(stages[name])
+            else:
+                stages_ok = False
+        if stages_ok and total_ok:
+            total = float(scenario["total_seconds"])
+            if stage_sum > total * (1.0 + STAGE_SUM_TOLERANCE):
+                problems.append(
+                    f"{path}.stages: stage sum {stage_sum:.6f}s exceeds "
+                    f"total_seconds {total:.6f}s"
+                )
+    return problems
+
+
+def validate_serving_payload(payload: object) -> List[str]:
+    """Problems in a ``BENCH_serving.json`` payload; empty when valid."""
+    problems: List[str] = []
+    if not _check_keys(payload, _SERVING_TOP_KEYS, "$", problems):
+        return problems
+    assert isinstance(payload, Mapping)
+    if payload.get("schema_version") != 1:
+        problems.append(f"$.schema_version: expected 1, got "
+                        f"{payload.get('schema_version')!r}")
+    if not isinstance(payload.get("answers_identical"), bool):
+        problems.append("$.answers_identical: expected a boolean")
+    _check_number(payload.get("speedup"), "$.speedup", problems)
+
+    config = payload.get("config")
+    if _check_keys(config, _SERVING_CONFIG_KEYS, "$.config", problems):
+        for key in ("num_releases", "num_requests", "cache_size"):
+            _check_number(config[key], f"$.config.{key}", problems, 1.0)
+        _check_number(config["popularity_skew"], "$.config.popularity_skew",
+                      problems)
+        _check_number(config["seed"], "$.config.seed",
+                      problems, minimum=float("-1e18"))
+
+    naive = payload.get("naive")
+    if _check_keys(naive, _SERVING_NAIVE_KEYS, "$.naive", problems):
+        for key in _SERVING_NAIVE_KEYS:
+            _check_number(naive[key], f"$.naive.{key}", problems)
+
+    served = payload.get("served")
+    if _check_keys(served, _SERVING_SERVED_KEYS, "$.served", problems):
+        for key in ("seconds", "qps", "artifact_loads", "memo_hits"):
+            _check_number(served[key], f"$.served.{key}", problems)
+        if _check_number(served["cache_hit_ratio"],
+                         "$.served.cache_hit_ratio", problems):
+            if float(served["cache_hit_ratio"]) > 1.0:
+                problems.append("$.served.cache_hit_ratio: must be <= 1.0")
+        latency = served["latency_ms"]
+        if _check_keys(latency, _SERVING_LATENCY_KEYS,
+                       "$.served.latency_ms", problems):
+            for key in _SERVING_LATENCY_KEYS:
+                _check_number(latency[key], f"$.served.latency_ms.{key}",
+                              problems)
+    return problems
+
+
+def detect_kind(payload: object) -> str:
+    """``"pipeline"``, ``"serving"`` or ``"unknown"`` for a bench payload."""
+    if isinstance(payload, Mapping):
+        if payload.get("kind") == "pipeline" or "scenarios" in payload:
+            return "pipeline"
+        if "served" in payload and "naive" in payload:
+            return "serving"
+    return "unknown"
+
+
+def validate_payload(payload: object) -> Tuple[str, List[str]]:
+    """Detect the bench kind and validate; returns ``(kind, problems)``."""
+    kind = detect_kind(payload)
+    if kind == "pipeline":
+        return kind, validate_pipeline_payload(payload)
+    if kind == "serving":
+        return kind, validate_serving_payload(payload)
+    return kind, ["$: not a recognized BENCH payload (expected the "
+                  "pipeline or serving schema)"]
+
+
+def timing_rows(payload: Mapping[str, object]) -> Dict[str, float]:
+    """The comparable timing metrics of a *valid* bench payload.
+
+    Flat ``{label: seconds}`` rows — per-scenario stage and total times
+    for pipeline files, both paths' seconds and latency percentiles for
+    serving files.  ``repro perf compare`` diffs baseline and candidate
+    over the intersection of these labels.
+    """
+    rows: Dict[str, float] = {}
+    if detect_kind(payload) == "pipeline":
+        for scenario in payload["scenarios"]:  # type: ignore[index]
+            name = scenario["workload"]
+            rows[f"{name}/total"] = float(scenario["total_seconds"])
+            for stage_name in PIPELINE_STAGES:
+                rows[f"{name}/{stage_name}"] = float(
+                    scenario["stages"][stage_name]
+                )
+    else:
+        naive = payload["naive"]  # type: ignore[index]
+        served = payload["served"]  # type: ignore[index]
+        rows["naive/seconds"] = float(naive["seconds"])
+        rows["served/seconds"] = float(served["seconds"])
+        for key, value in served["latency_ms"].items():
+            rows[f"served/latency_{key}_ms"] = float(value) / 1000.0
+    return rows
+
+
+def config_fingerprint(payload: Mapping[str, object]) -> Dict[str, object]:
+    """The config keys two bench files must share for timings to compare."""
+    config = dict(payload.get("config", {}))
+    config["_kind"] = detect_kind(payload)
+    return config

@@ -1,0 +1,224 @@
+"""Nestable monotonic per-stage timers.
+
+:class:`StageTimer` is the one clock the repository measures with: the
+pipeline profiling harness (:mod:`repro.perf.harness`), the serving
+benchmark (:mod:`repro.serve.bench`) and the ``benchmarks/`` suite all
+record wall time through it, so every number that ends up in a
+``BENCH_*.json`` file or a benchmark assertion is produced by the same
+``time.perf_counter`` spans.
+
+Two usage modes:
+
+* **Explicit** — create a timer and open named stages on it::
+
+      timer = StageTimer()
+      with timer.stage("materialize"):
+          tree = materialize(spec)
+      timer.seconds("materialize")
+
+  Stages nest; a stage opened inside another records under a dotted
+  path (``"serve.plan"``), and :meth:`StageTimer.stage_totals`
+  aggregates **top-level** spans only, so nested detail never double
+  counts toward a stage sum.
+
+* **Ambient** — library code deep inside the pipeline (the top-down
+  algorithm, the serving engine, the experiment executor) calls the
+  module-level :func:`stage` context manager, which records onto the
+  timer activated by the innermost :meth:`StageTimer.activate` block —
+  and costs one context-variable read when no timer is active, so
+  instrumented hot paths stay uninstrumented-fast in normal runs.
+
+Timers are deliberately single-threaded: one activation, one stage
+stack.  Code that measures multi-threaded work (e.g. the concurrent
+serving path) times the whole call from the submitting thread with
+:func:`timed`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: The ambient timer used by the module-level :func:`stage`.  ``None``
+#: (the default) makes every ambient stage a no-op.
+_ACTIVE: "contextvars.ContextVar[Optional[StageTimer]]" = contextvars.ContextVar(
+    "repro_perf_active_timer", default=None
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed stage: a dotted path and its monotonic wall time.
+
+    Attributes
+    ----------
+    path:
+        Dotted stage path (``"consistency"``, ``"serve.plan"``) — the
+        enclosing stages at the time the span was opened, plus its name.
+    seconds:
+        Wall-clock duration from ``time.perf_counter``.
+    depth:
+        Nesting depth; 0 for top-level spans.  Aggregations that must
+        not double count (stage sums vs totals) use depth-0 spans only.
+    offset:
+        Start time relative to the timer's own start, for ordering.
+    """
+
+    path: str
+    seconds: float
+    depth: int
+    offset: float
+
+    @property
+    def name(self) -> str:
+        """The last component of the dotted path."""
+        return self.path.rsplit(".", 1)[-1]
+
+
+class StageTimer:
+    """Collect named, nestable wall-time spans on one monotonic clock.
+
+    Examples
+    --------
+    >>> timer = StageTimer()
+    >>> with timer.stage("outer"):
+    ...     with timer.stage("inner"):
+    ...         pass
+    >>> [span.path for span in timer.spans()]
+    ['outer.inner', 'outer']
+    >>> set(timer.stage_totals()) == {'outer'}
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._stop: Optional[float] = None
+        self._stack: List[str] = []
+        self._spans: List[Span] = []
+
+    # -- recording -----------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Record one named stage around the ``with`` body.
+
+        Reentrant stages are legal and accumulate: two ``stage("noise")``
+        blocks at the same depth contribute two spans whose seconds sum
+        in :meth:`seconds` and :meth:`stage_totals`.
+        """
+        name = str(name)
+        if not name or "." in name:
+            raise ValueError(
+                f"stage names must be nonempty and dot-free, got {name!r}"
+            )
+        self._stack.append(name)
+        path = ".".join(self._stack)
+        depth = len(self._stack) - 1
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - begin
+            self._stack.pop()
+            self._spans.append(
+                Span(
+                    path=path,
+                    seconds=elapsed,
+                    depth=depth,
+                    offset=begin - self._start,
+                )
+            )
+
+    @contextmanager
+    def activate(self) -> Iterator["StageTimer"]:
+        """Make this timer the ambient target of :func:`stage` calls.
+
+        Activation is scoped to the ``with`` block (and, through
+        :mod:`contextvars`, to the current thread); nested activations
+        shadow outer ones.
+        """
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    def stop(self) -> float:
+        """Freeze and return :meth:`total_seconds`; idempotent."""
+        if self._stop is None:
+            self._stop = time.perf_counter()
+        return self.total_seconds()
+
+    # -- reading -------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All completed spans, in completion order."""
+        return list(self._spans)
+
+    def seconds(self, path: str) -> float:
+        """Total seconds across every span recorded at ``path``."""
+        return sum(span.seconds for span in self._spans if span.path == path)
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Aggregated seconds per **top-level** stage, in first-seen order.
+
+        Nested spans are excluded, so ``sum(stage_totals().values())``
+        never exceeds the wall time the top-level stages actually
+        covered — the invariant the ``BENCH_pipeline.json`` schema
+        checks enforce against the timer's :meth:`total_seconds`.
+        """
+        totals: Dict[str, float] = {}
+        for span in self._spans:
+            if span.depth == 0:
+                totals[span.path] = totals.get(span.path, 0.0) + span.seconds
+        return totals
+
+    def total_seconds(self) -> float:
+        """Wall time from construction to :meth:`stop` (or to now)."""
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start
+
+
+def current_timer() -> Optional[StageTimer]:
+    """The ambient timer installed by :meth:`StageTimer.activate`, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Record ``name`` onto the ambient timer; a no-op when none is active.
+
+    This is the hook the instrumented pipeline stages use —
+    :meth:`ReleaseSpec.execute <repro.api.spec.ReleaseSpec.execute>`,
+    the consistency algorithms, the grid executor and the serving
+    engine all call it unconditionally, and pay only a context-variable
+    read unless a profiling harness activated a timer around them.
+    """
+    timer = _ACTIVE.get()
+    if timer is None:
+        yield
+        return
+    with timer.stage(name):
+        yield
+
+
+def timed(fn: Callable[..., T], *args: object, **kwargs: object) -> Tuple[T, float]:
+    """Run ``fn(*args, **kwargs)`` under a fresh timer; return (result, s).
+
+    The stopwatch the benchmark suite shares with the harness: one
+    top-level span on a :class:`StageTimer`, so a benchmark's printed
+    seconds and a ``BENCH_*.json`` stage entry are the same measurement.
+
+    Examples
+    --------
+    >>> value, seconds = timed(sum, [1, 2, 3])
+    >>> value, seconds >= 0.0
+    (6, True)
+    """
+    timer = StageTimer()
+    with timer.stage("call"):
+        result = fn(*args, **kwargs)
+    return result, timer.seconds("call")

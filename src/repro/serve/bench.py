@@ -21,7 +21,6 @@ schema, so its key set is part of the contract
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -30,6 +29,7 @@ from repro.api.release import Release
 from repro.api.spec import ReleaseSpec
 from repro.api.store import ReleaseStore
 from repro.exceptions import ReproError
+from repro.perf.timer import StageTimer
 from repro.serve.engine import ServingEngine
 from repro.serve.mix import catalog_store, generate_requests
 from repro.serve.planner import QueryResult
@@ -109,16 +109,21 @@ def run_naive(
     """The baseline: resolve + full artifact decode + scalar call, per
     request.  Returns (results, wall seconds)."""
     results: List[QueryResult] = []
-    start = time.perf_counter()
-    for spec in requests:
-        try:
-            full = store.resolve(spec.release)
-            release = Release.load(store.path_for(full))
-            value = release.query(spec.query, spec.node, **spec.param_dict())
-            results.append(QueryResult(spec=spec, value=value, release=full))
-        except ReproError as error:
-            results.append(QueryResult(spec=spec, error=str(error)))
-    return results, time.perf_counter() - start
+    timer = StageTimer()
+    with timer.stage("naive"):
+        for spec in requests:
+            try:
+                full = store.resolve(spec.release)
+                release = Release.load(store.path_for(full))
+                value = release.query(
+                    spec.query, spec.node, **spec.param_dict()
+                )
+                results.append(
+                    QueryResult(spec=spec, value=value, release=full)
+                )
+            except ReproError as error:
+                results.append(QueryResult(spec=spec, error=str(error)))
+    return results, timer.seconds("naive")
 
 
 def run_served(
@@ -136,12 +141,13 @@ def run_served(
     """
     size = len(requests) if batch_size is None else max(1, int(batch_size))
     results: List[QueryResult] = []
-    start = time.perf_counter()
-    for offset in range(0, len(requests), size):
-        results.extend(engine.execute_batch(
-            requests[offset: offset + size], concurrent=concurrent,
-        ))
-    return results, time.perf_counter() - start
+    timer = StageTimer()
+    with timer.stage("served"):
+        for offset in range(0, len(requests), size):
+            results.extend(engine.execute_batch(
+                requests[offset: offset + size], concurrent=concurrent,
+            ))
+    return results, timer.seconds("served")
 
 
 def answers_match(

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.api.release import Release
 from repro.api.store import ReleaseStore
 from repro.exceptions import ReproError
+from repro.perf.timer import stage
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.planner import QueryPlanner, QueryResult, execute_group
 from repro.serve.spec import QuerySpec
@@ -173,22 +174,32 @@ class ServingEngine:
         engine's thread pool (useful when several cold releases must be
         decoded); results always come back in request order.
         """
-        plan = self.planner.plan(specs, self.resolve)
+        with stage("plan"):
+            plan = self.planner.plan(specs, self.resolve)
         results: Dict[int, QueryResult] = dict(plan.failures)
         for _ in plan.failures:
             self.metrics.record_request(0.0, error=True)
 
         groups = list(plan.groups.items())
         if concurrent and len(groups) > 1:
-            futures = [
-                self.pool.submit(self._execute_release_group, spec_hash, items)
-                for spec_hash, items in groups
-            ]
-            for future in futures:
-                results.update(future.result())
+            # Worker threads never see the ambient timer (context
+            # variables don't cross pool threads), so the fan-out is
+            # timed as a whole from this submitting thread.
+            with stage("answer"):
+                futures = [
+                    self.pool.submit(
+                        self._execute_release_group, spec_hash, items
+                    )
+                    for spec_hash, items in groups
+                ]
+                for future in futures:
+                    results.update(future.result())
         else:
-            for spec_hash, items in groups:
-                results.update(self._execute_release_group(spec_hash, items))
+            with stage("answer"):
+                for spec_hash, items in groups:
+                    results.update(
+                        self._execute_release_group(spec_hash, items)
+                    )
         self.metrics.record_batch()
         return [results[position] for position in range(len(specs))]
 

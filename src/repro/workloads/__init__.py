@@ -20,6 +20,9 @@ Layers
   (skewed exact group allocation, per-leaf size sampling).
 - :mod:`repro.workloads.presets` — built-in scenarios, including the
   golden-regression anchors.
+- :mod:`repro.workloads.packs` — population-scale scenario packs
+  (census/tax shaped, millions of entities) for the profiling harness;
+  materialize with ``chunk_groups`` for bounded-memory generation.
 - :mod:`repro.workloads.dataset` — the ``workload:<name>`` dataset-registry
   adapter, which is how generated scenarios flow through the cached,
   parallel experiment grid unchanged.
@@ -41,7 +44,12 @@ from repro.workloads.distributions import (
     register_distribution,
     sample_sizes,
 )
-from repro.workloads.generator import materialize, node_rng
+from repro.workloads.generator import (
+    BLOCK_GROUPS,
+    iter_leaf_sizes,
+    materialize,
+    node_rng,
+)
 from repro.workloads.spec import (
     WorkloadSpec,
     available_workloads,
@@ -49,15 +57,18 @@ from repro.workloads.spec import (
     register_workload,
 )
 
-# Built-in presets self-register on import.
+# Built-in presets and population-scale packs self-register on import.
 from repro.workloads import presets  # noqa: F401  (import for side effect)
+from repro.workloads import packs  # noqa: F401  (import for side effect)
 
 __all__ = [
+    "BLOCK_GROUPS",
     "WorkloadDataset",
     "WorkloadSpec",
     "available_distributions",
     "available_workloads",
     "get_workload",
+    "iter_leaf_sizes",
     "materialize",
     "node_rng",
     "register_distribution",

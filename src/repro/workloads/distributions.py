@@ -25,6 +25,12 @@ Built-in distributions
     Rounded lognormal with the given ``median`` and ``sigma``, clipped to
     ``max_size`` — a multiplicative-growth tail heavier than any power law
     cutoff at the same median.
+``household``
+    Census-household-shaped sizes: an explicit pmf over sizes 1–7
+    (single-person households most common, mode-2 hump, fast decay) with
+    a geometric tail out to ``max_size`` for group-quarters-style large
+    households — the shape the population-scale scenario packs
+    (:mod:`repro.workloads.packs`) build on.
 
 Custom distributions are added with :func:`register_distribution`.  All
 distributions must be deterministic given the generator they receive; the
@@ -182,7 +188,39 @@ def _heavy_tail(
     return np.clip(np.rint(draws), 1, max_size).astype(np.int64)
 
 
+#: Relative frequencies of US-census-style household sizes 1..7 (shape
+#: only; normalized together with the geometric tail at sampling time).
+_HOUSEHOLD_HEAD_WEIGHTS = (0.28, 0.35, 0.15, 0.13, 0.06, 0.02, 0.01)
+
+#: Per-size decay ratio of the geometric group-quarters tail past size 7.
+_HOUSEHOLD_TAIL_DECAY = 0.55
+
+
+def _household(
+    num_groups: int,
+    rng: np.random.Generator,
+    max_size: int = 20,
+) -> np.ndarray:
+    max_size = int(max_size)
+    if max_size < 1:
+        raise WorkloadError(f"household needs max_size >= 1, got {max_size}")
+    head = np.asarray(_HOUSEHOLD_HEAD_WEIGHTS[:max_size], dtype=np.float64)
+    if max_size > len(_HOUSEHOLD_HEAD_WEIGHTS):
+        tail_lengths = np.arange(
+            1, max_size - len(_HOUSEHOLD_HEAD_WEIGHTS) + 1, dtype=np.float64
+        )
+        tail = head[-1] * _HOUSEHOLD_TAIL_DECAY ** tail_lengths
+        head = np.concatenate([head, tail])
+    cdf = np.cumsum(head)
+    cdf /= cdf[-1]
+    # Inverse-CDF sampling: one vectorized uniform draw per group (a
+    # single rng stream read, like power_law).
+    draws = np.searchsorted(cdf, rng.random(num_groups), side="left")
+    return (draws + 1).astype(np.int64)
+
+
 register_distribution("uniform", _uniform)
 register_distribution("power_law", _power_law)
 register_distribution("bimodal", _bimodal)
 register_distribution("heavy_tail", _heavy_tail)
+register_distribution("household", _household)

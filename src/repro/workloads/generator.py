@@ -20,12 +20,25 @@ SHA-256 of ``(spec fingerprint, seed, node path)``, so generation is
 bit-identical regardless of traversal order, process placement, or which
 sibling subtrees are materialized — the property the golden-regression
 suite pins down.
+
+Block-wise leaf sampling
+------------------------
+A leaf's sizes are drawn in fixed blocks of :data:`BLOCK_GROUPS` groups,
+each block from its own derived generator: block 0 uses the historical
+``<path>#sizes`` derivation (so every leaf at or below one block — all
+presets and committed golden fixtures — reproduces the pre-block data
+exactly), later blocks use ``<path>#sizes@<block>``.  The block is the
+deterministic unit of the generative definition, which is what makes
+``chunk_groups`` a pure batching knob: chunked materialization holds at
+most ~``chunk_groups`` raw sizes at a time (rounded up to whole blocks)
+yet produces a bit-identical tree for every chunk size, including for
+distributions that read multiple generator streams (``bimodal``).
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +53,11 @@ from repro.workloads.spec import WorkloadSpec
 
 #: Cap on materialized tree size (nodes), guarding against runaway specs.
 MAX_NODES = 2_000_000
+
+#: Fixed sampling-block granularity (groups per block).  Part of the
+#: generative definition — changing it changes the data of any leaf
+#: larger than one block — so it is a constant, not a parameter.
+BLOCK_GROUPS = 65_536
 
 
 #: Memoized spec fingerprints: materialization derives one generator per
@@ -84,40 +102,11 @@ def _child_allocation(
     return largest_remainder_round(shares, int(total))
 
 
-def materialize(
-    spec: WorkloadSpec,
-    seed: int = 0,
-    root_name: Optional[str] = None,
-) -> Hierarchy:
-    """Generate the scenario described by ``spec`` at the given ``seed``.
-
-    Returns a :class:`~repro.hierarchy.tree.Hierarchy` with true
-    histograms at every node, ready for any release method or experiment
-    grid.  Deterministic: same ``(spec generative parameters, seed)`` →
-    bit-identical tree (and therefore an identical
-    :func:`repro.io.hierarchy_fingerprint`).
-
-    Examples
-    --------
-    >>> from repro.workloads.spec import WorkloadSpec
-    >>> spec = WorkloadSpec.create(
-    ...     "demo", "uniform", depth=4, fanout=2, num_groups=40,
-    ...     low=1, high=5)
-    >>> tree = materialize(spec, seed=1)
-    >>> tree.num_levels, tree.root.num_groups
-    (4, 40)
-    >>> [row["groups"] for row in tree.level_statistics()]
-    [40, 40, 40, 40]
-    """
-    if spec.num_nodes > MAX_NODES:
-        raise WorkloadError(
-            f"workload {spec.name!r} would materialize {spec.num_nodes:,} "
-            f"nodes (cap: {MAX_NODES:,})"
-        )
-    root = str(root_name) if root_name is not None else "root"
-
-    # Pass 1: allocate group counts down the tree, depth-first.
-    leaf_counts: List[tuple] = []  # (dotted path, group count) per leaf
+def _allocate_leaves(
+    spec: WorkloadSpec, seed: int, root: str
+) -> List[Tuple[str, int]]:
+    """Pass 1: (dotted path, group count) per leaf, depth-first order."""
+    leaf_counts: List[Tuple[str, int]] = []
 
     def allocate(path: str, level: int, total: int) -> None:
         if level == spec.depth - 1:
@@ -131,24 +120,158 @@ def materialize(
             allocate(f"{path}.{child}", level + 1, int(amount))
 
     allocate(root, 0, spec.num_groups)
+    return leaf_counts
 
-    # Pass 2: sample each leaf's group sizes with its own generator.  The
-    # sampling seed is keyed by the leaf's path (suffixed so it never
-    # collides with the same node's allocation stream), keeping every
-    # node's draws independent of its siblings.
+
+def _sample_block(
+    spec: WorkloadSpec,
+    seed: int,
+    path: str,
+    block: int,
+    count: int,
+    params: Dict[str, object],
+) -> np.ndarray:
+    """One whole sampling block of a leaf, from the block's own generator.
+
+    Block 0 keeps the historical ``<path>#sizes`` derivation so every
+    at-most-one-block leaf reproduces pre-block-era data bit for bit.
+    """
+    suffix = f"{path}#sizes" if block == 0 else f"{path}#sizes@{block}"
+    return sample_sizes(
+        spec.distribution, count, node_rng(spec, seed, suffix), **params
+    )
+
+
+def _iter_leaf_chunks(
+    spec: WorkloadSpec,
+    seed: int,
+    path: str,
+    count: int,
+    params: Dict[str, object],
+    chunk_groups: Optional[int],
+) -> Iterator[np.ndarray]:
+    """Yield one leaf's sizes as arrays of one or more whole blocks.
+
+    ``chunk_groups=None`` yields a single array (the unchunked path);
+    otherwise chunks target at most ``chunk_groups`` groups, rounded up
+    to the :data:`BLOCK_GROUPS` granularity (a chunk is never less than
+    one whole block — blocks are the deterministic sampling unit).
+    """
+    # Read the module global at call time (tests shrink it to exercise
+    # multi-block leaves without materializing millions of groups).
+    block_groups = int(BLOCK_GROUPS)
+    target = count if chunk_groups is None else max(1, int(chunk_groups))
+    pending: List[np.ndarray] = []
+    pending_groups = 0
+    offset, block = 0, 0
+    while offset < count:
+        take = min(block_groups, count - offset)
+        if pending and pending_groups + take > target:
+            yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+            pending, pending_groups = [], 0
+        pending.append(_sample_block(spec, seed, path, block, take, params))
+        pending_groups += take
+        offset += take
+        block += 1
+    if pending:
+        yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+
+
+def _validate_spec(spec: WorkloadSpec, chunk_groups: Optional[int]) -> None:
+    if spec.num_nodes > MAX_NODES:
+        raise WorkloadError(
+            f"workload {spec.name!r} would materialize {spec.num_nodes:,} "
+            f"nodes (cap: {MAX_NODES:,})"
+        )
+    if chunk_groups is not None and int(chunk_groups) < 1:
+        raise WorkloadError(
+            f"chunk_groups must be >= 1 (or None), got {chunk_groups}"
+        )
+
+
+def iter_leaf_sizes(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    root_name: Optional[str] = None,
+    chunk_groups: Optional[int] = None,
+) -> Iterator[Tuple[str, np.ndarray]]:
+    """Stream ``(leaf path, sizes)`` chunks without building the tree.
+
+    The streaming face of :func:`materialize`: the concatenation of a
+    leaf's chunks equals exactly the sizes its histogram is binned from,
+    in draw order.  Zero-group leaves are skipped (they contribute the
+    empty histogram, not an empty array).
+    """
+    _validate_spec(spec, chunk_groups)
+    root = str(root_name) if root_name is not None else "root"
+    params = spec.param_dict()
+    for path, count in _allocate_leaves(spec, seed, root):
+        if count == 0:
+            continue
+        for sizes in _iter_leaf_chunks(
+            spec, seed, path, count, params, chunk_groups
+        ):
+            yield path, sizes
+
+
+def materialize(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    root_name: Optional[str] = None,
+    chunk_groups: Optional[int] = None,
+) -> Hierarchy:
+    """Generate the scenario described by ``spec`` at the given ``seed``.
+
+    Returns a :class:`~repro.hierarchy.tree.Hierarchy` with true
+    histograms at every node, ready for any release method or experiment
+    grid.  Deterministic: same ``(spec generative parameters, seed)`` →
+    bit-identical tree (and therefore an identical
+    :func:`repro.io.hierarchy_fingerprint`), for **every** value of
+    ``chunk_groups`` — the batching bound only caps how many raw group
+    sizes are held at once (rounded up to whole sampling blocks), never
+    what is drawn.
+
+    Examples
+    --------
+    >>> from repro.workloads.spec import WorkloadSpec
+    >>> spec = WorkloadSpec.create(
+    ...     "demo", "uniform", depth=4, fanout=2, num_groups=40,
+    ...     low=1, high=5)
+    >>> tree = materialize(spec, seed=1)
+    >>> tree.num_levels, tree.root.num_groups
+    (4, 40)
+    >>> [row["groups"] for row in tree.level_statistics()]
+    [40, 40, 40, 40]
+    >>> tree2 = materialize(spec, seed=1, chunk_groups=7)
+    >>> all(a.data == b.data for a, b in zip(tree.nodes(), tree2.nodes()))
+    True
+    """
+    _validate_spec(spec, chunk_groups)
+    root = str(root_name) if root_name is not None else "root"
+
+    # Pass 1: allocate group counts down the tree, depth-first.
+    leaf_counts = _allocate_leaves(spec, seed, root)
+
+    # Pass 2: sample each leaf's group sizes block by block with the
+    # block's own generator (see the module docstring), accumulating the
+    # count-of-counts histogram chunk-wise so peak transient memory stays
+    # bounded by the chunk target.
     params = spec.param_dict()
     leaves: List[CountOfCounts] = []
     for path, count in leaf_counts:
         if count == 0:
             leaves.append(CountOfCounts([0]))
             continue
-        sizes = sample_sizes(
-            spec.distribution, count,
-            node_rng(spec, seed, f"{path}#sizes"),
-            **params,
-        )
-        leaves.append(
-            CountOfCounts(np.bincount(sizes).astype(np.int64))
-        )
+        histogram = np.zeros(0, dtype=np.int64)
+        for sizes in _iter_leaf_chunks(
+            spec, seed, path, count, params, chunk_groups
+        ):
+            binned = np.bincount(sizes).astype(np.int64)
+            if binned.size >= histogram.size:
+                binned[: histogram.size] += histogram
+                histogram = binned
+            else:
+                histogram[: binned.size] += binned
+        leaves.append(CountOfCounts(histogram))
 
     return from_fanout(root, spec.fanout, leaves)

@@ -1,0 +1,54 @@
+"""Population-scale scenario packs.
+
+Where :mod:`repro.workloads.presets` covers the qualitative scenario
+axes at test scale, the packs model *populations*: millions of entities
+shaped like the administrative datasets count-of-counts releases are
+actually computed over (the style of the pseudopeople simulated-census
+corpus).  They exist to exercise the profiling harness
+(:mod:`repro.perf.harness`) and the chunked materialization path at the
+scale the paper's scenarios imply — the ``census-households`` pack is
+one of the two workloads in the committed ``BENCH_pipeline.json``
+baseline.
+
+Both packs stay within the generator's :data:`~repro.workloads.
+generator.MAX_NODES` rail and materialize through the same deterministic
+per-node seeding as every preset, so they are golden-pinnable
+(``tests/golden/test_golden_packs.py`` freezes their fixed-seed
+statistics) and bit-identical under any ``chunk_groups`` setting.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec, register_workload
+
+#: Decennial-census shape: state → county → tract → block-group leaves,
+#: 1.5M households of census-pmf sizes (~3.8M people), mildly skewed
+#: sibling allocation.
+CENSUS_HOUSEHOLDS = register_workload(WorkloadSpec.create(
+    "census-households",
+    "household",
+    depth=5,
+    fanout=(4, 8, 8, 8),
+    num_groups=1_500_000,
+    skew=0.7,
+    description="census-shaped pack: 1.5M households, ~3.8M people, "
+                "5 levels (2,048 block-group leaves)",
+    max_size=20,
+))
+
+#: Tax-agency shape: region → district → office leaves, 1M employer
+#: establishments with a lognormal employee-count tail (most employers
+#: tiny, a few in the hundreds).
+TAX_ESTABLISHMENTS = register_workload(WorkloadSpec.create(
+    "tax-establishments",
+    "heavy_tail",
+    depth=4,
+    fanout=(8, 16, 16),
+    num_groups=1_000_000,
+    skew=1.1,
+    description="tax-shaped pack: 1M establishments with a lognormal "
+                "employee tail, 4 levels (2,048 office leaves)",
+    median=5.0,
+    sigma=1.5,
+    max_size=500,
+))

@@ -1,0 +1,112 @@
+"""Golden-regression fixtures for the population-scale scenario packs.
+
+The full packs materialize millions of groups — too heavy to pin in CI —
+so the fixtures freeze each pack's *shape-preserved small slice*: the
+registered spec scaled down via ``with_groups`` (identical depth, fanout,
+skew, distribution and params; only the group count shrinks), then the
+fixed-seed materialization's fingerprint, statistics and histogram heads.
+Any change to a pack's generative definition — its registered parameters,
+the ``household`` distribution, the per-node seeding, or the block-wise
+sampling scheme — fails these fixtures loudly.
+
+Fixtures live under ``fixtures/packs/`` (``fixtures/*.json`` is reserved
+for the full-pipeline golden workloads) and are refreshed with the same
+blessing flow::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.io import hierarchy_fingerprint
+from repro.workloads import get_workload, materialize
+from tests.golden.test_golden_pipeline import diff_payloads
+
+PACK_FIXTURES = Path(__file__).parent / "fixtures" / "packs"
+
+#: Scenario packs pinned by fixtures, with the slice size used for the
+#: golden materialization (shape-preserving scale-down of the registered
+#: millions-of-groups spec).
+GOLDEN_PACKS = {
+    "census-households": 30_000,
+    "tax-establishments": 20_000,
+}
+
+#: Frozen generation configuration (matches the pipeline golden suite).
+GENERATION_SEED = 7
+
+#: The golden run materializes through the chunked path on purpose — the
+#: fixture therefore also pins chunked == unchunked (the test below
+#: recomputes the fingerprint unchunked and both must agree).
+CHUNK_GROUPS = 4_096
+
+
+def compute_pack_payload(name: str, num_groups: int) -> dict:
+    """Recompute the pinned slice of one scenario pack."""
+    full_spec = get_workload(name)
+    spec = full_spec.with_groups(num_groups)
+    tree = materialize(spec, seed=GENERATION_SEED, chunk_groups=CHUNK_GROUPS)
+    histogram = tree.root.data.histogram
+    payload = {
+        "workload": name,
+        "full_spec": full_spec.to_dict(),
+        "slice_groups": num_groups,
+        "generation_seed": GENERATION_SEED,
+        "chunk_groups": CHUNK_GROUPS,
+        "workload_fingerprint": full_spec.fingerprint(),
+        "slice_fingerprint": spec.fingerprint(),
+        "hierarchy_fingerprint": hierarchy_fingerprint(tree),
+        "statistics": tree.statistics(),
+        "level_statistics": tree.level_statistics(),
+        # The first 24 histogram bins of the root: the head carries the
+        # distribution's shape (and the census pmf) in readable form.
+        "root_histogram_head": [int(c) for c in histogram[:24]],
+    }
+    return json.loads(json.dumps(payload))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PACKS))
+def test_pack_matches_golden_fixture(name, update_golden):
+    fixture_path = PACK_FIXTURES / f"{name}.json"
+    actual = compute_pack_payload(name, GOLDEN_PACKS[name])
+
+    if update_golden:
+        PACK_FIXTURES.mkdir(parents=True, exist_ok=True)
+        fixture_path.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        return
+
+    assert fixture_path.exists(), (
+        f"missing golden pack fixture {fixture_path}; generate it with "
+        "'python -m pytest tests/golden --update-golden' and commit it"
+    )
+    expected = json.loads(fixture_path.read_text())
+    problems = diff_payloads(expected, actual)
+    assert not problems, (
+        f"golden regression for pack {name!r}: {len(problems)} value(s) "
+        "drifted from the committed fixture (rerun with --update-golden "
+        "only if the change is intentional):\n  " + "\n  ".join(problems[:40])
+    )
+
+
+def test_pack_fixture_files_match_golden_packs():
+    committed = {path.stem for path in PACK_FIXTURES.glob("*.json")}
+    assert committed == set(GOLDEN_PACKS)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PACKS))
+def test_golden_slice_is_chunking_invariant(name):
+    """The committed fingerprint (chunked run) equals the unchunked one."""
+    spec = get_workload(name).with_groups(GOLDEN_PACKS[name])
+    unchunked = hierarchy_fingerprint(materialize(spec, seed=GENERATION_SEED))
+    fixture_path = PACK_FIXTURES / f"{name}.json"
+    if not fixture_path.exists():
+        pytest.skip("fixture not generated yet")
+    expected = json.loads(fixture_path.read_text())
+    assert expected["hierarchy_fingerprint"] == unchunked

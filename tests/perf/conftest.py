@@ -1,0 +1,90 @@
+"""Shared fixtures for the perf suite: synthetic schema-valid payloads."""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+
+import pytest
+
+from repro.perf import PerfReport, ScenarioResult
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The committed benchmark baselines at the repository root.
+PIPELINE_BASELINE = REPO_ROOT / "BENCH_pipeline.json"
+SERVING_BASELINE = REPO_ROOT / "BENCH_serving.json"
+
+
+def make_scenario(workload: str = "golden-small", **overrides) -> ScenarioResult:
+    """A schema-valid synthetic scenario result (no pipeline run)."""
+    values = dict(
+        workload=workload,
+        workload_fingerprint="ab" * 32,
+        spec_hash="cd" * 32,
+        num_groups=600,
+        num_nodes=22,
+        num_levels=4,
+        num_entities=7_700,
+        total_seconds=1.0,
+        stages={
+            "materialize": 0.10,
+            "noise": 0.40,
+            "consistency": 0.30,
+            "postprocess": 0.05,
+            "serve": 0.10,
+        },
+        peak_rss_bytes=100 * 2**20,
+        peak_traced_bytes=10 * 2**20,
+    )
+    values.update(overrides)
+    return ScenarioResult(**values)
+
+
+def make_report(*scenarios: ScenarioResult, **config_overrides) -> PerfReport:
+    """A schema-valid synthetic pipeline report."""
+    config = {
+        "epsilon": 1.0,
+        "seed": 0,
+        "scale": 1.0,
+        "smoke": False,
+        "queries": 64,
+        "chunk_groups": None,
+        "track_memory": True,
+    }
+    config.update(config_overrides)
+    return PerfReport(
+        config=config, scenarios=list(scenarios) or [make_scenario()]
+    )
+
+
+@pytest.fixture
+def pipeline_payload():
+    """A fresh, mutable, schema-valid BENCH_pipeline.json payload."""
+    return make_report().to_dict()
+
+
+@pytest.fixture
+def serving_payload():
+    """A fresh, mutable, schema-valid BENCH_serving.json payload."""
+    return copy.deepcopy({
+        "schema_version": 1,
+        "config": {
+            "num_releases": 20,
+            "num_requests": 400,
+            "popularity_skew": 1.1,
+            "seed": 0,
+            "cache_size": 20,
+        },
+        "naive": {"seconds": 4.0, "qps": 100.0},
+        "served": {
+            "seconds": 0.4,
+            "qps": 1000.0,
+            "cache_hit_ratio": 0.9,
+            "artifact_loads": 20,
+            "memo_hits": 120,
+            "latency_ms": {"p50": 0.8, "p95": 2.0, "p99": 5.0},
+        },
+        "speedup": 10.0,
+        "answers_identical": True,
+    })

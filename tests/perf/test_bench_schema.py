@@ -1,0 +1,229 @@
+"""Frozen-schema lockdown for the committed BENCH_*.json baselines.
+
+These tests are the regression gate the schemas exist for: the committed
+files at the repository root must validate, and every interesting
+mutation of a valid payload must produce a problem naming the drifted
+key.  Changing a key set means bumping the schema version and
+regenerating the committed baselines in the same PR — these tests make
+that impossible to forget.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    PIPELINE_SCHEMA_VERSION,
+    PIPELINE_STAGES,
+    config_fingerprint,
+    detect_kind,
+    timing_rows,
+    validate_payload,
+    validate_pipeline_payload,
+    validate_serving_payload,
+)
+from tests.perf.conftest import PIPELINE_BASELINE, SERVING_BASELINE
+
+
+class TestCommittedBaselines:
+    """The files committed at the repo root must satisfy their schema."""
+
+    def test_pipeline_baseline_is_committed_and_valid(self):
+        assert PIPELINE_BASELINE.is_file(), (
+            "BENCH_pipeline.json must be committed at the repository root "
+            "(regenerate with: repro perf run)"
+        )
+        payload = json.loads(PIPELINE_BASELINE.read_text())
+        assert validate_pipeline_payload(payload) == []
+
+    def test_serving_baseline_is_committed_and_valid(self):
+        assert SERVING_BASELINE.is_file(), (
+            "BENCH_serving.json must be committed at the repository root "
+            "(regenerate with: repro serve bench)"
+        )
+        payload = json.loads(SERVING_BASELINE.read_text())
+        assert validate_serving_payload(payload) == []
+
+    def test_pipeline_stage_times_account_for_total(self):
+        # Acceptance bar: per-stage timings must sum to within 5% of the
+        # total wall time for every committed scenario — the harness
+        # instruments the whole pipeline, not a sampled part of it.
+        payload = json.loads(PIPELINE_BASELINE.read_text())
+        for scenario in payload["scenarios"]:
+            total = scenario["total_seconds"]
+            stage_sum = sum(scenario["stages"].values())
+            assert stage_sum <= total
+            assert stage_sum >= 0.95 * total, (
+                f"{scenario['workload']}: stages cover only "
+                f"{stage_sum / total:.1%} of total wall time"
+            )
+
+    def test_pipeline_baseline_covers_a_pack_scenario(self):
+        # The committed baseline must include the historical workload
+        # and at least one population-scale scenario pack.
+        payload = json.loads(PIPELINE_BASELINE.read_text())
+        workloads = {s["workload"] for s in payload["scenarios"]}
+        assert "powerlaw-deep" in workloads
+        assert "census-households" in workloads
+
+    def test_pipeline_baseline_round_trips_sorted(self):
+        # PerfReport.write emits sorted keys + trailing newline so the
+        # committed file diffs minimally across regenerations.
+        text = PIPELINE_BASELINE.read_text()
+        payload = json.loads(text)
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class TestPipelineSchema:
+    def test_synthetic_report_is_valid(self, pipeline_payload):
+        assert validate_pipeline_payload(pipeline_payload) == []
+
+    def test_missing_top_level_key(self, pipeline_payload):
+        del pipeline_payload["host"]
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("$.host: missing key" in p for p in problems)
+
+    def test_extra_top_level_key(self, pipeline_payload):
+        pipeline_payload["commit"] = "deadbeef"
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("$.commit: unexpected key" in p for p in problems)
+
+    def test_wrong_schema_version(self, pipeline_payload):
+        pipeline_payload["schema_version"] = PIPELINE_SCHEMA_VERSION + 1
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("$.schema_version" in p for p in problems)
+
+    def test_config_key_drift(self, pipeline_payload):
+        pipeline_payload["config"].pop("epsilon")
+        pipeline_payload["config"]["eps"] = 1.0
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("$.config.epsilon: missing key" in p for p in problems)
+        assert any("$.config.eps: unexpected key" in p for p in problems)
+
+    def test_negative_stage_time(self, pipeline_payload):
+        scenario = pipeline_payload["scenarios"][0]
+        scenario["stages"]["noise"] = -0.001
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("stages.noise" in p and ">= 0" in p for p in problems)
+
+    def test_stage_sum_exceeding_total(self, pipeline_payload):
+        scenario = pipeline_payload["scenarios"][0]
+        scenario["stages"]["noise"] = scenario["total_seconds"] * 2
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("exceeds" in p for p in problems)
+
+    def test_missing_stage_key(self, pipeline_payload):
+        del pipeline_payload["scenarios"][0]["stages"]["serve"]
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("stages.serve: missing key" in p for p in problems)
+
+    def test_unknown_stage_key(self, pipeline_payload):
+        pipeline_payload["scenarios"][0]["stages"]["cell"] = 0.0
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("stages.cell: unexpected key" in p for p in problems)
+
+    def test_non_hex_hash_rejected(self, pipeline_payload):
+        pipeline_payload["scenarios"][0]["spec_hash"] = "short"
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("64-hex" in p for p in problems)
+
+    def test_empty_scenarios_rejected(self, pipeline_payload):
+        pipeline_payload["scenarios"] = []
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("$.scenarios" in p for p in problems)
+
+    def test_non_finite_total_rejected(self, pipeline_payload):
+        pipeline_payload["scenarios"][0]["total_seconds"] = float("nan")
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("finite" in p for p in problems)
+
+    def test_boolean_is_not_a_number(self, pipeline_payload):
+        # bool is an int subclass; the validator must still reject it
+        # where a measurement is expected.
+        pipeline_payload["scenarios"][0]["num_groups"] = True
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("num_groups" in p for p in problems)
+
+    def test_not_an_object(self):
+        assert validate_pipeline_payload([1, 2, 3]) != []
+
+
+class TestServingSchema:
+    def test_synthetic_payload_is_valid(self, serving_payload):
+        assert validate_serving_payload(serving_payload) == []
+
+    def test_missing_served_key(self, serving_payload):
+        del serving_payload["served"]["memo_hits"]
+        problems = validate_serving_payload(serving_payload)
+        assert any("$.served.memo_hits: missing key" in p for p in problems)
+
+    def test_latency_percentile_drift(self, serving_payload):
+        serving_payload["served"]["latency_ms"]["p999"] = 9.0
+        problems = validate_serving_payload(serving_payload)
+        assert any("latency_ms.p999: unexpected key" in p for p in problems)
+
+    def test_cache_hit_ratio_bounded(self, serving_payload):
+        serving_payload["served"]["cache_hit_ratio"] = 1.2
+        problems = validate_serving_payload(serving_payload)
+        assert any("<= 1.0" in p for p in problems)
+
+    def test_answers_identical_must_be_boolean(self, serving_payload):
+        serving_payload["answers_identical"] = "yes"
+        problems = validate_serving_payload(serving_payload)
+        assert any("answers_identical" in p for p in problems)
+
+    def test_negative_speedup_rejected(self, serving_payload):
+        serving_payload["speedup"] = -1.0
+        problems = validate_serving_payload(serving_payload)
+        assert any("$.speedup" in p for p in problems)
+
+
+class TestKindDetection:
+    def test_detects_pipeline(self, pipeline_payload):
+        assert detect_kind(pipeline_payload) == "pipeline"
+
+    def test_detects_serving(self, serving_payload):
+        assert detect_kind(serving_payload) == "serving"
+
+    @pytest.mark.parametrize("junk", [None, 42, [], {}, {"foo": 1}])
+    def test_unknown_payloads(self, junk):
+        assert detect_kind(junk) == "unknown"
+
+    def test_validate_payload_dispatches(
+        self, pipeline_payload, serving_payload
+    ):
+        assert validate_payload(pipeline_payload) == ("pipeline", [])
+        assert validate_payload(serving_payload) == ("serving", [])
+        kind, problems = validate_payload({"foo": 1})
+        assert kind == "unknown"
+        assert problems
+
+
+class TestTimingRows:
+    def test_pipeline_rows_cover_every_stage(self, pipeline_payload):
+        rows = timing_rows(pipeline_payload)
+        assert "golden-small/total" in rows
+        for stage_name in PIPELINE_STAGES:
+            assert f"golden-small/{stage_name}" in rows
+        assert len(rows) == 1 + len(PIPELINE_STAGES)
+
+    def test_serving_rows_convert_latency_to_seconds(self, serving_payload):
+        rows = timing_rows(serving_payload)
+        assert rows["naive/seconds"] == 4.0
+        assert rows["served/seconds"] == 0.4
+        assert rows["served/latency_p50_ms"] == pytest.approx(0.0008)
+
+    def test_config_fingerprint_distinguishes_kinds(
+        self, pipeline_payload, serving_payload
+    ):
+        pipeline_print = config_fingerprint(pipeline_payload)
+        serving_print = config_fingerprint(serving_payload)
+        assert pipeline_print["_kind"] == "pipeline"
+        assert serving_print["_kind"] == "serving"
+
+    def test_config_fingerprint_tracks_smoke(self, pipeline_payload):
+        baseline = config_fingerprint(pipeline_payload)
+        pipeline_payload["config"]["smoke"] = True
+        assert config_fingerprint(pipeline_payload) != baseline

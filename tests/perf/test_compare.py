@@ -1,0 +1,226 @@
+"""`repro perf compare` contract: regression detection and exit codes.
+
+Pins the three-way exit protocol the CI step depends on:
+
+* 0 — schemas valid, no timing row regressed (or configs differ, or
+  ``--warn-only``),
+* 1 — a comparable timing row regressed past the threshold,
+* 2 — a malformed file, schema drift, or a kind mismatch.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import PerfError
+from repro.perf import compare_files, compare_payloads
+from tests.perf.conftest import make_report, make_scenario
+
+
+def write_bench(path, payload):
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+def with_stage(payload, workload, stage_name, seconds):
+    """A deep copy of a pipeline payload with one stage time replaced."""
+    mutated = copy.deepcopy(payload)
+    for scenario in mutated["scenarios"]:
+        if scenario["workload"] == workload:
+            old = scenario["stages"][stage_name]
+            scenario["stages"][stage_name] = seconds
+            scenario["total_seconds"] += seconds - old
+    return mutated
+
+
+class TestComparePayloads:
+    def test_self_diff_is_ok(self, pipeline_payload):
+        result = compare_payloads(pipeline_payload, pipeline_payload)
+        assert result.ok
+        assert result.comparable
+        assert result.regressions == []
+        # Every row compared at exactly 1.0x.
+        assert all(d.ratio == pytest.approx(1.0) for d in result.deltas)
+
+    def test_twenty_percent_regression_detected(self, pipeline_payload):
+        # The acceptance bar: an injected >=20% stage regression must
+        # trip the default 15% threshold.
+        slow = with_stage(pipeline_payload, "golden-small", "noise", 0.48)
+        result = compare_payloads(pipeline_payload, slow)
+        labels = {d.label for d in result.regressions}
+        # The regressed stage trips; the total moved only 8% and stays
+        # within the default 15% threshold.
+        assert labels == {"golden-small/noise"}
+        assert not result.ok
+
+    def test_improvement_is_ok(self, pipeline_payload):
+        fast = with_stage(pipeline_payload, "golden-small", "noise", 0.20)
+        result = compare_payloads(pipeline_payload, fast)
+        assert result.ok
+        noise = next(
+            d for d in result.deltas if d.label == "golden-small/noise"
+        )
+        assert noise.ratio < 1.0
+
+    def test_regression_below_threshold_passes(self, pipeline_payload):
+        slow = with_stage(pipeline_payload, "golden-small", "noise", 0.44)
+        assert compare_payloads(
+            pipeline_payload, slow, threshold=0.15
+        ).ok
+        # The same delta fails a tighter threshold.
+        assert not compare_payloads(
+            pipeline_payload, slow, threshold=0.05
+        ).ok
+
+    def test_min_seconds_floor_ignores_micro_rows(self, pipeline_payload):
+        # postprocess triples (0.05 -> 0.15) but both sides sit below a
+        # high noise floor, so it must not count.
+        slow = with_stage(
+            pipeline_payload, "golden-small", "postprocess", 0.15
+        )
+        result = compare_payloads(pipeline_payload, slow, min_seconds=1.0)
+        assert result.ok
+
+    def test_config_mismatch_is_informational(self, pipeline_payload):
+        smoke = copy.deepcopy(pipeline_payload)
+        smoke["config"]["smoke"] = True
+        smoke = with_stage(smoke, "golden-small", "noise", 2.0)
+        result = compare_payloads(pipeline_payload, smoke)
+        assert not result.comparable
+        assert result.ok  # regressions not enforced across configs
+        assert any("configs differ" in note for note in result.notes)
+
+    def test_host_mismatch_noted_but_comparable(self, pipeline_payload):
+        other = copy.deepcopy(pipeline_payload)
+        other["host"]["machine"] = "arm64"
+        result = compare_payloads(pipeline_payload, other)
+        assert result.comparable
+        assert any("hosts differ" in note for note in result.notes)
+
+    def test_disjoint_scenarios_are_skipped(self, pipeline_payload):
+        extra = make_report(
+            make_scenario("golden-small"), make_scenario("golden-bimodal")
+        ).to_dict()
+        result = compare_payloads(pipeline_payload, extra)
+        assert result.ok
+        assert any("one side only" in note for note in result.notes)
+        labels = {d.label for d in result.deltas}
+        assert not any(label.startswith("golden-bimodal/") for label in labels)
+
+    def test_serving_payloads_compare(self, serving_payload):
+        slow = copy.deepcopy(serving_payload)
+        slow["served"]["seconds"] = 0.6
+        result = compare_payloads(serving_payload, slow)
+        assert result.kind == "serving"
+        assert {d.label for d in result.regressions} == {"served/seconds"}
+
+    def test_kind_mismatch_raises(self, pipeline_payload, serving_payload):
+        with pytest.raises(PerfError, match="cannot compare"):
+            compare_payloads(pipeline_payload, serving_payload)
+
+    def test_invalid_payload_raises(self, pipeline_payload):
+        broken = copy.deepcopy(pipeline_payload)
+        del broken["scenarios"][0]["stages"]["noise"]
+        with pytest.raises(PerfError, match="schema-valid"):
+            compare_payloads(pipeline_payload, broken)
+
+    def test_bad_threshold_raises(self, pipeline_payload):
+        with pytest.raises(PerfError, match="threshold"):
+            compare_payloads(pipeline_payload, pipeline_payload,
+                             threshold=-0.5)
+
+    def test_format_table_marks_regressions(self, pipeline_payload):
+        slow = with_stage(pipeline_payload, "golden-small", "noise", 0.48)
+        table = compare_payloads(pipeline_payload, slow).format_table()
+        assert "REGRESSED" in table
+        assert "regression(s) past threshold" in table
+        ok_table = compare_payloads(
+            pipeline_payload, pipeline_payload
+        ).format_table()
+        assert "within threshold" in ok_table
+
+
+class TestCompareFiles:
+    def test_round_trip(self, tmp_path, pipeline_payload):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        result = compare_files(base, base)
+        assert result.ok and result.kind == "pipeline"
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(PerfError, match="cannot read"):
+            compare_files(tmp_path / "missing.json", tmp_path / "missing.json")
+
+    def test_invalid_json_raises(self, tmp_path, pipeline_payload):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(PerfError, match="not valid JSON"):
+            compare_files(base, bad)
+
+    def test_schema_drift_raises(self, tmp_path, pipeline_payload):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        drifted = copy.deepcopy(pipeline_payload)
+        drifted["scenarios"][0]["stages"]["cell"] = 0.1
+        cand = write_bench(tmp_path / "cand.json", drifted)
+        with pytest.raises(PerfError, match="frozen pipeline schema"):
+            compare_files(base, cand)
+
+
+class TestCliExitCodes:
+    """`repro perf compare` exit codes through the real CLI entry point."""
+
+    def test_self_compare_exits_zero(self, tmp_path, pipeline_payload,
+                                     capsys):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        assert main(["perf", "compare", base, base]) == 0
+        assert "within threshold" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, pipeline_payload, capsys):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        slow = with_stage(pipeline_payload, "golden-small", "noise", 0.48)
+        cand = write_bench(tmp_path / "cand.json", slow)
+        assert main(["perf", "compare", base, cand]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_warn_only_softens_regression(self, tmp_path, pipeline_payload):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        slow = with_stage(pipeline_payload, "golden-small", "noise", 0.48)
+        cand = write_bench(tmp_path / "cand.json", slow)
+        assert main(["perf", "compare", base, cand, "--warn-only"]) == 0
+
+    def test_malformed_candidate_exits_two(self, tmp_path, pipeline_payload,
+                                           capsys):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        drifted = copy.deepcopy(pipeline_payload)
+        drifted["unexpected"] = 1
+        cand = write_bench(tmp_path / "cand.json", drifted)
+        assert main(["perf", "compare", base, cand]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_warn_only_never_softens_schema_failures(
+        self, tmp_path, pipeline_payload
+    ):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        drifted = copy.deepcopy(pipeline_payload)
+        del drifted["host"]
+        cand = write_bench(tmp_path / "cand.json", drifted)
+        assert main(["perf", "compare", base, cand, "--warn-only"]) == 2
+
+    def test_missing_file_exits_two(self, tmp_path, pipeline_payload):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        assert main(
+            ["perf", "compare", base, str(tmp_path / "nope.json")]
+        ) == 2
+
+    def test_custom_threshold_flag(self, tmp_path, pipeline_payload):
+        base = write_bench(tmp_path / "base.json", pipeline_payload)
+        slow = with_stage(pipeline_payload, "golden-small", "noise", 0.44)
+        cand = write_bench(tmp_path / "cand.json", slow)
+        assert main(["perf", "compare", base, cand]) == 0
+        assert main(
+            ["perf", "compare", base, cand, "--threshold", "0.05"]
+        ) == 1

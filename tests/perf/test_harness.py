@@ -1,0 +1,159 @@
+"""End-to-end perf harness: real pipeline runs produce valid reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import PerfError
+from repro.perf import (
+    DEFAULT_WORKLOADS,
+    PIPELINE_STAGES,
+    PerfReport,
+    ScenarioResult,
+    load_bench,
+    run_pipeline_bench,
+    run_scenario,
+    validate_pipeline_payload,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """One real (small) pipeline run, shared across the module."""
+    return run_scenario("golden-small", seed=3, queries=16)
+
+
+class TestRunScenario:
+    def test_all_pipeline_stages_recorded(self, scenario):
+        assert set(scenario.stages) == set(PIPELINE_STAGES)
+        assert all(value >= 0.0 for value in scenario.stages.values())
+
+    def test_core_stages_take_real_time(self, scenario):
+        # Materializing, noising and reconciling a 600-group hierarchy
+        # cannot be instantaneous.
+        assert scenario.stages["materialize"] > 0.0
+        assert scenario.stages["noise"] > 0.0
+        assert scenario.stages["consistency"] > 0.0
+        assert scenario.stages["serve"] > 0.0
+
+    def test_stage_sum_bounded_by_total(self, scenario):
+        assert sum(scenario.stages.values()) <= scenario.total_seconds
+
+    def test_identity_fields(self, scenario):
+        spec = get_workload("golden-small")
+        assert scenario.workload == "golden-small"
+        assert scenario.workload_fingerprint == spec.fingerprint()
+        assert scenario.num_groups == spec.num_groups
+        assert len(scenario.spec_hash) == 64
+        int(scenario.spec_hash, 16)  # hex digest
+
+    def test_hierarchy_shape_fields(self, scenario):
+        spec = get_workload("golden-small")
+        assert scenario.num_levels == spec.depth
+        assert scenario.num_nodes > spec.depth
+        assert scenario.num_entities > scenario.num_groups
+
+    def test_memory_tracking_optional(self):
+        result = run_scenario(
+            "golden-small", seed=3, queries=8, track_memory=False
+        )
+        assert result.peak_traced_bytes == 0
+        assert result.peak_rss_bytes > 0
+
+    def test_chunked_run_matches_unchunked_fingerprint(self, scenario):
+        chunked = run_scenario(
+            "golden-small", seed=3, queries=16, chunk_groups=37
+        )
+        # Chunk size is a pure execution knob: identical data, identical
+        # release inputs.
+        assert chunked.spec_hash == scenario.spec_hash
+        assert chunked.num_entities == scenario.num_entities
+
+
+class TestScenarioResult:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(PerfError, match="unknown pipeline stages"):
+            ScenarioResult(
+                workload="x",
+                workload_fingerprint="ab" * 32,
+                spec_hash="cd" * 32,
+                num_groups=1,
+                num_nodes=2,
+                num_levels=2,
+                num_entities=1,
+                total_seconds=1.0,
+                stages={"materialize": 0.1, "cell": 0.2},
+                peak_rss_bytes=0,
+                peak_traced_bytes=0,
+            )
+
+    def test_missing_stages_normalize_to_zero(self):
+        result = ScenarioResult(
+            workload="x",
+            workload_fingerprint="ab" * 32,
+            spec_hash="cd" * 32,
+            num_groups=1,
+            num_nodes=2,
+            num_levels=2,
+            num_entities=1,
+            total_seconds=1.0,
+            stages={"noise": 0.5},
+            peak_rss_bytes=0,
+            peak_traced_bytes=0,
+        )
+        assert set(result.stages) == set(PIPELINE_STAGES)
+        assert result.stages["serve"] == 0.0
+
+
+class TestRunPipelineBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_pipeline_bench(
+            workloads=("golden-small",),
+            seed=3,
+            scale=1.0,
+            queries=8,
+            smoke=True,
+        )
+
+    def test_report_passes_the_frozen_schema(self, report):
+        assert validate_pipeline_payload(report.to_dict()) == []
+
+    def test_config_echoes_arguments(self, report):
+        assert report.config["smoke"] is True
+        assert report.config["queries"] == 8
+        assert report.config["seed"] == 3
+
+    def test_write_and_reload(self, report, tmp_path):
+        out = tmp_path / "bench.json"
+        report.write(out)
+        kind, payload = load_bench(out)
+        assert kind == "pipeline"
+        assert payload == report.to_dict()
+        # Stable serialization: sorted keys, trailing newline.
+        assert out.read_text().endswith("}\n")
+        assert out.read_text() == (
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    def test_format_table_lists_stages(self, report):
+        table = report.format_table()
+        assert "golden-small" in table
+        for stage_name in PIPELINE_STAGES:
+            assert stage_name in table
+
+
+class TestDefaults:
+    def test_default_workloads_include_a_pack(self):
+        assert "powerlaw-deep" in DEFAULT_WORKLOADS
+        assert "census-households" in DEFAULT_WORKLOADS
+        for name in DEFAULT_WORKLOADS:
+            get_workload(name)  # registered
+
+    def test_invalid_report_refuses_to_serialize(self):
+        report = PerfReport(config={"bogus": True}, scenarios=[])
+        with pytest.raises(PerfError):
+            report.to_dict()

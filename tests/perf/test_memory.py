@@ -1,0 +1,68 @@
+"""PeakMemory / peak_rss_bytes: traced peaks and platform normalization."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+
+from repro.perf import PeakMemory, peak_rss_bytes, traced_peak
+
+
+class TestPeakRss:
+    def test_reports_a_real_resident_peak(self):
+        # This process imported numpy; its peak RSS is comfortably
+        # beyond 10 MiB on any supported platform.
+        assert peak_rss_bytes() > 10 * 2**20
+
+    def test_monotonic_for_the_process(self):
+        first = peak_rss_bytes()
+        assert peak_rss_bytes() >= first
+
+
+class TestPeakMemory:
+    def test_captures_numpy_allocation_peak(self):
+        with PeakMemory() as memory:
+            buffer = np.zeros(1_000_000, dtype=np.int64)  # 8 MB
+            del buffer
+        assert memory.traced_bytes >= 8_000_000
+        assert memory.rss_bytes > 0
+
+    def test_peak_is_per_block_not_cumulative(self):
+        with PeakMemory() as first:
+            np.zeros(2_000_000, dtype=np.int64)
+        with PeakMemory() as second:
+            np.zeros(10_000, dtype=np.int64)
+        # The second block's transient is far below the first's peak.
+        assert second.traced_bytes < first.traced_bytes / 10
+
+    def test_track_false_skips_tracing(self):
+        with PeakMemory(track=False) as memory:
+            np.zeros(1_000_000, dtype=np.int64)
+        assert memory.traced_bytes == 0
+        assert not tracemalloc.is_tracing()
+        assert memory.rss_bytes > 0
+
+    def test_owned_tracer_is_stopped_on_exit(self):
+        assert not tracemalloc.is_tracing()
+        with PeakMemory():
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+    def test_respects_surrounding_tracer(self):
+        tracemalloc.start()
+        try:
+            with PeakMemory() as memory:
+                np.zeros(500_000, dtype=np.int64)
+            assert memory.traced_bytes >= 4_000_000
+            # The surrounding tracer is still the owner.
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class TestTracedPeak:
+    def test_returns_result_and_peak(self):
+        result, peak = traced_peak(np.zeros, 1_000_000, dtype=np.int64)
+        assert result.shape == (1_000_000,)
+        assert peak >= 8_000_000

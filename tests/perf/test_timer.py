@@ -1,0 +1,150 @@
+"""StageTimer: nesting, aggregation, ambient activation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.perf import timed
+from repro.perf.timer import StageTimer, current_timer, stage
+
+
+class TestStageRecording:
+    def test_single_stage_records_positive_seconds(self):
+        timer = StageTimer()
+        with timer.stage("work"):
+            time.sleep(0.002)
+        assert timer.seconds("work") >= 0.002
+        assert [span.path for span in timer.spans()] == ["work"]
+
+    def test_nested_stages_record_dotted_paths(self):
+        timer = StageTimer()
+        with timer.stage("outer"):
+            with timer.stage("inner"):
+                pass
+        paths = [span.path for span in timer.spans()]
+        assert paths == ["outer.inner", "outer"]  # completion order
+        depths = {span.path: span.depth for span in timer.spans()}
+        assert depths == {"outer.inner": 1, "outer": 0}
+
+    def test_span_name_is_last_component(self):
+        timer = StageTimer()
+        with timer.stage("serve"):
+            with timer.stage("plan"):
+                pass
+        nested = timer.spans()[0]
+        assert nested.path == "serve.plan"
+        assert nested.name == "plan"
+
+    def test_reentrant_stages_accumulate(self):
+        timer = StageTimer()
+        for _ in range(3):
+            with timer.stage("noise"):
+                time.sleep(0.001)
+        assert len(timer.spans()) == 3
+        assert timer.seconds("noise") >= 0.003
+
+    @pytest.mark.parametrize("bad", ["", "a.b"])
+    def test_invalid_stage_names_rejected(self, bad):
+        timer = StageTimer()
+        with pytest.raises(ValueError):
+            with timer.stage(bad):
+                pass
+
+    def test_stage_recorded_even_when_body_raises(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("failing"):
+                raise RuntimeError("boom")
+        assert timer.seconds("failing") > 0.0
+        # The stack unwound: a new stage is top-level again.
+        with timer.stage("after"):
+            pass
+        assert timer.spans()[-1].depth == 0
+
+
+class TestAggregation:
+    def test_stage_totals_exclude_nested_spans(self):
+        timer = StageTimer()
+        with timer.stage("serve"):
+            with timer.stage("plan"):
+                time.sleep(0.001)
+            with timer.stage("answer"):
+                time.sleep(0.001)
+        totals = timer.stage_totals()
+        assert set(totals) == {"serve"}
+        # Not double counted: top-level total covers the nested work.
+        assert totals["serve"] >= timer.seconds("serve.plan")
+
+    def test_stage_totals_never_exceed_total_seconds(self):
+        timer = StageTimer()
+        for name in ("a", "b", "c"):
+            with timer.stage(name):
+                time.sleep(0.001)
+        total = timer.stop()
+        assert sum(timer.stage_totals().values()) <= total
+
+    def test_stop_is_idempotent(self):
+        timer = StageTimer()
+        first = timer.stop()
+        time.sleep(0.002)
+        assert timer.stop() == first
+
+    def test_stage_totals_preserve_first_seen_order(self):
+        timer = StageTimer()
+        for name in ("materialize", "noise", "materialize", "serve"):
+            with timer.stage(name):
+                pass
+        assert list(timer.stage_totals()) == ["materialize", "noise", "serve"]
+
+
+class TestAmbientStage:
+    def test_no_active_timer_is_a_noop(self):
+        assert current_timer() is None
+        with stage("anything"):
+            pass  # must not raise, must not record anywhere
+
+    def test_activation_routes_ambient_stages(self):
+        timer = StageTimer()
+        with timer.activate():
+            assert current_timer() is timer
+            with stage("noise"):
+                pass
+        assert current_timer() is None
+        assert timer.seconds("noise") >= 0.0
+        assert [span.path for span in timer.spans()] == ["noise"]
+
+    def test_ambient_stage_nests_under_explicit_stage(self):
+        timer = StageTimer()
+        with timer.activate():
+            with timer.stage("serve"):
+                with stage("plan"):
+                    pass
+        assert [span.path for span in timer.spans()] == ["serve.plan", "serve"]
+        assert set(timer.stage_totals()) == {"serve"}
+
+    def test_nested_activation_shadows_outer(self):
+        outer, inner = StageTimer(), StageTimer()
+        with outer.activate():
+            with inner.activate():
+                with stage("work"):
+                    pass
+            assert current_timer() is outer
+        assert inner.seconds("work") >= 0.0
+        assert outer.spans() == []
+
+
+class TestTimed:
+    def test_returns_result_and_seconds(self):
+        value, seconds = timed(sum, [1, 2, 3])
+        assert value == 6
+        assert seconds >= 0.0
+
+    def test_kwargs_forwarded(self):
+        value, _ = timed(sorted, [3, 1, 2], reverse=True)
+        assert value == [3, 2, 1]
+
+    def test_measures_sleep(self):
+        _, seconds = timed(time.sleep, 0.005)
+        assert seconds >= 0.005

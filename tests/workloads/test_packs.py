@@ -1,0 +1,236 @@
+"""Population-scale scenario packs + chunked materialization identity.
+
+Covers the two halves of the packs contract:
+
+* the ``census-households`` / ``tax-establishments`` registrations and
+  the ``household`` size distribution they introduce;
+* chunked materialization (``chunk_groups``) being a pure batching knob:
+  bit-identical hierarchies for every chunk size — including leaves
+  spanning multiple sampling blocks — with peak transient memory bounded
+  by the chunk target rather than the leaf size.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.io import hierarchy_fingerprint
+from repro.perf import PeakMemory
+from repro.workloads import generator
+from repro.workloads.distributions import sample_sizes
+from repro.workloads.generator import (
+    BLOCK_GROUPS,
+    iter_leaf_sizes,
+    materialize,
+    node_rng,
+)
+from repro.workloads.spec import WorkloadSpec, get_workload
+
+
+def examples(default: int) -> int:
+    """Trimmed hypothesis budget under the line-tracing coverage gate."""
+    return 6 if os.environ.get("REPRO_COVERAGE_GATE") else default
+
+
+class TestPackRegistration:
+    def test_census_pack_shape(self):
+        spec = get_workload("census-households")
+        assert spec.distribution == "household"
+        assert spec.depth == 5
+        assert spec.fanout == (4, 8, 8, 8)
+        assert spec.num_groups == 1_500_000
+        assert spec.param_dict()["max_size"] == 20
+
+    def test_tax_pack_shape(self):
+        spec = get_workload("tax-establishments")
+        assert spec.distribution == "heavy_tail"
+        assert spec.depth == 4
+        assert spec.fanout == (8, 16, 16)
+        assert spec.num_groups == 1_000_000
+        assert spec.param_dict()["max_size"] == 500
+
+    def test_packs_importable_from_package_root(self):
+        # The side-effect registration must happen on plain
+        # `import repro.workloads`, the way the CLI reaches them.
+        from repro.workloads.packs import CENSUS_HOUSEHOLDS, TAX_ESTABLISHMENTS
+
+        assert CENSUS_HOUSEHOLDS is get_workload("census-households")
+        assert TAX_ESTABLISHMENTS is get_workload("tax-establishments")
+
+    def test_packs_stay_under_the_node_cap(self):
+        for name in ("census-households", "tax-establishments"):
+            assert get_workload(name).num_nodes <= generator.MAX_NODES
+
+
+class TestHouseholdDistribution:
+    def test_sizes_within_bounds(self):
+        rng = np.random.default_rng(5)
+        sizes = sample_sizes("household", 50_000, rng, max_size=20)
+        assert sizes.dtype == np.int64
+        assert sizes.min() >= 1
+        assert sizes.max() <= 20
+
+    def test_census_shape(self):
+        rng = np.random.default_rng(5)
+        sizes = sample_sizes("household", 200_000, rng, max_size=20)
+        share = np.bincount(sizes, minlength=8) / sizes.size
+        # Two-person households are the mode; singles close behind;
+        # the tail decays fast (pmf weights 0.28/0.35/0.15/...).
+        assert share[2] == pytest.approx(0.35, abs=0.01)
+        assert share[1] == pytest.approx(0.28, abs=0.01)
+        assert share[2] > share[1] > share[3]
+        assert np.all(np.diff(share[2:8]) < 0)
+
+    def test_tail_truncates_at_max_size(self):
+        rng = np.random.default_rng(5)
+        sizes = sample_sizes("household", 100_000, rng, max_size=4)
+        assert sizes.max() <= 4
+
+    def test_deterministic_given_generator(self):
+        first = sample_sizes(
+            "household", 1_000, np.random.default_rng(9), max_size=20
+        )
+        second = sample_sizes(
+            "household", 1_000, np.random.default_rng(9), max_size=20
+        )
+        np.testing.assert_array_equal(first, second)
+
+    def test_max_size_below_one_rejected(self):
+        with pytest.raises(WorkloadError):
+            sample_sizes("household", 10, np.random.default_rng(0),
+                         max_size=0)
+
+
+def small_spec(distribution="power_law", num_groups=600, **params):
+    if not params:
+        params = {"alpha": 1.4, "max_size": 60}
+    return WorkloadSpec.create(
+        "chunk-test", distribution, depth=3, fanout=(3, 4),
+        num_groups=num_groups, skew=0.8, **params,
+    )
+
+
+class TestChunkedIdentity:
+    @given(
+        chunk_groups=st.integers(min_value=1, max_value=700),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=examples(25), deadline=None)
+    def test_chunked_matches_unchunked(self, chunk_groups, seed):
+        spec = small_spec()
+        baseline = hierarchy_fingerprint(materialize(spec, seed=seed))
+        chunked = hierarchy_fingerprint(
+            materialize(spec, seed=seed, chunk_groups=chunk_groups)
+        )
+        assert chunked == baseline
+
+    @given(chunk_groups=st.integers(min_value=1, max_value=700))
+    @settings(max_examples=examples(15), deadline=None)
+    def test_bimodal_two_stream_reads_survive_chunking(self, chunk_groups):
+        # bimodal draws from two generator streams per block — the
+        # per-block RNG derivation must keep that identical too.
+        spec = small_spec("bimodal", low_mode=3, high_mode=40, spread=2.0)
+        baseline = hierarchy_fingerprint(materialize(spec, seed=11))
+        chunked = hierarchy_fingerprint(
+            materialize(spec, seed=11, chunk_groups=chunk_groups)
+        )
+        assert chunked == baseline
+
+    def test_multi_block_leaves_identical(self, monkeypatch):
+        # Shrink the block granularity so a 3,000-group leaf spans
+        # several sampling blocks without materializing millions.
+        monkeypatch.setattr(generator, "BLOCK_GROUPS", 1_000)
+        spec = WorkloadSpec.create(
+            "multi-block", "power_law", depth=2, fanout=(1,),
+            num_groups=3_000, alpha=1.3, max_size=80,
+        )
+        baseline = hierarchy_fingerprint(materialize(spec, seed=4))
+        for chunk_groups in (1, 500, 1_500, 2_500, 10_000):
+            chunked = hierarchy_fingerprint(
+                materialize(spec, seed=4, chunk_groups=chunk_groups)
+            )
+            assert chunked == baseline, f"chunk_groups={chunk_groups}"
+
+    def test_blocks_match_manual_derivation(self, monkeypatch):
+        # The generative definition: block 0 draws from the historical
+        # `<path>#sizes` generator, block b>0 from `<path>#sizes@<b>`.
+        monkeypatch.setattr(generator, "BLOCK_GROUPS", 1_000)
+        spec = WorkloadSpec.create(
+            "block-derivation", "power_law", depth=2, fanout=(1,),
+            num_groups=2_500, alpha=1.3, max_size=80,
+        )
+        chunks = [
+            sizes for _, sizes in iter_leaf_sizes(spec, seed=6, chunk_groups=1)
+        ]
+        assert [len(chunk) for chunk in chunks] == [1_000, 1_000, 500]
+        params = spec.param_dict()
+        expected = [
+            sample_sizes("power_law", 1_000,
+                         node_rng(spec, 6, "root.0#sizes"), **params),
+            sample_sizes("power_law", 1_000,
+                         node_rng(spec, 6, "root.0#sizes@1"), **params),
+            sample_sizes("power_law", 500,
+                         node_rng(spec, 6, "root.0#sizes@2"), **params),
+        ]
+        for actual, manual in zip(chunks, expected):
+            np.testing.assert_array_equal(actual, manual)
+
+    def test_single_block_leaves_keep_legacy_stream(self):
+        # Every preset leaf fits one block, so the committed golden
+        # fixtures require block 0 to reproduce the pre-block data.
+        spec = small_spec()
+        for path, sizes in iter_leaf_sizes(spec, seed=3):
+            manual = sample_sizes(
+                "power_law", len(sizes),
+                node_rng(spec, 3, f"{path}#sizes"), **spec.param_dict(),
+            )
+            np.testing.assert_array_equal(sizes, manual)
+
+    def test_streaming_face_matches_materialize(self):
+        # Accumulating the streamed chunks per leaf must rebuild exactly
+        # the histograms materialize() bins.
+        spec = small_spec()
+        tree = materialize(spec, seed=8)
+        leaves = {
+            node.name: node.data.histogram for node in list(tree.levels())[-1]
+        }
+        accumulated = {}
+        for path, sizes in iter_leaf_sizes(spec, seed=8, chunk_groups=97):
+            binned = np.bincount(sizes, minlength=len(leaves[path]))
+            current = accumulated.setdefault(
+                path, np.zeros(len(leaves[path]), dtype=np.int64)
+            )
+            current[: len(binned)] += binned[: len(current)]
+        for path, histogram in leaves.items():
+            np.testing.assert_array_equal(accumulated[path], histogram)
+
+    def test_invalid_chunk_groups_rejected(self):
+        with pytest.raises(WorkloadError, match="chunk_groups"):
+            materialize(small_spec(), seed=0, chunk_groups=0)
+
+
+class TestBoundedMemory:
+    def test_chunked_pack_materialization_bounds_transients(self):
+        # A 300k-group census slice: unchunked, the largest leaf's raw
+        # sizes dominate the transient; with a 16k chunk target the
+        # traced peak must stay small even though the data volume is
+        # ~40x the chunk size.
+        spec = get_workload("census-households").with_groups(300_000)
+        with PeakMemory() as memory:
+            tree = materialize(spec, seed=2, chunk_groups=16_384)
+        assert tree.root.num_groups == 300_000
+        assert memory.traced_bytes < 48 * 2**20
+
+    def test_chunked_equals_unchunked_at_pack_scale(self):
+        spec = get_workload("census-households").with_groups(120_000)
+        baseline = hierarchy_fingerprint(materialize(spec, seed=2))
+        chunked = hierarchy_fingerprint(
+            materialize(spec, seed=2, chunk_groups=16_384)
+        )
+        assert chunked == baseline
