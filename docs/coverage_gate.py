@@ -9,7 +9,12 @@ the floor.  Four packages are gated:
   ``tests/golden``;
 * ``src/repro/api/``       — covered by ``tests/api``;
 * ``src/repro/serve/``     — covered by ``tests/serve``;
-* ``src/repro/perf/``      — covered by ``tests/perf``.
+* ``src/repro/perf/``      — covered by ``tests/perf``;
+* ``src/repro/core/consistency/`` — covered by ``tests/consistency`` +
+  ``tests/properties`` (the differential + property harness that pins
+  the vectorized kernels to the scalar oracles);
+* ``src/repro/isotonic/``  — covered by ``tests/isotonic`` +
+  ``tests/properties``.
 
 Built on the stdlib on purpose: the gate runs identically on a bare
 container and in CI, with no ``coverage``/``pytest-cov`` install step to
@@ -53,6 +58,9 @@ TARGETS = (
     (SRC / "repro" / "api", ("tests/api",)),
     (SRC / "repro" / "serve", ("tests/serve",)),
     (SRC / "repro" / "perf", ("tests/perf",)),
+    (SRC / "repro" / "core" / "consistency",
+     ("tests/consistency", "tests/properties")),
+    (SRC / "repro" / "isotonic", ("tests/isotonic", "tests/properties")),
 )
 DEFAULT_FLOOR = 85.0
 

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.consistency.bottomup import BottomUp
 from repro.core.consistency.merge import STRATEGIES
-from repro.core.consistency.topdown import TopDown
+from repro.core.consistency.topdown import CONSISTENCY_IMPLS, TopDown
 from repro.core.estimators.selection import PerLevelSpec
 from repro.core.uncertainty import node_error_estimate
 from repro.datasets.registry import WORKLOAD_PREFIX, make_dataset
@@ -158,6 +158,11 @@ class ReleaseSpec:
         Seed for the deterministic dataset/workload generator.
     seed:
         Seed for the mechanism's noise draws.
+    consistency_impl:
+        ``"vectorized"`` (default, the batched kernels) or
+        ``"reference"`` (the original scalar loops).  The two are
+        bit-identical, so this knob is **excluded from the spec hash**
+        — it selects an execution strategy, not a release.
 
     Examples
     --------
@@ -182,6 +187,7 @@ class ReleaseSpec:
     levels: Optional[int] = None
     dataset_seed: int = 0
     seed: int = 0
+    consistency_impl: str = "vectorized"
 
     # -- validation & normalization -----------------------------------------
     def __post_init__(self) -> None:
@@ -307,6 +313,11 @@ class ReleaseSpec:
                 )
         object.__setattr__(self, "dataset_seed", int(self.dataset_seed))
         object.__setattr__(self, "seed", int(self.seed))
+        if self.consistency_impl not in CONSISTENCY_IMPLS:
+            raise EstimationError(
+                f"unknown consistency impl {self.consistency_impl!r}; "
+                f"expected one of {CONSISTENCY_IMPLS}"
+            )
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -324,6 +335,7 @@ class ReleaseSpec:
         levels: Optional[int] = None,
         dataset_seed: int = 0,
         seed: int = 0,
+        consistency_impl: str = "vectorized",
     ) -> "ReleaseSpec":
         """Build a spec with ergonomic (sequence-accepting) arguments."""
         return cls(
@@ -339,6 +351,7 @@ class ReleaseSpec:
             levels=levels,
             dataset_seed=dataset_seed,
             seed=seed,
+            consistency_impl=consistency_impl,
         )
 
     @classmethod
@@ -375,6 +388,7 @@ class ReleaseSpec:
             "levels": self.levels,
             "dataset_seed": self.dataset_seed,
             "seed": self.seed,
+            "consistency_impl": self.consistency_impl,
         }
 
     @classmethod
@@ -394,6 +408,9 @@ class ReleaseSpec:
                 levels=payload.get("levels"),
                 dataset_seed=int(payload.get("dataset_seed", 0)),
                 seed=int(payload.get("seed", 0)),
+                consistency_impl=str(
+                    payload.get("consistency_impl", "vectorized")
+                ),
             )
         except KeyError as error:
             raise EstimationError(
@@ -405,8 +422,16 @@ class ReleaseSpec:
             ) from None
 
     def canonical_json(self) -> str:
-        """The canonical JSON the spec hash is computed over."""
-        return json.dumps(self.to_dict(), sort_keys=True)
+        """The canonical JSON the spec hash is computed over.
+
+        ``consistency_impl`` is dropped: both implementations are
+        bit-identical, so reference and vectorized executions of the same
+        release must share one store cache entry (and pre-knob artifacts
+        keep their hashes).
+        """
+        payload = self.to_dict()
+        del payload["consistency_impl"]
+        return json.dumps(payload, sort_keys=True)
 
     def spec_hash(self) -> str:
         """Stable SHA-256 of the canonical spec (the store's cache key).
@@ -501,13 +526,16 @@ class ReleaseSpec:
         _EXECUTIONS += 1
         spec = self.per_level_spec(hierarchy.num_levels)
         if self.consistency == "bottomup":
-            return BottomUp(spec.for_level(0)).run(hierarchy, epsilon, rng=rng)
+            return BottomUp(
+                spec.for_level(0), impl=self.consistency_impl
+            ).run(hierarchy, epsilon, rng=rng)
         weights = (
             np.asarray(self.budget_split, dtype=np.float64)
             if self.budget_split else None
         )
         algo = TopDown(
-            spec, merge_strategy=self.merge_strategy, level_weights=weights
+            spec, merge_strategy=self.merge_strategy, level_weights=weights,
+            impl=self.consistency_impl,
         )
         return algo.run(hierarchy, epsilon, rng=rng)
 
@@ -600,7 +628,7 @@ class ReleaseSpec:
             f"  epsilon      : {self.epsilon:g} ({split})",
             f"  method       : {self.method_token} "
             f"(max_size {self.max_size:,}, {self.consistency}, "
-            f"merge {self.merge_strategy})",
+            f"merge {self.merge_strategy}, impl {self.consistency_impl})",
             f"  postprocess  : {', '.join(self.postprocess) or 'none'}",
             f"  noise seed   : {self.seed}",
         ]

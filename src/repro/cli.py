@@ -149,6 +149,7 @@ def _command_release(args: argparse.Namespace) -> int:
         args.method, dataset=args.dataset, epsilon=args.epsilon,
         max_size=args.max_size, scale=args.scale, levels=args.levels,
         dataset_seed=args.seed, seed=args.seed,
+        consistency_impl=args.consistency_impl,
     )
     tree = spec.build_dataset()
     if args.store:
@@ -527,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "from it when stored, build at most once")
     release.add_argument("--report", action="store_true",
                          help="print the variance-based accuracy report")
+    release.add_argument("--consistency-impl", default="vectorized",
+                         choices=("vectorized", "reference"),
+                         help="consistency execution path: the batched "
+                              "kernels (default) or the scalar reference "
+                              "loops — bit-identical outputs")
     release.set_defaults(fn=_command_release)
 
     query = commands.add_parser("query", help="query a saved release")

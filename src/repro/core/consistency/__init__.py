@@ -14,21 +14,27 @@
 - :mod:`~repro.core.consistency.mean_consistency` — the ordinary-histogram
   mean-consistency algorithm of Hay et al., included to demonstrate why it
   fails the problem's requirements (negative and fractional cells).
+- :mod:`~repro.core.consistency.kernels` — batched NumPy kernels for the
+  hot path; bit-identical to the scalar references, selectable via the
+  ``impl``/``consistency_impl`` knob.
 """
 
 from repro.core.consistency.bottomup import BottomUp
+from repro.core.consistency.kernels import match_family
 from repro.core.consistency.matching import MatchedGroups, match_parent_to_children
 from repro.core.consistency.merge import merge_matched_estimates
 from repro.core.consistency.mean_consistency import mean_consistency
-from repro.core.consistency.topdown import ConsistentEstimates, TopDown
+from repro.core.consistency.topdown import CONSISTENCY_IMPLS, ConsistentEstimates, TopDown
 from repro.core.consistency.variance import group_variances
 
 __all__ = [
     "BottomUp",
+    "CONSISTENCY_IMPLS",
     "ConsistentEstimates",
     "MatchedGroups",
     "TopDown",
     "group_variances",
+    "match_family",
     "match_parent_to_children",
     "mean_consistency",
     "merge_matched_estimates",

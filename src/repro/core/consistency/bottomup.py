@@ -6,6 +6,14 @@ children.  This trivially satisfies all four desiderata but — as the paper's
 evaluation confirms — concentrates accuracy at the leaves while error
 accumulates up the hierarchy, making the non-leaf histograms much worse than
 the top-down algorithm's.
+
+Like :class:`~repro.core.consistency.topdown.TopDown`, the aggregation
+pass is selectable via ``impl=``: ``"vectorized"`` (default) sums raw
+histogram arrays with
+:func:`~repro.core.consistency.kernels.sum_child_histograms`;
+``"reference"`` chains validated ``CountOfCounts.__add__`` calls.  Both
+are bit-identical and record the aggregation under the
+``consistency.backsub`` sub-span.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.core.consistency.kernels import sum_child_histograms
 from repro.core.estimators.base import Estimator, NodeEstimate
 from repro.core.histogram import CountOfCounts
 from repro.exceptions import EstimationError
@@ -49,8 +58,17 @@ class BottomUp:
     14
     """
 
-    def __init__(self, estimator: Estimator) -> None:
+    def __init__(self, estimator: Estimator, impl: str = "vectorized") -> None:
+        # Import here to avoid a cycle: topdown imports kernels, not us.
+        from repro.core.consistency.topdown import CONSISTENCY_IMPLS
+
+        if impl not in CONSISTENCY_IMPLS:
+            raise EstimationError(
+                f"unknown consistency impl {impl!r}; "
+                f"expected one of {CONSISTENCY_IMPLS}"
+            )
         self.estimator = estimator
+        self.impl = impl
 
     def run(
         self,
@@ -73,14 +91,29 @@ class BottomUp:
                 estimates[leaf.name] = estimate.estimate
 
         with stage("consistency"):
-            for nodes in reversed(list(hierarchy.levels())):
-                for node in nodes:
-                    if node.is_leaf:
-                        continue
-                    total = estimates[node.children[0].name]
-                    for child in node.children[1:]:
-                        total = total + estimates[child.name]
-                    estimates[node.name] = total
+            with stage("backsub"):
+                if self.impl == "reference":
+                    for nodes in reversed(list(hierarchy.levels())):
+                        for node in nodes:
+                            if node.is_leaf:
+                                continue
+                            total = estimates[node.children[0].name]
+                            for child in node.children[1:]:
+                                total = total + estimates[child.name]
+                            estimates[node.name] = total
+                else:
+                    # Same sums on the raw arrays, skipping the per-partial
+                    # CountOfCounts re-validation of chained ``__add__``.
+                    for nodes in reversed(list(hierarchy.levels())):
+                        for node in nodes:
+                            if node.is_leaf:
+                                continue
+                            estimates[node.name] = CountOfCounts._trusted(
+                                sum_child_histograms(
+                                    [estimates[c.name].histogram
+                                     for c in node.children]
+                                )
+                            )
 
         return BottomUpEstimates(
             estimates=estimates, initial_estimates=initial, budget=budget

@@ -1,0 +1,311 @@
+"""Batched NumPy kernels for the consistency hot path.
+
+The committed ``BENCH_pipeline.json`` names the consistency stage as the
+dominant pipeline cost (65% of wall time on ``powerlaw-deep``, 53% on
+the 1.5M-group ``census-households`` pack), and profiling the stage
+shows almost all of it inside the per-parent matching loop of
+Algorithm 2 — a Python ``while``/``for`` that steps run by run with
+NumPy scalar operations and thousands of tiny allocations per family.
+
+This module replaces element stepping with run-length arithmetic:
+
+* :func:`match_family` — the vectorized Algorithm 2.  Both sides are
+  run-length encoded once; the smallest-to-smallest sweep reduces to a
+  single ``lexsort`` of the concatenated child sizes (the k-th smallest
+  child group always pairs with the k-th parent entry — that is what
+  makes the greedy sweep optimal), and only *contested* value segments
+  (two or more children sharing a size run that straddles a parent run
+  boundary) fall back to the footnote-10 proportional rounds, each on a
+  ``num_children``-length array.
+* :func:`merge_level_values` — one stacked inverse-variance pass over
+  every child of a level at once (Equations 5 and 6 are elementwise, so
+  concatenation changes nothing).
+* :func:`segmented_stable_sort` — the monotone restoration of all
+  merged per-child segments in one stable ``lexsort`` instead of one
+  ``argsort`` per child.
+* :func:`sum_child_histograms` — the back-substitution sum without
+  intermediate :class:`~repro.core.histogram.CountOfCounts` re-validation.
+
+Every kernel is **bit-identical** to the scalar reference it replaces;
+``tests/consistency/test_differential.py`` proves it on randomized
+hierarchies and the reference implementations stay importable as
+oracles (``_reference_match_parent_to_children`` and friends).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.consistency.merge import STRATEGIES
+from repro.exceptions import EstimationError, MatchingError
+from repro.isotonic.rounding import proportional_allocation
+
+
+def run_starts(values: np.ndarray) -> np.ndarray:
+    """Start index of every maximal run of equal entries in sorted ``values``.
+
+    Examples
+    --------
+    >>> list(run_starts(np.array([1, 1, 2, 5, 5, 5])))
+    [0, 2, 3]
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(
+        [[0], np.flatnonzero(np.diff(values) != 0) + 1]
+    ).astype(np.int64)
+
+
+def match_family(
+    parent_sizes: np.ndarray,
+    parent_variances: np.ndarray,
+    child_sizes: Sequence[np.ndarray],
+    child_variances: Sequence[np.ndarray],
+) -> Tuple[Tuple[np.ndarray, ...], Tuple[np.ndarray, ...], int]:
+    """Vectorized Algorithm 2 for one family; bit-identical to the reference.
+
+    Returns ``(per_child_parent_sizes, per_child_parent_variances, cost)``
+    exactly as the scalar sweep would have produced them, including the
+    deterministic parent-index consumption order within equal-size runs
+    and the footnote-10 largest-remainder splits.
+
+    Raises
+    ------
+    MatchingError
+        Under the same preconditions as the reference (misaligned
+        arrays, no children, child group counts not summing to the
+        parent's).
+    """
+    parent_sizes = np.asarray(parent_sizes)
+    parent_variances = np.asarray(parent_variances)
+    if parent_sizes.shape != parent_variances.shape:
+        raise MatchingError("parent sizes/variances are misaligned")
+    if len(child_sizes) != len(child_variances):
+        raise MatchingError("child sizes/variances lists differ in length")
+    if len(child_sizes) == 0:
+        raise MatchingError("matching requires at least one child")
+
+    sizes_list = [np.asarray(arr) for arr in child_sizes]
+    counts = [arr.size for arr in sizes_list]
+    total_children = int(sum(counts))
+    if total_children != parent_sizes.size:
+        raise MatchingError(
+            f"children hold {total_children} groups but parent holds "
+            f"{parent_sizes.size}; a perfect matching is impossible"
+        )
+
+    num_children = len(sizes_list)
+    n = parent_sizes.size
+    if n == 0:
+        empty_sizes = tuple(
+            np.empty(0, dtype=parent_sizes.dtype) for _ in sizes_list
+        )
+        empty_vars = tuple(np.empty(0, dtype=np.float64) for _ in sizes_list)
+        return empty_sizes, empty_vars, 0
+
+    # The greedy sweep consumes child groups in globally sorted order
+    # (ties: lower child index first, then lower position — exactly the
+    # reference's per-round child iteration) and parent entries in index
+    # order, so sorted position k pairs with parent index k by default.
+    concat = np.concatenate(sizes_list)
+    child_ids = np.repeat(
+        np.arange(num_children, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+    )
+    order = np.lexsort((child_ids, concat))
+    sorted_sizes = concat[order]
+    sorted_children = child_ids[order]
+
+    cost = int(
+        np.abs(
+            parent_sizes.astype(np.int64) - sorted_sizes.astype(np.int64)
+        ).sum()
+    )
+
+    assignment = np.arange(n, dtype=np.int64)
+
+    # Value segments of the merged child side, and parent run starts.
+    seg_starts = run_starts(sorted_sizes)
+    seg_ends = np.concatenate([seg_starts[1:], [n]])
+    parent_run_starts = run_starts(parent_sizes)
+
+    # A segment keeps the identity assignment unless BOTH (a) two or
+    # more children own entries in it and (b) a parent run boundary
+    # falls strictly inside it — only then does the reference split a
+    # parent run across children with largest-remainder rounding,
+    # interleaving the consumption order.
+    lo = np.searchsorted(parent_run_starts, seg_starts, side="right")
+    hi = np.searchsorted(parent_run_starts, seg_ends, side="left")
+    contested = np.flatnonzero(
+        (hi > lo) & (sorted_children[seg_starts] != sorted_children[seg_ends - 1])
+    )
+
+    for index in contested:
+        start = int(seg_starts[index])
+        end = int(seg_ends[index])
+        segment_children = sorted_children[start:end]
+        present, first_rel, seg_counts = np.unique(
+            segment_children, return_index=True, return_counts=True
+        )
+        remaining = np.zeros(num_children, dtype=np.int64)
+        remaining[present] = seg_counts
+        child_base = np.zeros(num_children, dtype=np.int64)
+        child_base[present] = first_rel + start
+        used = np.zeros(num_children, dtype=np.int64)
+
+        cursor = start
+        boundaries = parent_run_starts[int(lo[index]):int(hi[index])]
+        for boundary in boundaries:
+            round_total = int(boundary) - cursor
+            allocation = proportional_allocation(remaining, total=round_total)
+            cursor = _assign_round(
+                assignment, allocation, child_base, used, cursor
+            )
+            remaining -= allocation
+        # Final round: the parent run now extends past the segment, so
+        # every remaining child entry is consumed in child order.
+        _assign_round(assignment, remaining, child_base, used, cursor)
+
+    matched_sizes = np.empty(n, dtype=parent_sizes.dtype)
+    matched_vars = np.empty(n, dtype=np.float64)
+    matched_sizes[order] = parent_sizes[assignment]
+    matched_vars[order] = parent_variances[assignment]
+
+    offsets = np.concatenate(
+        [[0], np.cumsum(np.asarray(counts, dtype=np.int64))]
+    )
+    out_sizes = tuple(
+        matched_sizes[offsets[c]:offsets[c + 1]] for c in range(num_children)
+    )
+    out_vars = tuple(
+        matched_vars[offsets[c]:offsets[c + 1]] for c in range(num_children)
+    )
+    return out_sizes, out_vars, cost
+
+
+def _assign_round(
+    assignment: np.ndarray,
+    allocation: np.ndarray,
+    child_base: np.ndarray,
+    used: np.ndarray,
+    cursor: int,
+) -> int:
+    """Record one allocation round (children in index order); new cursor."""
+    for child in np.flatnonzero(allocation):
+        take = int(allocation[child])
+        position = int(child_base[child] + used[child])
+        assignment[position:position + take] = np.arange(
+            cursor, cursor + take, dtype=np.int64
+        )
+        used[child] += take
+        cursor += take
+    return cursor
+
+
+def merge_level_values(
+    child_sizes: np.ndarray,
+    child_variances: np.ndarray,
+    parent_sizes: np.ndarray,
+    parent_variances: np.ndarray,
+    strategy: str = "weighted",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One stacked merge pass over every child of a level (Section 5.3).
+
+    Elementwise identical to
+    :func:`~repro.core.consistency.merge.merge_matched_estimates` run
+    child by child — Equations 5/6 (and the naive average) touch each
+    group independently, so concatenation does not change a single bit.
+    Returns the **unsorted** rounded sizes and merged variances; the
+    per-child monotone restoration happens in
+    :func:`segmented_stable_sort`.
+    """
+    if strategy not in STRATEGIES:
+        raise EstimationError(
+            f"unknown merge strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    child_sizes = np.asarray(child_sizes, dtype=np.float64)
+    parent_sizes = np.asarray(parent_sizes, dtype=np.float64)
+    child_variances = np.asarray(child_variances, dtype=np.float64)
+    parent_variances = np.asarray(parent_variances, dtype=np.float64)
+    if child_sizes.size == 0:
+        return child_sizes.astype(np.int64), child_variances
+
+    if np.any(child_variances <= 0) or np.any(parent_variances <= 0):
+        raise EstimationError("variances must be positive for merging")
+
+    if strategy == "weighted":
+        child_precision = 1.0 / child_variances
+        parent_precision = 1.0 / parent_variances
+        total_precision = child_precision + parent_precision
+        merged = (
+            child_sizes * child_precision + parent_sizes * parent_precision
+        ) / total_precision
+        merged_variance = 1.0 / total_precision
+    else:
+        merged = 0.5 * (child_sizes + parent_sizes)
+        merged_variance = 0.25 * (child_variances + parent_variances)
+
+    rounded = np.rint(merged).astype(np.int64)
+    rounded = np.maximum(rounded, 0)
+    return rounded, merged_variance
+
+
+def segmented_stable_sort(
+    values: np.ndarray,
+    companions: np.ndarray,
+    segment_ids: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort each segment of ``values`` stably; permute ``companions`` along.
+
+    One ``lexsort`` call replaces one stable ``argsort`` per child.
+    ``lexsort`` is stable per key, so within every segment the
+    permutation is exactly ``np.argsort(values[segment], kind="stable")``
+    — the merge step's re-sort, batched.
+
+    Examples
+    --------
+    >>> v, c = segmented_stable_sort(
+    ...     np.array([3, 1, 2, 0]), np.array([.3, .1, .2, .0]),
+    ...     np.array([0, 0, 1, 1]))
+    >>> list(v), list(c)
+    ([1, 3, 0, 2], [0.1, 0.3, 0.0, 0.2])
+    """
+    values = np.asarray(values)
+    companions = np.asarray(companions)
+    segment_ids = np.asarray(segment_ids)
+    if values.size == 0:
+        return values, companions
+    order = np.lexsort((values, segment_ids))
+    return values[order], companions[order]
+
+
+def sum_child_histograms(histograms: Sequence[np.ndarray]) -> np.ndarray:
+    """Cellwise sum of count-of-counts arrays, padded to the longest.
+
+    The back-substitution sum (Algorithm 1, step 4) without wrapping
+    every partial sum in a validated :class:`CountOfCounts`: the result
+    has the same values *and the same length* as the reference's chained
+    ``CountOfCounts.__add__`` (which pads to the running maximum, ending
+    at the overall maximum).
+    """
+    width = max(h.size for h in histograms)
+    total = np.zeros(width, dtype=np.int64)
+    for histogram in histograms:
+        total[:histogram.size] += histogram
+    return total
+
+
+def level_offsets(counts: Sequence[int]) -> np.ndarray:
+    """Concatenation offsets for per-child arrays: ``[0, c0, c0+c1, ...]``."""
+    return np.concatenate(
+        [[0], np.cumsum(np.asarray(counts, dtype=np.int64))]
+    ).astype(np.int64)
+
+
+def segment_ids(counts: Sequence[int]) -> np.ndarray:
+    """Segment id per concatenated entry (one id per child, in order)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.repeat(np.arange(counts.size, dtype=np.int64), counts)

@@ -27,6 +27,19 @@ The result is reported per child: for the j-th smallest group of child c,
 group's size estimate and variance.  Parent entries are consumed in index
 order, so when an updated parent carries different variances within an
 equal-size run the assignment remains deterministic.
+
+Two implementations share this contract:
+
+* :func:`match_parent_to_children` (the default) delegates to the
+  run-length-encoded kernel in
+  :mod:`repro.core.consistency.kernels` — one ``lexsort`` plus
+  proportional rounds only on contested segments;
+* :func:`_reference_match_parent_to_children` is the original scalar
+  sweep, kept as the differential-test oracle and selectable through
+  ``ReleaseSpec(consistency_impl="reference")``.
+
+``tests/consistency/test_differential.py`` asserts the two are
+bit-identical (sizes, variances and cost) on randomized hierarchies.
 """
 
 from __future__ import annotations
@@ -36,6 +49,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.consistency.kernels import match_family
 from repro.exceptions import MatchingError
 from repro.isotonic.rounding import proportional_allocation
 
@@ -73,7 +87,7 @@ def match_parent_to_children(
     child_sizes: Sequence[np.ndarray],
     child_variances: Sequence[np.ndarray],
 ) -> MatchedGroups:
-    """Run Algorithm 2 on one family (a parent and its children).
+    """Run Algorithm 2 on one family via the vectorized kernel.
 
     Parameters
     ----------
@@ -93,6 +107,21 @@ def match_parent_to_children(
         perfect-matching precondition; guaranteed when group counts come
         from the public Groups table).
     """
+    sizes, variances, cost = match_family(
+        parent_sizes, parent_variances, child_sizes, child_variances
+    )
+    return MatchedGroups(
+        parent_sizes=sizes, parent_variances=variances, cost=cost
+    )
+
+
+def _reference_match_parent_to_children(
+    parent_sizes: np.ndarray,
+    parent_variances: np.ndarray,
+    child_sizes: Sequence[np.ndarray],
+    child_variances: Sequence[np.ndarray],
+) -> MatchedGroups:
+    """The original scalar sweep — the oracle the kernel is proven against."""
     parent_sizes = np.asarray(parent_sizes)
     parent_variances = np.asarray(parent_variances)
     if parent_sizes.shape != parent_variances.shape:

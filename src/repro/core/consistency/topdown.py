@@ -18,16 +18,44 @@ construction: integrality and nonnegativity (sizes are rounded nonnegative
 integers), group-size preservation (each node keeps exactly its public G
 groups), and consistency (internal nodes are literal sums of their
 children).
+
+Two interchangeable consistency implementations (``impl=``):
+
+* ``"vectorized"`` (default) — the batched kernels of
+  :mod:`repro.core.consistency.kernels`: per-family run-length matching,
+  one stacked inverse-variance merge per level, one segmented stable
+  sort for the monotone restoration, and an allocation-free
+  back-substitution sum.
+* ``"reference"`` — the original per-parent scalar loops, kept as the
+  oracle the differential suite proves the kernels bit-identical
+  against.
+
+Both record nested :func:`~repro.perf.timer.stage` sub-spans
+(``consistency.matching``, ``consistency.merge``,
+``consistency.isotonic`` — vectorized only, the reference merge re-sorts
+inline — and ``consistency.backsub``) so ``repro perf run`` reports the
+intra-stage breakdown.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.consistency.matching import match_parent_to_children
+from repro.core.consistency.kernels import (
+    level_offsets,
+    match_family,
+    merge_level_values,
+    segment_ids,
+    segmented_stable_sort,
+    sum_child_histograms,
+)
+from repro.core.consistency.matching import (
+    _reference_match_parent_to_children,
+    match_parent_to_children,
+)
 from repro.core.consistency.merge import STRATEGIES, merge_matched_estimates
 from repro.core.estimators.base import Estimator, NodeEstimate
 from repro.core.estimators.selection import PerLevelSpec
@@ -36,6 +64,10 @@ from repro.exceptions import EstimationError
 from repro.hierarchy.tree import Hierarchy, Node
 from repro.mechanisms.budget import PrivacyBudget
 from repro.perf.timer import stage
+
+#: The selectable consistency implementations (also accepted by
+#: :class:`~repro.api.spec.ReleaseSpec` as ``consistency_impl``).
+CONSISTENCY_IMPLS = ("vectorized", "reference")
 
 
 @dataclass
@@ -86,6 +118,10 @@ class TopDown:
         under sequential composition, and the A6 ablation benchmark
         explores alternatives (leaf-heavy, root-heavy).  Must match the
         hierarchy depth at run time.
+    impl:
+        ``"vectorized"`` (default) runs the batched kernels;
+        ``"reference"`` runs the original per-parent scalar loops.  Both
+        produce bit-identical :class:`ConsistentEstimates`.
 
     Examples
     --------
@@ -103,14 +139,21 @@ class TopDown:
         spec: Union[PerLevelSpec, Estimator],
         merge_strategy: str = "weighted",
         level_weights: Optional[np.ndarray] = None,
+        impl: str = "vectorized",
     ) -> None:
         if merge_strategy not in STRATEGIES:
             raise EstimationError(
                 f"unknown merge strategy {merge_strategy!r}; "
                 f"expected one of {STRATEGIES}"
             )
+        if impl not in CONSISTENCY_IMPLS:
+            raise EstimationError(
+                f"unknown consistency impl {impl!r}; "
+                f"expected one of {CONSISTENCY_IMPLS}"
+            )
         self._spec = spec
         self.merge_strategy = merge_strategy
+        self.impl = impl
         if level_weights is not None:
             level_weights = np.asarray(level_weights, dtype=np.float64)
             if level_weights.ndim != 1 or level_weights.size == 0:
@@ -171,25 +214,42 @@ class TopDown:
                     )
 
         with stage("consistency"):
-            # -- Step 3: match and merge from the root downward.
-            state: Dict[str, _NodeState] = {
-                hierarchy.root.name: _NodeState(
-                    sizes=initial[hierarchy.root.name].unattributed.copy(),
-                    variances=initial[hierarchy.root.name].variances.copy(),
-                )
-            }
-            for nodes in hierarchy.levels():
-                for parent in nodes:
-                    if parent.is_leaf:
-                        continue
-                    parent_state = state[parent.name]
-                    children = parent.children
-                    matched = match_parent_to_children(
+            if self.impl == "reference":
+                estimates = self._consistency_reference(hierarchy, initial)
+            else:
+                estimates = self._consistency_vectorized(hierarchy, initial)
+
+        return ConsistentEstimates(
+            estimates=estimates, initial_estimates=initial, budget=budget
+        )
+
+    def _consistency_reference(
+        self,
+        hierarchy: Hierarchy,
+        initial: Dict[str, NodeEstimate],
+    ) -> Dict[str, CountOfCounts]:
+        """Steps 3+4 with the original per-parent scalar loops (the oracle)."""
+        # -- Step 3: match and merge from the root downward.
+        state: Dict[str, _NodeState] = {
+            hierarchy.root.name: _NodeState(
+                sizes=initial[hierarchy.root.name].unattributed.copy(),
+                variances=initial[hierarchy.root.name].variances.copy(),
+            )
+        }
+        for nodes in hierarchy.levels():
+            for parent in nodes:
+                if parent.is_leaf:
+                    continue
+                parent_state = state[parent.name]
+                children = parent.children
+                with stage("matching"):
+                    matched = _reference_match_parent_to_children(
                         parent_state.sizes,
                         parent_state.variances,
                         [initial[c.name].unattributed for c in children],
                         [initial[c.name].variances for c in children],
                     )
+                with stage("merge"):
                     for index, child in enumerate(children):
                         sizes, variances = merge_matched_estimates(
                             initial[child.name].unattributed,
@@ -200,7 +260,8 @@ class TopDown:
                         )
                         state[child.name] = _NodeState(sizes, variances)
 
-            # -- Step 4: leaves become final; back-substitute upward.
+        # -- Step 4: leaves become final; back-substitute upward.
+        with stage("backsub"):
             estimates: Dict[str, CountOfCounts] = {}
             for nodes in reversed(list(hierarchy.levels())):
                 for node in nodes:
@@ -213,7 +274,91 @@ class TopDown:
                         for child in node.children[1:]:
                             total = total + estimates[child.name]
                         estimates[node.name] = total
+        return estimates
 
-        return ConsistentEstimates(
-            estimates=estimates, initial_estimates=initial, budget=budget
-        )
+    def _consistency_vectorized(
+        self,
+        hierarchy: Hierarchy,
+        initial: Dict[str, NodeEstimate],
+    ) -> Dict[str, CountOfCounts]:
+        """Steps 3+4 with the batched kernels; bit-identical to the reference.
+
+        Matching still walks parents one family at a time (each family's
+        run-length sweep is a handful of array ops), but the merge, the
+        monotone restoration, and the back-substitution each run **once
+        per level** over the concatenation of every child segment.
+        """
+        # -- Step 3: match and merge from the root downward, level-batched.
+        state: Dict[str, _NodeState] = {
+            hierarchy.root.name: _NodeState(
+                sizes=initial[hierarchy.root.name].unattributed.copy(),
+                variances=initial[hierarchy.root.name].variances.copy(),
+            )
+        }
+        for nodes in hierarchy.levels():
+            parents = [node for node in nodes if not node.is_leaf]
+            if not parents:
+                continue
+            child_nodes: List[Node] = []
+            matched_chunks: List[np.ndarray] = []
+            matched_var_chunks: List[np.ndarray] = []
+            with stage("matching"):
+                for parent in parents:
+                    parent_state = state[parent.name]
+                    children = parent.children
+                    sizes, variances, _cost = match_family(
+                        parent_state.sizes,
+                        parent_state.variances,
+                        [initial[c.name].unattributed for c in children],
+                        [initial[c.name].variances for c in children],
+                    )
+                    child_nodes.extend(children)
+                    matched_chunks.extend(sizes)
+                    matched_var_chunks.extend(variances)
+            counts = [initial[c.name].unattributed.size for c in child_nodes]
+            with stage("merge"):
+                merged, merged_variance = merge_level_values(
+                    np.concatenate(
+                        [initial[c.name].unattributed for c in child_nodes]
+                    ),
+                    np.concatenate(
+                        [initial[c.name].variances for c in child_nodes]
+                    ),
+                    np.concatenate(matched_chunks),
+                    np.concatenate(matched_var_chunks),
+                    strategy=self.merge_strategy,
+                )
+            with stage("isotonic"):
+                # Rounding can break within-child monotonicity; restore it
+                # with one stable segmented sort over the whole level (the
+                # merge step's per-child ``argsort(kind="stable")``, batched).
+                merged, merged_variance = segmented_stable_sort(
+                    merged, merged_variance, segment_ids(counts)
+                )
+            offsets = level_offsets(counts)
+            for index, child in enumerate(child_nodes):
+                state[child.name] = _NodeState(
+                    sizes=merged[offsets[index]:offsets[index + 1]],
+                    variances=merged_variance[offsets[index]:offsets[index + 1]],
+                )
+
+        # -- Step 4: leaves become final; back-substitute upward.
+        with stage("backsub"):
+            histograms: Dict[str, np.ndarray] = {}
+            estimates: Dict[str, CountOfCounts] = {}
+            for nodes in reversed(list(hierarchy.levels())):
+                for node in nodes:
+                    if node.is_leaf:
+                        sizes = state[node.name].sizes
+                        histogram = (
+                            np.bincount(sizes, minlength=1).astype(np.int64)
+                            if sizes.size
+                            else np.zeros(1, dtype=np.int64)
+                        )
+                    else:
+                        histogram = sum_child_histograms(
+                            [histograms[c.name] for c in node.children]
+                        )
+                    histograms[node.name] = histogram
+                    estimates[node.name] = CountOfCounts._trusted(histogram)
+        return estimates

@@ -47,10 +47,8 @@ def size_multiplicities(unattributed: np.ndarray) -> np.ndarray:
     boundaries = np.flatnonzero(np.diff(arr) != 0)
     starts = np.concatenate([[0], boundaries + 1])
     ends = np.concatenate([boundaries + 1, [n]])
-    out = np.empty(n, dtype=np.int64)
-    for start, end in zip(starts, ends):
-        out[start:end] = end - start
-    return out
+    lengths = (ends - starts).astype(np.int64)
+    return np.repeat(lengths, lengths)
 
 
 def group_variances(

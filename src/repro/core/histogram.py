@@ -207,6 +207,23 @@ class CountOfCounts:
         self._unattributed: Optional[np.ndarray] = None
 
     @classmethod
+    def _trusted(cls, histogram: np.ndarray) -> "CountOfCounts":
+        """Wrap an int64 histogram that is valid **by construction**.
+
+        Skips :func:`validate_histogram` — the float round-trip there is
+        measurable when the consistency kernels build thousands of nodes'
+        histograms per release.  Callers own the invariants (1-d,
+        nonempty, int64, nonnegative) and must hand over ownership of the
+        array: it is frozen in place, not copied.
+        """
+        obj = cls.__new__(cls)
+        obj._histogram = histogram
+        obj._histogram.setflags(write=False)
+        obj._cumulative = None
+        obj._unattributed = None
+        return obj
+
+    @classmethod
     def from_sizes(cls, sizes: ArrayLike, length: Optional[int] = None) -> "CountOfCounts":
         """Build from raw (not necessarily sorted) group sizes."""
         arr = np.sort(np.asarray(sizes))

@@ -23,15 +23,22 @@ the matching algorithm (footnote 10).
 
 from repro.isotonic.constrained import isotonic_box, isotonic_with_endpoint
 from repro.isotonic.l1 import isotonic_l1
-from repro.isotonic.pav import isotonic_l2, isotonic_blocks
+from repro.isotonic.pav import (
+    isotonic_blocks,
+    isotonic_blocks_segmented,
+    isotonic_l2,
+    isotonic_l2_segmented,
+)
 from repro.isotonic.rounding import largest_remainder_round, proportional_allocation
 from repro.isotonic.simplex import project_to_simplex
 
 __all__ = [
     "isotonic_blocks",
+    "isotonic_blocks_segmented",
     "isotonic_box",
     "isotonic_l1",
     "isotonic_l2",
+    "isotonic_l2_segmented",
     "isotonic_with_endpoint",
     "largest_remainder_round",
     "project_to_simplex",

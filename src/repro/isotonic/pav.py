@@ -15,6 +15,15 @@ The paper uses exactly this solver for the Hg method (Section 4.2) and as the
 L2 option of the Hc method (Section 4.3); the block structure it returns is
 also what the variance-estimation step of Section 5.1.1 consumes (the
 variance of a pooled value is the noise variance divided by the block size).
+
+:func:`isotonic_blocks_segmented` runs the same solver over many
+independent problems concatenated into one array — one validation pass
+and one block stack for the whole batch, with a per-segment stack floor
+stopping pools at segment boundaries.  Because each segment's
+observations are visited in the same order with the same accumulation
+arithmetic, the result is bit-identical to calling
+:func:`isotonic_blocks` segment by segment (the differential suite
+asserts this).
 """
 
 from __future__ import annotations
@@ -116,3 +125,87 @@ def isotonic_blocks(
         sizes[pos : pos + count] = count
         pos += count
     return fitted, sizes
+
+
+def isotonic_blocks_segmented(
+    y: np.ndarray,
+    segment_lengths: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Independent PAV fits over concatenated segments, in one pass.
+
+    ``y`` is the concatenation of per-segment observation arrays;
+    ``segment_lengths`` gives each segment's length (zeros allowed, so a
+    level's node list maps positionally even when some nodes are empty).
+    Monotonicity is enforced *within* each segment only — a per-segment
+    stack floor keeps pooling from crossing boundaries, which is exactly
+    what running :func:`isotonic_blocks` per segment does, value for
+    value and bit for bit.
+
+    Returns ``(fitted, block_sizes)`` aligned with ``y``.
+
+    Examples
+    --------
+    >>> fitted, sizes = isotonic_blocks_segmented(
+    ...     np.array([3.0, 1.0, 2.0, 1.0]), np.array([2, 2]))
+    >>> list(fitted), list(sizes)
+    ([2.0, 2.0, 1.5, 1.5], [2, 2, 2, 2])
+    """
+    segment_lengths = np.asarray(segment_lengths, dtype=np.int64)
+    if segment_lengths.ndim != 1:
+        raise EstimationError(
+            f"segment_lengths must be 1-d, got shape {segment_lengths.shape}"
+        )
+    if np.any(segment_lengths < 0):
+        raise EstimationError("segment_lengths must be nonnegative")
+    y, w = _validate_inputs(y, weights)
+    n = y.size
+    if int(segment_lengths.sum()) != n:
+        raise EstimationError(
+            f"segment_lengths sum to {int(segment_lengths.sum())} but the "
+            f"input holds {n} observations"
+        )
+    boundaries = np.cumsum(segment_lengths)
+
+    block_wsum = np.empty(n, dtype=np.float64)
+    block_wysum = np.empty(n, dtype=np.float64)
+    block_count = np.empty(n, dtype=np.int64)
+    block_end = np.empty(n, dtype=np.int64)  # exclusive end index per block
+    top = 0
+    floor = 0  # stack height at the current segment's start
+    segment = 0
+
+    for i in range(n):
+        while segment < boundaries.size and i >= boundaries[segment]:
+            segment += 1
+            floor = top
+        wsum, wysum, count = w[i], w[i] * y[i], 1
+        while top > floor and block_wysum[top - 1] * wsum >= wysum * block_wsum[top - 1]:
+            top -= 1
+            wsum += block_wsum[top]
+            wysum += block_wysum[top]
+            count += block_count[top]
+        block_wsum[top] = wsum
+        block_wysum[top] = wysum
+        block_count[top] = count
+        block_end[top] = i + 1
+        top += 1
+
+    fitted = np.empty(n, dtype=np.float64)
+    sizes = np.empty(n, dtype=np.int64)
+    if top:
+        # Broadcast per-block values to their index ranges in one repeat.
+        counts = block_count[:top]
+        fitted = np.repeat(block_wysum[:top] / block_wsum[:top], counts)
+        sizes = np.repeat(counts, counts)
+    return fitted, sizes
+
+
+def isotonic_l2_segmented(
+    y: np.ndarray,
+    segment_lengths: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Segmented counterpart of :func:`isotonic_l2` (fit values only)."""
+    fitted, _ = isotonic_blocks_segmented(y, segment_lengths, weights)
+    return fitted

@@ -128,6 +128,7 @@ def run_scenario(
         num_entities=int(statistics["entities"]),
         total_seconds=total,
         stages=timer.stage_totals(),
+        substages=timer.subspan_totals(),
         peak_rss_bytes=memory.rss_bytes,
         peak_traced_bytes=memory.traced_bytes,
     )

@@ -52,6 +52,12 @@ class ScenarioResult:
     ``postprocess`` on a spec without postprocess steps, is a legal
     zero); their sum never exceeds ``total_seconds`` because both come
     from the same timer.
+
+    ``substages`` carries the nested sub-span breakdown
+    (``"consistency.matching"`` etc., from
+    :meth:`StageTimer.subspan_totals`) — additive format v1 detail:
+    optional in the schema, so older baselines without it still load and
+    compare.
     """
 
     workload: str
@@ -65,6 +71,7 @@ class ScenarioResult:
     stages: Dict[str, float]
     peak_rss_bytes: int
     peak_traced_bytes: int
+    substages: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         unknown = set(self.stages) - set(PIPELINE_STAGES)
@@ -77,6 +84,18 @@ class ScenarioResult:
             name: float(self.stages.get(name, 0.0)) for name in PIPELINE_STAGES
         }
         object.__setattr__(self, "stages", normalized)
+        for path in self.substages:
+            root = path.split(".", 1)[0]
+            if "." not in path or root not in PIPELINE_STAGES:
+                raise PerfError(
+                    f"substage {path!r} must be a dotted path under one of "
+                    f"the format v1 stages {PIPELINE_STAGES}"
+                )
+        object.__setattr__(
+            self,
+            "substages",
+            {path: float(seconds) for path, seconds in self.substages.items()},
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -90,6 +109,8 @@ class ScenarioResult:
             "total_seconds": float(self.total_seconds),
             "stages": {name: float(self.stages[name])
                        for name in PIPELINE_STAGES},
+            "substages": {path: float(self.substages[path])
+                          for path in sorted(self.substages)},
             "peak_rss_bytes": int(self.peak_rss_bytes),
             "peak_traced_bytes": int(self.peak_traced_bytes),
         }
@@ -105,6 +126,15 @@ class ScenarioResult:
             seconds = self.stages[name]
             share = seconds / self.total_seconds if self.total_seconds else 0.0
             rows.append(f"  {name:<12} {seconds:>9.3f} s  ({share:5.1%})")
+            for path in sorted(self.substages):
+                if path.split(".", 1)[0] != name:
+                    continue
+                sub_seconds = self.substages[path]
+                sub_share = sub_seconds / seconds if seconds else 0.0
+                rows.append(
+                    f"    {'.' + path.split('.', 1)[1]:<12} "
+                    f"{sub_seconds:>7.3f} s  ({sub_share:5.1%} of {name})"
+                )
         covered = sum(self.stages.values())
         share = covered / self.total_seconds if self.total_seconds else 0.0
         rows.append(f"  {'(covered)':<12} {covered:>9.3f} s  ({share:5.1%})")

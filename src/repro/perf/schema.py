@@ -46,6 +46,11 @@ _PIPELINE_SCENARIO_KEYS = (
     "num_nodes", "num_levels", "num_entities", "total_seconds", "stages",
     "peak_rss_bytes", "peak_traced_bytes",
 )
+#: Additive format v1 keys: legal but not required, so baselines written
+#: before a key existed still validate and compare.  ``substages`` holds
+#: the nested sub-span breakdown (``"consistency.matching"`` …) recorded
+#: since the consistency kernels landed.
+_PIPELINE_SCENARIO_OPTIONAL_KEYS = ("substages",)
 
 _SERVING_TOP_KEYS = (
     "schema_version", "config", "naive", "served", "speedup",
@@ -63,9 +68,15 @@ _SERVING_LATENCY_KEYS = ("p50", "p95", "p99")
 
 
 def _check_keys(
-    payload: object, keys: Sequence[str], path: str, problems: List[str]
+    payload: object, keys: Sequence[str], path: str, problems: List[str],
+    optional: Sequence[str] = (),
 ) -> bool:
-    """Exact key-set check; False (with problems appended) on mismatch."""
+    """Exact key-set check; False (with problems appended) on mismatch.
+
+    ``optional`` keys may be absent but nothing outside
+    ``keys + optional`` is tolerated — the schema stays closed, it just
+    grows additively.
+    """
     if not isinstance(payload, Mapping):
         problems.append(f"{path}: expected an object, got "
                         f"{type(payload).__name__}")
@@ -73,9 +84,9 @@ def _check_keys(
     expected, actual = set(keys), set(payload)
     for missing in sorted(expected - actual):
         problems.append(f"{path}.{missing}: missing key")
-    for extra in sorted(actual - expected):
+    for extra in sorted(actual - expected - set(optional)):
         problems.append(f"{path}.{extra}: unexpected key")
-    return expected == actual
+    return expected <= actual and actual <= expected | set(optional)
 
 
 def _check_number(
@@ -148,7 +159,8 @@ def validate_pipeline_payload(payload: object) -> List[str]:
 
 def _validate_scenario(scenario: object, path: str) -> List[str]:
     problems: List[str] = []
-    if not _check_keys(scenario, _PIPELINE_SCENARIO_KEYS, path, problems):
+    if not _check_keys(scenario, _PIPELINE_SCENARIO_KEYS, path, problems,
+                       optional=_PIPELINE_SCENARIO_OPTIONAL_KEYS):
         return problems
     assert isinstance(scenario, Mapping)
     _check_string(scenario["workload"], f"{path}.workload", problems)
@@ -182,6 +194,37 @@ def _validate_scenario(scenario: object, path: str) -> List[str]:
                     f"{path}.stages: stage sum {stage_sum:.6f}s exceeds "
                     f"total_seconds {total:.6f}s"
                 )
+
+    if "substages" in scenario:
+        substages = scenario["substages"]
+        if not isinstance(substages, Mapping):
+            problems.append(f"{path}.substages: expected an object, got "
+                            f"{type(substages).__name__}")
+        else:
+            sums: Dict[str, float] = {}
+            for sub_path in sorted(substages):
+                root, _, rest = str(sub_path).partition(".")
+                if not rest or root not in PIPELINE_STAGES:
+                    problems.append(
+                        f"{path}.substages.{sub_path}: expected a dotted "
+                        f"path under one of {PIPELINE_STAGES}"
+                    )
+                    continue
+                if _check_number(substages[sub_path],
+                                 f"{path}.substages.{sub_path}", problems):
+                    sums[root] = sums.get(root, 0.0) + float(substages[sub_path])
+            # Nested spans are measured inside their stage on the same
+            # clock, so per-stage substage sums obey the same bound.
+            if isinstance(stages, Mapping):
+                for root, sub_sum in sorted(sums.items()):
+                    parent = stages.get(root)
+                    if isinstance(parent, (int, float)) and sub_sum > float(
+                        parent
+                    ) * (1.0 + STAGE_SUM_TOLERANCE):
+                        problems.append(
+                            f"{path}.substages: {root}.* sum {sub_sum:.6f}s "
+                            f"exceeds stages.{root} {float(parent):.6f}s"
+                        )
     return problems
 
 
@@ -267,6 +310,10 @@ def timing_rows(payload: Mapping[str, object]) -> Dict[str, float]:
                 rows[f"{name}/{stage_name}"] = float(
                     scenario["stages"][stage_name]
                 )
+            for sub_path, seconds in sorted(
+                dict(scenario.get("substages", {})).items()
+            ):
+                rows[f"{name}/{sub_path}"] = float(seconds)
     else:
         naive = payload["naive"]  # type: ignore[index]
         served = payload["served"]  # type: ignore[index]

@@ -176,6 +176,21 @@ class StageTimer:
                 totals[span.path] = totals.get(span.path, 0.0) + span.seconds
         return totals
 
+    def subspan_totals(self) -> Dict[str, float]:
+        """Aggregated seconds per **nested** dotted path, in first-seen order.
+
+        The complement of :meth:`stage_totals`: only spans with depth
+        ≥ 1 contribute, keyed by their full dotted path
+        (``"consistency.matching"``, ``"serve.plan"``).  These are the
+        sub-stage breakdown rows of ``BENCH_pipeline.json`` — additive
+        detail inside a stage, never counted toward the stage sums.
+        """
+        totals: Dict[str, float] = {}
+        for span in self._spans:
+            if span.depth >= 1:
+                totals[span.path] = totals.get(span.path, 0.0) + span.seconds
+        return totals
+
     def total_seconds(self) -> float:
         """Wall time from construction to :meth:`stop` (or to now)."""
         end = self._stop if self._stop is not None else time.perf_counter()

@@ -1,0 +1,306 @@
+"""Differential suite: vectorized consistency kernels vs scalar oracles.
+
+The vectorized path's contract is **bit-identity**, not approximate
+agreement: same histograms (values, lengths, dtypes), same variances,
+same matching costs, same budget ledger.  Every test here runs both
+implementations on seeded randomized inputs and compares byte for byte —
+this is what lets the golden suite stay green without re-blessing when
+the kernels change.
+
+Shapes exercised (per the hierarchy generator below): uniform,
+power-law and bimodal size distributions, 2–5 levels, empty children,
+all-tied sizes and single-group nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.spec import ReleaseSpec
+from repro.core.consistency import BottomUp, TopDown
+from repro.core.consistency.kernels import match_family
+from repro.core.consistency.matching import (
+    _reference_match_parent_to_children,
+    match_parent_to_children,
+)
+from repro.core.estimators import CumulativeEstimator, UnattributedEstimator
+from repro.exceptions import EstimationError, MatchingError
+from repro.hierarchy import from_leaf_histograms
+
+DISTRIBUTIONS = ("uniform", "powerlaw", "bimodal")
+
+
+def draw_sizes(rng, kind, count, max_size=12):
+    """Group sizes for one leaf under the named distribution."""
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    if kind == "uniform":
+        return rng.integers(0, max_size + 1, size=count)
+    if kind == "powerlaw":
+        raw = np.floor(rng.pareto(1.5, size=count)).astype(np.int64)
+        return np.minimum(raw, max_size)
+    # Bimodal: a small-size mode and a large-size mode.
+    small = rng.integers(0, 3, size=count)
+    large = rng.integers(max_size - 2, max_size + 1, size=count)
+    return np.where(rng.random(count) < 0.5, small, large)
+
+
+def random_hierarchy(seed, kind, depth):
+    """A seeded random hierarchy of ``depth`` levels below the root.
+
+    Deliberately includes the degenerate leaves the kernels must handle:
+    empty leaves (zero groups), all-tied leaves (every size equal, the
+    footnote-10 tie case) and single-group leaves.
+    """
+    rng = np.random.default_rng(seed)
+
+    def build(prefix, level):
+        if level == depth:
+            shape = rng.integers(0, 4)
+            if shape == 0:
+                count = 0  # empty child
+            elif shape == 1:
+                count = 1  # single-group node
+            else:
+                count = int(rng.integers(2, 9))
+            if shape == 2 and count:
+                sizes = np.full(count, int(rng.integers(0, 13)))  # all tied
+            else:
+                sizes = draw_sizes(rng, kind, count)
+            hist = np.bincount(sizes, minlength=1) if count else [0]
+            return list(map(int, hist))
+        # Node names must be globally unique (they are privacy-ledger
+        # scopes), so children carry their full dotted path.
+        return {
+            f"{prefix}.{index}": build(f"{prefix}.{index}", level + 1)
+            for index in range(int(rng.integers(1, 4)))
+        }
+
+    spec = {
+        str(index): build(str(index), 1)
+        for index in range(int(rng.integers(2, 4)))
+    }
+    return from_leaf_histograms("root", spec)
+
+
+def assert_identical_results(reference, vectorized):
+    """Byte-identical ConsistentEstimates/BottomUpEstimates."""
+    assert set(reference.estimates) == set(vectorized.estimates)
+    for name in reference.estimates:
+        ref = reference.estimates[name].histogram
+        vec = vectorized.estimates[name].histogram
+        assert ref.dtype == vec.dtype, name
+        assert ref.shape == vec.shape, name
+        assert ref.tobytes() == vec.tobytes(), name
+    assert set(reference.initial_estimates) == set(vectorized.initial_estimates)
+    for name in reference.initial_estimates:
+        ref = reference.initial_estimates[name]
+        vec = vectorized.initial_estimates[name]
+        assert ref.unattributed.tobytes() == vec.unattributed.tobytes()
+        assert ref.variances.tobytes() == vec.variances.tobytes()
+    assert reference.budget.epsilon == vectorized.budget.epsilon
+    assert reference.budget.spent == vectorized.budget.spent
+    assert reference.budget.audit() == vectorized.budget.audit()
+
+
+class TestTopDownDifferential:
+    @pytest.mark.parametrize("kind", DISTRIBUTIONS)
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_bit_identical_across_shapes(self, kind, depth):
+        estimator = CumulativeEstimator(max_size=15)
+        for trial in range(4):
+            seed = hash((kind, depth, trial)) % (2**31)
+            tree = random_hierarchy(seed, kind, depth)
+            runs = [
+                TopDown(estimator, impl=impl).run(
+                    tree, epsilon=2.0, rng=np.random.default_rng(seed)
+                )
+                for impl in ("reference", "vectorized")
+            ]
+            assert_identical_results(*runs)
+
+    @pytest.mark.parametrize("strategy", ["weighted", "naive"])
+    def test_bit_identical_across_merge_strategies(self, strategy):
+        estimator = CumulativeEstimator(max_size=15)
+        tree = random_hierarchy(99, "powerlaw", 3)
+        runs = [
+            TopDown(estimator, merge_strategy=strategy, impl=impl).run(
+                tree, epsilon=1.0, rng=np.random.default_rng(7)
+            )
+            for impl in ("reference", "vectorized")
+        ]
+        assert_identical_results(*runs)
+
+    def test_bit_identical_with_hg_estimator(self):
+        estimator = UnattributedEstimator()
+        tree = random_hierarchy(3, "bimodal", 2)
+        runs = [
+            TopDown(estimator, impl=impl).run(
+                tree, epsilon=1.5, rng=np.random.default_rng(11)
+            )
+            for impl in ("reference", "vectorized")
+        ]
+        assert_identical_results(*runs)
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(EstimationError):
+            TopDown(CumulativeEstimator(max_size=5), impl="simd")
+
+
+class TestBottomUpDifferential:
+    @pytest.mark.parametrize("kind", DISTRIBUTIONS)
+    def test_bit_identical_aggregation(self, kind):
+        estimator = CumulativeEstimator(max_size=15)
+        for trial in range(3):
+            seed = hash((kind, trial)) % (2**31)
+            tree = random_hierarchy(seed, kind, 3)
+            runs = [
+                BottomUp(estimator, impl=impl).run(
+                    tree, epsilon=2.0, rng=np.random.default_rng(seed)
+                )
+                for impl in ("reference", "vectorized")
+            ]
+            assert_identical_results(*runs)
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(EstimationError):
+            BottomUp(CumulativeEstimator(max_size=5), impl="simd")
+
+
+class TestReleaseSpecSelectsImpl:
+    """The `reference` impl stays selectable through the public spec API."""
+
+    def make_specs(self, consistency="topdown"):
+        return [
+            ReleaseSpec.create(
+                "workload:golden-small", epsilon=1.0, max_size=200,
+                consistency=consistency, consistency_impl=impl,
+            )
+            for impl in ("reference", "vectorized")
+        ]
+
+    @pytest.mark.parametrize("consistency", ["topdown", "bottomup"])
+    def test_releases_byte_identical(self, consistency):
+        reference, vectorized = [
+            spec.execute() for spec in self.make_specs(consistency)
+        ]
+        assert set(reference.estimates) == set(vectorized.estimates)
+        for name in reference.estimates:
+            assert (
+                reference.estimates[name].histogram.tobytes()
+                == vectorized.estimates[name].histogram.tobytes()
+            )
+        assert reference.uncertainty == vectorized.uncertainty
+        assert (
+            reference.provenance.epsilon_spent
+            == vectorized.provenance.epsilon_spent
+        )
+
+    def test_impl_excluded_from_spec_hash(self):
+        reference, vectorized = self.make_specs()
+        assert reference.spec_hash() == vectorized.spec_hash()
+        assert reference != vectorized  # but the knob round-trips
+        assert ReleaseSpec.from_dict(reference.to_dict()) == reference
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(EstimationError):
+            ReleaseSpec.create(
+                "workload:golden-small", epsilon=1.0,
+                consistency_impl="simd",
+            )
+
+
+class TestMatchFamilyDifferential:
+    """Kernel-level: match_family vs the scalar sweep, family by family."""
+
+    def random_family(self, rng):
+        num_children = int(rng.integers(1, 6))
+        children = [
+            np.sort(draw_sizes(rng, "uniform", int(rng.integers(0, 8)),
+                               max_size=6))
+            for _ in range(num_children)
+        ]
+        total = sum(c.size for c in children)
+        merged = np.sort(np.concatenate(children)) if total else np.zeros(
+            0, dtype=np.int64
+        )
+        noise = rng.integers(-2, 3, size=total)
+        parent = np.sort(np.clip(merged + noise, 0, None))
+        parent_vars = rng.uniform(0.5, 3.0, size=total)
+        child_vars = [rng.uniform(0.5, 3.0, size=c.size) for c in children]
+        return parent, parent_vars, children, child_vars
+
+    def test_bit_identical_on_random_families(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(400):
+            parent, parent_vars, children, child_vars = self.random_family(rng)
+            sizes, variances, cost = match_family(
+                parent, parent_vars, children, child_vars
+            )
+            oracle = _reference_match_parent_to_children(
+                parent, parent_vars, children, child_vars
+            )
+            assert cost == oracle.cost
+            for got, want in zip(sizes, oracle.parent_sizes):
+                assert got.dtype == want.dtype
+                assert got.tobytes() == want.tobytes()
+            for got, want in zip(variances, oracle.parent_variances):
+                assert got.tobytes() == want.tobytes()
+
+    def test_all_tied_sizes_follow_footnote_10(self):
+        """Maximal tie pressure: every size equal, so the proportional
+        rounds drive the entire assignment."""
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            counts = rng.integers(0, 6, size=int(rng.integers(2, 5)))
+            if counts.sum() == 0:
+                counts[0] = 1
+            children = [np.full(int(c), 3) for c in counts]
+            # Parent runs of different values force interior boundaries.
+            parent = np.sort(
+                rng.integers(2, 5, size=int(counts.sum()))
+            )
+            parent_vars = rng.uniform(0.5, 2.0, size=parent.size)
+            child_vars = [np.ones(c.size) for c in children]
+            result = match_parent_to_children(
+                parent, parent_vars, children, child_vars
+            )
+            oracle = _reference_match_parent_to_children(
+                parent, parent_vars, children, child_vars
+            )
+            assert result.cost == oracle.cost
+            for got, want in zip(result.parent_sizes, oracle.parent_sizes):
+                assert np.array_equal(got, want)
+            for got, want in zip(
+                result.parent_variances, oracle.parent_variances
+            ):
+                assert np.array_equal(got, want)
+
+    def test_error_paths_match_reference(self):
+        ones = np.ones(2)
+        for kwargs in (
+            dict(parent_sizes=np.array([1, 2]), parent_variances=np.ones(3),
+                 child_sizes=[np.array([1, 2])], child_variances=[ones]),
+            dict(parent_sizes=np.array([1, 2]), parent_variances=ones,
+                 child_sizes=[np.array([1])], child_variances=[ones]),
+            dict(parent_sizes=np.array([1, 2]), parent_variances=ones,
+                 child_sizes=[], child_variances=[]),
+            dict(parent_sizes=np.array([1, 2]), parent_variances=ones,
+                 child_sizes=[np.array([1])], child_variances=[np.ones(1)]),
+        ):
+            with pytest.raises(MatchingError):
+                match_family(**kwargs)
+            with pytest.raises(MatchingError):
+                _reference_match_parent_to_children(**kwargs)
+
+    def test_empty_parent_empty_children(self):
+        empty = np.zeros(0, dtype=np.int64)
+        sizes, variances, cost = match_family(
+            empty, np.zeros(0), [empty, empty], [np.zeros(0), np.zeros(0)]
+        )
+        assert cost == 0
+        assert all(arr.size == 0 for arr in sizes)
+        assert all(arr.size == 0 for arr in variances)
+        oracle = _reference_match_parent_to_children(
+            empty, np.zeros(0), [empty, empty], [np.zeros(0), np.zeros(0)]
+        )
+        assert oracle.cost == 0

@@ -1,0 +1,161 @@
+"""Unit tests for the batched consistency kernels.
+
+The differential suite (``test_differential.py``) proves the kernels
+bit-identical to the scalar oracles end to end; these tests pin each
+kernel's contract in isolation — shapes, dtypes, orderings and error
+paths — so a kernel regression fails with a local, readable assertion
+instead of a whole-pipeline byte mismatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency.kernels import (
+    level_offsets,
+    merge_level_values,
+    run_starts,
+    segment_ids,
+    segmented_stable_sort,
+    sum_child_histograms,
+)
+from repro.core.consistency.merge import merge_matched_estimates
+from repro.exceptions import EstimationError
+
+
+class TestRunStarts:
+    def test_basic_runs(self):
+        assert list(run_starts(np.array([1, 1, 2, 5, 5, 5]))) == [0, 2, 3]
+
+    def test_single_run(self):
+        assert list(run_starts(np.array([4, 4, 4]))) == [0]
+
+    def test_empty(self):
+        starts = run_starts(np.array([], dtype=np.int64))
+        assert starts.size == 0 and starts.dtype == np.int64
+
+
+class TestMergeLevelValues:
+    def test_matches_per_child_merge(self, rng):
+        """Stacking children changes nothing: the level pass equals the
+        per-child merges concatenated, for both strategies."""
+        counts = [0, 4, 1, 7]
+        child_sizes = [np.sort(rng.integers(0, 9, size=c)) for c in counts]
+        child_vars = [rng.uniform(0.5, 2.0, size=c) for c in counts]
+        parent_sizes = [rng.integers(0, 9, size=c) for c in counts]
+        parent_vars = [rng.uniform(0.5, 2.0, size=c) for c in counts]
+        for strategy in ("weighted", "naive"):
+            merged, variance = merge_level_values(
+                np.concatenate(child_sizes), np.concatenate(child_vars),
+                np.concatenate(parent_sizes), np.concatenate(parent_vars),
+                strategy=strategy,
+            )
+            sorted_sizes, sorted_vars = segmented_stable_sort(
+                merged, variance, segment_ids(counts)
+            )
+            offsets = level_offsets(counts)
+            for index, count in enumerate(counts):
+                want_sizes, want_vars = merge_matched_estimates(
+                    child_sizes[index], child_vars[index],
+                    parent_sizes[index], parent_vars[index],
+                    strategy=strategy,
+                )
+                lo, hi = offsets[index], offsets[index + 1]
+                assert sorted_sizes[lo:hi].tobytes() == want_sizes.tobytes()
+                assert sorted_vars[lo:hi].tobytes() == want_vars.tobytes()
+
+    def test_unsorted_output_by_design(self):
+        """merge_level_values leaves the re-sort to the segmented pass."""
+        merged, _ = merge_level_values(
+            np.array([5.0, 1.0]), np.ones(2),
+            np.array([5.0, 1.0]), np.ones(2),
+        )
+        assert list(merged) == [5, 1]
+
+    def test_empty_level(self):
+        merged, variance = merge_level_values(
+            np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0)
+        )
+        assert merged.size == 0 and merged.dtype == np.int64
+        assert variance.size == 0
+
+    def test_error_paths(self):
+        with pytest.raises(EstimationError):
+            merge_level_values(
+                np.array([1.0]), np.array([0.0]),
+                np.array([1.0]), np.array([1.0]),
+            )
+        with pytest.raises(EstimationError):
+            merge_level_values(
+                np.array([1.0]), np.array([1.0]),
+                np.array([1.0]), np.array([1.0]),
+                strategy="median",
+            )
+
+
+class TestSegmentedStableSort:
+    def test_stability_within_equal_values(self):
+        values = np.array([2, 2, 1, 1])
+        companions = np.array([10.0, 20.0, 30.0, 40.0])
+        segments = np.array([0, 0, 0, 0])
+        sorted_values, sorted_companions = segmented_stable_sort(
+            values, companions, segments
+        )
+        assert list(sorted_values) == [1, 1, 2, 2]
+        # Ties keep original order: 30 before 40, 10 before 20.
+        assert list(sorted_companions) == [30.0, 40.0, 10.0, 20.0]
+
+    def test_segments_sort_independently(self):
+        values = np.array([9, 1, 5, 3])
+        companions = values.astype(np.float64)
+        segments = np.array([0, 0, 1, 1])
+        sorted_values, _ = segmented_stable_sort(values, companions, segments)
+        assert list(sorted_values) == [1, 9, 3, 5]
+
+    def test_empty(self):
+        values, companions = segmented_stable_sort(
+            np.zeros(0, dtype=np.int64), np.zeros(0), np.zeros(0, dtype=np.int64)
+        )
+        assert values.size == 0 and companions.size == 0
+
+
+class TestSumChildHistograms:
+    def test_pads_to_longest(self):
+        total = sum_child_histograms(
+            [np.array([1, 2], dtype=np.int64),
+             np.array([0, 1, 4], dtype=np.int64)]
+        )
+        assert list(total) == [1, 3, 4]
+        assert total.dtype == np.int64
+
+    def test_matches_count_of_counts_add_length(self):
+        """Same values and the same length as chained CountOfCounts adds."""
+        from repro.core.histogram import CountOfCounts
+
+        arrays = [
+            np.array([0, 3], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([0, 0, 0, 2], dtype=np.int64),
+        ]
+        total = sum_child_histograms(arrays)
+        chained = CountOfCounts(arrays[0])
+        for arr in arrays[1:]:
+            chained = chained + CountOfCounts(arr)
+        assert np.array_equal(total, chained.histogram)
+        assert total.size == len(chained)
+
+    def test_single_child_is_copy(self):
+        source = np.array([2, 0, 1], dtype=np.int64)
+        total = sum_child_histograms([source])
+        assert np.array_equal(total, source)
+        total[0] = 99  # the sum is a fresh buffer, not a view
+        assert source[0] == 2
+
+
+class TestOffsetsAndSegments:
+    def test_level_offsets(self):
+        assert list(level_offsets([2, 0, 3])) == [0, 2, 2, 5]
+        assert list(level_offsets([])) == [0]
+
+    def test_segment_ids(self):
+        assert list(segment_ids([2, 0, 3])) == [0, 0, 2, 2, 2]
+        assert segment_ids([]).size == 0

@@ -104,6 +104,15 @@ class TestMergeInvariants:
                 np.array([1.0]), np.array([1.0]),
             )
 
+    def test_nonpositive_parent_variances_rejected(self):
+        """The parent-side twin of the child check: zero and negative."""
+        for bad in (0.0, -1.0):
+            with pytest.raises(EstimationError):
+                merge_matched_estimates(
+                    np.array([1.0]), np.array([1.0]),
+                    np.array([1.0]), np.array([bad]),
+                )
+
     def test_unknown_strategy_rejected(self):
         with pytest.raises(EstimationError):
             merge_matched_estimates(
@@ -111,3 +120,45 @@ class TestMergeInvariants:
                 np.array([1.0]), np.array([1.0]),
                 strategy="median",
             )
+
+
+class TestMergeEdgeCases:
+    """Regression coverage for previously untested branches."""
+
+    def test_zero_size_parent_runs(self):
+        """Groups estimated at size zero merge like any other run and
+        stay clamped at zero after rounding."""
+        sizes, variances = merge_matched_estimates(
+            np.array([0.0, 0.0, 1.0]), np.array([1.0, 1.0, 1.0]),
+            np.array([0.0, 0.0, 0.0]), np.array([1.0, 1.0, 1.0]),
+        )
+        assert list(sizes) == [0, 0, 0]  # 0.5 rounds to even → 0
+        assert np.all(sizes >= 0)
+        assert variances.size == 3
+
+    def test_negative_merged_mean_clamps_to_zero(self):
+        """A dominant parent estimate below zero cannot produce a
+        negative group size."""
+        sizes, _ = merge_matched_estimates(
+            np.array([1.0]), np.array([1e6]),
+            np.array([-40.0]), np.array([1e-6]),
+        )
+        assert sizes[0] == 0
+
+    def test_single_child_parent_merge_is_identity(self):
+        """With one child, matching hands the child the parent's whole
+        multiset; merging two *equal* estimates must return them
+        unchanged (the inverse-variance mean of x and x is x)."""
+        values = np.array([1.0, 3.0, 3.0, 8.0])
+        for strategy in ("weighted", "naive"):
+            sizes, variances = merge_matched_estimates(
+                values, np.array([2.0, 2.0, 2.0, 2.0]),
+                values, np.array([2.0, 2.0, 2.0, 2.0]),
+                strategy=strategy,
+            )
+            assert np.array_equal(sizes, values.astype(np.int64))
+        # Weighted combination of equal variances halves them (Eq. 6).
+        _, combined = merge_matched_estimates(
+            values, np.full(4, 2.0), values, np.full(4, 2.0)
+        )
+        assert np.allclose(combined, 1.0)

@@ -150,6 +150,77 @@ class TestPipelineSchema:
         assert validate_pipeline_payload([1, 2, 3]) != []
 
 
+class TestSubstageSchema:
+    """`substages` is the additive format v1 field: optional, closed in
+    shape, and bounded by its parent stage's wall time."""
+
+    @staticmethod
+    def _with_substages(payload, substages):
+        payload["scenarios"][0]["substages"] = substages
+        return payload
+
+    def test_consistency_substages_validate(self, pipeline_payload):
+        self._with_substages(pipeline_payload, {
+            "consistency.matching": 0.10,
+            "consistency.merge": 0.08,
+            "consistency.isotonic": 0.05,
+            "consistency.backsub": 0.04,
+            "serve.plan": 0.02,
+        })
+        assert validate_pipeline_payload(pipeline_payload) == []
+
+    def test_payload_without_substages_still_valid(self, pipeline_payload):
+        # Baselines written before sub-spans existed must keep loading —
+        # format v1 grows additively, it does not bump.
+        del pipeline_payload["scenarios"][0]["substages"]
+        assert validate_pipeline_payload(pipeline_payload) == []
+        assert pipeline_payload["schema_version"] == PIPELINE_SCHEMA_VERSION
+
+    def test_undotted_substage_path_rejected(self, pipeline_payload):
+        self._with_substages(pipeline_payload, {"matching": 0.1})
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("substages.matching" in p and "dotted" in p
+                   for p in problems)
+
+    def test_unknown_root_stage_rejected(self, pipeline_payload):
+        self._with_substages(pipeline_payload, {"cell.inner": 0.1})
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("substages.cell.inner" in p for p in problems)
+
+    def test_negative_substage_time_rejected(self, pipeline_payload):
+        self._with_substages(pipeline_payload, {"consistency.merge": -0.01})
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("substages.consistency.merge" in p and ">= 0" in p
+                   for p in problems)
+
+    def test_substage_sum_bounded_by_stage(self, pipeline_payload):
+        # stages.consistency is 0.30 in the synthetic payload; nested
+        # spans are timed inside it on the same clock.
+        self._with_substages(pipeline_payload, {
+            "consistency.matching": 0.25,
+            "consistency.merge": 0.25,
+        })
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("consistency.* sum" in p and "exceeds" in p
+                   for p in problems)
+
+    def test_substages_must_be_an_object(self, pipeline_payload):
+        self._with_substages(pipeline_payload, [0.1, 0.2])
+        problems = validate_pipeline_payload(pipeline_payload)
+        assert any("substages: expected an object" in p for p in problems)
+
+    def test_committed_baseline_breaks_down_consistency(self):
+        # The committed baseline is regenerated by the kernel PR and must
+        # carry the consistency sub-span breakdown for both scenarios.
+        payload = json.loads(PIPELINE_BASELINE.read_text())
+        for scenario in payload["scenarios"]:
+            paths = set(scenario.get("substages", {}))
+            assert {
+                "consistency.matching", "consistency.merge",
+                "consistency.isotonic", "consistency.backsub",
+            } <= paths, scenario["workload"]
+
+
 class TestServingSchema:
     def test_synthetic_payload_is_valid(self, serving_payload):
         assert validate_serving_payload(serving_payload) == []

@@ -7,7 +7,11 @@ from hypothesis.extra.numpy import arrays
 
 from repro.isotonic.constrained import isotonic_with_endpoint
 from repro.isotonic.l1 import isotonic_l1
-from repro.isotonic.pav import isotonic_l2
+from repro.isotonic.pav import (
+    isotonic_blocks,
+    isotonic_blocks_segmented,
+    isotonic_l2,
+)
 from repro.isotonic.rounding import largest_remainder_round, proportional_allocation
 from repro.isotonic.simplex import project_to_simplex
 
@@ -15,6 +19,25 @@ float_arrays = arrays(
     np.float64, st.integers(min_value=1, max_value=60),
     elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
 )
+
+# A segmented PAV instance: per-segment lengths (zeros legal) plus a
+# value pool resized to the total length.
+segment_instances = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=6),
+    st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        min_size=1, max_size=20,
+    ),
+)
+
+
+def build_segmented(instance):
+    lengths, pool = instance
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.sum() == 0:
+        lengths[0] = 1
+    y = np.resize(np.asarray(pool, dtype=np.float64), int(lengths.sum()))
+    return y, lengths
 
 
 @given(float_arrays)
@@ -103,3 +126,49 @@ def test_proportional_allocation_feasible(weights, total):
     assert allocation.sum() == total
     assert np.all(allocation <= weights)
     assert np.all(allocation >= 0)
+
+
+@given(segment_instances)
+@settings(max_examples=80, deadline=None)
+def test_segmented_pav_monotone_within_segments(instance):
+    y, lengths = build_segmented(instance)
+    fitted, sizes = isotonic_blocks_segmented(y, lengths)
+    position = 0
+    for length in lengths:
+        segment = fitted[position:position + int(length)]
+        assert np.all(np.diff(segment) >= 0)
+        position += int(length)
+    assert sizes.shape == fitted.shape and np.all(sizes >= 1)
+
+
+@given(segment_instances)
+@settings(max_examples=80, deadline=None)
+def test_segmented_pav_preserves_segment_sums(instance):
+    """Pooling replaces values by block means inside one segment, so each
+    segment's sum — not just the grand total — is invariant."""
+    y, lengths = build_segmented(instance)
+    fitted, _ = isotonic_blocks_segmented(y, lengths)
+    position = 0
+    for length in lengths:
+        end = position + int(length)
+        want = y[position:end].sum()
+        assert np.isclose(
+            fitted[position:end].sum(), want, atol=1e-6 * max(1.0, abs(want))
+        )
+        position = end
+
+
+@given(segment_instances)
+@settings(max_examples=80, deadline=None)
+def test_segmented_pav_bit_identical_to_per_segment_reference(instance):
+    y, lengths = build_segmented(instance)
+    fitted, sizes = isotonic_blocks_segmented(y, lengths)
+    position = 0
+    for length in lengths:
+        if length == 0:
+            continue
+        end = position + int(length)
+        ref_fit, ref_sizes = isotonic_blocks(y[position:end])
+        assert fitted[position:end].tobytes() == ref_fit.tobytes()
+        assert np.array_equal(sizes[position:end], ref_sizes)
+        position = end

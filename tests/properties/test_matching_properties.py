@@ -1,13 +1,22 @@
-"""Property-based tests for the matching algorithm (Lemma 5 optimality)."""
+"""Property-based tests for the matching algorithm (Lemma 5 optimality).
+
+``match_parent_to_children`` dispatches to the vectorized kernel, so
+every property here exercises it; the differential properties at the
+bottom additionally pin the kernel to the scalar oracle
+(``_reference_match_parent_to_children``) and the footnote-10 tie rule
+to :func:`proportional_allocation`.
+"""
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.consistency.matching import (
+    _reference_match_parent_to_children,
     match_parent_to_children,
     matching_cost_lower_bound,
 )
+from repro.isotonic.rounding import proportional_allocation
 
 child_lists = st.lists(
     st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=10),
@@ -76,3 +85,116 @@ def test_matching_cost_equals_hungarian(children_values, perturbations):
         children, [np.ones(c.size) for c in children],
     )
     assert result.cost == int(cost_matrix[rows, cols].sum())
+
+
+@given(
+    child_lists,
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_matching_cost_at_least_lower_bound(children_values, perturbations):
+    """The defensive half of optimality: never below the sorted bound."""
+    parent, children = build_instance(children_values, perturbations)
+    result = match_parent_to_children(
+        parent, np.ones(parent.size),
+        children, [np.ones(c.size) for c in children],
+    )
+    assert result.cost >= matching_cost_lower_bound(parent, children)
+
+
+@given(
+    child_lists,
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_each_child_group_matched_exactly_once_per_parent_run(
+    children_values, perturbations
+):
+    """Per parent run, a child receives at most its own group count —
+    i.e. no child group is matched twice from one run — and every
+    child's assignments are consumed in nondecreasing parent order."""
+    parent, children = build_instance(children_values, perturbations)
+    result = match_parent_to_children(
+        parent, np.ones(parent.size),
+        children, [np.ones(c.size) for c in children],
+    )
+    run_values, run_counts = np.unique(parent, return_counts=True)
+    totals = dict(zip(run_values.tolist(), run_counts.tolist()))
+    consumed = {value: 0 for value in totals}
+    for index, child in enumerate(children):
+        assigned = result.parent_sizes[index]
+        # Parent entries are consumed in index (hence sorted) order.
+        assert np.all(np.diff(assigned) >= 0)
+        values, counts = np.unique(assigned, return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            assert count <= child.size
+            consumed[value] += count
+    # Across children, each parent run is consumed exactly once.
+    assert consumed == totals
+
+
+@given(
+    child_lists,
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=10),
+    st.lists(
+        st.floats(min_value=0.1, max_value=9.0, allow_nan=False),
+        min_size=1, max_size=10,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_kernel_bit_identical_to_reference(
+    children_values, perturbations, variance_pool
+):
+    """The differential property: vectorized output == scalar oracle,
+    sizes, variances and cost, bit for bit."""
+    parent, children = build_instance(children_values, perturbations)
+    parent_vars = np.resize(np.asarray(variance_pool), parent.size)
+    child_vars = []
+    cursor = 0
+    for child in children:
+        child_vars.append(
+            np.resize(np.asarray(variance_pool)[::-1], child.size) + cursor
+        )
+        cursor += 1
+    result = match_parent_to_children(parent, parent_vars, children, child_vars)
+    oracle = _reference_match_parent_to_children(
+        parent, parent_vars, children, child_vars
+    )
+    assert result.cost == oracle.cost
+    for got, want in zip(result.parent_sizes, oracle.parent_sizes):
+        assert got.dtype == want.dtype and got.tobytes() == want.tobytes()
+    for got, want in zip(result.parent_variances, oracle.parent_variances):
+        assert got.tobytes() == want.tobytes()
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=5),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_tie_runs_split_per_footnote_10(run_lengths, parent_run):
+    """All children tied at one size, parent run shorter than the tie
+    total: the first parent run must be split across children exactly as
+    ``proportional_allocation`` dictates (largest remainder, lower index
+    on ties)."""
+    runs = np.asarray(run_lengths, dtype=np.int64)
+    total = int(runs.sum())
+    if total == 0:
+        runs[0] = 1
+        total = 1
+    parent_run = min(parent_run, total)
+    children = [np.full(int(count), 7) for count in runs]
+    # `parent_run` entries match the tied size; the rest are larger.
+    parent = np.concatenate(
+        [np.full(parent_run, 7), np.full(total - parent_run, 9)]
+    )
+    result = match_parent_to_children(
+        parent, np.ones(total), children, [np.ones(c.size) for c in children]
+    )
+    expected = (
+        runs if parent_run == total
+        else proportional_allocation(runs, total=parent_run)
+    )
+    for index, child in enumerate(children):
+        took = int(np.count_nonzero(result.parent_sizes[index] == 7))
+        assert took == int(expected[index])
