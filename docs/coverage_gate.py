@@ -3,7 +3,7 @@
 
 Runs the gated test suites under a minimal :func:`sys.settrace` line
 collector and fails when line coverage of any gated package drops below
-the floor.  Four packages are gated:
+the floor.  Seven packages are gated:
 
 * ``src/repro/workloads/`` — covered by ``tests/workloads`` +
   ``tests/golden``;
@@ -14,7 +14,9 @@ the floor.  Four packages are gated:
   ``tests/properties`` (the differential + property harness that pins
   the vectorized kernels to the scalar oracles);
 * ``src/repro/isotonic/``  — covered by ``tests/isotonic`` +
-  ``tests/properties``.
+  ``tests/properties``;
+* ``src/repro/io/``        — covered by ``tests/io`` (the v2↔v3
+  round-trip and columnar-container suites) + ``tests/test_io.py``.
 
 Built on the stdlib on purpose: the gate runs identically on a bare
 container and in CI, with no ``coverage``/``pytest-cov`` install step to
@@ -61,6 +63,7 @@ TARGETS = (
     (SRC / "repro" / "core" / "consistency",
      ("tests/consistency", "tests/properties")),
     (SRC / "repro" / "isotonic", ("tests/isotonic", "tests/properties")),
+    (SRC / "repro" / "io", ("tests/io", "tests/test_io.py")),
 )
 DEFAULT_FLOOR = 85.0
 

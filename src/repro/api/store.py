@@ -11,7 +11,12 @@ execution counter (:func:`repro.api.spec.execution_count`).
 
 Artifacts are byte-stable (see :mod:`repro.api.release`), so the store
 needs no invalidation protocol: a hash either exists with exactly the
-right contents or is built.  Writes are atomic (tmp + rename), making a
+right contents or is built.  A hash may be stored as version-2 JSON (the
+interchange format, default) or as an io-format-v3 binary columnar file
+(:mod:`repro.io.columnar`) that the serving tier mmap-opens without any
+parse; :meth:`ReleaseStore.migrate` converts between them losslessly and
+reads are always format-agnostic.  Writes are atomic (tmp + rename),
+making a
 store directory safe to share between concurrent publishers; within one
 process, :meth:`ReleaseStore.get_or_build` additionally serializes
 concurrent builders of the *same* spec on a per-spec-hash lock, so the
@@ -22,6 +27,8 @@ relies on this).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -30,12 +37,29 @@ from repro.api.release import Provenance, Release, summary_line
 from repro.api.spec import ReleaseSpec
 from repro.exceptions import HierarchyError, QueryError, ReproError
 from repro.hierarchy.tree import Hierarchy
+from repro.io.columnar import (
+    ColumnarReader,
+    columnar_to_json_bytes,
+    write_columnar,
+    write_columnar_payload,
+)
 
 PathLike = Union[str, Path]
 
-#: Filename suffix of stored artifacts (distinguishes them from engine
-#: result-cache cells, which are plain ``<hash>.json`` files).
+#: Filename suffix of stored JSON artifacts (distinguishes them from
+#: engine result-cache cells, which are plain ``<hash>.json`` files).
 ARTIFACT_SUFFIX = ".release.json"
+
+#: Filename suffix of stored binary columnar (io format v3) artifacts.
+COLUMNAR_SUFFIX = ".release.bin"
+
+#: Artifact format name → filename suffix.  ``json`` (io format v2) is
+#: the interchange format and the default; ``columnar`` (io format v3)
+#: is the mmap-backed serving format.  A store may hold a mix.
+ARTIFACT_FORMATS: Dict[str, str] = {
+    "json": ARTIFACT_SUFFIX,
+    "columnar": COLUMNAR_SUFFIX,
+}
 
 
 class ReleaseStore:
@@ -54,9 +78,20 @@ class ReleaseStore:
     True
     """
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(
+        self, directory: PathLike, write_format: str = "json"
+    ) -> None:
+        if write_format not in ARTIFACT_FORMATS:
+            raise QueryError(
+                f"unknown artifact format {write_format!r}; "
+                f"choose from {sorted(ARTIFACT_FORMATS)}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Format newly built/put artifacts are persisted in.  Reading is
+        #: always format-agnostic: the store serves whichever format a
+        #: hash is stored under.
+        self.write_format = write_format
         #: Artifacts served from disk since this store object was created.
         self.hits = 0
         #: Mechanism executions this store object performed.
@@ -72,9 +107,39 @@ class ReleaseStore:
             return self._build_locks.setdefault(spec_hash, threading.Lock())
 
     # -- paths & enumeration ------------------------------------------------
-    def path_for(self, spec_or_hash: Union[ReleaseSpec, str]) -> Path:
-        """Where the artifact for a spec (or raw hash) lives."""
-        return self.directory / f"{self._hash_of(spec_or_hash)}{ARTIFACT_SUFFIX}"
+    def path_for(
+        self,
+        spec_or_hash: Union[ReleaseSpec, str],
+        format: Optional[str] = None,
+    ) -> Path:
+        """Where the artifact for a spec (or raw hash) lives.
+
+        With an explicit ``format`` ("json" or "columnar"): that format's
+        path, whether or not it exists.  Without one: the existing
+        artifact's path (preferring :attr:`write_format` when a hash is
+        stored in both), falling back to the :attr:`write_format` path
+        for a hash not stored yet.
+        """
+        spec_hash = self._hash_of(spec_or_hash)
+        if format is not None:
+            try:
+                suffix = ARTIFACT_FORMATS[format]
+            except KeyError:
+                raise QueryError(
+                    f"unknown artifact format {format!r}; "
+                    f"choose from {sorted(ARTIFACT_FORMATS)}"
+                ) from None
+            return self.directory / f"{spec_hash}{suffix}"
+        preferred = (
+            self.directory / f"{spec_hash}{ARTIFACT_FORMATS[self.write_format]}"
+        )
+        if preferred.exists():
+            return preferred
+        for suffix in ARTIFACT_FORMATS.values():
+            candidate = self.directory / f"{spec_hash}{suffix}"
+            if candidate.exists():
+                return candidate
+        return preferred
 
     @staticmethod
     def _hash_of(spec_or_hash: Union[ReleaseSpec, str]) -> str:
@@ -83,11 +148,25 @@ class ReleaseStore:
         return str(spec_or_hash)
 
     def spec_hashes(self) -> List[str]:
-        """Hashes of every stored artifact, sorted."""
-        return sorted(
-            path.name[: -len(ARTIFACT_SUFFIX)]
-            for path in self.directory.glob(f"*{ARTIFACT_SUFFIX}")
-        )
+        """Hashes of every stored artifact (either format), sorted."""
+        hashes = set()
+        for suffix in ARTIFACT_FORMATS.values():
+            for path in self.directory.glob(f"*{suffix}"):
+                hashes.add(path.name[: -len(suffix)])
+        return sorted(hashes)
+
+    def artifact_format(
+        self, spec_or_hash: Union[ReleaseSpec, str]
+    ) -> Optional[str]:
+        """Format a hash is stored under (:attr:`write_format` preferred
+        when both exist), or ``None`` when absent."""
+        path = self.path_for(spec_or_hash)
+        if not path.exists():
+            return None
+        for name, suffix in ARTIFACT_FORMATS.items():
+            if path.name.endswith(suffix):
+                return name
+        return None  # pragma: no cover - path_for only returns known suffixes
 
     def releases(self) -> Iterator[Release]:
         """Load every stored artifact (hash order)."""
@@ -107,9 +186,9 @@ class ReleaseStore:
         rows: List[Tuple[str, str]] = []
         for spec_hash in self.spec_hashes():
             try:
-                payload = json.loads(self.path_for(spec_hash).read_text())
-                spec = ReleaseSpec.from_dict(payload["spec"])
-                provenance = Provenance.from_dict(payload["provenance"])
+                envelope = self._envelope(spec_hash)
+                spec = ReleaseSpec.from_dict(envelope["spec"])
+                provenance = Provenance.from_dict(envelope["provenance"])
                 summary = summary_line(
                     spec, provenance.num_nodes, provenance.epsilon_spent,
                     provenance.library_version,
@@ -119,6 +198,56 @@ class ReleaseStore:
             rows.append((spec_hash, summary))
         return rows
 
+    def _envelope(self, spec_hash: str) -> Dict[str, object]:
+        """The spec/provenance envelope of one artifact, cheaply.
+
+        Columnar artifacts carry the envelope in their small header, so
+        this never touches histogram bytes; JSON artifacts are one
+        document and must be parsed whole.
+        """
+        path = self.path_for(spec_hash)
+        if path.name.endswith(COLUMNAR_SUFFIX):
+            reader = ColumnarReader(path)
+            try:
+                return dict(reader.envelope)
+            finally:
+                reader.close()
+        return dict(json.loads(path.read_text()))
+
+    def artifact_info(
+        self, spec_or_hash: Union[ReleaseSpec, str]
+    ) -> Dict[str, object]:
+        """On-disk facts about one artifact: format, version, size.
+
+        Returns ``{spec_hash, path, format, format_version, size_bytes,
+        num_nodes}`` — what ``repro store show``/``store list`` surface.
+        Raises :class:`QueryError` when the hash is not stored.
+        """
+        spec_hash = self._hash_of(spec_or_hash)
+        path = self.path_for(spec_hash)
+        if not path.exists():
+            raise QueryError(
+                f"no artifact for {spec_hash[:12]}… in {self.directory}"
+            )
+        info: Dict[str, object] = {
+            "spec_hash": spec_hash,
+            "path": str(path),
+            "format": self.artifact_format(spec_hash),
+            "size_bytes": path.stat().st_size,
+        }
+        if path.name.endswith(COLUMNAR_SUFFIX):
+            reader = ColumnarReader(path)
+            try:
+                info["format_version"] = reader.format_version
+                info["num_nodes"] = len(reader)
+            finally:
+                reader.close()
+        else:
+            payload = json.loads(path.read_text())
+            info["format_version"] = payload.get("format_version", 1)
+            info["num_nodes"] = len(payload.get("nodes", {}))
+        return info
+
     def __len__(self) -> int:
         return len(self.spec_hashes())
 
@@ -126,12 +255,46 @@ class ReleaseStore:
         return self.path_for(spec_or_hash).exists()
 
     # -- access -------------------------------------------------------------
+    def open_columnar(
+        self, spec_or_hash: Union[ReleaseSpec, str]
+    ) -> ColumnarReader:
+        """Mmap-open a hash's columnar artifact (the zero-parse cold path).
+
+        Raises :class:`QueryError` when the hash has no columnar artifact
+        (the serving tier falls back to the JSON decode path then), and
+        :class:`HierarchyError` when the artifact's recorded spec hash
+        does not match its filename.
+        """
+        spec_hash = self._hash_of(spec_or_hash)
+        path = self.path_for(spec_hash, format="columnar")
+        if not path.exists():
+            raise QueryError(
+                f"no columnar artifact for {spec_hash[:12]}… in "
+                f"{self.directory}; run `repro store migrate --to columnar`"
+            )
+        reader = ColumnarReader(path)
+        if reader.spec_hash != spec_hash:
+            reader.close()
+            raise HierarchyError(
+                f"artifact {path.name} claims spec hash "
+                f"{reader.spec_hash[:12]}…, expected {spec_hash[:12]}… — the "
+                "store directory has been tampered with or mixed up"
+            )
+        return reader
+
     def _load(self, spec_hash: str) -> Release:
-        release = Release.load(self.path_for(spec_hash))
+        path = self.path_for(spec_hash)
+        if path.name.endswith(COLUMNAR_SUFFIX):
+            reader = self.open_columnar(spec_hash)
+            try:
+                return reader.to_release()
+            finally:
+                reader.close()
+        release = Release.load(path)
         stored = release.provenance.spec_hash
         if stored != spec_hash:
             raise HierarchyError(
-                f"artifact {self.path_for(spec_hash).name} claims spec hash "
+                f"artifact {path.name} claims spec hash "
                 f"{stored[:12]}…, expected {spec_hash[:12]}… — the store "
                 "directory has been tampered with or mixed up"
             )
@@ -149,8 +312,13 @@ class ReleaseStore:
         return release
 
     def put(self, release: Release) -> Path:
-        """Persist an artifact under its spec hash (atomic)."""
-        return release.save(self.path_for(release.provenance.spec_hash))
+        """Persist an artifact under its spec hash (atomic), in
+        :attr:`write_format`."""
+        spec_hash = release.provenance.spec_hash
+        path = self.path_for(spec_hash, format=self.write_format)
+        if self.write_format == "columnar":
+            return write_columnar(release, path)
+        return release.save(path)
 
     def get_or_build(
         self, spec: ReleaseSpec, hierarchy: Optional[Hierarchy] = None
@@ -215,12 +383,61 @@ class ReleaseStore:
         return self.get_or_build(spec).query(query, node, **params)
 
     # -- maintenance --------------------------------------------------------
+    def migrate(self, to: str, keep_original: bool = False) -> int:
+        """Convert every stored artifact to format ``to``; returns how
+        many were converted (already-``to`` artifacts are skipped).
+
+        Conversion is verified before the original is removed: each new
+        artifact must round-trip back to the exact canonical v2 JSON of
+        its source (``spec_hash``/provenance bytes unchanged), so a
+        migration can never lose information.  With ``keep_original``
+        both formats are left on disk (the store then serves
+        :attr:`write_format` first).
+        """
+        if to not in ARTIFACT_FORMATS:
+            raise QueryError(
+                f"unknown artifact format {to!r}; "
+                f"choose from {sorted(ARTIFACT_FORMATS)}"
+            )
+        converted = 0
+        for spec_hash in self.spec_hashes():
+            source_format = self.artifact_format(spec_hash)
+            target = self.path_for(spec_hash, format=to)
+            if source_format == to or target.exists():
+                continue
+            source = self.path_for(spec_hash, format=source_format)
+            if to == "columnar":
+                canonical = json.dumps(
+                    json.loads(source.read_text()), sort_keys=True
+                ).encode("utf-8")
+                write_columnar_payload(json.loads(canonical), target)
+                if columnar_to_json_bytes(target) != canonical:
+                    target.unlink()  # pragma: no cover - round-trip safety net
+                    raise HierarchyError(
+                        f"columnar conversion of {source.name} failed its "
+                        "round-trip verification; original left untouched"
+                    )
+            else:
+                text = columnar_to_json_bytes(source)
+                fd, tmp_name = tempfile.mkstemp(
+                    prefix=target.name + ".", suffix=".tmp",
+                    dir=self.directory,
+                )
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, target)
+            if not keep_original:
+                source.unlink()
+            converted += 1
+        return converted
+
     def clear(self) -> int:
         """Delete every stored artifact; returns how many were removed."""
         removed = 0
-        for path in self.directory.glob(f"*{ARTIFACT_SUFFIX}"):
-            path.unlink()
-            removed += 1
+        for suffix in ARTIFACT_FORMATS.values():
+            for path in self.directory.glob(f"*{suffix}"):
+                path.unlink()
+                removed += 1
         return removed
 
     def statistics(self) -> Dict[str, int]:

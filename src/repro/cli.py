@@ -10,6 +10,7 @@ Seven subcommands cover the workflows a data publisher needs::
     python -m repro query    efff3923 --store releases/ --node national \\
                              --summary
     python -m repro store    list --store releases/
+    python -m repro store    migrate --store releases/ --to columnar
     python -m repro sweep    --dataset hawaiian --epsilons 0.2,1.0 --runs 3
     python -m repro grid     --datasets housing,white --methods hc,hg,bu-hg \\
                              --epsilons 0.2,1.0 --trials 10 \\
@@ -84,7 +85,12 @@ from repro.evaluation.report import format_grid, format_series
 from repro.evaluation.runner import ExperimentRunner
 from repro.perf.harness import DEFAULT_WORKLOADS as PERF_DEFAULT_WORKLOADS
 from repro.exceptions import EstimationError, HierarchyError, ReproError
-from repro.io import export_release_csv, load_release, save_hierarchy
+from repro.io import (
+    export_release_csv,
+    load_release,
+    save_hierarchy,
+    write_columnar,
+)
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -153,7 +159,7 @@ def _command_release(args: argparse.Namespace) -> int:
     )
     tree = spec.build_dataset()
     if args.store:
-        store = ReleaseStore(args.store)
+        store = ReleaseStore(args.store, write_format=args.format)
         release = store.get_or_build(spec, hierarchy=tree)
         source = "served from store" if store.hits else "built and stored"
         print(f"store: {store.path_for(spec)} ({source})")
@@ -177,8 +183,11 @@ def _command_release(args: argparse.Namespace) -> int:
         print(release.accuracy_report())
 
     if args.out:
-        release.save(args.out)
-        print(f"wrote {args.out}")
+        if args.format == "columnar":
+            write_columnar(release, args.out)
+        else:
+            release.save(args.out)
+        print(f"wrote {args.out} ({args.format})")
     if args.csv:
         rows = release.export_csv(args.csv)
         print(f"wrote {args.csv} ({rows} rows)")
@@ -233,12 +242,20 @@ def _command_store(args: argparse.Namespace) -> int:
         rows = store.summaries()
         print(f"{store.directory}: {len(rows)} release artifact(s)")
         for spec_hash, summary in rows:
-            print(f"  {spec_hash[:16]}  {summary}")
+            info = store.artifact_info(spec_hash)
+            print(f"  {spec_hash[:16]}  "
+                  f"[{info['format']} v{info['format_version']} "
+                  f"{info['size_bytes']:,} B]  {summary}")
         return 0
     if args.action == "show":
-        release = store.get(store.resolve(args.hash))
+        spec_hash = store.resolve(args.hash)
+        info = store.artifact_info(spec_hash)
+        release = store.get(spec_hash)
         print(release.spec.describe())
-        print(f"  artifact     : {store.path_for(release.spec)}")
+        print(f"  artifact     : {info['path']}")
+        print(f"  format       : {info['format']} "
+              f"(format_version {info['format_version']})")
+        print(f"  size         : {info['size_bytes']:,} bytes")
         print(f"  nodes        : {len(release)}")
         print(f"  eps spent    : {release.provenance.epsilon_spent:.4f} of "
               f"{release.provenance.epsilon_budget:.4f}")
@@ -246,6 +263,14 @@ def _command_store(args: argparse.Namespace) -> int:
         if args.report:
             print()
             print(release.accuracy_report())
+        return 0
+    if args.action == "migrate":
+        converted = store.migrate(
+            to=args.to, keep_original=args.keep_original,
+        )
+        print(f"{store.directory}: migrated {converted} artifact(s) "
+              f"to {args.to}"
+              + (" (originals kept)" if args.keep_original else ""))
         return 0
     # build: execute (or serve) a spec described as JSON.
     with open(args.spec_json) as handle:
@@ -522,6 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
     release.add_argument("--max-size", type=int, default=20_000,
                          help="public bound K on group size")
     release.add_argument("--out", help="write the release artifact here")
+    release.add_argument("--format", default="json",
+                         choices=("json", "columnar"),
+                         help="artifact format for --out/--store: v2 JSON "
+                              "(interchange) or the v3 binary columnar "
+                              "container (mmap zero-parse reads)")
     release.add_argument("--csv", help="write Summary-File-style CSV here")
     release.add_argument("--store", default=None,
                          help="release-store directory: serve the artifact "
@@ -576,6 +606,18 @@ def build_parser() -> argparse.ArgumentParser:
     s_build.add_argument("--store", required=True,
                          help="release-store directory")
     s_build.set_defaults(fn=_command_store)
+    s_migrate = store_actions.add_parser(
+        "migrate", help="convert every stored artifact to another format "
+                        "(round-trip verified before originals are removed)"
+    )
+    s_migrate.add_argument("--store", required=True,
+                           help="release-store directory")
+    s_migrate.add_argument("--to", required=True,
+                           choices=("json", "columnar"),
+                           help="target artifact format")
+    s_migrate.add_argument("--keep-original", action="store_true",
+                           help="leave source artifacts in place")
+    s_migrate.set_defaults(fn=_command_store)
 
     sweep = commands.add_parser("sweep", help="mini epsilon sweep with chart")
     _add_dataset_arguments(sweep)

@@ -198,13 +198,19 @@ class CountOfCounts:
     [1, 1, 2, 3, 3]
     """
 
-    __slots__ = ("_histogram", "_cumulative", "_unattributed")
+    __slots__ = (
+        "_histogram", "_cumulative", "_unattributed", "_tail",
+        "_groups", "_entities",
+    )
 
     def __init__(self, histogram: ArrayLike) -> None:
         self._histogram = validate_histogram(histogram)
         self._histogram.setflags(write=False)
         self._cumulative: Optional[np.ndarray] = None
         self._unattributed: Optional[np.ndarray] = None
+        self._tail: Optional[np.ndarray] = None
+        self._groups: Optional[int] = None
+        self._entities: Optional[int] = None
 
     @classmethod
     def _trusted(cls, histogram: np.ndarray) -> "CountOfCounts":
@@ -221,6 +227,41 @@ class CountOfCounts:
         obj._histogram.setflags(write=False)
         obj._cumulative = None
         obj._unattributed = None
+        obj._tail = None
+        obj._groups = None
+        obj._entities = None
+        return obj
+
+    @classmethod
+    def _from_views(
+        cls,
+        histogram: np.ndarray,
+        cumulative: np.ndarray,
+        unattributed: np.ndarray,
+        suffix_sums: np.ndarray,
+        num_groups: Optional[int] = None,
+        num_entities: Optional[int] = None,
+    ) -> "CountOfCounts":
+        """Wrap precomputed views **all at once** (columnar zero-copy path).
+
+        :class:`~repro.io.columnar.ColumnarReader` stores every derived
+        representation next to ``H`` on disk — including the scalar
+        group/entity counts; this constructor hands them over as
+        mmap-backed read-only views so no query ever recomputes a
+        ``cumsum``/``repeat``/reduction.  Like :meth:`_trusted`, callers
+        own the invariants; writer-side validation plus the round-trip
+        test suite is what keeps the views mutually consistent.
+        """
+        obj = cls.__new__(cls)
+        obj._histogram = histogram
+        obj._cumulative = cumulative
+        obj._unattributed = unattributed
+        obj._tail = suffix_sums
+        obj._groups = num_groups
+        obj._entities = num_entities
+        for view in (histogram, cumulative, unattributed, suffix_sums):
+            if view.flags.writeable:
+                view.setflags(write=False)
         return obj
 
     @classmethod
@@ -263,17 +304,41 @@ class CountOfCounts:
             self._unattributed.setflags(write=False)
         return self._unattributed
 
+    @property
+    def suffix_sums(self) -> np.ndarray:
+        """Suffix sums of ``Hg`` (cached): entry ``i`` is the exact total
+        size of the ``i + 1`` largest groups.
+
+        This is the working array of the top-share query family —
+        ``suffix_sums[k - 1] / num_entities`` is the share held by the
+        top ``k`` groups — precomputed once per histogram (and stored on
+        disk by the columnar format) instead of rebuilt per query batch.
+
+        Examples
+        --------
+        >>> list(CountOfCounts([0, 2, 1, 2]).suffix_sums)
+        [3, 6, 8, 9, 10]
+        """
+        if self._tail is None:
+            self._tail = np.cumsum(self.unattributed[::-1]).astype(np.int64)
+            self._tail.setflags(write=False)
+        return self._tail
+
     # -- scalar summaries ------------------------------------------------------
     @property
     def num_groups(self) -> int:
-        """G, the (public) number of groups."""
-        return int(self._histogram.sum())
+        """G, the (public) number of groups (cached)."""
+        if self._groups is None:
+            self._groups = int(self._histogram.sum())
+        return self._groups
 
     @property
     def num_entities(self) -> int:
-        """Total number of entities across all groups."""
-        sizes = np.arange(self._histogram.size, dtype=np.int64)
-        return int((sizes * self._histogram).sum())
+        """Total number of entities across all groups (cached)."""
+        if self._entities is None:
+            sizes = np.arange(self._histogram.size, dtype=np.int64)
+            self._entities = int((sizes * self._histogram).sum())
+        return self._entities
 
     @property
     def max_size(self) -> int:

@@ -1,0 +1,76 @@
+"""Artifact serialization: JSON interchange (v1/v2) + binary columnar (v3).
+
+``repro.io`` started life as a single JSON module; it is now a package
+with two sibling codecs over the same release content:
+
+* :mod:`repro.io.json_format` — the human-readable **interchange**
+  format.  Version 2 JSON is what publishers exchange, what
+  ``spec_hash``/provenance bytes are defined over, and what every other
+  tool (and older library version) reads.  It is the format of record.
+* :mod:`repro.io.columnar` — **format v3**, a compact binary columnar
+  layout of the same artifact: Hg, Hc, precomputed suffix sums and
+  per-node offsets as flat little-endian arrays behind a small header +
+  section table, read through an mmap-backed
+  :class:`~repro.io.columnar.ColumnarReader` so a cold query is
+  open → mmap → answer with **zero parse** of histogram data.
+
+The two formats are a canonical, losslessly round-trippable pair:
+``v2 JSON → v3 binary → v2 JSON`` reproduces the exact bytes
+(:func:`~repro.io.columnar.columnar_to_json_bytes`), and decoded arrays
+are bit-equal to JSON-decoded ones.  JSON stays the interchange format;
+the binary format exists purely so the serving tier never pays a JSON
+decode on the hot path.
+
+Importing from ``repro.io`` keeps working exactly as before the package
+promotion — every ``json_format`` name is re-exported here.
+"""
+
+from repro.io.json_format import (
+    FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    PathLike,
+    check_format_version,
+    export_release_csv,
+    hierarchy_fingerprint,
+    import_release_csv,
+    load_hierarchy,
+    load_release,
+    release_metadata,
+    save_hierarchy,
+    save_release,
+)
+from repro.io.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    COLUMNAR_MAGIC,
+    SUPPORTED_COLUMNAR_VERSIONS,
+    ColumnarReader,
+    columnar_to_json_bytes,
+    is_columnar_file,
+    json_payload_from_columnar,
+    write_columnar,
+    write_columnar_payload,
+)
+
+__all__ = [
+    "COLUMNAR_FORMAT_VERSION",
+    "COLUMNAR_MAGIC",
+    "ColumnarReader",
+    "FORMAT_VERSION",
+    "PathLike",
+    "SUPPORTED_COLUMNAR_VERSIONS",
+    "SUPPORTED_FORMAT_VERSIONS",
+    "check_format_version",
+    "columnar_to_json_bytes",
+    "export_release_csv",
+    "hierarchy_fingerprint",
+    "import_release_csv",
+    "is_columnar_file",
+    "json_payload_from_columnar",
+    "load_hierarchy",
+    "load_release",
+    "release_metadata",
+    "save_hierarchy",
+    "save_release",
+    "write_columnar",
+    "write_columnar_payload",
+]

@@ -1,0 +1,613 @@
+"""Format v3: binary columnar release artifacts with mmap zero-parse reads.
+
+The JSON interchange format (:mod:`repro.io.json_format`) is what
+publishers exchange; it is also what the serving tier used to pay for on
+every cold request — a full ``json.loads`` plus per-node histogram
+validation before the first answer.  Format v3 stores the *same
+artifact* as flat little-endian int64 columns behind a small header, so
+a cold query is open → mmap → answer, touching only the bytes of the one
+node it needs:
+
+``index header``
+    ``RPROCOL1`` magic, two little-endian ``uint32`` byte lengths, the
+    **section table** as fixed-order packed int64 (offset, length) pairs
+    — one per :data:`SECTION_NAMES` entry — then one *small* canonical
+    JSON object: format version, spec hash, and the sorted node names.
+    This is the only thing a cold open parses.
+``envelope``
+    The v2 payload's non-histogram blocks
+    (``spec``/``provenance``/``uncertainty``/``metadata``) as canonical
+    JSON bytes, stored verbatim so the round trip is byte-lossless —
+    and parsed **lazily**, only when a full release decode asks for it;
+    a cold query never touches it.
+``sections``
+    64-byte-aligned flat arrays: per-node ``H`` (count-of-counts) and
+    ``Hc`` (cumulative) columns sharing one offsets array, per-node
+    ``Hg`` (unattributed) and its precomputed **suffix sums** sharing a
+    second offsets array, plus ``num_groups``/``num_entities`` scalar
+    columns.  Everything the query kernels consume is precomputed at
+    write time, so the read path never runs ``cumsum``/``repeat``.
+
+The mapping to/from version-2 JSON is canonical and lossless:
+:func:`columnar_to_json_bytes` reproduces the exact canonical v2 bytes
+the artifact was converted from (``spec_hash`` and provenance bytes
+unchanged), and every decoded array is bit-equal to its JSON-decoded
+counterpart — ``tests/io`` pins both properties down.  JSON remains the
+interchange format; v3 is a serving-side representation only.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.histogram import CountOfCounts
+from repro.exceptions import HierarchyError, QueryError
+from repro.io.json_format import check_format_version
+
+PathLike = Union[str, Path]
+
+#: Magic prefix of every v3 artifact file (container layout revision 1;
+#: the logical format version lives in the header, like JSON files).
+COLUMNAR_MAGIC = b"RPROCOL1"
+
+#: The io format version of the binary columnar layout.  Versions 1 and
+#: 2 are the JSON formats; the binary codec starts the lineage at 3.
+COLUMNAR_FORMAT_VERSION = 3
+
+#: Binary versions this build can read.  A v4 file — whatever it may
+#: mean one day — is rejected by :func:`check_format_version`, never
+#: best-effort parsed.
+SUPPORTED_COLUMNAR_VERSIONS = (3,)
+
+#: ``kind`` field of the header (mirrors the JSON files' ``kind``).
+COLUMNAR_KIND = "release-columnar"
+
+#: Section payloads are aligned to this many bytes so mmap'd views can
+#: be consumed zero-copy by vectorized kernels (and stay cache-friendly).
+SECTION_ALIGNMENT = 64
+
+#: Fixed section order; every column is flat little-endian int64.
+#: ``h``/``hc`` share ``h_offsets`` (same per-node lengths), ``hg`` and
+#: its suffix sums share ``hg_offsets``.
+SECTION_NAMES = (
+    "h_values", "h_offsets", "hc_values",
+    "hg_values", "hg_offsets", "tail_values",
+    "num_groups", "num_entities",
+)
+
+_DTYPE = np.dtype("<i8")
+#: Packed binary section table: one little-endian (offset, length) int64
+#: pair per section, in :data:`SECTION_NAMES` order.
+_SECTION_TABLE = struct.Struct(f"<{2 * len(SECTION_NAMES)}q")
+#: magic + uint32 index length + uint32 envelope length + section table.
+_HEADER_PREFIX_SIZE = len(COLUMNAR_MAGIC) + 8 + _SECTION_TABLE.size
+
+
+def _align(offset: int) -> int:
+    return (offset + SECTION_ALIGNMENT - 1) & ~(SECTION_ALIGNMENT - 1)
+
+
+def is_columnar_file(path: PathLike) -> bool:
+    """True when ``path`` starts with the v3 magic (cheap format sniff)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(COLUMNAR_MAGIC)) == COLUMNAR_MAGIC
+    except OSError:
+        return False
+
+
+def _columns_from_estimates(
+    names: List[str], estimates: Mapping[str, CountOfCounts]
+) -> Dict[str, np.ndarray]:
+    """The eight section arrays for a node-name → histogram mapping."""
+    h_parts: List[np.ndarray] = []
+    hc_parts: List[np.ndarray] = []
+    hg_parts: List[np.ndarray] = []
+    tail_parts: List[np.ndarray] = []
+    h_offsets = np.zeros(len(names) + 1, dtype=np.int64)
+    hg_offsets = np.zeros(len(names) + 1, dtype=np.int64)
+    groups = np.zeros(len(names), dtype=np.int64)
+    entities = np.zeros(len(names), dtype=np.int64)
+    for index, name in enumerate(names):
+        histogram = estimates[name]
+        h_parts.append(histogram.histogram)
+        hc_parts.append(histogram.cumulative)
+        hg_parts.append(histogram.unattributed)
+        tail_parts.append(histogram.suffix_sums)
+        h_offsets[index + 1] = h_offsets[index] + histogram.histogram.size
+        hg_offsets[index + 1] = hg_offsets[index] + histogram.unattributed.size
+        groups[index] = histogram.num_groups
+        entities[index] = histogram.num_entities
+    return {
+        "h_values": np.concatenate(h_parts) if h_parts else
+        np.empty(0, dtype=np.int64),
+        "h_offsets": h_offsets,
+        "hc_values": np.concatenate(hc_parts) if hc_parts else
+        np.empty(0, dtype=np.int64),
+        "hg_values": np.concatenate(hg_parts) if hg_parts else
+        np.empty(0, dtype=np.int64),
+        "hg_offsets": hg_offsets,
+        "tail_values": np.concatenate(tail_parts) if tail_parts else
+        np.empty(0, dtype=np.int64),
+        "num_groups": groups,
+        "num_entities": entities,
+    }
+
+
+def _write_file(
+    envelope: Mapping[str, object],
+    names: List[str],
+    columns: Mapping[str, np.ndarray],
+    path: PathLike,
+    format_version: int = COLUMNAR_FORMAT_VERSION,
+) -> Path:
+    """Serialize header + sections atomically; returns the final path.
+
+    Deterministic byte for byte: canonical header JSON, fixed section
+    order, zero padding — the same release always writes the same file,
+    preserving the store's byte-stable-artifact contract.
+    """
+    table: List[int] = []
+    relative = 0
+    for section in SECTION_NAMES:
+        array = columns[section]
+        table += [relative, int(array.size)]
+        relative = _align(relative + array.size * _DTYPE.itemsize)
+    provenance = envelope.get("provenance")
+    spec_hash = (
+        str(provenance.get("spec_hash", ""))
+        if isinstance(provenance, Mapping) else ""
+    )
+    index = {
+        "format_version": int(format_version),
+        "kind": COLUMNAR_KIND,
+        "spec_hash": spec_hash,
+        "nodes": list(names),
+    }
+    index_bytes = json.dumps(index, sort_keys=True).encode("utf-8")
+    envelope_bytes = json.dumps(dict(envelope), sort_keys=True).encode("utf-8")
+    data_start = _align(
+        _HEADER_PREFIX_SIZE + len(index_bytes) + len(envelope_bytes)
+    )
+    total_size = data_start + relative
+
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    with os.fdopen(fd, "wb") as handle:
+        handle.write(COLUMNAR_MAGIC)
+        handle.write(struct.pack("<II", len(index_bytes), len(envelope_bytes)))
+        handle.write(_SECTION_TABLE.pack(*table))
+        handle.write(index_bytes)
+        handle.write(envelope_bytes)
+        handle.write(b"\x00" * (
+            data_start - _HEADER_PREFIX_SIZE - len(index_bytes)
+            - len(envelope_bytes)
+        ))
+        position = 0
+        for offset, section in zip(table[::2], SECTION_NAMES):
+            handle.write(b"\x00" * (offset - position))
+            payload = np.ascontiguousarray(
+                columns[section], dtype=_DTYPE
+            ).tobytes()
+            handle.write(payload)
+            position = offset + len(payload)
+        handle.write(b"\x00" * (relative - position))
+    os.replace(tmp_name, path)
+    assert Path(path).stat().st_size == total_size
+    return path
+
+
+def write_columnar_payload(
+    payload: Mapping[str, object],
+    path: PathLike,
+    format_version: int = COLUMNAR_FORMAT_VERSION,
+) -> Path:
+    """Convert a parsed version-2 JSON release payload to a v3 file.
+
+    The non-histogram envelope is stored verbatim, so converting back
+    (:func:`columnar_to_json_bytes`) reproduces the canonical v2 bytes
+    exactly — ``spec_hash`` and provenance are untouched.  Histograms
+    are validated through :class:`CountOfCounts` on the way in; a
+    corrupt payload fails here, not in some later mmap read.
+    """
+    check_format_version(payload, "release payload")
+    if payload.get("kind") != "release":
+        raise HierarchyError(
+            "columnar conversion expects a release payload, got kind "
+            f"{payload.get('kind')!r}"
+        )
+    nodes = payload.get("nodes")
+    if not isinstance(nodes, Mapping) or not nodes:
+        raise HierarchyError(
+            "release payload has no 'nodes' histogram block to convert"
+        )
+    try:
+        estimates = {
+            str(name): CountOfCounts(np.asarray(values))
+            for name, values in nodes.items()
+        }
+    except Exception as error:  # CountOfCounts raises HistogramError
+        raise HierarchyError(
+            f"malformed release histogram block: {error}"
+        ) from None
+    envelope = {key: value for key, value in payload.items() if key != "nodes"}
+    names = sorted(estimates)
+    return _write_file(
+        envelope, names, _columns_from_estimates(names, estimates), path,
+        format_version=format_version,
+    )
+
+
+def write_columnar(release: "object", path: PathLike) -> Path:
+    """Write a :class:`~repro.api.release.Release` as a v3 artifact.
+
+    Equivalent to ``write_columnar_payload(release.to_dict(), path)``
+    but reuses the release's already-validated (and possibly cached)
+    histogram views instead of re-parsing lists.
+    """
+    payload = release.to_dict()
+    envelope = {key: value for key, value in payload.items() if key != "nodes"}
+    names = sorted(release.estimates)
+    return _write_file(
+        envelope, names, _columns_from_estimates(names, release.estimates),
+        path,
+    )
+
+
+class ColumnarReader:
+    """Zero-parse, mmap-backed access to one v3 release artifact.
+
+    Opening a reader parses only the small header; every histogram
+    column is an on-demand ``np.frombuffer`` view over the shared mmap —
+    no copy, no validation, no allocation proportional to artifact size.
+    A reader is immutable and safe to share between threads; the serving
+    tier's warm cache holds exactly these objects.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.api.spec import ReleaseSpec
+    >>> release = ReleaseSpec.create(
+    ...     "hawaiian", epsilon=2.0, max_size=50, scale=1e-4).execute()
+    >>> path = tempfile.mktemp(suffix=".bin")
+    >>> _ = write_columnar(release, path)
+    >>> reader = ColumnarReader(path)
+    >>> reader.node_names() == release.node_names()
+    True
+    >>> bool((reader.histogram("national") ==
+    ...       release.node("national").histogram).all())
+    True
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        # Path() construction is measurable on the cold path; keep the
+        # raw argument and materialize a Path lazily (error paths only).
+        self._path_raw = path
+        self._path: Optional[Path] = None
+        try:
+            with open(path, "rb") as handle:
+                prefix = handle.read(_HEADER_PREFIX_SIZE)
+                if len(prefix) < _HEADER_PREFIX_SIZE or not prefix.startswith(
+                    COLUMNAR_MAGIC
+                ):
+                    raise HierarchyError(
+                        f"{self.path} is not a columnar release artifact "
+                        f"(bad magic)"
+                    )
+                index_length, envelope_length = struct.unpack_from(
+                    "<II", prefix, len(COLUMNAR_MAGIC)
+                )
+                self._table = _SECTION_TABLE.unpack_from(
+                    prefix, len(COLUMNAR_MAGIC) + 8
+                )
+                self._mmap: Optional[mmap.mmap] = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except OSError as error:
+            raise HierarchyError(
+                f"cannot open columnar artifact {self.path}: {error}"
+            ) from None
+        envelope_start = _HEADER_PREFIX_SIZE + index_length
+        if len(self._mmap) < envelope_start + envelope_length:
+            raise HierarchyError(f"{self.path} is truncated")
+        try:
+            index = json.loads(self._mmap[_HEADER_PREFIX_SIZE:envelope_start])
+        except ValueError as error:
+            raise HierarchyError(
+                f"{self.path} has a corrupt header: {error}"
+            ) from None
+        check_format_version(
+            index, self._path_raw, supported=SUPPORTED_COLUMNAR_VERSIONS
+        )
+        if index.get("kind") != COLUMNAR_KIND:
+            raise HierarchyError(
+                f"{self.path} is not a columnar release artifact "
+                f"(kind={index.get('kind')!r})"
+            )
+        self.format_version = int(index["format_version"])
+        self.spec_hash: str = str(index.get("spec_hash", ""))
+        self._names: List[str] = index["nodes"]
+        self._index: Optional[Dict[str, int]] = None
+        self._envelope_span = (envelope_start, envelope_start + envelope_length)
+        self._envelope: Optional[Dict[str, object]] = None
+        self._data_start = _align(envelope_start + envelope_length)
+        # Column views materialize lazily, one np.frombuffer per section
+        # on first touch — a cold open parses the small index and nothing
+        # else.
+        self._columns: Dict[str, np.ndarray] = {}
+
+    @property
+    def path(self) -> Path:
+        if self._path is None:
+            self._path = Path(self._path_raw)
+        return self._path
+
+    def _column(self, section: str) -> np.ndarray:
+        view = self._columns.get(section)
+        if view is None:
+            position = SECTION_NAMES.index(section)
+            offset, length = self._table[2 * position: 2 * position + 2]
+            if (
+                length < 0 or offset < 0
+                or self._data_start + offset + length * _DTYPE.itemsize
+                > len(self._mmap)
+            ):
+                raise HierarchyError(
+                    f"{self.path} has a malformed section table"
+                )
+            if length:
+                view = np.frombuffer(
+                    self._mmap, dtype=_DTYPE, count=length,
+                    offset=self._data_start + offset,
+                )
+            else:
+                view = np.empty(0, dtype=np.int64)
+            self._columns[section] = view
+        return view
+
+    # -- node access ---------------------------------------------------------
+    def node_names(self) -> List[str]:
+        """All node names, sorted (the write-time order)."""
+        return list(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        if self._index is None:
+            self._index = {n: i for i, n in enumerate(self._names)}
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def _node_index(self, name: str) -> int:
+        # The name→position dict builds lazily: a cold single-node query
+        # pays one list.index() instead of a dict comprehension over every
+        # node of the hierarchy.
+        if self._index is None:
+            try:
+                return self._names.index(name)
+            except ValueError:
+                pass
+        else:
+            try:
+                return self._index[name]
+            except KeyError:
+                pass
+        raise QueryError(
+            f"no node {name!r} in columnar artifact "
+            f"{self.spec_hash[:12]}; available: {self._names[:8]}"
+        )
+
+    def _slice(self, values: str, offsets: str, index: int) -> np.ndarray:
+        table = self._column(offsets)
+        return self._column(values)[table[index]:table[index + 1]]
+
+    def histogram(self, name: str) -> np.ndarray:
+        """The ``H`` column of one node (zero-copy mmap view)."""
+        return self._slice("h_values", "h_offsets", self._node_index(name))
+
+    def cumulative(self, name: str) -> np.ndarray:
+        """The precomputed ``Hc`` column of one node."""
+        return self._slice("hc_values", "h_offsets", self._node_index(name))
+
+    def unattributed(self, name: str) -> np.ndarray:
+        """The precomputed ``Hg`` column of one node."""
+        return self._slice("hg_values", "hg_offsets", self._node_index(name))
+
+    def suffix_sums(self, name: str) -> np.ndarray:
+        """Precomputed suffix sums of ``Hg``: entry ``i`` is the exact
+        total size of the ``i + 1`` largest groups (the top-share
+        kernel's working array)."""
+        return self._slice("tail_values", "hg_offsets", self._node_index(name))
+
+    def num_groups(self, name: str) -> int:
+        """O(1) group count of one node (scalar column, no summing)."""
+        return int(self._column("num_groups")[self._node_index(name)])
+
+    def num_entities(self, name: str) -> int:
+        """O(1) entity count of one node (scalar column, no summing)."""
+        return int(self._column("num_entities")[self._node_index(name)])
+
+    def node(self, name: str) -> CountOfCounts:
+        """One node's histogram with **all** derived views pre-wired.
+
+        The returned :class:`CountOfCounts` shares the mmap's memory:
+        its ``histogram``/``cumulative``/``unattributed``/``suffix_sums``
+        properties return the stored columns directly, so downstream
+        query kernels never recompute a representation.
+        """
+        index = self._node_index(name)
+        h_offsets = self._column("h_offsets")
+        g_offsets = self._column("hg_offsets")
+        a, b = int(h_offsets[index]), int(h_offsets[index + 1])
+        c, d = int(g_offsets[index]), int(g_offsets[index + 1])
+        return CountOfCounts._from_views(
+            self._column("h_values")[a:b],
+            self._column("hc_values")[a:b],
+            self._column("hg_values")[c:d],
+            self._column("tail_values")[c:d],
+            num_groups=int(self._column("num_groups")[index]),
+            num_entities=int(self._column("num_entities")[index]),
+        )
+
+    def estimates(self) -> Dict[str, CountOfCounts]:
+        """Every node as a zero-copy :class:`CountOfCounts` mapping."""
+        return {name: self.node(name) for name in self._names}
+
+    # -- artifact metadata ---------------------------------------------------
+    @property
+    def envelope(self) -> Dict[str, object]:
+        """The v2 payload's non-histogram blocks (lazily parsed once).
+
+        The envelope bytes sit between the index header and the data
+        sections; a cold query never parses them — only full decodes
+        (:meth:`to_release`, :meth:`payload`) and store metadata
+        listings do.
+        """
+        if self._envelope is None:
+            start, stop = self._envelope_span
+            try:
+                self._envelope = dict(json.loads(self._mmap[start:stop]))
+            except ValueError as error:
+                raise HierarchyError(
+                    f"{self.path} has a corrupt envelope block: {error}"
+                ) from None
+        return self._envelope
+
+    def query(self, query: str, node: str, **params: object) -> object:
+        """Answer one consumer query straight off the mmap (cold path).
+
+        Exactly :meth:`repro.api.release.Release.query`, but touching
+        only the target node's columns — the zero-parse cold read the
+        format exists for.
+        """
+        from repro.api.release import QUERIES, available_queries
+
+        try:
+            fn = QUERIES[query]
+        except KeyError:
+            raise QueryError(
+                f"unknown query {query!r}; available: {available_queries()}"
+            ) from None
+        histogram = self.node(node)
+        try:
+            return fn(histogram, **params)
+        except TypeError as error:
+            raise QueryError(
+                f"bad parameters for query {query!r}: {error}"
+            ) from None
+
+    def to_release(self) -> "object":
+        """Decode into a full :class:`~repro.api.release.Release`.
+
+        Cheap relative to the JSON path: spec/provenance parse from the
+        small envelope, and every histogram is a zero-copy view — this
+        is the warm → hot promotion of the serving tier.
+        """
+        from repro.api.release import Provenance, Release
+        from repro.api.spec import ReleaseSpec
+
+        envelope = self.envelope
+        if "spec" not in envelope or "provenance" not in envelope:
+            raise HierarchyError(
+                f"{self.path} has no spec/provenance envelope blocks"
+            )
+        uncertainty = {
+            str(node): float(value)
+            for node, value in dict(envelope.get("uncertainty", {})).items()
+        }
+        return Release(
+            spec=ReleaseSpec.from_dict(envelope["spec"]),
+            estimates=self.estimates(),
+            provenance=Provenance.from_dict(envelope["provenance"]),
+            uncertainty=uncertainty,
+        )
+
+    def payload(self) -> Dict[str, object]:
+        """The exact version-2 JSON payload this artifact encodes."""
+        payload: Dict[str, object] = dict(self.envelope)
+        payload["nodes"] = {
+            name: self.histogram(name).tolist() for name in self._names
+        }
+        return payload
+
+    def verify(self) -> None:
+        """Full integrity check of every derived column (write/migrate
+        time safety net — the read path deliberately never validates).
+
+        Raises :class:`HierarchyError` when any stored ``Hc``/``Hg``/
+        suffix-sum/scalar column disagrees with its ``H`` column.
+        """
+        for name in self._names:
+            fresh = CountOfCounts(np.array(self.histogram(name)))
+            checks = (
+                ("cumulative", self.cumulative(name), fresh.cumulative),
+                ("unattributed", self.unattributed(name), fresh.unattributed),
+                ("suffix_sums", self.suffix_sums(name), fresh.suffix_sums),
+            )
+            for label, stored, expected in checks:
+                if not np.array_equal(stored, expected):
+                    raise HierarchyError(
+                        f"{self.path}: stored {label} column of node "
+                        f"{name!r} disagrees with its histogram"
+                    )
+            if self.num_groups(name) != fresh.num_groups or (
+                self.num_entities(name) != fresh.num_entities
+            ):
+                raise HierarchyError(
+                    f"{self.path}: stored scalar columns of node {name!r} "
+                    f"disagree with its histogram"
+                )
+
+    def close(self) -> None:
+        """Release the mmap (best effort: live views keep it alive)."""
+        mm, self._mmap = self._mmap, None
+        if mm is not None:
+            try:
+                mm.close()
+            except BufferError:
+                # Exported array views still reference the buffer; the
+                # OS mapping is released when the last view is dropped.
+                pass
+
+    def __enter__(self) -> "ColumnarReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarReader({str(self.path)!r}, nodes={len(self)}, "
+            f"spec_hash={self.spec_hash[:12]!r})"
+        )
+
+
+def json_payload_from_columnar(path: PathLike) -> Dict[str, object]:
+    """Read a v3 file back into its version-2 JSON payload."""
+    reader = ColumnarReader(path)
+    try:
+        return reader.payload()
+    finally:
+        reader.close()
+
+
+def columnar_to_json_bytes(path: PathLike) -> bytes:
+    """Canonical v2 JSON bytes of a v3 artifact.
+
+    For any artifact produced from canonical v2 bytes (everything
+    :meth:`repro.api.release.Release.save` or the store writes), this is
+    **byte-identical** to the original file — the lossless round trip
+    ``tests/io`` locks down.
+    """
+    text = json.dumps(json_payload_from_columnar(path), sort_keys=True)
+    return text.encode("utf-8")

@@ -1,4 +1,4 @@
-"""Serialization of hierarchies and releases.
+"""JSON serialization of hierarchies and releases (the interchange format).
 
 Publishers need releases as files: this module writes and reads
 
@@ -10,6 +10,11 @@ Publishers need releases as files: this module writes and reads
 Only histograms — never raw entity data — are serialized, so a saved
 *release* stays differentially private.  Saving a *true* (non-private)
 hierarchy is supported for dataset persistence and is clearly named.
+
+JSON is the **interchange** format: ``spec_hash`` and provenance bytes
+are defined over the version-2 canonical JSON, and the binary columnar
+format (:mod:`repro.io.columnar`, format v3) round-trips to it
+losslessly.  A tool that can read version-2 JSON can read everything.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import csv
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, Mapping, Union
+from typing import Dict, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -38,13 +43,21 @@ FORMAT_VERSION = 2
 SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 
-def check_format_version(payload: Mapping[str, object], source: object) -> int:
+def check_format_version(
+    payload: Mapping[str, object],
+    source: object,
+    supported: Sequence[int] = SUPPORTED_FORMAT_VERSIONS,
+) -> int:
     """Validate a payload's ``format_version``; returns the version.
 
     Files written by a *newer* library than this one are rejected with a
     clear :class:`HierarchyError` instead of being best-effort parsed —
     a future format may change the meaning of existing keys, and a
     silently wrong release is worse than no release.
+
+    ``supported`` defaults to the JSON interchange versions; the binary
+    columnar reader passes its own set so a hypothetical v4 binary file
+    is rejected with the same message shape.
 
     Examples
     --------
@@ -57,11 +70,16 @@ def check_format_version(payload: Mapping[str, object], source: object) -> int:
             f"{source} has an invalid format_version {version!r}; "
             f"expected an integer >= 1"
         )
-    if version > max(SUPPORTED_FORMAT_VERSIONS):
+    if version > max(supported):
         raise HierarchyError(
             f"{source} has format_version {version}, newer than the "
-            f"latest supported version {max(SUPPORTED_FORMAT_VERSIONS)}; "
+            f"latest supported version {max(supported)}; "
             "upgrade the library to read this file"
+        )
+    if version not in supported:
+        raise HierarchyError(
+            f"{source} has format_version {version}; this reader "
+            f"supports versions {tuple(supported)}"
         )
     return version
 

@@ -60,6 +60,13 @@ _SERVING_CONFIG_KEYS = (
     "num_releases", "num_requests", "popularity_skew", "seed", "cache_size",
 )
 _SERVING_NAIVE_KEYS = ("seconds", "qps")
+#: The cold-start pass (schema v1 additive block): per-release latency of
+#: a fresh JSON decode vs a fresh columnar mmap open, same query.
+_SERVING_COLD_KEYS = (
+    "num_releases", "query", "json", "columnar", "speedup",
+    "answers_identical",
+)
+_SERVING_COLD_SIDE_KEYS = ("seconds", "ms_per_release")
 _SERVING_SERVED_KEYS = (
     "seconds", "qps", "cache_hit_ratio", "artifact_loads", "memo_hits",
     "latency_ms",
@@ -231,7 +238,8 @@ def _validate_scenario(scenario: object, path: str) -> List[str]:
 def validate_serving_payload(payload: object) -> List[str]:
     """Problems in a ``BENCH_serving.json`` payload; empty when valid."""
     problems: List[str] = []
-    if not _check_keys(payload, _SERVING_TOP_KEYS, "$", problems):
+    if not _check_keys(payload, _SERVING_TOP_KEYS, "$", problems,
+                       optional=("cold",)):
         return problems
     assert isinstance(payload, Mapping)
     if payload.get("schema_version") != 1:
@@ -269,6 +277,24 @@ def validate_serving_payload(payload: object) -> List[str]:
             for key in _SERVING_LATENCY_KEYS:
                 _check_number(latency[key], f"$.served.latency_ms.{key}",
                               problems)
+
+    cold = payload.get("cold")
+    if cold is not None and _check_keys(cold, _SERVING_COLD_KEYS, "$.cold",
+                                        problems):
+        _check_number(cold["num_releases"], "$.cold.num_releases",
+                      problems, 1.0)
+        if not isinstance(cold.get("query"), str):
+            problems.append("$.cold.query: expected a string")
+        _check_number(cold["speedup"], "$.cold.speedup", problems)
+        if not isinstance(cold.get("answers_identical"), bool):
+            problems.append("$.cold.answers_identical: expected a boolean")
+        for side in ("json", "columnar"):
+            block = cold.get(side)
+            if _check_keys(block, _SERVING_COLD_SIDE_KEYS, f"$.cold.{side}",
+                           problems):
+                for key in _SERVING_COLD_SIDE_KEYS:
+                    _check_number(block[key], f"$.cold.{side}.{key}",
+                                  problems)
     return problems
 
 

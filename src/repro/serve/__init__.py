@@ -6,19 +6,21 @@ is the serving side of that product: declarative
 :class:`~repro.serve.spec.QuerySpec` requests, compiled by the
 :class:`~repro.serve.planner.QueryPlanner` into per-release batched
 plans, executed by a thread-safe
-:class:`~repro.serve.engine.ServingEngine` with a hot cache of decoded
-artifacts, result memoization, and full metrics — plus the replayable
-request-log format, the zipfian request-mix generator and the
-naive-vs-served benchmark harness behind ``repro serve bench``.
+:class:`~repro.serve.engine.ServingEngine` with a FOCUS-style
+three-tier artifact cache (:class:`~repro.serve.tiers.TieredArtifactCache`:
+hot decoded releases / warm open mmaps / cold files), result
+memoization, and full metrics — plus the replayable request-log format,
+the zipfian request-mix generator and the naive-vs-served benchmark
+harness behind ``repro serve bench``.
 
 Data flow::
 
-    ReleaseStore ──► ServingEngine (LRU hot cache + memo + thread pool)
-                          ▲
+    ReleaseStore ──► TieredArtifactCache ──► ServingEngine (+ memo, pool)
+     (json / v3)    (hot ▸ warm ▸ cold)          ▲
     QuerySpec batch ──► QueryPlanner (group by release, shared passes)
                           │
                           ▼
-    QueryResult stream + MetricsRegistry (QPS, hit ratio, p50/p95/p99)
+    QueryResult stream + MetricsRegistry (QPS, tier hits, p50/p95/p99)
 """
 
 from repro.serve.bench import (
@@ -27,6 +29,7 @@ from repro.serve.bench import (
     bench_specs,
     populate_bench_store,
     run_benchmark,
+    run_cold_pass,
     run_naive,
     run_served,
 )
@@ -46,10 +49,13 @@ from repro.serve.requestlog import (
     save_requests,
 )
 from repro.serve.spec import QUERY_PARAMETERS, QuerySpec
+from repro.serve.tiers import DEFAULT_WARM_SIZE, TieredArtifactCache
 
 __all__ = [
     "BenchReport",
     "DEFAULT_QUERY_MIX",
+    "DEFAULT_WARM_SIZE",
+    "TieredArtifactCache",
     "MetricsRegistry",
     "QUERY_PARAMETERS",
     "QueryPlan",
@@ -67,6 +73,7 @@ __all__ = [
     "parse_requests",
     "populate_bench_store",
     "run_benchmark",
+    "run_cold_pass",
     "run_naive",
     "run_served",
     "save_requests",

@@ -21,6 +21,7 @@ schema, so its key set is part of the contract
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -29,6 +30,7 @@ from repro.api.release import Release
 from repro.api.spec import ReleaseSpec
 from repro.api.store import ReleaseStore
 from repro.exceptions import ReproError
+from repro.io.columnar import ColumnarReader, write_columnar_payload
 from repro.perf.timer import StageTimer
 from repro.serve.engine import ServingEngine
 from repro.serve.mix import catalog_store, generate_requests
@@ -114,7 +116,9 @@ def run_naive(
         for spec in requests:
             try:
                 full = store.resolve(spec.release)
-                release = Release.load(store.path_for(full))
+                release = store.get(full)
+                if release is None:
+                    raise ReproError(f"release {full[:16]}… vanished")
                 value = release.query(
                     spec.query, spec.node, **spec.param_dict()
                 )
@@ -148,6 +152,88 @@ def run_served(
                 requests[offset: offset + size], concurrent=concurrent,
             ))
     return results, timer.seconds("served")
+
+
+def run_cold_pass(
+    store: ReleaseStore,
+    twin_dir: Optional[PathLike] = None,
+    query: str = "mean_group_size",
+) -> Dict[str, object]:
+    """Measure true cold-start latency: JSON decode vs columnar mmap.
+
+    For every stored release, each path starts from nothing in memory —
+    open the artifact, answer one ``query`` on its root node, drop it —
+    so the numbers are per-release *cold* costs, not cache behavior.
+    The columnar artifacts live in a twin directory (default:
+    ``<store>/.columnar-twin``), populated losslessly from the store's
+    JSON artifacts on first use and reused afterwards.
+
+    Returns the additive ``"cold"`` block of ``BENCH_serving.json``:
+    per-path seconds and ms/release, the speedup, and an
+    ``answers_identical`` flag asserting the two paths agreed bit for
+    bit on every release.
+    """
+    hashes = store.spec_hashes()
+    if not hashes:
+        raise ReproError(f"store {store.directory} is empty; nothing to time")
+    twin = Path(twin_dir) if twin_dir is not None else (
+        store.directory / ".columnar-twin"
+    )
+    twin.mkdir(parents=True, exist_ok=True)
+    json_paths: List[Path] = []
+    columnar_paths: List[Path] = []
+    for spec_hash in hashes:
+        source = store.path_for(spec_hash)
+        if store.artifact_format(spec_hash) != "json":
+            raise ReproError(
+                f"cold pass expects a JSON store to baseline against; "
+                f"{spec_hash[:12]}… is stored as "
+                f"{store.artifact_format(spec_hash)}"
+            )
+        target = twin / f"{spec_hash}.release.bin"
+        if not target.exists():
+            write_columnar_payload(
+                json.loads(source.read_text()), target
+            )
+        json_paths.append(source)
+        columnar_paths.append(target)
+
+    # JSON path: full decode, then one scalar query on the root node.
+    json_answers: List[object] = []
+    start = time.perf_counter()
+    for path in json_paths:
+        release = Release.load(path)
+        node = sorted(release.node_names())[0]
+        json_answers.append(release.query(query, node))
+    json_seconds = time.perf_counter() - start
+
+    # Columnar path: mmap open, answer off the one node's columns, close.
+    columnar_answers: List[object] = []
+    start = time.perf_counter()
+    for path in columnar_paths:
+        reader = ColumnarReader(path)
+        columnar_answers.append(reader.query(query, reader.node_names()[0]))
+        reader.close()
+    columnar_seconds = time.perf_counter() - start
+
+    identical = json_answers == columnar_answers and all(
+        type(a) is type(b) for a, b in zip(json_answers, columnar_answers)
+    )
+    count = len(hashes)
+    return {
+        "num_releases": count,
+        "query": query,
+        "json": {
+            "seconds": json_seconds,
+            "ms_per_release": json_seconds / count * 1e3,
+        },
+        "columnar": {
+            "seconds": columnar_seconds,
+            "ms_per_release": columnar_seconds / count * 1e3,
+        },
+        "speedup": json_seconds / max(columnar_seconds, 1e-9),
+        "answers_identical": identical,
+    }
 
 
 def answers_match(
@@ -188,6 +274,7 @@ class BenchReport:
     served_seconds: float
     answers_identical: bool
     metrics: Dict[str, object]
+    cold: Optional[Dict[str, object]] = None
     naive_results: List[QueryResult] = field(repr=False, default_factory=list)
     served_results: List[QueryResult] = field(repr=False, default_factory=list)
 
@@ -206,7 +293,7 @@ class BenchReport:
     def to_dict(self) -> Dict[str, object]:
         """The schema-stable ``BENCH_serving.json`` payload."""
         latency = dict(self.metrics.get("latency_ms", {}))
-        return {
+        payload: Dict[str, object] = {
             "schema_version": BENCH_SCHEMA_VERSION,
             "config": {
                 "num_releases": self.num_releases,
@@ -234,6 +321,12 @@ class BenchReport:
             "speedup": self.speedup,
             "answers_identical": self.answers_identical,
         }
+        if self.cold is not None:
+            # Additive within schema v1: the cold-start block only
+            # exists when the bench ran the cold pass (the committed
+            # baseline always does).
+            payload["cold"] = dict(self.cold)
+        return payload
 
     def write(self, path: PathLike) -> Path:
         """Write ``BENCH_serving.json``; returns the path."""
@@ -273,6 +366,16 @@ class BenchReport:
             ("latency p99", f"{latency.get('p99', 0.0):.3f} ms"),
             ("answers identical", str(self.answers_identical).lower()),
         ]
+        if self.cold is not None:
+            json_cold = dict(self.cold.get("json", {}))
+            bin_cold = dict(self.cold.get("columnar", {}))
+            rows += [
+                ("cold json",
+                 f"{json_cold.get('ms_per_release', 0.0):.3f} ms/release"),
+                ("cold columnar",
+                 f"{bin_cold.get('ms_per_release', 0.0):.3f} ms/release"),
+                ("cold speedup", f"{self.cold.get('speedup', 0.0):.1f}x"),
+            ]
         width = max(len(label) for label, _ in rows)
         lines = ["serving metrics"]
         lines += [f"  {label:<{width}}  {value}" for label, value in rows]
@@ -287,6 +390,7 @@ def run_benchmark(
     cache_size: Optional[int] = None,
     batch_size: Optional[int] = None,
     requests: Optional[List[QuerySpec]] = None,
+    cold: bool = True,
 ) -> BenchReport:
     """Run both paths over one request mix and report.
 
@@ -295,6 +399,9 @@ def run_benchmark(
     eviction behavior.  ``batch_size`` defaults to
     :data:`DEFAULT_BATCH_SIZE`-request arrival batches.  Pass
     ``requests`` to replay a recorded log instead of generating a mix.
+    With ``cold`` (the default), :func:`run_cold_pass` also measures
+    per-release cold-start latency — JSON decode vs columnar mmap — and
+    the report carries the additive ``"cold"`` block.
     """
     if requests is None:
         requests = generate_requests(
@@ -313,6 +420,7 @@ def run_benchmark(
             engine, requests, batch_size=batch_size,
         )
         metrics = engine.metrics.snapshot()
+    cold_block = run_cold_pass(store) if cold else None
 
     return BenchReport(
         num_releases=len(store),
@@ -324,6 +432,7 @@ def run_benchmark(
         served_seconds=served_seconds,
         answers_identical=answers_match(naive_results, served_results),
         metrics=metrics,
+        cold=cold_block,
         naive_results=naive_results,
         served_results=served_results,
     )

@@ -5,10 +5,12 @@ for query traffic.  The store's own contract is *build once, serve
 forever*; the engine adds the serving-side performance layers the paper's
 consumers need:
 
-* a **bounded LRU hot cache** of decoded :class:`~repro.api.release.Release`
-  artifacts, so popular releases are JSON-decoded once and then answer
-  from memory (per-hash load locks keep concurrent misses from decoding
-  the same artifact twice);
+* a **three-tier artifact cache** (:class:`~repro.serve.tiers.TieredArtifactCache`,
+  FOCUS-style): hot decoded releases, warm open mmaps of columnar
+  artifacts, cold files — popular releases are decoded once and answer
+  from memory, demoted releases re-promote from the mmap without any
+  parse, and per-hash open locks keep concurrent misses from opening
+  the same artifact twice;
 * a **result memo** keyed by ``(release hash, QuerySpec.result_key())``,
   so repeated identical requests — the common case under zipfian traffic
   — skip execution entirely (errors memoize too: a request that is
@@ -42,6 +44,7 @@ from repro.perf.timer import stage
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.planner import QueryPlanner, QueryResult, execute_group
 from repro.serve.spec import QuerySpec
+from repro.serve.tiers import DEFAULT_WARM_SIZE, TieredArtifactCache
 
 #: Default number of decoded artifacts kept hot.
 DEFAULT_CACHE_SIZE = 32
@@ -82,6 +85,7 @@ class ServingEngine:
         max_workers: int = DEFAULT_WORKERS,
         memoize: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        warm_size: int = DEFAULT_WARM_SIZE,
     ) -> None:
         if cache_size < 1:
             raise ReproError(f"cache_size must be >= 1, got {cache_size}")
@@ -95,10 +99,12 @@ class ServingEngine:
         self.metrics = metrics or MetricsRegistry()
         self.planner = QueryPlanner()
         self._lock = threading.RLock()
-        self._cache: "OrderedDict[str, Release]" = OrderedDict()
+        self.tiers = TieredArtifactCache(
+            store, hot_size=cache_size, warm_size=warm_size,
+            metrics=self.metrics,
+        )
         self._memo: "OrderedDict[Tuple[str, str], QueryResult]" = OrderedDict()
         self._resolved: Dict[str, str] = {}
-        self._load_locks: Dict[str, threading.Lock] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- artifact access -----------------------------------------------------
@@ -118,47 +124,19 @@ class ServingEngine:
             self._resolved[prefix] = full
         return full
 
-    def _load_lock(self, spec_hash: str) -> threading.Lock:
-        with self._lock:
-            return self._load_locks.setdefault(spec_hash, threading.Lock())
-
     def release(self, spec_hash: str) -> Release:
-        """The decoded artifact for a full spec hash, via the hot cache.
+        """The decoded artifact for a full spec hash, via the tiers.
 
-        Cache misses decode under a per-hash lock, so concurrent
-        requests for one cold release perform exactly one decode.
+        Hot hits return a decoded release from memory; warm hits re-wrap
+        an open mmap; only cold accesses touch the disk — and do so
+        under a per-hash lock, so concurrent requests for one cold
+        release perform exactly one open/decode.
         """
-        with self._lock:
-            cached = self._cache.get(spec_hash)
-            if cached is not None:
-                self._cache.move_to_end(spec_hash)
-                self.metrics.record_cache_hit()
-                return cached
-        self.metrics.record_cache_miss()
-        with self._load_lock(spec_hash):
-            with self._lock:
-                cached = self._cache.get(spec_hash)
-                if cached is not None:
-                    self._cache.move_to_end(spec_hash)
-                    return cached
-            release = self.store.get(spec_hash)
-            if release is None:
-                raise ReproError(
-                    f"release {spec_hash[:16]}… vanished from "
-                    f"{self.store.directory}"
-                )
-            self.metrics.record_artifact_load()
-            with self._lock:
-                self._cache[spec_hash] = release
-                self._cache.move_to_end(spec_hash)
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
-            return release
+        return self.tiers.get(spec_hash)
 
     def cached_releases(self) -> List[str]:
         """Hashes currently hot, least- to most-recently used."""
-        with self._lock:
-            return list(self._cache)
+        return self.tiers.hot_hashes()
 
     # -- request execution ---------------------------------------------------
     def execute(self, spec: QuerySpec) -> QueryResult:
@@ -304,11 +282,13 @@ class ServingEngine:
         return self.pool.submit(self.execute_batch, specs)
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent)."""
+        """Shut the thread pool down and drop the in-memory tiers
+        (idempotent; warm mmaps are closed)."""
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        self.tiers.clear()
 
     def __enter__(self) -> "ServingEngine":
         return self

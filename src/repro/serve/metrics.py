@@ -61,6 +61,7 @@ class MetricsRegistry:
             self._batches = 0
             self._artifact_loads = 0
             self._cache_hits = 0
+            self._warm_hits = 0
             self._cache_misses = 0
             self._memo_hits = 0
             self._latencies: List[float] = []
@@ -108,10 +109,18 @@ class MetricsRegistry:
             self._artifact_loads += 1
 
     def record_cache_hit(self) -> None:
+        """One **hot**-tier hit (decoded release served from memory)."""
         with self._lock:
             self._cache_hits += 1
 
+    def record_warm_hit(self) -> None:
+        """One **warm**-tier hit (release re-wrapped from an open mmap
+        after falling out of the hot tier)."""
+        with self._lock:
+            self._warm_hits += 1
+
     def record_cache_miss(self) -> None:
+        """One full miss — neither tier held the hash (cold access)."""
         with self._lock:
             self._cache_misses += 1
 
@@ -121,10 +130,15 @@ class MetricsRegistry:
 
     # -- derived views -------------------------------------------------------
     def cache_hit_ratio(self) -> float:
-        """Hot-cache hits / lookups (0.0 before any lookup)."""
+        """In-memory (hot + warm) hits / lookups (0.0 before any lookup).
+
+        Both tiers avoid the disk, so both count as hits; only a cold
+        access is a miss.
+        """
         with self._lock:
-            lookups = self._cache_hits + self._cache_misses
-            return self._cache_hits / lookups if lookups else 0.0
+            hits = self._cache_hits + self._warm_hits
+            lookups = hits + self._cache_misses
+            return hits / lookups if lookups else 0.0
 
     def qps(self) -> float:
         """Requests per second over the observed window (0.0 when empty)."""
@@ -159,7 +173,8 @@ class MetricsRegistry:
         """A consistent, JSON-ready view with a stable key set."""
         latency = self.latency_percentiles()
         with self._lock:
-            lookups = self._cache_hits + self._cache_misses
+            hits = self._cache_hits + self._warm_hits
+            lookups = hits + self._cache_misses
             window = (
                 self._window_end - self._window_start
                 if self._window_start is not None else 0.0
@@ -170,10 +185,9 @@ class MetricsRegistry:
                 "batches": self._batches,
                 "artifact_loads": self._artifact_loads,
                 "cache_hits": self._cache_hits,
+                "warm_hits": self._warm_hits,
                 "cache_misses": self._cache_misses,
-                "cache_hit_ratio": (
-                    self._cache_hits / lookups if lookups else 0.0
-                ),
+                "cache_hit_ratio": hits / lookups if lookups else 0.0,
                 "memo_hits": self._memo_hits,
                 "qps": self._qps_locked(),
                 "window_seconds": float(window),
@@ -192,6 +206,7 @@ class MetricsRegistry:
             ("qps", f"{snapshot['qps']:,.0f}"),
             ("artifact loads", f"{snapshot['artifact_loads']:,}"),
             ("cache hit ratio", f"{snapshot['cache_hit_ratio']:.3f}"),
+            ("warm hits", f"{snapshot['warm_hits']:,}"),
             ("memo hits", f"{snapshot['memo_hits']:,}"),
             ("latency p50", f"{latency['p50']:.3f} ms"),
             ("latency p95", f"{latency['p95']:.3f} ms"),

@@ -281,11 +281,14 @@ def _top_share_kernel(
     release_hash: str,
     results: Dict[int, QueryResult],
 ) -> None:
-    """All top-share requests of one node off one suffix-sum pass.
+    """All top-share requests of one node off the cached suffix sums.
 
     ``tail[c-1]`` is the exact integer sum of the ``c`` largest group
     sizes, so ``tail[count-1] / num_entities`` reproduces the scalar
-    ``sizes[-count:].sum() / num_entities`` bit for bit.
+    ``sizes[-count:].sum() / num_entities`` bit for bit.  The suffix
+    sums come from :attr:`CountOfCounts.suffix_sums` — computed once per
+    histogram (or read straight off a columnar artifact's precomputed
+    column) instead of rebuilt per batch.
     """
     valid: List[Tuple[int, QuerySpec]] = []
     counts: List[int] = []
@@ -302,7 +305,7 @@ def _top_share_kernel(
         valid.append((position, spec))
     if not valid:
         return
-    tail = np.cumsum(histogram.unattributed[::-1])
+    tail = histogram.suffix_sums
     entities = histogram.num_entities
     for (position, spec), count in zip(valid, counts):
         results[position] = QueryResult(

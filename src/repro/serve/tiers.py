@@ -1,0 +1,198 @@
+"""FOCUS-style three-tier artifact cache: hot decoded / warm mmap / cold file.
+
+FOCUS (PAPERS.md) manages hierarchical data with tiered access paths so
+the common case never pays the rare case's cost.  The serving engine's
+artifact access has exactly that shape, so this module replaces its
+single decoded-release LRU with three tiers:
+
+``hot``
+    Fully decoded :class:`~repro.api.release.Release` objects — zero
+    work per query.  Bounded LRU, same as the old cache.
+``warm``
+    Open :class:`~repro.io.columnar.ColumnarReader` mmaps.  A release
+    evicted from hot silently *demotes* here: re-promotion is a
+    zero-copy re-wrap of the mapped columns (microseconds), not a JSON
+    decode (milliseconds).  Bounded LRU; eviction closes the mmap.
+``cold``
+    The artifact file on disk.  A cold lookup mmap-opens the columnar
+    artifact (zero parse) when the store has one, and falls back to the
+    JSON decode path otherwise — JSON-only stores behave exactly as
+    before, just routed through the tier bookkeeping.
+
+Concurrency: every cold open / warm promotion of one hash runs under a
+per-hash lock, so N threads racing on the same cold artifact perform
+exactly **one** mmap open and share the mapping (mirroring the store's
+``get_or_build`` build-once lock).  Different hashes never block each
+other; hot hits never lock beyond the cache's own mutex.
+
+Per-tier hits land in the engine's
+:class:`~repro.serve.metrics.MetricsRegistry`: ``cache_hits`` (hot),
+``warm_hits``, ``cache_misses`` (cold), ``artifact_loads`` (actual disk
+decodes/opens — the number the tiers exist to minimize).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.api.release import Release
+from repro.api.store import ReleaseStore
+from repro.exceptions import ReproError
+from repro.io.columnar import ColumnarReader
+from repro.serve.metrics import MetricsRegistry
+
+#: Default number of open mmap readers kept warm (the warm tier is far
+#: cheaper per entry than hot — an open fd + page-cache residency — so
+#: it defaults wider than the hot tier).
+DEFAULT_WARM_SIZE = 128
+
+
+class TieredArtifactCache:
+    """Hot/warm/cold artifact access for one release store.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.api.spec import ReleaseSpec
+    >>> store = ReleaseStore(tempfile.mkdtemp(), write_format="columnar")
+    >>> release = store.get_or_build(
+    ...     ReleaseSpec.create("hawaiian", epsilon=2.0, max_size=200))
+    >>> cache = TieredArtifactCache(store, hot_size=4)
+    >>> spec_hash = release.provenance.spec_hash
+    >>> cache.get(spec_hash).to_json() == release.to_json()   # cold open
+    True
+    >>> cache.hot_hashes() == [spec_hash] == cache.warm_hashes()
+    True
+    >>> _ = cache.get(spec_hash)                              # hot hit
+    >>> cache.metrics.snapshot()["cache_hits"]
+    1
+    """
+
+    def __init__(
+        self,
+        store: ReleaseStore,
+        hot_size: int,
+        warm_size: int = DEFAULT_WARM_SIZE,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if hot_size < 1:
+            raise ReproError(f"hot_size must be >= 1, got {hot_size}")
+        if warm_size < 1:
+            raise ReproError(f"warm_size must be >= 1, got {warm_size}")
+        self.store = store
+        self.hot_size = int(hot_size)
+        self.warm_size = int(warm_size)
+        self.metrics = metrics or MetricsRegistry()
+        self._lock = threading.Lock()
+        self._hot: "OrderedDict[str, Release]" = OrderedDict()
+        self._warm: "OrderedDict[str, ColumnarReader]" = OrderedDict()
+        # Per-hash open locks: concurrent cold/warm lookups of one hash
+        # open and decode exactly once; other hashes proceed in parallel.
+        self._open_locks: Dict[str, threading.Lock] = {}
+
+    def _open_lock(self, spec_hash: str) -> threading.Lock:
+        with self._lock:
+            return self._open_locks.setdefault(spec_hash, threading.Lock())
+
+    # -- lookups -------------------------------------------------------------
+    def get(self, spec_hash: str) -> Release:
+        """The decoded release for a full spec hash, via the tiers.
+
+        Raises :class:`ReproError` when the hash is not in the store.
+        """
+        with self._lock:
+            hot = self._hot.get(spec_hash)
+            if hot is not None:
+                self._hot.move_to_end(spec_hash)
+                self.metrics.record_cache_hit()
+                return hot
+        with self._open_lock(spec_hash):
+            # Double-checked: a racing thread may have finished the cold
+            # open / promotion while this one waited on the hash's lock.
+            with self._lock:
+                hot = self._hot.get(spec_hash)
+                if hot is not None:
+                    self._hot.move_to_end(spec_hash)
+                    self.metrics.record_cache_hit()
+                    return hot
+                reader = self._warm.get(spec_hash)
+                if reader is not None:
+                    self._warm.move_to_end(spec_hash)
+            if reader is not None:
+                # Warm hit: zero-copy re-wrap of the open mmap.
+                self.metrics.record_warm_hit()
+                return self._admit_hot(spec_hash, reader.to_release())
+            self.metrics.record_cache_miss()
+            return self._cold_open(spec_hash)
+
+    def _cold_open(self, spec_hash: str) -> Release:
+        """Tier-3 access: mmap the columnar artifact, or JSON-decode."""
+        if self.store.artifact_format(spec_hash) == "columnar":
+            reader = self.store.open_columnar(spec_hash)
+            self.metrics.record_artifact_load()
+            release = reader.to_release()
+            with self._lock:
+                self._warm[spec_hash] = reader
+                self._warm.move_to_end(spec_hash)
+                while len(self._warm) > self.warm_size:
+                    _, evicted = self._warm.popitem(last=False)
+                    evicted.close()
+            return self._admit_hot(spec_hash, release)
+        release = self.store.get(spec_hash)
+        if release is None:
+            raise ReproError(
+                f"release {spec_hash[:16]}… vanished from "
+                f"{self.store.directory}"
+            )
+        self.metrics.record_artifact_load()
+        return self._admit_hot(spec_hash, release)
+
+    def _admit_hot(self, spec_hash: str, release: Release) -> Release:
+        # Hot eviction is *demotion*, not loss: a columnar-backed hash
+        # keeps its open reader in the warm tier, so the next touch
+        # re-wraps the mmap instead of re-reading the file.
+        with self._lock:
+            self._hot[spec_hash] = release
+            self._hot.move_to_end(spec_hash)
+            while len(self._hot) > self.hot_size:
+                self._hot.popitem(last=False)
+        return release
+
+    # -- introspection -------------------------------------------------------
+    def hot_hashes(self) -> List[str]:
+        """Hashes currently hot, least- to most-recently used."""
+        with self._lock:
+            return list(self._hot)
+
+    def warm_hashes(self) -> List[str]:
+        """Hashes with an open mmap reader, least- to most-recently used."""
+        with self._lock:
+            return list(self._warm)
+
+    def warm_reader(self, spec_hash: str) -> Optional[ColumnarReader]:
+        """The open reader for a hash, or ``None`` (no LRU touch)."""
+        with self._lock:
+            return self._warm.get(spec_hash)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._hot)
+
+    def clear(self) -> None:
+        """Drop both in-memory tiers, closing every warm mmap."""
+        with self._lock:
+            self._hot.clear()
+            warm = list(self._warm.values())
+            self._warm.clear()
+        for reader in warm:
+            reader.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"TieredArtifactCache(hot={len(self._hot)}/{self.hot_size}, "
+                f"warm={len(self._warm)}/{self.warm_size}, "
+                f"store={self.store!r})"
+            )

@@ -216,3 +216,88 @@ class TestConcurrentGetOrBuild:
             thread.join()
         assert store.builds == 2
         assert len(store) == 2
+
+
+class TestDualFormat:
+    """The store over both artifact formats: v2 JSON and v3 columnar."""
+
+    def test_write_format_columnar(self, tmp_path, spec):
+        store = ReleaseStore(tmp_path / "bin", write_format="columnar")
+        release = store.get_or_build(spec)
+        spec_hash = release.provenance.spec_hash
+        assert store.artifact_format(spec_hash) == "columnar"
+        assert store.path_for(spec_hash).suffix == ".bin"
+        # Reads route transparently through the columnar path.
+        served = store.get(spec_hash)
+        assert served.to_json() == release.to_json()
+
+    def test_unknown_write_format_rejected(self, tmp_path):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            ReleaseStore(tmp_path / "bad", write_format="parquet")
+
+    def test_artifact_info(self, store, spec):
+        release = store.get_or_build(spec)
+        info = store.artifact_info(release.provenance.spec_hash)
+        assert info["format"] == "json"
+        assert info["format_version"] == 2
+        assert info["size_bytes"] == store.path_for(
+            release.provenance.spec_hash
+        ).stat().st_size
+        assert info["num_nodes"] == len(release)
+
+    def test_migrate_round_trip_is_byte_identical(self, store, spec):
+        release = store.get_or_build(spec)
+        spec_hash = release.provenance.spec_hash
+        original = store.path_for(spec_hash).read_bytes()
+        assert store.migrate(to="columnar") == 1
+        assert store.artifact_format(spec_hash) == "columnar"
+        assert not (store.directory / f"{spec_hash}.release.json").exists()
+        info = store.artifact_info(spec_hash)
+        assert info["format_version"] == 3
+        # Content identical through the columnar read path...
+        assert store.get(spec_hash).to_json() == release.to_json()
+        # ...and migrating back restores the exact original bytes.
+        assert store.migrate(to="json") == 1
+        assert store.path_for(spec_hash).read_bytes() == original
+
+    def test_migrate_keep_original(self, store, spec):
+        release = store.get_or_build(spec)
+        spec_hash = release.provenance.spec_hash
+        assert store.migrate(to="columnar", keep_original=True) == 1
+        json_path = store.directory / f"{spec_hash}.release.json"
+        bin_path = store.directory / f"{spec_hash}.release.bin"
+        assert json_path.exists() and bin_path.exists()
+        # A second migrate is a no-op: the target already exists.
+        assert store.migrate(to="columnar", keep_original=True) == 0
+        # spec_hashes() reports the hash once despite two artifacts.
+        assert store.spec_hashes() == [spec_hash]
+
+    def test_migrate_unknown_format_rejected(self, store):
+        with pytest.raises(QueryError):
+            store.migrate(to="parquet")
+
+    def test_open_columnar_checks_hash(self, tmp_path, spec):
+        store = ReleaseStore(tmp_path / "bin", write_format="columnar")
+        release = store.get_or_build(spec)
+        reader = store.open_columnar(release.provenance.spec_hash)
+        try:
+            assert reader.spec_hash == release.provenance.spec_hash
+        finally:
+            reader.close()
+        with pytest.raises(QueryError):
+            store.open_columnar("ff" * 32)
+
+    def test_summaries_skip_columnar_histograms(self, tmp_path, spec):
+        store = ReleaseStore(tmp_path / "bin", write_format="columnar")
+        store.get_or_build(spec)
+        rows = store.summaries()
+        assert len(rows) == 1
+        assert "nodes" in rows[0][1]
+
+    def test_clear_removes_both_formats(self, store, spec):
+        store.get_or_build(spec)
+        store.migrate(to="columnar", keep_original=True)
+        assert store.clear() == 2
+        assert len(store) == 0

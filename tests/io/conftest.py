@@ -1,0 +1,50 @@
+"""Shared fixtures for the io-format suite (v2 JSON ↔ v3 columnar)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.release import Provenance, Release
+from repro.api.spec import ReleaseSpec
+from repro.core.histogram import CountOfCounts
+
+
+def make_release(histograms: dict, epsilon: float = 1.0) -> Release:
+    """A synthetic in-memory Release around given histograms.
+
+    Bypasses the mechanism — format tests need arbitrary histograms
+    under the real artifact surface, not DP noise.
+    """
+    spec = ReleaseSpec.create("hawaiian", epsilon=epsilon, max_size=200)
+    estimates = {
+        name: value if isinstance(value, CountOfCounts) else CountOfCounts(value)
+        for name, value in histograms.items()
+    }
+    provenance = Provenance(
+        spec_hash=spec.spec_hash(),
+        seed=0,
+        epsilon_budget=epsilon,
+        epsilon_spent=epsilon,
+        num_levels=2,
+        num_nodes=len(estimates),
+        library_version="test",
+    )
+    return Release(spec=spec, estimates=estimates, provenance=provenance)
+
+
+@pytest.fixture(scope="session")
+def built_release() -> Release:
+    """One real mechanism-built release (all post-processing applied)."""
+    spec = ReleaseSpec.create(
+        "hawaiian", epsilon=1.0, max_size=200, scale=1e-4,
+    )
+    return spec.execute()
+
+
+@pytest.fixture
+def columnar_path(built_release, tmp_path):
+    from repro.io import write_columnar
+
+    path = tmp_path / "artifact.release.bin"
+    write_columnar(built_release, path)
+    return path

@@ -1,0 +1,338 @@
+"""Tests for the v3 binary columnar release container (repro.io.columnar).
+
+The format's three contracts, each locked down here:
+
+1. **Lossless interchange** — v2 JSON → v3 → v2 is byte-identical, so
+   spec hashes and provenance survive any number of migrations.
+2. **Bit-identical answers** — every column and every query result read
+   through the mmap matches the decoded-JSON path exactly.
+3. **Zero-parse cold reads** — a cold open touches the fixed header and
+   the small node index only; columns and the envelope materialize
+   lazily.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HierarchyError, QueryError, ReproError
+from repro.io import (
+    COLUMNAR_FORMAT_VERSION,
+    ColumnarReader,
+    check_format_version,
+    columnar_to_json_bytes,
+    is_columnar_file,
+    json_payload_from_columnar,
+    write_columnar,
+    write_columnar_payload,
+)
+from repro.io.columnar import (
+    COLUMNAR_MAGIC,
+    SECTION_NAMES,
+    SUPPORTED_COLUMNAR_VERSIONS,
+    _HEADER_PREFIX_SIZE,
+    _SECTION_TABLE,
+)
+
+from tests.io.conftest import make_release
+
+
+class TestWriteAndSniff:
+    def test_magic_and_version(self, columnar_path):
+        raw = columnar_path.read_bytes()
+        assert raw.startswith(COLUMNAR_MAGIC)
+        assert is_columnar_file(columnar_path)
+        with ColumnarReader(columnar_path) as reader:
+            assert reader.format_version == COLUMNAR_FORMAT_VERSION == 3
+
+    def test_json_is_not_columnar(self, built_release, tmp_path):
+        path = tmp_path / "artifact.release.json"
+        built_release.save(path)
+        assert not is_columnar_file(path)
+        assert not is_columnar_file(tmp_path / "missing.bin")
+
+    def test_deterministic_bytes(self, built_release, tmp_path):
+        first = tmp_path / "a.bin"
+        second = tmp_path / "b.bin"
+        write_columnar(built_release, first)
+        write_columnar_payload(built_release.to_dict(), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_rejects_non_release_payload(self, tmp_path):
+        with pytest.raises(HierarchyError):
+            write_columnar_payload(
+                {"format_version": 2, "kind": "hierarchy", "nodes": {}},
+                tmp_path / "bad.bin",
+            )
+
+    def test_rejects_newer_payload_version(self, built_release, tmp_path):
+        payload = built_release.to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(HierarchyError):
+            write_columnar_payload(payload, tmp_path / "bad.bin")
+
+
+class TestLosslessRoundTrip:
+    def test_bytes_identical_to_canonical_v2(self, built_release,
+                                             columnar_path):
+        canonical = built_release.to_json().encode("utf-8")
+        assert columnar_to_json_bytes(columnar_path) == canonical
+
+    def test_payload_equality(self, built_release, columnar_path):
+        assert json_payload_from_columnar(columnar_path) == (
+            built_release.to_dict()
+        )
+
+    def test_saved_file_round_trips_byte_identical(self, built_release,
+                                                   tmp_path):
+        json_path = tmp_path / "artifact.release.json"
+        built_release.save(json_path)
+        bin_path = tmp_path / "artifact.release.bin"
+        write_columnar_payload(
+            json.loads(json_path.read_text()), bin_path,
+        )
+        assert columnar_to_json_bytes(bin_path) == json_path.read_bytes()
+
+    def test_to_release_preserves_spec_hash(self, built_release,
+                                            columnar_path):
+        with ColumnarReader(columnar_path) as reader:
+            rebuilt = reader.to_release()
+        assert rebuilt.to_json() == built_release.to_json()
+        assert rebuilt.provenance.spec_hash == (
+            built_release.provenance.spec_hash
+        )
+
+
+class TestColumnAccess:
+    def test_all_columns_bit_equal(self, built_release, columnar_path):
+        with ColumnarReader(columnar_path) as reader:
+            assert reader.node_names() == list(built_release.node_names())
+            for name in built_release.node_names():
+                expected = built_release.estimates[name]
+                assert np.array_equal(reader.histogram(name),
+                                      expected.histogram)
+                assert np.array_equal(reader.cumulative(name),
+                                      expected.cumulative)
+                assert np.array_equal(reader.unattributed(name),
+                                      expected.unattributed)
+                assert np.array_equal(reader.suffix_sums(name),
+                                      expected.suffix_sums)
+                assert reader.num_groups(name) == expected.num_groups
+                assert reader.num_entities(name) == expected.num_entities
+
+    def test_node_views_are_read_only(self, columnar_path):
+        with ColumnarReader(columnar_path) as reader:
+            node = reader.node(reader.node_names()[0])
+            assert not node.histogram.flags.writeable
+            with pytest.raises(ValueError):
+                node.histogram[0] = 99
+
+    def test_queries_identical_to_json_path(self, built_release,
+                                            columnar_path):
+        cases = [
+            ("mean_group_size", {}),
+            ("top_share", {"fraction": 0.1}),
+            ("size_quantile", {"quantile": 0.5}),
+            ("gini_coefficient", {}),
+            ("kth_largest_group", {"k": 2}),
+            ("groups_with_size_at_least", {"size": 2}),
+        ]
+        with ColumnarReader(columnar_path) as reader:
+            for name in built_release.node_names():
+                for query, params in cases:
+                    # Errors must agree too (e.g. top_share of a node
+                    # whose every group has size zero is undefined on
+                    # both paths).
+                    try:
+                        expected = built_release.query(query, name, **params)
+                    except ReproError as error:
+                        with pytest.raises(type(error)):
+                            reader.query(query, name, **params)
+                    else:
+                        assert reader.query(query, name, **params) == expected
+
+    def test_unknown_node_is_a_query_error(self, columnar_path):
+        with ColumnarReader(columnar_path) as reader:
+            with pytest.raises(QueryError):
+                reader.node("nowhere")
+            assert "nowhere" not in reader
+            assert "national" in reader
+
+    def test_estimates_mapping(self, built_release, columnar_path):
+        with ColumnarReader(columnar_path) as reader:
+            estimates = reader.estimates()
+        assert set(estimates) == set(built_release.estimates)
+        for name, node in estimates.items():
+            assert node == built_release.estimates[name]
+
+    def test_verify_passes_on_written_artifact(self, columnar_path):
+        with ColumnarReader(columnar_path) as reader:
+            reader.verify()
+
+    def test_verify_catches_corrupted_column(self, columnar_path, tmp_path):
+        raw = bytearray(columnar_path.read_bytes())
+        # Flip one byte inside the num_entities section (a derived
+        # scalar column), located through the binary section table.
+        index_len, env_len = struct.unpack_from(
+            "<II", raw, len(COLUMNAR_MAGIC)
+        )
+        table = _SECTION_TABLE.unpack_from(raw, len(COLUMNAR_MAGIC) + 8)
+        assert len(table) == 2 * len(SECTION_NAMES)
+        data_start = -(-(_HEADER_PREFIX_SIZE + index_len + env_len) // 64) * 64
+        position = SECTION_NAMES.index("num_entities")
+        offset, length = table[2 * position], table[2 * position + 1]
+        raw[data_start + offset] ^= 0xFF
+        corrupt = tmp_path / "corrupt.bin"
+        corrupt.write_bytes(bytes(raw))
+        with ColumnarReader(corrupt) as reader:
+            with pytest.raises(HierarchyError):
+                reader.verify()
+        assert length > 0
+
+
+class TestHeaderRejections:
+    def _raw(self, columnar_path):
+        return bytearray(columnar_path.read_bytes())
+
+    def _reject(self, tmp_path, raw, match):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(HierarchyError, match=match):
+            ColumnarReader(bad)
+
+    def test_bad_magic(self, columnar_path, tmp_path):
+        raw = self._raw(columnar_path)
+        raw[:4] = b"NOPE"
+        self._reject(tmp_path, raw, "bad magic")
+
+    def test_truncated_file(self, columnar_path, tmp_path):
+        raw = self._raw(columnar_path)[:_HEADER_PREFIX_SIZE - 1]
+        self._reject(tmp_path, raw, "bad magic|truncated")
+
+    def test_truncated_index(self, columnar_path, tmp_path):
+        raw = self._raw(columnar_path)[:_HEADER_PREFIX_SIZE + 4]
+        self._reject(tmp_path, raw, "truncated")
+
+    def test_corrupt_index_json(self, columnar_path, tmp_path):
+        raw = self._raw(columnar_path)
+        raw[_HEADER_PREFIX_SIZE] = ord("!")
+        self._reject(tmp_path, raw, "corrupt header")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(HierarchyError, match="cannot open"):
+            ColumnarReader(tmp_path / "missing.bin")
+
+    def _rewrite_index(self, columnar_path, tmp_path, mutate):
+        """Rewrite the header index JSON in place (same byte length not
+        required: lengths re-packed, sections re-appended verbatim)."""
+        raw = columnar_path.read_bytes()
+        index_len, env_len = struct.unpack_from(
+            "<II", raw, len(COLUMNAR_MAGIC)
+        )
+        start = _HEADER_PREFIX_SIZE
+        index = json.loads(raw[start:start + index_len])
+        mutate(index)
+        new_index = json.dumps(index, sort_keys=True).encode()
+        rest = raw[start + index_len:]
+        out = (
+            raw[:len(COLUMNAR_MAGIC)]
+            + struct.pack("<II", len(new_index), env_len)
+            + raw[len(COLUMNAR_MAGIC) + 8:start]
+            + new_index + rest
+        )
+        bad = tmp_path / "mutated.bin"
+        bad.write_bytes(out)
+        return bad
+
+    def test_v4_columnar_rejected_with_upgrade_hint(self, columnar_path,
+                                                    tmp_path):
+        def bump(index):
+            index["format_version"] = 4
+
+        bad = self._rewrite_index(columnar_path, tmp_path, bump)
+        with pytest.raises(HierarchyError, match="newer than the latest"):
+            ColumnarReader(bad)
+        assert SUPPORTED_COLUMNAR_VERSIONS == (3,)
+
+    def test_wrong_kind_rejected(self, columnar_path, tmp_path):
+        def retag(index):
+            index["kind"] = "hierarchy-columnar"
+
+        bad = self._rewrite_index(columnar_path, tmp_path, retag)
+        with pytest.raises(HierarchyError, match="kind"):
+            ColumnarReader(bad)
+
+    def test_check_format_version_parameterized(self):
+        payload = {"format_version": 3}
+        assert check_format_version(
+            payload, "x", supported=SUPPORTED_COLUMNAR_VERSIONS,
+        ) == 3
+        with pytest.raises(HierarchyError):
+            check_format_version(
+                {"format_version": 4}, "x",
+                supported=SUPPORTED_COLUMNAR_VERSIONS,
+            )
+
+
+class TestLaziness:
+    def test_envelope_not_parsed_on_open(self, columnar_path):
+        reader = ColumnarReader(columnar_path)
+        try:
+            assert reader._envelope is None
+            reader.query("mean_group_size", "national")
+            assert reader._envelope is None  # queries never touch it
+            assert reader.envelope["kind"] == "release"
+            assert reader._envelope is not None
+        finally:
+            reader.close()
+
+    def test_columns_materialize_on_demand(self, columnar_path):
+        reader = ColumnarReader(columnar_path)
+        try:
+            assert reader._columns == {}
+            reader.histogram("national")
+            assert set(reader._columns) == {"h_values", "h_offsets"}
+        finally:
+            reader.close()
+
+    def test_close_is_idempotent_and_survives_live_views(self,
+                                                         columnar_path):
+        reader = ColumnarReader(columnar_path)
+        view = reader.histogram("national")
+        reader.close()
+        reader.close()
+        assert int(view.sum()) >= 0  # view stays readable (mmap pinned)
+
+    def test_context_manager(self, columnar_path):
+        with ColumnarReader(columnar_path) as reader:
+            assert len(reader) > 0
+        assert "ColumnarReader" in repr(reader)
+
+
+class TestEdgeShapes:
+    def test_single_empty_histogram(self, tmp_path):
+        release = make_release({"root": [0]})
+        path = tmp_path / "tiny.bin"
+        write_columnar(release, path)
+        with ColumnarReader(path) as reader:
+            assert reader.num_groups("root") == 0
+            assert reader.num_entities("root") == 0
+            assert columnar_to_json_bytes(path) == (
+                release.to_json().encode()
+            )
+
+    def test_heterogeneous_node_widths(self, tmp_path):
+        release = make_release({
+            "root": [0, 5, 3, 1],
+            "a": [0, 2],
+            "b": [0, 3, 3],
+            "c": [1] * 40,
+        })
+        path = tmp_path / "hetero.bin"
+        write_columnar(release, path)
+        with ColumnarReader(path) as reader:
+            reader.verify()
+            for name, expected in release.estimates.items():
+                assert reader.node(name) == expected

@@ -1,0 +1,112 @@
+"""Property-based tests: v2 JSON ↔ v3 columnar is lossless (hypothesis).
+
+For random releases the interchange contract must hold exactly:
+v2 canonical bytes → v3 container → v2 canonical bytes is the identity,
+every mmap-read column is bit-equal to its recomputed counterpart, and
+every query answers identically on both paths.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    ColumnarReader,
+    columnar_to_json_bytes,
+    json_payload_from_columnar,
+    write_columnar,
+    write_columnar_payload,
+)
+
+from tests.io.conftest import make_release
+
+# Random hierarchies: 1-6 nodes, each a histogram of up to 24 counts.
+histograms = st.lists(st.integers(min_value=0, max_value=50),
+                      min_size=1, max_size=24)
+node_maps = st.dictionaries(
+    st.text(alphabet="abcdefgh0123456789_", min_size=1, max_size=12),
+    histograms,
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(node_maps, st.floats(min_value=0.1, max_value=8.0))
+@settings(max_examples=40, deadline=None)
+def test_v2_to_v3_to_v2_is_byte_identity(tmp_path_factory, nodes, epsilon):
+    tmp_path = tmp_path_factory.mktemp("roundtrip")
+    release = make_release(nodes, epsilon=epsilon)
+    canonical = release.to_json().encode("utf-8")
+    path = tmp_path / "artifact.release.bin"
+    write_columnar_payload(json.loads(canonical), path)
+    assert columnar_to_json_bytes(path) == canonical
+    assert json_payload_from_columnar(path) == release.to_dict()
+
+
+@given(node_maps)
+@settings(max_examples=30, deadline=None)
+def test_columns_bit_equal_for_random_workloads(tmp_path_factory, nodes):
+    tmp_path = tmp_path_factory.mktemp("columns")
+    release = make_release(nodes)
+    path = tmp_path / "artifact.release.bin"
+    write_columnar(release, path)
+    with ColumnarReader(path) as reader:
+        reader.verify()
+        for name, expected in release.estimates.items():
+            assert np.array_equal(reader.histogram(name),
+                                  expected.histogram)
+            assert np.array_equal(reader.cumulative(name),
+                                  expected.cumulative)
+            assert np.array_equal(reader.unattributed(name),
+                                  expected.unattributed)
+            assert np.array_equal(reader.suffix_sums(name),
+                                  expected.suffix_sums)
+            assert reader.num_groups(name) == expected.num_groups
+            assert reader.num_entities(name) == expected.num_entities
+
+
+@given(node_maps, st.sampled_from([
+    ("mean_group_size", {}),
+    ("size_quantile", {"quantile": 0.5}),
+    ("gini_coefficient", {}),
+    ("groups_with_size_at_least", {"size": 1}),
+]))
+@settings(max_examples=30, deadline=None)
+def test_queries_identical_for_random_workloads(tmp_path_factory, nodes,
+                                                case):
+    tmp_path = tmp_path_factory.mktemp("queries")
+    query, params = case
+    release = make_release(nodes)
+    path = tmp_path / "artifact.release.bin"
+    write_columnar(release, path)
+    with ColumnarReader(path) as reader:
+        for name in release.node_names():
+            try:
+                expected = release.query(query, name, **params)
+            except Exception as error:  # noqa: BLE001 - symmetric contract
+                with pytest.raises(type(error)):
+                    reader.query(query, name, **params)
+            else:
+                assert reader.query(query, name, **params) == expected
+
+
+def test_golden_fixture_round_trips(tmp_path):
+    """The deterministic mechanism-built artifact (goldens' spec idiom)
+    round-trips byte-identically — no re-blessing ever needed."""
+    from repro.api.spec import ReleaseSpec
+
+    release = ReleaseSpec.create(
+        "hawaiian", epsilon=1.0, max_size=200, scale=1e-4,
+    ).execute()
+    json_path = tmp_path / "golden.release.json"
+    release.save(json_path)
+    bin_path = tmp_path / "golden.release.bin"
+    write_columnar_payload(json.loads(json_path.read_text()), bin_path)
+    assert columnar_to_json_bytes(bin_path) == json_path.read_bytes()
+    # Second encode of the round-tripped payload: still identical.
+    again = tmp_path / "again.release.bin"
+    write_columnar_payload(json_payload_from_columnar(bin_path), again)
+    assert again.read_bytes() == bin_path.read_bytes()

@@ -250,6 +250,78 @@ class TestServingSchema:
         problems = validate_serving_payload(serving_payload)
         assert any("$.speedup" in p for p in problems)
 
+    @staticmethod
+    def _cold_block():
+        return {
+            "num_releases": 100,
+            "query": "mean_group_size",
+            "json": {"seconds": 0.1, "ms_per_release": 1.0},
+            "columnar": {"seconds": 0.008, "ms_per_release": 0.08},
+            "speedup": 12.5,
+            "answers_identical": True,
+        }
+
+    def test_cold_block_is_optional_and_valid(self, serving_payload):
+        assert validate_serving_payload(serving_payload) == []
+        serving_payload["cold"] = self._cold_block()
+        assert validate_serving_payload(serving_payload) == []
+
+    def test_cold_block_key_drift(self, serving_payload):
+        serving_payload["cold"] = self._cold_block()
+        serving_payload["cold"]["surprise"] = 1
+        problems = validate_serving_payload(serving_payload)
+        assert any("$.cold.surprise: unexpected key" in p for p in problems)
+        del serving_payload["cold"]["surprise"]
+        del serving_payload["cold"]["speedup"]
+        problems = validate_serving_payload(serving_payload)
+        assert any("$.cold.speedup: missing key" in p for p in problems)
+
+    def test_cold_side_keys_checked(self, serving_payload):
+        serving_payload["cold"] = self._cold_block()
+        serving_payload["cold"]["columnar"]["seconds"] = float("nan")
+        problems = validate_serving_payload(serving_payload)
+        assert any("$.cold.columnar.seconds" in p for p in problems)
+
+    def test_cold_answers_identical_must_be_boolean(self, serving_payload):
+        serving_payload["cold"] = self._cold_block()
+        serving_payload["cold"]["answers_identical"] = "yes"
+        problems = validate_serving_payload(serving_payload)
+        assert any("$.cold.answers_identical" in p for p in problems)
+
+
+class TestColdStartPin:
+    """The committed baseline must demonstrate the v3 cold-read claim:
+    a 100+-release store answers a cold query >= 10x faster through the
+    mmap-backed columnar path than through a JSON decode."""
+
+    @pytest.fixture(scope="class")
+    def cold(self):
+        payload = json.loads(SERVING_BASELINE.read_text())
+        assert "cold" in payload, (
+            "BENCH_serving.json must include the cold-start block "
+            "(regenerate with: repro serve bench)"
+        )
+        return payload["cold"]
+
+    def test_population_scale_store(self, cold):
+        assert cold["num_releases"] >= 100
+
+    def test_cold_speedup_at_least_10x(self, cold):
+        assert cold["speedup"] >= 10.0, (
+            f"columnar cold-read speedup regressed to "
+            f"{cold['speedup']:.1f}x (acceptance floor: 10x)"
+        )
+
+    def test_cold_answers_identical(self, cold):
+        assert cold["answers_identical"] is True
+
+    def test_per_release_latencies_consistent(self, cold):
+        for side in ("json", "columnar"):
+            block = cold[side]
+            assert block["ms_per_release"] == pytest.approx(
+                block["seconds"] * 1000.0 / cold["num_releases"]
+            )
+
 
 class TestKindDetection:
     def test_detects_pipeline(self, pipeline_payload):

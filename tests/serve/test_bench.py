@@ -84,8 +84,18 @@ class TestReport:
         assert payload["schema_version"] == BENCH_SCHEMA_VERSION
         assert set(payload) == {
             "schema_version", "config", "naive", "served", "speedup",
+            "answers_identical", "cold",
+        }
+        assert set(payload["cold"]) == {
+            "num_releases", "query", "json", "columnar", "speedup",
             "answers_identical",
         }
+        assert set(payload["cold"]["json"]) == {"seconds", "ms_per_release"}
+        assert set(payload["cold"]["columnar"]) == {
+            "seconds", "ms_per_release",
+        }
+        assert payload["cold"]["speedup"] > 0
+        assert payload["cold"]["answers_identical"] is True
         assert set(payload["config"]) == {
             "num_releases", "num_requests", "popularity_skew", "seed",
             "cache_size",
@@ -116,6 +126,12 @@ class TestReport:
                       "cache hit ratio", "latency p99", "answers identical"):
             assert label in table
         assert "answers identical  true" in table
+
+    def test_cold_pass_optional(self, bench_store):
+        report = run_benchmark(bench_store, num_requests=20, seed=3,
+                               cold=False)
+        assert "cold" not in report.to_dict()
+        assert report.answers_identical
 
     def test_replayed_requests(self, bench_store):
         requests = generate_requests(bench_store, 30, seed=8)

@@ -200,8 +200,8 @@ class TestMetricsSurface:
         snapshot = engine.metrics.snapshot()
         assert set(snapshot) == {
             "requests", "errors", "batches", "artifact_loads", "cache_hits",
-            "cache_misses", "cache_hit_ratio", "memo_hits", "qps",
-            "window_seconds", "latency_samples", "latency_ms",
+            "warm_hits", "cache_misses", "cache_hit_ratio", "memo_hits",
+            "qps", "window_seconds", "latency_samples", "latency_ms",
         }
         assert set(snapshot["latency_ms"]) == {
             "p50", "p95", "p99", "mean", "max",

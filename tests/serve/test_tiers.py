@@ -1,0 +1,165 @@
+"""Tests for the FOCUS-style three-tier artifact cache (hot/warm/cold)."""
+
+import threading
+
+import pytest
+
+from repro.api.store import ReleaseStore
+from repro.exceptions import ReproError
+from repro.serve import DEFAULT_WARM_SIZE, TieredArtifactCache, ServingEngine
+from repro.serve.bench import populate_bench_store
+
+
+@pytest.fixture(scope="module")
+def columnar_store(tmp_path_factory) -> ReleaseStore:
+    store = ReleaseStore(
+        tmp_path_factory.mktemp("tier-store"), write_format="columnar",
+    )
+    populate_bench_store(store, num_releases=3)
+    return store
+
+
+@pytest.fixture(scope="module")
+def columnar_hashes(columnar_store) -> list:
+    return columnar_store.spec_hashes()
+
+
+class TestConstruction:
+    def test_bad_sizes(self, columnar_store):
+        with pytest.raises(ReproError):
+            TieredArtifactCache(columnar_store, hot_size=0)
+        with pytest.raises(ReproError):
+            TieredArtifactCache(columnar_store, hot_size=1, warm_size=0)
+
+    def test_defaults_and_repr(self, columnar_store):
+        cache = TieredArtifactCache(columnar_store, hot_size=2)
+        assert cache.warm_size == DEFAULT_WARM_SIZE
+        assert "TieredArtifactCache" in repr(cache)
+
+
+class TestTierTransitions:
+    def test_cold_then_hot(self, columnar_store, columnar_hashes):
+        cache = TieredArtifactCache(columnar_store, hot_size=2)
+        spec_hash = columnar_hashes[0]
+        release = cache.get(spec_hash)
+        snapshot = cache.metrics.snapshot()
+        assert snapshot["cache_misses"] == 1
+        assert snapshot["artifact_loads"] == 1
+        assert cache.hot_hashes() == [spec_hash]
+        assert cache.warm_hashes() == [spec_hash]
+        again = cache.get(spec_hash)
+        assert again is release  # hot hit: the same decoded object
+        assert cache.metrics.snapshot()["cache_hits"] == 1
+        cache.clear()
+
+    def test_hot_eviction_demotes_to_warm(self, columnar_store,
+                                          columnar_hashes):
+        cache = TieredArtifactCache(columnar_store, hot_size=1)
+        for spec_hash in columnar_hashes:
+            cache.get(spec_hash)
+        assert cache.metrics.snapshot()["artifact_loads"] == 3
+        assert cache.hot_hashes() == [columnar_hashes[-1]]
+        # All three keep an open reader: demotion, not loss.
+        assert sorted(cache.warm_hashes()) == sorted(columnar_hashes)
+        # Touching a demoted hash re-wraps the mmap — no new disk open.
+        cache.get(columnar_hashes[0])
+        snapshot = cache.metrics.snapshot()
+        assert snapshot["warm_hits"] == 1
+        assert snapshot["artifact_loads"] == 3
+        cache.clear()
+
+    def test_warm_eviction_closes_readers(self, columnar_store,
+                                          columnar_hashes):
+        cache = TieredArtifactCache(columnar_store, hot_size=1, warm_size=1)
+        for spec_hash in columnar_hashes:
+            cache.get(spec_hash)
+        assert len(cache.warm_hashes()) == 1
+        assert cache.warm_hashes() == [columnar_hashes[-1]]
+        cache.clear()
+        assert cache.warm_hashes() == [] == cache.hot_hashes()
+
+    def test_json_store_skips_the_warm_tier(self, bench_store,
+                                            release_hashes):
+        cache = TieredArtifactCache(bench_store, hot_size=2)
+        cache.get(release_hashes[0])
+        assert cache.warm_hashes() == []  # no columnar artifact to mmap
+        assert cache.metrics.snapshot()["artifact_loads"] == 1
+
+    def test_missing_hash_raises(self, columnar_store):
+        cache = TieredArtifactCache(columnar_store, hot_size=1)
+        with pytest.raises(ReproError):
+            cache.get("ff" * 32)
+
+
+class TestColdOpenConcurrency:
+    def test_two_threads_share_one_mmap(self, columnar_store,
+                                        columnar_hashes):
+        """Racing cold opens of one v3 artifact perform exactly one
+        mmap open; both threads get releases backed by the same
+        reader."""
+        cache = TieredArtifactCache(columnar_store, hot_size=4)
+        spec_hash = columnar_hashes[0]
+        barrier = threading.Barrier(2)
+        results = []
+
+        def cold_open():
+            barrier.wait()
+            results.append(cache.get(spec_hash))
+
+        threads = [threading.Thread(target=cold_open) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        snapshot = cache.metrics.snapshot()
+        assert snapshot["artifact_loads"] == 1  # one open, not two
+        assert len(results) == 2
+        # Per-hash lock serialized the race: loser saw the winner's hot
+        # entry, so both hold the identical decoded object.
+        assert results[0] is results[1]
+        assert cache.warm_hashes() == [spec_hash]  # one shared reader
+        reader = cache.warm_reader(spec_hash)
+        assert reader is not None and reader.spec_hash == spec_hash
+        cache.clear()
+
+    def test_many_threads_many_hashes(self, columnar_store, columnar_hashes):
+        cache = TieredArtifactCache(columnar_store, hot_size=4)
+        barrier = threading.Barrier(6)
+        errors = []
+
+        def hammer(spec_hash):
+            barrier.wait()
+            try:
+                for _ in range(5):
+                    cache.get(spec_hash)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(spec_hash,))
+            for spec_hash in columnar_hashes for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.metrics.snapshot()["artifact_loads"] == 3
+        cache.clear()
+
+
+class TestEngineIntegration:
+    def test_engine_over_columnar_store(self, columnar_store,
+                                        columnar_hashes):
+        from repro.serve import QuerySpec
+
+        with ServingEngine(columnar_store, cache_size=2) as engine:
+            for spec_hash in columnar_hashes:
+                result = engine.execute(QuerySpec.create(
+                    spec_hash[:12], "mean_group_size", "root",
+                ))
+                assert result.ok
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["artifact_loads"] == 3
+            assert engine.tiers.warm_hashes() != []

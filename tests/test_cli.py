@@ -372,3 +372,86 @@ class TestWorkload:
         # Identical numeric tables from both entry points.
         table = lambda text: text[text.index("workload:golden-bimodal ("):]
         assert table(first) == table(second)
+
+
+class TestColumnarWorkflow:
+    """The v3 columnar format through the CLI: release --format,
+    store migrate, and format/size reporting in store list/show."""
+
+    RELEASE_ARGS = [
+        "release", "--dataset", "hawaiian", "--scale", "1e-4",
+        "--epsilon", "1.0", "--max-size", "200",
+    ]
+
+    def test_release_out_columnar(self, tmp_path, capsys):
+        from repro.io import ColumnarReader, is_columnar_file
+
+        out = tmp_path / "artifact.release.bin"
+        assert main(self.RELEASE_ARGS + [
+            "--out", str(out), "--format", "columnar",
+        ]) == 0
+        assert "(columnar)" in capsys.readouterr().out
+        assert is_columnar_file(out)
+        with ColumnarReader(out) as reader:
+            assert reader.query("mean_group_size", "national") > 0
+
+    def test_release_store_columnar_then_query(self, tmp_path, capsys):
+        store = str(tmp_path / "releases")
+        assert main(self.RELEASE_ARGS + [
+            "--store", store, "--format", "columnar",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert ".release.bin" in out and "built and stored" in out
+        spec_hash = next(
+            line.split()[-1] for line in out.splitlines()
+            if line.startswith("spec: sha256 ")
+        )
+        # Query traffic reads the columnar artifact transparently.
+        assert main([
+            "query", spec_hash[:12], "--store", store, "--node", "national",
+            "--summary",
+        ]) == 0
+        assert "mean group size" in capsys.readouterr().out
+
+    def test_store_migrate_and_reporting(self, tmp_path, capsys):
+        store = str(tmp_path / "releases")
+        assert main(self.RELEASE_ARGS + ["--store", store]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "list", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "json v2" in listing and " B]" in listing
+
+        assert main(["store", "migrate", "--store", store,
+                     "--to", "columnar"]) == 0
+        assert "migrated 1 artifact(s) to columnar" in (
+            capsys.readouterr().out
+        )
+
+        assert main(["store", "list", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "columnar v3" in listing
+
+        spec_hash = listing.splitlines()[1].split()[0]
+        assert main(["store", "show", spec_hash, "--store", store]) == 0
+        shown = capsys.readouterr().out
+        assert "format       : columnar (format_version 3)" in shown
+        assert "size         :" in shown and "bytes" in shown
+
+        # Migrating back restores the JSON artifact.
+        assert main(["store", "migrate", "--store", store,
+                     "--to", "json"]) == 0
+        capsys.readouterr()
+        assert main(["store", "show", spec_hash, "--store", store]) == 0
+        assert "format       : json (format_version 2)" in (
+            capsys.readouterr().out
+        )
+
+    def test_store_migrate_keep_original(self, tmp_path, capsys):
+        store = str(tmp_path / "releases")
+        assert main(self.RELEASE_ARGS + ["--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "migrate", "--store", store,
+                     "--to", "columnar", "--keep-original"]) == 0
+        assert "originals kept" in capsys.readouterr().out
+        assert len(list((tmp_path / "releases").glob("*.release.*"))) == 2
