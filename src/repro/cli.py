@@ -370,11 +370,13 @@ def _command_grid(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
+        ClusterEngine,
         ServingEngine,
         parse_requests,
         populate_bench_store,
         run_benchmark,
     )
+    from repro.serve.metrics import format_snapshot_table
     from repro.serve.requestlog import load_requests
 
     store = ReleaseStore(args.store)
@@ -384,6 +386,28 @@ def _command_serve(args: argparse.Namespace) -> int:
             specs = parse_requests(sys.stdin, source="<stdin>")
         else:
             specs = load_requests(args.requests)
+        if args.cluster:
+            # Sharded path: --workers counts processes, not threads.
+            with ClusterEngine(
+                store, num_workers=args.workers, cache_size=args.cache_size,
+            ) as engine:
+                results = engine.execute_batch(specs)
+                if args.metrics:
+                    snapshot = engine.cluster_snapshot()
+                    print(
+                        format_snapshot_table(
+                            snapshot["aggregate"],
+                            title=(
+                                f"cluster metrics "
+                                f"({args.workers} shard(s), respawns "
+                                f"{sum(snapshot['respawns'])})"
+                            ),
+                        ),
+                        file=sys.stderr,
+                    )
+            for result in results:
+                print(json.dumps(result.to_dict(), sort_keys=True))
+            return 0 if all(result.ok for result in results) else 3
         with ServingEngine(
             store, cache_size=args.cache_size, max_workers=args.workers,
         ) as engine:
@@ -412,6 +436,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         store, num_requests=requests, popularity_skew=args.skew,
         seed=args.seed,
         cache_size=args.cache_size,
+        workers=args.workers,
     )
     print(report.summary())
     print()
@@ -419,6 +444,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     if not report.answers_identical:
         print("error: served answers diverged from the naive loop",
               file=sys.stderr)
+        return 1
+    if report.sharded is not None and not report.sharded["answers_identical"]:
+        print("error: sharded answers diverged from the single-process "
+              "engine", file=sys.stderr)
         return 1
     out = report.write(args.out)
     print(f"\nwrote {out}")
@@ -723,7 +752,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "or '-' to read stdin")
     sv_exec.add_argument("--workers", type=int, default=1,
                          help="thread-pool size; >1 fans release groups "
-                              "out concurrently")
+                              "out concurrently (with --cluster: shard "
+                              "worker *processes*)")
+    sv_exec.add_argument("--cluster", action="store_true",
+                         help="serve through the sharded multi-process "
+                              "tier (one ServingEngine per shard worker)")
     sv_exec.add_argument("--cache-size", type=int, default=32,
                          help="decoded artifacts kept hot (LRU)")
     sv_exec.add_argument("--metrics", action="store_true",
@@ -748,6 +781,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="request-mix seed")
     sv_bench.add_argument("--cache-size", type=int, default=None,
                           help="hot-cache size (default: all releases fit)")
+    sv_bench.add_argument("--workers", type=int, default=None,
+                          help="also sweep the sharded multi-process tier "
+                               "up to this many workers (adds the "
+                               "'sharded' block to the JSON)")
     sv_bench.add_argument("--out", default="BENCH_serving.json",
                           help="where to write the benchmark JSON")
     sv_bench.add_argument("--smoke", action="store_true",

@@ -72,6 +72,19 @@ _SERVING_SERVED_KEYS = (
     "latency_ms",
 )
 _SERVING_LATENCY_KEYS = ("p50", "p95", "p99")
+#: The sharded worker sweep (schema v1 additive block, written by
+#: ``serve bench --workers``): a single-process baseline plus one sweep
+#: entry per worker count, each answer-checked against the baseline.
+_SERVING_SHARDED_KEYS = (
+    "num_requests", "seed", "popularity_skew", "batch_size", "cpu_count",
+    "store_format", "single_process", "sweep", "scaling",
+    "answers_identical",
+)
+_SERVING_SHARDED_BASELINE_KEYS = ("seconds", "qps", "latency_ms")
+_SERVING_SHARDED_SWEEP_KEYS = (
+    "workers", "seconds", "qps", "latency_ms", "answers_identical",
+    "respawns",
+)
 
 
 def _check_keys(
@@ -239,7 +252,7 @@ def validate_serving_payload(payload: object) -> List[str]:
     """Problems in a ``BENCH_serving.json`` payload; empty when valid."""
     problems: List[str] = []
     if not _check_keys(payload, _SERVING_TOP_KEYS, "$", problems,
-                       optional=("cold",)):
+                       optional=("cold", "sharded")):
         return problems
     assert isinstance(payload, Mapping)
     if payload.get("schema_version") != 1:
@@ -295,6 +308,69 @@ def validate_serving_payload(payload: object) -> List[str]:
                 for key in _SERVING_COLD_SIDE_KEYS:
                     _check_number(block[key], f"$.cold.{side}.{key}",
                                   problems)
+
+    sharded = payload.get("sharded")
+    if sharded is not None:
+        problems.extend(_validate_sharded(sharded))
+    return problems
+
+
+def _validate_latency(latency: object, path: str) -> List[str]:
+    problems: List[str] = []
+    if _check_keys(latency, _SERVING_LATENCY_KEYS, path, problems):
+        for key in _SERVING_LATENCY_KEYS:
+            _check_number(latency[key], f"{path}.{key}", problems)
+    return problems
+
+
+def _validate_sharded(sharded: object) -> List[str]:
+    problems: List[str] = []
+    if not _check_keys(sharded, _SERVING_SHARDED_KEYS, "$.sharded", problems):
+        return problems
+    assert isinstance(sharded, Mapping)
+    for key in ("num_requests", "batch_size", "cpu_count"):
+        _check_number(sharded[key], f"$.sharded.{key}", problems, 1.0)
+    _check_number(sharded["seed"], "$.sharded.seed",
+                  problems, minimum=float("-1e18"))
+    _check_number(sharded["popularity_skew"], "$.sharded.popularity_skew",
+                  problems)
+    _check_number(sharded["scaling"], "$.sharded.scaling", problems)
+    _check_string(sharded["store_format"], "$.sharded.store_format", problems)
+    if not isinstance(sharded.get("answers_identical"), bool):
+        problems.append("$.sharded.answers_identical: expected a boolean")
+
+    baseline = sharded.get("single_process")
+    if _check_keys(baseline, _SERVING_SHARDED_BASELINE_KEYS,
+                   "$.sharded.single_process", problems):
+        for key in ("seconds", "qps"):
+            _check_number(baseline[key], f"$.sharded.single_process.{key}",
+                          problems)
+        problems.extend(_validate_latency(
+            baseline["latency_ms"], "$.sharded.single_process.latency_ms"
+        ))
+
+    sweep = sharded.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        problems.append("$.sharded.sweep: expected a nonempty array")
+        return problems
+    workers_seen: List[float] = []
+    for index, entry in enumerate(sweep):
+        path = f"$.sharded.sweep[{index}]"
+        if not _check_keys(entry, _SERVING_SHARDED_SWEEP_KEYS, path, problems):
+            continue
+        if _check_number(entry["workers"], f"{path}.workers", problems, 1.0):
+            workers_seen.append(float(entry["workers"]))
+        for key in ("seconds", "qps", "respawns"):
+            _check_number(entry[key], f"{path}.{key}", problems)
+        if not isinstance(entry.get("answers_identical"), bool):
+            problems.append(f"{path}.answers_identical: expected a boolean")
+        problems.extend(_validate_latency(
+            entry["latency_ms"], f"{path}.latency_ms"
+        ))
+    if workers_seen and workers_seen != sorted(set(workers_seen)):
+        problems.append(
+            "$.sharded.sweep: worker counts must be strictly increasing"
+        )
     return problems
 
 

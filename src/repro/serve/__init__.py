@@ -13,6 +13,13 @@ memoization, and full metrics — plus the replayable request-log format,
 the zipfian request-mix generator and the naive-vs-served benchmark
 harness behind ``repro serve bench``.
 
+Past one process, the :mod:`repro.serve.cluster` subpackage shards the
+store across ``multiprocessing`` workers — each running its own
+``ServingEngine`` over mmap'd columnar artifacts whose pages the OS
+shares between processes — behind a
+:class:`~repro.serve.cluster.engine.ClusterEngine` with the same
+request API.
+
 Data flow::
 
     ReleaseStore ──► TieredArtifactCache ──► ServingEngine (+ memo, pool)
@@ -27,14 +34,16 @@ from repro.serve.bench import (
     BenchReport,
     answers_match,
     bench_specs,
+    columnar_twin,
     populate_bench_store,
     run_benchmark,
     run_cold_pass,
     run_naive,
     run_served,
 )
+from repro.serve.cluster import ClusterEngine, ShardRouter, run_sharded_bench
 from repro.serve.engine import ServingEngine
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import MetricsRegistry, merge_snapshots
 from repro.serve.mix import (
     DEFAULT_QUERY_MIX,
     catalog_store,
@@ -53,10 +62,13 @@ from repro.serve.tiers import DEFAULT_WARM_SIZE, TieredArtifactCache
 
 __all__ = [
     "BenchReport",
+    "ClusterEngine",
     "DEFAULT_QUERY_MIX",
     "DEFAULT_WARM_SIZE",
+    "ShardRouter",
     "TieredArtifactCache",
     "MetricsRegistry",
+    "merge_snapshots",
     "QUERY_PARAMETERS",
     "QueryPlan",
     "QueryPlanner",
@@ -66,6 +78,7 @@ __all__ = [
     "answers_match",
     "bench_specs",
     "catalog_store",
+    "columnar_twin",
     "dump_request",
     "execute_group",
     "generate_requests",
@@ -76,6 +89,7 @@ __all__ = [
     "run_cold_pass",
     "run_naive",
     "run_served",
+    "run_sharded_bench",
     "save_requests",
     "zipfian_weights",
 ]

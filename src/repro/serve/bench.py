@@ -154,6 +154,45 @@ def run_served(
     return results, timer.seconds("served")
 
 
+def columnar_twin(
+    store: ReleaseStore, twin_dir: Optional[PathLike] = None
+) -> ReleaseStore:
+    """A columnar view of ``store`` for mmap-path benchmarks.
+
+    A store that is already fully columnar is returned as-is.  A JSON
+    store gets a *twin* directory (default: ``<store>/.columnar-twin``)
+    populated losslessly from its artifacts on first use and reused
+    afterwards — spec hashes are identical between the two, so request
+    mixes and answers transfer verbatim.  Both the cold-start pass and
+    the sharded bench serve from this twin: it is the zero-copy substrate
+    (mmap'd ``.release.bin``) whose pages the OS shares across worker
+    processes.
+    """
+    hashes = store.spec_hashes()
+    if not hashes:
+        raise ReproError(f"store {store.directory} is empty; nothing to twin")
+    formats = {store.artifact_format(spec_hash) for spec_hash in hashes}
+    if formats == {"columnar"}:
+        return store
+    twin = Path(twin_dir) if twin_dir is not None else (
+        store.directory / ".columnar-twin"
+    )
+    twin.mkdir(parents=True, exist_ok=True)
+    for spec_hash in hashes:
+        if store.artifact_format(spec_hash) != "json":
+            raise ReproError(
+                f"columnar twin needs JSON source artifacts; "
+                f"{spec_hash[:12]}… is stored as "
+                f"{store.artifact_format(spec_hash)}"
+            )
+        target = twin / f"{spec_hash}.release.bin"
+        if not target.exists():
+            write_columnar_payload(
+                json.loads(store.path_for(spec_hash).read_text()), target
+            )
+    return ReleaseStore(twin, write_format="columnar")
+
+
 def run_cold_pass(
     store: ReleaseStore,
     twin_dir: Optional[PathLike] = None,
@@ -176,27 +215,19 @@ def run_cold_pass(
     hashes = store.spec_hashes()
     if not hashes:
         raise ReproError(f"store {store.directory} is empty; nothing to time")
-    twin = Path(twin_dir) if twin_dir is not None else (
-        store.directory / ".columnar-twin"
-    )
-    twin.mkdir(parents=True, exist_ok=True)
-    json_paths: List[Path] = []
-    columnar_paths: List[Path] = []
     for spec_hash in hashes:
-        source = store.path_for(spec_hash)
         if store.artifact_format(spec_hash) != "json":
             raise ReproError(
                 f"cold pass expects a JSON store to baseline against; "
                 f"{spec_hash[:12]}… is stored as "
                 f"{store.artifact_format(spec_hash)}"
             )
-        target = twin / f"{spec_hash}.release.bin"
-        if not target.exists():
-            write_columnar_payload(
-                json.loads(source.read_text()), target
-            )
-        json_paths.append(source)
-        columnar_paths.append(target)
+    twin_store = columnar_twin(store, twin_dir)
+    json_paths = [store.path_for(spec_hash) for spec_hash in hashes]
+    columnar_paths = [
+        twin_store.directory / f"{spec_hash}.release.bin"
+        for spec_hash in hashes
+    ]
 
     # JSON path: full decode, then one scalar query on the root node.
     json_answers: List[object] = []
@@ -275,6 +306,7 @@ class BenchReport:
     answers_identical: bool
     metrics: Dict[str, object]
     cold: Optional[Dict[str, object]] = None
+    sharded: Optional[Dict[str, object]] = None
     naive_results: List[QueryResult] = field(repr=False, default_factory=list)
     served_results: List[QueryResult] = field(repr=False, default_factory=list)
 
@@ -326,6 +358,10 @@ class BenchReport:
             # exists when the bench ran the cold pass (the committed
             # baseline always does).
             payload["cold"] = dict(self.cold)
+        if self.sharded is not None:
+            # Additive within schema v1, same as "cold": present only
+            # when the bench ran the multi-process worker sweep.
+            payload["sharded"] = dict(self.sharded)
         return payload
 
     def write(self, path: PathLike) -> Path:
@@ -376,6 +412,18 @@ class BenchReport:
                  f"{bin_cold.get('ms_per_release', 0.0):.3f} ms/release"),
                 ("cold speedup", f"{self.cold.get('speedup', 0.0):.1f}x"),
             ]
+        if self.sharded is not None:
+            for entry in self.sharded.get("sweep", []):
+                rows.append((
+                    f"sharded qps ({entry.get('workers', '?')}w)",
+                    f"{entry.get('qps', 0.0):,.0f}",
+                ))
+            rows += [
+                ("sharded scaling",
+                 f"{self.sharded.get('scaling', 0.0):.2f}x"),
+                ("sharded identical",
+                 str(self.sharded.get("answers_identical", False)).lower()),
+            ]
         width = max(len(label) for label, _ in rows)
         lines = ["serving metrics"]
         lines += [f"  {label:<{width}}  {value}" for label, value in rows]
@@ -391,6 +439,7 @@ def run_benchmark(
     batch_size: Optional[int] = None,
     requests: Optional[List[QuerySpec]] = None,
     cold: bool = True,
+    workers: Optional[int] = None,
 ) -> BenchReport:
     """Run both paths over one request mix and report.
 
@@ -401,7 +450,10 @@ def run_benchmark(
     ``requests`` to replay a recorded log instead of generating a mix.
     With ``cold`` (the default), :func:`run_cold_pass` also measures
     per-release cold-start latency — JSON decode vs columnar mmap — and
-    the report carries the additive ``"cold"`` block.
+    the report carries the additive ``"cold"`` block.  With ``workers``,
+    :func:`~repro.serve.cluster.bench.run_sharded_bench` additionally
+    sweeps the multi-process cluster up to that worker count over the
+    same mix and the report carries the additive ``"sharded"`` block.
     """
     if requests is None:
         requests = generate_requests(
@@ -421,6 +473,19 @@ def run_benchmark(
         )
         metrics = engine.metrics.snapshot()
     cold_block = run_cold_pass(store) if cold else None
+    sharded_block: Optional[Dict[str, object]] = None
+    if workers is not None:
+        # Imported here: cluster.bench reuses this module's helpers.
+        from repro.serve.cluster.bench import run_sharded_bench
+
+        sharded_block = run_sharded_bench(
+            store,
+            requests=requests,
+            seed=seed,
+            popularity_skew=popularity_skew,
+            batch_size=batch_size,
+            max_workers=workers,
+        )
 
     return BenchReport(
         num_releases=len(store),
@@ -433,6 +498,7 @@ def run_benchmark(
         answers_identical=answers_match(naive_results, served_results),
         metrics=metrics,
         cold=cold_block,
+        sharded=sharded_block,
         naive_results=naive_results,
         served_results=served_results,
     )

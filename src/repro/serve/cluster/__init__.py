@@ -1,0 +1,45 @@
+"""Sharded multi-process serving: router, worker pool, coordinator.
+
+``repro.serve.cluster`` scales the serving tier past the GIL by running
+one :class:`~repro.serve.engine.ServingEngine` per **shard worker
+process** and coordinating them behind the same request API:
+
+* :class:`~repro.serve.cluster.router.ShardRouter` — pure spec-hash →
+  shard mapping (Polynesia-style dedicated engines per slice of the
+  store);
+* :mod:`~repro.serve.cluster.worker` — the worker process entry point
+  and its queue protocol;
+* :class:`~repro.serve.cluster.engine.ClusterEngine` — scatter/gather
+  batch dispatch, per-shard admission control with backpressure and
+  shedding, crash detection + respawn, merged cluster-wide metrics;
+* :func:`~repro.serve.cluster.bench.run_sharded_bench` — the
+  worker-count sweep behind ``repro serve bench --workers``.
+
+Workers read columnar artifacts through ``mmap``, so the OS shares the
+physical pages across every process mapping the same release — N
+workers never hold N copies of the cold bytes.
+"""
+
+from repro.serve.cluster.bench import run_sharded_bench, sweep_worker_counts
+from repro.serve.cluster.engine import (
+    DEFAULT_ADMISSION_TIMEOUT,
+    DEFAULT_BATCH_TIMEOUT,
+    DEFAULT_QUEUE_DEPTH,
+    ClusterEngine,
+)
+from repro.serve.cluster.router import ROUTING_PREFIX_LENGTH, ShardRouter
+from repro.serve.cluster.worker import WorkerHandle, serve_shard, worker_main
+
+__all__ = [
+    "ClusterEngine",
+    "ShardRouter",
+    "WorkerHandle",
+    "serve_shard",
+    "worker_main",
+    "run_sharded_bench",
+    "sweep_worker_counts",
+    "ROUTING_PREFIX_LENGTH",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_ADMISSION_TIMEOUT",
+    "DEFAULT_BATCH_TIMEOUT",
+]

@@ -1,0 +1,162 @@
+"""The sharded benchmark: worker-count sweep over the zipfian mix.
+
+:func:`run_sharded_bench` serves one deterministic request mix three
+ways and reports the additive ``"sharded"`` block of
+``BENCH_serving.json``:
+
+* a **single-process** :class:`~repro.serve.engine.ServingEngine`
+  baseline over the columnar twin store (the same mmap substrate the
+  cluster uses, so the comparison isolates the process architecture,
+  not the artifact format);
+* a **sweep** of :class:`~repro.serve.cluster.engine.ClusterEngine`
+  runs at increasing worker counts (powers of two up to ``max_workers``),
+  each verified **bit-identical** against the baseline answers;
+* the resulting **scaling** ratio (QPS at the top worker count over QPS
+  at one worker).
+
+The block records ``cpu_count`` because throughput scaling is a
+property of the host, not just the code: on a single-core container the
+sweep measures coordination overhead (expect scaling ≈ 1×), while on an
+N-core host the shards actually run in parallel.  The perf pin tests
+read ``cpu_count`` and assert against the envelope
+``min(workers, cpu_count)`` rather than a hard-coded ideal.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.store import ReleaseStore
+from repro.serve.bench import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_NUM_REQUESTS,
+    PathLike,
+    answers_match,
+    columnar_twin,
+    run_served,
+)
+from repro.serve.cluster.engine import DEFAULT_QUEUE_DEPTH, ClusterEngine
+from repro.serve.engine import ServingEngine
+from repro.serve.mix import catalog_store, generate_requests
+from repro.serve.spec import QuerySpec
+
+#: The worker counts the committed baseline sweeps.
+DEFAULT_MAX_WORKERS = 4
+
+
+def sweep_worker_counts(max_workers: int) -> List[int]:
+    """Powers of two up to (and always including) ``max_workers``.
+
+    Examples
+    --------
+    >>> sweep_worker_counts(4)
+    [1, 2, 4]
+    >>> sweep_worker_counts(3)
+    [1, 2, 3]
+    >>> sweep_worker_counts(1)
+    [1]
+    """
+    counts = {1, max(int(max_workers), 1)}
+    count = 2
+    while count < max_workers:
+        counts.add(count)
+        count *= 2
+    return sorted(counts)
+
+
+def _latency_view(latency: Dict[str, object]) -> Dict[str, float]:
+    return {
+        "p50": float(latency.get("p50", 0.0)),
+        "p95": float(latency.get("p95", 0.0)),
+        "p99": float(latency.get("p99", 0.0)),
+    }
+
+
+def run_sharded_bench(
+    store: ReleaseStore,
+    requests: Optional[Sequence[QuerySpec]] = None,
+    num_requests: int = DEFAULT_NUM_REQUESTS,
+    seed: int = 0,
+    popularity_skew: float = 1.1,
+    batch_size: Optional[int] = None,
+    max_workers: int = DEFAULT_MAX_WORKERS,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    twin_dir: Optional[PathLike] = None,
+) -> Dict[str, object]:
+    """Sweep the cluster over one mix; returns the ``"sharded"`` block.
+
+    ``store`` may be JSON (a columnar twin is materialized, as in the
+    cold pass) or already columnar.  Every sweep entry is answer-checked
+    bit for bit against the single-process baseline — the block-level
+    ``answers_identical`` is the conjunction across the sweep, and the
+    CLI treats ``false`` as a hard failure.
+    """
+    twin = columnar_twin(store, twin_dir)
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if requests is None:
+        requests = generate_requests(
+            twin, num_requests, seed=seed, popularity_skew=popularity_skew,
+            catalog=catalog_store(twin),
+        )
+    requests = list(requests)
+    cache_size = max(len(twin), 1)
+
+    with ServingEngine(twin, cache_size=cache_size) as engine:
+        base_results, base_seconds = run_served(
+            engine, requests, batch_size=batch_size,
+        )
+        base_latency = engine.metrics.snapshot()["latency_ms"]
+
+    sweep: List[Dict[str, object]] = []
+    all_identical = True
+    for workers in sweep_worker_counts(max_workers):
+        with ClusterEngine(
+            twin, num_workers=workers, cache_size=cache_size,
+            queue_depth=queue_depth,
+        ) as cluster:
+            cluster.start()
+            start = time.perf_counter()
+            results: List = []
+            for offset in range(0, len(requests), batch_size):
+                results.extend(
+                    cluster.execute_batch(
+                        requests[offset: offset + batch_size]
+                    )
+                )
+            seconds = time.perf_counter() - start
+            snapshot = cluster.cluster_snapshot()
+            respawns = sum(cluster.respawn_counts())
+        identical = answers_match(base_results, results)
+        all_identical = all_identical and identical
+        aggregate = snapshot["aggregate"]
+        sweep.append({
+            "workers": workers,
+            "seconds": seconds,
+            "qps": len(requests) / max(seconds, 1e-9),
+            "latency_ms": _latency_view(aggregate["latency_ms"]),
+            "answers_identical": identical,
+            "respawns": respawns,
+        })
+
+    qps_by_workers = {entry["workers"]: entry["qps"] for entry in sweep}
+    top = max(qps_by_workers)
+    scaling = qps_by_workers[top] / max(qps_by_workers[1], 1e-9)
+    return {
+        "num_requests": len(requests),
+        "seed": int(seed),
+        "popularity_skew": float(popularity_skew),
+        "batch_size": int(batch_size),
+        "cpu_count": int(os.cpu_count() or 1),
+        "store_format": "columnar",
+        "single_process": {
+            "seconds": base_seconds,
+            "qps": len(requests) / max(base_seconds, 1e-9),
+            "latency_ms": _latency_view(base_latency),
+        },
+        "sweep": sweep,
+        "scaling": scaling,
+        "answers_identical": all_identical,
+    }

@@ -1,0 +1,534 @@
+"""ClusterEngine: scatter/gather coordination over shard worker processes.
+
+The coordinator keeps the exact request-facing API of
+:class:`~repro.serve.engine.ServingEngine` (``execute`` /
+``execute_batch`` / ``submit`` / ``submit_batch`` / context manager) but
+answers through a pool of worker processes, one per shard:
+
+1. **Plan** — the batch goes through the same
+   :class:`~repro.serve.planner.QueryPlanner` with the same cached
+   ``store.resolve``, so malformed or unresolvable requests fail here
+   with byte-identical error results to the single-process engine.
+2. **Scatter** — planned release groups are partitioned by
+   :class:`~repro.serve.cluster.router.ShardRouter` and each shard's
+   slice is sent to its worker as one message.  Admission control is
+   applied per shard first: a bounded in-flight request budget with
+   blocking backpressure up to a timeout, after which the slice is
+   **shed** with a clear per-request error instead of queueing unboundedly
+   (under the zipfian mix a hot shard saturates long before the others —
+   shedding keeps the tail bounded instead of letting one shard's queue
+   grow without limit).
+3. **Gather** — a single collector thread drains every worker's private
+   reply queue and routes replies (tagged with a batch id) back to the
+   waiting batch; results are reassembled by the original request
+   positions, so ordering is exactly the submission order.  Because
+   each worker runs a stock ``ServingEngine`` over the same store
+   directory, gathered answers are bit-identical to the single-process
+   path.
+
+**Crash handling** — the collector polls worker liveness whenever the
+reply queues are idle (~50 ms cadence).  A dead worker immediately
+fails every pending slice for its shard with a per-request error (no
+caller ever hangs on a crashed shard), the worker is respawned on fresh
+queues (the dead process may have wedged either of its old queues'
+cross-process locks — see :class:`~repro.serve.cluster.worker.WorkerHandle`),
+and late replies from a pre-crash generation are dropped by batch id.
+Other shards' slices of the same batch complete normally.
+
+**Metrics** — workers ship sample-bearing
+:meth:`~repro.serve.metrics.MetricsRegistry.snapshot` views on demand and
+:meth:`ClusterEngine.cluster_snapshot` merges them with the
+coordinator's own registry (planner failures, shed and crash errors)
+through :func:`~repro.serve.metrics.merge_snapshots` — per-shard views
+plus one aggregate with summed counts, pooled-percentile latencies, and
+union-window QPS.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from multiprocessing.connection import wait as connection_wait
+from queue import Empty
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api.store import ReleaseStore
+from repro.exceptions import ReproError
+from repro.serve.engine import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_MEMO_SIZE,
+    DEFAULT_WORKERS,
+)
+from repro.serve.cluster.router import ShardRouter
+from repro.serve.cluster.worker import PositionedSpec, WorkerHandle
+from repro.serve.metrics import MetricsRegistry, merge_snapshots
+from repro.serve.planner import QueryPlanner, QueryResult
+from repro.serve.spec import QuerySpec
+from repro.serve.tiers import DEFAULT_WARM_SIZE
+
+#: Default per-shard in-flight request budget before backpressure.
+DEFAULT_QUEUE_DEPTH = 1024
+
+#: Default seconds a batch waits for shard capacity before being shed.
+DEFAULT_ADMISSION_TIMEOUT = 1.0
+
+#: Default seconds a gather waits before declaring a batch lost.
+DEFAULT_BATCH_TIMEOUT = 60.0
+
+#: Collector idle poll period — also the worker-crash detection cadence.
+_POLL_SECONDS = 0.05
+
+#: The sample-only keys stripped from per-shard snapshot views.
+_SAMPLE_KEYS = ("samples", "window_start", "window_end")
+
+
+class _PendingBatch:
+    """Coordinator-side state of one scattered batch awaiting replies."""
+
+    __slots__ = ("shard_items", "pending_shards", "results", "event")
+
+    def __init__(self, shard_items: Dict[int, List[PositionedSpec]]) -> None:
+        self.shard_items = shard_items
+        self.pending_shards: Set[int] = set(shard_items)
+        self.results: Dict[int, QueryResult] = {}
+        self.event = threading.Event()
+
+
+class _PendingMetrics:
+    """State of one in-flight cluster-wide metrics collection."""
+
+    __slots__ = ("pending_shards", "snapshots", "event")
+
+    def __init__(self, shards: Set[int]) -> None:
+        self.pending_shards = set(shards)
+        self.snapshots: Dict[int, Dict[str, object]] = {}
+        self.event = threading.Event()
+
+
+class ClusterEngine:
+    """Sharded multi-process serving with the ServingEngine request API.
+
+    ``num_workers`` shard worker processes are spawned lazily on first
+    use, each running its own :class:`~repro.serve.engine.ServingEngine`
+    over ``store``'s directory — columnar artifacts are mmap'd, so the
+    OS shares the physical pages across workers and nothing is decoded
+    twice.  ``concurrent=True`` on :meth:`execute_batch` is accepted for
+    API compatibility; scatter across shards is always concurrent.
+    """
+
+    def __init__(
+        self,
+        store: ReleaseStore,
+        num_workers: int = 2,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        memo_size: int = DEFAULT_MEMO_SIZE,
+        max_workers: int = DEFAULT_WORKERS,
+        memoize: bool = True,
+        warm_size: int = DEFAULT_WARM_SIZE,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        admission_timeout: float = DEFAULT_ADMISSION_TIMEOUT,
+        batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ReproError(f"num_workers must be >= 1, got {num_workers}")
+        if queue_depth < 1:
+            raise ReproError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.store = store
+        self.num_workers = int(num_workers)
+        self.max_workers = int(max_workers)
+        self.queue_depth = int(queue_depth)
+        self.admission_timeout = float(admission_timeout)
+        self.batch_timeout = float(batch_timeout)
+        self.router = ShardRouter(num_workers)
+        self.planner = QueryPlanner()
+        self.metrics = MetricsRegistry()
+        self._engine_config: Dict[str, object] = {
+            "cache_size": int(cache_size),
+            "memo_size": int(memo_size),
+            "memoize": bool(memoize),
+            "warm_size": int(warm_size),
+            "max_workers": 1,
+        }
+        self._context = multiprocessing.get_context(start_method)
+        self._workers: List[WorkerHandle] = [
+            WorkerHandle(
+                shard, str(store.directory), self._engine_config,
+                self._context,
+            )
+            for shard in range(self.num_workers)
+        ]
+        self._lock = threading.Lock()
+        self._resolved: Dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, _PendingBatch] = {}
+        self._pending_metrics: Dict[int, _PendingMetrics] = {}
+        # In-flight request counts per shard; the condition's own lock
+        # guards them (always taken *after* self._lock, never inside it
+        # the other way around).
+        self._admission = threading.Condition()
+        self._in_flight: List[int] = [0] * self.num_workers
+        self._collector: Optional[threading.Thread] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn workers and the collector (idempotent; lazy on first use)."""
+        with self._lock:
+            if self._started or self._closed:
+                return
+            self._started = True
+            for handle in self._workers:
+                handle.start()
+            self._collector = threading.Thread(
+                target=self._collect_loop,
+                name="repro-cluster-collector",
+                daemon=True,
+            )
+            self._collector.start()
+
+    def close(self) -> None:
+        """Stop every worker and the collector (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            collector, self._collector = self._collector, None
+            pool, self._pool = self._pool, None
+        for handle in self._workers:
+            handle.stop()
+        if collector is not None:
+            collector.join(timeout=5.0)
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- planning ------------------------------------------------------------
+    def resolve(self, prefix: str) -> str:
+        """Expand a spec-hash prefix to a full hash (coordinator-cached).
+
+        Identical semantics (and error messages) to
+        :meth:`ServingEngine.resolve` — failures surface here, before
+        any scatter, so unresolvable requests cost no worker round-trip.
+        """
+        with self._lock:
+            cached = self._resolved.get(prefix)
+        if cached is not None:
+            return cached
+        full = self.store.resolve(prefix)
+        with self._lock:
+            self._resolved[prefix] = full
+        return full
+
+    # -- request execution ---------------------------------------------------
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Answer one request through its shard's worker."""
+        return self.execute_batch([spec])[0]
+
+    def execute_batch(
+        self, specs: Sequence[QuerySpec], concurrent: bool = False
+    ) -> List[QueryResult]:
+        """Scatter a batch across shards, gather in submission order."""
+        del concurrent  # scatter is always concurrent across shards
+        self.start()
+        plan = self.planner.plan(specs, self.resolve)
+        results: Dict[int, QueryResult] = dict(plan.failures)
+        for _ in plan.failures:
+            self.metrics.record_request(0.0, error=True)
+        self.metrics.record_batch()
+        if not plan.groups:
+            return [results[position] for position in range(len(specs))]
+
+        # Scatter: one flattened slice per shard (the worker's own
+        # planner re-groups it by release), gated by admission control.
+        partitioned = self.router.partition(plan.groups)
+        shard_items: Dict[int, List[PositionedSpec]] = {}
+        for shard, groups in partitioned.items():
+            items = [pair for pairs in groups.values() for pair in pairs]
+            if self._admit(shard, len(items)):
+                shard_items[shard] = items
+            else:
+                with self._admission:
+                    in_flight = self._in_flight[shard]
+                message = (
+                    f"shard {shard} queue full ({in_flight} requests in "
+                    f"flight, depth {self.queue_depth}): request shed "
+                    f"after {self.admission_timeout:g}s of backpressure"
+                )
+                for position, spec in items:
+                    results[position] = QueryResult(spec=spec, error=message)
+                    self.metrics.record_request(0.0, error=True)
+        if not shard_items:
+            return [results[position] for position in range(len(specs))]
+
+        batch_id = next(self._ids)
+        state = _PendingBatch(shard_items)
+        with self._lock:
+            self._pending[batch_id] = state
+        for shard, items in shard_items.items():
+            self._workers[shard].send(("batch", batch_id, items))
+
+        # Gather: the collector fills the state in as replies (or crash
+        # verdicts) arrive; a timeout fails whatever never came back.
+        if not state.event.wait(self.batch_timeout):
+            self._expire_batch(batch_id, state)
+        results.update(state.results)
+        with self._lock:
+            self._pending.pop(batch_id, None)
+        return [results[position] for position in range(len(specs))]
+
+    # -- admission control ---------------------------------------------------
+    def _admit(self, shard: int, count: int) -> bool:
+        """Reserve shard capacity, blocking up to the admission timeout.
+
+        A slice larger than the whole depth is still admitted when the
+        shard is idle (it could never fit otherwise); beyond that the
+        caller sheds.
+        """
+        deadline = time.monotonic() + self.admission_timeout
+        with self._admission:
+            while (
+                self._in_flight[shard]
+                and self._in_flight[shard] + count > self.queue_depth
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._admission.wait(remaining)
+            self._in_flight[shard] += count
+            return True
+
+    def _release_capacity(self, shard: int, count: int) -> None:
+        with self._admission:
+            self._in_flight[shard] = max(self._in_flight[shard] - count, 0)
+            self._admission.notify_all()
+
+    def in_flight(self) -> List[int]:
+        """Current per-shard in-flight request counts (for tests/ops)."""
+        with self._admission:
+            return list(self._in_flight)
+
+    # -- gather path (collector thread) --------------------------------------
+    def _collect_loop(self) -> None:
+        # One select over every worker's private reply queue
+        # (deliberately not one shared queue: a crashed worker can die
+        # holding a shared queue's cross-process writer lock and silence
+        # every healthy shard's feeder).  Blocking on the queues' reader
+        # pipes keeps delivery latency at pipe speed while the poll
+        # timeout doubles as the crash-detection cadence.  The reader
+        # connection is a private-but-stable Queue attribute; it is the
+        # exact object ``Queue.get`` polls, and selecting on it shares
+        # no locks with the (killable) worker processes.
+        while not self._closed:
+            queue_by_reader = {
+                handle.result_queue._reader: handle.result_queue
+                for handle in self._workers
+            }
+            ready = connection_wait(
+                list(queue_by_reader), timeout=_POLL_SECONDS
+            )
+            if not ready:
+                if self._closed:
+                    return
+                self._check_workers()
+                continue
+            for reader in ready:
+                try:
+                    message = queue_by_reader[reader].get_nowait()
+                except (Empty, OSError, EOFError):
+                    continue
+                kind, batch_id, shard, payload = message
+                if kind == "metrics":
+                    self._deliver_metrics(batch_id, shard, payload)
+                else:
+                    self._deliver_results(batch_id, shard, payload)
+
+    def _deliver_results(
+        self, batch_id: int, shard: int, wire: Sequence[Tuple]
+    ) -> None:
+        with self._lock:
+            state = self._pending.get(batch_id)
+            if state is None or shard not in state.pending_shards:
+                return  # late reply from a failed/expired generation
+            spec_by_position = dict(state.shard_items[shard])
+            for position, value, error, release in wire:
+                state.results[position] = QueryResult(
+                    spec=spec_by_position[position], value=value,
+                    error=error, release=release,
+                )
+            state.pending_shards.discard(shard)
+            done = not state.pending_shards
+        self._release_capacity(shard, len(wire))
+        if done:
+            state.event.set()
+
+    def _deliver_metrics(
+        self, batch_id: int, shard: int, snapshot: Dict[str, object]
+    ) -> None:
+        with self._lock:
+            state = self._pending_metrics.get(batch_id)
+            if state is None or shard not in state.pending_shards:
+                return
+            state.snapshots[shard] = snapshot
+            state.pending_shards.discard(shard)
+            done = not state.pending_shards
+        if done:
+            state.event.set()
+
+    def _check_workers(self) -> None:
+        """Fail fast on crashed workers and respawn them.
+
+        Order matters: the possibly-wedged queues are replaced *first*
+        (so any concurrent scatter lands on the new queue and will be
+        served by the replacement), then every already-pending slice for
+        the shard is failed (a slice scattered onto the new queue before
+        this point gets failed here too — its eventual reply is dropped
+        as late), and only then is the new process started.
+        """
+        for handle in self._workers:
+            if handle.process is None or handle.alive:
+                continue
+            handle.replace_queues()
+            self._fail_shard(
+                handle.shard,
+                f"shard {handle.shard} worker died while serving this "
+                f"request; the shard has been respawned — retry",
+            )
+            if not self._closed:
+                handle.respawn()
+
+    def _fail_shard(self, shard: int, message: str) -> None:
+        """Error out every pending slice owned by one shard."""
+        completed: List[_PendingBatch] = []
+        released = 0
+        with self._lock:
+            for state in self._pending.values():
+                if shard not in state.pending_shards:
+                    continue
+                items = state.shard_items[shard]
+                for position, spec in items:
+                    state.results[position] = QueryResult(
+                        spec=spec, error=message,
+                    )
+                    self.metrics.record_request(0.0, error=True)
+                released += len(items)
+                state.pending_shards.discard(shard)
+                if not state.pending_shards:
+                    completed.append(state)
+            for metrics_state in self._pending_metrics.values():
+                if shard in metrics_state.pending_shards:
+                    metrics_state.pending_shards.discard(shard)
+                    if not metrics_state.pending_shards:
+                        completed.append(metrics_state)  # type: ignore[arg-type]
+        if released:
+            self._release_capacity(shard, released)
+        for state in completed:
+            state.event.set()
+
+    def _expire_batch(self, batch_id: int, state: _PendingBatch) -> None:
+        """Fail whatever a timed-out batch is still waiting on."""
+        with self._lock:
+            if batch_id not in self._pending:
+                return
+            stuck = sorted(state.pending_shards)
+            for shard in stuck:
+                for position, spec in state.shard_items[shard]:
+                    state.results[position] = QueryResult(
+                        spec=spec,
+                        error=(
+                            f"cluster batch timed out after "
+                            f"{self.batch_timeout:g}s waiting on shard {shard}"
+                        ),
+                    )
+                    self.metrics.record_request(0.0, error=True)
+                state.pending_shards.discard(shard)
+        for shard in stuck:
+            self._release_capacity(shard, len(state.shard_items[shard]))
+        state.event.set()
+
+    # -- thread-pool path ----------------------------------------------------
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The coordinator's lazily created request thread pool."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-cluster",
+                )
+            return self._pool
+
+    def submit(self, spec: QuerySpec) -> "Future[QueryResult]":
+        """Queue one request; same contract as :meth:`ServingEngine.submit`."""
+        return self.pool.submit(self.execute, spec)
+
+    def submit_batch(
+        self, specs: Sequence[QuerySpec]
+    ) -> "Future[List[QueryResult]]":
+        """Queue a whole batch on the coordinator pool."""
+        return self.pool.submit(self.execute_batch, specs)
+
+    # -- metrics -------------------------------------------------------------
+    def respawn_counts(self) -> List[int]:
+        """Per-shard worker respawn counts since startup."""
+        return [handle.respawns for handle in self._workers]
+
+    def cluster_snapshot(self, timeout: float = 5.0) -> Dict[str, object]:
+        """One cluster-wide metrics view: per-shard and merged aggregate.
+
+        Live workers ship sample-bearing snapshots which are merged —
+        together with the coordinator's own registry (planner failures,
+        shed and crash errors) — via
+        :func:`~repro.serve.metrics.merge_snapshots`.  A shard that
+        crashed loses its in-process counters with it; the respawn count
+        says so explicitly.
+        """
+        self.start()
+        request_id = next(self._ids)
+        shards = {
+            handle.shard for handle in self._workers if handle.alive
+        }
+        coordinator = self.metrics.snapshot(include_samples=True)
+        worker_snapshots: Dict[int, Dict[str, object]] = {}
+        if shards:
+            state = _PendingMetrics(shards)
+            with self._lock:
+                self._pending_metrics[request_id] = state
+            for shard in shards:
+                self._workers[shard].send(("metrics", request_id, None))
+            state.event.wait(timeout)
+            with self._lock:
+                self._pending_metrics.pop(request_id, None)
+            worker_snapshots = dict(state.snapshots)
+        aggregate = merge_snapshots(
+            [coordinator, *worker_snapshots.values()]
+        )
+        per_shard = {
+            shard: {
+                key: value for key, value in snapshot.items()
+                if key not in _SAMPLE_KEYS
+            }
+            for shard, snapshot in sorted(worker_snapshots.items())
+        }
+        return {
+            "aggregate": aggregate,
+            "shards": per_shard,
+            "respawns": self.respawn_counts(),
+        }
+
+    def __repr__(self) -> str:
+        alive = sum(1 for handle in self._workers if handle.alive)
+        return (
+            f"ClusterEngine({self.store!r}, shards={self.num_workers}, "
+            f"alive={alive}, depth={self.queue_depth})"
+        )

@@ -1,0 +1,105 @@
+"""Deterministic release-to-shard routing.
+
+Sharding follows the Polynesia template (PAPERS.md): instead of one
+shared engine behind a GIL, each shard owns a dedicated worker process
+with its own :class:`~repro.serve.engine.ServingEngine`, and the router
+decides — purely, with no shared state — which shard answers which
+release.  The routing key is the release **spec hash**: artifacts are
+immutable and spec-hash keyed, so a release's shard never changes for a
+fixed shard count, every worker's hot/warm caches see a disjoint slice
+of the store, and no cross-shard coordination is ever needed.
+
+Under the zipfian popularity mix ``serve.mix`` generates, hashing
+spreads the heavy head uniformly at random across shards (spec hashes
+are SHA-256 outputs, so the leading bits are i.i.d. uniform) — the
+expected per-shard load is balanced even though individual releases are
+not.  :meth:`ShardRouter.load_profile` computes the realized per-shard
+weight split for a given popularity profile, which the cluster tests
+use to pin that balance and operators can use to size shard counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, TypeVar
+
+from repro.exceptions import ReproError
+
+#: Leading hex digits of the spec hash used as the routing key.  64 bits
+#: of a SHA-256 — collision-free and uniform for any realistic store.
+ROUTING_PREFIX_LENGTH = 16
+
+T = TypeVar("T")
+
+
+class ShardRouter:
+    """Pure spec-hash → shard mapping for a fixed shard count.
+
+    Examples
+    --------
+    >>> router = ShardRouter(4)
+    >>> shard = router.shard_of("ab" * 32)
+    >>> 0 <= shard < 4 and shard == router.shard_of("ab" * 32)
+    True
+    >>> ShardRouter(1).shard_of("cd" * 32)
+    0
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ReproError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+
+    def shard_of(self, spec_hash: str) -> int:
+        """The shard owning a release, from its full spec hash."""
+        try:
+            key = int(spec_hash[:ROUTING_PREFIX_LENGTH], 16)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"routing key must be a hex spec hash, got {spec_hash!r}"
+            ) from None
+        return key % self.num_shards
+
+    def partition(
+        self, groups: Mapping[str, Sequence[T]]
+    ) -> Dict[int, Dict[str, List[T]]]:
+        """Split per-release groups (a query plan's ``groups``) by shard.
+
+        Returns ``{shard: {spec_hash: items}}`` containing only shards
+        with work — the dispatcher scatters one message per entry.
+        """
+        shards: Dict[int, Dict[str, List[T]]] = {}
+        for spec_hash, items in groups.items():
+            shard = self.shard_of(spec_hash)
+            shards.setdefault(shard, {})[spec_hash] = list(items)
+        return shards
+
+    def load_profile(
+        self,
+        spec_hashes: Iterable[str],
+        weights: Sequence[float] = (),
+    ) -> List[float]:
+        """Realized per-shard share of a popularity profile.
+
+        ``weights`` pairs with ``spec_hashes`` (uniform when omitted);
+        the result sums to 1.0 across shards.  Under the zipfian bench
+        mix this is the number that shows hashing keeps the heavy head
+        spread out.
+        """
+        hashes = list(spec_hashes)
+        if not hashes:
+            raise ReproError("load_profile needs at least one spec hash")
+        if weights and len(weights) != len(hashes):
+            raise ReproError(
+                f"got {len(weights)} weights for {len(hashes)} hashes"
+            )
+        mass = [float(w) for w in weights] or [1.0] * len(hashes)
+        total = sum(mass)
+        if total <= 0:
+            raise ReproError("popularity weights must sum to > 0")
+        shares = [0.0] * self.num_shards
+        for spec_hash, weight in zip(hashes, mass):
+            shares[self.shard_of(spec_hash)] += weight / total
+        return shares
+
+    def __repr__(self) -> str:
+        return f"ShardRouter(num_shards={self.num_shards})"

@@ -1,0 +1,227 @@
+"""Shard worker processes: one private ServingEngine per shard, shared pages.
+
+Each worker is a separate OS process running an ordinary
+:class:`~repro.serve.engine.ServingEngine` over its own read-only
+:class:`~repro.api.store.ReleaseStore` handle on the shared store
+directory.  Because the serving tier reads columnar artifacts through
+``mmap`` (:class:`~repro.io.columnar.ColumnarReader`), every worker
+mapping the same ``.release.bin`` file shares the **same physical page
+cache pages** — N workers cost one copy of the cold bytes, and a release
+decoded by one worker never needs re-decoding by another because the
+router gives each shard a disjoint slice of the hash space.
+
+The protocol is deliberately tiny (everything crosses the process
+boundary through two ``multiprocessing`` queues, both private to the
+worker — see :class:`WorkerHandle` for why nothing is shared):
+
+requests (coordinator → worker), one tuple per message
+    ``("batch", batch_id, [(position, QuerySpec), …])`` — answer a
+    shard's slice of one batch;
+    ``("metrics", batch_id, None)`` — report a sample-bearing
+    :meth:`~repro.serve.metrics.MetricsRegistry.snapshot`;
+    ``None`` — shut down cleanly.
+
+replies (worker → coordinator), tagged with the batch id and shard
+    ``("results", batch_id, shard, [(position, value, error, release),
+    …])`` or ``("metrics", batch_id, shard, snapshot)``.
+
+Results travel as plain ``(value, error, release)`` triples — the
+coordinator re-attaches each original :class:`QuerySpec`, so what comes
+back is bit-identical to what a single-process
+:class:`~repro.serve.engine.ServingEngine` would have produced for the
+same requests (values keep their exact Python types under pickling).
+A worker never lets a request kill it: unexpected exceptions become
+per-request error results, and only queue breakage (coordinator gone)
+ends the loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.store import ReleaseStore
+from repro.serve.engine import ServingEngine
+from repro.serve.spec import QuerySpec
+
+#: A request's wire form inside a batch message.
+PositionedSpec = Tuple[int, QuerySpec]
+
+#: A result's wire form: (position, value, error, resolved release hash).
+WireResult = Tuple[int, object, Optional[str], Optional[str]]
+
+
+def execute_shard_batch(
+    engine: ServingEngine, items: Sequence[PositionedSpec]
+) -> List[WireResult]:
+    """Answer one shard's slice of a batch; never raises.
+
+    The engine's own planner re-groups the slice by release (a shard may
+    own many releases), so shared vectorized passes and the memo behave
+    exactly as in the single-process path.  An unexpected exception —
+    anything the engine did not already convert into per-request error
+    results — is reported uniformly on every request of the slice.
+    """
+    specs = [spec for _, spec in items]
+    try:
+        results = engine.execute_batch(specs)
+    except BaseException as error:  # noqa: BLE001 - worker must not die
+        message = f"shard worker failed: {type(error).__name__}: {error}"
+        return [(position, None, message, None) for position, _ in items]
+    return [
+        (position, result.value, result.error, result.release)
+        for (position, _), result in zip(items, results)
+    ]
+
+
+def serve_shard(
+    engine: ServingEngine,
+    shard: int,
+    request_queue: "object",
+    result_queue: "object",
+) -> None:
+    """The worker request loop (runs until the shutdown sentinel).
+
+    Factored out of :func:`worker_main` so tests can drive it in-process
+    against real queues; the behavior is identical either way.
+    """
+    while True:
+        message = request_queue.get()
+        if message is None:
+            return
+        kind, batch_id, payload = message
+        if kind == "metrics":
+            result_queue.put((
+                "metrics", batch_id, shard,
+                engine.metrics.snapshot(include_samples=True),
+            ))
+            continue
+        result_queue.put((
+            "results", batch_id, shard,
+            execute_shard_batch(engine, payload),
+        ))
+
+
+def worker_main(
+    shard: int,
+    store_dir: str,
+    engine_config: Dict[str, object],
+    request_queue: "object",
+    result_queue: "object",
+) -> None:
+    """Process entry point: open the store read-only, serve the shard."""
+    store = ReleaseStore(store_dir)
+    with ServingEngine(store, **engine_config) as engine:
+        try:
+            serve_shard(engine, shard, request_queue, result_queue)
+        except (EOFError, OSError):  # pragma: no cover - coordinator gone
+            pass
+
+
+class WorkerHandle:
+    """Coordinator-side lifecycle of one shard's worker process.
+
+    Owns **both** of the shard's queues.  Nothing queue-shaped is shared
+    between workers on purpose: a ``multiprocessing.Queue`` guards its
+    pipe with cross-process semaphores, and a process SIGKILL'd at the
+    wrong instant dies *holding* one — blocked in ``Queue.get`` it holds
+    the reader lock, and for a sliver after its feeder thread flushes a
+    reply it still holds the writer lock.  A shared reply queue would
+    therefore let one crashed worker wedge every *other* worker's
+    replies forever.  With per-worker queues a crash can only poison the
+    dead worker's own pair, and recovery is two steps:
+    :meth:`replace_queues` abandons both possibly-wedged queues, then
+    :meth:`respawn` starts a fresh process on the fresh pair.  Messages
+    stranded on the abandoned queues belong to batches the coordinator
+    has already failed fast; late replies for those batch ids are
+    dropped by the collector.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        store_dir: str,
+        engine_config: Dict[str, object],
+        context: "object",
+    ) -> None:
+        self.shard = int(shard)
+        self.store_dir = str(store_dir)
+        self.engine_config = dict(engine_config)
+        self._context = context
+        # Serializes sends against queue replacement: once replace_queues
+        # returns, every later send lands on the new queue.
+        self._send_lock = threading.Lock()
+        self.request_queue = context.Queue()
+        self.result_queue = context.Queue()
+        self.process: Optional["object"] = None
+        self.respawns = 0
+
+    def start(self) -> None:
+        """Spawn the worker process (daemonic: never outlives the host)."""
+        process = self._context.Process(
+            target=worker_main,
+            args=(self.shard, self.store_dir, self.engine_config,
+                  self.request_queue, self.result_queue),
+            name=f"repro-serve-shard-{self.shard}",
+            daemon=True,
+        )
+        process.start()
+        self.process = process
+
+    def replace_queues(self) -> None:
+        """Abandon both queues a crashed worker may have wedged.
+
+        The dead process can hold either queue's cross-process locks —
+        the request queue's reader lock (a blocked ``get`` holds it
+        across the kill) or the result queue's writer lock (held by its
+        feeder thread for the duration of a flush) — so both are
+        unrecoverable; a fresh pair takes their place before respawning.
+        """
+        with self._send_lock:
+            stale_requests = self.request_queue
+            stale_results = self.result_queue
+            self.request_queue = self._context.Queue()
+            self.result_queue = self._context.Queue()
+        stale_requests.close()
+        stale_results.close()
+
+    def respawn(self) -> None:
+        """Start a replacement process (after :meth:`replace_queues`)."""
+        self.process = None
+        self.respawns += 1
+        self.start()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def send(self, message: object) -> None:
+        with self._send_lock:
+            self.request_queue.put(message)
+
+    def kill(self) -> None:
+        """Hard-kill the worker (fault-injection hook for tests)."""
+        if self.process is not None:
+            self.process.kill()
+            self.process.join()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the worker down cleanly; escalate to kill on timeout."""
+        process, self.process = self.process, None
+        if process is None:
+            return
+        if process.is_alive():
+            try:
+                self.send(None)
+            except (ValueError, OSError):  # pragma: no cover - queue closed
+                pass
+            process.join(timeout)
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.kill()
+            process.join()
+        self.request_queue.close()
+        self.result_queue.close()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "stopped"
+        return f"WorkerHandle(shard={self.shard}, {state}, respawns={self.respawns})"

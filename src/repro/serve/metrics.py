@@ -16,13 +16,23 @@ The QPS window runs from the *start* of the earliest recorded work
 (batched requests carry their shared pass's full wall time as the span)
 to the *end* of the latest, so a single large batch reports its true
 sustained rate rather than the near-zero span between completions.
+
+Snapshots are **mergeable**: :meth:`MetricsRegistry.snapshot` with
+``include_samples=True`` additionally carries the raw latency reservoir
+and the absolute window bounds (``time.perf_counter`` is system-wide, so
+bounds from different processes on one host share a clock), and
+:func:`merge_snapshots` recombines any number of such snapshots into one
+cluster-wide view — counts summed, percentiles recomputed over the
+pooled samples, QPS over the union window.  The sharded serving tier
+(:mod:`repro.serve.cluster`) aggregates its per-worker registries this
+way instead of ad-hoc arithmetic.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -169,8 +179,16 @@ class MetricsRegistry:
         report["max"] = float(samples.max()) * 1e3
         return report
 
-    def snapshot(self) -> Dict[str, object]:
-        """A consistent, JSON-ready view with a stable key set."""
+    def snapshot(self, include_samples: bool = False) -> Dict[str, object]:
+        """A consistent, JSON-ready view with a stable key set.
+
+        With ``include_samples`` the snapshot additionally carries the
+        raw latency reservoir (``"samples"``, seconds) and the absolute
+        window bounds (``"window_start"``/``"window_end"``,
+        ``time.perf_counter`` values) — everything
+        :func:`merge_snapshots` needs to recombine registries exactly.
+        The default key set is unchanged either way.
+        """
         latency = self.latency_percentiles()
         with self._lock:
             hits = self._cache_hits + self._warm_hits
@@ -179,7 +197,7 @@ class MetricsRegistry:
                 self._window_end - self._window_start
                 if self._window_start is not None else 0.0
             )
-            return {
+            view: Dict[str, object] = {
                 "requests": self._requests,
                 "errors": self._errors,
                 "batches": self._batches,
@@ -194,29 +212,15 @@ class MetricsRegistry:
                 "latency_samples": len(self._latencies),
                 "latency_ms": latency,
             }
+            if include_samples:
+                view["samples"] = list(self._latencies)
+                view["window_start"] = self._window_start
+                view["window_end"] = self._window_end
+            return view
 
     def format_table(self) -> str:
         """The aligned text table ``serve bench`` / ``serve exec`` print."""
-        snapshot = self.snapshot()
-        latency = snapshot["latency_ms"]
-        rows = [
-            ("requests", f"{snapshot['requests']:,}"),
-            ("errors", f"{snapshot['errors']:,}"),
-            ("batches", f"{snapshot['batches']:,}"),
-            ("qps", f"{snapshot['qps']:,.0f}"),
-            ("artifact loads", f"{snapshot['artifact_loads']:,}"),
-            ("cache hit ratio", f"{snapshot['cache_hit_ratio']:.3f}"),
-            ("warm hits", f"{snapshot['warm_hits']:,}"),
-            ("memo hits", f"{snapshot['memo_hits']:,}"),
-            ("latency p50", f"{latency['p50']:.3f} ms"),
-            ("latency p95", f"{latency['p95']:.3f} ms"),
-            ("latency p99", f"{latency['p99']:.3f} ms"),
-            ("latency mean", f"{latency['mean']:.3f} ms"),
-        ]
-        width = max(len(label) for label, _ in rows)
-        lines = ["serving metrics"]
-        lines += [f"  {label:<{width}}  {value}" for label, value in rows]
-        return "\n".join(lines)
+        return format_snapshot_table(self.snapshot())
 
     def __repr__(self) -> str:
         snapshot = self.snapshot()
@@ -225,3 +229,134 @@ class MetricsRegistry:
             f"errors={snapshot['errors']}, "
             f"loads={snapshot['artifact_loads']})"
         )
+
+
+def format_snapshot_table(
+    snapshot: Mapping[str, object], title: str = "serving metrics"
+) -> str:
+    """The aligned metrics table for any snapshot-shaped mapping.
+
+    Works on a live registry's :meth:`MetricsRegistry.snapshot` and on
+    a :func:`merge_snapshots` aggregate alike — the cluster CLI prints
+    its merged view through the same table as the single-process path.
+    """
+    latency = snapshot["latency_ms"]
+    rows = [
+        ("requests", f"{snapshot['requests']:,}"),
+        ("errors", f"{snapshot['errors']:,}"),
+        ("batches", f"{snapshot['batches']:,}"),
+        ("qps", f"{snapshot['qps']:,.0f}"),
+        ("artifact loads", f"{snapshot['artifact_loads']:,}"),
+        ("cache hit ratio", f"{snapshot['cache_hit_ratio']:.3f}"),
+        ("warm hits", f"{snapshot['warm_hits']:,}"),
+        ("memo hits", f"{snapshot['memo_hits']:,}"),
+        ("latency p50", f"{latency['p50']:.3f} ms"),
+        ("latency p95", f"{latency['p95']:.3f} ms"),
+        ("latency p99", f"{latency['p99']:.3f} ms"),
+        ("latency mean", f"{latency['mean']:.3f} ms"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    lines = [title]
+    lines += [f"  {label:<{width}}  {value}" for label, value in rows]
+    return "\n".join(lines)
+
+
+#: The counter keys :func:`merge_snapshots` sums across inputs.
+_MERGE_COUNTER_KEYS = (
+    "requests", "errors", "batches", "artifact_loads", "cache_hits",
+    "warm_hits", "cache_misses", "memo_hits",
+)
+
+
+def merge_snapshots(
+    snapshots: Sequence[Mapping[str, object]],
+    max_samples: int = DEFAULT_MAX_SAMPLES,
+) -> Dict[str, object]:
+    """Combine registry snapshots into one aggregate snapshot (pure).
+
+    The input snapshots come from :meth:`MetricsRegistry.snapshot` — one
+    per serving engine, e.g. one per cluster worker process.  Counters
+    are summed, the cache hit ratio is recomputed from the summed tier
+    counters, and latency percentiles are recomputed over the **pooled
+    raw samples** of every sample-bearing snapshot (pass
+    ``include_samples=True`` when taking them) rather than averaging
+    per-shard percentiles, which would be statistically meaningless.
+
+    The QPS window is the union of the inputs' absolute windows when
+    every busy snapshot carries its bounds (``time.perf_counter`` is
+    system-wide, so bounds from different processes on one host are
+    directly comparable); snapshots without bounds fall back to the
+    widest single window.  Aggregate QPS is total requests over that
+    window — concurrent workers therefore add throughput instead of
+    averaging it.
+
+    The result has exactly the stable key set of
+    :meth:`MetricsRegistry.snapshot` (no raw samples), so cluster-wide
+    and per-engine snapshots are interchangeable downstream.  An empty
+    input merges to the zeroed snapshot of a fresh registry.
+
+    Examples
+    --------
+    >>> a, b = MetricsRegistry(), MetricsRegistry()
+    >>> a.record_request(0.002)
+    >>> b.record_request(0.004, error=True)
+    >>> merged = merge_snapshots([a.snapshot(include_samples=True),
+    ...                           b.snapshot(include_samples=True)])
+    >>> merged["requests"], merged["errors"], merged["latency_samples"]
+    (2, 1, 2)
+    """
+    totals: Dict[str, int] = {key: 0 for key in _MERGE_COUNTER_KEYS}
+    samples: List[float] = []
+    window_start: Optional[float] = None
+    window_end: Optional[float] = None
+    widest_window = 0.0
+    bounds_complete = True
+    for snapshot in snapshots:
+        for key in _MERGE_COUNTER_KEYS:
+            totals[key] += int(snapshot.get(key, 0))  # type: ignore[arg-type]
+        samples.extend(float(s) for s in snapshot.get("samples", ()))  # type: ignore[union-attr]
+        widest_window = max(
+            widest_window, float(snapshot.get("window_seconds", 0.0))  # type: ignore[arg-type]
+        )
+        start = snapshot.get("window_start")
+        end = snapshot.get("window_end")
+        if start is None or end is None:
+            if int(snapshot.get("requests", 0)) > 0:  # type: ignore[arg-type]
+                bounds_complete = False
+            continue
+        start, end = float(start), float(end)  # type: ignore[arg-type]
+        window_start = start if window_start is None else min(window_start, start)
+        window_end = end if window_end is None else max(window_end, end)
+
+    if bounds_complete and window_start is not None and window_end is not None:
+        window = max(window_end - window_start, 0.0)
+    else:
+        window = widest_window
+    requests = totals["requests"]
+    qps = requests / max(window, 1e-9) if requests else 0.0
+
+    del samples[max_samples:]
+    pooled = np.asarray(samples, dtype=np.float64)
+    if pooled.size:
+        points = np.percentile(pooled, PERCENTILES)
+        latency = {
+            f"p{p}": float(value) * 1e3
+            for p, value in zip(PERCENTILES, points)
+        }
+        latency["mean"] = float(pooled.mean()) * 1e3
+        latency["max"] = float(pooled.max()) * 1e3
+    else:
+        latency = {
+            **{f"p{p}": 0.0 for p in PERCENTILES}, "mean": 0.0, "max": 0.0,
+        }
+
+    hits = totals["cache_hits"] + totals["warm_hits"]
+    lookups = hits + totals["cache_misses"]
+    return {
+        **totals,
+        "cache_hit_ratio": hits / lookups if lookups else 0.0,
+        "qps": qps,
+        "window_seconds": float(window),
+        "latency_samples": int(pooled.size),
+        "latency_ms": latency,
+    }

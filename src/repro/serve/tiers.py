@@ -25,6 +25,19 @@ exactly **one** mmap open and share the mapping (mirroring the store's
 ``get_or_build`` build-once lock).  Different hashes never block each
 other; hot hits never lock beyond the cache's own mutex.
 
+Staleness: a warm mmap can outlive its file — ``store migrate`` unlinks
+the columnar artifact after converting it, and an operator can delete
+one outright.  The mapping itself stays readable (the kernel keeps the
+unlinked inode alive), but serving from it would silently pin bytes the
+store no longer vouches for.  Every warm promotion therefore revalidates
+the entry against the file's current identity (inode / size / mtime,
+captured at open time): a mismatch **evicts** the reader and falls
+through to a fresh cold open, which re-opens whatever artifact the store
+holds now — or raises the store's clear "no artifact" error when the
+hash is truly gone.  Hot entries are plain decoded values (both formats
+are lossless, so a decoded release stays correct across migration) and
+need no such check.
+
 Per-tier hits land in the engine's
 :class:`~repro.serve.metrics.MetricsRegistry`: ``cache_hits`` (hot),
 ``warm_hits``, ``cache_misses`` (cold), ``artifact_loads`` (actual disk
@@ -33,9 +46,11 @@ decodes/opens — the number the tiers exist to minimize).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.release import Release
 from repro.api.store import ReleaseStore
@@ -47,6 +62,22 @@ from repro.serve.metrics import MetricsRegistry
 #: cheaper per entry than hot — an open fd + page-cache residency — so
 #: it defaults wider than the hot tier).
 DEFAULT_WARM_SIZE = 128
+
+
+@dataclass
+class _WarmEntry:
+    """One warm-tier slot: the open reader plus the file identity it
+    mapped, so later promotions can detect the file changing or
+    vanishing underneath the mapping."""
+
+    reader: ColumnarReader
+    token: Tuple[int, int, int]
+
+
+def _file_token(path: "os.PathLike") -> Tuple[int, int, int]:
+    """The identity triple a warm entry is validated against."""
+    status = os.stat(path)
+    return (status.st_ino, status.st_size, status.st_mtime_ns)
 
 
 class TieredArtifactCache:
@@ -87,7 +118,7 @@ class TieredArtifactCache:
         self.metrics = metrics or MetricsRegistry()
         self._lock = threading.Lock()
         self._hot: "OrderedDict[str, Release]" = OrderedDict()
-        self._warm: "OrderedDict[str, ColumnarReader]" = OrderedDict()
+        self._warm: "OrderedDict[str, _WarmEntry]" = OrderedDict()
         # Per-hash open locks: concurrent cold/warm lookups of one hash
         # open and decode exactly once; other hashes proceed in parallel.
         self._open_locks: Dict[str, threading.Lock] = {}
@@ -117,28 +148,57 @@ class TieredArtifactCache:
                     self._hot.move_to_end(spec_hash)
                     self.metrics.record_cache_hit()
                     return hot
-                reader = self._warm.get(spec_hash)
-                if reader is not None:
+                entry = self._warm.get(spec_hash)
+                if entry is not None:
                     self._warm.move_to_end(spec_hash)
-            if reader is not None:
-                # Warm hit: zero-copy re-wrap of the open mmap.
-                self.metrics.record_warm_hit()
-                return self._admit_hot(spec_hash, reader.to_release())
+            if entry is not None:
+                if self._warm_entry_stale(entry):
+                    # The artifact was migrated or deleted underneath
+                    # the mapping: evict instead of serving stale pages,
+                    # then re-open whatever the store holds now.
+                    self._evict_warm(spec_hash, entry)
+                else:
+                    # Warm hit: zero-copy re-wrap of the open mmap.
+                    self.metrics.record_warm_hit()
+                    return self._admit_hot(spec_hash, entry.reader.to_release())
             self.metrics.record_cache_miss()
             return self._cold_open(spec_hash)
+
+    @staticmethod
+    def _warm_entry_stale(entry: _WarmEntry) -> bool:
+        """True when the mapped file no longer matches what was opened."""
+        try:
+            return _file_token(entry.reader.path) != entry.token
+        except OSError:
+            return True
+
+    def _evict_warm(self, spec_hash: str, entry: _WarmEntry) -> None:
+        with self._lock:
+            current = self._warm.get(spec_hash)
+            if current is entry:
+                del self._warm[spec_hash]
+        entry.reader.close()
 
     def _cold_open(self, spec_hash: str) -> Release:
         """Tier-3 access: mmap the columnar artifact, or JSON-decode."""
         if self.store.artifact_format(spec_hash) == "columnar":
             reader = self.store.open_columnar(spec_hash)
+            try:
+                token = _file_token(reader.path)
+            except OSError as error:
+                reader.close()
+                raise ReproError(
+                    f"columnar artifact for {spec_hash[:16]}… vanished from "
+                    f"{self.store.directory} while being opened: {error}"
+                ) from None
             self.metrics.record_artifact_load()
             release = reader.to_release()
             with self._lock:
-                self._warm[spec_hash] = reader
+                self._warm[spec_hash] = _WarmEntry(reader, token)
                 self._warm.move_to_end(spec_hash)
                 while len(self._warm) > self.warm_size:
                     _, evicted = self._warm.popitem(last=False)
-                    evicted.close()
+                    evicted.reader.close()
             return self._admit_hot(spec_hash, release)
         release = self.store.get(spec_hash)
         if release is None:
@@ -174,7 +234,8 @@ class TieredArtifactCache:
     def warm_reader(self, spec_hash: str) -> Optional[ColumnarReader]:
         """The open reader for a hash, or ``None`` (no LRU touch)."""
         with self._lock:
-            return self._warm.get(spec_hash)
+            entry = self._warm.get(spec_hash)
+            return entry.reader if entry is not None else None
 
     def __len__(self) -> int:
         with self._lock:
@@ -186,8 +247,8 @@ class TieredArtifactCache:
             self._hot.clear()
             warm = list(self._warm.values())
             self._warm.clear()
-        for reader in warm:
-            reader.close()
+        for entry in warm:
+            entry.reader.close()
 
     def __repr__(self) -> str:
         with self._lock:

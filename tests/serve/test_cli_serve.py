@@ -70,6 +70,46 @@ class TestServeExec:
         assert "error:" in capsys.readouterr().err
 
 
+class TestServeExecCluster:
+    def test_cluster_exec_round_trip(self, store_dir, request_log, capsys):
+        code = main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(request_log), "--cluster",
+                     "--workers", "2", "--metrics"])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 12
+        for line in lines:
+            row = json.loads(line)
+            assert "value" in row and "error" not in row
+            assert len(row["release"]) == 64
+        assert "cluster metrics (2 shard(s), respawns 0)" in captured.err
+
+    def test_cluster_output_matches_single_process(self, store_dir,
+                                                   request_log, capsys):
+        # The CLI contract mirrors the engine contract: same JSONL out,
+        # byte for byte, with or without --cluster.
+        assert main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(request_log)]) == 0
+        single = capsys.readouterr().out
+        assert main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(request_log), "--cluster",
+                     "--workers", "2"]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_cluster_exec_reports_request_errors(self, store_dir, tmp_path,
+                                                 capsys):
+        log = tmp_path / "bad.jsonl"
+        save_requests(
+            [QuerySpec.create("deadbeef", "mean_group_size", "root")], log,
+        )
+        code = main(["serve", "exec", "--store", store_dir,
+                     "--requests", str(log), "--cluster", "--workers", "2"])
+        assert code == 3
+        row = json.loads(capsys.readouterr().out.strip())
+        assert "error" in row and "no artifact" in row["error"]
+
+
 class TestServeBench:
     def test_smoke_bench_writes_schema_stable_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_serving.json"
@@ -87,6 +127,29 @@ class TestServeBench:
         assert payload["answers_identical"] is True
         assert payload["served"]["qps"] > 0
         assert set(payload["served"]["latency_ms"]) == {"p50", "p95", "p99"}
+
+    def test_smoke_bench_with_workers_adds_sharded_block(self, tmp_path,
+                                                         capsys):
+        from repro.perf import validate_serving_payload
+
+        out = tmp_path / "BENCH_serving.json"
+        code = main(["serve", "bench",
+                     "--store", str(tmp_path / "bench-store"),
+                     "--releases", "3", "--requests", "40",
+                     "--smoke", "--workers", "2", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "sharded scaling" in printed
+        assert "sharded identical" in printed
+        payload = json.loads(out.read_text())
+        assert validate_serving_payload(payload) == []
+        sharded = payload["sharded"]
+        assert sharded["answers_identical"] is True
+        assert sharded["store_format"] == "columnar"
+        assert sharded["cpu_count"] >= 1
+        assert [entry["workers"] for entry in sharded["sweep"]] == [1, 2]
+        assert all(entry["respawns"] == 0 for entry in sharded["sweep"])
+        assert all(entry["answers_identical"] for entry in sharded["sweep"])
 
     def test_bench_reuses_existing_store(self, store_dir, tmp_path, capsys):
         out = tmp_path / "bench.json"

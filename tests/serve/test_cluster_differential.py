@@ -1,0 +1,137 @@
+"""Differential suite: ClusterEngine must be bit-identical to ServingEngine.
+
+The cluster's whole correctness claim is that sharding is invisible:
+for any request mix — zipfian traffic, malformed requests, JSONL replay,
+concurrent submission — the scatter/gather path returns exactly the
+results the single-process engine returns, values *and* error strings,
+in submission order.  These tests pin that across worker counts.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    ClusterEngine,
+    QuerySpec,
+    ServingEngine,
+    generate_requests,
+)
+from repro.serve.bench import answers_match
+from repro.serve.requestlog import load_requests, save_requests
+
+
+def assert_bit_identical(expected, actual):
+    """Same ok-ness, same value (type included), same error text, same
+    resolved release, position by position."""
+    assert len(expected) == len(actual)
+    for left, right in zip(expected, actual):
+        assert left.spec == right.spec
+        assert left.ok == right.ok
+        if left.ok:
+            assert type(left.value) is type(right.value)
+            assert left.value == right.value
+        else:
+            assert left.error == right.error
+        assert left.release == right.release
+    assert answers_match(expected, actual)
+
+
+@pytest.fixture(scope="module")
+def mix(bench_store):
+    """A zipfian mix salted with every failure mode the planner knows."""
+    requests = generate_requests(
+        bench_store, 48, seed=11, popularity_skew=1.1,
+    )
+    good_prefix = bench_store.spec_hashes()[0][:12]
+    failures = [
+        QuerySpec.create("deadbeef", "mean_group_size", "root"),
+        QuerySpec.create(good_prefix, "mean_group_size", "no-such-node"),
+        QuerySpec.create(good_prefix, "kth_smallest_group", "root", k=10**9),
+    ]
+    # Interleave the failures through the stream, not just at the end.
+    for index, spec in enumerate(failures):
+        requests.insert(7 * (index + 1), spec)
+    return requests
+
+
+@pytest.fixture(scope="module")
+def oracle(bench_store, mix):
+    with ServingEngine(bench_store, cache_size=4) as engine:
+        return engine.execute_batch(mix)
+
+
+class TestBatchDifferential:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_bit_identical_across_worker_counts(self, bench_store, mix,
+                                                oracle, workers):
+        with ClusterEngine(
+            bench_store, num_workers=workers, cache_size=4,
+        ) as cluster:
+            results = cluster.execute_batch(mix)
+        assert_bit_identical(oracle, results)
+
+    def test_small_arrival_batches(self, bench_store, mix, oracle):
+        # Re-batching must not change anything: serve the same stream in
+        # arrival batches of 5 and compare against the one-shot oracle.
+        with ClusterEngine(bench_store, num_workers=2, cache_size=4) as cluster:
+            results = []
+            for offset in range(0, len(mix), 5):
+                results.extend(cluster.execute_batch(mix[offset:offset + 5]))
+        assert_bit_identical(oracle, results)
+
+
+class TestThreadedDifferential:
+    def test_concurrent_submission_is_per_batch_identical(
+        self, bench_store, mix, oracle
+    ):
+        # Four threads share one coordinator, each replaying a disjoint
+        # slice; gather order within each slice must match the oracle's
+        # slice exactly, regardless of cross-thread interleaving.
+        chunks = [mix[offset::4] for offset in range(4)]
+        expected = [oracle[offset::4] for offset in range(4)]
+        with ClusterEngine(bench_store, num_workers=2, cache_size=4) as cluster:
+            barrier = threading.Barrier(4)
+            outcomes = [None] * 4
+
+            def replay(index):
+                barrier.wait()
+                outcomes[index] = cluster.execute_batch(chunks[index])
+
+            threads = [
+                threading.Thread(target=replay, args=(index,))
+                for index in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for slice_expected, slice_actual in zip(expected, outcomes):
+            assert_bit_identical(slice_expected, slice_actual)
+
+    def test_submit_batch_futures(self, bench_store, mix, oracle):
+        with ClusterEngine(bench_store, num_workers=2, cache_size=4) as cluster:
+            futures = [
+                cluster.submit_batch(mix[offset:offset + 16])
+                for offset in range(0, len(mix), 16)
+            ]
+            results = [
+                result for future in futures
+                for result in future.result(timeout=60)
+            ]
+        assert_bit_identical(oracle, results)
+
+
+class TestRequestLogReplay:
+    def test_jsonl_round_trip_replays_identically(self, bench_store, mix,
+                                                  oracle, tmp_path):
+        # The full production loop: record the mix as JSONL, load it
+        # back, serve the replay through the cluster, compare against
+        # the single-process answers for the original specs.
+        log = tmp_path / "requests.jsonl"
+        save_requests(mix, log)
+        replayed = load_requests(log)
+        assert replayed == mix
+        with ClusterEngine(bench_store, num_workers=2, cache_size=4) as cluster:
+            results = cluster.execute_batch(replayed)
+        assert_bit_identical(oracle, results)

@@ -1,0 +1,314 @@
+"""Tests for the sharded serving tier's coordinator and worker loop.
+
+The worker request loop (`serve_shard`) is exercised in-process against
+real engines on stdlib queues — identical code to what `worker_main`
+runs in a forked process, but visible to the coverage tracer and free of
+process startup cost.  Full multi-process behavior (scatter/gather,
+crash recovery) is covered by `test_cluster_differential.py` and
+`test_cluster_crash.py`.
+"""
+
+import queue
+import threading
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.serve import ClusterEngine, QuerySpec, ServingEngine
+from repro.serve.cluster.engine import _PendingBatch
+from repro.serve.cluster.worker import (
+    WorkerHandle,
+    execute_shard_batch,
+    serve_shard,
+)
+
+
+@pytest.fixture
+def specs(release_hashes):
+    return [
+        QuerySpec.create(spec_hash[:12], "mean_group_size", "root")
+        for spec_hash in release_hashes
+    ]
+
+
+@pytest.fixture(scope="module")
+def cluster(bench_store):
+    with ClusterEngine(bench_store, num_workers=2, cache_size=4) as engine:
+        yield engine
+
+
+class TestServeShardInProcess:
+    """Drive the exact worker loop from a thread over stdlib queues."""
+
+    @pytest.fixture
+    def shard(self, bench_store):
+        requests: "queue.Queue" = queue.Queue()
+        replies: "queue.Queue" = queue.Queue()
+        with ServingEngine(bench_store, cache_size=4, max_workers=1) as engine:
+            thread = threading.Thread(
+                target=serve_shard, args=(engine, 7, requests, replies),
+                daemon=True,
+            )
+            thread.start()
+            yield requests, replies
+            requests.put(None)  # shutdown sentinel
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+
+    def test_batch_message_round_trip(self, shard, bench_store, specs):
+        requests, replies = shard
+        items = list(enumerate(specs))
+        requests.put(("batch", 11, items))
+        kind, batch_id, shard_index, wire = replies.get(timeout=5.0)
+        assert (kind, batch_id, shard_index) == ("results", 11, 7)
+        with ServingEngine(bench_store, cache_size=4) as oracle:
+            expected = oracle.execute_batch(specs)
+        assert wire == [
+            (position, result.value, result.error, result.release)
+            for position, result in enumerate(expected)
+        ]
+
+    def test_metrics_message_ships_samples(self, shard, specs):
+        requests, replies = shard
+        requests.put(("batch", 1, list(enumerate(specs))))
+        replies.get(timeout=5.0)
+        requests.put(("metrics", 2, None))
+        kind, batch_id, shard_index, snapshot = replies.get(timeout=5.0)
+        assert (kind, batch_id, shard_index) == ("metrics", 2, 7)
+        assert snapshot["requests"] == len(specs)
+        assert len(snapshot["samples"]) == len(specs)
+        assert snapshot["window_start"] is not None
+
+    def test_request_errors_stay_per_request(self, shard, specs):
+        requests, replies = shard
+        bad = QuerySpec.create("deadbeef", "mean_group_size", "root")
+        items = list(enumerate([*specs, bad]))
+        requests.put(("batch", 3, items))
+        _, _, _, wire = replies.get(timeout=5.0)
+        assert [position for position, *_ in wire] == list(range(len(items)))
+        *good, (_, value, error, _release) = wire
+        assert all(entry[2] is None for entry in good)
+        assert value is None
+        assert "no artifact" in error
+
+
+class TestExecuteShardBatch:
+    def test_engine_blowup_becomes_uniform_errors(self, specs):
+        class ExplodingEngine:
+            def execute_batch(self, batch):
+                raise RuntimeError("mmap torn down")
+
+        wire = execute_shard_batch(ExplodingEngine(), list(enumerate(specs)))
+        assert len(wire) == len(specs)
+        for position, value, error, release in wire:
+            assert value is None and release is None
+            assert error == "shard worker failed: RuntimeError: mmap torn down"
+
+    def test_empty_slice(self, bench_store):
+        with ServingEngine(bench_store, cache_size=1) as engine:
+            assert execute_shard_batch(engine, []) == []
+
+
+class TestWorkerHandle:
+    def test_lifecycle_and_respawn_bookkeeping(self, bench_store):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        handle = WorkerHandle(
+            0, str(bench_store.directory),
+            {"cache_size": 2, "max_workers": 1},
+            context,
+        )
+        assert not handle.alive and "stopped" in repr(handle)
+        handle.start()
+        assert handle.alive and "alive" in repr(handle)
+        handle.kill()
+        assert not handle.alive
+        stale = (handle.request_queue, handle.result_queue)
+        handle.replace_queues()
+        # Both queues are abandoned: either one may have a lock wedged
+        # by the dead process.
+        assert handle.request_queue is not stale[0]
+        assert handle.result_queue is not stale[1]
+        handle.respawn()
+        assert handle.respawns == 1 and handle.alive
+        handle.stop()
+        assert not handle.alive
+        handle.stop()  # idempotent
+
+
+class TestClusterEngineBasics:
+    def test_bad_construction(self, bench_store):
+        with pytest.raises(ReproError, match="num_workers"):
+            ClusterEngine(bench_store, num_workers=0)
+        with pytest.raises(ReproError, match="queue_depth"):
+            ClusterEngine(bench_store, num_workers=1, queue_depth=0)
+
+    def test_close_without_start_is_clean(self, bench_store):
+        engine = ClusterEngine(bench_store, num_workers=2)
+        assert engine.respawn_counts() == [0, 0]
+        engine.close()
+        engine.close()  # idempotent
+
+    def test_execute_single_request(self, cluster, release_hashes):
+        spec = QuerySpec.create(
+            release_hashes[0][:12], "mean_group_size", "root",
+        )
+        result = cluster.execute(spec)
+        assert result.ok
+        assert result.release == release_hashes[0]
+
+    def test_resolve_caches_and_matches_store(self, cluster, release_hashes):
+        prefix = release_hashes[0][:12]
+        assert cluster.resolve(prefix) == release_hashes[0]
+        assert cluster._resolved[prefix] == release_hashes[0]
+        assert cluster.resolve(prefix) == release_hashes[0]
+
+    def test_planner_failures_never_reach_a_worker(self, cluster,
+                                                  bench_store):
+        # Unresolvable requests fail during planning with the exact
+        # single-process error text; nothing is scattered.
+        bad = QuerySpec.create("deadbeef", "mean_group_size", "root")
+        with ServingEngine(bench_store, cache_size=1) as single:
+            expected = single.execute(bad)
+        result = cluster.execute(bad)
+        assert not result.ok and result.error == expected.error
+
+    def test_submit_and_submit_batch(self, cluster, specs):
+        future = cluster.submit(specs[0])
+        batch_future = cluster.submit_batch(specs)
+        assert future.result(timeout=30).ok
+        values = [result.value for result in batch_future.result(timeout=30)]
+        assert len(values) == len(specs)
+
+    def test_in_flight_drains_to_zero(self, cluster, specs):
+        cluster.execute_batch(specs)
+        assert cluster.in_flight() == [0, 0]
+
+    def test_repr(self, cluster):
+        assert "shards=2" in repr(cluster)
+
+
+class TestAdmissionControl:
+    @pytest.fixture
+    def engine(self, bench_store):
+        engine = ClusterEngine(
+            bench_store, num_workers=1, queue_depth=4,
+            admission_timeout=0.05,
+        )
+        yield engine
+        engine.close()
+
+    def test_admit_reserves_and_releases(self, engine):
+        assert engine._admit(0, 3)
+        assert engine.in_flight() == [3]
+        # 3 + 2 > 4 and the shard is busy: blocks, then sheds.
+        assert not engine._admit(0, 2)
+        engine._release_capacity(0, 3)
+        assert engine.in_flight() == [0]
+
+    def test_oversized_batch_admitted_when_idle(self, engine):
+        # A slice larger than the whole depth could never fit behind
+        # anything; it is admitted against an idle shard.
+        assert engine._admit(0, 10)
+        engine._release_capacity(0, 10)
+
+    def test_release_never_goes_negative(self, engine):
+        engine._release_capacity(0, 99)
+        assert engine.in_flight() == [0]
+
+    def test_saturated_shard_sheds_with_clear_error(self, bench_store,
+                                                    specs):
+        with ClusterEngine(
+            bench_store, num_workers=1, queue_depth=2,
+            admission_timeout=0.05,
+        ) as engine:
+            engine.start()
+            # Pin the shard at capacity so the slice cannot be admitted
+            # before the (tiny) admission timeout lapses.
+            with engine._admission:
+                engine._in_flight[0] = 2
+            results = engine.execute_batch(specs)
+            with engine._admission:
+                engine._in_flight[0] = 0
+            assert all(not result.ok for result in results)
+            assert all(
+                "queue full" in result.error
+                and "shed after 0.05s of backpressure" in result.error
+                for result in results
+            )
+            assert engine.metrics.snapshot()["errors"] == len(specs)
+            # Back below the bar, the same batch is admitted and served.
+            assert all(r.ok for r in engine.execute_batch(specs))
+
+
+class TestCollectorEdges:
+    @pytest.fixture
+    def engine(self, bench_store):
+        engine = ClusterEngine(bench_store, num_workers=1)
+        yield engine
+        engine.close()
+
+    def test_late_replies_are_dropped(self, engine, specs):
+        # Replies for unknown (failed/expired) batch ids must be ignored
+        # without touching capacity accounting.
+        engine._deliver_results(999, 0, [(0, 1.0, None, "ff" * 32)])
+        engine._deliver_metrics(999, 0, {"requests": 1})
+        assert engine.in_flight() == [0]
+
+    def test_expire_batch_fails_pending_slices(self, engine, specs):
+        state = _PendingBatch({0: list(enumerate(specs))})
+        engine._pending[5] = state
+        with engine._admission:
+            engine._in_flight[0] = len(specs)
+        engine._expire_batch(5, state)
+        assert state.event.is_set()
+        assert engine.in_flight() == [0]
+        for position in range(len(specs)):
+            error = state.results[position].error
+            assert "cluster batch timed out after 60s" in error
+            assert "shard 0" in error
+
+    def test_fail_shard_errors_every_pending_slice(self, engine, specs):
+        state = _PendingBatch({0: list(enumerate(specs))})
+        engine._pending[6] = state
+        with engine._admission:
+            engine._in_flight[0] = len(specs)
+        engine._fail_shard(0, "shard 0 worker died")
+        assert state.event.is_set()
+        assert engine.in_flight() == [0]
+        assert all(
+            state.results[position].error == "shard 0 worker died"
+            for position in range(len(specs))
+        )
+        # The slice already failed: its eventual reply is late, dropped.
+        engine._deliver_results(6, 0, [(0, 1.0, None, "ff" * 32)])
+        assert state.results[0].error == "shard 0 worker died"
+
+
+class TestClusterSnapshot:
+    def test_snapshot_shape_and_aggregation(self, cluster, specs):
+        served = cluster.execute_batch(specs)
+        assert all(result.ok for result in served)
+        snapshot = cluster.cluster_snapshot()
+        assert set(snapshot) == {"aggregate", "shards", "respawns"}
+        assert snapshot["respawns"] == [0, 0]
+        # Both shards own releases of the 4-release bench store (fixed
+        # spec hashes, so this split is deterministic).
+        assert set(snapshot["shards"]) == {0, 1}
+        aggregate = snapshot["aggregate"]
+        # Workers record every served request; the coordinator's own
+        # registry only adds failures (none here).
+        assert aggregate["requests"] >= len(specs)
+        # The module-scoped cluster served earlier tests too; the only
+        # errors in the aggregate are the coordinator-recorded ones.
+        assert aggregate["errors"] == cluster.metrics.snapshot()["errors"]
+        assert aggregate["qps"] > 0
+        per_shard = sum(
+            view["requests"] for view in snapshot["shards"].values()
+        )
+        coordinator = cluster.metrics.snapshot()["requests"]
+        assert aggregate["requests"] == per_shard + coordinator
+        for view in snapshot["shards"].values():
+            assert "samples" not in view
+            assert "window_start" not in view

@@ -1,0 +1,113 @@
+"""Tests for deterministic spec-hash → shard routing (`ShardRouter`)."""
+
+import hashlib
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.serve.cluster import ROUTING_PREFIX_LENGTH, ShardRouter
+
+
+def fake_hashes(count):
+    """Deterministic SHA-256-shaped routing keys."""
+    return [
+        hashlib.sha256(f"release-{index}".encode()).hexdigest()
+        for index in range(count)
+    ]
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        router = ShardRouter(4)
+        for spec_hash in fake_hashes(50):
+            shard = router.shard_of(spec_hash)
+            assert 0 <= shard < 4
+            assert shard == router.shard_of(spec_hash)
+
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(1)
+        assert {router.shard_of(h) for h in fake_hashes(20)} == {0}
+
+    def test_routing_uses_the_leading_prefix(self):
+        # Only the first ROUTING_PREFIX_LENGTH hex digits matter, so a
+        # prefix long enough to resolve uniquely routes like the full
+        # hash — the coordinator can route before or after resolution.
+        router = ShardRouter(8)
+        full = fake_hashes(1)[0]
+        assert router.shard_of(full) == router.shard_of(
+            full[:ROUTING_PREFIX_LENGTH]
+        )
+
+    def test_shard_count_independence(self):
+        # Same hash, different cluster sizes: the mapping is pure and
+        # depends only on (hash, num_shards).
+        full = fake_hashes(1)[0]
+        key = int(full[:ROUTING_PREFIX_LENGTH], 16)
+        for shards in (1, 2, 3, 5, 8):
+            assert ShardRouter(shards).shard_of(full) == key % shards
+
+    def test_bad_inputs(self):
+        with pytest.raises(ReproError):
+            ShardRouter(0)
+        router = ShardRouter(2)
+        with pytest.raises(ReproError, match="hex spec hash"):
+            router.shard_of("not-a-hash")
+        with pytest.raises(ReproError, match="hex spec hash"):
+            router.shard_of(None)
+
+
+class TestPartition:
+    def test_partition_preserves_items_and_covers_only_busy_shards(self):
+        router = ShardRouter(3)
+        groups = {
+            spec_hash: [(index, f"item-{index}")]
+            for index, spec_hash in enumerate(fake_hashes(12))
+        }
+        partitioned = router.partition(groups)
+        assert set(partitioned) <= set(range(3))
+        flattened = {
+            spec_hash: items
+            for shards in partitioned.values()
+            for spec_hash, items in shards.items()
+        }
+        assert flattened == groups
+        for shard, shard_groups in partitioned.items():
+            for spec_hash in shard_groups:
+                assert router.shard_of(spec_hash) == shard
+
+    def test_empty_partition(self):
+        assert ShardRouter(2).partition({}) == {}
+
+
+class TestLoadProfile:
+    def test_uniform_profile_sums_to_one(self):
+        router = ShardRouter(4)
+        shares = router.load_profile(fake_hashes(64))
+        assert len(shares) == 4
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_zipfian_head_is_spread(self):
+        # The property the router exists for: under a heavy-head zipf
+        # profile, hashing keeps expected shard load balanced — no shard
+        # hoards the whole head even at skew 1.1.
+        from repro.serve.mix import zipfian_weights
+
+        router = ShardRouter(2)
+        hashes = fake_hashes(40)
+        shares = router.load_profile(
+            hashes, zipfian_weights(len(hashes), 1.1).tolist()
+        )
+        assert sum(shares) == pytest.approx(1.0)
+        assert max(shares) < 0.9  # both shards carry real load
+
+    def test_profile_errors(self):
+        router = ShardRouter(2)
+        with pytest.raises(ReproError, match="at least one"):
+            router.load_profile([])
+        with pytest.raises(ReproError, match="weights"):
+            router.load_profile(fake_hashes(3), [1.0])
+        with pytest.raises(ReproError, match="sum to > 0"):
+            router.load_profile(fake_hashes(2), [0.0, 0.0])
+
+    def test_repr(self):
+        assert "num_shards=2" in repr(ShardRouter(2))

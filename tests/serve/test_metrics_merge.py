@@ -1,0 +1,163 @@
+"""Unit tests for mergeable metrics snapshots (`merge_snapshots`).
+
+The cluster tier aggregates one `MetricsRegistry` per worker process
+through this pure helper, so its arithmetic — summed counters, pooled
+percentiles, union-window QPS — is pinned here against hand-computable
+inputs, including the empty and single-snapshot edges.
+"""
+
+import time
+
+import pytest
+
+from repro.serve.metrics import (
+    DEFAULT_MAX_SAMPLES,
+    MetricsRegistry,
+    format_snapshot_table,
+    merge_snapshots,
+)
+
+
+def sample_snapshot(latencies, errors=0, **counters):
+    """A sample-bearing snapshot built through a real registry."""
+    registry = MetricsRegistry()
+    for index, seconds in enumerate(latencies):
+        registry.record_request(seconds, error=index < errors)
+    for name, count in counters.items():
+        record = getattr(registry, f"record_{name}")
+        for _ in range(count):
+            record()
+    return registry.snapshot(include_samples=True)
+
+
+class TestMergeEdges:
+    def test_empty_merge_is_a_zeroed_snapshot(self):
+        merged = merge_snapshots([])
+        fresh = MetricsRegistry().snapshot()
+        assert merged == fresh
+
+    def test_single_snapshot_round_trips(self):
+        snapshot = sample_snapshot([0.001, 0.003], errors=1,
+                                   cache_hit=2, cache_miss=1, memo_hit=4)
+        merged = merge_snapshots([snapshot])
+        # The merge of one input must agree with the input's own view on
+        # every stable key (the sample-bearing extras are dropped).
+        plain = {
+            key: value for key, value in snapshot.items()
+            if key not in ("samples", "window_start", "window_end")
+        }
+        for key in plain:
+            if key in ("qps", "window_seconds"):
+                assert merged[key] == pytest.approx(plain[key], rel=1e-6)
+            else:
+                assert merged[key] == plain[key], key
+
+    def test_stable_key_set(self):
+        merged = merge_snapshots([sample_snapshot([0.002])])
+        assert set(merged) == set(MetricsRegistry().snapshot())
+        assert "samples" not in merged
+
+
+class TestMergeMany:
+    def test_counters_sum(self):
+        snapshots = [
+            sample_snapshot([0.001], cache_hit=1, warm_hit=2),
+            sample_snapshot([0.002, 0.004], errors=1, cache_miss=3),
+            sample_snapshot([], memo_hit=5, artifact_load=2, batch=1),
+        ]
+        merged = merge_snapshots(snapshots)
+        assert merged["requests"] == 3
+        assert merged["errors"] == 1
+        assert merged["cache_hits"] == 1
+        assert merged["warm_hits"] == 2
+        assert merged["cache_misses"] == 3
+        assert merged["memo_hits"] == 5
+        assert merged["artifact_loads"] == 2
+        assert merged["batches"] == 1
+        # Hit ratio recomputed from the summed tier counters, not
+        # averaged across inputs: (1 + 2) / (1 + 2 + 3).
+        assert merged["cache_hit_ratio"] == pytest.approx(0.5)
+
+    def test_percentiles_over_pooled_samples(self):
+        import numpy as np
+
+        left = [0.001] * 30
+        right = [0.100] * 10
+        merged = merge_snapshots([
+            sample_snapshot(left), sample_snapshot(right),
+        ])
+        pooled = np.percentile(left + right, 50) * 1e3
+        assert merged["latency_samples"] == 40
+        assert merged["latency_ms"]["p50"] == pytest.approx(pooled)
+        assert merged["latency_ms"]["p50"] == pytest.approx(1.0)
+        assert merged["latency_ms"]["max"] == pytest.approx(100.0)
+        # Averaging the per-input p50s (1 ms vs 100 ms) would give
+        # 50.5 ms; pooling weights the busier worker correctly.
+        assert merged["latency_ms"]["p50"] < 10.0
+
+    def test_union_window_adds_throughput(self):
+        # Two workers serving concurrently over the same wall-clock
+        # window must report summed QPS, not averaged: both snapshots
+        # carry absolute perf_counter bounds, so the union window is one
+        # worker's window and the request count doubles.
+        now = time.perf_counter()
+        base = sample_snapshot([0.0])
+        left = dict(base, requests=100, window_start=now - 1.0,
+                    window_end=now)
+        right = dict(base, requests=100, window_start=now - 1.0,
+                     window_end=now)
+        merged = merge_snapshots([left, right])
+        assert merged["qps"] == pytest.approx(201.0, rel=0.02)
+        assert merged["window_seconds"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_missing_bounds_fall_back_to_widest_window(self):
+        # A busy snapshot without absolute bounds (e.g. recorded by an
+        # older writer) makes the union untrustworthy: fall back to the
+        # widest single window instead of inventing concurrency.
+        base = sample_snapshot([0.0])
+        stripped = {
+            key: value for key, value in base.items()
+            if key not in ("window_start", "window_end")
+        }
+        old = dict(stripped, requests=50, window_seconds=2.0)
+        merged = merge_snapshots([base, old])
+        assert merged["window_seconds"] == pytest.approx(2.0)
+        assert merged["qps"] == pytest.approx((base["requests"] + 50) / 2.0)
+
+    def test_idle_snapshots_do_not_break_bounds(self):
+        # An idle worker (no requests, hence no bounds) must not force
+        # the widest-window fallback on the busy ones.
+        now = time.perf_counter()
+        busy = dict(sample_snapshot([0.0]), requests=10,
+                    window_start=now - 0.5, window_end=now)
+        idle = MetricsRegistry().snapshot(include_samples=True)
+        merged = merge_snapshots([busy, idle])
+        assert merged["requests"] == 10
+        assert merged["window_seconds"] == pytest.approx(0.5, rel=1e-6)
+
+    def test_sample_pool_is_bounded(self):
+        snapshot = sample_snapshot([0.001] * 100)
+        merged = merge_snapshots([snapshot, snapshot], max_samples=150)
+        assert merged["latency_samples"] == 150
+        assert merge_snapshots([snapshot])["latency_samples"] == 100
+        assert DEFAULT_MAX_SAMPLES >= 150
+
+
+class TestSnapshotSamples:
+    def test_include_samples_carries_merge_inputs(self):
+        registry = MetricsRegistry()
+        registry.record_request(0.002)
+        plain = registry.snapshot()
+        rich = registry.snapshot(include_samples=True)
+        assert "samples" not in plain
+        assert rich["samples"] == [0.002]
+        assert rich["window_start"] is not None
+        assert rich["window_end"] >= rich["window_start"]
+        # The stable key set is unchanged either way.
+        assert set(plain) < set(rich)
+
+    def test_merged_snapshot_formats_as_table(self):
+        merged = merge_snapshots([sample_snapshot([0.001, 0.002])])
+        table = format_snapshot_table(merged, title="cluster metrics")
+        assert table.startswith("cluster metrics")
+        assert "latency p99" in table

@@ -163,3 +163,90 @@ class TestEngineIntegration:
             snapshot = engine.metrics.snapshot()
             assert snapshot["artifact_loads"] == 3
             assert engine.tiers.warm_hashes() != []
+
+
+@pytest.fixture
+def migrating_store(tmp_path) -> ReleaseStore:
+    """A private columnar store the test is allowed to mutate (the shared
+    module store is read-only under serving traffic)."""
+    store = ReleaseStore(tmp_path / "migrating", write_format="columnar")
+    populate_bench_store(store, num_releases=2)
+    return store
+
+
+class TestWarmStaleness:
+    """`store migrate` (or a deletion) underneath a warm mmap entry must
+    evict and re-open, never serve from the stale mapping."""
+
+    @staticmethod
+    def _demote(cache, spec_hash, other_hash):
+        """Push ``spec_hash`` out of the hot tier so the next get takes
+        the warm-promotion path (hot_size=1 in these tests)."""
+        cache.get(spec_hash)
+        cache.get(other_hash)
+        assert cache.hot_hashes() == [other_hash]
+        assert spec_hash in cache.warm_hashes()
+
+    def test_migrate_under_warm_mmap_reopens(self, migrating_store):
+        first, second = migrating_store.spec_hashes()
+        cache = TieredArtifactCache(migrating_store, hot_size=1)
+        expected = cache.get(first).to_json()
+        self._demote(cache, first, second)
+
+        # Migrate mid-serve: the columnar files are unlinked, but the
+        # warm readers' mappings stay readable (the kernel keeps the
+        # unlinked inodes alive) — exactly the stale state to detect.
+        assert migrating_store.migrate(to="json") == 2
+        release = cache.get(first)
+
+        assert release.to_json() == expected
+        snapshot = cache.metrics.snapshot()
+        assert snapshot["warm_hits"] == 0  # stale entry must not count
+        assert snapshot["cache_misses"] == 3  # revalidation fell to cold
+        # The JSON re-open leaves nothing to keep warm for this hash.
+        assert first not in cache.warm_hashes()
+        cache.clear()
+
+    def test_deleted_artifact_raises_clear_error(self, migrating_store):
+        first, second = migrating_store.spec_hashes()
+        cache = TieredArtifactCache(migrating_store, hot_size=1)
+        self._demote(cache, first, second)
+
+        migrating_store.path_for(first).unlink()
+        with pytest.raises(ReproError, match="vanished from"):
+            cache.get(first)
+        assert first not in cache.warm_hashes()  # evicted, not retried
+        cache.clear()
+
+    def test_rewritten_artifact_reopens_fresh(self, migrating_store):
+        first, second = migrating_store.spec_hashes()
+        cache = TieredArtifactCache(migrating_store, hot_size=1)
+        expected = cache.get(first).to_json()
+        self._demote(cache, first, second)
+        loads_before = cache.metrics.snapshot()["artifact_loads"]
+
+        # Same path, new file identity (inode/mtime change): the entry
+        # must be revalidated against the *current* file, not trusted.
+        path = migrating_store.path_for(first)
+        payload = path.read_bytes()
+        path.unlink()
+        path.write_bytes(payload)
+
+        assert cache.get(first).to_json() == expected
+        assert cache.metrics.snapshot()["artifact_loads"] == loads_before + 1
+        cache.clear()
+
+    def test_engine_serves_across_migration(self, migrating_store):
+        from repro.serve import QuerySpec
+
+        specs = [
+            QuerySpec.create(spec_hash[:12], "mean_group_size", "root")
+            for spec_hash in migrating_store.spec_hashes()
+        ]
+        # hot_size=1 keeps one release demoted to warm at all times, so
+        # the post-migration batch exercises the revalidation path.
+        with ServingEngine(migrating_store, cache_size=1) as engine:
+            before = [result.value for result in engine.execute_batch(specs)]
+            migrating_store.migrate(to="json")
+            after = [result.value for result in engine.execute_batch(specs)]
+        assert after == before

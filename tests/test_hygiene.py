@@ -1,0 +1,42 @@
+"""Repository hygiene: no bytecode litter in the index, ever again.
+
+Compiled artifacts (``__pycache__/`` directories, ``*.pyc`` files) are
+host-specific build products; once committed they churn on every Python
+upgrade and bloat diffs.  These tests keep them out of git's index
+permanently and pin the ``.gitignore`` entries that prevent a relapse.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def tracked_files():
+    try:
+        completed = subprocess.run(
+            ["git", "ls-files"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("not running inside the git checkout")
+    return completed.stdout.splitlines()
+
+
+class TestBytecodeHygiene:
+    def test_no_tracked_bytecode(self):
+        litter = [
+            path for path in tracked_files()
+            if path.endswith(".pyc") or "__pycache__" in path.split("/")
+        ]
+        assert litter == [], f"bytecode litter tracked by git: {litter}"
+
+    def test_gitignore_covers_bytecode(self):
+        entries = [
+            line.strip()
+            for line in (REPO_ROOT / ".gitignore").read_text().splitlines()
+        ]
+        assert "__pycache__/" in entries
+        assert "*.pyc" in entries
