@@ -65,6 +65,7 @@ TARGETS = (
     (SRC / "repro" / "api", ("tests/api",)),
     (SRC / "repro" / "serve", ("tests/serve",)),
     (SRC / "repro" / "serve" / "cluster", ("tests/serve",)),
+    (SRC / "repro" / "resilience", ("tests/resilience",)),
     (SRC / "repro" / "perf", ("tests/perf",)),
     (SRC / "repro" / "core" / "consistency",
      ("tests/consistency", "tests/properties")),

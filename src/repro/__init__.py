@@ -73,7 +73,7 @@ from repro.perf import PeakMemory, PerfReport, StageTimer, timed
 from repro.serve import QueryResult, QuerySpec, ServingEngine
 from repro.workloads import WorkloadDataset, WorkloadSpec, materialize
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AttributedTopDown",

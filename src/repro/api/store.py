@@ -35,7 +35,12 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.api.release import Provenance, Release, summary_line
 from repro.api.spec import ReleaseSpec
-from repro.exceptions import HierarchyError, QueryError, ReproError
+from repro.exceptions import (
+    HierarchyError,
+    IntegrityError,
+    QueryError,
+    ReproError,
+)
 from repro.hierarchy.tree import Hierarchy
 from repro.io.columnar import (
     ColumnarReader,
@@ -43,8 +48,13 @@ from repro.io.columnar import (
     write_columnar,
     write_columnar_payload,
 )
+from repro.resilience.janitor import sweep_stale_tmp
 
 PathLike = Union[str, Path]
+
+#: Subdirectory corrupt artifacts are moved into (never deleted: the
+#: evidence of what went wrong is part of the recovery story).
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Filename suffix of stored JSON artifacts (distinguishes them from
 #: engine result-cache cells, which are plain ``<hash>.json`` files).
@@ -79,7 +89,12 @@ class ReleaseStore:
     """
 
     def __init__(
-        self, directory: PathLike, write_format: str = "json"
+        self,
+        directory: PathLike,
+        write_format: str = "json",
+        verify_on_open: bool = True,
+        heal: bool = True,
+        sweep_tmp: bool = True,
     ) -> None:
         if write_format not in ARTIFACT_FORMATS:
             raise QueryError(
@@ -92,15 +107,31 @@ class ReleaseStore:
         #: always format-agnostic: the store serves whichever format a
         #: hash is stored under.
         self.write_format = write_format
+        #: Verify columnar artifacts' CRC32 checksums on every cold open.
+        self.verify_on_open = bool(verify_on_open)
+        #: Quarantine + rebuild-from-spec artifacts that fail checksums
+        #: (with ``heal=False`` the :class:`IntegrityError` propagates).
+        self.heal = bool(heal)
         #: Artifacts served from disk since this store object was created.
         self.hits = 0
         #: Mechanism executions this store object performed.
         self.builds = 0
+        #: Checksum failures detected on open.
+        self.integrity_failures = 0
+        #: Corrupt artifacts moved to the quarantine directory.
+        self.quarantines = 0
+        #: Quarantined artifacts successfully rebuilt from their spec.
+        self.rebuilds = 0
         # Per-spec-hash build locks: concurrent get_or_build callers of the
         # same unbuilt spec run the mechanism exactly once (the other
         # threads block, then serve the artifact the winner persisted).
         self._build_locks: Dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
+        if sweep_tmp:
+            # A writer SIGKILL'd between mkstemp and os.replace leaks its
+            # unique temp file; collect old orphans (bounded, age-gated)
+            # so crashes never grow the directory without limit.
+            sweep_stale_tmp(self.directory)
 
     def _build_lock(self, spec_hash: str) -> threading.Lock:
         with self._locks_guard:
@@ -260,6 +291,14 @@ class ReleaseStore:
     ) -> ColumnarReader:
         """Mmap-open a hash's columnar artifact (the zero-parse cold path).
 
+        With :attr:`verify_on_open` (the default) the artifact's
+        recorded CRC32 checksums are verified first — one ``crc32``
+        sweep over the mapped bytes, no parse.  A mismatch quarantines
+        the corrupt file and rebuilds it from its own spec when
+        :attr:`heal` is on (the reopened, verified artifact is
+        returned); with ``heal=False`` the
+        :class:`~repro.exceptions.IntegrityError` propagates.
+
         Raises :class:`QueryError` when the hash has no columnar artifact
         (the serving tier falls back to the JSON decode path then), and
         :class:`HierarchyError` when the artifact's recorded spec hash
@@ -280,7 +319,97 @@ class ReleaseStore:
                 f"{reader.spec_hash[:12]}…, expected {spec_hash[:12]}… — the "
                 "store directory has been tampered with or mixed up"
             )
+        if self.verify_on_open:
+            try:
+                reader.verify_checksums()
+            except IntegrityError:
+                reader.close()
+                self.integrity_failures += 1
+                if not self.heal:
+                    raise
+                self.heal_columnar(spec_hash)
+                reader = ColumnarReader(path)
+                reader.verify_checksums()
         return reader
+
+    def quarantine(
+        self, spec_or_hash: Union[ReleaseSpec, str],
+        format: Optional[str] = None,
+    ) -> Path:
+        """Move one artifact out of serving into ``quarantine/``.
+
+        The file is renamed (same filesystem, atomic) into the store's
+        quarantine subdirectory under a unique name, so the corrupt
+        bytes stay available for forensics while the hash reads as
+        absent.  Returns the quarantined path; raises
+        :class:`QueryError` when there is nothing to quarantine.
+        """
+        spec_hash = self._hash_of(spec_or_hash)
+        path = self.path_for(spec_hash, format=format)
+        if not path.exists():
+            raise QueryError(
+                f"no artifact for {spec_hash[:12]}… in {self.directory} "
+                "to quarantine"
+            )
+        pen = self.directory / QUARANTINE_DIRNAME
+        pen.mkdir(exist_ok=True)
+        target = pen / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = pen / f"{path.name}.{suffix}"
+        os.replace(path, target)
+        self.quarantines += 1
+        return target
+
+    def quarantined_paths(self) -> List[Path]:
+        """Every quarantined artifact file, sorted by name."""
+        pen = self.directory / QUARANTINE_DIRNAME
+        if not pen.is_dir():
+            return []
+        return sorted(p for p in pen.iterdir() if p.is_file())
+
+    def heal_columnar(self, spec_hash: str) -> Path:
+        """Quarantine a corrupt columnar artifact and rebuild it.
+
+        The rebuild spec comes from the quarantined file's own envelope
+        (stored separately from the histogram sections, so a section
+        flip leaves it intact); specs are seeded and deterministic, so
+        the rebuilt artifact is bit-identical to the original.  Raises
+        :class:`~repro.exceptions.IntegrityError` when the envelope is
+        itself unreadable — :meth:`get_or_build`, which holds the spec,
+        can still rebuild then.
+        """
+        quarantined = self.quarantine(spec_hash, format="columnar")
+        try:
+            reader = ColumnarReader(quarantined)
+            try:
+                spec = ReleaseSpec.from_dict(reader.envelope["spec"])
+            finally:
+                reader.close()
+            if spec.spec_hash() != spec_hash:
+                raise HierarchyError(
+                    f"quarantined artifact's envelope describes spec "
+                    f"{spec.spec_hash()[:12]}…, not {spec_hash[:12]}…"
+                )
+        except (HierarchyError, KeyError, TypeError, ValueError) as error:
+            raise IntegrityError(
+                f"columnar artifact for {spec_hash[:12]}… failed its "
+                f"checksums and its envelope is unrecoverable ({error}); "
+                f"quarantined at {quarantined} — rebuild it from its spec "
+                "with get_or_build"
+            ) from None
+        return self._rebuild(spec, quarantined)
+
+    def _rebuild(self, spec: ReleaseSpec, quarantined: Path) -> Path:
+        """Deterministically re-run one quarantined spec's mechanism."""
+        release = spec.execute()
+        path = write_columnar(
+            release, self.path_for(spec.spec_hash(), format="columnar")
+        )
+        self.builds += 1
+        self.rebuilds += 1
+        return path
 
     def _load(self, spec_hash: str) -> Release:
         path = self.path_for(spec_hash)
@@ -336,13 +465,13 @@ class ReleaseStore:
         store tests); requests for *different* specs never block each
         other.
         """
-        cached = self.get(spec)
+        cached = self._get_or_quarantine(spec)
         if cached is not None:
             return cached
         with self._build_lock(spec.spec_hash()):
             # Double-checked: a concurrent builder may have persisted the
             # artifact while this thread waited on the lock.
-            cached = self.get(spec)
+            cached = self._get_or_quarantine(spec)
             if cached is not None:
                 return cached
             release = (
@@ -352,6 +481,23 @@ class ReleaseStore:
             self.put(release)
             self.builds += 1
         return release
+
+    def _get_or_quarantine(self, spec: ReleaseSpec) -> Optional[Release]:
+        """``get``, treating an unhealable corrupt artifact as absent.
+
+        :meth:`open_columnar` heals section-level corruption itself;
+        what reaches here is the unrecoverable case (the envelope — and
+        with it the stored spec — is gone).  The caller *has* the spec,
+        so the right move is to make sure the corpse is quarantined and
+        rebuild, not to fail the request.
+        """
+        try:
+            return self.get(spec)
+        except IntegrityError:
+            path = self.path_for(spec, format="columnar")
+            if path.exists():  # heal_columnar may have quarantined already
+                self.quarantine(spec, format="columnar")
+            return None
 
     def resolve(self, prefix: str) -> str:
         """Expand a unique spec-hash prefix into the full hash."""
@@ -441,8 +587,15 @@ class ReleaseStore:
         return removed
 
     def statistics(self) -> Dict[str, int]:
-        """Hit/build counters plus the current artifact count."""
-        return {"hits": self.hits, "builds": self.builds, "entries": len(self)}
+        """Hit/build/integrity counters plus the current artifact count."""
+        return {
+            "hits": self.hits,
+            "builds": self.builds,
+            "entries": len(self),
+            "integrity_failures": self.integrity_failures,
+            "quarantines": self.quarantines,
+            "rebuilds": self.rebuilds,
+        }
 
     def __repr__(self) -> str:
         return f"ReleaseStore({str(self.directory)!r}, entries={len(self)})"

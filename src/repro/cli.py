@@ -388,8 +388,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             specs = load_requests(args.requests)
         if args.cluster:
             # Sharded path: --workers counts processes, not threads.
+            cluster_kwargs = {}
+            if getattr(args, "poll_interval", None) is not None:
+                cluster_kwargs["poll_interval"] = args.poll_interval
             with ClusterEngine(
                 store, num_workers=args.workers, cache_size=args.cache_size,
+                **cluster_kwargs,
             ) as engine:
                 results = engine.execute_batch(specs)
                 if args.metrics:
@@ -420,6 +424,51 @@ def _command_serve(args: argparse.Namespace) -> int:
                 print(engine.metrics.format_table(), file=sys.stderr)
         return 0 if all(result.ok for result in results) else 3
 
+    if args.action == "chaos":
+        from repro.resilience.chaos import (
+            SMOKE_CHAOS_REQUESTS,
+            format_chaos_table,
+            merge_into_report,
+            run_chaos,
+        )
+        from repro.resilience.faultplan import FaultPlan
+
+        requests = args.requests
+        if args.smoke:
+            requests = min(requests, SMOKE_CHAOS_REQUESTS)
+        stored = len(store)
+        populate_bench_store(store, num_releases=args.releases)
+        built = len(store) - stored
+        print(f"store: {store.directory} holds {len(store)} release(s) "
+              f"({built} built now)")
+        plan = FaultPlan.load(args.plan) if args.plan else None
+        block = run_chaos(
+            store, num_workers=args.workers, seed=args.seed, plan=plan,
+            num_requests=requests,
+        )
+        if args.save_plan:
+            executed = plan
+            if executed is None:
+                # Re-generate what run_chaos ran (same seed, same
+                # knobs), so the saved file replays it exactly.
+                from repro.resilience.chaos import DEFAULT_STALL_SECONDS
+
+                executed = FaultPlan.generate(
+                    args.seed, args.workers,
+                    stall_seconds=DEFAULT_STALL_SECONDS,
+                    num_artifacts=len(store),
+                )
+            print(f"wrote plan {executed.save(args.save_plan)}")
+        print(format_chaos_table(block))
+        if args.out:
+            print(f"\nmerged resilience block into "
+                  f"{merge_into_report(block, args.out)}")
+        if not block["ok"]:
+            print("error: chaos run failed its recovery/differential "
+                  "criteria", file=sys.stderr)
+            return 1
+        return 0
+
     # bench
     releases = args.releases
     requests = args.requests
@@ -437,6 +486,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         cache_size=args.cache_size,
         workers=args.workers,
+        poll_interval=args.poll_interval,
     )
     print(report.summary())
     print()
@@ -761,6 +811,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="decoded artifacts kept hot (LRU)")
     sv_exec.add_argument("--metrics", action="store_true",
                          help="print the serving metrics table to stderr")
+    sv_exec.add_argument("--poll-interval", type=float, default=None,
+                         help="cluster collector idle-poll seconds (the "
+                              "worker-crash detection cadence; only with "
+                              "--cluster)")
     sv_exec.set_defaults(fn=_command_serve)
 
     sv_bench = serve_actions.add_parser(
@@ -790,7 +844,39 @@ def build_parser() -> argparse.ArgumentParser:
     sv_bench.add_argument("--smoke", action="store_true",
                           help="CI-sized run (<= 6 releases, <= 120 "
                                "requests), same output schema")
+    sv_bench.add_argument("--poll-interval", type=float, default=None,
+                          help="cluster collector idle-poll seconds for "
+                               "the --workers sweep")
     sv_bench.set_defaults(fn=_command_serve)
+
+    sv_chaos = serve_actions.add_parser(
+        "chaos",
+        help="run a seeded fault-injection plan against the sharded "
+             "cluster and verify full recovery with bit-identical answers",
+    )
+    sv_chaos.add_argument("--store", required=True,
+                          help="chaos store directory (populated with the "
+                               "bench releases when missing)")
+    sv_chaos.add_argument("--releases", type=int, default=6,
+                          help="releases the chaos store must hold")
+    sv_chaos.add_argument("--requests", type=int, default=400,
+                          help="requests in the zipfian mix")
+    sv_chaos.add_argument("--workers", type=int, default=2,
+                          help="shard worker processes under test")
+    sv_chaos.add_argument("--seed", type=int, default=0,
+                          help="fault-plan and request-mix seed")
+    sv_chaos.add_argument("--plan", default=None,
+                          help="JSON fault-plan file to replay (default: "
+                               "generate the canonical seeded plan)")
+    sv_chaos.add_argument("--save-plan", default=None,
+                          help="also write the executed plan's JSON here")
+    sv_chaos.add_argument("--out", default=None,
+                          help="merge the 'resilience' block into this "
+                               "BENCH_serving.json")
+    sv_chaos.add_argument("--smoke", action="store_true",
+                          help="CI-sized run (<= 120 requests), same "
+                               "output schema")
+    sv_chaos.set_defaults(fn=_command_serve)
 
     perf = commands.add_parser(
         "perf", help="pipeline profiling and benchmark regression checks"

@@ -35,6 +35,7 @@ from typing import Dict, Optional, Union
 
 from repro.engine.grid import CellResult, GridCell
 from repro.engine.methods import MethodSpec
+from repro.resilience.janitor import sweep_stale_tmp
 
 PathLike = Union[str, Path]
 
@@ -53,11 +54,16 @@ class ResultCache:
     (0, 0)
     """
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(self, directory: PathLike, sweep_tmp: bool = True) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        if sweep_tmp:
+            # Writers crashed between mkstemp and os.replace leak their
+            # unique temp files; collect old orphans on open (bounded,
+            # age-gated — a live writer's fresh .tmp is never touched).
+            sweep_stale_tmp(self.directory)
 
     # -- keys ---------------------------------------------------------------
     @staticmethod

@@ -81,3 +81,26 @@ class PerfError(ReproError):
     comparison between files of different bench kinds, or a malformed
     regression threshold.
     """
+
+
+class IntegrityError(HierarchyError):
+    """A stored artifact's bytes fail their recorded checksums.
+
+    Raised when a v3 columnar artifact's per-section CRC32 checksums
+    (written into the index header) disagree with the bytes on disk —
+    bit rot, a torn write from a crashed publisher, or tampering.  A
+    subclass of :class:`HierarchyError` so existing artifact-corruption
+    handlers catch it; resilience-aware callers
+    (:meth:`repro.api.store.ReleaseStore.open_columnar`,
+    :class:`repro.serve.tiers.TieredArtifactCache`) catch it
+    specifically to quarantine and rebuild.
+    """
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed or cannot be applied.
+
+    Examples: an unknown fault kind in a deserialized ``FaultPlan``, a
+    negative trigger index, or a corruption event naming an artifact
+    index the target store does not have.
+    """

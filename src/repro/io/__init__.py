@@ -45,6 +45,7 @@ from repro.io.columnar import (
     SUPPORTED_COLUMNAR_VERSIONS,
     ColumnarReader,
     columnar_to_json_bytes,
+    header_size,
     is_columnar_file,
     json_payload_from_columnar,
     write_columnar,
@@ -62,6 +63,7 @@ __all__ = [
     "check_format_version",
     "columnar_to_json_bytes",
     "export_release_csv",
+    "header_size",
     "hierarchy_fingerprint",
     "import_release_csv",
     "is_columnar_file",

@@ -43,13 +43,14 @@ import mmap
 import os
 import struct
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.histogram import CountOfCounts
-from repro.exceptions import HierarchyError, QueryError
+from repro.exceptions import HierarchyError, IntegrityError, QueryError
 from repro.io.json_format import check_format_version
 
 PathLike = Union[str, Path]
@@ -104,6 +105,28 @@ def is_columnar_file(path: PathLike) -> bool:
         return False
 
 
+def header_size(path: PathLike) -> int:
+    """Byte offset where a v3 file's section region starts.
+
+    Everything before it is header (magic, lengths, section table, index
+    JSON, envelope JSON, alignment padding); everything at or after it
+    is histogram column data.  Fault injection uses this to aim byte
+    flips at *section* bytes specifically.
+    """
+    with open(path, "rb") as handle:
+        prefix = handle.read(_HEADER_PREFIX_SIZE)
+        if len(prefix) < _HEADER_PREFIX_SIZE or not prefix.startswith(
+            COLUMNAR_MAGIC
+        ):
+            raise HierarchyError(
+                f"{path} is not a columnar release artifact (bad magic)"
+            )
+        index_length, envelope_length = struct.unpack_from(
+            "<II", prefix, len(COLUMNAR_MAGIC)
+        )
+    return _align(_HEADER_PREFIX_SIZE + index_length + envelope_length)
+
+
 def _columns_from_estimates(
     names: List[str], estimates: Mapping[str, CountOfCounts]
 ) -> Dict[str, np.ndarray]:
@@ -156,9 +179,13 @@ def _write_file(
     preserving the store's byte-stable-artifact contract.
     """
     table: List[int] = []
+    payloads: Dict[str, bytes] = {}
     relative = 0
     for section in SECTION_NAMES:
         array = columns[section]
+        payloads[section] = np.ascontiguousarray(
+            array, dtype=_DTYPE
+        ).tobytes()
         table += [relative, int(array.size)]
         relative = _align(relative + array.size * _DTYPE.itemsize)
     provenance = envelope.get("provenance")
@@ -166,14 +193,23 @@ def _write_file(
         str(provenance.get("spec_hash", ""))
         if isinstance(provenance, Mapping) else ""
     )
+    envelope_bytes = json.dumps(dict(envelope), sort_keys=True).encode("utf-8")
+    # Per-section CRC32 checksums ride in the index header (additive:
+    # files without the key still load; the envelope stays verbatim, so
+    # the v2 <-> v3 byte-lossless round trip is unaffected).
+    crc32 = {
+        section: zlib.crc32(payloads[section])
+        for section in SECTION_NAMES
+    }
+    crc32["envelope"] = zlib.crc32(envelope_bytes)
     index = {
         "format_version": int(format_version),
         "kind": COLUMNAR_KIND,
         "spec_hash": spec_hash,
         "nodes": list(names),
+        "crc32": crc32,
     }
     index_bytes = json.dumps(index, sort_keys=True).encode("utf-8")
-    envelope_bytes = json.dumps(dict(envelope), sort_keys=True).encode("utf-8")
     data_start = _align(
         _HEADER_PREFIX_SIZE + len(index_bytes) + len(envelope_bytes)
     )
@@ -196,9 +232,7 @@ def _write_file(
         position = 0
         for offset, section in zip(table[::2], SECTION_NAMES):
             handle.write(b"\x00" * (offset - position))
-            payload = np.ascontiguousarray(
-                columns[section], dtype=_DTYPE
-            ).tobytes()
+            payload = payloads[section]
             handle.write(payload)
             position = offset + len(payload)
         handle.write(b"\x00" * (relative - position))
@@ -336,6 +370,13 @@ class ColumnarReader:
             )
         self.format_version = int(index["format_version"])
         self.spec_hash: str = str(index.get("spec_hash", ""))
+        crc32 = index.get("crc32")
+        #: The recorded per-section CRC32 map, or ``None`` for files
+        #: written before checksums existed (still fully readable).
+        self.checksums: Optional[Dict[str, int]] = (
+            {str(key): int(value) for key, value in crc32.items()}
+            if isinstance(crc32, dict) else None
+        )
         self._names: List[str] = index["nodes"]
         self._index: Optional[Dict[str, int]] = None
         self._envelope_span = (envelope_start, envelope_start + envelope_length)
@@ -539,6 +580,43 @@ class ColumnarReader:
             name: self.histogram(name).tolist() for name in self._names
         }
         return payload
+
+    def verify_checksums(self) -> bool:
+        """Check every stored byte range against its recorded CRC32.
+
+        Returns ``True`` when the artifact carries checksums and every
+        section (and the envelope) matches, ``False`` when the file
+        predates checksums (nothing to verify — old files still load),
+        and raises :class:`~repro.exceptions.IntegrityError` naming the
+        first mismatching section otherwise.  Cost is one ``zlib.crc32``
+        sweep over the mapped bytes — no JSON parse, no array decode —
+        so cold opens can afford it.
+        """
+        if self.checksums is None:
+            return False
+        start, stop = self._envelope_span
+        spans: List[Tuple[str, int, int]] = [("envelope", start, stop)]
+        for position, section in enumerate(SECTION_NAMES):
+            offset, length = self._table[2 * position: 2 * position + 2]
+            begin = self._data_start + offset
+            spans.append((section, begin, begin + length * _DTYPE.itemsize))
+        for label, begin, end in spans:
+            recorded = self.checksums.get(label)
+            if recorded is None:
+                raise IntegrityError(
+                    f"{self.path} records no checksum for {label!r} — "
+                    "truncated or tampered checksum map"
+                )
+            if end > len(self._mmap):
+                raise IntegrityError(f"{self.path} is truncated at {label!r}")
+            actual = zlib.crc32(self._mmap[begin:end])
+            if actual != recorded:
+                raise IntegrityError(
+                    f"{self.path}: CRC32 mismatch in section {label!r} "
+                    f"(stored {recorded:#010x}, actual {actual:#010x}) — "
+                    "the artifact is corrupt"
+                )
+        return True
 
     def verify(self) -> None:
         """Full integrity check of every derived column (write/migrate

@@ -85,6 +85,20 @@ _SERVING_SHARDED_SWEEP_KEYS = (
     "workers", "seconds", "qps", "latency_ms", "answers_identical",
     "respawns",
 )
+#: The chaos run (schema v1 additive block, written by ``serve chaos``):
+#: recovery + differential verdict under a seeded fault plan.
+_SERVING_RESILIENCE_KEYS = (
+    "seed", "workers", "num_requests", "batch_size", "plan", "config",
+    "baseline_seconds", "seconds", "answers_identical", "mismatches",
+    "deadline_exceeded", "wedged_requests", "retries", "respawns",
+    "all_workers_alive", "breakers_closed", "breaker_trips",
+    "fallback_requests", "heartbeat_timeouts", "integrity", "recovery",
+    "ok",
+)
+_SERVING_RESILIENCE_INTEGRITY_KEYS = ("detected", "quarantined", "rebuilt")
+_SERVING_RESILIENCE_RECOVERY_KEYS = (
+    "count", "max_seconds", "budget_seconds", "within_budget",
+)
 
 
 def _check_keys(
@@ -252,7 +266,7 @@ def validate_serving_payload(payload: object) -> List[str]:
     """Problems in a ``BENCH_serving.json`` payload; empty when valid."""
     problems: List[str] = []
     if not _check_keys(payload, _SERVING_TOP_KEYS, "$", problems,
-                       optional=("cold", "sharded")):
+                       optional=("cold", "sharded", "resilience")):
         return problems
     assert isinstance(payload, Mapping)
     if payload.get("schema_version") != 1:
@@ -312,6 +326,10 @@ def validate_serving_payload(payload: object) -> List[str]:
     sharded = payload.get("sharded")
     if sharded is not None:
         problems.extend(_validate_sharded(sharded))
+
+    resilience = payload.get("resilience")
+    if resilience is not None:
+        problems.extend(_validate_resilience(resilience))
     return problems
 
 
@@ -371,6 +389,52 @@ def _validate_sharded(sharded: object) -> List[str]:
         problems.append(
             "$.sharded.sweep: worker counts must be strictly increasing"
         )
+    return problems
+
+
+def _validate_resilience(resilience: object) -> List[str]:
+    problems: List[str] = []
+    if not _check_keys(resilience, _SERVING_RESILIENCE_KEYS, "$.resilience",
+                       problems):
+        return problems
+    assert isinstance(resilience, Mapping)
+    for key in ("workers", "num_requests", "batch_size"):
+        _check_number(resilience[key], f"$.resilience.{key}", problems, 1.0)
+    _check_number(resilience["seed"], "$.resilience.seed",
+                  problems, minimum=float("-1e18"))
+    for key in ("baseline_seconds", "seconds", "mismatches",
+                "deadline_exceeded", "wedged_requests", "retries",
+                "respawns", "breaker_trips", "fallback_requests",
+                "heartbeat_timeouts"):
+        _check_number(resilience[key], f"$.resilience.{key}", problems)
+    for key in ("answers_identical", "all_workers_alive", "breakers_closed",
+                "ok"):
+        if not isinstance(resilience.get(key), bool):
+            problems.append(f"$.resilience.{key}: expected a boolean")
+    plan = resilience.get("plan")
+    if not isinstance(plan, Mapping):
+        problems.append("$.resilience.plan: expected an object")
+    else:
+        for kind, count in plan.items():
+            _check_number(count, f"$.resilience.plan.{kind}", problems)
+    if not isinstance(resilience.get("config"), Mapping):
+        problems.append("$.resilience.config: expected an object")
+    integrity = resilience.get("integrity")
+    if _check_keys(integrity, _SERVING_RESILIENCE_INTEGRITY_KEYS,
+                   "$.resilience.integrity", problems):
+        for key in _SERVING_RESILIENCE_INTEGRITY_KEYS:
+            _check_number(integrity[key], f"$.resilience.integrity.{key}",
+                          problems)
+    recovery = resilience.get("recovery")
+    if _check_keys(recovery, _SERVING_RESILIENCE_RECOVERY_KEYS,
+                   "$.resilience.recovery", problems):
+        for key in ("count", "max_seconds", "budget_seconds"):
+            _check_number(recovery[key], f"$.resilience.recovery.{key}",
+                          problems)
+        if not isinstance(recovery.get("within_budget"), bool):
+            problems.append(
+                "$.resilience.recovery.within_budget: expected a boolean"
+            )
     return problems
 
 

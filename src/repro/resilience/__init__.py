@@ -1,0 +1,68 @@
+"""Resilience subsystem: scripted faults in, bounded recovery out.
+
+Four small, composable pieces:
+
+* :mod:`~repro.resilience.faultplan` — seeded, JSON-serializable
+  :class:`FaultPlan` schedules (worker SIGKILLs, hung shards, corrupted
+  artifact bytes, queue stalls) and the :class:`FaultInjector` runtime
+  the cluster coordinator consults at its dispatch hook points;
+* :mod:`~repro.resilience.policies` — per-request :class:`Deadline`
+  budgets, bounded :class:`RetryPolicy` backoff with deterministic
+  jitter, and the :class:`ResilienceConfig` bundle of every serving
+  knob (defaults reproduce pre-resilience behavior exactly);
+* :mod:`~repro.resilience.breaker` — per-shard
+  :class:`CircuitBreaker` state machines (closed/open/half-open) with
+  injectable clocks;
+* :mod:`~repro.resilience.janitor` — bounded, age-gated
+  :func:`sweep_stale_tmp` garbage collection of temp files leaked by
+  crashed writers.
+
+The chaos harness that drives all of this end-to-end lives in
+:mod:`repro.resilience.chaos` and is imported lazily by its callers
+(it pulls in :mod:`repro.serve`, which itself uses this package — a
+direct re-export here would be a cycle).
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.faultplan import (
+    FAULT_KINDS,
+    DispatchFaults,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    corrupt_stored_artifact,
+)
+from repro.resilience.janitor import (
+    DEFAULT_MAX_AGE_SECONDS,
+    DEFAULT_SWEEP_LIMIT,
+    sweep_stale_tmp,
+)
+from repro.resilience.policies import (
+    Deadline,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "FAULT_KINDS",
+    "DEFAULT_MAX_AGE_SECONDS",
+    "DEFAULT_SWEEP_LIMIT",
+    "CircuitBreaker",
+    "Deadline",
+    "DispatchFaults",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "corrupt_stored_artifact",
+    "sweep_stale_tmp",
+]

@@ -1,0 +1,172 @@
+"""Per-shard circuit breakers: closed → open → half-open → closed.
+
+A :class:`CircuitBreaker` guards one downstream (here: one shard's
+worker process).  It starts **closed** (requests flow); after
+``threshold`` consecutive failures it **opens** (requests short-circuit
+— the cluster routes them to the local fallback engine instead); after
+``reset_timeout`` seconds it admits exactly one **half-open** probe, and
+that probe's outcome decides: success closes the breaker, failure
+re-opens it for another full timeout.
+
+The time source is injectable, so the whole state machine is testable
+without sleeping, and every transition is counted — the chaos report's
+``breaker_trips`` / recovery-latency numbers come straight from here.
+Thread-safe: the cluster's collector thread records failures while
+request threads ask :meth:`allow`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+#: The three breaker states (reported in snapshots verbatim).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One downstream's failure-tracking state machine.
+
+    ``threshold=0`` constructs a disabled breaker: it never opens, and
+    :meth:`allow` is always true — the configuration the serving tier
+    defaults to, preserving pre-resilience behavior.
+
+    Examples
+    --------
+    >>> ticks = [0.0]
+    >>> breaker = CircuitBreaker(
+    ...     threshold=2, reset_timeout=1.0, clock=lambda: ticks[0])
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.state, breaker.allow()
+    ('open', False)
+    >>> ticks[0] = 1.5
+    >>> breaker.allow()         # exactly one half-open probe
+    True
+    >>> breaker.record_success()
+    >>> breaker.state
+    'closed'
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        reset_timeout: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 0:
+            raise ReproError(f"threshold must be >= 0, got {threshold}")
+        if reset_timeout <= 0:
+            raise ReproError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self.threshold = int(threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_out = False
+        #: Cumulative closed→open transitions.
+        self.trips = 0
+        #: Cumulative half-open→closed recoveries.
+        self.recoveries = 0
+        #: (opened_at, closed_at) clock pairs of completed outages.
+        self._outages: List[Tuple[float, float]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when the timeout
+        has elapsed (read-only peek; does not consume the probe)."""
+        with self._lock:
+            self._advance_locked()
+            return self._state
+
+    def _advance_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probe_out = False
+
+    def allow(self) -> bool:
+        """May a request flow to the downstream right now?
+
+        Closed: always.  Open: no (short-circuit).  Half-open: exactly
+        one caller gets ``True`` (the probe); everyone else is refused
+        until the probe reports back.
+        """
+        if not self.enabled:
+            return True
+        with self._lock:
+            self._advance_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request (or probe) succeeded: reset failures, close."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._advance_locked()
+            if self._state != CLOSED and self._opened_at is not None:
+                self.recoveries += 1
+                self._outages.append((self._opened_at, self._clock()))
+            self._state = CLOSED
+            self._failures = 0
+            self._opened_at = None
+            self._probe_out = False
+
+    def record_failure(self) -> None:
+        """A request (or probe) failed: count up, trip at threshold."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._advance_locked()
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                # Failed probe: straight back to open, fresh timeout.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_out = False
+            elif self._state == CLOSED and self._failures >= self.threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def outage_seconds(self) -> List[float]:
+        """Durations of every completed open→closed outage so far."""
+        with self._lock:
+            return [closed - opened for opened, closed in self._outages]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: state, counters, consecutive failures."""
+        with self._lock:
+            self._advance_locked()
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "trips": self.trips,
+                "recoveries": self.recoveries,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, failures={self._failures}, "
+            f"trips={self.trips})"
+        )

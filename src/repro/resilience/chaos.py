@@ -1,0 +1,285 @@
+"""The chaos harness: a seeded FaultPlan against the serving cluster.
+
+:func:`run_chaos` is the differential experiment the resilience
+subsystem exists to pass, driveable identically from
+``repro serve chaos`` and from pytest:
+
+1. serve one deterministic zipfian request mix through a plain
+   single-process :class:`~repro.serve.engine.ServingEngine` over the
+   columnar store — the **healthy baseline**;
+2. serve the *same* mix through a hardened
+   :class:`~repro.serve.cluster.engine.ClusterEngine` while a seeded
+   :class:`~repro.resilience.faultplan.FaultPlan` SIGKILLs every
+   worker at least once, stalls one worker past the heartbeat budget,
+   stalls one coordinator dispatch, and flips one byte of one stored
+   artifact;
+3. require **bit-identical answers** for every request that did not
+   exceed its deadline, zero wedged requests, recovery (respawn +
+   breaker close) within the heartbeat budget, and the corruption
+   detected + quarantined + rebuilt.
+
+The resulting dict is the additive ``"resilience"`` block of
+``BENCH_serving.json`` (schema v1; validated by
+:func:`repro.perf.schema.validate_serving_payload`).
+
+Failure is an *input* here: the same ``seed`` against the same store is
+the same experiment, so a chaos regression reproduces locally from the
+committed block's seed alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.store import ReleaseStore
+from repro.exceptions import ReproError
+from repro.resilience.faultplan import (
+    FaultInjector,
+    FaultPlan,
+    corrupt_stored_artifact,
+)
+from repro.resilience.policies import ResilienceConfig
+from repro.serve.bench import columnar_twin, run_served
+from repro.serve.cluster.engine import ClusterEngine
+from repro.serve.engine import ServingEngine
+from repro.serve.mix import catalog_store, generate_requests
+from repro.serve.planner import QueryResult
+from repro.serve.spec import QuerySpec
+
+PathLike = Union[str, Path]
+
+#: Default request-mix size for a full chaos run.
+DEFAULT_CHAOS_REQUESTS = 400
+
+#: Request-mix size under ``--smoke`` (CI-sized, schema-identical).
+SMOKE_CHAOS_REQUESTS = 120
+
+#: Default arrival batch size (small enough that every shard sees well
+#: over the plan's dispatch horizon of batches).
+DEFAULT_CHAOS_BATCH_SIZE = 16
+
+#: Worker-side stall length: deliberately *past* the heartbeat budget of
+#: the hardened config, so the hung-shard path (no pong → kill →
+#: respawn → retry) is exercised, not merely a slow reply.
+DEFAULT_STALL_SECONDS = 2.5
+
+
+def _is_deadline_error(result: QueryResult) -> bool:
+    return not result.ok and "deadline" in (result.error or "")
+
+
+def run_chaos(
+    store: ReleaseStore,
+    num_workers: int = 2,
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    num_requests: int = DEFAULT_CHAOS_REQUESTS,
+    batch_size: int = DEFAULT_CHAOS_BATCH_SIZE,
+    resilience: Optional[ResilienceConfig] = None,
+    twin_dir: Optional[PathLike] = None,
+) -> Dict[str, object]:
+    """Run the seeded chaos experiment; returns the ``"resilience"`` block.
+
+    ``store`` may be JSON (a columnar twin is materialized, as in the
+    other serving benches) or already columnar.  ``plan`` defaults to
+    :meth:`FaultPlan.generate` for ``seed`` — the canonical schedule the
+    acceptance criterion names.  ``resilience`` defaults to
+    :meth:`ResilienceConfig.hardened` with the same seed, so retries
+    jitter deterministically.
+    """
+    twin = columnar_twin(store, twin_dir)
+    if len(twin) == 0:
+        raise ReproError(f"store {store.directory} is empty; nothing to serve")
+    config = resilience or ResilienceConfig.hardened(seed=seed)
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed, num_workers,
+            stall_seconds=DEFAULT_STALL_SECONDS,
+            num_artifacts=len(twin),
+        )
+    requests: List[QuerySpec] = list(generate_requests(
+        twin, num_requests, seed=seed, catalog=catalog_store(twin),
+    ))
+    cache_size = max(len(twin), 1)
+
+    # Healthy baseline first — before any byte of the store is touched.
+    with ServingEngine(twin, cache_size=cache_size) as engine:
+        base_results, base_seconds = run_served(
+            engine, requests, batch_size=batch_size,
+        )
+
+    injector = FaultInjector(
+        plan, corruptor=lambda event: corrupt_stored_artifact(twin, event),
+    )
+    chaos_results: List[QueryResult] = []
+    with ClusterEngine(
+        twin, num_workers=num_workers, cache_size=cache_size,
+        resilience=config, fault_injector=injector,
+    ) as cluster:
+        cluster.start()
+        start = time.perf_counter()
+        for offset in range(0, len(requests), batch_size):
+            chaos_results.extend(
+                cluster.execute_batch(requests[offset: offset + batch_size])
+            )
+        seconds = time.perf_counter() - start
+        # Let in-flight respawns settle, then demand a fully healthy
+        # cluster: every worker alive again within the heartbeat budget.
+        settle_until = time.monotonic() + config.heartbeat_budget
+        while time.monotonic() < settle_until:
+            if all(cluster.workers_alive()):
+                break
+            time.sleep(0.05)
+        all_alive = all(cluster.workers_alive())
+        respawns = sum(cluster.respawn_counts())
+        recoveries = cluster.recovery_seconds()
+        snapshot = cluster.cluster_snapshot()
+        breakers = snapshot["breakers"]
+    coordinator = cluster.metrics.snapshot()
+    aggregate = snapshot["aggregate"]
+
+    # Post-run integrity sweep: a fresh verifying store must find the
+    # artifact either already healed (worker-side) or heal it now —
+    # never serve the flipped byte.
+    sweeper = ReleaseStore(twin.directory, write_format="columnar")
+    for spec_hash in sweeper.spec_hashes():
+        if sweeper.artifact_format(spec_hash) == "columnar":
+            sweeper.open_columnar(spec_hash).close()
+    detected = (
+        int(aggregate.get("integrity_failures", 0))
+        + sweeper.integrity_failures
+    )
+    # Quarantines performed inside worker processes increment *their*
+    # stores' counters, which die with the process — the quarantine
+    # directory itself is the durable record.
+    quarantined = len(sweeper.quarantined_paths())
+    rebuilt = sweeper.rebuilds
+
+    # Differential verdict: every non-deadline answer bit-identical.
+    mismatches = 0
+    deadline_exceeded = 0
+    for healthy, chaotic in zip(base_results, chaos_results):
+        if _is_deadline_error(chaotic):
+            deadline_exceeded += 1
+            continue
+        if healthy.ok != chaotic.ok:
+            mismatches += 1
+        elif healthy.ok:
+            if (
+                type(healthy.value) is not type(chaotic.value)
+                or healthy.value != chaotic.value
+            ):
+                mismatches += 1
+        elif healthy.error != chaotic.error:
+            mismatches += 1
+    wedged = len(requests) - len(chaos_results)
+    kills = plan.counts()["kill"]
+    corrupts = plan.counts()["corrupt"]
+    budget = float(config.heartbeat_budget)
+    within_budget = all(r <= budget for r in recoveries)
+    breakers_closed = all(view["state"] == "closed" for view in breakers)
+    ok = (
+        mismatches == 0
+        and wedged == 0
+        and all_alive
+        and within_budget
+        and respawns >= kills
+        and (corrupts == 0 or detected + quarantined + rebuilt > 0)
+    )
+    return {
+        "seed": int(seed),
+        "workers": int(num_workers),
+        "num_requests": len(requests),
+        "batch_size": int(batch_size),
+        "plan": plan.counts(),
+        "config": config.to_dict(),
+        "baseline_seconds": base_seconds,
+        "seconds": seconds,
+        "answers_identical": mismatches == 0,
+        "mismatches": mismatches,
+        "deadline_exceeded": deadline_exceeded,
+        "wedged_requests": wedged,
+        "retries": int(aggregate.get("retries", 0)),
+        "respawns": respawns,
+        "all_workers_alive": all_alive,
+        "breakers_closed": breakers_closed,
+        "breaker_trips": int(aggregate.get("breaker_trips", 0)),
+        "fallback_requests": int(aggregate.get("fallback_requests", 0)),
+        "heartbeat_timeouts": int(coordinator.get("heartbeat_timeouts", 0)),
+        "integrity": {
+            "detected": detected,
+            "quarantined": quarantined,
+            "rebuilt": rebuilt,
+        },
+        "recovery": {
+            "count": len(recoveries),
+            "max_seconds": max(recoveries) if recoveries else 0.0,
+            "budget_seconds": budget,
+            "within_budget": within_budget,
+        },
+        "ok": ok,
+    }
+
+
+def format_chaos_table(block: Dict[str, object]) -> str:
+    """A terminal summary of one chaos run."""
+    plan = dict(block.get("plan", {}))
+    recovery = dict(block.get("recovery", {}))
+    integrity = dict(block.get("integrity", {}))
+    rows = [
+        ("seed", str(block.get("seed"))),
+        ("workers", str(block.get("workers"))),
+        ("requests", str(block.get("num_requests"))),
+        ("plan", ", ".join(
+            f"{kind}×{count}" for kind, count in sorted(plan.items()) if count
+        ) or "(empty)"),
+        ("answers identical", str(block.get("answers_identical"))),
+        ("deadline exceeded", str(block.get("deadline_exceeded"))),
+        ("wedged requests", str(block.get("wedged_requests"))),
+        ("retries", str(block.get("retries"))),
+        ("respawns", str(block.get("respawns"))),
+        ("breaker trips", str(block.get("breaker_trips"))),
+        ("fallback requests", str(block.get("fallback_requests"))),
+        ("heartbeat timeouts", str(block.get("heartbeat_timeouts"))),
+        ("integrity detected", str(integrity.get("detected"))),
+        ("integrity rebuilt", str(integrity.get("rebuilt"))),
+        ("recovery max", f"{recovery.get('max_seconds', 0.0):.3f}s "
+                         f"(budget {recovery.get('budget_seconds', 0.0):g}s)"),
+        ("verdict", "OK" if block.get("ok") else "FAILED"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    lines = ["chaos run"] + [
+        f"  {label.ljust(width)}  {value}" for label, value in rows
+    ]
+    return "\n".join(lines)
+
+
+def merge_into_report(
+    block: Dict[str, object], path: PathLike
+) -> Path:
+    """Attach the ``"resilience"`` block to a ``BENCH_serving.json``.
+
+    The file is created as a minimal stub when absent, so the chaos CLI
+    can run before (or without) the full serving bench; when present,
+    every other block is preserved untouched.
+    """
+    path = Path(path)
+    payload: Dict[str, object] = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as error:
+            raise ReproError(
+                f"cannot merge chaos block into {path}: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ReproError(
+                f"cannot merge chaos block into {path}: not a JSON object"
+            )
+    payload["resilience"] = dict(block)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,383 @@
+"""Deterministic fault-injection plans for the serving cluster.
+
+A :class:`FaultPlan` is a seeded, JSON-serializable *schedule* of
+faults — worker SIGKILLs, hung/slow shards, corrupted artifact bytes,
+queue stalls — and a :class:`FaultInjector` is its runtime: the
+coordinator consults the injector at well-defined hook points (before
+every dispatch to a shard) and the injector answers with exactly the
+faults the plan scheduled for that instant.  Running the same plan
+against the same store is therefore the same experiment, every time —
+failure becomes a reproducible *input*, driveable identically from
+``repro serve chaos`` and from pytest.
+
+Fault kinds
+-----------
+``kill``
+    SIGKILL shard ``shard``'s worker process immediately before its
+    ``at``-th dispatch (0-based).  Exercises crash detection, respawn,
+    retries and breakers.
+``stall``
+    Shard ``shard``'s *worker* sleeps ``seconds`` before serving its
+    ``at``-th batch (0-based, counted worker-side).  Shipped to the
+    worker at spawn time, so the hang happens inside the worker process
+    — exactly what heartbeat health checks exist to catch.
+``queue_stall``
+    The *coordinator* sleeps ``seconds`` immediately before its
+    ``at``-th dispatch to shard ``shard`` — a slow scatter path,
+    stressing deadlines and admission backpressure rather than worker
+    health.
+``corrupt``
+    XOR one byte (``byte_offset`` within the section region, value
+    ``xor``) of the ``artifact_index``-th stored columnar artifact
+    (sorted hash order) before shard ``shard``'s ``at``-th dispatch.
+    Exercises CRC detection, quarantine and rebuild-from-spec.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import FaultPlanError
+
+PathLike = Union[str, Path]
+
+#: Every fault kind a plan may schedule.
+FAULT_KINDS = ("kill", "stall", "queue_stall", "corrupt")
+
+#: Schema version of serialized plans.
+FAULT_PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault (see the module docstring for semantics)."""
+
+    kind: str
+    shard: int
+    at: int
+    seconds: float = 0.0
+    artifact_index: int = 0
+    byte_offset: int = 0
+    xor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {list(FAULT_KINDS)}"
+            )
+        if self.shard < 0 or self.at < 0:
+            raise FaultPlanError(
+                f"fault trigger must be non-negative, got shard={self.shard} "
+                f"at={self.at}"
+            )
+        if self.kind in ("stall", "queue_stall") and self.seconds <= 0:
+            raise FaultPlanError(
+                f"{self.kind} fault needs seconds > 0, got {self.seconds}"
+            )
+        if self.kind == "corrupt":
+            if self.artifact_index < 0 or self.byte_offset < 0:
+                raise FaultPlanError(
+                    "corrupt fault needs non-negative artifact_index/"
+                    f"byte_offset, got {self.artifact_index}/{self.byte_offset}"
+                )
+            if not 1 <= self.xor <= 255:
+                raise FaultPlanError(
+                    f"corrupt xor must be within [1, 255], got {self.xor}"
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        view: Dict[str, object] = {
+            "kind": self.kind, "shard": self.shard, "at": self.at,
+        }
+        if self.kind in ("stall", "queue_stall"):
+            view["seconds"] = self.seconds
+        if self.kind == "corrupt":
+            view["artifact_index"] = self.artifact_index
+            view["byte_offset"] = self.byte_offset
+            view["xor"] = self.xor
+        return view
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultEvent":
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                shard=int(payload["shard"]),  # type: ignore[arg-type]
+                at=int(payload["at"]),  # type: ignore[arg-type]
+                seconds=float(payload.get("seconds", 0.0)),  # type: ignore[arg-type]
+                artifact_index=int(payload.get("artifact_index", 0)),  # type: ignore[arg-type]
+                byte_offset=int(payload.get("byte_offset", 0)),  # type: ignore[arg-type]
+                xor=int(payload.get("xor", 1)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise FaultPlanError(
+                f"malformed fault event {payload!r}: {error}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of :class:`FaultEvent`\\ s.
+
+    Examples
+    --------
+    >>> plan = FaultPlan.generate(seed=7, num_shards=2)
+    >>> sorted({e.shard for e in plan.events if e.kind == "kill"})
+    [0, 1]
+    >>> FaultPlan.from_json(plan.to_json()) == plan
+    True
+    """
+
+    seed: int
+    events: Tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        num_shards: int,
+        dispatch_horizon: int = 8,
+        stall_seconds: float = 0.4,
+        queue_stall_seconds: float = 0.05,
+        num_artifacts: int = 4,
+    ) -> "FaultPlan":
+        """The canonical seeded plan the acceptance criterion names.
+
+        Deterministic in ``seed``: SIGKILLs **every** shard's worker at
+        least once (at a seed-chosen dispatch index within
+        ``dispatch_horizon``), stalls one shard's worker for
+        ``stall_seconds``, stalls one coordinator dispatch queue, and
+        corrupts one byte of one artifact.
+        """
+        if num_shards < 1:
+            raise FaultPlanError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        rng = random.Random(int(seed))
+        horizon = max(int(dispatch_horizon), 2)
+        events: List[FaultEvent] = [
+            FaultEvent(
+                kind="kill", shard=shard, at=rng.randrange(1, horizon),
+            )
+            for shard in range(num_shards)
+        ]
+        stall_shard = rng.randrange(num_shards)
+        events.append(FaultEvent(
+            kind="stall", shard=stall_shard,
+            at=rng.randrange(0, horizon), seconds=float(stall_seconds),
+        ))
+        events.append(FaultEvent(
+            kind="queue_stall", shard=rng.randrange(num_shards),
+            at=rng.randrange(0, horizon),
+            seconds=float(queue_stall_seconds),
+        ))
+        events.append(FaultEvent(
+            kind="corrupt", shard=rng.randrange(num_shards),
+            at=rng.randrange(0, horizon),
+            artifact_index=rng.randrange(max(int(num_artifacts), 1)),
+            byte_offset=rng.randrange(1 << 16),
+            xor=rng.randrange(1, 256),
+        ))
+        return cls(seed=int(seed), events=tuple(events))
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": FAULT_PLAN_VERSION,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        version = payload.get("version", FAULT_PLAN_VERSION)
+        if version != FAULT_PLAN_VERSION:
+            raise FaultPlanError(
+                f"unsupported fault-plan version {version!r} "
+                f"(this build reads {FAULT_PLAN_VERSION})"
+            )
+        events = payload.get("events")
+        if not isinstance(events, Sequence) or isinstance(events, str):
+            raise FaultPlanError(
+                f"fault plan needs an 'events' list, got {type(events).__name__}"
+            )
+        return cls(
+            seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
+            events=tuple(
+                FaultEvent.from_dict(dict(event)) for event in events
+            ),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise FaultPlanError(f"fault plan is not JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise FaultPlanError(
+                f"fault plan must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FaultPlan":
+        try:
+            return cls.from_json(Path(path).read_text())
+        except OSError as error:
+            raise FaultPlanError(
+                f"cannot read fault plan {path}: {error}"
+            ) from None
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+    # -- summaries -----------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Events per kind (the chaos report's plan summary)."""
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts
+
+    def worker_stalls(self, shard: int) -> List[Tuple[int, float]]:
+        """(batch index, seconds) stalls shipped to one shard's worker."""
+        return [
+            (event.at, event.seconds)
+            for event in self.events
+            if event.kind == "stall" and event.shard == shard
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class DispatchFaults:
+    """What the injector scheduled for one specific dispatch."""
+
+    kill: bool = False
+    stall_seconds: float = 0.0
+    corrupt: Tuple[FaultEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.kill or self.stall_seconds > 0 or bool(self.corrupt)
+
+
+class FaultInjector:
+    """Runtime for one :class:`FaultPlan` (thread-safe, single-use).
+
+    The cluster coordinator calls :meth:`on_dispatch` immediately before
+    sending a shard its slice of a batch; the injector counts dispatches
+    per shard and returns the faults whose trigger index matches.  Each
+    event fires exactly once.  Worker-side ``stall`` events are not
+    returned here — they ship to the worker at spawn time via
+    :meth:`worker_stalls`.
+
+    ``corruptor`` (optional) is invoked with each triggered ``corrupt``
+    event — the chaos harness wires it to
+    :func:`corrupt_stored_artifact` over its store; without one the
+    events are still reported in the returned :class:`DispatchFaults`
+    so callers can apply them however they like.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        corruptor: Optional[Callable[[FaultEvent], None]] = None,
+    ) -> None:
+        self.plan = plan
+        self.corruptor = corruptor
+        self._lock = threading.Lock()
+        self._dispatches: Dict[int, int] = {}
+        self._fired: List[FaultEvent] = []
+        self._armed: List[FaultEvent] = [
+            event for event in plan.events if event.kind != "stall"
+        ]
+
+    def on_dispatch(self, shard: int) -> DispatchFaults:
+        """Faults scheduled for this dispatch (counts the dispatch)."""
+        with self._lock:
+            index = self._dispatches.get(shard, 0)
+            self._dispatches[shard] = index + 1
+            triggered = [
+                event for event in self._armed
+                if event.shard == shard and event.at == index
+            ]
+            for event in triggered:
+                self._armed.remove(event)
+                self._fired.append(event)
+        faults = DispatchFaults()
+        for event in triggered:
+            if event.kind == "kill":
+                faults.kill = True
+            elif event.kind == "queue_stall":
+                faults.stall_seconds += event.seconds
+            elif event.kind == "corrupt":
+                faults.corrupt += (event,)
+                if self.corruptor is not None:
+                    self.corruptor(event)
+        return faults
+
+    def worker_stalls(self, shard: int) -> List[Tuple[int, float]]:
+        """The worker-side stall schedule for one shard."""
+        return self.plan.worker_stalls(shard)
+
+    def fired(self) -> List[FaultEvent]:
+        """Events triggered so far, in trigger order."""
+        with self._lock:
+            return list(self._fired)
+
+    def pending(self) -> List[FaultEvent]:
+        """Coordinator-side events still waiting for their trigger."""
+        with self._lock:
+            return list(self._armed)
+
+
+def corrupt_stored_artifact(
+    store: "object", event: FaultEvent
+) -> Path:
+    """Apply one ``corrupt`` event to a store: XOR one artifact byte.
+
+    The target is the ``artifact_index``-th stored hash (sorted order,
+    wrapped modulo the store size) in its columnar form; the byte is
+    chosen inside the *section region* (past the header), wrapped modulo
+    the region size, so the flip lands in histogram data — exactly what
+    per-section CRC verification must catch.  Returns the mutated path.
+    """
+    hashes = store.spec_hashes()  # type: ignore[attr-defined]
+    if not hashes:
+        raise FaultPlanError("cannot corrupt an empty store")
+    spec_hash = hashes[event.artifact_index % len(hashes)]
+    path = store.path_for(spec_hash, format="columnar")  # type: ignore[attr-defined]
+    if not path.exists():
+        raise FaultPlanError(
+            f"no columnar artifact for {spec_hash[:12]}… to corrupt; "
+            "migrate the store first"
+        )
+    from repro.io.columnar import header_size
+
+    data = bytearray(path.read_bytes())
+    start = header_size(path)
+    if start >= len(data):  # pragma: no cover - degenerate empty artifact
+        start = 0
+    offset = start + (event.byte_offset % max(len(data) - start, 1))
+    data[offset] ^= event.xor
+    path.write_bytes(bytes(data))
+    return path

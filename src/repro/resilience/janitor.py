@@ -1,0 +1,72 @@
+"""Stale-tempfile garbage collection for crash-safe directories.
+
+Every durable write in this codebase goes through the same idiom:
+``tempfile.mkstemp(suffix=".tmp")`` in the target directory, write,
+``os.replace`` onto the final name.  A writer SIGKILL'd between those
+two steps leaks its unique temp file — harmless to correctness (readers
+never see partial artifacts) but unbounded over enough crashes.
+
+:func:`sweep_stale_tmp` is the shared janitor
+:class:`~repro.api.store.ReleaseStore` and
+:class:`~repro.engine.cache.ResultCache` run on open.  It is
+
+* **age-gated** — only files older than ``max_age_seconds`` go, so a
+  *live* writer's in-flight temp file (seconds old) is never yanked out
+  from under its rename;
+* **bounded** — at most ``limit`` files per sweep, so an open never
+  stalls on a pathological backlog; the rest go next open;
+* **best-effort** — a file that vanishes mid-sweep (another process'
+  janitor, or the writer's own ``os.replace``) is skipped, never an
+  error.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+#: Only temp files at least this old (seconds) are collected: far above
+#: any real write duration, far below "accumulating forever".
+DEFAULT_MAX_AGE_SECONDS = 3600.0
+
+#: At most this many orphans are removed per sweep.
+DEFAULT_SWEEP_LIMIT = 1024
+
+
+def sweep_stale_tmp(
+    directory: PathLike,
+    pattern: str = "*.tmp",
+    max_age_seconds: float = DEFAULT_MAX_AGE_SECONDS,
+    limit: int = DEFAULT_SWEEP_LIMIT,
+) -> int:
+    """Delete old ``pattern`` orphans under ``directory``; returns count.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> scratch = Path(tempfile.mkdtemp())
+    >>> _ = (scratch / "orphan.tmp").write_text("partial")
+    >>> os.utime(scratch / "orphan.tmp", (0, 0))   # long dead
+    >>> sweep_stale_tmp(scratch)
+    1
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    cutoff = time.time() - float(max_age_seconds)
+    removed = 0
+    for path in sorted(directory.glob(pattern)):
+        if removed >= limit:
+            break
+        try:
+            if path.stat().st_mtime > cutoff:
+                continue
+            os.unlink(path)
+        except OSError:
+            continue  # already renamed/removed by its writer or a peer
+        removed += 1
+    return removed

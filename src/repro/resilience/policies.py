@@ -1,0 +1,267 @@
+"""Request-resilience policies: deadlines, bounded retries, config.
+
+These are the small, deterministic value objects the serving tier's
+resilience layer is built from.  None of them touch clocks or queues
+themselves — a :class:`Deadline` is *started* from a caller-supplied
+time source, and a :class:`RetryPolicy` only computes backoff delays —
+so every policy decision is unit-testable without sleeping.
+
+Determinism matters doubly here: the chaos differential suite
+(:mod:`repro.resilience.chaos`) asserts *bit-identical* answers under
+injected faults, so even the retry jitter is deterministic — a seeded
+:func:`hash`-free sequence derived from the attempt number, never
+``random.random()`` at serving time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ReproError
+
+#: Default per-request deadline (seconds); ``None`` disables deadlines.
+DEFAULT_DEADLINE: Optional[float] = None
+
+#: Default cap on dispatch attempts (1 = no retries, today's behavior).
+DEFAULT_MAX_ATTEMPTS = 1
+
+#: Default first backoff delay (seconds) between dispatch attempts.
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Default multiplier applied to the backoff per additional attempt.
+DEFAULT_BACKOFF_FACTOR = 2.0
+
+#: Default ceiling on any single backoff delay (seconds).
+DEFAULT_BACKOFF_MAX = 2.0
+
+#: Default jitter fraction: each delay is scaled into
+#: ``[1 - jitter, 1]`` of its nominal value, deterministically.
+DEFAULT_JITTER = 0.5
+
+# Knuth's MMIX LCG constants — used only to derive a deterministic
+# jitter fraction from (seed, attempt); quality requirements are nil.
+_LCG_MULTIPLIER = 6364136223846793005
+_LCG_INCREMENT = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff plus deterministic jitter.
+
+    ``max_attempts`` counts *total* dispatch attempts (1 = never retry).
+    The delay before attempt ``n`` (n >= 2) is::
+
+        base * factor**(n - 2), capped at ``max_delay``,
+
+    scaled by a deterministic jitter fraction in ``[1 - jitter, 1]``
+    derived from ``(seed, n)`` — two engines with the same seed back off
+    identically, and a seed of ``None`` falls back to jitterless
+    nominal delays.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3, base=0.1, jitter=0.0)
+    >>> policy.should_retry(1), policy.should_retry(3)
+    (True, False)
+    >>> policy.delay(2), policy.delay(3)
+    (0.1, 0.2)
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base: float = DEFAULT_BACKOFF_BASE
+    factor: float = DEFAULT_BACKOFF_FACTOR
+    max_delay: float = DEFAULT_BACKOFF_MAX
+    jitter: float = DEFAULT_JITTER
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base < 0 or self.factor < 1 or self.max_delay < 0:
+            raise ReproError(
+                f"invalid backoff parameters: base={self.base}, "
+                f"factor={self.factor}, max_delay={self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when attempt number ``attempt`` may be followed by another."""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before dispatch attempt ``attempt`` (>= 2)."""
+        if attempt <= 1:
+            return 0.0
+        nominal = min(
+            self.base * self.factor ** (attempt - 2), self.max_delay
+        )
+        return nominal * self._jitter_fraction(attempt)
+
+    def _jitter_fraction(self, attempt: int) -> float:
+        if self.jitter == 0.0 or self.seed is None:
+            return 1.0
+        state = (int(self.seed) * 2654435761 + attempt) & _LCG_MASK
+        state = (state * _LCG_MULTIPLIER + _LCG_INCREMENT) & _LCG_MASK
+        unit = (state >> 11) / float(1 << 53)
+        return 1.0 - self.jitter * unit
+
+
+class Deadline:
+    """A per-request time budget with an injectable clock.
+
+    Started once per request; every later resilience decision (how long
+    a retry may back off, whether a gather should keep waiting) asks the
+    same deadline, so the request-level budget is global across
+    attempts, not per attempt.  ``None`` seconds means unbounded — all
+    methods then report infinite remaining time.
+
+    Examples
+    --------
+    >>> ticks = iter([0.0, 1.0, 3.0]).__next__
+    >>> deadline = Deadline.start(2.5, clock=ticks)
+    >>> deadline.remaining()
+    1.5
+    >>> deadline.expired()
+    True
+    """
+
+    __slots__ = ("seconds", "_clock", "_expires")
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock=time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ReproError(f"deadline must be > 0 seconds, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._expires = (
+            None if seconds is None else clock() + float(seconds)
+        )
+
+    @classmethod
+    def start(cls, seconds: Optional[float], clock=time.monotonic) -> "Deadline":
+        """Begin a budget of ``seconds`` from now (``None`` = unbounded)."""
+        return cls(seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unbounded; can go negative)."""
+        if self._expires is None:
+            return float("inf")
+        return self._expires - self._clock()
+
+    def expired(self) -> bool:
+        """True once the budget has been used up."""
+        return self.remaining() <= 0.0
+
+    def clamp(self, seconds: float) -> float:
+        """``seconds`` shortened to what the deadline still allows."""
+        return min(float(seconds), max(self.remaining(), 0.0))
+
+    def __repr__(self) -> str:
+        if self._expires is None:
+            return "Deadline(unbounded)"
+        return f"Deadline({self.seconds:g}s, remaining={self.remaining():.3f}s)"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every request-resilience knob of the serving tier in one place.
+
+    The defaults reproduce pre-resilience behavior exactly: no
+    deadlines, no retries (``max_attempts=1``), breakers that never trip
+    (``breaker_threshold=0`` disables them), no heartbeats and no
+    fallback routing — so a :class:`~repro.serve.cluster.engine.ClusterEngine`
+    constructed without a config is byte-for-byte the PR 8 engine.
+    :func:`ResilienceConfig.hardened` is the everything-on profile the
+    chaos harness and ``repro serve chaos`` run under.
+    """
+
+    #: Per-request wall-clock budget in seconds (``None`` = unbounded).
+    request_deadline: Optional[float] = DEFAULT_DEADLINE
+    #: Retry schedule for worker dispatch (1 attempt = no retries).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Consecutive shard failures before its breaker opens (0 = never).
+    breaker_threshold: int = 0
+    #: Seconds an open breaker waits before allowing a half-open probe.
+    breaker_reset: float = 1.0
+    #: Seconds between heartbeat pings to each worker (0 = disabled).
+    heartbeat_interval: float = 0.0
+    #: Missed-heartbeat budget: a worker silent for this many seconds is
+    #: declared hung and supervised-respawned.
+    heartbeat_budget: float = 5.0
+    #: Route a tripped shard's requests to a coordinator-local fallback
+    #: engine (graceful degradation) instead of failing them.
+    fallback_local: bool = False
+
+    def __post_init__(self) -> None:
+        if self.breaker_threshold < 0:
+            raise ReproError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset <= 0:
+            raise ReproError(
+                f"breaker_reset must be > 0, got {self.breaker_reset}"
+            )
+        if self.heartbeat_interval < 0:
+            raise ReproError(
+                "heartbeat_interval must be >= 0, got "
+                f"{self.heartbeat_interval}"
+            )
+        if self.heartbeat_budget <= 0:
+            raise ReproError(
+                f"heartbeat_budget must be > 0, got {self.heartbeat_budget}"
+            )
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ReproError(
+                f"request_deadline must be > 0, got {self.request_deadline}"
+            )
+
+    @classmethod
+    def hardened(
+        cls,
+        request_deadline: Optional[float] = 30.0,
+        max_attempts: int = 4,
+        seed: Optional[int] = 0,
+        heartbeat_interval: float = 0.25,
+        heartbeat_budget: float = 2.0,
+    ) -> "ResilienceConfig":
+        """The everything-on profile chaos runs and ``serve chaos`` use."""
+        return cls(
+            request_deadline=request_deadline,
+            retry=RetryPolicy(
+                max_attempts=max_attempts, base=0.02, max_delay=0.5,
+                seed=seed,
+            ),
+            breaker_threshold=3,
+            breaker_reset=0.5,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_budget=heartbeat_budget,
+            fallback_local=True,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (recorded in chaos reports for provenance)."""
+        return {
+            "request_deadline": self.request_deadline,
+            "max_attempts": self.retry.max_attempts,
+            "backoff_base": self.retry.base,
+            "backoff_factor": self.retry.factor,
+            "backoff_max": self.retry.max_delay,
+            "jitter": self.retry.jitter,
+            "retry_seed": self.retry.seed,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_reset": self.breaker_reset,
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_budget": self.heartbeat_budget,
+            "fallback_local": self.fallback_local,
+        }

@@ -440,6 +440,7 @@ def run_benchmark(
     requests: Optional[List[QuerySpec]] = None,
     cold: bool = True,
     workers: Optional[int] = None,
+    poll_interval: Optional[float] = None,
 ) -> BenchReport:
     """Run both paths over one request mix and report.
 
@@ -453,7 +454,9 @@ def run_benchmark(
     the report carries the additive ``"cold"`` block.  With ``workers``,
     :func:`~repro.serve.cluster.bench.run_sharded_bench` additionally
     sweeps the multi-process cluster up to that worker count over the
-    same mix and the report carries the additive ``"sharded"`` block.
+    same mix and the report carries the additive ``"sharded"`` block;
+    ``poll_interval`` tunes the sweep's collector idle poll (the
+    worker-crash detection cadence).
     """
     if requests is None:
         requests = generate_requests(
@@ -476,7 +479,10 @@ def run_benchmark(
     sharded_block: Optional[Dict[str, object]] = None
     if workers is not None:
         # Imported here: cluster.bench reuses this module's helpers.
-        from repro.serve.cluster.bench import run_sharded_bench
+        from repro.serve.cluster.bench import (
+            DEFAULT_POLL_INTERVAL,
+            run_sharded_bench,
+        )
 
         sharded_block = run_sharded_bench(
             store,
@@ -485,6 +491,10 @@ def run_benchmark(
             popularity_skew=popularity_skew,
             batch_size=batch_size,
             max_workers=workers,
+            poll_interval=(
+                poll_interval if poll_interval is not None
+                else DEFAULT_POLL_INTERVAL
+            ),
         )
 
     return BenchReport(

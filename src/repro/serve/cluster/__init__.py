@@ -24,6 +24,7 @@ from repro.serve.cluster.bench import run_sharded_bench, sweep_worker_counts
 from repro.serve.cluster.engine import (
     DEFAULT_ADMISSION_TIMEOUT,
     DEFAULT_BATCH_TIMEOUT,
+    DEFAULT_POLL_INTERVAL,
     DEFAULT_QUEUE_DEPTH,
     ClusterEngine,
 )
@@ -42,4 +43,5 @@ __all__ = [
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_ADMISSION_TIMEOUT",
     "DEFAULT_BATCH_TIMEOUT",
+    "DEFAULT_POLL_INTERVAL",
 ]

@@ -37,7 +37,11 @@ from repro.serve.bench import (
     columnar_twin,
     run_served,
 )
-from repro.serve.cluster.engine import DEFAULT_QUEUE_DEPTH, ClusterEngine
+from repro.serve.cluster.engine import (
+    DEFAULT_POLL_INTERVAL,
+    DEFAULT_QUEUE_DEPTH,
+    ClusterEngine,
+)
 from repro.serve.engine import ServingEngine
 from repro.serve.mix import catalog_store, generate_requests
 from repro.serve.spec import QuerySpec
@@ -83,6 +87,7 @@ def run_sharded_bench(
     batch_size: Optional[int] = None,
     max_workers: int = DEFAULT_MAX_WORKERS,
     queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
     twin_dir: Optional[PathLike] = None,
 ) -> Dict[str, object]:
     """Sweep the cluster over one mix; returns the ``"sharded"`` block.
@@ -115,7 +120,7 @@ def run_sharded_bench(
     for workers in sweep_worker_counts(max_workers):
         with ClusterEngine(
             twin, num_workers=workers, cache_size=cache_size,
-            queue_depth=queue_depth,
+            queue_depth=queue_depth, poll_interval=poll_interval,
         ) as cluster:
             cluster.start()
             start = time.perf_counter()

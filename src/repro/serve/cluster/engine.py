@@ -35,6 +35,22 @@ cross-process locks — see :class:`~repro.serve.cluster.worker.WorkerHandle`),
 and late replies from a pre-crash generation are dropped by batch id.
 Other shards' slices of the same batch complete normally.
 
+**Request resilience** — an optional
+:class:`~repro.resilience.policies.ResilienceConfig` layers policy on
+top of the crash machinery (every layer defaults *off*, reducing to the
+exact single-attempt behavior above): per-batch deadlines, bounded
+retries with exponential backoff + deterministic jitter for slices that
+failed on a crashed/hung/backpressured shard, a per-shard
+:class:`~repro.resilience.breaker.CircuitBreaker`
+(closed → open → half-open) that stops hammering a repeatedly failing
+shard, heartbeat pings that detect *hung* (not just dead) workers and
+escalate them into the supervised kill → respawn path, and graceful
+degradation routing tripped shards to a coordinator-local
+:class:`~repro.serve.engine.ServingEngine` over the same store (answers
+stay bit-identical — it is the same mmap'd data).  A
+:class:`~repro.resilience.faultplan.FaultInjector` hooks the dispatch
+path so chaos schedules can kill/stall/corrupt deterministically.
+
 **Metrics** — workers ship sample-bearing
 :meth:`~repro.serve.metrics.MetricsRegistry.snapshot` views on demand and
 :meth:`ClusterEngine.cluster_snapshot` merges them with the
@@ -57,10 +73,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.api.store import ReleaseStore
 from repro.exceptions import ReproError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faultplan import FaultInjector
+from repro.resilience.policies import Deadline, ResilienceConfig
 from repro.serve.engine import (
     DEFAULT_CACHE_SIZE,
     DEFAULT_MEMO_SIZE,
     DEFAULT_WORKERS,
+    ServingEngine,
 )
 from repro.serve.cluster.router import ShardRouter
 from repro.serve.cluster.worker import PositionedSpec, WorkerHandle
@@ -78,8 +98,12 @@ DEFAULT_ADMISSION_TIMEOUT = 1.0
 #: Default seconds a gather waits before declaring a batch lost.
 DEFAULT_BATCH_TIMEOUT = 60.0
 
-#: Collector idle poll period — also the worker-crash detection cadence.
-_POLL_SECONDS = 0.05
+#: Default collector idle poll period — also the worker-crash detection
+#: cadence (a constructor/CLI knob since the resilience PR).
+DEFAULT_POLL_INTERVAL = 0.05
+
+#: Backwards-compatible alias of the old hardcoded poll constant.
+_POLL_SECONDS = DEFAULT_POLL_INTERVAL
 
 #: The sample-only keys stripped from per-shard snapshot views.
 _SAMPLE_KEYS = ("samples", "window_start", "window_end")
@@ -88,13 +112,16 @@ _SAMPLE_KEYS = ("samples", "window_start", "window_end")
 class _PendingBatch:
     """Coordinator-side state of one scattered batch awaiting replies."""
 
-    __slots__ = ("shard_items", "pending_shards", "results", "event")
+    __slots__ = ("shard_items", "pending_shards", "results", "event", "failed")
 
     def __init__(self, shard_items: Dict[int, List[PositionedSpec]]) -> None:
         self.shard_items = shard_items
         self.pending_shards: Set[int] = set(shard_items)
         self.results: Dict[int, QueryResult] = {}
         self.event = threading.Event()
+        #: Shards whose slice failed this attempt, and how:
+        #: ``"crash"`` (worker died) or ``"timeout"`` (gather expired).
+        self.failed: Dict[int, str] = {}
 
 
 class _PendingMetrics:
@@ -132,17 +159,30 @@ class ClusterEngine:
         admission_timeout: float = DEFAULT_ADMISSION_TIMEOUT,
         batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
         start_method: Optional[str] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if num_workers < 1:
             raise ReproError(f"num_workers must be >= 1, got {num_workers}")
         if queue_depth < 1:
             raise ReproError(f"queue_depth must be >= 1, got {queue_depth}")
+        if poll_interval <= 0:
+            raise ReproError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
         self.store = store
         self.num_workers = int(num_workers)
         self.max_workers = int(max_workers)
         self.queue_depth = int(queue_depth)
         self.admission_timeout = float(admission_timeout)
         self.batch_timeout = float(batch_timeout)
+        self.poll_interval = float(poll_interval)
+        #: Request-resilience policy; the default config disables every
+        #: layer (no deadline, no retries, breakers off, no heartbeats)
+        #: so the engine behaves exactly as before this subsystem.
+        self.resilience = resilience or ResilienceConfig()
+        self.fault_injector = fault_injector
         self.router = ShardRouter(num_workers)
         self.planner = QueryPlanner()
         self.metrics = MetricsRegistry()
@@ -158,8 +198,19 @@ class ClusterEngine:
             WorkerHandle(
                 shard, str(store.directory), self._engine_config,
                 self._context,
+                stalls=(
+                    fault_injector.worker_stalls(shard)
+                    if fault_injector is not None else ()
+                ),
             )
             for shard in range(self.num_workers)
+        ]
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                self.resilience.breaker_threshold,
+                reset_timeout=self.resilience.breaker_reset,
+            )
+            for _ in range(self.num_workers)
         ]
         self._lock = threading.Lock()
         self._resolved: Dict[str, str] = {}
@@ -171,6 +222,12 @@ class ClusterEngine:
         # the other way around).
         self._admission = threading.Condition()
         self._in_flight: List[int] = [0] * self.num_workers
+        # Heartbeat and recovery bookkeeping (collector thread + lock).
+        self._last_ping = 0.0
+        self._last_pong: Dict[int, float] = {}
+        self._crashed_at: Dict[int, float] = {}
+        self._recoveries: List[float] = []
+        self._fallback: Optional[ServingEngine] = None
         self._collector: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._started = False
@@ -183,8 +240,10 @@ class ClusterEngine:
             if self._started or self._closed:
                 return
             self._started = True
+            now = time.monotonic()
             for handle in self._workers:
                 handle.start()
+                self._last_pong[handle.shard] = now
             self._collector = threading.Thread(
                 target=self._collect_loop,
                 name="repro-cluster-collector",
@@ -200,12 +259,15 @@ class ClusterEngine:
             self._closed = True
             collector, self._collector = self._collector, None
             pool, self._pool = self._pool, None
+            fallback, self._fallback = self._fallback, None
         for handle in self._workers:
             handle.stop()
         if collector is not None:
             collector.join(timeout=5.0)
         if pool is not None:
             pool.shutdown(wait=True)
+        if fallback is not None:
+            fallback.close()
 
     def __enter__(self) -> "ClusterEngine":
         return self
@@ -238,7 +300,18 @@ class ClusterEngine:
     def execute_batch(
         self, specs: Sequence[QuerySpec], concurrent: bool = False
     ) -> List[QueryResult]:
-        """Scatter a batch across shards, gather in submission order."""
+        """Scatter a batch across shards, gather in submission order.
+
+        With a :class:`~repro.resilience.policies.ResilienceConfig`
+        attached, each scatter/gather attempt runs under the batch
+        deadline, slices that failed on a crashed or timed-out shard are
+        retried with backoff (successful retries overwrite the interim
+        error results), tripped shards fail fast through their circuit
+        breaker or fall back to a coordinator-local engine, and deadline
+        expiry rewrites still-failing slices into deadline errors.  The
+        default config has every layer off, which reduces exactly to the
+        single-attempt behavior this engine always had.
+        """
         del concurrent  # scatter is always concurrent across shards
         self.start()
         plan = self.planner.plan(specs, self.resolve)
@@ -249,14 +322,68 @@ class ClusterEngine:
         if not plan.groups:
             return [results[position] for position in range(len(specs))]
 
-        # Scatter: one flattened slice per shard (the worker's own
-        # planner re-groups it by release), gated by admission control.
         partitioned = self.router.partition(plan.groups)
-        shard_items: Dict[int, List[PositionedSpec]] = {}
-        for shard, groups in partitioned.items():
-            items = [pair for pairs in groups.values() for pair in pairs]
+        shard_items: Dict[int, List[PositionedSpec]] = {
+            shard: [pair for pairs in groups.values() for pair in pairs]
+            for shard, groups in partitioned.items()
+        }
+        deadline = Deadline.start(self.resilience.request_deadline)
+        retry = self.resilience.retry
+        attempt = 1
+        while True:
+            failed = self._dispatch_once(shard_items, results, deadline)
+            if not failed:
+                break
+            if deadline.expired():
+                self._finalize_deadline(failed, results)
+                break
+            if not retry.should_retry(attempt):
+                break  # the per-slice errors already in `results` stand
+            delay = retry.delay(attempt + 1)
+            if deadline.remaining() <= delay:
+                # Not enough budget left for another round trip: report
+                # the deadline rather than sleeping through it.
+                self._finalize_deadline(failed, results)
+                break
+            if delay > 0:
+                time.sleep(delay)
+            for _ in failed:
+                self.metrics.record_retry()
+            attempt += 1
+            shard_items = failed
+        return [results[position] for position in range(len(specs))]
+
+    def _dispatch_once(
+        self,
+        shard_items: Dict[int, List[PositionedSpec]],
+        results: Dict[int, QueryResult],
+        deadline: Deadline,
+    ) -> Dict[int, List[PositionedSpec]]:
+        """One scatter/gather attempt; returns the retryable failures.
+
+        Writes a result for **every** position it was given (success,
+        shed, crash, timeout, breaker, or fallback) into ``results``,
+        and returns the slices that failed for a retryable reason
+        (worker crash or gather timeout) keyed by shard.  Shed slices
+        are also returned — backpressure is transient — but breaker
+        fast-fails are not: the breaker exists to stop retry traffic.
+        """
+        send_items: Dict[int, List[PositionedSpec]] = {}
+        failed: Dict[int, List[PositionedSpec]] = {}
+        for shard, items in sorted(shard_items.items()):
+            if not self._breakers[shard].allow():
+                self._serve_tripped(shard, items, results)
+                continue
+            if self.fault_injector is not None:
+                faults = self.fault_injector.on_dispatch(shard)
+                if faults.stall_seconds:
+                    # Scripted queue stall: the coordinator itself hangs
+                    # before the send, as a saturated pipe would.
+                    time.sleep(faults.stall_seconds)
+                if faults.kill:
+                    self._workers[shard].kill()
             if self._admit(shard, len(items)):
-                shard_items[shard] = items
+                send_items[shard] = items
             else:
                 with self._admission:
                     in_flight = self._in_flight[shard]
@@ -268,24 +395,109 @@ class ClusterEngine:
                 for position, spec in items:
                     results[position] = QueryResult(spec=spec, error=message)
                     self.metrics.record_request(0.0, error=True)
-        if not shard_items:
-            return [results[position] for position in range(len(specs))]
+                failed[shard] = list(items)
+        if not send_items:
+            return failed
 
         batch_id = next(self._ids)
-        state = _PendingBatch(shard_items)
+        state = _PendingBatch(send_items)
         with self._lock:
             self._pending[batch_id] = state
-        for shard, items in shard_items.items():
+        for shard, items in send_items.items():
             self._workers[shard].send(("batch", batch_id, items))
 
         # Gather: the collector fills the state in as replies (or crash
         # verdicts) arrive; a timeout fails whatever never came back.
-        if not state.event.wait(self.batch_timeout):
+        if not state.event.wait(deadline.clamp(self.batch_timeout)):
             self._expire_batch(batch_id, state)
-        results.update(state.results)
         with self._lock:
             self._pending.pop(batch_id, None)
-        return [results[position] for position in range(len(specs))]
+            failed_shards = dict(state.failed)
+        results.update(state.results)
+        for shard in send_items:
+            breaker = self._breakers[shard]
+            if shard in failed_shards:
+                trips_before = breaker.trips
+                breaker.record_failure()
+                if breaker.trips > trips_before:
+                    self.metrics.record_breaker_trip()
+                failed[shard] = send_items[shard]
+            else:
+                breaker.record_success()
+                self._note_recovery(shard)
+        return failed
+
+    def _serve_tripped(
+        self,
+        shard: int,
+        items: List[PositionedSpec],
+        results: Dict[int, QueryResult],
+    ) -> None:
+        """Answer a tripped shard's slice: local fallback, or fail fast."""
+        if self.resilience.fallback_local:
+            engine = self._fallback_engine()
+            answers = engine.execute_batch([spec for _, spec in items])
+            for (position, _), answer in zip(items, answers):
+                results[position] = answer
+                self.metrics.record_fallback_request()
+            return
+        message = (
+            f"shard {shard} circuit breaker is open: request failed fast "
+            f"without dispatch (shard unhealthy, retrying after "
+            f"{self.resilience.breaker_reset:g}s)"
+        )
+        for position, spec in items:
+            results[position] = QueryResult(spec=spec, error=message)
+            self.metrics.record_request(0.0, error=True)
+
+    def _fallback_engine(self) -> ServingEngine:
+        """The lazily created coordinator-local degradation engine.
+
+        It serves through the same store directory (and mmap'd pages)
+        the workers use and shares the coordinator's metrics registry,
+        so its answers are bit-identical to a healthy shard's and its
+        requests are counted cluster-wide.
+        """
+        with self._lock:
+            if self._fallback is None:
+                self._fallback = ServingEngine(
+                    self.store,
+                    cache_size=int(self._engine_config["cache_size"]),
+                    memo_size=int(self._engine_config["memo_size"]),
+                    memoize=bool(self._engine_config["memoize"]),
+                    warm_size=int(self._engine_config["warm_size"]),
+                    max_workers=1,
+                    metrics=self.metrics,
+                )
+            return self._fallback
+
+    def _finalize_deadline(
+        self,
+        failed: Dict[int, List[PositionedSpec]],
+        results: Dict[int, QueryResult],
+    ) -> None:
+        """Rewrite still-failing slices as deadline-exceeded errors."""
+        budget = self.resilience.request_deadline
+        for shard, items in sorted(failed.items()):
+            message = (
+                f"request deadline of {budget:g}s exceeded while shard "
+                f"{shard} was failing; no retry budget left"
+            )
+            for position, spec in items:
+                results[position] = QueryResult(spec=spec, error=message)
+                self.metrics.record_deadline_exceeded()
+
+    def _note_recovery(self, shard: int) -> None:
+        """Record crash-to-healthy-reply latency for a respawned shard."""
+        with self._lock:
+            crashed = self._crashed_at.pop(shard, None)
+            if crashed is not None:
+                self._recoveries.append(time.monotonic() - crashed)
+
+    def recovery_seconds(self) -> List[float]:
+        """Crash-to-recovery latencies observed so far (seconds)."""
+        with self._lock:
+            return list(self._recoveries)
 
     # -- admission control ---------------------------------------------------
     def _admit(self, shard: int, count: int) -> bool:
@@ -335,11 +547,12 @@ class ClusterEngine:
                 for handle in self._workers
             }
             ready = connection_wait(
-                list(queue_by_reader), timeout=_POLL_SECONDS
+                list(queue_by_reader), timeout=self.poll_interval
             )
             if not ready:
                 if self._closed:
                     return
+                self._heartbeat_tick()
                 self._check_workers()
                 continue
             for reader in ready:
@@ -350,8 +563,48 @@ class ClusterEngine:
                 kind, batch_id, shard, payload = message
                 if kind == "metrics":
                     self._deliver_metrics(batch_id, shard, payload)
+                elif kind == "pong":
+                    with self._lock:
+                        self._last_pong[shard] = time.monotonic()
                 else:
                     self._deliver_results(batch_id, shard, payload)
+
+    def _heartbeat_tick(self) -> None:
+        """Ping workers and hard-kill any whose silence exceeds budget.
+
+        Runs on the collector thread whenever the reply queues are idle
+        (and heartbeats are enabled).  A worker that is *hung* — alive
+        but wedged mid-batch, e.g. a scripted stall — answers no pings;
+        once its silence exceeds ``heartbeat_budget`` it is killed here,
+        and the ordinary crash path (:meth:`_check_workers`, invoked
+        right after) fails its pending slices and respawns it.
+        """
+        interval = self.resilience.heartbeat_interval
+        if interval <= 0:
+            return
+        now = time.monotonic()
+        if now - self._last_ping >= interval:
+            self._last_ping = now
+            ping_id = next(self._ids)
+            for handle in self._workers:
+                if handle.alive:
+                    try:
+                        handle.send(("ping", ping_id, None))
+                    except (ValueError, OSError):  # pragma: no cover
+                        pass
+        budget = self.resilience.heartbeat_budget
+        for handle in self._workers:
+            if not handle.alive:
+                continue
+            with self._lock:
+                last = self._last_pong.get(handle.shard)
+            if last is None or now - last <= budget:
+                continue
+            self.metrics.record_heartbeat_timeout()
+            with self._lock:
+                self._crashed_at.setdefault(handle.shard, now)
+                self._last_pong.pop(handle.shard, None)
+            handle.kill()
 
     def _deliver_results(
         self, batch_id: int, shard: int, wire: Sequence[Tuple]
@@ -398,6 +651,8 @@ class ClusterEngine:
         for handle in self._workers:
             if handle.process is None or handle.alive:
                 continue
+            with self._lock:
+                self._crashed_at.setdefault(handle.shard, time.monotonic())
             handle.replace_queues()
             self._fail_shard(
                 handle.shard,
@@ -406,6 +661,8 @@ class ClusterEngine:
             )
             if not self._closed:
                 handle.respawn()
+                with self._lock:
+                    self._last_pong[handle.shard] = time.monotonic()
 
     def _fail_shard(self, shard: int, message: str) -> None:
         """Error out every pending slice owned by one shard."""
@@ -423,6 +680,7 @@ class ClusterEngine:
                     self.metrics.record_request(0.0, error=True)
                 released += len(items)
                 state.pending_shards.discard(shard)
+                state.failed[shard] = "crash"
                 if not state.pending_shards:
                     completed.append(state)
             for metrics_state in self._pending_metrics.values():
@@ -452,6 +710,7 @@ class ClusterEngine:
                     )
                     self.metrics.record_request(0.0, error=True)
                 state.pending_shards.discard(shard)
+                state.failed[shard] = "timeout"
         for shard in stuck:
             self._release_capacity(shard, len(state.shard_items[shard]))
         state.event.set()
@@ -482,6 +741,10 @@ class ClusterEngine:
     def respawn_counts(self) -> List[int]:
         """Per-shard worker respawn counts since startup."""
         return [handle.respawns for handle in self._workers]
+
+    def workers_alive(self) -> List[bool]:
+        """Per-shard worker liveness (for tests and the chaos harness)."""
+        return [handle.alive for handle in self._workers]
 
     def cluster_snapshot(self, timeout: float = 5.0) -> Dict[str, object]:
         """One cluster-wide metrics view: per-shard and merged aggregate.
@@ -524,6 +787,8 @@ class ClusterEngine:
             "aggregate": aggregate,
             "shards": per_shard,
             "respawns": self.respawn_counts(),
+            "breakers": [breaker.snapshot() for breaker in self._breakers],
+            "recoveries": self.recovery_seconds(),
         }
 
     def __repr__(self) -> str:

@@ -19,11 +19,20 @@ requests (coordinator → worker), one tuple per message
     shard's slice of one batch;
     ``("metrics", batch_id, None)`` — report a sample-bearing
     :meth:`~repro.serve.metrics.MetricsRegistry.snapshot`;
+    ``("ping", ping_id, None)`` — heartbeat health check (answered
+    immediately unless the worker is hung — which is the point);
     ``None`` — shut down cleanly.
 
 replies (worker → coordinator), tagged with the batch id and shard
     ``("results", batch_id, shard, [(position, value, error, release),
-    …])`` or ``("metrics", batch_id, shard, snapshot)``.
+    …])``, ``("metrics", batch_id, shard, snapshot)`` or
+    ``("pong", ping_id, shard, None)``.
+
+Fault injection: a worker accepts a scripted ``stalls`` schedule —
+``(batch_index, seconds)`` pairs from a
+:class:`~repro.resilience.faultplan.FaultPlan` — and sleeps inside the
+process before serving the matching batch, exactly the hung-shard
+condition the coordinator's heartbeat monitor exists to catch.
 
 Results travel as plain ``(value, error, release)`` triples — the
 coordinator re-attaches each original :class:`QuerySpec`, so what comes
@@ -38,6 +47,7 @@ ends the loop.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.store import ReleaseStore
@@ -79,23 +89,37 @@ def serve_shard(
     shard: int,
     request_queue: "object",
     result_queue: "object",
+    stalls: Sequence[Tuple[int, float]] = (),
 ) -> None:
     """The worker request loop (runs until the shutdown sentinel).
 
     Factored out of :func:`worker_main` so tests can drive it in-process
     against real queues; the behavior is identical either way.
+    ``stalls`` is the shard's scripted fault schedule: before serving
+    its ``i``-th batch the worker sleeps the scheduled seconds — a
+    deterministic stand-in for a wedged engine or a pathological
+    request.
     """
+    stall_by_batch = dict(stalls)
+    batch_index = 0
     while True:
         message = request_queue.get()
         if message is None:
             return
         kind, batch_id, payload = message
+        if kind == "ping":
+            result_queue.put(("pong", batch_id, shard, None))
+            continue
         if kind == "metrics":
             result_queue.put((
                 "metrics", batch_id, shard,
                 engine.metrics.snapshot(include_samples=True),
             ))
             continue
+        stall = stall_by_batch.get(batch_index)
+        batch_index += 1
+        if stall:
+            time.sleep(stall)
         result_queue.put((
             "results", batch_id, shard,
             execute_shard_batch(engine, payload),
@@ -108,12 +132,15 @@ def worker_main(
     engine_config: Dict[str, object],
     request_queue: "object",
     result_queue: "object",
+    stalls: Sequence[Tuple[int, float]] = (),
 ) -> None:
     """Process entry point: open the store read-only, serve the shard."""
     store = ReleaseStore(store_dir)
     with ServingEngine(store, **engine_config) as engine:
         try:
-            serve_shard(engine, shard, request_queue, result_queue)
+            serve_shard(
+                engine, shard, request_queue, result_queue, stalls=stalls,
+            )
         except (EOFError, OSError):  # pragma: no cover - coordinator gone
             pass
 
@@ -143,10 +170,15 @@ class WorkerHandle:
         store_dir: str,
         engine_config: Dict[str, object],
         context: "object",
+        stalls: Sequence[Tuple[int, float]] = (),
     ) -> None:
         self.shard = int(shard)
         self.store_dir = str(store_dir)
         self.engine_config = dict(engine_config)
+        #: Scripted stall schedule shipped to the worker at spawn time
+        #: (kept across respawns: each process generation counts its own
+        #: batches from zero).
+        self.stalls: Tuple[Tuple[int, float], ...] = tuple(stalls)
         self._context = context
         # Serializes sends against queue replacement: once replace_queues
         # returns, every later send lands on the new queue.
@@ -161,7 +193,7 @@ class WorkerHandle:
         process = self._context.Process(
             target=worker_main,
             args=(self.shard, self.store_dir, self.engine_config,
-                  self.request_queue, self.result_queue),
+                  self.request_queue, self.result_queue, self.stalls),
             name=f"repro-serve-shard-{self.shard}",
             daemon=True,
         )
@@ -186,9 +218,15 @@ class WorkerHandle:
         stale_results.close()
 
     def respawn(self) -> None:
-        """Start a replacement process (after :meth:`replace_queues`)."""
+        """Start a replacement process (after :meth:`replace_queues`).
+
+        A scripted stall schedule does **not** survive the respawn: the
+        fault already fired in the dead generation, and replaying it
+        would wedge every replacement at the same batch index forever.
+        """
         self.process = None
         self.respawns += 1
+        self.stalls = ()
         self.start()
 
     @property

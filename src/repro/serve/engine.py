@@ -41,6 +41,7 @@ from repro.api.release import Release
 from repro.api.store import ReleaseStore
 from repro.exceptions import ReproError
 from repro.perf.timer import stage
+from repro.resilience.policies import Deadline
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.planner import QueryPlanner, QueryResult, execute_group
 from repro.serve.spec import QuerySpec
@@ -86,12 +87,21 @@ class ServingEngine:
         memoize: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         warm_size: int = DEFAULT_WARM_SIZE,
+        request_deadline: Optional[float] = None,
     ) -> None:
         if cache_size < 1:
             raise ReproError(f"cache_size must be >= 1, got {cache_size}")
         if max_workers < 1:
             raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        if request_deadline is not None and request_deadline <= 0:
+            raise ReproError(
+                f"request_deadline must be > 0, got {request_deadline}"
+            )
         self.store = store
+        #: Per-batch wall-clock budget in seconds (``None`` = unbounded).
+        #: Release groups not *started* before the budget runs out fail
+        #: with a deadline-exceeded error instead of executing.
+        self.request_deadline = request_deadline
         self.cache_size = int(cache_size)
         self.memo_size = int(memo_size)
         self.max_workers = int(max_workers)
@@ -152,6 +162,7 @@ class ServingEngine:
         engine's thread pool (useful when several cold releases must be
         decoded); results always come back in request order.
         """
+        deadline = Deadline.start(self.request_deadline)
         with stage("plan"):
             plan = self.planner.plan(specs, self.resolve)
         results: Dict[int, QueryResult] = dict(plan.failures)
@@ -159,6 +170,23 @@ class ServingEngine:
             self.metrics.record_request(0.0, error=True)
 
         groups = list(plan.groups.items())
+        if self.request_deadline is not None:
+            started: List[Tuple[str, Sequence[Tuple[int, QuerySpec]]]] = []
+            for spec_hash, items in groups:
+                if deadline.expired():
+                    message = (
+                        f"request deadline of {self.request_deadline:g}s "
+                        "exceeded before this release group started"
+                    )
+                    for position, spec in items:
+                        results[position] = QueryResult(
+                            spec=spec, error=message, release=spec_hash,
+                        )
+                        self.metrics.record_request(0.0, error=True)
+                        self.metrics.record_deadline_exceeded()
+                else:
+                    started.append((spec_hash, items))
+            groups = started
         if concurrent and len(groups) > 1:
             # Worker threads never see the ambient timer (context
             # variables don't cross pool threads), so the fan-out is

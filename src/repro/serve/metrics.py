@@ -74,6 +74,12 @@ class MetricsRegistry:
             self._warm_hits = 0
             self._cache_misses = 0
             self._memo_hits = 0
+            self._retries = 0
+            self._deadline_exceeded = 0
+            self._breaker_trips = 0
+            self._fallback_requests = 0
+            self._integrity_failures = 0
+            self._heartbeat_timeouts = 0
             self._latencies: List[float] = []
             self._window_start: Optional[float] = None
             self._window_end: Optional[float] = None
@@ -137,6 +143,38 @@ class MetricsRegistry:
     def record_memo_hit(self) -> None:
         with self._lock:
             self._memo_hits += 1
+
+    # -- resilience events ---------------------------------------------------
+    def record_retry(self) -> None:
+        """One dispatch attempt retried after a retryable failure."""
+        with self._lock:
+            self._retries += 1
+
+    def record_deadline_exceeded(self) -> None:
+        """One request failed because its deadline ran out."""
+        with self._lock:
+            self._deadline_exceeded += 1
+
+    def record_breaker_trip(self) -> None:
+        """One circuit breaker transitioned closed → open."""
+        with self._lock:
+            self._breaker_trips += 1
+
+    def record_fallback_request(self) -> None:
+        """One request served by the local fallback engine because its
+        shard's breaker was open."""
+        with self._lock:
+            self._fallback_requests += 1
+
+    def record_integrity_failure(self) -> None:
+        """One artifact failed its checksums (quarantine path taken)."""
+        with self._lock:
+            self._integrity_failures += 1
+
+    def record_heartbeat_timeout(self) -> None:
+        """One worker declared hung after missing its heartbeat budget."""
+        with self._lock:
+            self._heartbeat_timeouts += 1
 
     # -- derived views -------------------------------------------------------
     def cache_hit_ratio(self) -> float:
@@ -207,6 +245,12 @@ class MetricsRegistry:
                 "cache_misses": self._cache_misses,
                 "cache_hit_ratio": hits / lookups if lookups else 0.0,
                 "memo_hits": self._memo_hits,
+                "retries": self._retries,
+                "deadline_exceeded": self._deadline_exceeded,
+                "breaker_trips": self._breaker_trips,
+                "fallback_requests": self._fallback_requests,
+                "integrity_failures": self._integrity_failures,
+                "heartbeat_timeouts": self._heartbeat_timeouts,
                 "qps": self._qps_locked(),
                 "window_seconds": float(window),
                 "latency_samples": len(self._latencies),
@@ -250,6 +294,9 @@ def format_snapshot_table(
         ("cache hit ratio", f"{snapshot['cache_hit_ratio']:.3f}"),
         ("warm hits", f"{snapshot['warm_hits']:,}"),
         ("memo hits", f"{snapshot['memo_hits']:,}"),
+        ("retries", f"{snapshot.get('retries', 0):,}"),
+        ("deadline exceeded", f"{snapshot.get('deadline_exceeded', 0):,}"),
+        ("fallback requests", f"{snapshot.get('fallback_requests', 0):,}"),
         ("latency p50", f"{latency['p50']:.3f} ms"),
         ("latency p95", f"{latency['p95']:.3f} ms"),
         ("latency p99", f"{latency['p99']:.3f} ms"),
@@ -264,7 +311,9 @@ def format_snapshot_table(
 #: The counter keys :func:`merge_snapshots` sums across inputs.
 _MERGE_COUNTER_KEYS = (
     "requests", "errors", "batches", "artifact_loads", "cache_hits",
-    "warm_hits", "cache_misses", "memo_hits",
+    "warm_hits", "cache_misses", "memo_hits", "retries",
+    "deadline_exceeded", "breaker_trips", "fallback_requests",
+    "integrity_failures", "heartbeat_timeouts",
 )
 
 

@@ -54,7 +54,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.api.release import Release
 from repro.api.store import ReleaseStore
-from repro.exceptions import ReproError
+from repro.exceptions import IntegrityError, ReproError
 from repro.io.columnar import ColumnarReader
 from repro.serve.metrics import MetricsRegistry
 
@@ -158,9 +158,21 @@ class TieredArtifactCache:
                     # then re-open whatever the store holds now.
                     self._evict_warm(spec_hash, entry)
                 else:
-                    # Warm hit: zero-copy re-wrap of the open mmap.
-                    self.metrics.record_warm_hit()
-                    return self._admit_hot(spec_hash, entry.reader.to_release())
+                    try:
+                        # Promotion re-verifies the mapped bytes: an
+                        # in-place corruption shows through the shared
+                        # mapping, and serving it hot would poison every
+                        # later request for this hash.
+                        entry.reader.verify_checksums()
+                    except IntegrityError:
+                        self.metrics.record_integrity_failure()
+                        self._evict_warm(spec_hash, entry)
+                    else:
+                        # Warm hit: zero-copy re-wrap of the open mmap.
+                        self.metrics.record_warm_hit()
+                        return self._admit_hot(
+                            spec_hash, entry.reader.to_release()
+                        )
             self.metrics.record_cache_miss()
             return self._cold_open(spec_hash)
 
@@ -180,9 +192,17 @@ class TieredArtifactCache:
         entry.reader.close()
 
     def _cold_open(self, spec_hash: str) -> Release:
-        """Tier-3 access: mmap the columnar artifact, or JSON-decode."""
+        """Tier-3 access: mmap the columnar artifact, or JSON-decode.
+
+        The store verifies checksums on open (and quarantines + rebuilds
+        corrupt artifacts when healing is on); detections are mirrored
+        into this engine's metrics so cluster-wide snapshots carry them.
+        """
         if self.store.artifact_format(spec_hash) == "columnar":
+            failures_before = self.store.integrity_failures
             reader = self.store.open_columnar(spec_hash)
+            if self.store.integrity_failures > failures_before:
+                self.metrics.record_integrity_failure()
             try:
                 token = _file_token(reader.path)
             except OSError as error:

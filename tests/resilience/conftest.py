@@ -1,0 +1,50 @@
+"""Shared fixtures for the resilience suite.
+
+The columnar store is session-scoped (building releases runs the real
+mechanism); tests that mutate artifact bytes copy what they need into
+their own tmp directories instead of touching the shared store.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.api.store import ReleaseStore
+from repro.serve import populate_bench_store
+
+#: Releases in the shared chaos/integrity store (small: suite speed).
+NUM_RELEASES = 4
+
+
+@pytest.fixture(scope="session")
+def columnar_store(tmp_path_factory) -> ReleaseStore:
+    store = ReleaseStore(
+        tmp_path_factory.mktemp("resilience-store"), write_format="columnar",
+    )
+    populate_bench_store(store, num_releases=NUM_RELEASES)
+    return store
+
+
+def _copy_store(source: ReleaseStore, target) -> ReleaseStore:
+    shutil.copytree(
+        source.directory, target,
+        ignore=shutil.ignore_patterns("quarantine", "*.tmp"),
+    )
+    return ReleaseStore(target, write_format="columnar")
+
+
+@pytest.fixture
+def store_copy(columnar_store, tmp_path) -> ReleaseStore:
+    """A private, mutable copy of the shared store for corruption tests."""
+    return _copy_store(columnar_store, tmp_path / "store")
+
+
+@pytest.fixture(scope="module")
+def module_store_copy(columnar_store, tmp_path_factory) -> ReleaseStore:
+    """Like ``store_copy``, but shared across one test module — for
+    suites whose subject mutates the store exactly once (chaos)."""
+    return _copy_store(
+        columnar_store, tmp_path_factory.mktemp("module-store") / "store",
+    )

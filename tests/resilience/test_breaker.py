@@ -1,0 +1,108 @@
+"""CircuitBreaker state-machine tests (injected clock, no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+@pytest.fixture
+def clock():
+    ticks = [0.0]
+
+    def advance(seconds: float) -> None:
+        ticks[0] += seconds
+
+    reader = lambda: ticks[0]  # noqa: E731 - tiny fixture closure
+    reader.advance = advance
+    return reader
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(threshold=3, reset_timeout=1.0, clock=clock)
+
+
+class TestDisabled:
+    def test_threshold_zero_never_opens(self, clock):
+        breaker = CircuitBreaker(threshold=0, clock=clock)
+        assert not breaker.enabled
+        for _ in range(100):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker(threshold=-1)
+        with pytest.raises(ReproError):
+            CircuitBreaker(threshold=1, reset_timeout=0.0)
+
+
+class TestStateMachine:
+    def test_trips_at_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never 3 *consecutive* failures
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else refused
+        assert not breaker.allow()
+
+    def test_probe_success_closes_and_counts_recovery(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.recoveries == 1
+        outages = breaker.outage_seconds()
+        assert len(outages) == 1
+        assert outages[0] == pytest.approx(1.5)
+
+    def test_probe_failure_reopens_with_fresh_timeout(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(0.5)           # not yet a full fresh timeout
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_snapshot(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        view = breaker.snapshot()
+        assert view == {
+            "state": OPEN, "failures": 3, "trips": 1, "recoveries": 0,
+        }
+        clock.advance(1.0)
+        assert breaker.snapshot()["state"] == HALF_OPEN

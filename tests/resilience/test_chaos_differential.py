@@ -1,0 +1,107 @@
+"""The acceptance-bar chaos differential experiment.
+
+Under a seeded FaultPlan that SIGKILLs every worker at least once,
+corrupts one stored artifact, and stalls one shard past the heartbeat
+budget, the cluster must complete the full zipfian mix with answers
+bit-identical to the healthy single-process path for every
+non-deadline-exceeded request, zero wedged requests, recovery within
+the configured budget, and the corruption detected + quarantined +
+rebuilt.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.perf.schema import validate_serving_payload
+from repro.resilience.chaos import (
+    SMOKE_CHAOS_REQUESTS,
+    format_chaos_table,
+    merge_into_report,
+    run_chaos,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_block(module_store_copy):
+    # An already-columnar store is its own twin, and chaos corrupts and
+    # quarantines inside it — run against a private copy, not the shared
+    # session store.
+    return run_chaos(
+        module_store_copy,
+        num_workers=2,
+        seed=0,
+        num_requests=SMOKE_CHAOS_REQUESTS,
+    )
+
+
+class TestAcceptanceBar:
+    def test_verdict_is_ok(self, chaos_block):
+        assert chaos_block["ok"], format_chaos_table(chaos_block)
+
+    def test_answers_bit_identical_and_nothing_wedged(self, chaos_block):
+        assert chaos_block["answers_identical"]
+        assert chaos_block["mismatches"] == 0
+        assert chaos_block["wedged_requests"] == 0
+        assert chaos_block["num_requests"] == SMOKE_CHAOS_REQUESTS
+
+    def test_every_worker_was_killed_and_came_back(self, chaos_block):
+        assert chaos_block["plan"]["kill"] == chaos_block["workers"] == 2
+        assert chaos_block["respawns"] >= 2
+        assert chaos_block["all_workers_alive"]
+
+    def test_recovery_within_heartbeat_budget(self, chaos_block):
+        recovery = chaos_block["recovery"]
+        assert recovery["within_budget"]
+        assert recovery["count"] >= 1
+        assert recovery["max_seconds"] <= recovery["budget_seconds"]
+
+    def test_corruption_detected_and_healed(self, chaos_block):
+        assert chaos_block["plan"]["corrupt"] == 1
+        integrity = chaos_block["integrity"]
+        assert (
+            integrity["detected"]
+            + integrity["quarantined"]
+            + integrity["rebuilt"]
+        ) > 0
+
+    def test_config_provenance_is_recorded(self, chaos_block):
+        config = chaos_block["config"]
+        assert config["max_attempts"] > 1
+        assert config["breaker_threshold"] > 0
+        assert config["heartbeat_interval"] > 0
+        assert config["fallback_local"] is True
+        assert chaos_block["seed"] == 0
+
+
+class TestReporting:
+    def test_table_renders_verdict(self, chaos_block):
+        table = format_chaos_table(chaos_block)
+        assert "chaos run" in table
+        assert "verdict" in table
+        assert "OK" in table
+
+    def test_merged_report_validates_against_schema(
+        self, chaos_block, tmp_path,
+    ):
+        committed = Path(__file__).resolve().parents[2] / "BENCH_serving.json"
+        existing = tmp_path / "BENCH_serving.json"
+        shutil.copy(committed, existing)
+        before = json.loads(existing.read_text())
+        path = merge_into_report(chaos_block, existing)
+        payload = json.loads(path.read_text())
+        for key, value in before.items():
+            if key == "resilience":
+                continue  # the one block the merge replaces
+            assert payload[key] == value  # other blocks preserved untouched
+        assert payload["resilience"]["ok"] is True
+        assert validate_serving_payload(payload) == []
+
+    def test_stub_report_created_when_absent(self, chaos_block, tmp_path):
+        path = merge_into_report(chaos_block, tmp_path / "fresh.json")
+        payload = json.loads(path.read_text())
+        assert payload["resilience"]["seed"] == 0

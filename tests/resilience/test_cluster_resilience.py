@@ -1,0 +1,226 @@
+"""Cluster request-resilience: retries, breakers, deadlines, heartbeats.
+
+Each layer is exercised in isolation with a targeted
+:class:`ResilienceConfig` (everything else off), against the same
+single-process oracle the crash suite uses — resilience must change
+*availability*, never answers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.serve import ClusterEngine, QuerySpec, ServingEngine
+from repro.serve.cluster.engine import _POLL_SECONDS, DEFAULT_POLL_INTERVAL
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.fixture(scope="module")
+def specs(columnar_store):
+    return [
+        QuerySpec.create(spec_hash[:12], "mean_group_size", "root")
+        for spec_hash in columnar_store.spec_hashes() for _ in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def oracle(columnar_store, specs):
+    with ServingEngine(columnar_store, cache_size=4) as engine:
+        return engine.execute_batch(specs)
+
+
+def make_cluster(store, config, injector=None, **kwargs):
+    return ClusterEngine(
+        store, num_workers=2, cache_size=4, batch_timeout=30.0,
+        resilience=config, fault_injector=injector, **kwargs,
+    )
+
+
+def assert_identical(results, oracle):
+    for result, expected in zip(results, oracle):
+        assert result.ok, result.error
+        assert type(result.value) is type(expected.value)
+        assert result.value == expected.value
+        assert result.release == expected.release
+
+
+class TestPollIntervalKnob:
+    def test_compat_alias(self):
+        assert _POLL_SECONDS == DEFAULT_POLL_INTERVAL == 0.05
+
+    def test_knob_is_validated_and_stored(self, columnar_store):
+        engine = ClusterEngine(columnar_store, poll_interval=0.01)
+        assert engine.poll_interval == 0.01
+        engine.close()
+        with pytest.raises(ReproError):
+            ClusterEngine(columnar_store, poll_interval=0.0)
+
+    def test_custom_cadence_serves(self, columnar_store, specs, oracle):
+        with make_cluster(
+            columnar_store, ResilienceConfig(), poll_interval=0.02,
+        ) as cluster:
+            assert_identical(cluster.execute_batch(specs), oracle)
+
+
+class TestRetryOnCrash:
+    def test_killed_shard_recovers_within_the_batch(
+        self, columnar_store, specs, oracle,
+    ):
+        config = ResilienceConfig(
+            retry=RetryPolicy(
+                max_attempts=6, base=0.1, factor=1.0, max_delay=0.1,
+                jitter=0.0,
+            ),
+        )
+        with make_cluster(columnar_store, config) as cluster:
+            cluster.start()
+            shards = {
+                cluster.router.shard_of(columnar_store.resolve(spec.release))
+                for spec in specs
+            }
+            assert shards == {0, 1}
+            cluster._workers[0].kill()
+            results = cluster.execute_batch(specs)
+            # The whole batch succeeds in one call: the crashed slice was
+            # retried onto the respawned worker — no caller-visible error.
+            assert_identical(results, oracle)
+            assert cluster.respawn_counts() == [1, 0]
+            assert cluster.metrics.snapshot()["retries"] >= 1
+            recoveries = cluster.recovery_seconds()
+            assert len(recoveries) == 1
+            assert 0 <= recoveries[0] < 10.0
+
+
+class TestCircuitBreaker:
+    def test_tripped_shard_fails_fast_without_fallback(
+        self, columnar_store, specs,
+    ):
+        config = ResilienceConfig(breaker_threshold=1, breaker_reset=60.0)
+        with make_cluster(columnar_store, config) as cluster:
+            cluster.start()
+            cluster._workers[0].kill()
+            first = cluster.execute_batch(specs)
+            assert any(
+                not r.ok and "worker died" in r.error for r in first
+            )
+            start = time.monotonic()
+            second = cluster.execute_batch(specs)
+            elapsed = time.monotonic() - start
+            tripped = [r for r in second if not r.ok]
+            assert tripped
+            assert all(
+                "circuit breaker is open" in r.error for r in tripped
+            )
+            # Fast fail means no dispatch, no crash-detection wait.
+            assert elapsed < 5.0
+            snapshot = cluster.cluster_snapshot()
+            assert snapshot["breakers"][0]["state"] == "open"
+            assert snapshot["breakers"][0]["trips"] == 1
+            assert cluster.metrics.snapshot()["breaker_trips"] == 1
+
+    def test_tripped_shard_falls_back_bit_identically(
+        self, columnar_store, specs, oracle,
+    ):
+        config = ResilienceConfig(
+            breaker_threshold=1, breaker_reset=60.0, fallback_local=True,
+        )
+        with make_cluster(columnar_store, config) as cluster:
+            cluster.start()
+            cluster._workers[0].kill()
+            cluster.execute_batch(specs)  # trips shard 0's breaker
+            # Every later request is answered: tripped slices route to
+            # the coordinator-local engine over the same mmap'd store.
+            assert_identical(cluster.execute_batch(specs), oracle)
+            assert cluster.metrics.snapshot()["fallback_requests"] >= 1
+
+
+class TestDeadline:
+    def test_persistent_failure_reports_deadline(
+        self, columnar_store, specs,
+    ):
+        # Deterministic persistent failure: wedge shard 0's admission
+        # budget so every dispatch to it sheds (a retryable failure that
+        # never heals), while shard 1 serves normally.  The deadline must
+        # cut the retry loop and rewrite the stuck slices.
+        config = ResilienceConfig(
+            request_deadline=1.0,
+            retry=RetryPolicy(
+                max_attempts=50, base=0.05, factor=1.0, max_delay=0.05,
+                jitter=0.0,
+            ),
+        )
+        with make_cluster(
+            columnar_store, config, queue_depth=1, admission_timeout=0.05,
+        ) as cluster:
+            cluster.start()
+            with cluster._admission:
+                cluster._in_flight[0] = 1
+            shards = {
+                spec: cluster.router.shard_of(
+                    columnar_store.resolve(spec.release)
+                )
+                for spec in specs
+            }
+            start = time.monotonic()
+            results = cluster.execute_batch(specs)
+            elapsed = time.monotonic() - start
+            # The deadline bounds the suffering: nowhere near 50 attempts.
+            assert elapsed < 10.0
+            for spec, result in zip(specs, results):
+                if shards[spec] == 0:
+                    assert not result.ok
+                    assert "request deadline of 1s exceeded" in result.error
+                else:
+                    assert result.ok
+            assert cluster.metrics.snapshot()["deadline_exceeded"] >= 1
+
+
+class TestHeartbeat:
+    def test_hung_worker_is_killed_and_request_recovers(
+        self, columnar_store, specs, oracle,
+    ):
+        # The worker hangs 5 s mid-batch — far past the 0.6 s heartbeat
+        # budget, so only the health check (not a crash) can free it.
+        plan = FaultPlan(seed=0, events=(
+            FaultEvent(kind="stall", shard=0, at=0, seconds=5.0),
+            FaultEvent(kind="stall", shard=1, at=0, seconds=5.0),
+        ))
+        config = ResilienceConfig(
+            retry=RetryPolicy(
+                max_attempts=6, base=0.1, factor=1.0, max_delay=0.1,
+                jitter=0.0,
+            ),
+            heartbeat_interval=0.1,
+            heartbeat_budget=0.6,
+        )
+        with make_cluster(
+            columnar_store, config, injector=FaultInjector(plan),
+        ) as cluster:
+            cluster.start()
+            start = time.monotonic()
+            results = cluster.execute_batch(specs)
+            elapsed = time.monotonic() - start
+            assert_identical(results, oracle)
+            # Recovery came from the heartbeat kill, not the 5 s sleep.
+            assert elapsed < 4.5
+            assert cluster.metrics.snapshot()["heartbeat_timeouts"] >= 1
+            assert sum(cluster.respawn_counts()) >= 1
+            assert wait_for(lambda: all(cluster.workers_alive()))

@@ -1,0 +1,161 @@
+"""FaultPlan / FaultInjector / corrupt_stored_artifact tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FaultPlanError, IntegrityError
+from repro.io.columnar import ColumnarReader, header_size
+from repro.resilience.faultplan import (
+    FAULT_KINDS,
+    DispatchFaults,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    corrupt_stored_artifact,
+)
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="meteor", shard=0, at=0)
+
+    def test_stall_needs_positive_seconds(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="stall", shard=0, at=0, seconds=0.0)
+
+    def test_corrupt_xor_bounds(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="corrupt", shard=0, at=0, xor=0)
+        with pytest.raises(FaultPlanError):
+            FaultEvent(kind="corrupt", shard=0, at=0, xor=256)
+
+    def test_dict_round_trip(self):
+        event = FaultEvent(
+            kind="corrupt", shard=1, at=3, artifact_index=2,
+            byte_offset=77, xor=129,
+        )
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_malformed_dict(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent.from_dict({"kind": "kill"})
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic_and_kills_every_shard(self):
+        one = FaultPlan.generate(seed=5, num_shards=3)
+        two = FaultPlan.generate(seed=5, num_shards=3)
+        assert one == two
+        kills = {e.shard for e in one.events if e.kind == "kill"}
+        assert kills == {0, 1, 2}
+        counts = one.counts()
+        assert counts["kill"] == 3
+        assert counts["stall"] == counts["queue_stall"] == 1
+        assert counts["corrupt"] == 1
+        assert set(counts) == set(FAULT_KINDS)
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.generate(0, 2) != FaultPlan.generate(1, 2)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.generate(seed=9, num_shards=2)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan.generate(seed=2, num_shards=2)
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_version_gate(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"version": 99, "seed": 0, "events": []})
+
+    def test_worker_stalls_filters_by_shard(self):
+        plan = FaultPlan(seed=0, events=(
+            FaultEvent(kind="stall", shard=1, at=4, seconds=0.2),
+            FaultEvent(kind="kill", shard=0, at=1),
+        ))
+        assert plan.worker_stalls(1) == [(4, 0.2)]
+        assert plan.worker_stalls(0) == []
+
+
+class TestFaultInjector:
+    def test_events_fire_once_at_their_dispatch_index(self):
+        plan = FaultPlan(seed=0, events=(
+            FaultEvent(kind="kill", shard=0, at=2),
+            FaultEvent(kind="queue_stall", shard=0, at=2, seconds=0.01),
+        ))
+        injector = FaultInjector(plan)
+        assert not injector.on_dispatch(0)          # index 0
+        assert not injector.on_dispatch(0)          # index 1
+        faults = injector.on_dispatch(0)            # index 2: both fire
+        assert faults.kill and faults.stall_seconds == pytest.approx(0.01)
+        assert not injector.on_dispatch(0)          # fired exactly once
+        assert len(injector.fired()) == 2
+        assert injector.pending() == []
+
+    def test_dispatch_counters_are_per_shard(self):
+        plan = FaultPlan(seed=0, events=(
+            FaultEvent(kind="kill", shard=1, at=0),
+        ))
+        injector = FaultInjector(plan)
+        assert not injector.on_dispatch(0)
+        assert injector.on_dispatch(1).kill
+
+    def test_worker_stalls_never_fire_on_dispatch(self):
+        plan = FaultPlan(seed=0, events=(
+            FaultEvent(kind="stall", shard=0, at=0, seconds=0.5),
+        ))
+        injector = FaultInjector(plan)
+        assert not injector.on_dispatch(0)
+        assert injector.worker_stalls(0) == [(0, 0.5)]
+        assert injector.pending() == []  # stalls ship at spawn, not here
+
+    def test_corruptor_invoked_with_corrupt_events(self):
+        seen = []
+        plan = FaultPlan(seed=0, events=(
+            FaultEvent(kind="corrupt", shard=0, at=1, byte_offset=5),
+        ))
+        injector = FaultInjector(plan, corruptor=seen.append)
+        injector.on_dispatch(0)
+        faults = injector.on_dispatch(0)
+        assert faults.corrupt and seen == [plan.events[0]]
+
+    def test_empty_faults_are_falsy(self):
+        assert not DispatchFaults()
+        assert DispatchFaults(kill=True)
+
+
+class TestCorruptStoredArtifact:
+    def test_flip_lands_in_section_region_and_fails_crc(self, store_copy):
+        event = FaultEvent(
+            kind="corrupt", shard=0, at=0, artifact_index=1,
+            byte_offset=123, xor=64,
+        )
+        path = corrupt_stored_artifact(store_copy, event)
+        hashes = store_copy.spec_hashes()
+        assert path.name.startswith(hashes[1 % len(hashes)])
+        # The flip is past the header, so the index/envelope still parse
+        # but the section checksums catch the damage.
+        reader = ColumnarReader(path)
+        try:
+            assert reader.spec_hash == hashes[1 % len(hashes)]
+            with pytest.raises(IntegrityError):
+                reader.verify_checksums()
+        finally:
+            reader.close()
+        assert header_size(path) <= len(path.read_bytes())
+
+    def test_empty_store_rejected(self, tmp_path):
+        from repro.api.store import ReleaseStore
+
+        empty = ReleaseStore(tmp_path / "empty", write_format="columnar")
+        event = FaultEvent(kind="corrupt", shard=0, at=0)
+        with pytest.raises(FaultPlanError):
+            corrupt_stored_artifact(empty, event)

@@ -1,0 +1,191 @@
+"""Artifact integrity: CRC detection, quarantine, rebuild-from-spec.
+
+The acceptance bar: any single flipped byte in a v3 section is detected
+at open, and the artifact is quarantined and rebuilt bit-identically
+from its spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.api.spec import ReleaseSpec
+from repro.api.store import QUARANTINE_DIRNAME, ReleaseStore
+from repro.exceptions import IntegrityError
+from repro.io.columnar import (
+    COLUMNAR_MAGIC,
+    ColumnarReader,
+    header_size,
+)
+from repro.serve.tiers import TieredArtifactCache
+
+_PREFIX = len(COLUMNAR_MAGIC)
+
+
+def flip_section_byte(path, offset: int = 0, xor: int = 0x40) -> None:
+    """XOR one byte inside the section (histogram data) region."""
+    data = bytearray(path.read_bytes())
+    position = header_size(path) + offset
+    assert position < len(data)
+    data[position] ^= xor
+    path.write_bytes(bytes(data))
+
+
+def smash_envelope(path) -> None:
+    """Overwrite the envelope JSON so it cannot be parsed back."""
+    data = bytearray(path.read_bytes())
+    with open(path, "rb") as handle:
+        prefix = handle.read(_PREFIX + 8)
+    index_length, envelope_length = struct.unpack_from("<II", prefix, _PREFIX)
+    start = _PREFIX + 8 + struct.calcsize("<16q") + index_length
+    data[start: start + min(envelope_length, 64)] = b"\x00" * min(
+        envelope_length, 64,
+    )
+    path.write_bytes(bytes(data))
+
+
+def spec_of(store: ReleaseStore, spec_hash: str) -> ReleaseSpec:
+    reader = store.open_columnar(spec_hash)
+    try:
+        return ReleaseSpec.from_dict(reader.envelope["spec"])
+    finally:
+        reader.close()
+
+
+class TestDetection:
+    @pytest.mark.parametrize("offset", [0, 97, 4096])
+    def test_any_flipped_section_byte_is_detected(self, store_copy, offset):
+        spec_hash = store_copy.spec_hashes()[0]
+        path = store_copy.path_for(spec_hash, format="columnar")
+        region = len(path.read_bytes()) - header_size(path)
+        flip_section_byte(path, offset=offset % region)
+        with pytest.raises(IntegrityError):
+            ColumnarReader(path).verify_checksums()
+
+    def test_heal_false_propagates(self, store_copy):
+        store = ReleaseStore(
+            store_copy.directory, write_format="columnar", heal=False,
+        )
+        spec_hash = store.spec_hashes()[0]
+        flip_section_byte(store.path_for(spec_hash, format="columnar"))
+        with pytest.raises(IntegrityError):
+            store.open_columnar(spec_hash)
+        assert store.integrity_failures == 1
+        assert store.quarantines == 0  # healing declined: evidence untouched
+
+    def test_verify_on_open_false_skips_the_sweep(self, store_copy):
+        store = ReleaseStore(
+            store_copy.directory, write_format="columnar", verify_on_open=False,
+        )
+        spec_hash = store.spec_hashes()[0]
+        flip_section_byte(store.path_for(spec_hash, format="columnar"))
+        reader = store.open_columnar(spec_hash)  # no verification requested
+        reader.close()
+        assert store.integrity_failures == 0
+
+
+class TestHealing:
+    def test_flip_quarantines_and_rebuilds_bit_identical(self, store_copy):
+        spec_hash = store_copy.spec_hashes()[0]
+        path = store_copy.path_for(spec_hash, format="columnar")
+        healthy = path.read_bytes()
+        flip_section_byte(path, offset=33)
+        reader = store_copy.open_columnar(spec_hash)
+        try:
+            assert reader.verify_checksums()
+        finally:
+            reader.close()
+        assert path.read_bytes() == healthy  # deterministic spec re-run
+        assert store_copy.integrity_failures == 1
+        assert store_copy.quarantines == 1
+        assert store_copy.rebuilds == 1
+        quarantined = store_copy.quarantined_paths()
+        assert len(quarantined) == 1
+        assert quarantined[0].parent.name == QUARANTINE_DIRNAME
+        assert quarantined[0].read_bytes() != healthy  # forensic corpse kept
+
+    def test_unrecoverable_envelope_rebuilds_via_get_or_build(self, store_copy):
+        spec_hash = store_copy.spec_hashes()[0]
+        spec = spec_of(store_copy, spec_hash)
+        path = store_copy.path_for(spec_hash, format="columnar")
+        healthy = path.read_bytes()
+        smash_envelope(path)
+        # heal_columnar cannot read the spec out of the corpse...
+        with pytest.raises(IntegrityError, match="unrecoverable"):
+            store_copy.open_columnar(spec_hash)
+        # ...but the caller holding the spec still gets a rebuild.
+        release = store_copy.get_or_build(spec)
+        assert release.provenance.spec_hash == spec_hash
+        assert store_copy.path_for(spec_hash).exists()
+        assert store_copy.get_or_build(spec).to_json() == release.to_json()
+        assert store_copy.quarantines >= 1
+        assert store_copy.builds >= 1
+
+    def test_store_len_hides_quarantined_artifacts(self, store_copy):
+        before = len(store_copy)
+        store_copy.quarantine(store_copy.spec_hashes()[0], format="columnar")
+        assert len(store_copy) == before - 1
+
+
+class TestOldFileCompat:
+    def strip_checksums(self, path) -> None:
+        """Rewrite the index JSON without ``crc32``, padding to length.
+
+        Byte length (and with it every section offset) is preserved, so
+        the result is exactly what a pre-checksum writer produced: a
+        fully readable artifact with nothing to verify.
+        """
+        data = bytearray(path.read_bytes())
+        index_length, _ = struct.unpack_from("<II", bytes(data), _PREFIX)
+        start = _PREFIX + 8 + struct.calcsize("<16q")
+        index = json.loads(bytes(data[start: start + index_length]))
+        assert "crc32" in index
+        del index["crc32"]
+        stripped = json.dumps(index, sort_keys=True).encode("utf-8")
+        assert len(stripped) <= index_length
+        data[start: start + index_length] = stripped.ljust(index_length)
+        path.write_bytes(bytes(data))
+
+    def test_pre_checksum_files_still_load(self, store_copy):
+        spec_hash = store_copy.spec_hashes()[0]
+        path = store_copy.path_for(spec_hash, format="columnar")
+        self.strip_checksums(path)
+        reader = ColumnarReader(path)
+        try:
+            assert reader.checksums is None
+            assert reader.verify_checksums() is False  # nothing to verify
+        finally:
+            reader.close()
+        # The verifying store serves it without quarantining anything.
+        release = store_copy.get(spec_hash)
+        assert release is not None
+        assert store_copy.integrity_failures == 0
+        assert store_copy.quarantines == 0
+
+
+class TestWarmPromotion:
+    def test_in_place_corruption_is_caught_at_promotion(self, store_copy):
+        hashes = store_copy.spec_hashes()
+        assert len(hashes) >= 2
+        cache = TieredArtifactCache(store_copy, hot_size=1, warm_size=4)
+        healthy = cache.get(hashes[0]).to_json()
+        cache.get(hashes[1])  # evicts hashes[0] from hot; stays warm
+        assert hashes[0] in cache.warm_hashes()
+        assert hashes[0] not in cache.hot_hashes()
+        # Corrupt in place and restore the mtime so the warm entry's
+        # file-identity token still matches: only the CRC sweep at
+        # promotion can catch this.
+        path = store_copy.path_for(hashes[0], format="columnar")
+        status = path.stat()
+        flip_section_byte(path, offset=11)
+        os.utime(path, ns=(status.st_atime_ns, status.st_mtime_ns))
+        served = cache.get(hashes[0])
+        assert served.to_json() == healthy  # healed + rebuilt, not poisoned
+        snapshot = cache.metrics.snapshot()
+        assert snapshot["integrity_failures"] >= 1
+        assert store_copy.quarantines == 1
+        assert store_copy.rebuilds == 1

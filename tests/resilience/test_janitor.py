@@ -1,0 +1,82 @@
+"""Stale-tempfile GC: the regression suite plants orphans and checks
+the sweep is age-gated, bounded, and wired into store/cache open."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api.store import ReleaseStore
+from repro.engine.cache import ResultCache
+from repro.resilience.janitor import sweep_stale_tmp
+
+
+def plant_orphan(directory, name: str, age_seconds: float = 0.0) -> "os.PathLike":
+    path = directory / name
+    path.write_bytes(b"partial write, writer died here")
+    if age_seconds:
+        past = path.stat().st_mtime - age_seconds
+        os.utime(path, (past, past))
+    return path
+
+
+class TestSweep:
+    def test_removes_old_orphans_only(self, tmp_path):
+        old = plant_orphan(tmp_path, "dead.tmp", age_seconds=7200)
+        fresh = plant_orphan(tmp_path, "inflight.tmp")
+        survivor = plant_orphan(tmp_path, "not-a-tempfile.json", age_seconds=7200)
+        assert sweep_stale_tmp(tmp_path) == 1
+        assert not old.exists()
+        assert fresh.exists()       # a live writer's file is never yanked
+        assert survivor.exists()    # only *.tmp is eligible
+
+    def test_sweep_is_bounded(self, tmp_path):
+        for index in range(7):
+            plant_orphan(tmp_path, f"orphan-{index}.tmp", age_seconds=7200)
+        assert sweep_stale_tmp(tmp_path, limit=3) == 3
+        assert len(list(tmp_path.glob("*.tmp"))) == 4  # the rest go next open
+
+    def test_missing_directory_is_zero(self, tmp_path):
+        assert sweep_stale_tmp(tmp_path / "never-created") == 0
+
+    def test_vanished_file_is_skipped(self, tmp_path, monkeypatch):
+        plant_orphan(tmp_path, "raced.tmp", age_seconds=7200)
+
+        def racing_unlink(path):
+            raise OSError("already renamed by its writer")
+
+        monkeypatch.setattr(os, "unlink", racing_unlink)
+        assert sweep_stale_tmp(tmp_path) == 0
+
+
+class TestOpenSweeps:
+    def test_release_store_collects_orphans_on_open(self, tmp_path):
+        directory = tmp_path / "store"
+        directory.mkdir()
+        old = plant_orphan(directory, "crashed-migrate.tmp", age_seconds=7200)
+        fresh = plant_orphan(directory, "live-writer.tmp")
+        ReleaseStore(directory)
+        assert not old.exists()
+        assert fresh.exists()
+
+    def test_release_store_sweep_can_be_disabled(self, tmp_path):
+        directory = tmp_path / "store"
+        directory.mkdir()
+        old = plant_orphan(directory, "crashed.tmp", age_seconds=7200)
+        ReleaseStore(directory, sweep_tmp=False)
+        assert old.exists()
+
+    def test_result_cache_collects_orphans_on_open(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        old = plant_orphan(directory, "crashed-cell.tmp", age_seconds=7200)
+        ResultCache(directory)
+        assert not old.exists()
+
+    def test_result_cache_sweep_can_be_disabled(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        old = plant_orphan(directory, "crashed-cell.tmp", age_seconds=7200)
+        ResultCache(directory, sweep_tmp=False)
+        assert old.exists()

@@ -1,0 +1,121 @@
+"""RetryPolicy, Deadline and ResilienceConfig unit tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience.policies import Deadline, ResilienceConfig, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults_mean_no_retries(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(1)
+
+    def test_should_retry_counts_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=8, base=0.1, factor=2.0, max_delay=0.5, jitter=0.0,
+        )
+        delays = [policy.delay(attempt) for attempt in range(2, 7)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[2] == pytest.approx(0.4)
+        assert delays[3] == pytest.approx(0.5)  # capped
+        assert delays[4] == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        one = RetryPolicy(max_attempts=5, jitter=0.5, seed=42)
+        two = RetryPolicy(max_attempts=5, jitter=0.5, seed=42)
+        other = RetryPolicy(max_attempts=5, jitter=0.5, seed=43)
+        sequence = [one.delay(a) for a in range(2, 6)]
+        assert sequence == [two.delay(a) for a in range(2, 6)]
+        assert sequence != [other.delay(a) for a in range(2, 6)]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=40, base=0.1, factor=1.0, jitter=0.5, seed=7,
+        )
+        for attempt in range(2, 40):
+            delay = policy.delay(attempt)
+            # jitter=0.5 scales each delay into [0.5, 1.0] of nominal.
+            assert 0.05 - 1e-12 <= delay <= 0.1 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base=-1.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestDeadline:
+    def test_unbounded(self):
+        deadline = Deadline.start(None)
+        assert not deadline.expired()
+        assert deadline.remaining() == math.inf
+        assert deadline.clamp(5.0) == 5.0
+
+    def test_expiry_with_injected_clock(self):
+        now = [100.0]
+        deadline = Deadline(2.0, clock=lambda: now[0])
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(2.0)
+        now[0] = 101.5
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert deadline.clamp(5.0) == pytest.approx(0.5)
+        now[0] = 103.0
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(-1.0)  # documented: can go negative
+        assert deadline.clamp(5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Deadline(0.0)
+        with pytest.raises(ReproError):
+            Deadline(-1.0)
+
+
+class TestResilienceConfig:
+    def test_defaults_disable_every_layer(self):
+        config = ResilienceConfig()
+        assert config.request_deadline is None
+        assert config.retry.max_attempts == 1
+        assert config.breaker_threshold == 0
+        assert config.heartbeat_interval == 0.0
+        assert not config.fallback_local
+
+    def test_hardened_enables_every_layer(self):
+        config = ResilienceConfig.hardened(seed=3)
+        assert config.request_deadline == 30.0
+        assert config.retry.max_attempts == 4
+        assert config.retry.seed == 3
+        assert config.breaker_threshold == 3
+        assert config.heartbeat_interval > 0
+        assert config.fallback_local
+
+    def test_to_dict_round_trips_scalars(self):
+        view = ResilienceConfig.hardened(seed=1).to_dict()
+        assert view["max_attempts"] == 4
+        assert view["breaker_threshold"] == 3
+        assert view["fallback_local"] is True
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ResilienceConfig(request_deadline=0.0)
+        with pytest.raises(ReproError):
+            ResilienceConfig(breaker_threshold=-1)
+        with pytest.raises(ReproError):
+            ResilienceConfig(heartbeat_interval=-0.5)

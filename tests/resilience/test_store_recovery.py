@@ -1,0 +1,136 @@
+"""Crash-safety of store writes: SIGKILL mid-migrate / mid-build.
+
+Both durable write paths use the mkstemp → write → ``os.replace`` idiom,
+so a writer killed at the worst moment (everything written, rename not
+yet issued) must leave *no* partial artifact visible — only a ``.tmp``
+orphan for the janitor.  The children patch ``os.replace`` to announce
+readiness and hang exactly there; the parent SIGKILLs them.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.spec import ReleaseSpec
+from repro.api.store import ReleaseStore
+from repro.io.columnar import header_size
+
+_ENV = dict(os.environ, PYTHONPATH="src")
+_REPO = Path(__file__).resolve().parents[2]
+
+
+def run_until_ready_then_kill(child_source: str, *argv: str) -> None:
+    """Run a child script, wait for its READY line, SIGKILL it."""
+    process = subprocess.Popen(
+        [sys.executable, "-c", child_source, *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=_ENV, cwd=_REPO,
+    )
+    try:
+        line = process.stdout.readline()
+        if b"READY" not in line:
+            stderr = process.stderr.read().decode()
+            pytest.fail(f"child never reached its crash point: {stderr}")
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+
+
+_MIGRATE_CHILD = """
+import os, sys, time
+os_replace = os.replace
+def hang(src, dst):
+    print("READY", flush=True)
+    time.sleep(120)
+os.replace = hang
+from repro.api.store import ReleaseStore
+store = ReleaseStore(sys.argv[1], write_format="columnar", sweep_tmp=False)
+store.migrate(to="json", keep_original=True)
+"""
+
+_BUILD_CHILD = """
+import os, sys, time
+def hang(src, dst):
+    print("READY", flush=True)
+    time.sleep(120)
+os.replace = hang
+from repro.api.spec import ReleaseSpec
+from repro.api.store import ReleaseStore
+store = ReleaseStore(sys.argv[1], write_format="columnar")
+store.get_or_build(ReleaseSpec.create("hawaiian", epsilon=2.0, max_size=200))
+"""
+
+
+class TestCrashDuringMigrate:
+    def test_no_partial_artifact_and_rerun_succeeds(self, store_copy):
+        directory = store_copy.directory
+        hashes = store_copy.spec_hashes()
+        run_until_ready_then_kill(_MIGRATE_CHILD, str(directory))
+
+        # Everything written, rename never issued: the target format is
+        # absent, the bytes sit in a unique .tmp orphan.
+        assert not list(directory.glob("*.release.json"))
+        orphans = list(directory.glob("*.tmp"))
+        assert len(orphans) == 1
+
+        # Reopening sweeps old orphans but never a fresh one (the age
+        # gate protects live writers)...
+        store = ReleaseStore(directory, write_format="columnar")
+        assert orphans[0].exists()
+        past = orphans[0].stat().st_mtime - 7200
+        os.utime(orphans[0], (past, past))
+        store = ReleaseStore(directory, write_format="columnar")
+        assert not orphans[0].exists()
+
+        # ...and the interrupted migration simply runs again, whole.
+        assert store.migrate(to="json", keep_original=True) == len(hashes)
+        for spec_hash in hashes:
+            assert store.get(spec_hash) is not None
+
+
+class TestKillMidGetOrBuild:
+    def test_no_partial_artifact_and_rebuild_succeeds(self, tmp_path):
+        directory = tmp_path / "store"
+        spec = ReleaseSpec.create("hawaiian", epsilon=2.0, max_size=200)
+        run_until_ready_then_kill(_BUILD_CHILD, str(directory))
+
+        store = ReleaseStore(directory, write_format="columnar")
+        assert spec not in store          # the rename never landed
+        assert store.get(spec) is None
+        assert list(directory.glob("*.tmp"))  # orphan awaiting the janitor
+
+        release = store.get_or_build(spec)
+        assert store.builds == 1
+        reader = store.open_columnar(spec.spec_hash())
+        try:
+            assert reader.verify_checksums()
+        finally:
+            reader.close()
+        assert release.provenance.spec_hash == spec.spec_hash()
+
+
+class TestTornFinalWrite:
+    def test_truncated_artifact_is_quarantined_and_rebuilt(self, store_copy):
+        """A torn in-place write (truncation past the header) is the one
+        corruption the rename idiom cannot rule out — the CRC sweep
+        catches it at open and the store heals through quarantine."""
+        spec_hash = store_copy.spec_hashes()[0]
+        path = store_copy.path_for(spec_hash, format="columnar")
+        healthy = path.read_bytes()
+        with open(path, "r+b") as handle:
+            handle.truncate(header_size(path) + 8)
+        reader = store_copy.open_columnar(spec_hash)
+        try:
+            assert reader.verify_checksums()
+        finally:
+            reader.close()
+        assert path.read_bytes() == healthy
+        assert store_copy.integrity_failures == 1
+        assert store_copy.quarantines == 1
+        assert store_copy.rebuilds == 1
+        assert len(store_copy.quarantined_paths()) == 1

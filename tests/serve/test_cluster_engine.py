@@ -291,8 +291,16 @@ class TestClusterSnapshot:
         served = cluster.execute_batch(specs)
         assert all(result.ok for result in served)
         snapshot = cluster.cluster_snapshot()
-        assert set(snapshot) == {"aggregate", "shards", "respawns"}
+        assert set(snapshot) == {
+            "aggregate", "shards", "respawns", "breakers", "recoveries",
+        }
         assert snapshot["respawns"] == [0, 0]
+        # Resilience defaults off: breakers report disabled-closed state
+        # and no crash/recovery cycle has been observed.
+        assert [view["state"] for view in snapshot["breakers"]] == [
+            "closed", "closed",
+        ]
+        assert snapshot["recoveries"] == []
         # Both shards own releases of the 4-release bench store (fixed
         # spec hashes, so this split is deterministic).
         assert set(snapshot["shards"]) == {0, 1}

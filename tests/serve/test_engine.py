@@ -201,6 +201,8 @@ class TestMetricsSurface:
         assert set(snapshot) == {
             "requests", "errors", "batches", "artifact_loads", "cache_hits",
             "warm_hits", "cache_misses", "cache_hit_ratio", "memo_hits",
+            "retries", "deadline_exceeded", "breaker_trips",
+            "fallback_requests", "integrity_failures", "heartbeat_timeouts",
             "qps", "window_seconds", "latency_samples", "latency_ms",
         }
         assert set(snapshot["latency_ms"]) == {
